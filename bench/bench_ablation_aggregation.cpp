@@ -1,0 +1,114 @@
+// Ablation — aggregation rule. The paper uses *unweighted* federated
+// averaging (every client counts equally, Algorithm 2 line 8). This bench
+// compares it against sample-count-weighted FedAvg (McMahan et al.) and
+// against a FedProx-style proximal term on the local objective, on the
+// hardest Table II scenario (scenario 2, water vs ocean/radix).
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "fed/federation.hpp"
+#include "sim/processor.hpp"
+#include "sim/splash2.hpp"
+#include "sim/workload.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fedpower;
+
+struct VariantResult {
+  double mean_reward = 0.0;
+  double late_reward = 0.0;
+  double violation = 0.0;
+};
+
+// A variant of core::run_federated that exposes the aggregation mode and
+// prox coefficient (the core runner hardwires the paper's choices).
+VariantResult run_variant(fed::AggregationMode mode, double prox_mu,
+                          std::uint64_t seed) {
+  core::ExperimentConfig config;
+  config.rounds = 60;
+  config.seed = seed;
+  config.eval.episode_intervals = 30;
+  config.controller.agent.prox_mu = prox_mu;
+
+  const auto apps = core::resolve(core::table2_scenarios()[1]);
+  const auto suite = sim::splash2_suite();
+
+  util::Rng root(config.seed);
+  std::vector<std::unique_ptr<sim::Processor>> processors;
+  std::vector<std::unique_ptr<sim::Workload>> workloads;
+  std::vector<std::unique_ptr<core::PowerController>> controllers;
+  std::vector<fed::FederatedClient*> clients;
+  for (const auto& device_apps : apps) {
+    processors.push_back(
+        std::make_unique<sim::Processor>(config.processor, root.split()));
+    workloads.push_back(std::make_unique<sim::RandomWorkload>(device_apps));
+    processors.back()->set_workload(workloads.back().get());
+    controllers.push_back(std::make_unique<core::PowerController>(
+        config.controller, processors.back().get(), root.split()));
+    clients.push_back(controllers.back().get());
+  }
+  fed::InProcessTransport transport;
+  fed::FederatedAveraging server(clients, &transport, mode);
+  server.initialize(controllers.front()->local_parameters());
+
+  core::EvalConfig eval_config;
+  eval_config.processor = config.processor;
+  eval_config.episode_intervals = config.eval.episode_intervals;
+  const core::Evaluator evaluator(config.controller, eval_config);
+
+  VariantResult result;
+  util::RunningStats all;
+  util::RunningStats late;
+  util::RunningStats violations;
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    server.run_round();
+    const auto& app = suite[round % suite.size()];
+    const auto eval = evaluator.run_episode(
+        evaluator.neural_policy(server.global_model()), app,
+        seed ^ (round * 7919));
+    all.add(eval.mean_reward);
+    violations.add(eval.violation_rate);
+    if (round + 20 >= config.rounds) late.add(eval.mean_reward);
+  }
+  result.mean_reward = all.mean();
+  result.late_reward = late.mean();
+  result.violation = violations.mean();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: aggregation rule (scenario 2) ==\n\n");
+  util::AsciiTable out(
+      {"variant", "mean reward", "last-20 reward", "violation rate"});
+
+  const auto unweighted =
+      run_variant(fed::AggregationMode::kUnweightedMean, 0.0, 42);
+  out.add_row("unweighted mean (paper)",
+              {unweighted.mean_reward, unweighted.late_reward,
+               unweighted.violation});
+
+  const auto weighted =
+      run_variant(fed::AggregationMode::kSampleWeighted, 0.0, 42);
+  out.add_row("sample-weighted FedAvg",
+              {weighted.mean_reward, weighted.late_reward,
+               weighted.violation});
+
+  for (const double mu : {0.01, 0.1}) {
+    const auto prox =
+        run_variant(fed::AggregationMode::kUnweightedMean, mu, 42);
+    out.add_row("FedProx mu=" + util::AsciiTable::format(mu, 2),
+                {prox.mean_reward, prox.late_reward, prox.violation});
+  }
+
+  std::printf("%s\n", out.to_string().c_str());
+  std::printf("Note: with equal steps per round on homogeneous devices,\n"
+              "sample weighting should track the unweighted rule closely;\n"
+              "a small proximal term mostly affects early-round drift.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation — local-update hyperparameters the paper fixes in Table I:
+// batch size C_B (128) and optimization interval H (20). Both control how
+// much gradient work happens per round; this sweep shows how much slack
+// the published values have.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "sim/splash2.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fedpower;
+
+struct Outcome {
+  double mean_reward = 0.0;
+  double late_reward = 0.0;
+  double violation = 0.0;
+};
+
+Outcome run_with(std::size_t batch, std::size_t interval) {
+  core::ExperimentConfig config;
+  config.rounds = 60;
+  config.seed = 42;
+  config.eval.episode_intervals = 30;
+  config.controller.agent.batch_size = batch;
+  config.controller.agent.optimize_interval = interval;
+  const auto fed = core::run_federated(
+      config, core::resolve(core::table2_scenarios()[1]),
+      sim::splash2_suite(), true);
+  Outcome outcome;
+  util::RunningStats all;
+  util::RunningStats late;
+  util::RunningStats violations;
+  for (const auto& device : fed.devices)
+    for (std::size_t r = 0; r < device.reward.size(); ++r) {
+      all.add(device.reward[r]);
+      violations.add(device.violation_rate[r]);
+      if (r + 15 >= device.reward.size()) late.add(device.reward[r]);
+    }
+  outcome.mean_reward = all.mean();
+  outcome.late_reward = late.mean();
+  outcome.violation = violations.mean();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: batch size C_B (H = 20 fixed) ==\n\n");
+  util::AsciiTable batch_table(
+      {"C_B", "mean reward", "last-15 reward", "violation rate"});
+  for (const std::size_t batch : {16u, 64u, 128u, 256u}) {
+    const Outcome o = run_with(batch, 20);
+    batch_table.add_row(std::to_string(batch),
+                        {o.mean_reward, o.late_reward, o.violation});
+  }
+  std::printf("%s\n(paper uses C_B = 128)\n\n",
+              batch_table.to_string().c_str());
+
+  std::printf("== Ablation: optimization interval H (C_B = 128 fixed) ==\n\n");
+  util::AsciiTable h_table(
+      {"H", "updates/round", "mean reward", "last-15 reward",
+       "violation rate"});
+  for (const std::size_t interval : {5u, 10u, 20u, 50u}) {
+    const Outcome o = run_with(128, interval);
+    h_table.add_row(std::to_string(interval),
+                    {static_cast<double>(100 / interval), o.mean_reward,
+                     o.late_reward, o.violation});
+  }
+  std::printf("%s\n(paper uses H = 20 -> five updates per 100-step round)\n",
+              h_table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation — exploration strategy. The paper samples actions from a
+// softmax with decaying temperature (Eq. 3); the Profit baseline uses
+// epsilon-greedy. This bench runs the *neural* agent with both strategies
+// on the hardest scenario to separate the exploration question from the
+// representation question.
+#include <cstdio>
+
+#include "fleet.hpp"
+#include "core/scenario.hpp"
+#include "sim/processor.hpp"
+#include "sim/splash2.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fedpower;
+
+struct Outcome {
+  double mean_reward = 0.0;
+  double late_reward = 0.0;
+  double violation = 0.0;
+};
+
+Outcome run_with(rl::ExplorationMode mode) {
+  const std::size_t rounds = 80;
+  core::ControllerConfig controller_config;
+  controller_config.agent.exploration = mode;
+  sim::ProcessorConfig processor_config;
+  const auto apps = core::resolve(core::table2_scenarios()[1]);
+  const auto suite = sim::splash2_suite();
+
+  benchutil::Fleet fleet = benchutil::make_fleet(
+      {controller_config}, processor_config, apps, /*seed=*/42);
+  fed::InProcessTransport transport;
+  fed::FederatedAveraging server(fleet.clients(), &transport);
+  server.initialize(fleet.controllers.front()->local_parameters());
+
+  core::EvalConfig eval_config;
+  eval_config.processor = processor_config;
+  eval_config.episode_intervals = 30;
+  const core::Evaluator evaluator(controller_config, eval_config);
+
+  Outcome outcome;
+  util::RunningStats all;
+  util::RunningStats late;
+  util::RunningStats violations;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    server.run_round();
+    const auto result = evaluator.run_episode(
+        evaluator.neural_policy(server.global_model()),
+        suite[round % suite.size()], 700 + round);
+    all.add(result.mean_reward);
+    violations.add(result.violation_rate);
+    if (round + 20 >= rounds) late.add(result.mean_reward);
+  }
+  outcome.mean_reward = all.mean();
+  outcome.late_reward = late.mean();
+  outcome.violation = violations.mean();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: exploration strategy (scenario 2, 80 rounds) ==\n\n");
+  util::AsciiTable out(
+      {"strategy", "mean reward", "last-20 reward", "violation rate"});
+  const Outcome softmax = run_with(rl::ExplorationMode::kSoftmax);
+  out.add_row("softmax / Boltzmann (paper)",
+              {softmax.mean_reward, softmax.late_reward, softmax.violation});
+  const Outcome egreedy = run_with(rl::ExplorationMode::kEpsilonGreedy);
+  out.add_row("epsilon-greedy",
+              {egreedy.mean_reward, egreedy.late_reward, egreedy.violation});
+  std::printf("%s\n", out.to_string().c_str());
+  std::printf(
+      "Softmax exploration is reward-aware: clearly bad frequencies (those\n"
+      "that already violated) get exponentially less exploration than\n"
+      "near-optimal ones, while epsilon-greedy keeps sampling the whole\n"
+      "action range uniformly — costing violations during training and\n"
+      "leaving less-informative data in the replay buffer.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Ablation — heterogeneous objectives (the paper's future-work direction
+// "varying objectives/user preferences").
+//
+// Two devices share applications but have different power budgets
+// (0.5 W vs 0.7 W). Plain federated averaging forces one compromise policy
+// on both; a personalized federation (shared representation, private
+// output head — fed::PersonalizedClient) lets each device keep its own
+// operating point while still pooling workload knowledge. Local-only
+// training is the no-collaboration reference.
+#include <cstdio>
+
+#include "fleet.hpp"
+#include "core/scenario.hpp"
+#include "fed/personalize.hpp"
+#include "sim/processor.hpp"
+#include "sim/splash2.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fedpower;
+
+constexpr double kBudgets[2] = {0.5, 0.7};
+
+std::vector<core::ControllerConfig> device_configs() {
+  std::vector<core::ControllerConfig> configs(2);
+  configs[0].p_crit_w = kBudgets[0];
+  configs[1].p_crit_w = kBudgets[1];
+  return configs;
+}
+
+std::vector<std::vector<sim::AppProfile>> shared_apps() {
+  // Both devices run the same 4-app mix, so the *only* heterogeneity is
+  // the objective.
+  const std::vector<sim::AppProfile> mix = {
+      *sim::splash2_app("fft"), *sim::splash2_app("lu"),
+      *sim::splash2_app("ocean"), *sim::splash2_app("barnes")};
+  return {mix, mix};
+}
+
+struct DeviceScore {
+  double reward = 0.0;
+  double violation = 0.0;
+};
+
+/// Evaluates params against device d's own budget on all its apps.
+DeviceScore score(const std::vector<double>& params, std::size_t device,
+                  const sim::ProcessorConfig& processor_config) {
+  core::ControllerConfig config = device_configs()[device];
+  core::EvalConfig eval_config;
+  eval_config.processor = processor_config;
+  eval_config.episode_intervals = 40;
+  const core::Evaluator evaluator(config, eval_config);
+  util::RunningStats reward;
+  util::RunningStats violation;
+  std::uint64_t seed = 100 + device;
+  const auto apps = shared_apps();  // keep alive across the loop
+  for (const auto& app : apps[device]) {
+    const auto r =
+        evaluator.run_episode(evaluator.neural_policy(params), app, seed++);
+    reward.add(r.mean_reward);
+    violation.add(r.violation_rate);
+  }
+  return DeviceScore{reward.mean(), violation.mean()};
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t rounds = 80;
+  sim::ProcessorConfig processor_config;
+  const auto apps = shared_apps();
+
+  std::printf("== Ablation: heterogeneous power budgets "
+              "(0.5 W vs 0.7 W, same apps) ==\n\n");
+
+  util::AsciiTable out({"scheme", "dev0 reward (0.5W)", "dev0 viol.",
+                        "dev1 reward (0.7W)", "dev1 viol."});
+
+  // --- local-only reference.
+  {
+    benchutil::Fleet fleet =
+        benchutil::make_fleet(device_configs(), processor_config, apps, 42);
+    for (std::size_t r = 0; r < rounds; ++r)
+      for (auto& controller : fleet.controllers)
+        controller->run_local_round();
+    const auto s0 =
+        score(fleet.controllers[0]->local_parameters(), 0, processor_config);
+    const auto s1 =
+        score(fleet.controllers[1]->local_parameters(), 1, processor_config);
+    out.add_row("local-only",
+                {s0.reward, s0.violation, s1.reward, s1.violation});
+  }
+
+  // --- plain federated averaging (one policy for both budgets).
+  {
+    benchutil::Fleet fleet =
+        benchutil::make_fleet(device_configs(), processor_config, apps, 42);
+    fed::InProcessTransport transport;
+    fed::FederatedAveraging server(fleet.clients(), &transport);
+    server.initialize(fleet.controllers.front()->local_parameters());
+    server.run(rounds);
+    const auto s0 = score(server.global_model(), 0, processor_config);
+    const auto s1 = score(server.global_model(), 1, processor_config);
+    out.add_row("full FedAvg",
+                {s0.reward, s0.violation, s1.reward, s1.violation});
+  }
+
+  // --- personalized: shared body, private output head.
+  {
+    benchutil::Fleet fleet =
+        benchutil::make_fleet(device_configs(), processor_config, apps, 42);
+    const std::size_t total =
+        fleet.controllers.front()->agent().param_count();
+    const std::size_t head = 32 * 15 + 15;  // the output Dense layer
+    const std::vector<bool> mask = fed::shared_body_mask(total, head);
+    fed::PersonalizedClient p0(fleet.controllers[0].get(), mask);
+    fed::PersonalizedClient p1(fleet.controllers[1].get(), mask);
+    fed::InProcessTransport transport;
+    fed::FederatedAveraging server({&p0, &p1}, &transport);
+    server.initialize(fleet.controllers.front()->local_parameters());
+    server.run(rounds);
+    // Each device evaluates with its own (personalized) parameters.
+    const auto s0 =
+        score(fleet.controllers[0]->local_parameters(), 0, processor_config);
+    const auto s1 =
+        score(fleet.controllers[1]->local_parameters(), 1, processor_config);
+    out.add_row("personalized (FedPer)",
+                {s0.reward, s0.violation, s1.reward, s1.violation});
+  }
+
+  std::printf("%s\n", out.to_string().c_str());
+  std::printf(
+      "Full FedAvg averages a 0.5 W policy with a 0.7 W policy: the tight-\n"
+      "budget device inherits the loose device's aggressiveness (higher\n"
+      "violations), the loose device sandbags. The personalized scheme\n"
+      "keeps per-device heads, recovering most of both objectives.\n");
+  return 0;
+}

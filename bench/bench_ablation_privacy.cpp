@@ -1,0 +1,90 @@
+// Ablation — differential privacy. Clipping + Gaussian noise on the
+// per-round updates (fed::DpClient) strengthens the paper's weights-only
+// privacy story; this bench sweeps the noise multiplier to locate the
+// utility knee.
+#include <cstdio>
+
+#include "fed/dp.hpp"
+#include "fleet.hpp"
+#include "core/scenario.hpp"
+#include "sim/processor.hpp"
+#include "sim/splash2.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fedpower;
+
+struct Outcome {
+  double mean_reward = 0.0;
+  double violation = 0.0;
+  double mean_update_norm = 0.0;
+};
+
+Outcome run_with(double noise_multiplier, double clip_norm) {
+  const std::size_t rounds = 60;
+  core::ControllerConfig controller_config;
+  sim::ProcessorConfig processor_config;
+  const auto apps = core::resolve(core::table2_scenarios()[0]);
+  const auto suite = sim::splash2_suite();
+
+  benchutil::Fleet fleet = benchutil::make_fleet(
+      {controller_config}, processor_config, apps, /*seed=*/42);
+  fed::DpConfig dp_config;
+  dp_config.clip_norm = clip_norm;
+  dp_config.noise_multiplier = noise_multiplier;
+  dp_config.seed = 77;
+  std::vector<std::unique_ptr<fed::DpClient>> dp_clients;
+  std::vector<fed::FederatedClient*> clients;
+  for (auto& controller : fleet.controllers) {
+    dp_clients.push_back(
+        std::make_unique<fed::DpClient>(controller.get(), dp_config));
+    clients.push_back(dp_clients.back().get());
+  }
+
+  fed::InProcessTransport transport;
+  fed::FederatedAveraging server(clients, &transport);
+  server.initialize(fleet.controllers.front()->local_parameters());
+
+  core::EvalConfig eval_config;
+  eval_config.processor = processor_config;
+  eval_config.episode_intervals = 30;
+  const core::Evaluator evaluator(controller_config, eval_config);
+
+  util::RunningStats reward;
+  util::RunningStats violations;
+  util::RunningStats norms;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    server.run_round();
+    for (const auto& dp : dp_clients) norms.add(dp->last_update_norm());
+    const auto result = evaluator.run_episode(
+        evaluator.neural_policy(server.global_model()),
+        suite[round % suite.size()], 300 + round);
+    reward.add(result.mean_reward);
+    violations.add(result.violation_rate);
+  }
+  return Outcome{reward.mean(), violations.mean(), norms.mean()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: differentially private updates "
+              "(scenario 1, 60 rounds) ==\n\n");
+  // Clip chosen near the typical raw update norm so clipping is mild and
+  // the noise multiplier is the active knob.
+  const double clip = 1.0;
+  util::AsciiTable out({"noise multiplier z", "mean reward",
+                        "violation rate", "mean raw update norm"});
+  for (const double z : {0.0, 0.01, 0.05, 0.1, 0.3}) {
+    const Outcome o = run_with(z, clip);
+    out.add_row(util::AsciiTable::format(z, 2),
+                {o.mean_reward, o.violation, o.mean_update_norm});
+  }
+  std::printf("%s\n", out.to_string().c_str());
+  std::printf("Per-round noise sigma = z * clip is averaged over N clients\n"
+              "and partially washed out by later rounds; small z is nearly\n"
+              "free, large z stalls learning — the usual DP knee.\n");
+  return 0;
+}

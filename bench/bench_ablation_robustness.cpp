@@ -1,0 +1,115 @@
+// Ablation — Byzantine robustness. The paper's §I threat model worries
+// about malicious participants; with plain federated averaging a *single*
+// poisoned device steers the global DVFS policy anywhere it wants (e.g.
+// "always f_max", burning every device's power budget). Coordinate-median
+// and trimmed-mean aggregation bound that influence.
+//
+// Setup: 5 devices on disjoint workload shards; one of them uploads an
+// adversarially scaled model every round. We compare the three aggregation
+// rules on the clean devices' evaluation reward.
+#include <cstdio>
+
+#include "fleet.hpp"
+#include "sim/processor.hpp"
+#include "sim/splash2.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fedpower;
+
+/// Wraps a controller and replaces its upload with a hostile model:
+/// the honest parameters scaled and flipped, which under plain averaging
+/// drags the global model far outside the useful range.
+class ByzantineClient final : public fed::FederatedClient {
+ public:
+  explicit ByzantineClient(fed::FederatedClient* inner) : inner_(inner) {}
+
+  void receive_global(std::span<const double> params) override {
+    inner_->receive_global(params);
+  }
+  std::vector<double> local_parameters() const override {
+    std::vector<double> poisoned = inner_->local_parameters();
+    for (double& p : poisoned) p *= -25.0;
+    return poisoned;
+  }
+  void run_local_round() override { inner_->run_local_round(); }
+
+ private:
+  fed::FederatedClient* inner_;
+};
+
+struct Outcome {
+  double mean_reward = 0.0;
+  double violation = 0.0;
+};
+
+Outcome run_with(fed::AggregationMode mode) {
+  const std::size_t rounds = 60;
+  core::ControllerConfig controller_config;
+  sim::ProcessorConfig processor_config;
+  const auto suite = sim::splash2_suite();
+  std::vector<std::vector<sim::AppProfile>> apps;
+  for (std::size_t d = 0; d < 5; ++d)
+    apps.push_back({suite[(2 * d) % 12], suite[(2 * d + 1) % 12]});
+
+  benchutil::Fleet fleet = benchutil::make_fleet(
+      {controller_config}, processor_config, apps, /*seed=*/42);
+  ByzantineClient attacker(fleet.controllers.back().get());
+  std::vector<fed::FederatedClient*> clients = fleet.clients();
+  clients.back() = &attacker;  // device 4 turns hostile
+
+  fed::InProcessTransport transport;
+  fed::FederatedAveraging server(clients, &transport, mode);
+  server.initialize(fleet.controllers.front()->local_parameters());
+
+  core::EvalConfig eval_config;
+  eval_config.processor = processor_config;
+  eval_config.episode_intervals = 30;
+  const core::Evaluator evaluator(controller_config, eval_config);
+
+  util::RunningStats reward;
+  util::RunningStats violations;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    server.run_round();
+    const auto result = evaluator.run_episode(
+        evaluator.neural_policy(server.global_model()),
+        suite[round % suite.size()], 500 + round);
+    reward.add(result.mean_reward);
+    violations.add(result.violation_rate);
+  }
+  return Outcome{reward.mean(), violations.mean()};
+}
+
+const char* mode_name(fed::AggregationMode mode) {
+  switch (mode) {
+    case fed::AggregationMode::kUnweightedMean: return "mean (paper)";
+    case fed::AggregationMode::kSampleWeighted: return "weighted mean";
+    case fed::AggregationMode::kCoordinateMedian: return "coordinate median";
+    case fed::AggregationMode::kTrimmedMean: return "trimmed mean (20%)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: one Byzantine device out of five ==\n");
+  std::printf("The hostile device uploads its model scaled by -25 every "
+              "round.\n\n");
+  util::AsciiTable out({"aggregation", "global-policy reward",
+                        "violation rate"});
+  for (const fed::AggregationMode mode :
+       {fed::AggregationMode::kUnweightedMean,
+        fed::AggregationMode::kCoordinateMedian,
+        fed::AggregationMode::kTrimmedMean}) {
+    const Outcome o = run_with(mode);
+    out.add_row(mode_name(mode), {o.mean_reward, o.violation});
+  }
+  std::printf("%s\n", out.to_string().c_str());
+  std::printf("Plain averaging lets the attacker own the policy; the\n"
+              "robust rules confine it to (at most) shifting one order\n"
+              "statistic per coordinate.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation — exploration schedule and round structure.
+//
+// Part 1 sweeps the temperature decay rate around the paper's 5e-4: too
+// fast and the policy exploits before it has seen the reward landscape;
+// too slow and it never stops paying the exploration tax.
+// Part 2 trades rounds against steps per round at a fixed interaction
+// budget (R*T = 10000): more frequent aggregation means fresher shared
+// knowledge but the same total on-device work.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "sim/splash2.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fedpower;
+
+struct Outcome {
+  double late_reward = 0.0;
+  double violation = 0.0;
+};
+
+Outcome run(double tau_decay, std::size_t rounds, std::size_t steps) {
+  core::ExperimentConfig config;
+  config.rounds = rounds;
+  config.controller.steps_per_round = steps;
+  config.controller.agent.tau_decay = tau_decay;
+  config.seed = 42;
+  config.eval.episode_intervals = 30;
+  const auto apps = core::resolve(core::table2_scenarios()[1]);
+  const auto fed =
+      core::run_federated(config, apps, sim::splash2_suite(), true);
+  Outcome outcome;
+  util::RunningStats late;
+  util::RunningStats violations;
+  const std::size_t tail = rounds / 5;
+  for (const auto& device : fed.devices)
+    for (std::size_t r = 0; r < device.reward.size(); ++r) {
+      if (r + tail >= device.reward.size()) late.add(device.reward[r]);
+      violations.add(device.violation_rate[r]);
+    }
+  outcome.late_reward = late.mean();
+  outcome.violation = violations.mean();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: temperature decay (R=100, T=100) ==\n\n");
+  util::AsciiTable decay_table(
+      {"tau_decay", "final-rounds reward", "violation rate"});
+  for (const double decay : {0.0001, 0.0005, 0.002, 0.01}) {
+    const Outcome o = run(decay, 100, 100);
+    decay_table.add_row(util::AsciiTable::format(decay, 4),
+                        {o.late_reward, o.violation});
+  }
+  std::printf("%s\n", decay_table.to_string().c_str());
+  std::printf("(paper uses 0.0005 — the floor is reached near the end of\n"
+              "the 10000-step training budget)\n\n");
+
+  std::printf("== Ablation: rounds vs steps at fixed budget R*T = 10000 ==\n\n");
+  util::AsciiTable structure_table(
+      {"R x T", "final-rounds reward", "violation rate"});
+  const std::pair<std::size_t, std::size_t> structures[] = {
+      {200, 50}, {100, 100}, {50, 200}, {20, 500}};
+  for (const auto& [rounds, steps] : structures) {
+    const Outcome o = run(0.0005, rounds, steps);
+    structure_table.add_row(
+        std::to_string(rounds) + " x " + std::to_string(steps),
+        {o.late_reward, o.violation});
+  }
+  std::printf("%s\n", structure_table.to_string().c_str());
+  std::printf("(paper uses 100 x 100; very infrequent aggregation lets the\n"
+              "two non-IID devices drift apart between rounds)\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Extension — proactive adaptation at application switches.
+//
+// The paper's §I claim for learned DVFS: the state features (IPC, cache
+// statistics) let the agent "proactively adjust the frequency according to
+// the current workload", where classic governors only *react* to the power
+// they already burned. This bench runs a trained federated policy and the
+// reactive power-cap governor through the same sequence of abrupt app
+// switches (compute -> memory -> compute ...) and reports per-segment
+// rewards and violations, plus the first-interval behaviour right at each
+// boundary — the interval where proactive vs reactive shows.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "sim/governor.hpp"
+#include "sim/processor.hpp"
+#include "sim/splash2.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fedpower;
+
+std::vector<sim::AppProfile> switch_sequence() {
+  // Alternating extremes, twice around.
+  std::vector<sim::AppProfile> seq;
+  for (int repeat = 0; repeat < 2; ++repeat)
+    for (const char* name : {"water-ns", "radix", "lu", "ocean"})
+      seq.push_back(*sim::splash2_app(name));
+  return seq;
+}
+
+struct Summary {
+  double reward = 0.0;
+  double violation = 0.0;
+  double boundary_violation = 0.0;  // violations in the first 2 intervals
+                                    // after each switch
+};
+
+Summary summarize(const std::vector<core::EvalResult>& segments,
+                  const core::Evaluator& evaluator,
+                  const core::PolicyFn& policy, std::uint64_t seed) {
+  Summary summary;
+  util::RunningStats reward;
+  util::RunningStats violation;
+  for (const auto& segment : segments) {
+    reward.add(segment.mean_reward);
+    violation.add(segment.violation_rate);
+  }
+  summary.reward = reward.mean();
+  summary.violation = violation.mean();
+
+  // Boundary behaviour: re-run with 2-interval segments so each segment IS
+  // the boundary window.
+  const auto boundary = evaluator.run_switching_episode(
+      policy, switch_sequence(), 2, seed + 1);
+  util::RunningStats bv;
+  for (const auto& segment : boundary) bv.add(segment.violation_rate);
+  summary.boundary_violation = bv.mean();
+  return summary;
+}
+
+}  // namespace
+
+int main() {
+  core::ExperimentConfig config;
+  config.rounds = 100;
+  config.seed = 42;
+  std::printf("== Extension: abrupt app switches "
+              "(water-ns -> radix -> lu -> ocean, x2) ==\n\n");
+
+  const auto fed = core::run_federated(
+      config, core::resolve(core::six_app_split()), sim::splash2_suite(),
+      false);
+
+  core::EvalConfig eval_config;
+  eval_config.processor = config.processor;
+  const core::Evaluator evaluator(config.controller, eval_config);
+  const std::size_t segment_intervals = 20;  // 10 s per app
+
+  util::AsciiTable out({"policy", "mean reward", "violation rate",
+                        "boundary violation rate"});
+
+  const core::PolicyFn learned = evaluator.neural_policy(fed.global_params);
+  const auto learned_segments = evaluator.run_switching_episode(
+      learned, switch_sequence(), segment_intervals, 5);
+  const Summary s_learned =
+      summarize(learned_segments, evaluator, learned, 500);
+  out.add_row("federated RL (ours)",
+              {s_learned.reward, s_learned.violation,
+               s_learned.boundary_violation});
+
+  auto governor = std::make_shared<sim::PowerCapGovernor>(0.6, 0.05);
+  const core::PolicyFn reactive =
+      [governor](const sim::TelemetrySample& sample) {
+        static const sim::VfTable table = sim::VfTable::jetson_nano();
+        return governor->select_level(sample, table);
+      };
+  const auto reactive_segments = evaluator.run_switching_episode(
+      reactive, switch_sequence(), segment_intervals, 5);
+  governor->reset();
+  const Summary s_reactive =
+      summarize(reactive_segments, evaluator, reactive, 500);
+  out.add_row("reactive power-cap",
+              {s_reactive.reward, s_reactive.violation,
+               s_reactive.boundary_violation});
+
+  std::printf("%s\n", out.to_string().c_str());
+
+  std::printf("per-segment rewards (20 intervals each):\n  %-10s %8s %8s\n",
+              "app", "RL", "reactive");
+  for (std::size_t i = 0; i < learned_segments.size(); ++i)
+    std::printf("  %-10s %8.3f %8.3f\n", learned_segments[i].app.c_str(),
+                learned_segments[i].mean_reward,
+                reactive_segments[i].mean_reward);
+
+  std::printf(
+      "\nAt a memory->compute boundary the reactive governor is still at\n"
+      "the high frequency the memory app tolerated and must *observe* a\n"
+      "violation before stepping down one level per interval; the learned\n"
+      "policy sees the IPC/MPKI signature of the new app in the very first\n"
+      "interval and jumps straight to its operating point.\n");
+  return 0;
+}

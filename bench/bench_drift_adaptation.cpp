@@ -1,0 +1,104 @@
+// Extension — adapting to workload change (the paper's own motivation:
+// "changes in the workload, user preferences or ambient conditions").
+//
+// A device trains on memory-bound apps (ocean/radix) until its temperature
+// schedule has fully decayed, then the workload flips to compute-bound
+// water codes. The stock controller keeps exploiting its stale
+// "f_max is safe" policy and burns the power budget; with drift adaptation
+// (rl::DriftMonitor + reheat) the reward drop re-opens exploration and the
+// controller re-converges.
+#include <cstdio>
+
+#include "core/controller.hpp"
+#include "sim/processor.hpp"
+#include "sim/splash2.hpp"
+#include "sim/workload.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fedpower;
+
+struct PhaseStats {
+  double reward = 0.0;
+  double violation = 0.0;
+};
+
+struct Outcome {
+  PhaseStats before;         // steady state pre-shift
+  PhaseStats early_after;    // first 200 steps post-shift
+  PhaseStats mid_after;      // steps 200..600 post-shift
+  PhaseStats late_after;     // steps 600..1400 post-shift
+  std::size_t detections = 0;
+};
+
+Outcome run_with(bool adaptation) {
+  core::ControllerConfig config;
+  config.agent.tau_decay = 0.002;  // fully decayed well before the shift
+  config.drift_adaptation = adaptation;
+  config.drift.warmup = 100;
+  config.drift.cooldown = 1200;
+  config.drift.drop_threshold = 0.4;
+  config.reheat_tau = 0.3;
+
+  sim::ProcessorConfig processor_config;
+  sim::Processor processor(processor_config, util::Rng{5});
+  sim::RandomWorkload memory_phase(
+      {*sim::splash2_app("ocean"), *sim::splash2_app("radix")});
+  sim::RandomWorkload compute_phase(
+      {*sim::splash2_app("water-ns"), *sim::splash2_app("water-sp")});
+  processor.set_workload(&memory_phase);
+  core::PowerController controller(config, &processor, util::Rng{6});
+
+  const auto measure = [&](std::size_t steps) {
+    PhaseStats stats;
+    util::RunningStats reward;
+    std::size_t violations = 0;
+    for (std::size_t i = 0; i < steps; ++i) {
+      const sim::TelemetrySample s = controller.step();
+      reward.add(controller.last_reward());
+      if (s.true_power_w > config.p_crit_w) ++violations;
+    }
+    stats.reward = reward.mean();
+    stats.violation =
+        static_cast<double>(violations) / static_cast<double>(steps);
+    return stats;
+  };
+
+  Outcome outcome;
+  measure(2800);                       // learn the memory-bound regime
+  outcome.before = measure(200);       // steady state
+  processor.set_workload(&compute_phase);  // the world changes
+  processor.reset_app();
+  outcome.early_after = measure(200);
+  outcome.mid_after = measure(400);
+  outcome.late_after = measure(800);
+  outcome.detections = controller.drift_detections();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Extension: workload shift at step 3000 "
+              "(ocean/radix -> water) ==\n\n");
+  util::AsciiTable out({"controller", "pre-shift r", "r (0-200)",
+                        "r (200-600)", "r (600-1400)", "late violations",
+                        "drift detections"});
+  for (const bool adaptation : {false, true}) {
+    const Outcome o = run_with(adaptation);
+    out.add_row(adaptation ? "with drift adaptation" : "stock (paper)",
+                {o.before.reward, o.early_after.reward, o.mid_after.reward,
+                 o.late_after.reward, o.late_after.violation,
+                 static_cast<double>(o.detections)});
+  }
+  std::printf("%s\n", out.to_string().c_str());
+  std::printf("Both controllers crash when the workload flips (the old\n"
+              "policy runs compute-bound code at memory-bound frequencies);\n"
+              "the adaptive one detects the reward collapse, re-heats its\n"
+              "softmax temperature and re-converges, while the stock\n"
+              "controller recovers only as slowly as fresh samples displace\n"
+              "stale ones in its replay buffer.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 2 — Distribution of the reward signal for P_crit = 0.6 W and
+// k_offset = 0.05 W over the 15 Jetson Nano frequency levels.
+//
+// The paper's figure plots reward as a function of power for each V/f
+// level: flat at f/f_max below P_crit, a frequency-scaled ramp to zero at
+// P_crit + k_offset, a common ramp to -1 at P_crit + 2*k_offset. This
+// binary regenerates the exact series.
+#include <cstdio>
+
+#include "rl/reward.hpp"
+#include "sim/vf_table.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fedpower;
+
+  const sim::VfTable table = sim::VfTable::jetson_nano();
+  const rl::PaperReward reward(0.6, 0.05, table.f_max_mhz());
+
+  std::printf(
+      "== Fig. 2: reward signal, P_crit = 0.6 W, k_offset = 0.05 W ==\n"
+      "Paper: r = f/f_max below P_crit; scaled ramp to 0 at P_crit+k;\n"
+      "       common ramp to -1 at P_crit+2k; -1 beyond.\n\n");
+
+  // Power sweep columns (W). Chosen to show all four reward regimes.
+  const double powers[] = {0.30, 0.50, 0.60, 0.625, 0.65, 0.675, 0.70, 0.80};
+
+  std::vector<std::string> header = {"level", "f [MHz]"};
+  for (const double p : powers)
+    header.push_back("P=" + util::AsciiTable::format(p, 3));
+  util::AsciiTable out(std::move(header));
+
+  for (std::size_t l = 0; l < table.size(); ++l) {
+    const sim::VfLevel& vf = table.level(l);
+    std::vector<std::string> row = {
+        std::to_string(l), util::AsciiTable::format(vf.freq_mhz, 1)};
+    for (const double p : powers)
+      row.push_back(
+          util::AsciiTable::format(reward.evaluate(vf.freq_mhz, p), 3));
+    out.add_row(std::move(row));
+  }
+  std::printf("%s\n", out.to_string().c_str());
+
+  // Structural checks the figure displays visually.
+  std::printf("checks:\n");
+  std::printf("  reward(f_max, 0.60 W) = %.3f (expected 1.000)\n",
+              reward.evaluate(1479.0, 0.60));
+  std::printf("  reward(f_max, 0.65 W) = %.3f (expected 0.000)\n",
+              reward.evaluate(1479.0, 0.65));
+  std::printf("  reward(any f, 0.70 W) = %.3f (expected -1.000)\n",
+              reward.evaluate(825.6, 0.70));
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Custom workload and custom silicon: everything in the library is
+// parameterized, so a downstream user can model their own device and
+// applications instead of the Jetson Nano + SPLASH-2 setup the paper uses.
+//
+// This example defines a hypothetical low-power edge SoC with 8 V/f levels
+// and two in-house applications (a sensor-fusion loop and a CNN inference
+// server), trains a controller under a tighter 0.4 W budget, and prints
+// the frequency the policy settles on for each application phase.
+//
+//   $ ./custom_workload
+#include <cstdio>
+
+#include "fedpower.hpp"
+
+int main() {
+  using namespace fedpower;
+
+  // --- 1. The device: 8 levels, 200..1200 MHz, 0.70..1.05 V, and a
+  //        cheaper, leakier process than the Jetson model.
+  sim::ProcessorConfig processor_config;
+  processor_config.vf_table =
+      sim::VfTable::linear(8, 200.0, 1200.0, 0.70, 1.05);
+  processor_config.power.c_eff_nf = 0.55;
+  processor_config.power.leakage_w_per_v = 0.10;
+  processor_config.perf.mem_latency_ns = 95.0;  // slower LPDDR
+
+  // --- 2. The workload: two custom applications with phased behaviour.
+  //        PhaseProfile = {base_cpi, llc_apki, miss_rate, activity, instr}.
+  const sim::AppProfile sensor_fusion{
+      "sensor-fusion",
+      {
+          sim::PhaseProfile{0.9, 55.0, 0.5, 0.5, 2.0e9},   // ingest (memory)
+          sim::PhaseProfile{0.7, 15.0, 0.2, 0.8, 4.0e9},   // filter (compute)
+      }};
+  const sim::AppProfile cnn_server{
+      "cnn-server",
+      {
+          sim::PhaseProfile{0.6, 20.0, 0.3, 0.85, 6.0e9},  // conv layers
+          sim::PhaseProfile{0.8, 45.0, 0.45, 0.6, 2.0e9},  // feature maps
+      }};
+  sim::validate(sensor_fusion);
+  sim::validate(cnn_server);
+
+  // --- 3. The controller: tighter 0.4 W budget, action space sized to the
+  //        custom table, featurizer normalized to the custom f_max.
+  core::ControllerConfig config;
+  config.p_crit_w = 0.4;
+  config.agent.action_count = processor_config.vf_table.size();
+  config.featurizer.f_max_mhz = processor_config.vf_table.f_max_mhz();
+  config.agent.tau_decay = 0.002;  // shorter run than the paper's
+
+  sim::Processor processor(processor_config, util::Rng{11});
+  sim::RotationWorkload workload({sensor_fusion, cnn_server});
+  processor.set_workload(&workload);
+  core::PowerController controller(config, &processor, util::Rng{12});
+
+  std::printf("training on the custom SoC (3000 intervals, 0.4 W budget)...\n");
+  controller.run_steps(3000);
+
+  // --- 4. Inspect the learned policy per application.
+  std::printf("\nlearned greedy behaviour:\n");
+  util::AsciiTable out({"app", "mean freq [MHz]", "mean power [W]",
+                        "violations", "reward"});
+  for (const sim::AppProfile* app : {&sensor_fusion, &cnn_server}) {
+    sim::Processor eval_proc(processor_config, util::Rng{13});
+    sim::SingleAppWorkload eval_workload(*app);
+    eval_proc.set_workload(&eval_workload);
+    core::PowerController eval_controller(config, &eval_proc, util::Rng{14});
+    eval_controller.receive_global(controller.local_parameters());
+
+    util::RunningStats freq;
+    util::RunningStats power;
+    util::RunningStats reward;
+    std::size_t violations = 0;
+    const int intervals = 40;
+    for (int i = 0; i < intervals; ++i) {
+      const sim::TelemetrySample s = eval_controller.greedy_step();
+      freq.add(s.freq_mhz);
+      power.add(s.power_w);
+      reward.add(eval_controller.last_reward());
+      if (s.true_power_w > config.p_crit_w) ++violations;
+    }
+    out.add_row(app->name,
+                {freq.mean(), power.mean(),
+                 static_cast<double>(violations), reward.mean()});
+  }
+  std::printf("%s\n", out.to_string().c_str());
+  std::printf("The policy picks different operating points per app: the\n"
+              "memory-heavy fusion loop can clock higher within 0.4 W than\n"
+              "the switching-heavy CNN server.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Governor comparison: the paper's §I motivation, made concrete.
+//
+// Classic OS frequency governors ignore application characteristics: the
+// performance governor blows through the power budget on compute-bound
+// code, powersave wastes the budget everywhere, and even a hand-tuned
+// reactive power-cap controller oscillates around phase changes. This
+// example runs all of them — plus a trained RL policy — across the twelve
+// SPLASH-2 applications under the paper's 0.6 W constraint.
+//
+//   $ ./governor_comparison
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "fedpower.hpp"
+
+namespace {
+
+using namespace fedpower;
+
+struct Summary {
+  double reward = 0.0;
+  double power = 0.0;
+  double freq = 0.0;
+  double violation = 0.0;
+};
+
+Summary evaluate_policy(const core::Evaluator& evaluator,
+                        const core::PolicyFn& policy) {
+  util::RunningStats reward;
+  util::RunningStats power;
+  util::RunningStats freq;
+  util::RunningStats violation;
+  std::uint64_t seed = 100;
+  for (const auto& app : sim::splash2_suite()) {
+    const core::EvalResult r = evaluator.run_episode(policy, app, seed++);
+    reward.add(r.mean_reward);
+    power.add(r.mean_power_w);
+    freq.add(r.mean_freq_mhz);
+    violation.add(r.violation_rate);
+  }
+  return Summary{reward.mean(), power.mean(), freq.mean(), violation.mean()};
+}
+
+core::PolicyFn governor_policy(std::shared_ptr<sim::Governor> governor,
+                               const sim::VfTable& table) {
+  return [governor, &table](const sim::TelemetrySample& sample) {
+    return governor->select_level(sample, table);
+  };
+}
+
+}  // namespace
+
+int main() {
+  core::ControllerConfig controller_config;
+  core::EvalConfig eval_config;
+  const core::Evaluator evaluator(controller_config, eval_config);
+  static const sim::VfTable table = sim::VfTable::jetson_nano();
+
+  // Train the RL policy federatedly on the six-app split (the paper's
+  // strongest configuration).
+  std::printf("training the federated RL policy (100 rounds)...\n\n");
+  core::ExperimentConfig experiment;
+  experiment.rounds = 100;
+  experiment.seed = 7;
+  const auto fed = core::run_federated(
+      experiment, core::resolve(core::six_app_split()), sim::splash2_suite(),
+      false);
+
+  util::AsciiTable out({"policy", "mean reward", "mean power [W]",
+                        "mean freq [MHz]", "violation rate"});
+  const auto add = [&](const std::string& name, const Summary& s) {
+    out.add_row(name, {s.reward, s.power, s.freq, s.violation});
+  };
+
+  add("performance governor",
+      evaluate_policy(evaluator,
+                      governor_policy(
+                          std::make_shared<sim::PerformanceGovernor>(),
+                          table)));
+  add("powersave governor",
+      evaluate_policy(evaluator,
+                      governor_policy(
+                          std::make_shared<sim::PowersaveGovernor>(), table)));
+  add("ondemand governor",
+      evaluate_policy(evaluator,
+                      governor_policy(
+                          std::make_shared<sim::OndemandGovernor>(), table)));
+  add("power-cap (reactive 0.6 W)",
+      evaluate_policy(
+          evaluator,
+          governor_policy(std::make_shared<sim::PowerCapGovernor>(0.6),
+                          table)));
+  add("federated RL (ours)",
+      evaluate_policy(evaluator,
+                      evaluator.neural_policy(fed.global_params)));
+
+  std::printf("%s\n", out.to_string().c_str());
+  std::printf(
+      "Reading the table:\n"
+      "  * performance/ondemand peg f_max: fast but ~50%% of intervals\n"
+      "    violate the 0.6 W budget on compute-bound apps;\n"
+      "  * powersave never violates but throws away ~90%% of the\n"
+      "    achievable performance;\n"
+      "  * the reactive power-cap governor is decent but purely\n"
+      "    reactive - it has to *see* a violation to respond;\n"
+      "  * the learned policy anticipates per-application behaviour from\n"
+      "    the performance counters and lands just under the budget.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Multi-core edge node: the Jetson Nano's real topology — four cores, one
+// shared clock (paper §IV) — under a rail-level power budget.
+//
+// Three cores run different applications, one idles. The RL controller
+// observes rail telemetry and sets the single shared V/f level, so it must
+// learn the *joint* behaviour: the budget binds at whatever the busiest
+// mix draws, and the optimal frequency is lower than any single app's.
+//
+//   $ ./multicore_node
+#include <cstdio>
+#include <memory>
+
+#include "fedpower.hpp"
+
+int main() {
+  using namespace fedpower;
+
+  sim::MulticoreConfig config = sim::MulticoreConfig::jetson_nano_4core();
+  sim::MulticoreProcessor processor(config, util::Rng{21});
+
+  sim::SingleAppWorkload camera(*sim::splash2_app("raytrace"));
+  sim::SingleAppWorkload analytics(*sim::splash2_app("lu"));
+  sim::SingleAppWorkload compression(*sim::splash2_app("radix"));
+  processor.set_workload(0, &camera);
+  processor.set_workload(1, &analytics);
+  processor.set_workload(2, &compression);
+  // Core 3 idles.
+
+  core::ControllerConfig controller_config;
+  controller_config.p_crit_w = 1.5;    // rail budget for 3 busy cores
+  controller_config.k_offset_w = 0.1;
+  controller_config.featurizer.power_scale_w = 3.0;  // rail power is larger
+  controller_config.agent.tau_decay = 0.002;
+  core::PowerController controller(controller_config, &processor,
+                                   util::Rng{22});
+
+  std::printf("3 busy cores (raytrace, lu, radix) + 1 idle, shared clock,\n"
+              "rail budget %.1f W\n\n", controller_config.p_crit_w);
+  std::printf("training (3000 intervals)...\n");
+  controller.run_steps(3000);
+
+  util::RunningStats freq;
+  util::RunningStats power;
+  util::RunningStats reward;
+  std::size_t violations = 0;
+  const int eval_steps = 40;
+  for (int i = 0; i < eval_steps; ++i) {
+    const sim::TelemetrySample rail = controller.greedy_step();
+    freq.add(rail.freq_mhz);
+    power.add(rail.power_w);
+    reward.add(controller.last_reward());
+    if (rail.true_power_w > controller_config.p_crit_w) ++violations;
+  }
+
+  std::printf("\ngreedy evaluation over %d intervals:\n", eval_steps);
+  std::printf("  shared frequency : %.1f MHz\n", freq.mean());
+  std::printf("  rail power       : %.3f W (budget %.1f W)\n", power.mean(),
+              controller_config.p_crit_w);
+  std::printf("  reward           : %.3f\n", reward.mean());
+  std::printf("  violations       : %zu / %d\n", violations, eval_steps);
+
+  std::printf("\nper-core view (last interval):\n");
+  std::printf("  %-6s %-10s %10s %10s %8s\n", "core", "app", "power[W]",
+              "IPC", "MPKI");
+  for (std::size_t c = 0; c < processor.core_count(); ++c) {
+    const sim::TelemetrySample& s = processor.core_sample(c);
+    std::printf("  %-6zu %-10s %10.3f %10.3f %8.2f\n", c,
+                s.app_name.c_str(), s.true_power_w, s.ipc, s.mpki);
+  }
+
+  std::printf("\nFor contrast, a single busy core at the learned level\n"
+              "would leave most of the 1.5 W budget unused — the shared\n"
+              "clock forces one compromise frequency for all cores, which\n"
+              "is exactly why the learned level sits below every single\n"
+              "app's solo optimum.\n");
+  return 0;
+}

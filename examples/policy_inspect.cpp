@@ -1,0 +1,91 @@
+// Policy inspection: what did the controller actually learn?
+//
+// Trains a federated policy, then dumps its greedy V/f choice over a grid
+// of states — power x memory intensity — as an ASCII heatmap (and
+// optionally CSV). Useful for debugging reward shaping and for seeing the
+// learned "throttle compute-bound, unleash memory-bound" structure at a
+// glance.
+//
+//   $ ./policy_inspect [csv_path]
+#include <cstdio>
+#include <string>
+
+#include "fedpower.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fedpower;
+
+  std::printf("training the federated policy (100 rounds, six-app split)...\n");
+  core::ExperimentConfig config;
+  config.rounds = 100;
+  config.seed = 42;
+  const auto fed = core::run_federated(
+      config, core::resolve(core::six_app_split()), sim::splash2_suite(),
+      false);
+
+  util::Rng rng(0);
+  nn::Mlp model = nn::make_mlp(config.controller.agent.state_dim,
+                               config.controller.agent.hidden_sizes,
+                               config.controller.agent.action_count, rng);
+  model.set_parameters(fed.global_params);
+  const rl::StateFeaturizer featurizer(config.controller.featurizer);
+  const sim::VfTable table = sim::VfTable::jetson_nano();
+
+  const auto greedy_level = [&](double power_w, double mpki, double ipc,
+                                double freq_mhz) {
+    sim::TelemetrySample s;
+    s.freq_mhz = freq_mhz;
+    s.power_w = power_w;
+    s.ipc = ipc;
+    s.mpki = mpki;
+    s.miss_rate = std::min(1.0, mpki / 60.0);
+    const auto mu =
+        model.forward(nn::Matrix::row_vector(featurizer.featurize(s)));
+    return rl::argmax(mu.data());
+  };
+
+  // Heatmap: rows = observed power, columns = memory intensity. The other
+  // state features are pinned at typical values (f = 825.6 MHz; IPC tied
+  // loosely to memory intensity).
+  const double powers[] = {0.30, 0.40, 0.50, 0.55, 0.60, 0.65, 0.75};
+  const double mpkis[] = {1.0, 5.0, 10.0, 20.0, 30.0, 40.0};
+
+  std::printf("\ngreedy V/f level by (observed power, MPKI) at f = 825.6 "
+              "MHz:\n\n        ");
+  for (const double mpki : mpkis) std::printf("mpki%-5.0f", mpki);
+  std::printf("\n");
+  for (const double p : powers) {
+    std::printf("P=%.2fW ", p);
+    for (const double mpki : mpkis) {
+      const double ipc = 1.3 - 0.015 * mpki;  // memory-bound -> lower IPC
+      const std::size_t level = greedy_level(p, mpki, ipc, 825.6);
+      std::printf("  %2zu     ", level);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nReading: the dominant structure is horizontal — the policy asks\n"
+      "for much higher frequencies when the workload is memory-bound\n"
+      "(right columns, where extra clock cycles are cheap in power) and\n"
+      "throttles compute-bound code (left columns). The observed-power\n"
+      "axis matters less: in steady state power is nearly a function of\n"
+      "(frequency, workload features), so the network leans on the\n"
+      "workload counters and uses power mainly to disambiguate phases.\n");
+
+  if (argc > 1) {
+    const std::string path = argv[1];
+    util::CsvWriter csv(path);
+    csv.write_row({"power_w", "mpki", "ipc", "greedy_level", "freq_mhz"});
+    for (double p = 0.2; p <= 0.8 + 1e-9; p += 0.025) {
+      for (double mpki = 0.0; mpki <= 45.0 + 1e-9; mpki += 2.5) {
+        const double ipc = 1.3 - 0.015 * mpki;
+        const std::size_t level = greedy_level(p, mpki, ipc, 825.6);
+        csv.write_row("", {p, mpki, ipc, static_cast<double>(level),
+                           table.level(level).freq_mhz});
+      }
+    }
+    std::printf("\nfull grid written to %s\n", path.c_str());
+  }
+  return 0;
+}

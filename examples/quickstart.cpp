@@ -1,0 +1,68 @@
+// Quickstart: train one RL power controller on a simulated Jetson-Nano-like
+// edge device and watch it learn to hold a 0.6 W power budget.
+//
+//   $ ./quickstart
+//
+// This is the single-device slice of the paper (Algorithm 1): the federated
+// setting is shown in the edge_fleet example.
+#include <cstdio>
+
+#include "fedpower.hpp"
+
+int main() {
+  using namespace fedpower;
+
+  // 1. A simulated edge processor with the Jetson Nano's 15 V/f levels,
+  //    running the SPLASH-2-like 'fft' application on repeat.
+  sim::ProcessorConfig processor_config;  // Jetson table, noise defaults
+  sim::Processor processor(processor_config, util::Rng{/*seed=*/1});
+  sim::SingleAppWorkload workload(*sim::splash2_app("fft"));
+  processor.set_workload(&workload);
+
+  // 2. A power controller with the paper's Table I hyperparameters:
+  //    one-hidden-layer policy network, softmax exploration, replay buffer,
+  //    0.6 W power constraint.
+  core::ControllerConfig controller_config;
+  core::PowerController controller(controller_config, &processor,
+                                   util::Rng{/*seed=*/2});
+
+  // 3. Train online: each step observes the counters of the last 500 ms
+  //    interval, picks a V/f level, and learns from the realized reward.
+  std::printf("training (2000 DVFS intervals = ~17 simulated minutes)...\n");
+  std::printf("%8s %10s %10s %10s %8s\n", "step", "freq[MHz]", "power[W]",
+              "reward", "temp");
+  for (int step = 1; step <= 2000; ++step) {
+    const sim::TelemetrySample sample = controller.step();
+    if (step % 250 == 0)
+      std::printf("%8d %10.1f %10.3f %10.3f %8.3f\n", step, sample.freq_mhz,
+                  sample.power_w, controller.last_reward(),
+                  controller.agent().temperature());
+  }
+
+  // 4. Evaluate greedily (no exploration, no learning).
+  util::RunningStats freq;
+  util::RunningStats power;
+  util::RunningStats reward;
+  std::size_t violations = 0;
+  const int eval_steps = 40;
+  for (int i = 0; i < eval_steps; ++i) {
+    const sim::TelemetrySample sample = controller.greedy_step();
+    freq.add(sample.freq_mhz);
+    power.add(sample.power_w);
+    reward.add(controller.last_reward());
+    if (sample.true_power_w > controller.config().p_crit_w) ++violations;
+  }
+
+  std::printf("\ngreedy evaluation over %d intervals:\n", eval_steps);
+  std::printf("  mean frequency : %.1f MHz (f_max = %.1f)\n", freq.mean(),
+              processor.vf_table().f_max_mhz());
+  std::printf("  mean power     : %.3f W (constraint %.2f W)\n", power.mean(),
+              controller.config().p_crit_w);
+  std::printf("  mean reward    : %.3f\n", reward.mean());
+  std::printf("  violations     : %zu / %d intervals\n", violations,
+              eval_steps);
+  std::printf("\nThe controller holds the budget by picking a frequency\n"
+              "where 'fft' consumes just under 0.6 W, instead of blindly\n"
+              "running at f_max (which would draw ~0.7 W).\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Secure fleet: the full privacy stack on top of the paper's federation.
+//
+// The paper's core privacy argument is "only weights leave the device".
+// This example layers the two stronger guarantees the library ships:
+//   1. per-round update privatization (clip + Gaussian noise,
+//      fed::DpClient) so an honest-but-curious server learns little about
+//      any device's recent samples, and
+//   2. secure aggregation (pairwise additive masking,
+//      fed::SecureAggregationSession) so the server never even sees an
+//      individual (privatized) model — only the sum.
+//
+//   $ ./secure_fleet
+#include <cstdio>
+#include <memory>
+
+#include "fedpower.hpp"
+
+int main() {
+  using namespace fedpower;
+
+  constexpr std::size_t kDevices = 3;
+  constexpr std::size_t kRounds = 40;
+
+  // --- devices: disjoint workload shards, DP decorators on every upload.
+  util::Rng root(99);
+  const auto suite = sim::splash2_suite();
+  std::vector<std::unique_ptr<sim::Processor>> processors;
+  std::vector<std::unique_ptr<sim::Workload>> workloads;
+  std::vector<std::unique_ptr<core::PowerController>> controllers;
+  std::vector<std::unique_ptr<fed::DpClient>> dp_clients;
+  fed::DpConfig dp_config;
+  dp_config.clip_norm = 1.0;
+  dp_config.noise_multiplier = 0.02;
+  dp_config.seed = 7;
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    processors.push_back(std::make_unique<sim::Processor>(
+        sim::ProcessorConfig{}, root.split()));
+    workloads.push_back(std::make_unique<sim::RandomWorkload>(
+        std::vector<sim::AppProfile>{suite[4 * d], suite[4 * d + 1],
+                                     suite[4 * d + 2], suite[4 * d + 3]}));
+    processors.back()->set_workload(workloads.back().get());
+    controllers.push_back(std::make_unique<core::PowerController>(
+        core::ControllerConfig{}, processors.back().get(), root.split()));
+    dp_clients.push_back(
+        std::make_unique<fed::DpClient>(controllers.back().get(), dp_config));
+  }
+
+  const std::size_t dim = controllers.front()->agent().param_count();
+  std::vector<double> global = controllers.front()->local_parameters();
+
+  std::printf("devices: %zu | DP: clip %.1f, z = %.2f | secure aggregation: "
+              "pairwise masks over %zu params\n\n",
+              kDevices, dp_config.clip_norm, dp_config.noise_multiplier,
+              dim);
+
+  // --- manual round loop: broadcast, local training, DP upload, MASKED
+  //     aggregation. The server-side sum never sees a single model.
+  core::ControllerConfig eval_controller_config;
+  core::EvalConfig eval_config;
+  eval_config.episode_intervals = 30;
+  const core::Evaluator evaluator(eval_controller_config, eval_config);
+
+  for (std::size_t round = 1; round <= kRounds; ++round) {
+    // Fresh masking session per round (fresh pairwise secrets).
+    fed::SecureAggregationSession session(kDevices, dim,
+                                          0xFEDABCD ^ round);
+    std::vector<std::vector<std::uint64_t>> masked;
+    for (std::size_t d = 0; d < kDevices; ++d) {
+      dp_clients[d]->receive_global(global);
+      dp_clients[d]->run_local_round();
+      // The device uploads ONLY the masked fixed-point payload.
+      masked.push_back(
+          session.masked_payload(d, dp_clients[d]->local_parameters()));
+    }
+    global = session.unmask_mean(masked);
+
+    if (round % 10 == 0) {
+      const auto result = evaluator.run_episode(
+          evaluator.neural_policy(global), suite[round % suite.size()],
+          1000 + round);
+      std::printf("round %3zu  eval app %-10s reward %.3f  power %.3f W\n",
+                  round, result.app.c_str(), result.mean_reward,
+                  result.mean_power_w);
+    }
+  }
+
+  // --- final check across all twelve apps.
+  util::RunningStats reward;
+  util::RunningStats violation;
+  std::uint64_t seed = 9000;
+  for (const auto& app : suite) {
+    const auto r = evaluator.run_episode(evaluator.neural_policy(global),
+                                         app, seed++);
+    reward.add(r.mean_reward);
+    violation.add(r.violation_rate);
+  }
+  std::printf("\nfinal global policy over all 12 apps: reward %.3f, "
+              "violation rate %.3f\n",
+              reward.mean(), violation.mean());
+  std::printf("\nWhat the server saw each round: %zu payloads of %zu\n"
+              "uint64 words that are individually indistinguishable from\n"
+              "noise, whose sum is the (DP-noised) model average. Raw\n"
+              "traces never left the devices; individual models never\n"
+              "reached the server.\n",
+              kDevices, dim);
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "baselines/collab_policy.hpp"
+
+#include "util/assert.hpp"
+
+namespace fedpower::baselines {
+
+std::size_t policy_table_bytes(std::size_t state_count) noexcept {
+  return state_count * (sizeof(std::uint8_t) + sizeof(float) +
+                        sizeof(std::uint32_t));
+}
+
+CollabPolicyServer::CollabPolicyServer(std::size_t state_count)
+    : global_(state_count) {
+  FEDPOWER_EXPECTS(state_count > 0);
+}
+
+void CollabPolicyServer::aggregate(
+    const std::vector<std::vector<PolicyEntry>>& locals) {
+  FEDPOWER_EXPECTS(!locals.empty());
+  for (const auto& local : locals)
+    FEDPOWER_EXPECTS(local.size() == global_.size());
+
+  for (std::size_t s = 0; s < global_.size(); ++s) {
+    std::uint64_t visits = 0;
+    double reward_sum = 0.0;
+    double best_reward = 0.0;
+    std::uint8_t best_action = 0;
+    bool any = false;
+    for (const auto& local : locals) {
+      const PolicyEntry& entry = local[s];
+      if (entry.visits == 0) continue;
+      visits += entry.visits;
+      reward_sum +=
+          static_cast<double>(entry.mean_reward) * entry.visits;
+      if (!any || entry.mean_reward > best_reward) {
+        best_reward = entry.mean_reward;
+        best_action = entry.best_action;
+        any = true;
+      }
+    }
+    if (!any) continue;  // no client visited this state; keep previous entry
+    PolicyEntry merged;
+    merged.visits = static_cast<std::uint32_t>(
+        visits > 0xffffffffULL ? 0xffffffffULL : visits);
+    merged.mean_reward =
+        static_cast<float>(reward_sum / static_cast<double>(visits));
+    merged.best_action = best_action;
+    global_[s] = merged;
+  }
+}
+
+CollabProfitClient::CollabProfitClient(ProfitConfig config, util::Rng rng)
+    : local_(config, rng) {}
+
+bool CollabProfitClient::prefer_global(std::size_t state) const noexcept {
+  if (global_.empty() || global_[state].visits == 0) return false;
+  if (local_.table().state_visits(state) == 0) return true;
+  // Consult the policy that has seen higher average reward in this state.
+  return static_cast<double>(global_[state].mean_reward) >
+         local_.table().state_mean_reward(state);
+}
+
+std::size_t CollabProfitClient::select_action(
+    std::span<const double> features) {
+  const std::size_t s = local_.discretizer().index(features);
+  if (prefer_global(s)) {
+    used_global_ = true;
+    return global_[s].best_action;
+  }
+  used_global_ = false;
+  return local_.select_action(features);
+}
+
+std::size_t CollabProfitClient::greedy_action(
+    std::span<const double> features) const {
+  const std::size_t s = local_.discretizer().index(features);
+  if (prefer_global(s)) {
+    used_global_ = true;
+    return global_[s].best_action;
+  }
+  used_global_ = false;
+  return local_.greedy_action(features);
+}
+
+void CollabProfitClient::record(std::span<const double> features,
+                                std::size_t action, double reward) {
+  local_.record(features, action, reward);
+}
+
+std::vector<PolicyEntry> CollabProfitClient::export_policy() const {
+  const rl::QTable& table = local_.table();
+  std::vector<PolicyEntry> summary(table.states());
+  for (std::size_t s = 0; s < table.states(); ++s) {
+    const std::size_t visits = table.state_visits(s);
+    if (visits == 0) continue;
+    summary[s].best_action =
+        static_cast<std::uint8_t>(table.best_action(s));
+    summary[s].mean_reward =
+        static_cast<float>(table.state_mean_reward(s));
+    summary[s].visits = static_cast<std::uint32_t>(visits);
+  }
+  return summary;
+}
+
+void CollabProfitClient::receive_global(std::vector<PolicyEntry> global) {
+  FEDPOWER_EXPECTS(global.size() == local_.table().states());
+  global_ = std::move(global);
+}
+
+}  // namespace fedpower::baselines

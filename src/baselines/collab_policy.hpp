@@ -1,0 +1,87 @@
+// CollabPolicy: privacy-preserving collaborative power management in the
+// style of Tian et al. [11], grafted onto the Profit agent as the paper's
+// state-of-the-art comparison point, "Profit+CollabPolicy" (§IV-B).
+//
+// Each device trains a local value table and additionally holds a copy of a
+// global policy represented per state s by the tuple
+// (pi*(s), r-bar(s), n(s)): best action, average reward and visit count.
+// When choosing an action, the device consults whichever of the two knows
+// the current state better (higher average reward); after each round the
+// devices upload their per-state summaries — not raw traces — and the
+// server merges them by reward-weighted visit counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/profit.hpp"
+
+namespace fedpower::baselines {
+
+/// One state's entry of the shared global policy.
+struct PolicyEntry {
+  std::uint8_t best_action = 0;
+  float mean_reward = 0.0F;
+  std::uint32_t visits = 0;
+};
+
+/// Serialized size of a global-policy table (for traffic accounting).
+std::size_t policy_table_bytes(std::size_t state_count) noexcept;
+
+/// Central server: merges client policy summaries into the global policy.
+class CollabPolicyServer {
+ public:
+  explicit CollabPolicyServer(std::size_t state_count);
+
+  /// Merges one summary per client. For every state, visits accumulate, the
+  /// average reward is the visit-weighted mean, and the best action is taken
+  /// from the client reporting the highest average reward there.
+  void aggregate(const std::vector<std::vector<PolicyEntry>>& locals);
+
+  const std::vector<PolicyEntry>& global() const noexcept { return global_; }
+  std::size_t state_count() const noexcept { return global_.size(); }
+
+ private:
+  std::vector<PolicyEntry> global_;
+};
+
+/// A device-side controller combining a local Profit agent with the shared
+/// global policy.
+class CollabProfitClient {
+ public:
+  CollabProfitClient(ProfitConfig config, util::Rng rng);
+
+  /// Chooses an action: global policy's best action when the global policy
+  /// knows the state better than local experience, local epsilon-greedy
+  /// otherwise.
+  std::size_t select_action(std::span<const double> features);
+
+  /// Greedy evaluation action under the same local/global arbitration.
+  std::size_t greedy_action(std::span<const double> features) const;
+
+  /// Records an interaction in the local table.
+  void record(std::span<const double> features, std::size_t action,
+              double reward);
+
+  /// Per-state summary of the local policy for upload to the server.
+  std::vector<PolicyEntry> export_policy() const;
+
+  /// Installs the merged global policy received from the server.
+  void receive_global(std::vector<PolicyEntry> global);
+
+  const ProfitAgent& local_agent() const noexcept { return local_; }
+  ProfitAgent& local_agent() noexcept { return local_; }
+
+  /// True if the most recent select/greedy call consulted the global policy
+  /// (exposed for tests).
+  bool used_global() const noexcept { return used_global_; }
+
+ private:
+  bool prefer_global(std::size_t state) const noexcept;
+
+  ProfitAgent local_;
+  std::vector<PolicyEntry> global_;
+  mutable bool used_global_ = false;
+};
+
+}  // namespace fedpower::baselines

@@ -1,0 +1,56 @@
+#include "baselines/profit.hpp"
+
+#include "rl/policy.hpp"
+
+namespace fedpower::baselines {
+
+std::vector<double> profit_features(const sim::TelemetrySample& sample,
+                                    double f_max_mhz) {
+  return {sample.freq_mhz / f_max_mhz, sample.power_w, sample.ipc,
+          sample.mpki};
+}
+
+rl::Discretizer profit_discretizer(const ProfitConfig& config) {
+  return rl::Discretizer({
+      rl::DimensionSpec{0.0, 1.0, config.f_bins},
+      rl::DimensionSpec{0.1, 1.3, config.power_bins},
+      rl::DimensionSpec{0.0, 1.5, config.ipc_bins},
+      rl::DimensionSpec{0.0, 50.0, config.mpki_bins},
+  });
+}
+
+ProfitAgent::ProfitAgent(ProfitConfig config, util::Rng rng)
+    : config_(config),
+      rng_(rng),
+      discretizer_(profit_discretizer(config)),
+      table_(discretizer_.state_count(), config.action_count),
+      epsilon_schedule_(config.epsilon_max, config.epsilon_decay,
+                        config.epsilon_min),
+      reward_(config.p_crit_w, config.ips_scale) {
+  FEDPOWER_EXPECTS(config.action_count > 0);
+  FEDPOWER_EXPECTS(config.learning_rate > 0.0 && config.learning_rate <= 1.0);
+}
+
+double ProfitAgent::epsilon() const noexcept {
+  return epsilon_schedule_.value(step_);
+}
+
+std::size_t ProfitAgent::select_action(std::span<const double> features) {
+  const std::size_t s = discretizer_.index(features);
+  return rl::epsilon_greedy(table_.row(s), epsilon(), rng_);
+}
+
+std::size_t ProfitAgent::greedy_action(
+    std::span<const double> features) const {
+  return table_.best_action(discretizer_.index(features));
+}
+
+void ProfitAgent::record(std::span<const double> features, std::size_t action,
+                         double reward) {
+  FEDPOWER_EXPECTS(action < config_.action_count);
+  const std::size_t s = discretizer_.index(features);
+  table_.update(s, action, reward, config_.learning_rate);
+  ++step_;
+}
+
+}  // namespace fedpower::baselines

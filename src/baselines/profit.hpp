@@ -1,0 +1,77 @@
+// Profit [6]: the state-of-the-art single-device, table-based RL power
+// controller the paper compares against (§IV-B).
+//
+// State: (f, P, IPC, MPKI), discretized. Reward: IPS while under the power
+// constraint, -5 * |P_crit - P| on violation. Exploration: epsilon-greedy
+// with exponential decay (floor 0.01); learning rate 0.1.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rl/reward.hpp"
+#include "rl/schedule.hpp"
+#include "rl/tabular.hpp"
+#include "sim/telemetry.hpp"
+#include "util/rng.hpp"
+
+namespace fedpower::baselines {
+
+struct ProfitConfig {
+  std::size_t action_count = 15;
+  double learning_rate = 0.1;      // typical table-based value (paper §IV-B)
+  double epsilon_max = 0.9;
+  double epsilon_decay = 0.0005;
+  double epsilon_min = 0.01;       // paper §IV-B
+  double p_crit_w = 0.6;
+  double ips_scale = 1e9;          // normalizes IPS into the reward
+  /// Bins per state dimension (f, P, IPC, MPKI).
+  std::size_t f_bins = 5;
+  std::size_t power_bins = 6;
+  std::size_t ipc_bins = 5;
+  std::size_t mpki_bins = 5;
+};
+
+/// Profit's 4-feature state vector from telemetry: (f/f_max, P, IPC, MPKI).
+std::vector<double> profit_features(const sim::TelemetrySample& sample,
+                                    double f_max_mhz);
+
+/// The discretizer matching ProfitConfig's bin layout.
+rl::Discretizer profit_discretizer(const ProfitConfig& config);
+
+class ProfitAgent {
+ public:
+  ProfitAgent(ProfitConfig config, util::Rng rng);
+
+  /// Epsilon-greedy action for a (continuous) feature vector.
+  std::size_t select_action(std::span<const double> features);
+
+  /// Greedy action (evaluation behaviour).
+  std::size_t greedy_action(std::span<const double> features) const;
+
+  /// Records an interaction outcome and updates the Q-table.
+  void record(std::span<const double> features, std::size_t action,
+              double reward);
+
+  double epsilon() const noexcept;
+  std::size_t step_count() const noexcept { return step_; }
+  const rl::QTable& table() const noexcept { return table_; }
+  rl::QTable& table() noexcept { return table_; }
+  const rl::Discretizer& discretizer() const noexcept { return discretizer_; }
+  const ProfitConfig& config() const noexcept { return config_; }
+
+  /// Reward signal used by this agent.
+  const rl::ProfitReward& reward() const noexcept { return reward_; }
+
+ private:
+  ProfitConfig config_;
+  util::Rng rng_;
+  rl::Discretizer discretizer_;
+  rl::QTable table_;
+  rl::ExponentialDecay epsilon_schedule_;
+  rl::ProfitReward reward_;
+  std::size_t step_ = 0;
+};
+
+}  // namespace fedpower::baselines

@@ -1,0 +1,70 @@
+#include "core/controller.hpp"
+
+namespace fedpower::core {
+
+PowerController::PowerController(ControllerConfig config,
+                                 sim::CpuDevice* processor, util::Rng rng)
+    : config_(config),
+      processor_(processor),
+      agent_(config.agent, rng),
+      featurizer_(config.featurizer),
+      reward_(config.p_crit_w, config.k_offset_w,
+              config.featurizer.f_max_mhz) {
+  FEDPOWER_EXPECTS(processor != nullptr);
+  FEDPOWER_EXPECTS(config.agent.action_count == processor->vf_table().size());
+  FEDPOWER_EXPECTS(config.dvfs_interval_s > 0.0);
+  if (config.drift_adaptation) drift_.emplace(config.drift);
+}
+
+const sim::TelemetrySample& PowerController::observed_state() {
+  if (!have_state_) {
+    // Bootstrap: observe one interval at the current operating point before
+    // the first decision, so the agent has a state s_1 to act on.
+    last_sample_ = processor_->run_interval(config_.dvfs_interval_s);
+    have_state_ = true;
+  }
+  return last_sample_;
+}
+
+sim::TelemetrySample PowerController::step() {
+  const std::vector<double> features = featurizer_.featurize(observed_state());
+  const std::size_t action = agent_.select_action(features);
+  processor_->set_level(action);
+  const sim::TelemetrySample sample =
+      processor_->run_interval(config_.dvfs_interval_s);
+  last_reward_ = reward_(sample);
+  agent_.record(features, action, last_reward_);
+  if (drift_ && drift_->observe(last_reward_))
+    agent_.reheat(config_.reheat_tau);
+  last_sample_ = sample;
+  return sample;
+}
+
+void PowerController::run_steps(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) step();
+}
+
+sim::TelemetrySample PowerController::greedy_step() {
+  const std::vector<double> features = featurizer_.featurize(observed_state());
+  const std::size_t action = agent_.greedy_action(features);
+  processor_->set_level(action);
+  const sim::TelemetrySample sample =
+      processor_->run_interval(config_.dvfs_interval_s);
+  last_reward_ = reward_(sample);
+  last_sample_ = sample;
+  return sample;
+}
+
+void PowerController::receive_global(std::span<const double> params) {
+  agent_.set_parameters(params);
+}
+
+std::vector<double> PowerController::local_parameters() const {
+  return agent_.parameters();
+}
+
+std::size_t PowerController::local_sample_count() const {
+  return agent_.replay().size();
+}
+
+}  // namespace fedpower::core

@@ -1,0 +1,100 @@
+// The per-device power controller (paper §III-A): an RL agent that
+// alternates between observing the processor state and setting a V/f level
+// every DVFS interval, learning online which frequency keeps power just
+// below the constraint for the current workload.
+//
+// PowerController also implements fed::FederatedClient, so a set of
+// controllers can be handed directly to fed::FederatedAveraging — that
+// composition *is* the paper's federated power control (Fig. 1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include <optional>
+
+#include "fed/federation.hpp"
+#include "rl/drift.hpp"
+#include "rl/neural_agent.hpp"
+#include "rl/reward.hpp"
+#include "rl/state.hpp"
+#include "sim/device.hpp"
+
+namespace fedpower::core {
+
+/// Full configuration of one power controller; defaults are the paper's
+/// Table I.
+struct ControllerConfig {
+  rl::NeuralAgentConfig agent{};
+  rl::FeaturizerConfig featurizer{};
+  double p_crit_w = 0.6;            // power constraint
+  double k_offset_w = 0.05;         // reward ramp width
+  double dvfs_interval_s = 0.5;     // Delta_DVFS = 500 ms
+  std::size_t steps_per_round = 100;  // T
+  /// Optional extension (off in the paper): re-raise the exploration
+  /// temperature to reheat_tau when the reward drops persistently — i.e.
+  /// when the workload has shifted away from what the policy learned.
+  bool drift_adaptation = false;
+  rl::DriftConfig drift{};
+  double reheat_tau = 0.45;
+};
+
+class PowerController final : public fed::FederatedClient {
+ public:
+  /// The device is non-owning and must outlive the controller. Any
+  /// sim::CpuDevice works: the single-core Processor or the 4-core
+  /// MulticoreProcessor.
+  PowerController(ControllerConfig config, sim::CpuDevice* processor,
+                  util::Rng rng);
+
+  /// One training interaction (one iteration of Algorithm 1's loop):
+  /// observe state, sample an action from the softmax policy, execute it
+  /// for one DVFS interval, compute the reward and record the transition.
+  /// Returns the telemetry of the executed interval.
+  sim::TelemetrySample step();
+
+  /// Runs n training steps.
+  void run_steps(std::size_t n);
+
+  /// One greedy (evaluation) interaction: no exploration, no learning.
+  sim::TelemetrySample greedy_step();
+
+  // --- fed::FederatedClient --------------------------------------------
+  void receive_global(std::span<const double> params) override;
+  std::vector<double> local_parameters() const override;
+  void run_local_round() override { run_steps(config_.steps_per_round); }
+  std::size_t local_sample_count() const override;
+
+  // --- access ------------------------------------------------------------
+  rl::NeuralBanditAgent& agent() noexcept { return agent_; }
+  const rl::NeuralBanditAgent& agent() const noexcept { return agent_; }
+  sim::CpuDevice& device() noexcept { return *processor_; }
+  const rl::PaperReward& reward() const noexcept { return reward_; }
+  const rl::StateFeaturizer& featurizer() const noexcept {
+    return featurizer_;
+  }
+  const ControllerConfig& config() const noexcept { return config_; }
+
+  /// Reward of the most recent (training or greedy) step.
+  double last_reward() const noexcept { return last_reward_; }
+
+  /// Drift detections so far (0 unless drift_adaptation is enabled).
+  std::size_t drift_detections() const noexcept {
+    return drift_ ? drift_->detections() : 0;
+  }
+
+ private:
+  const sim::TelemetrySample& observed_state();
+
+  ControllerConfig config_;
+  sim::CpuDevice* processor_;
+  rl::NeuralBanditAgent agent_;
+  rl::StateFeaturizer featurizer_;
+  rl::PaperReward reward_;
+  std::optional<rl::DriftMonitor> drift_;
+  sim::TelemetrySample last_sample_{};
+  bool have_state_ = false;
+  double last_reward_ = 0.0;
+};
+
+}  // namespace fedpower::core

@@ -1,0 +1,236 @@
+#include "core/experiment.hpp"
+
+#include "fed/federation.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace fedpower::core {
+
+namespace {
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                    (b * 0xbf58476d1ce4e5b9ULL);
+  return util::splitmix64(s);
+}
+
+/// One simulated device: processor + workload + neural power controller.
+struct NeuralDevice {
+  std::unique_ptr<sim::Processor> processor;
+  std::unique_ptr<sim::Workload> workload;
+  std::unique_ptr<PowerController> controller;
+};
+
+std::vector<NeuralDevice> make_neural_devices(
+    const ExperimentConfig& config,
+    const std::vector<std::vector<sim::AppProfile>>& device_apps) {
+  FEDPOWER_EXPECTS(!device_apps.empty());
+  util::Rng root(config.seed);
+  std::vector<NeuralDevice> devices;
+  devices.reserve(device_apps.size());
+  for (const auto& apps : device_apps) {
+    NeuralDevice device;
+    device.processor =
+        std::make_unique<sim::Processor>(config.processor, root.split());
+    device.workload = std::make_unique<sim::RandomWorkload>(apps);
+    device.processor->set_workload(device.workload.get());
+    device.controller = std::make_unique<PowerController>(
+        config.controller, device.processor.get(), root.split());
+    devices.push_back(std::move(device));
+  }
+  return devices;
+}
+
+Evaluator make_evaluator(const ExperimentConfig& config) {
+  EvalConfig eval = config.eval;
+  eval.processor = config.processor;
+  // Evaluation measures the policy, not silicon luck: use nominal variation.
+  eval.processor.power.variation = 1.0;
+  eval.dvfs_interval_s = config.controller.dvfs_interval_s;
+  return Evaluator(config.controller, eval);
+}
+
+void record_eval(RoundCurve& curve, const EvalResult& result) {
+  curve.reward.push_back(result.mean_reward);
+  curve.mean_freq_mhz.push_back(result.mean_freq_mhz);
+  curve.stddev_freq_mhz.push_back(result.stddev_freq_mhz);
+  curve.mean_power_w.push_back(result.mean_power_w);
+  curve.violation_rate.push_back(result.violation_rate);
+}
+
+}  // namespace
+
+FederatedRunResult run_federated(
+    const ExperimentConfig& config,
+    const std::vector<std::vector<sim::AppProfile>>& device_apps,
+    const std::vector<sim::AppProfile>& eval_apps, bool eval_each_round) {
+  FEDPOWER_EXPECTS(!eval_apps.empty() || !eval_each_round);
+  std::vector<NeuralDevice> devices =
+      make_neural_devices(config, device_apps);
+
+  fed::InProcessTransport transport;
+  std::vector<fed::FederatedClient*> clients;
+  clients.reserve(devices.size());
+  for (auto& device : devices) clients.push_back(device.controller.get());
+  fed::FederatedAveraging server(clients, &transport);
+  server.initialize(devices.front().controller->local_parameters());
+
+  const Evaluator evaluator = make_evaluator(config);
+  FederatedRunResult result;
+  result.devices.resize(devices.size());
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    server.run_round();
+    if (!eval_each_round) continue;
+    const sim::AppProfile& app = eval_apps[round % eval_apps.size()];
+    result.eval_app_per_round.push_back(app.name);
+    const PolicyFn policy = evaluator.neural_policy(server.global_model());
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      const EvalResult eval =
+          evaluator.run_episode(policy, app, mix_seed(config.seed, round, d));
+      record_eval(result.devices[d], eval);
+    }
+  }
+
+  result.global_params = server.global_model();
+  result.traffic = transport.stats();
+  return result;
+}
+
+LocalRunResult run_local_only(
+    const ExperimentConfig& config,
+    const std::vector<std::vector<sim::AppProfile>>& device_apps,
+    const std::vector<sim::AppProfile>& eval_apps, bool eval_each_round) {
+  FEDPOWER_EXPECTS(!eval_apps.empty() || !eval_each_round);
+  std::vector<NeuralDevice> devices =
+      make_neural_devices(config, device_apps);
+
+  const Evaluator evaluator = make_evaluator(config);
+  LocalRunResult result;
+  result.devices.resize(devices.size());
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    for (auto& device : devices) device.controller->run_local_round();
+    if (!eval_each_round) continue;
+    const sim::AppProfile& app = eval_apps[round % eval_apps.size()];
+    result.eval_app_per_round.push_back(app.name);
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      const PolicyFn policy = evaluator.neural_policy(
+          devices[d].controller->local_parameters());
+      const EvalResult eval =
+          evaluator.run_episode(policy, app, mix_seed(config.seed, round, d));
+      record_eval(result.devices[d], eval);
+    }
+  }
+
+  for (auto& device : devices)
+    result.final_params.push_back(device.controller->local_parameters());
+  return result;
+}
+
+namespace {
+
+/// Device running the Profit+CollabPolicy baseline.
+struct TabularDevice {
+  std::unique_ptr<sim::Processor> processor;
+  std::unique_ptr<sim::Workload> workload;
+  std::shared_ptr<baselines::CollabProfitClient> client;
+  sim::TelemetrySample last_sample{};
+  bool have_state = false;
+  double f_max_mhz = 0.0;
+  double dvfs_interval_s = 0.5;
+
+  void step() {
+    if (!have_state) {
+      last_sample = processor->run_interval(dvfs_interval_s);
+      have_state = true;
+    }
+    const std::vector<double> features =
+        baselines::profit_features(last_sample, f_max_mhz);
+    const std::size_t action = client->select_action(features);
+    processor->set_level(action);
+    const sim::TelemetrySample sample =
+        processor->run_interval(dvfs_interval_s);
+    const double reward = client->local_agent().reward()(sample);
+    client->record(features, action, reward);
+    last_sample = sample;
+  }
+};
+
+}  // namespace
+
+PolicyFn CollabRunResult::policy(std::size_t device, double f_max_mhz) const {
+  FEDPOWER_EXPECTS(device < clients.size());
+  auto client = clients[device];
+  return [client, f_max_mhz](const sim::TelemetrySample& sample) {
+    return client->greedy_action(
+        baselines::profit_features(sample, f_max_mhz));
+  };
+}
+
+CollabRunResult run_collab_profit(
+    const ExperimentConfig& config,
+    const std::vector<std::vector<sim::AppProfile>>& device_apps) {
+  FEDPOWER_EXPECTS(!device_apps.empty());
+  util::Rng root(config.seed);
+
+  baselines::ProfitConfig profit_config;
+  profit_config.action_count = config.processor.vf_table.size();
+  profit_config.p_crit_w = config.controller.p_crit_w;
+
+  std::vector<TabularDevice> devices;
+  devices.reserve(device_apps.size());
+  for (const auto& apps : device_apps) {
+    TabularDevice device;
+    device.processor =
+        std::make_unique<sim::Processor>(config.processor, root.split());
+    device.workload = std::make_unique<sim::RandomWorkload>(apps);
+    device.processor->set_workload(device.workload.get());
+    device.client = std::make_shared<baselines::CollabProfitClient>(
+        profit_config, root.split());
+    device.f_max_mhz = config.processor.vf_table.f_max_mhz();
+    device.dvfs_interval_s = config.controller.dvfs_interval_s;
+    devices.push_back(std::move(device));
+  }
+
+  baselines::CollabPolicyServer server(
+      devices.front().client->local_agent().discretizer().state_count());
+
+  const std::size_t steps = config.controller.steps_per_round;
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    std::vector<std::vector<baselines::PolicyEntry>> summaries;
+    summaries.reserve(devices.size());
+    for (auto& device : devices) {
+      for (std::size_t t = 0; t < steps; ++t) device.step();
+      summaries.push_back(device.client->export_policy());
+    }
+    server.aggregate(summaries);
+    for (auto& device : devices)
+      device.client->receive_global(server.global());
+  }
+
+  CollabRunResult result;
+  for (auto& device : devices) result.clients.push_back(device.client);
+  return result;
+}
+
+std::vector<AppMetrics> evaluate_apps(const Evaluator& evaluator,
+                                      const PolicyFn& policy,
+                                      const std::vector<sim::AppProfile>& apps,
+                                      std::uint64_t seed) {
+  std::vector<AppMetrics> metrics;
+  metrics.reserve(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const EvalResult result =
+        evaluator.run_to_completion(policy, apps[i], mix_seed(seed, i, 0));
+    AppMetrics m;
+    m.app = result.app;
+    m.exec_time_s = result.exec_time_s;
+    m.ips = result.mean_ips;
+    m.power_w = result.mean_power_w;
+    metrics.push_back(std::move(m));
+  }
+  return metrics;
+}
+
+}  // namespace fedpower::core

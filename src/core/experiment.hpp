@@ -1,0 +1,102 @@
+// Experiment runners reproducing the paper's evaluation protocol (§IV).
+// These are shared between the benchmark harnesses, the examples and the
+// integration tests, so every consumer measures the exact same procedure:
+//
+//   * run_federated     — N devices + FedAvg server (the paper's technique),
+//                         optional per-round greedy evaluation of the global
+//                         policy (Fig. 3 right column, Fig. 4).
+//   * run_local_only    — the same devices with no collaboration
+//                         (Fig. 3 left column).
+//   * run_collab_profit — the Profit+CollabPolicy state of the art
+//                         (Table III, Fig. 5).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/collab_policy.hpp"
+#include "core/controller.hpp"
+#include "core/evaluate.hpp"
+#include "fed/transport.hpp"
+#include "sim/application.hpp"
+
+namespace fedpower::core {
+
+struct ExperimentConfig {
+  ControllerConfig controller{};
+  sim::ProcessorConfig processor{};
+  EvalConfig eval{};
+  std::size_t rounds = 100;  // R
+  std::uint64_t seed = 42;
+};
+
+/// Per-round evaluation curves of one device's policy.
+struct RoundCurve {
+  std::vector<double> reward;
+  std::vector<double> mean_freq_mhz;
+  std::vector<double> stddev_freq_mhz;
+  std::vector<double> mean_power_w;
+  std::vector<double> violation_rate;
+};
+
+struct FederatedRunResult {
+  std::vector<RoundCurve> devices;         ///< global policy, per device
+  std::vector<double> global_params;       ///< final global model
+  fed::TrafficStats traffic;
+  std::vector<std::string> eval_app_per_round;
+};
+
+struct LocalRunResult {
+  std::vector<RoundCurve> devices;          ///< each device's own policy
+  std::vector<std::vector<double>> final_params;
+  std::vector<std::string> eval_app_per_round;
+};
+
+/// Trains the federated power control. device_apps[i] is the training
+/// application set of device i; eval_apps drives the per-round evaluation
+/// (cycling one app per round, as in §IV-A). Pass eval_each_round = false
+/// to skip evaluation (faster, e.g. for Table III).
+FederatedRunResult run_federated(
+    const ExperimentConfig& config,
+    const std::vector<std::vector<sim::AppProfile>>& device_apps,
+    const std::vector<sim::AppProfile>& eval_apps, bool eval_each_round);
+
+/// Trains one isolated controller per device (no server, no averaging).
+LocalRunResult run_local_only(
+    const ExperimentConfig& config,
+    const std::vector<std::vector<sim::AppProfile>>& device_apps,
+    const std::vector<sim::AppProfile>& eval_apps, bool eval_each_round);
+
+/// Result of training the Profit+CollabPolicy baseline: per-device policies
+/// ready for evaluation.
+struct CollabRunResult {
+  std::vector<std::shared_ptr<baselines::CollabProfitClient>> clients;
+  /// Greedy evaluation policy of device i (local/global arbitration, no
+  /// exploration).
+  PolicyFn policy(std::size_t device, double f_max_mhz) const;
+};
+
+/// Trains the state-of-the-art baseline with the same round structure
+/// (R rounds of T steps, aggregation after each round).
+CollabRunResult run_collab_profit(
+    const ExperimentConfig& config,
+    const std::vector<std::vector<sim::AppProfile>>& device_apps);
+
+/// Per-application completion metrics of a policy (Table III rows, Fig. 5
+/// bars): mean over devices is up to the caller.
+struct AppMetrics {
+  std::string app;
+  double exec_time_s = 0.0;
+  double ips = 0.0;
+  double power_w = 0.0;
+};
+
+/// Runs every application to completion under the given policy and reports
+/// the Table III metrics.
+std::vector<AppMetrics> evaluate_apps(const Evaluator& evaluator,
+                                      const PolicyFn& policy,
+                                      const std::vector<sim::AppProfile>& apps,
+                                      std::uint64_t seed);
+
+}  // namespace fedpower::core

@@ -1,0 +1,114 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace fedpower::core {
+
+CurveSummary summarize(const RoundCurve& curve, std::size_t tail) {
+  FEDPOWER_EXPECTS(!curve.reward.empty());
+  const std::size_t n = curve.reward.size();
+  FEDPOWER_EXPECTS(curve.mean_power_w.size() == n &&
+                   curve.mean_freq_mhz.size() == n &&
+                   curve.violation_rate.size() == n);
+  const std::size_t from = (tail == 0 || tail >= n) ? 0 : n - tail;
+
+  util::RunningStats reward;
+  util::RunningStats power;
+  util::RunningStats freq;
+  util::RunningStats violation;
+  for (std::size_t r = from; r < n; ++r) {
+    reward.add(curve.reward[r]);
+    power.add(curve.mean_power_w[r]);
+    freq.add(curve.mean_freq_mhz[r]);
+    violation.add(curve.violation_rate[r]);
+  }
+  CurveSummary summary;
+  summary.mean_reward = reward.mean();
+  summary.min_reward = reward.min();
+  summary.mean_power_w = power.mean();
+  summary.mean_freq_mhz = freq.mean();
+  summary.violation_rate = violation.mean();
+  summary.rounds = n - from;
+  return summary;
+}
+
+CurveSummary summarize(const std::vector<RoundCurve>& devices,
+                       std::size_t tail) {
+  FEDPOWER_EXPECTS(!devices.empty());
+  CurveSummary total;
+  double min_reward = 2.0;
+  for (const RoundCurve& curve : devices) {
+    const CurveSummary s = summarize(curve, tail);
+    total.mean_reward += s.mean_reward;
+    total.mean_power_w += s.mean_power_w;
+    total.mean_freq_mhz += s.mean_freq_mhz;
+    total.violation_rate += s.violation_rate;
+    total.rounds = s.rounds;
+    min_reward = std::min(min_reward, s.min_reward);
+  }
+  const double inv = 1.0 / static_cast<double>(devices.size());
+  total.mean_reward *= inv;
+  total.mean_power_w *= inv;
+  total.mean_freq_mhz *= inv;
+  total.violation_rate *= inv;
+  total.min_reward = min_reward;
+  return total;
+}
+
+AppMetricsSummary summarize(const std::vector<AppMetrics>& metrics) {
+  FEDPOWER_EXPECTS(!metrics.empty());
+  AppMetricsSummary summary;
+  util::RunningStats time;
+  util::RunningStats ips;
+  util::RunningStats power;
+  for (const AppMetrics& m : metrics) {
+    time.add(m.exec_time_s);
+    ips.add(m.ips);
+    power.add(m.power_w);
+  }
+  summary.mean_exec_time_s = time.mean();
+  summary.mean_ips = ips.mean();
+  summary.mean_power_w = power.mean();
+  summary.max_exec_time_s = time.max();
+  return summary;
+}
+
+std::vector<AppComparison> compare(const std::vector<AppMetrics>& baseline,
+                                   const std::vector<AppMetrics>& candidate) {
+  FEDPOWER_EXPECTS(baseline.size() == candidate.size());
+  std::vector<AppComparison> comparisons;
+  comparisons.reserve(baseline.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    FEDPOWER_EXPECTS(baseline[i].app == candidate[i].app);
+    AppComparison c;
+    c.app = baseline[i].app;
+    c.exec_time_change_pct = util::percent_change(baseline[i].exec_time_s,
+                                                  candidate[i].exec_time_s);
+    c.ips_change_pct =
+        util::percent_change(baseline[i].ips, candidate[i].ips);
+    c.power_delta_w = candidate[i].power_w - baseline[i].power_w;
+    comparisons.push_back(std::move(c));
+  }
+  return comparisons;
+}
+
+ComparisonSummary summarize(const std::vector<AppComparison>& comparisons) {
+  FEDPOWER_EXPECTS(!comparisons.empty());
+  ComparisonSummary summary;
+  util::RunningStats time;
+  util::RunningStats ips;
+  for (const AppComparison& c : comparisons) {
+    time.add(c.exec_time_change_pct);
+    ips.add(c.ips_change_pct);
+  }
+  summary.mean_exec_time_change_pct = time.mean();
+  summary.best_exec_time_change_pct = time.min();
+  summary.mean_ips_change_pct = ips.mean();
+  summary.best_ips_change_pct = ips.max();
+  return summary;
+}
+
+}  // namespace fedpower::core

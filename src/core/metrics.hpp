@@ -1,0 +1,68 @@
+// Programmatic summaries of experiment results — the library counterpart
+// of the tables in EXPERIMENTS.md. Benches, examples and downstream tools
+// aggregate RoundCurves and per-app metrics the same way instead of
+// hand-rolling loops.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace fedpower::core {
+
+/// Aggregate of one device's evaluation curve (optionally restricted to
+/// the trailing `tail` rounds; tail = 0 means all rounds).
+struct CurveSummary {
+  double mean_reward = 0.0;
+  double min_reward = 0.0;
+  double mean_power_w = 0.0;
+  double mean_freq_mhz = 0.0;
+  double violation_rate = 0.0;
+  std::size_t rounds = 0;
+};
+
+/// Summarizes one curve; tail = 0 uses every round.
+CurveSummary summarize(const RoundCurve& curve, std::size_t tail = 0);
+
+/// Element-wise mean summary over several devices' curves (all curves must
+/// have equal length; at least one device).
+CurveSummary summarize(const std::vector<RoundCurve>& devices,
+                       std::size_t tail = 0);
+
+/// Aggregate of per-application completion metrics (Table III shape).
+struct AppMetricsSummary {
+  double mean_exec_time_s = 0.0;
+  double mean_ips = 0.0;
+  double mean_power_w = 0.0;
+  double max_exec_time_s = 0.0;
+};
+
+AppMetricsSummary summarize(const std::vector<AppMetrics>& metrics);
+
+/// Per-app relative comparison of two techniques (baseline vs candidate),
+/// matched by application name. Percentages follow util::percent_change
+/// (negative exec-time change = candidate is faster).
+struct AppComparison {
+  std::string app;
+  double exec_time_change_pct = 0.0;
+  double ips_change_pct = 0.0;
+  double power_delta_w = 0.0;
+};
+
+/// Requires both vectors to cover the same apps in the same order.
+std::vector<AppComparison> compare(const std::vector<AppMetrics>& baseline,
+                                   const std::vector<AppMetrics>& candidate);
+
+/// Headline over a comparison: mean and best-case changes (the Fig. 5
+/// aggregates).
+struct ComparisonSummary {
+  double mean_exec_time_change_pct = 0.0;
+  double best_exec_time_change_pct = 0.0;  ///< most negative (fastest win)
+  double mean_ips_change_pct = 0.0;
+  double best_ips_change_pct = 0.0;        ///< most positive
+};
+
+ComparisonSummary summarize(const std::vector<AppComparison>& comparisons);
+
+}  // namespace fedpower::core

@@ -1,0 +1,39 @@
+#include "core/scenario.hpp"
+
+#include "sim/splash2.hpp"
+#include "util/assert.hpp"
+
+namespace fedpower::core {
+
+std::vector<Scenario> table2_scenarios() {
+  return {
+      Scenario{"1", {{"fft", "lu"}, {"raytrace", "volrend"}}},
+      Scenario{"2", {{"water-ns", "water-sp"}, {"ocean", "radix"}}},
+      Scenario{"3", {{"fmm", "radiosity"}, {"barnes", "cholesky"}}},
+  };
+}
+
+Scenario six_app_split() {
+  return Scenario{
+      "six-apps",
+      {{"fft", "lu", "raytrace", "volrend", "water-ns", "water-sp"},
+       {"ocean", "radix", "fmm", "radiosity", "barnes", "cholesky"}}};
+}
+
+std::vector<std::vector<sim::AppProfile>> resolve(const Scenario& scenario) {
+  std::vector<std::vector<sim::AppProfile>> result;
+  result.reserve(scenario.device_apps.size());
+  for (const auto& names : scenario.device_apps) {
+    std::vector<sim::AppProfile> apps;
+    apps.reserve(names.size());
+    for (const auto& name : names) {
+      auto app = sim::splash2_app(name);
+      FEDPOWER_ASSERT(app.has_value());
+      apps.push_back(std::move(*app));
+    }
+    result.push_back(std::move(apps));
+  }
+  return result;
+}
+
+}  // namespace fedpower::core

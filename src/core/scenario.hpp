@@ -1,0 +1,32 @@
+// Training scenarios from the paper's evaluation.
+//
+// Table II assigns two training applications to each of the two devices per
+// scenario; all twelve SPLASH-2 applications are used for evaluation. The
+// six-apps-per-device split of §IV-B (Fig. 5) covers every evaluation
+// application on exactly one device.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/application.hpp"
+
+namespace fedpower::core {
+
+struct Scenario {
+  std::string name;
+  /// Training application names, one list per device.
+  std::vector<std::vector<std::string>> device_apps;
+};
+
+/// The three scenarios of Table II (two devices, two apps each).
+std::vector<Scenario> table2_scenarios();
+
+/// The §IV-B split: six applications per device, disjoint, covering all 12.
+Scenario six_app_split();
+
+/// Resolves application names to profiles from the SPLASH-2 suite;
+/// aborts on unknown names.
+std::vector<std::vector<sim::AppProfile>> resolve(const Scenario& scenario);
+
+}  // namespace fedpower::core

@@ -1,0 +1,102 @@
+#include "fed/aggregate.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace fedpower::fed {
+
+std::vector<double> average_unweighted(
+    const std::vector<std::vector<double>>& models) {
+  FEDPOWER_EXPECTS(!models.empty());
+  const std::size_t dim = models.front().size();
+  std::vector<double> global(dim, 0.0);
+  for (const auto& model : models) {
+    FEDPOWER_EXPECTS(model.size() == dim);
+    for (std::size_t i = 0; i < dim; ++i) global[i] += model[i];
+  }
+  const double inv_n = 1.0 / static_cast<double>(models.size());
+  for (double& p : global) p *= inv_n;
+  return global;
+}
+
+std::vector<double> average_weighted(
+    const std::vector<std::vector<double>>& models,
+    std::span<const double> weights) {
+  FEDPOWER_EXPECTS(!models.empty());
+  FEDPOWER_EXPECTS(weights.size() == models.size());
+  const std::size_t dim = models.front().size();
+  double weight_sum = 0.0;
+  for (const double w : weights) {
+    FEDPOWER_EXPECTS(w >= 0.0);
+    weight_sum += w;
+  }
+  FEDPOWER_EXPECTS(weight_sum > 0.0);
+  std::vector<double> global(dim, 0.0);
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    FEDPOWER_EXPECTS(models[m].size() == dim);
+    const double w = weights[m] / weight_sum;
+    for (std::size_t i = 0; i < dim; ++i) global[i] += w * models[m][i];
+  }
+  return global;
+}
+
+namespace {
+
+/// Collects coordinate i of every model into a scratch buffer.
+void gather_coordinate(const std::vector<std::vector<double>>& models,
+                       std::size_t i, std::vector<double>& scratch) {
+  scratch.clear();
+  for (const auto& model : models) scratch.push_back(model[i]);
+}
+
+}  // namespace
+
+std::vector<double> aggregate_median(
+    const std::vector<std::vector<double>>& models) {
+  FEDPOWER_EXPECTS(!models.empty());
+  const std::size_t dim = models.front().size();
+  for (const auto& model : models) FEDPOWER_EXPECTS(model.size() == dim);
+  std::vector<double> global(dim);
+  std::vector<double> scratch;
+  scratch.reserve(models.size());
+  for (std::size_t i = 0; i < dim; ++i) {
+    gather_coordinate(models, i, scratch);
+    const std::size_t mid = scratch.size() / 2;
+    std::nth_element(scratch.begin(),
+                     scratch.begin() + static_cast<std::ptrdiff_t>(mid),
+                     scratch.end());
+    if (scratch.size() % 2 == 1) {
+      global[i] = scratch[mid];
+    } else {
+      const double upper = scratch[mid];
+      const double lower = *std::max_element(
+          scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(mid));
+      global[i] = (lower + upper) / 2.0;
+    }
+  }
+  return global;
+}
+
+std::vector<double> aggregate_trimmed_mean(
+    const std::vector<std::vector<double>>& models, std::size_t trim_count) {
+  FEDPOWER_EXPECTS(!models.empty());
+  FEDPOWER_EXPECTS(2 * trim_count < models.size());
+  const std::size_t dim = models.front().size();
+  for (const auto& model : models) FEDPOWER_EXPECTS(model.size() == dim);
+  std::vector<double> global(dim);
+  std::vector<double> scratch;
+  scratch.reserve(models.size());
+  const std::size_t keep = models.size() - 2 * trim_count;
+  for (std::size_t i = 0; i < dim; ++i) {
+    gather_coordinate(models, i, scratch);
+    std::sort(scratch.begin(), scratch.end());
+    double sum = 0.0;
+    for (std::size_t k = trim_count; k < trim_count + keep; ++k)
+      sum += scratch[k];
+    global[i] = sum / static_cast<double>(keep);
+  }
+  return global;
+}
+
+}  // namespace fedpower::fed

@@ -1,0 +1,44 @@
+// Model aggregation rules. The paper uses unweighted federated averaging
+// (Algorithm 2, line 8: theta_{r+1} = 1/N * sum theta_r^n); a
+// sample-count-weighted variant (the original FedAvg of McMahan et al.) is
+// provided for the ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fedpower::fed {
+
+enum class AggregationMode {
+  kUnweightedMean,  ///< every client counts equally (the paper's choice)
+  kSampleWeighted,  ///< clients weighted by local sample counts
+  kCoordinateMedian,///< per-coordinate median (Byzantine-robust)
+  kTrimmedMean,     ///< per-coordinate 20%-trimmed mean (Byzantine-robust)
+};
+
+/// Element-wise mean of equally sized parameter vectors.
+/// Requires at least one vector; all must have the same length.
+std::vector<double> average_unweighted(
+    const std::vector<std::vector<double>>& models);
+
+/// Element-wise weighted mean; weights must be non-negative with a positive
+/// sum and match the number of models.
+std::vector<double> average_weighted(
+    const std::vector<std::vector<double>>& models,
+    std::span<const double> weights);
+
+/// Per-coordinate median. Robust to up to floor((N-1)/2) arbitrary
+/// (Byzantine) client models — the paper's §I threat model includes
+/// malicious participants, and plain averaging lets a single one steer the
+/// global policy anywhere.
+std::vector<double> aggregate_median(
+    const std::vector<std::vector<double>>& models);
+
+/// Per-coordinate trimmed mean: drops the trim_count smallest and largest
+/// values in every coordinate before averaging. Requires
+/// 2 * trim_count < N.
+std::vector<double> aggregate_trimmed_mean(
+    const std::vector<std::vector<double>>& models, std::size_t trim_count);
+
+}  // namespace fedpower::fed

@@ -1,0 +1,81 @@
+#include "fed/async.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace fedpower::fed {
+
+AsyncFederation::AsyncFederation(std::vector<FederatedClient*> clients,
+                                 std::vector<std::size_t> periods,
+                                 Transport* transport, AsyncConfig config)
+    : clients_(std::move(clients)),
+      periods_(std::move(periods)),
+      transport_(transport),
+      config_(config) {
+  FEDPOWER_EXPECTS(!clients_.empty());
+  FEDPOWER_EXPECTS(periods_.size() == clients_.size());
+  FEDPOWER_EXPECTS(transport_ != nullptr);
+  FEDPOWER_EXPECTS(config_.mixing_rate > 0.0 && config_.mixing_rate <= 1.0);
+  FEDPOWER_EXPECTS(config_.staleness_power >= 0.0);
+  for (const auto* client : clients_) FEDPOWER_EXPECTS(client != nullptr);
+  for (const std::size_t period : periods_) FEDPOWER_EXPECTS(period >= 1);
+  base_version_.assign(clients_.size(), 0);
+}
+
+void AsyncFederation::initialize(std::vector<double> global) {
+  FEDPOWER_EXPECTS(!global.empty());
+  global_ = std::move(global);
+  const std::vector<std::uint8_t> broadcast =
+      Float32Codec::instance().encode(global_);
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    const auto delivered =
+        transport_->transfer(Direction::kDownlink, broadcast);
+    clients_[c]->receive_global(Float32Codec::instance().decode(delivered));
+    base_version_[c] = 0;
+  }
+}
+
+void AsyncFederation::complete_round(std::size_t client) {
+  // Train on whatever global the client last fetched, then upload.
+  clients_[client]->run_local_round();
+  const auto payload = transport_->transfer(
+      Direction::kUplink,
+      Float32Codec::instance().encode(clients_[client]->local_parameters()));
+  const std::vector<double> local =
+      Float32Codec::instance().decode(payload);
+  FEDPOWER_ASSERT(local.size() == global_.size());
+
+  const double staleness = static_cast<double>(
+      stats_.server_version - base_version_[client]);
+  const double weight =
+      config_.mixing_rate /
+      std::pow(1.0 + staleness, config_.staleness_power);
+  for (std::size_t i = 0; i < global_.size(); ++i)
+    global_[i] = (1.0 - weight) * global_[i] + weight * local[i];
+
+  ++stats_.merges;
+  ++stats_.server_version;
+  staleness_sum_ += staleness;
+  stats_.max_staleness = std::max(stats_.max_staleness, staleness);
+  stats_.mean_staleness =
+      staleness_sum_ / static_cast<double>(stats_.merges);
+
+  // Fetch the fresh global for the next local round.
+  const auto delivered = transport_->transfer(
+      Direction::kDownlink, Float32Codec::instance().encode(global_));
+  clients_[client]->receive_global(
+      Float32Codec::instance().decode(delivered));
+  base_version_[client] = stats_.server_version;
+}
+
+void AsyncFederation::run_ticks(std::size_t n) {
+  FEDPOWER_EXPECTS(!global_.empty());
+  for (std::size_t t = 0; t < n; ++t) {
+    ++tick_;
+    for (std::size_t c = 0; c < clients_.size(); ++c)
+      if (tick_ % periods_[c] == 0) complete_round(c);
+  }
+}
+
+}  // namespace fedpower::fed

@@ -1,0 +1,73 @@
+// Asynchronous federated optimization (FedAsync-style).
+//
+// The paper's Algorithm 2 is synchronous: the server waits for all N
+// devices each round, so the fleet moves at the pace of its slowest
+// member. In deployments with heterogeneous devices the standard
+// alternative merges each upload the moment it arrives,
+//
+//   theta <- (1 - w) * theta + w * theta_client,
+//   w = mixing_rate / (1 + staleness)^staleness_power,
+//
+// where staleness counts how many server updates happened since the client
+// fetched the model it trained on. AsyncFederation simulates a fleet on a
+// discrete tick clock: a client with period p completes one local round
+// every p ticks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fed/federation.hpp"
+
+namespace fedpower::fed {
+
+struct AsyncConfig {
+  /// Base mixing rate for a fresh (staleness 0) update.
+  double mixing_rate = 0.5;
+  /// Exponent of the polynomial staleness discount.
+  double staleness_power = 1.0;
+};
+
+struct AsyncStats {
+  std::size_t merges = 0;            ///< uploads merged into the global
+  std::size_t server_version = 0;    ///< times the global model changed
+  double max_staleness = 0.0;        ///< worst staleness seen
+  double mean_staleness = 0.0;       ///< average staleness over merges
+};
+
+class AsyncFederation {
+ public:
+  /// clients[i] completes one local round every periods[i] ticks
+  /// (period >= 1; 1 = fastest). Clients and transport are non-owning.
+  AsyncFederation(std::vector<FederatedClient*> clients,
+                  std::vector<std::size_t> periods, Transport* transport,
+                  AsyncConfig config = {});
+
+  /// Sets the initial global model; every client immediately fetches it.
+  void initialize(std::vector<double> global);
+
+  /// Advances the tick clock by n ticks; clients whose period divides the
+  /// tick complete a round (train on their last-fetched model, upload,
+  /// get merged, fetch the fresh global).
+  void run_ticks(std::size_t n);
+
+  const std::vector<double>& global_model() const noexcept { return global_; }
+  const AsyncStats& stats() const noexcept { return stats_; }
+  std::size_t ticks() const noexcept { return tick_; }
+
+ private:
+  void complete_round(std::size_t client);
+
+  std::vector<FederatedClient*> clients_;
+  std::vector<std::size_t> periods_;
+  Transport* transport_;
+  AsyncConfig config_;
+  std::vector<double> global_;
+  /// Server version each client's in-progress round is based on.
+  std::vector<std::size_t> base_version_;
+  AsyncStats stats_;
+  double staleness_sum_ = 0.0;
+  std::size_t tick_ = 0;
+};
+
+}  // namespace fedpower::fed

@@ -1,0 +1,61 @@
+#include "fed/dp.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace fedpower::fed {
+
+double l2_norm(std::span<const double> v) noexcept {
+  double sum_sq = 0.0;
+  for (const double x : v) sum_sq += x * x;
+  return std::sqrt(sum_sq);
+}
+
+std::vector<double> clip_to_norm(std::vector<double> v, double max_norm) {
+  FEDPOWER_EXPECTS(max_norm > 0.0);
+  const double norm = l2_norm(v);
+  if (norm > max_norm) {
+    const double scale = max_norm / norm;
+    for (double& x : v) x *= scale;
+  }
+  return v;
+}
+
+DpClient::DpClient(FederatedClient* inner, DpConfig config)
+    : inner_(inner), config_(config), rng_(config.seed) {
+  FEDPOWER_EXPECTS(inner != nullptr);
+  FEDPOWER_EXPECTS(config.clip_norm > 0.0);
+  FEDPOWER_EXPECTS(config.noise_multiplier >= 0.0);
+}
+
+void DpClient::receive_global(std::span<const double> params) {
+  anchor_.assign(params.begin(), params.end());
+  inner_->receive_global(params);
+}
+
+std::vector<double> DpClient::local_parameters() const {
+  const std::vector<double> raw = inner_->local_parameters();
+  if (anchor_.empty()) {
+    // No global model received yet (round 0 initialization): nothing to
+    // privatize an update against; upload as-is.
+    last_update_norm_ = 0.0;
+    return raw;
+  }
+  FEDPOWER_EXPECTS(raw.size() == anchor_.size());
+  std::vector<double> update(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    update[i] = raw[i] - anchor_[i];
+  last_update_norm_ = l2_norm(update);
+  update = clip_to_norm(std::move(update), config_.clip_norm);
+  if (config_.noise_multiplier > 0.0) {
+    const double sigma = config_.noise_multiplier * config_.clip_norm;
+    for (double& x : update) x += rng_.normal(0.0, sigma);
+  }
+  std::vector<double> upload(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    upload[i] = anchor_[i] + update[i];
+  return upload;
+}
+
+}  // namespace fedpower::fed

@@ -1,0 +1,107 @@
+#include "fed/federation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace fedpower::fed {
+
+FederatedAveraging::FederatedAveraging(std::vector<FederatedClient*> clients,
+                                       Transport* transport,
+                                       AggregationMode mode,
+                                       const ModelCodec* codec)
+    : clients_(std::move(clients)),
+      transport_(transport),
+      mode_(mode),
+      codec_(codec != nullptr ? codec : &Float32Codec::instance()) {
+  FEDPOWER_EXPECTS(!clients_.empty());
+  FEDPOWER_EXPECTS(transport_ != nullptr);
+  for (const auto* client : clients_) FEDPOWER_EXPECTS(client != nullptr);
+}
+
+void FederatedAveraging::initialize(std::vector<double> global) {
+  FEDPOWER_EXPECTS(!global.empty());
+  global_ = std::move(global);
+}
+
+void FederatedAveraging::set_participation(double fraction,
+                                           std::uint64_t seed) {
+  FEDPOWER_EXPECTS(fraction > 0.0 && fraction <= 1.0);
+  participation_ = fraction;
+  participation_rng_ = util::Rng{seed};
+}
+
+std::vector<std::size_t> FederatedAveraging::draw_participants() {
+  std::vector<std::size_t> all(clients_.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  if (participation_ >= 1.0) return all;
+  const auto count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(participation_ * static_cast<double>(all.size()))));
+  participation_rng_.shuffle(all);
+  all.resize(count);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+RoundResult FederatedAveraging::run_round() {
+  FEDPOWER_EXPECTS(!global_.empty());
+  RoundResult result;
+  result.round = ++rounds_completed_;
+  result.participants = draw_participants();
+
+  // Broadcast theta_r to every participating client (Algorithm 2 line 3).
+  // Each client receives its own transfer, as over a real network.
+  const std::vector<std::uint8_t> broadcast = codec_->encode(global_);
+  for (const std::size_t i : result.participants) {
+    const auto delivered =
+        transport_->transfer(Direction::kDownlink, broadcast);
+    result.downlink_bytes += delivered.size();
+    clients_[i]->receive_global(codec_->decode(delivered));
+  }
+
+  // Local optimization (line 5) and upload (line 6). Aggregation is
+  // synchronous: the server waits for all participating local models.
+  std::vector<std::vector<double>> locals;
+  std::vector<double> weights;
+  locals.reserve(result.participants.size());
+  for (const std::size_t i : result.participants) {
+    clients_[i]->run_local_round();
+    const auto payload = transport_->transfer(
+        Direction::kUplink, codec_->encode(clients_[i]->local_parameters()));
+    result.uplink_bytes += payload.size();
+    locals.push_back(codec_->decode(payload));
+    weights.push_back(
+        static_cast<double>(clients_[i]->local_sample_count()));
+  }
+
+  // theta_{r+1} (line 8).
+  switch (mode_) {
+    case AggregationMode::kUnweightedMean:
+      global_ = average_unweighted(locals);
+      break;
+    case AggregationMode::kSampleWeighted:
+      global_ = average_weighted(locals, weights);
+      break;
+    case AggregationMode::kCoordinateMedian:
+      global_ = aggregate_median(locals);
+      break;
+    case AggregationMode::kTrimmedMean: {
+      // ~20% trimmed; degrades to the plain mean below three clients.
+      const std::size_t trim =
+          locals.size() >= 3 ? std::max<std::size_t>(1, locals.size() / 5)
+                             : 0;
+      global_ = aggregate_trimmed_mean(locals, trim);
+      break;
+    }
+  }
+  return result;
+}
+
+void FederatedAveraging::run(std::size_t rounds) {
+  for (std::size_t r = 0; r < rounds; ++r) run_round();
+}
+
+}  // namespace fedpower::fed

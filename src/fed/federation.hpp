@@ -1,0 +1,96 @@
+// Synchronous federated-averaging orchestration (paper Algorithm 2).
+//
+// Each round: the server broadcasts the global model to all clients; every
+// client trains locally (T environment steps in the power-control setting);
+// the clients upload their local models; the server averages them into the
+// next global model. Models cross the transport as float32 payloads
+// (nn/serialize.hpp), so the traffic statistics reflect real wire sizes.
+//
+// Privacy property enforced by construction: the only data type that can
+// cross the Transport is an encoded parameter vector — replay-buffer
+// contents (raw performance counters and power traces) have no path off
+// the device.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fed/aggregate.hpp"
+#include "fed/codec.hpp"
+#include "fed/transport.hpp"
+#include "util/rng.hpp"
+
+namespace fedpower::fed {
+
+/// A device participating in federated optimization.
+class FederatedClient {
+ public:
+  virtual ~FederatedClient() = default;
+
+  /// Installs the global model received from the server.
+  virtual void receive_global(std::span<const double> params) = 0;
+
+  /// Current local model parameters.
+  virtual std::vector<double> local_parameters() const = 0;
+
+  /// Performs one round of local optimization (Algorithm 2 line 5).
+  virtual void run_local_round() = 0;
+
+  /// Local training-set size for sample-weighted aggregation; the default
+  /// weights all clients equally.
+  virtual std::size_t local_sample_count() const { return 1; }
+};
+
+struct RoundResult {
+  std::size_t round = 0;
+  std::size_t uplink_bytes = 0;
+  std::size_t downlink_bytes = 0;
+  /// Clients selected this round (all of them unless partial participation
+  /// is configured).
+  std::vector<std::size_t> participants;
+};
+
+class FederatedAveraging {
+ public:
+  /// Clients, transport and codec are non-owning and must outlive the
+  /// federation. The default codec is the paper's float32 wire format.
+  FederatedAveraging(std::vector<FederatedClient*> clients,
+                     Transport* transport,
+                     AggregationMode mode = AggregationMode::kUnweightedMean,
+                     const ModelCodec* codec = nullptr);
+
+  /// Sets the initial global model theta_1 (Algorithm 2 line 1).
+  void initialize(std::vector<double> global);
+
+  /// Enables partial participation: each round, ceil(fraction * N) clients
+  /// (at least one) are drawn uniformly without replacement; only they
+  /// receive the broadcast, train and upload. The paper's setting is full
+  /// participation (fraction = 1, the default).
+  void set_participation(double fraction, std::uint64_t seed);
+
+  /// Runs one full round: broadcast, parallel local training, aggregation.
+  RoundResult run_round();
+
+  /// Runs the given number of rounds back to back.
+  void run(std::size_t rounds);
+
+  const std::vector<double>& global_model() const noexcept { return global_; }
+  std::size_t rounds_completed() const noexcept { return rounds_completed_; }
+  std::size_t client_count() const noexcept { return clients_.size(); }
+  const ModelCodec& codec() const noexcept { return *codec_; }
+
+ private:
+  std::vector<std::size_t> draw_participants();
+
+  std::vector<FederatedClient*> clients_;
+  Transport* transport_;
+  AggregationMode mode_;
+  const ModelCodec* codec_;
+  std::vector<double> global_;
+  std::size_t rounds_completed_ = 0;
+  double participation_ = 1.0;
+  util::Rng participation_rng_{0};
+};
+
+}  // namespace fedpower::fed

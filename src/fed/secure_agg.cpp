@@ -1,0 +1,87 @@
+#include "fed/secure_agg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace fedpower::fed {
+
+SecureAggregationSession::SecureAggregationSession(std::size_t client_count,
+                                                   std::size_t dimension,
+                                                   std::uint64_t round_secret,
+                                                   SecureAggConfig config)
+    : client_count_(client_count),
+      dimension_(dimension),
+      round_secret_(round_secret),
+      config_(config) {
+  FEDPOWER_EXPECTS(client_count >= 2);
+  FEDPOWER_EXPECTS(dimension > 0);
+  FEDPOWER_EXPECTS(config.clip > 0.0);
+  FEDPOWER_EXPECTS(config.resolution > 0.0);
+}
+
+std::vector<std::uint64_t> SecureAggregationSession::pair_mask(
+    std::size_t a, std::size_t b) const {
+  FEDPOWER_EXPECTS(a < b && b < client_count_);
+  // Derive the pairwise stream from (round_secret, a, b).
+  std::uint64_t seed = round_secret_;
+  seed ^= 0x9e3779b97f4a7c15ULL * (a + 1);
+  seed ^= 0xbf58476d1ce4e5b9ULL * (b + 1);
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> mask(dimension_);
+  for (auto& m : mask) m = rng.next_u64();
+  return mask;
+}
+
+std::vector<std::uint64_t> SecureAggregationSession::masked_payload(
+    std::size_t client, std::span<const double> params) const {
+  FEDPOWER_EXPECTS(client < client_count_);
+  FEDPOWER_EXPECTS(params.size() == dimension_);
+
+  std::vector<std::uint64_t> payload(dimension_);
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    const double clamped =
+        std::clamp(params[i], -config_.clip, config_.clip);
+    const auto fixed =
+        static_cast<std::int64_t>(std::llround(clamped / config_.resolution));
+    payload[i] = static_cast<std::uint64_t>(fixed);  // two's complement
+  }
+
+  for (std::size_t other = 0; other < client_count_; ++other) {
+    if (other == client) continue;
+    const std::size_t a = std::min(client, other);
+    const std::size_t b = std::max(client, other);
+    const std::vector<std::uint64_t> mask = pair_mask(a, b);
+    for (std::size_t i = 0; i < dimension_; ++i) {
+      if (client == a)
+        payload[i] += mask[i];  // wraps mod 2^64 by design
+      else
+        payload[i] -= mask[i];
+    }
+  }
+  return payload;
+}
+
+std::vector<double> SecureAggregationSession::unmask_mean(
+    const std::vector<std::vector<std::uint64_t>>& payloads) const {
+  if (payloads.size() != client_count_)
+    throw std::invalid_argument(
+        "secure aggregation requires one payload per client (no dropout)");
+  for (const auto& payload : payloads)
+    if (payload.size() != dimension_)
+      throw std::invalid_argument("secure aggregation payload size mismatch");
+
+  std::vector<double> mean(dimension_);
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    std::uint64_t sum = 0;
+    for (const auto& payload : payloads) sum += payload[i];  // masks cancel
+    const auto total = static_cast<std::int64_t>(sum);
+    mean[i] = static_cast<double>(total) * config_.resolution /
+              static_cast<double>(client_count_);
+  }
+  return mean;
+}
+
+}  // namespace fedpower::fed

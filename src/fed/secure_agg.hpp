@@ -1,0 +1,67 @@
+// Secure aggregation via pairwise additive masking (Bonawitz et al.,
+// CCS'17, simplified).
+//
+// The paper's privacy argument is that only model weights leave a device.
+// Secure aggregation strengthens it: the server learns *only the sum* of
+// the client models, never an individual one. Every ordered client pair
+// (i, j), i < j, derives a shared mask from a pairwise secret; i adds the
+// mask to its payload and j subtracts it, so the masks cancel exactly in
+// the sum. Cancellation must be exact, hence arithmetic is fixed-point
+// modulo 2^64, not floating point.
+//
+// Simplifications vs. the full protocol: pairwise secrets are modeled as a
+// pre-shared round secret (no Diffie-Hellman key agreement), and dropout
+// recovery (secret sharing of masks) is not implemented — all clients must
+// deliver, matching the paper's synchronous full-participation setting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fedpower::fed {
+
+struct SecureAggConfig {
+  /// Parameters are clipped to [-clip, clip] before fixed-point encoding.
+  double clip = 8.0;
+  /// Fixed-point resolution (quantization step).
+  double resolution = 1e-6;
+};
+
+class SecureAggregationSession {
+ public:
+  /// One session per round: client_count participants, model dimension,
+  /// and the round's shared secret (models the pre-agreed pairwise keys).
+  SecureAggregationSession(std::size_t client_count, std::size_t dimension,
+                           std::uint64_t round_secret,
+                           SecureAggConfig config = {});
+
+  /// Client-side: fixed-point encoding of params plus this client's
+  /// pairwise masks. The result is indistinguishable from noise without
+  /// the other clients' payloads.
+  std::vector<std::uint64_t> masked_payload(
+      std::size_t client, std::span<const double> params) const;
+
+  /// Server-side: element-wise *mean* of all client parameter vectors.
+  /// Requires exactly one payload per client (dropout unsupported);
+  /// throws std::invalid_argument otherwise.
+  std::vector<double> unmask_mean(
+      const std::vector<std::vector<std::uint64_t>>& payloads) const;
+
+  std::size_t client_count() const noexcept { return client_count_; }
+  std::size_t dimension() const noexcept { return dimension_; }
+  const SecureAggConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Mask shared by the pair (a, b), a < b; added by a, subtracted by b.
+  std::vector<std::uint64_t> pair_mask(std::size_t a, std::size_t b) const;
+
+  std::size_t client_count_;
+  std::size_t dimension_;
+  std::uint64_t round_secret_;
+  SecureAggConfig config_;
+};
+
+}  // namespace fedpower::fed

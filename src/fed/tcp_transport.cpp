@@ -1,0 +1,153 @@
+#include "fed/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fedpower::fed {
+
+namespace {
+
+void write_all(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n <= 0) throw std::runtime_error("tcp transport: write failed");
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+bool read_all(int fd, void* data, std::size_t size) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::read(fd, p, size);
+    if (n == 0) return false;  // orderly peer close
+    if (n < 0) throw std::runtime_error("tcp transport: read failed");
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+constexpr std::size_t kMaxFrameBytes = 64 * 1024 * 1024;
+
+}  // namespace
+
+TcpReflector::TcpReflector() {
+  listener_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener_ < 0) throw std::runtime_error("tcp reflector: socket failed");
+  const int reuse = 1;
+  ::setsockopt(listener_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof reuse);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(listener_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    throw std::runtime_error("tcp reflector: bind failed");
+  socklen_t len = sizeof addr;
+  ::getsockname(listener_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listener_, 8) != 0)
+    throw std::runtime_error("tcp reflector: listen failed");
+  running_ = true;
+  thread_ = std::thread([this] { serve(); });
+}
+
+TcpReflector::~TcpReflector() { stop(); }
+
+void TcpReflector::stop() {
+  if (!running_.exchange(false)) return;
+  // Closing the listener unblocks accept().
+  ::shutdown(listener_, SHUT_RDWR);
+  ::close(listener_);
+  if (thread_.joinable()) thread_.join();
+}
+
+void TcpReflector::serve() {
+  while (running_) {
+    const int conn = ::accept(listener_, nullptr, nullptr);
+    if (conn < 0) break;  // listener closed by stop()
+    // Echo frames until the client closes.
+    try {
+      for (;;) {
+        std::uint32_t frame_len = 0;
+        if (!read_all(conn, &frame_len, sizeof frame_len)) break;
+        if (frame_len > kMaxFrameBytes) break;  // protocol violation
+        std::vector<std::uint8_t> frame(frame_len);
+        if (frame_len > 0 && !read_all(conn, frame.data(), frame_len)) break;
+        write_all(conn, &frame_len, sizeof frame_len);
+        if (frame_len > 0) write_all(conn, frame.data(), frame_len);
+        ++frames_;
+      }
+    } catch (const std::runtime_error&) {
+      // Connection error: drop this client, keep serving.
+    }
+    ::close(conn);
+  }
+}
+
+TcpTransport::TcpTransport(const std::string& host, std::uint16_t port) {
+  socket_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (socket_ < 0) throw std::runtime_error("tcp transport: socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(socket_);
+    throw std::runtime_error("tcp transport: bad address " + host);
+  }
+  if (::connect(socket_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(socket_);
+    throw std::runtime_error("tcp transport: connect failed");
+  }
+  const int nodelay = 1;
+  ::setsockopt(socket_, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
+}
+
+TcpTransport::~TcpTransport() {
+  if (socket_ >= 0) ::close(socket_);
+}
+
+std::vector<std::uint8_t> TcpTransport::transfer(
+    Direction direction, std::vector<std::uint8_t> payload) {
+  if (payload.size() + 1 > kMaxFrameBytes)
+    throw std::runtime_error("tcp transport: payload too large");
+  // Frame: u32 length of (direction byte + payload), then the bytes.
+  const auto frame_len = static_cast<std::uint32_t>(payload.size() + 1);
+  std::vector<std::uint8_t> frame;
+  frame.reserve(sizeof frame_len + frame_len);
+  frame.resize(sizeof frame_len);
+  std::memcpy(frame.data(), &frame_len, sizeof frame_len);
+  frame.push_back(direction == Direction::kUplink ? 0 : 1);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  write_all(socket_, frame.data(), frame.size());
+
+  std::uint32_t echoed_len = 0;
+  if (!read_all(socket_, &echoed_len, sizeof echoed_len))
+    throw std::runtime_error("tcp transport: peer closed");
+  if (echoed_len != frame_len)
+    throw std::runtime_error("tcp transport: echo length mismatch");
+  std::vector<std::uint8_t> echoed(echoed_len);
+  if (!read_all(socket_, echoed.data(), echoed_len))
+    throw std::runtime_error("tcp transport: peer closed mid-frame");
+  if (echoed[0] != (direction == Direction::kUplink ? 0 : 1))
+    throw std::runtime_error("tcp transport: echo direction mismatch");
+
+  if (direction == Direction::kUplink) {
+    ++stats_.uplink_transfers;
+    stats_.uplink_bytes += payload.size();
+  } else {
+    ++stats_.downlink_transfers;
+    stats_.downlink_bytes += payload.size();
+  }
+  return {echoed.begin() + 1, echoed.end()};
+}
+
+}  // namespace fedpower::fed

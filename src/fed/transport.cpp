@@ -1,0 +1,28 @@
+#include "fed/transport.hpp"
+
+namespace fedpower::fed {
+
+InProcessTransport::InProcessTransport(double base_latency_s,
+                                       double bandwidth_bytes_per_s)
+    : base_latency_s_(base_latency_s),
+      bandwidth_bytes_per_s_(bandwidth_bytes_per_s) {
+  FEDPOWER_EXPECTS(base_latency_s >= 0.0);
+  FEDPOWER_EXPECTS(bandwidth_bytes_per_s > 0.0);
+}
+
+std::vector<std::uint8_t> InProcessTransport::transfer(
+    Direction direction, std::vector<std::uint8_t> payload) {
+  const std::size_t bytes = payload.size();
+  if (direction == Direction::kUplink) {
+    ++stats_.uplink_transfers;
+    stats_.uplink_bytes += bytes;
+  } else {
+    ++stats_.downlink_transfers;
+    stats_.downlink_bytes += bytes;
+  }
+  stats_.total_latency_s +=
+      base_latency_s_ + static_cast<double>(bytes) / bandwidth_bytes_per_s_;
+  return payload;
+}
+
+}  // namespace fedpower::fed

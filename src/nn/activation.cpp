@@ -1,0 +1,48 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+
+namespace fedpower::nn {
+
+Matrix Relu::forward(const Matrix& input) {
+  input_ = input;
+  Matrix out = input;
+  for (double& x : out.data())
+    if (x < 0.0) x = 0.0;
+  return out;
+}
+
+Matrix Relu::backward(const Matrix& grad_output) {
+  FEDPOWER_EXPECTS(grad_output.same_shape(input_));
+  Matrix grad_in = grad_output;
+  for (std::size_t i = 0; i < grad_in.data().size(); ++i)
+    if (input_.data()[i] <= 0.0) grad_in.data()[i] = 0.0;
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Relu::clone() const {
+  return std::make_unique<Relu>(*this);
+}
+
+Matrix Tanh::forward(const Matrix& input) {
+  Matrix out = input;
+  for (double& x : out.data()) x = std::tanh(x);
+  output_ = out;
+  return out;
+}
+
+Matrix Tanh::backward(const Matrix& grad_output) {
+  FEDPOWER_EXPECTS(grad_output.same_shape(output_));
+  Matrix grad_in = grad_output;
+  for (std::size_t i = 0; i < grad_in.data().size(); ++i) {
+    const double y = output_.data()[i];
+    grad_in.data()[i] *= 1.0 - y * y;
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Tanh::clone() const {
+  return std::make_unique<Tanh>(*this);
+}
+
+}  // namespace fedpower::nn

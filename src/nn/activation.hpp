@@ -1,0 +1,40 @@
+// Parameter-free activation layers.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fedpower::nn {
+
+/// Rectified linear unit, the activation the paper's policy network uses.
+class Relu final : public Layer {
+ public:
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::size_t param_count() const noexcept override { return 0; }
+  void copy_params_to(std::span<double>) const override {}
+  void set_params_from(std::span<const double>) override {}
+  void copy_grads_to(std::span<double>) const override {}
+  void zero_grads() noexcept override {}
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Matrix input_;
+};
+
+/// Hyperbolic tangent (available for ablations; the paper uses ReLU).
+class Tanh final : public Layer {
+ public:
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::size_t param_count() const noexcept override { return 0; }
+  void copy_params_to(std::span<double>) const override {}
+  void set_params_from(std::span<const double>) override {}
+  void copy_grads_to(std::span<double>) const override {}
+  void zero_grads() noexcept override {}
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Matrix output_;
+};
+
+}  // namespace fedpower::nn

@@ -1,0 +1,28 @@
+#include "nn/checkpoint.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+
+namespace fedpower::nn {
+
+void save_parameters(const std::string& path,
+                     std::span<const double> params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
+  const std::vector<std::uint8_t> payload = encode_parameters(params);
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+std::vector<double> load_parameters(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::vector<std::uint8_t> payload(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return decode_parameters(payload);
+}
+
+}  // namespace fedpower::nn

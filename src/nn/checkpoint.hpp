@@ -1,0 +1,21 @@
+// Model checkpointing: persist a parameter vector to disk and restore it.
+// Uses the same float32 payload as the federated wire format, so a saved
+// checkpoint is byte-identical to what a device would upload — convenient
+// for offline inspection of federated rounds.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fedpower::nn {
+
+/// Writes parameters to the given path; throws std::runtime_error on I/O
+/// failure.
+void save_parameters(const std::string& path, std::span<const double> params);
+
+/// Reads parameters back; throws std::runtime_error on I/O failure and
+/// std::invalid_argument on malformed content.
+std::vector<double> load_parameters(const std::string& path);
+
+}  // namespace fedpower::nn

@@ -1,0 +1,94 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+namespace fedpower::nn {
+
+LossResult MseLoss::evaluate(const Matrix& prediction,
+                             const Matrix& target) const {
+  FEDPOWER_EXPECTS(prediction.same_shape(target));
+  FEDPOWER_EXPECTS(!prediction.empty());
+  LossResult result;
+  result.grad = Matrix(prediction.rows(), prediction.cols());
+  const double n = static_cast<double>(prediction.size());
+  for (std::size_t i = 0; i < prediction.size(); ++i) {
+    const double e = prediction.data()[i] - target.data()[i];
+    result.value += 0.5 * e * e;
+    result.grad.data()[i] = e / n;
+  }
+  result.value /= n;
+  return result;
+}
+
+LossResult MseLoss::evaluate_masked(const Matrix& prediction,
+                                    const std::vector<std::size_t>& actions,
+                                    const std::vector<double>& targets) const {
+  FEDPOWER_EXPECTS(actions.size() == prediction.rows());
+  FEDPOWER_EXPECTS(targets.size() == prediction.rows());
+  FEDPOWER_EXPECTS(!actions.empty());
+  LossResult result;
+  result.grad = Matrix(prediction.rows(), prediction.cols());
+  const double n = static_cast<double>(prediction.rows());
+  for (std::size_t r = 0; r < prediction.rows(); ++r) {
+    const std::size_t a = actions[r];
+    FEDPOWER_EXPECTS(a < prediction.cols());
+    const double e = prediction(r, a) - targets[r];
+    result.value += 0.5 * e * e;
+    result.grad(r, a) = e / n;
+  }
+  result.value /= n;
+  return result;
+}
+
+HuberLoss::HuberLoss(double delta) : delta_(delta) {
+  FEDPOWER_EXPECTS(delta > 0.0);
+}
+
+double HuberLoss::pointwise(double error) const noexcept {
+  const double abs_e = std::abs(error);
+  if (abs_e <= delta_) return 0.5 * error * error;
+  return delta_ * (abs_e - 0.5 * delta_);
+}
+
+double HuberLoss::derivative(double error) const noexcept {
+  if (std::abs(error) <= delta_) return error;
+  return error > 0.0 ? delta_ : -delta_;
+}
+
+LossResult HuberLoss::evaluate(const Matrix& prediction,
+                               const Matrix& target) const {
+  FEDPOWER_EXPECTS(prediction.same_shape(target));
+  FEDPOWER_EXPECTS(!prediction.empty());
+  LossResult result;
+  result.grad = Matrix(prediction.rows(), prediction.cols());
+  const double n = static_cast<double>(prediction.size());
+  for (std::size_t i = 0; i < prediction.size(); ++i) {
+    const double e = prediction.data()[i] - target.data()[i];
+    result.value += pointwise(e);
+    result.grad.data()[i] = derivative(e) / n;
+  }
+  result.value /= n;
+  return result;
+}
+
+LossResult HuberLoss::evaluate_masked(const Matrix& prediction,
+                                      const std::vector<std::size_t>& actions,
+                                      const std::vector<double>& targets) const {
+  FEDPOWER_EXPECTS(actions.size() == prediction.rows());
+  FEDPOWER_EXPECTS(targets.size() == prediction.rows());
+  FEDPOWER_EXPECTS(!actions.empty());
+  LossResult result;
+  result.grad = Matrix(prediction.rows(), prediction.cols());
+  const double n = static_cast<double>(prediction.rows());
+  for (std::size_t r = 0; r < prediction.rows(); ++r) {
+    const std::size_t a = actions[r];
+    FEDPOWER_EXPECTS(a < prediction.cols());
+    const double e = prediction(r, a) - targets[r];
+    result.value += pointwise(e);
+    result.grad(r, a) = derivative(e) / n;
+  }
+  result.value /= n;
+  return result;
+}
+
+}  // namespace fedpower::nn

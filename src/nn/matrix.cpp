@@ -1,0 +1,114 @@
+#include "nn/matrix.hpp"
+
+namespace fedpower::nn {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ > 0 ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    FEDPOWER_EXPECTS(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::row_vector(const std::vector<double>& values) {
+  Matrix m(1, values.size());
+  m.data_ = values;
+  return m;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  FEDPOWER_EXPECTS(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = data_[r * cols_ + k];
+      if (a == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* orow = &out.data_[r * other.cols_];
+      for (std::size_t c = 0; c < other.cols_; ++c) orow[c] += a * brow[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose_matmul(const Matrix& other) const {
+  FEDPOWER_EXPECTS(rows_ == other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const double* arow = &data_[k * cols_];
+    const double* brow = &other.data_[k * other.cols_];
+    for (std::size_t r = 0; r < cols_; ++r) {
+      const double a = arow[r];
+      if (a == 0.0) continue;
+      double* orow = &out.data_[r * other.cols_];
+      for (std::size_t c = 0; c < other.cols_; ++c) orow[c] += a * brow[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transpose(const Matrix& other) const {
+  FEDPOWER_EXPECTS(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* arow = &data_[r * cols_];
+    for (std::size_t c = 0; c < other.rows_; ++c) {
+      const double* brow = &other.data_[c * other.cols_];
+      double acc = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) acc += arow[k] * brow[k];
+      out.data_[r * other.rows_ + c] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  FEDPOWER_EXPECTS(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  FEDPOWER_EXPECTS(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) noexcept {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Matrix Matrix::hadamard(const Matrix& other) const {
+  FEDPOWER_EXPECTS(same_shape(other));
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] *= other.data_[i];
+  return out;
+}
+
+void Matrix::add_row_broadcast(const Matrix& row) {
+  FEDPOWER_EXPECTS(row.rows() == 1 && row.cols() == cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      data_[r * cols_ + c] += row.data_[c];
+}
+
+Matrix Matrix::column_sums() const {
+  Matrix out(1, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      out.data_[c] += data_[r * cols_ + c];
+  return out;
+}
+
+}  // namespace fedpower::nn

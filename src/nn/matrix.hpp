@@ -1,0 +1,90 @@
+// Dense row-major matrix of doubles. Deliberately small: the policy networks
+// in this library are tiny (hundreds of parameters), so we favour a clear,
+// assert-checked implementation over BLAS bindings.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fedpower::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols matrix filled with the given value.
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested braces: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// A 1 x n row vector from a flat list of values.
+  static Matrix row_vector(const std::vector<double>& values);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    FEDPOWER_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    FEDPOWER_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::vector<double>& data() noexcept { return data_; }
+  const std::vector<double>& data() const noexcept { return data_; }
+
+  /// Matrix product this(r x k) * other(k x c).
+  Matrix matmul(const Matrix& other) const;
+
+  /// this^T * other, without materializing the transpose.
+  Matrix transpose_matmul(const Matrix& other) const;
+
+  /// this * other^T, without materializing the transpose.
+  Matrix matmul_transpose(const Matrix& other) const;
+
+  Matrix transpose() const;
+
+  /// Elementwise operations; shapes must match.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar) noexcept;
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  /// Elementwise (Hadamard) product.
+  Matrix hadamard(const Matrix& other) const;
+
+  /// Adds a 1 x cols row vector to every row (bias broadcast).
+  void add_row_broadcast(const Matrix& row);
+
+  /// Sum over rows, yielding a 1 x cols vector (bias gradient).
+  Matrix column_sums() const;
+
+  bool same_shape(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace fedpower::nn

@@ -1,0 +1,92 @@
+#include "nn/mlp.hpp"
+
+#include "nn/activation.hpp"
+
+namespace fedpower::nn {
+
+Mlp::Mlp(std::vector<std::unique_ptr<Layer>> layers)
+    : layers_(std::move(layers)) {}
+
+Mlp::Mlp(const Mlp& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
+}
+
+Mlp& Mlp::operator=(const Mlp& other) {
+  if (this == &other) return *this;
+  Mlp copy(other);
+  layers_ = std::move(copy.layers_);
+  return *this;
+}
+
+Matrix Mlp::forward(const Matrix& input) {
+  Matrix activation = input;
+  for (const auto& layer : layers_) activation = layer->forward(activation);
+  return activation;
+}
+
+Matrix Mlp::backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    grad = (*it)->backward(grad);
+  return grad;
+}
+
+std::size_t Mlp::param_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) total += layer->param_count();
+  return total;
+}
+
+std::vector<double> Mlp::parameters() const {
+  std::vector<double> flat(param_count());
+  std::size_t offset = 0;
+  for (const auto& layer : layers_) {
+    const std::size_t n = layer->param_count();
+    layer->copy_params_to({flat.data() + offset, n});
+    offset += n;
+  }
+  return flat;
+}
+
+void Mlp::set_parameters(std::span<const double> params) {
+  FEDPOWER_EXPECTS(params.size() == param_count());
+  std::size_t offset = 0;
+  for (const auto& layer : layers_) {
+    const std::size_t n = layer->param_count();
+    layer->set_params_from(params.subspan(offset, n));
+    offset += n;
+  }
+}
+
+std::vector<double> Mlp::gradients() const {
+  std::vector<double> flat(param_count());
+  std::size_t offset = 0;
+  for (const auto& layer : layers_) {
+    const std::size_t n = layer->param_count();
+    layer->copy_grads_to({flat.data() + offset, n});
+    offset += n;
+  }
+  return flat;
+}
+
+void Mlp::zero_gradients() noexcept {
+  for (const auto& layer : layers_) layer->zero_grads();
+}
+
+Mlp make_mlp(std::size_t input, const std::vector<std::size_t>& hidden_sizes,
+             std::size_t output, util::Rng& rng, Init init) {
+  FEDPOWER_EXPECTS(input > 0 && output > 0);
+  std::vector<std::unique_ptr<Layer>> layers;
+  std::size_t in = input;
+  for (const std::size_t h : hidden_sizes) {
+    FEDPOWER_EXPECTS(h > 0);
+    layers.push_back(std::make_unique<Dense>(in, h, init, rng));
+    layers.push_back(std::make_unique<Relu>());
+    in = h;
+  }
+  layers.push_back(std::make_unique<Dense>(in, output, init, rng));
+  return Mlp{std::move(layers)};
+}
+
+}  // namespace fedpower::nn

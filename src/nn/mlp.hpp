@@ -1,0 +1,57 @@
+// Sequential multi-layer perceptron with flat parameter access. The flat
+// view is what makes federated averaging trivial: the server averages plain
+// vectors without knowing the network topology.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/dense.hpp"
+#include "nn/layer.hpp"
+
+namespace fedpower::nn {
+
+class Mlp {
+ public:
+  Mlp() = default;
+  explicit Mlp(std::vector<std::unique_ptr<Layer>> layers);
+
+  Mlp(const Mlp& other);
+  Mlp& operator=(const Mlp& other);
+  Mlp(Mlp&&) noexcept = default;
+  Mlp& operator=(Mlp&&) noexcept = default;
+
+  /// Runs the full stack; caches per-layer activations for backward().
+  Matrix forward(const Matrix& input);
+
+  /// Back-propagates dLoss/dOutput, accumulating gradients in every layer,
+  /// and returns dLoss/dInput.
+  Matrix backward(const Matrix& grad_output);
+
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+  std::size_t param_count() const noexcept;
+
+  /// Gathers all parameters into one flat vector (layer order, W then b).
+  std::vector<double> parameters() const;
+
+  /// Scatters a flat vector back into the layers.
+  void set_parameters(std::span<const double> params);
+
+  /// Gathers accumulated gradients (same layout as parameters()).
+  std::vector<double> gradients() const;
+
+  void zero_gradients() noexcept;
+
+  bool empty() const noexcept { return layers_.empty(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Builds the paper's policy-network shape: input -> [hidden + ReLU]* ->
+/// linear output head. hidden_sizes may be empty for a linear model.
+Mlp make_mlp(std::size_t input, const std::vector<std::size_t>& hidden_sizes,
+             std::size_t output, util::Rng& rng, Init init = Init::kHe);
+
+}  // namespace fedpower::nn

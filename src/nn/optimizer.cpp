@@ -1,0 +1,64 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace fedpower::nn {
+
+Sgd::Sgd(double learning_rate, double momentum)
+    : lr_(learning_rate), momentum_(momentum) {
+  FEDPOWER_EXPECTS(learning_rate > 0.0);
+  FEDPOWER_EXPECTS(momentum >= 0.0 && momentum < 1.0);
+}
+
+void Sgd::step(std::vector<double>& params, const std::vector<double>& grads) {
+  FEDPOWER_EXPECTS(params.size() == grads.size());
+  if (momentum_ == 0.0) {
+    for (std::size_t i = 0; i < params.size(); ++i)
+      params[i] -= lr_ * grads[i];
+    return;
+  }
+  if (velocity_.size() != params.size()) velocity_.assign(params.size(), 0.0);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    velocity_[i] = momentum_ * velocity_[i] + grads[i];
+    params[i] -= lr_ * velocity_[i];
+  }
+}
+
+void Sgd::reset() noexcept { velocity_.clear(); }
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
+  FEDPOWER_EXPECTS(learning_rate > 0.0);
+  FEDPOWER_EXPECTS(beta1 >= 0.0 && beta1 < 1.0);
+  FEDPOWER_EXPECTS(beta2 >= 0.0 && beta2 < 1.0);
+  FEDPOWER_EXPECTS(epsilon > 0.0);
+}
+
+void Adam::step(std::vector<double>& params, const std::vector<double>& grads) {
+  FEDPOWER_EXPECTS(params.size() == grads.size());
+  if (m_.size() != params.size()) {
+    m_.assign(params.size(), 0.0);
+    v_.assign(params.size(), 0.0);
+    t_ = 0;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grads[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grads[i] * grads[i];
+    const double m_hat = m_[i] / bc1;
+    const double v_hat = v_[i] / bc2;
+    params[i] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+  }
+}
+
+void Adam::reset() noexcept {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+}  // namespace fedpower::nn

@@ -1,0 +1,63 @@
+// First-order optimizers operating on flat parameter/gradient vectors.
+// The paper trains the policy network with Adam (§III-C).
+#pragma once
+
+#include <vector>
+
+namespace fedpower::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update step in place. params and grads must have equal,
+  /// constant size across calls (the optimizer keeps per-parameter state).
+  virtual void step(std::vector<double>& params,
+                    const std::vector<double>& grads) = 0;
+
+  /// Clears momentum/moment state (e.g. when a fresh global model arrives
+  /// and the old curvature estimates no longer apply).
+  virtual void reset() noexcept = 0;
+};
+
+/// Plain stochastic gradient descent with optional momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate, double momentum = 0.0);
+
+  void step(std::vector<double>& params,
+            const std::vector<double>& grads) override;
+  void reset() noexcept override;
+
+  double learning_rate() const noexcept { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<double> velocity_;
+};
+
+/// Adam (Kingma & Ba, ICLR'15) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double learning_rate, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+
+  void step(std::vector<double>& params,
+            const std::vector<double>& grads) override;
+  void reset() noexcept override;
+
+  double learning_rate() const noexcept { return lr_; }
+  long step_count() const noexcept { return t_; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  long t_ = 0;
+  std::vector<double> m_;
+  std::vector<double> v_;
+};
+
+}  // namespace fedpower::nn

@@ -1,0 +1,78 @@
+#include "nn/serialize.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace fedpower::nn {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'F', 'P', 'N', 'N'};
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t offset) {
+  return static_cast<std::uint16_t>(in[offset] |
+                                    (static_cast<unsigned>(in[offset + 1]) << 8));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t offset) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | in[offset + static_cast<std::size_t>(i)];
+  return v;
+}
+
+}  // namespace
+
+std::size_t payload_size(std::size_t param_count) noexcept {
+  return kPayloadHeaderBytes + param_count * sizeof(float);
+}
+
+std::vector<std::uint8_t> encode_parameters(std::span<const double> params) {
+  FEDPOWER_EXPECTS(params.size() <= std::numeric_limits<std::uint32_t>::max());
+  std::vector<std::uint8_t> out;
+  out.reserve(payload_size(params.size()));
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  put_u16(out, kPayloadVersion);
+  put_u16(out, 0);  // reserved
+  put_u32(out, static_cast<std::uint32_t>(params.size()));
+  for (const double p : params) {
+    const auto bits = std::bit_cast<std::uint32_t>(static_cast<float>(p));
+    put_u32(out, bits);
+  }
+  return out;
+}
+
+std::vector<double> decode_parameters(std::span<const std::uint8_t> payload) {
+  if (payload.size() < kPayloadHeaderBytes)
+    throw std::invalid_argument("model payload truncated (header)");
+  if (std::memcmp(payload.data(), kMagic, sizeof kMagic) != 0)
+    throw std::invalid_argument("model payload has bad magic");
+  if (get_u16(payload, 4) != kPayloadVersion)
+    throw std::invalid_argument("model payload has unsupported version");
+  const std::uint32_t count = get_u32(payload, 8);
+  if (payload.size() != payload_size(count))
+    throw std::invalid_argument("model payload length mismatch");
+  std::vector<double> params(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t bits =
+        get_u32(payload, kPayloadHeaderBytes + i * sizeof(float));
+    params[i] = static_cast<double>(std::bit_cast<float>(bits));
+  }
+  return params;
+}
+
+}  // namespace fedpower::nn

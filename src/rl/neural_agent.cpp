@@ -1,0 +1,123 @@
+#include "rl/neural_agent.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/matrix.hpp"
+#include "rl/policy.hpp"
+
+namespace fedpower::rl {
+
+NeuralBanditAgent::NeuralBanditAgent(NeuralAgentConfig config, util::Rng rng)
+    : config_(config),
+      rng_(rng),
+      model_(nn::make_mlp(config.state_dim, config.hidden_sizes,
+                          config.action_count, rng_)),
+      loss_(config.huber_delta),
+      optimizer_(config.learning_rate),
+      replay_(config.replay_capacity, config.state_dim),
+      tau_schedule_(config.tau_max, config.tau_decay, config.tau_min) {
+  FEDPOWER_EXPECTS(config.state_dim > 0);
+  FEDPOWER_EXPECTS(config.action_count > 0);
+  FEDPOWER_EXPECTS(config.batch_size > 0);
+  FEDPOWER_EXPECTS(config.optimize_interval > 0);
+  FEDPOWER_EXPECTS(config.prox_mu >= 0.0);
+}
+
+std::vector<double> NeuralBanditAgent::predict(
+    std::span<const double> state) const {
+  FEDPOWER_EXPECTS(state.size() == config_.state_dim);
+  // forward() caches activations, which is irrelevant for inference; the
+  // model is logically const here.
+  auto& model = const_cast<nn::Mlp&>(model_);
+  const nn::Matrix out =
+      model.forward(nn::Matrix::row_vector({state.begin(), state.end()}));
+  return out.data();
+}
+
+std::size_t NeuralBanditAgent::select_action(std::span<const double> state) {
+  const std::vector<double> mu = predict(state);
+  if (config_.exploration == ExplorationMode::kEpsilonGreedy) {
+    const double epsilon = std::min(1.0, temperature());
+    return epsilon_greedy(mu, epsilon, rng_);
+  }
+  return sample_softmax(mu, temperature(), rng_);
+}
+
+std::size_t NeuralBanditAgent::greedy_action(
+    std::span<const double> state) const {
+  return argmax(predict(state));
+}
+
+double NeuralBanditAgent::temperature() const noexcept {
+  return tau_schedule_.value(step_);
+}
+
+void NeuralBanditAgent::record(std::span<const double> state,
+                               std::size_t action, double reward) {
+  FEDPOWER_EXPECTS(action < config_.action_count);
+  replay_.push(state, action, reward);
+  ++step_;  // Algorithm 1 line 9: the temperature decays once per step.
+  if (step_ % config_.optimize_interval == 0) train_step();
+}
+
+double NeuralBanditAgent::train_step() {
+  if (replay_.empty()) return 0.0;
+  const std::vector<Transition> batch =
+      replay_.sample(config_.batch_size, rng_);
+
+  nn::Matrix inputs(batch.size(), config_.state_dim);
+  std::vector<std::size_t> actions(batch.size());
+  std::vector<double> targets(batch.size());
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    for (std::size_t c = 0; c < config_.state_dim; ++c)
+      inputs(r, c) = batch[r].state[c];
+    actions[r] = batch[r].action;
+    targets[r] = batch[r].reward;
+  }
+
+  const nn::Matrix prediction = model_.forward(inputs);
+  const nn::LossResult loss = loss_.evaluate_masked(prediction, actions,
+                                                    targets);
+  model_.zero_gradients();
+  model_.backward(loss.grad);
+
+  std::vector<double> params = model_.parameters();
+  std::vector<double> grads = model_.gradients();
+  if (config_.prox_mu > 0.0 && global_anchor_.size() == params.size()) {
+    // FedProx: + mu/2 * ||theta - theta_global||^2 added to the loss.
+    for (std::size_t i = 0; i < params.size(); ++i)
+      grads[i] += config_.prox_mu * (params[i] - global_anchor_[i]);
+  }
+  optimizer_.step(params, grads);
+  model_.set_parameters(params);
+
+  ++updates_;
+  last_loss_ = loss.value;
+  return loss.value;
+}
+
+void NeuralBanditAgent::reheat(double target_tau) {
+  FEDPOWER_EXPECTS(target_tau > 0.0);
+  if (config_.tau_decay <= 0.0) return;
+  const double target =
+      std::clamp(target_tau, config_.tau_min, config_.tau_max);
+  // tau(step) = tau_max * exp(-decay * step)  =>  invert for step.
+  const double step =
+      std::log(config_.tau_max / target) / config_.tau_decay;
+  step_ = static_cast<std::size_t>(std::max(0.0, step));
+}
+
+void NeuralBanditAgent::set_parameters(std::span<const double> params) {
+  model_.set_parameters(params);
+  // The incoming parameters are an average of several local models; the
+  // optimizer's first/second-moment estimates were accumulated for the old
+  // weights and pushing the fresh weights along those stale directions
+  // destabilizes late training. Standard FedAvg clients restart optimizer
+  // state each round.
+  optimizer_.reset();
+  if (config_.prox_mu > 0.0)
+    global_anchor_.assign(params.begin(), params.end());
+}
+
+}  // namespace fedpower::rl

@@ -1,0 +1,107 @@
+// The neural contextual-bandit agent of the paper (Algorithm 1).
+//
+// A one-hidden-layer MLP mu(s, theta) estimates the expected immediate
+// reward of every V/f level in the current state. Exploration samples
+// actions from a softmax over the estimates with exponentially decaying
+// temperature; training minimizes the Huber loss between the estimate for
+// the taken action and the observed reward over replay-buffer batches, with
+// Adam, every H interactions.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "rl/replay_buffer.hpp"
+#include "rl/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace fedpower::rl {
+
+/// How training-time actions are drawn from the reward predictions.
+enum class ExplorationMode {
+  kSoftmax,        ///< Boltzmann sampling with decaying temperature (paper)
+  kEpsilonGreedy,  ///< epsilon-greedy with the same decay schedule (ablation)
+};
+
+/// Hyperparameters (defaults are the paper's Table I).
+struct NeuralAgentConfig {
+  std::size_t state_dim = 5;
+  std::size_t action_count = 15;
+  std::vector<std::size_t> hidden_sizes = {32};
+  double learning_rate = 0.005;    // alpha
+  double tau_max = 0.9;
+  double tau_decay = 0.0005;
+  double tau_min = 0.01;
+  std::size_t replay_capacity = 4000;  // C
+  std::size_t batch_size = 128;        // C_B
+  std::size_t optimize_interval = 20;  // H
+  double huber_delta = 1.0;
+  /// FedProx-style proximal term strength; 0 disables it (plain FedAvg
+  /// local training, as in the paper). Used only for the ablation bench.
+  double prox_mu = 0.0;
+  /// Exploration strategy. With kEpsilonGreedy the tau_* schedule fields
+  /// are reinterpreted as the epsilon schedule (clamped to <= 1).
+  ExplorationMode exploration = ExplorationMode::kSoftmax;
+};
+
+class NeuralBanditAgent {
+ public:
+  NeuralBanditAgent(NeuralAgentConfig config, util::Rng rng);
+
+  /// Softmax-explores an action for the given state (training behaviour).
+  std::size_t select_action(std::span<const double> state);
+
+  /// Greedy action (evaluation behaviour; no exploration, no learning).
+  std::size_t greedy_action(std::span<const double> state) const;
+
+  /// Predicted expected reward for every action in the given state.
+  std::vector<double> predict(std::span<const double> state) const;
+
+  /// Records the outcome of one interaction; advances the temperature
+  /// schedule and triggers a training update every optimize_interval steps.
+  void record(std::span<const double> state, std::size_t action,
+              double reward);
+
+  /// Runs one gradient update on a replay batch (no-op on empty buffer).
+  /// Returns the batch loss (0 if skipped).
+  double train_step();
+
+  /// Rewinds the temperature schedule so that the current temperature
+  /// becomes target_tau (clamped to [tau_min, tau_max]). Used by drift
+  /// adaptation to re-explore after a workload change; a no-op when the
+  /// schedule has zero decay.
+  void reheat(double target_tau);
+
+  // --- federation interface -------------------------------------------
+  std::vector<double> parameters() const { return model_.parameters(); }
+  void set_parameters(std::span<const double> params);
+  std::size_t param_count() const noexcept { return model_.param_count(); }
+
+  // --- inspection -------------------------------------------------------
+  double temperature() const noexcept;
+  std::size_t step_count() const noexcept { return step_; }
+  std::size_t update_count() const noexcept { return updates_; }
+  double last_loss() const noexcept { return last_loss_; }
+  const ReplayBuffer& replay() const noexcept { return replay_; }
+  const NeuralAgentConfig& config() const noexcept { return config_; }
+
+ private:
+  NeuralAgentConfig config_;
+  mutable util::Rng rng_;
+  nn::Mlp model_;
+  nn::HuberLoss loss_;
+  nn::Adam optimizer_;
+  ReplayBuffer replay_;
+  ExponentialDecay tau_schedule_;
+  std::vector<double> global_anchor_;  // FedProx anchor (empty if unused)
+  std::size_t step_ = 0;
+  std::size_t updates_ = 0;
+  double last_loss_ = 0.0;
+};
+
+}  // namespace fedpower::rl

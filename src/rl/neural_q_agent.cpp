@@ -1,0 +1,98 @@
+#include "rl/neural_q_agent.hpp"
+
+#include <algorithm>
+
+#include "nn/matrix.hpp"
+#include "rl/policy.hpp"
+
+namespace fedpower::rl {
+
+NeuralQAgent::NeuralQAgent(NeuralQConfig config, util::Rng rng)
+    : config_(config),
+      rng_(rng),
+      online_(nn::make_mlp(config.base.state_dim, config.base.hidden_sizes,
+                           config.base.action_count, rng_)),
+      target_(online_),
+      loss_(config.base.huber_delta),
+      optimizer_(config.base.learning_rate),
+      replay_(config.base.replay_capacity, config.base.state_dim),
+      tau_(config.base.tau_max, config.base.tau_decay, config.base.tau_min) {
+  FEDPOWER_EXPECTS(config.gamma >= 0.0 && config.gamma < 1.0);
+  FEDPOWER_EXPECTS(config.target_sync_interval > 0);
+}
+
+std::vector<double> NeuralQAgent::predict(
+    std::span<const double> state) const {
+  FEDPOWER_EXPECTS(state.size() == config_.base.state_dim);
+  auto& model = const_cast<nn::Mlp&>(online_);
+  return model.forward(nn::Matrix::row_vector({state.begin(), state.end()}))
+      .data();
+}
+
+std::size_t NeuralQAgent::select_action(std::span<const double> state) {
+  return sample_softmax(predict(state), temperature(), rng_);
+}
+
+std::size_t NeuralQAgent::greedy_action(
+    std::span<const double> state) const {
+  return argmax(predict(state));
+}
+
+void NeuralQAgent::record(std::span<const double> state, std::size_t action,
+                          double reward,
+                          std::span<const double> next_state) {
+  FEDPOWER_EXPECTS(action < config_.base.action_count);
+  replay_.push(state, action, reward, next_state);
+  ++step_;
+  if (step_ % config_.base.optimize_interval == 0) train_step();
+}
+
+double NeuralQAgent::train_step() {
+  if (replay_.empty()) return 0.0;
+  const std::vector<QTransition> batch =
+      replay_.sample(config_.base.batch_size, rng_);
+
+  const std::size_t dim = config_.base.state_dim;
+  nn::Matrix states(batch.size(), dim);
+  nn::Matrix next_states(batch.size(), dim);
+  std::vector<std::size_t> actions(batch.size());
+  std::vector<double> targets(batch.size());
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      states(r, c) = batch[r].state[c];
+      next_states(r, c) = batch[r].next_state[c];
+    }
+    actions[r] = batch[r].action;
+  }
+
+  // Bootstrapped targets from the frozen target network.
+  const nn::Matrix next_q = target_.forward(next_states);
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    double best = next_q(r, 0);
+    for (std::size_t a = 1; a < config_.base.action_count; ++a)
+      best = std::max(best, next_q(r, a));
+    targets[r] = batch[r].reward + config_.gamma * best;
+  }
+
+  const nn::Matrix prediction = online_.forward(states);
+  const nn::LossResult loss =
+      loss_.evaluate_masked(prediction, actions, targets);
+  online_.zero_gradients();
+  online_.backward(loss.grad);
+  std::vector<double> params = online_.parameters();
+  optimizer_.step(params, online_.gradients());
+  online_.set_parameters(params);
+
+  ++updates_;
+  if (updates_ % config_.target_sync_interval == 0) target_ = online_;
+  last_loss_ = loss.value;
+  return loss.value;
+}
+
+void NeuralQAgent::set_parameters(std::span<const double> params) {
+  online_.set_parameters(params);
+  target_.set_parameters(params);
+  optimizer_.reset();
+}
+
+}  // namespace fedpower::rl

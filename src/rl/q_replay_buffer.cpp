@@ -1,0 +1,75 @@
+#include "rl/q_replay_buffer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace fedpower::rl {
+
+QReplayBuffer::QReplayBuffer(std::size_t capacity, std::size_t state_dim)
+    : capacity_(capacity), state_dim_(state_dim) {
+  FEDPOWER_EXPECTS(capacity > 0);
+  FEDPOWER_EXPECTS(state_dim > 0);
+  states_.resize(capacity * state_dim);
+  next_states_.resize(capacity * state_dim);
+  actions_.resize(capacity);
+  rewards_.resize(capacity);
+}
+
+void QReplayBuffer::push(std::span<const double> state, std::size_t action,
+                         double reward, std::span<const double> next_state) {
+  FEDPOWER_EXPECTS(state.size() == state_dim_);
+  FEDPOWER_EXPECTS(next_state.size() == state_dim_);
+  FEDPOWER_EXPECTS(action <= 255);
+  float* s = &states_[head_ * state_dim_];
+  float* ns = &next_states_[head_ * state_dim_];
+  for (std::size_t i = 0; i < state_dim_; ++i) {
+    s[i] = static_cast<float>(state[i]);
+    ns[i] = static_cast<float>(next_state[i]);
+  }
+  actions_[head_] = static_cast<std::uint8_t>(action);
+  rewards_[head_] = static_cast<float>(reward);
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+QTransition QReplayBuffer::at(std::size_t index) const {
+  FEDPOWER_EXPECTS(index < size_);
+  const std::size_t base = size_ == capacity_ ? head_ : 0;
+  const std::size_t slot = (base + index) % capacity_;
+  QTransition t;
+  t.state.resize(state_dim_);
+  t.next_state.resize(state_dim_);
+  for (std::size_t i = 0; i < state_dim_; ++i) {
+    t.state[i] = static_cast<double>(states_[slot * state_dim_ + i]);
+    t.next_state[i] =
+        static_cast<double>(next_states_[slot * state_dim_ + i]);
+  }
+  t.action = actions_[slot];
+  t.reward = static_cast<double>(rewards_[slot]);
+  return t;
+}
+
+std::vector<QTransition> QReplayBuffer::sample(std::size_t n,
+                                               util::Rng& rng) const {
+  const std::size_t count = std::min(n, size_);
+  std::vector<std::size_t> indices(size_);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_index(size_ - i));
+    std::swap(indices[i], indices[j]);
+  }
+  std::vector<QTransition> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) batch.push_back(at(indices[i]));
+  return batch;
+}
+
+void QReplayBuffer::clear() noexcept {
+  head_ = 0;
+  size_ = 0;
+}
+
+}  // namespace fedpower::rl

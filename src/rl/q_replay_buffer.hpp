@@ -1,0 +1,51 @@
+// Replay buffer for full (bootstrapped) Q-learning: stores the successor
+// state alongside each transition. Used by NeuralQAgent; the paper's
+// contextual-bandit agent needs no successor states (footnote 2) and uses
+// the leaner ReplayBuffer.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fedpower::rl {
+
+struct QTransition {
+  std::vector<double> state;
+  std::size_t action = 0;
+  double reward = 0.0;
+  std::vector<double> next_state;
+};
+
+class QReplayBuffer {
+ public:
+  QReplayBuffer(std::size_t capacity, std::size_t state_dim);
+
+  void push(std::span<const double> state, std::size_t action, double reward,
+            std::span<const double> next_state);
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Uniform sample of min(n, size()) distinct transitions.
+  std::vector<QTransition> sample(std::size_t n, util::Rng& rng) const;
+
+  QTransition at(std::size_t index) const;
+
+  void clear() noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::size_t state_dim_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::vector<float> states_;
+  std::vector<float> next_states_;
+  std::vector<std::uint8_t> actions_;
+  std::vector<float> rewards_;
+};
+
+}  // namespace fedpower::rl

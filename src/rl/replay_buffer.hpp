@@ -1,0 +1,60 @@
+// Experience replay buffer (Lin, 1992). Stores the C most recent
+// state-action-reward samples from the interaction with the processor
+// (paper §III-A); the policy network trains on uniformly sampled batches.
+//
+// Samples are stored as float32 — the precision the paper's ~100 kB storage
+// figure implies for a 4000-entry, 5-feature buffer (§IV-C) — and widened
+// to double for training.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fedpower::rl {
+
+struct Transition {
+  std::vector<double> state;
+  std::size_t action = 0;
+  double reward = 0.0;
+};
+
+class ReplayBuffer {
+ public:
+  /// capacity: maximum number of retained transitions (C in the paper);
+  /// state_dim: dimensionality of the state vector.
+  ReplayBuffer(std::size_t capacity, std::size_t state_dim);
+
+  /// Appends a transition, evicting the oldest once at capacity.
+  void push(std::span<const double> state, std::size_t action, double reward);
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t state_dim() const noexcept { return state_dim_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Uniform sample of min(n, size()) distinct transitions.
+  std::vector<Transition> sample(std::size_t n, util::Rng& rng) const;
+
+  /// Transition by age-order index (0 = oldest retained).
+  Transition at(std::size_t index) const;
+
+  /// Storage footprint of the buffer contents at full capacity, in bytes
+  /// (float32 states + uint8 action + float32 reward per entry).
+  std::size_t storage_bytes() const noexcept;
+
+  void clear() noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::size_t state_dim_;
+  std::size_t head_ = 0;  // next slot to write
+  std::size_t size_ = 0;
+  std::vector<float> states_;    // capacity * state_dim, ring layout
+  std::vector<std::uint8_t> actions_;
+  std::vector<float> rewards_;
+};
+
+}  // namespace fedpower::rl

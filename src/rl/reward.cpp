@@ -1,0 +1,34 @@
+#include "rl/reward.hpp"
+
+#include <cmath>
+
+namespace fedpower::rl {
+
+PaperReward::PaperReward(double p_crit_w, double k_offset_w, double f_max_mhz)
+    : p_crit_(p_crit_w), k_offset_(k_offset_w), f_max_mhz_(f_max_mhz) {
+  FEDPOWER_EXPECTS(p_crit_w > 0.0);
+  FEDPOWER_EXPECTS(k_offset_w > 0.0);
+  FEDPOWER_EXPECTS(f_max_mhz > 0.0);
+}
+
+double PaperReward::evaluate(double freq_mhz, double power_w) const noexcept {
+  const double f_norm = freq_mhz / f_max_mhz_;
+  const double ramp = (p_crit_ + k_offset_ - power_w) / k_offset_;
+  if (power_w <= p_crit_) return f_norm;
+  if (power_w <= p_crit_ + k_offset_) return f_norm * ramp;
+  if (power_w <= p_crit_ + 2.0 * k_offset_) return ramp;
+  return -1.0;
+}
+
+ProfitReward::ProfitReward(double p_crit_w, double ips_scale)
+    : p_crit_(p_crit_w), ips_scale_(ips_scale) {
+  FEDPOWER_EXPECTS(p_crit_w > 0.0);
+  FEDPOWER_EXPECTS(ips_scale > 0.0);
+}
+
+double ProfitReward::evaluate(double ips, double power_w) const noexcept {
+  if (power_w <= p_crit_) return ips / ips_scale_;
+  return -5.0 * std::abs(p_crit_ - power_w);
+}
+
+}  // namespace fedpower::rl

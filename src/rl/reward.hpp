@@ -1,0 +1,66 @@
+// Reward signals.
+//
+// PaperReward implements Eq. (4): normalized frequency as the performance
+// surrogate while power stays under P_crit, then a soft ramp to -1 between
+// P_crit and P_crit + 2*k_offset. The soft ramp (rather than a hard penalty
+// cliff) is the paper's argument for power-efficient operation near the
+// threshold (§III-A).
+//
+// ProfitReward implements the reward of the Profit baseline [6]: IPS while
+// under the constraint, -5*|P_crit - P| on violation.
+#pragma once
+
+#include "sim/telemetry.hpp"
+#include "util/assert.hpp"
+
+namespace fedpower::rl {
+
+class RewardFunction {
+ public:
+  virtual ~RewardFunction() = default;
+
+  /// Reward for the telemetry observed after executing the chosen action.
+  virtual double operator()(const sim::TelemetrySample& next) const = 0;
+};
+
+class PaperReward final : public RewardFunction {
+ public:
+  PaperReward(double p_crit_w, double k_offset_w, double f_max_mhz);
+
+  /// Eq. (4) evaluated on raw frequency/power values.
+  double evaluate(double freq_mhz, double power_w) const noexcept;
+
+  double operator()(const sim::TelemetrySample& next) const override {
+    return evaluate(next.freq_mhz, next.power_w);
+  }
+
+  double p_crit() const noexcept { return p_crit_; }
+  double k_offset() const noexcept { return k_offset_; }
+  double f_max_mhz() const noexcept { return f_max_mhz_; }
+
+ private:
+  double p_crit_;
+  double k_offset_;
+  double f_max_mhz_;
+};
+
+class ProfitReward final : public RewardFunction {
+ public:
+  /// ips_scale converts instructions/second into the unit the table-based
+  /// agent learns on (the paper reports IPS in units of 1e6).
+  explicit ProfitReward(double p_crit_w, double ips_scale = 1e9);
+
+  double evaluate(double ips, double power_w) const noexcept;
+
+  double operator()(const sim::TelemetrySample& next) const override {
+    return evaluate(next.ips, next.power_w);
+  }
+
+  double p_crit() const noexcept { return p_crit_; }
+
+ private:
+  double p_crit_;
+  double ips_scale_;
+};
+
+}  // namespace fedpower::rl

@@ -1,0 +1,37 @@
+#include "rl/schedule.hpp"
+
+#include <cmath>
+
+namespace fedpower::rl {
+
+ExponentialDecay::ExponentialDecay(double initial, double decay, double floor)
+    : initial_(initial), decay_(decay), floor_(floor) {
+  FEDPOWER_EXPECTS(initial > 0.0);
+  FEDPOWER_EXPECTS(decay >= 0.0);
+  FEDPOWER_EXPECTS(floor >= 0.0 && floor <= initial);
+}
+
+double ExponentialDecay::value(std::size_t step) const noexcept {
+  const double v = initial_ * std::exp(-decay_ * static_cast<double>(step));
+  return v < floor_ ? floor_ : v;
+}
+
+std::size_t ExponentialDecay::steps_to_floor() const noexcept {
+  if (decay_ == 0.0 || floor_ <= 0.0 || floor_ >= initial_) return 0;
+  return static_cast<std::size_t>(std::ceil(std::log(initial_ / floor_) /
+                                            decay_));
+}
+
+LinearDecay::LinearDecay(double initial, double slope, double floor)
+    : initial_(initial), slope_(slope), floor_(floor) {
+  FEDPOWER_EXPECTS(initial > 0.0);
+  FEDPOWER_EXPECTS(slope >= 0.0);
+  FEDPOWER_EXPECTS(floor >= 0.0 && floor <= initial);
+}
+
+double LinearDecay::value(std::size_t step) const noexcept {
+  const double v = initial_ - slope_ * static_cast<double>(step);
+  return v < floor_ ? floor_ : v;
+}
+
+}  // namespace fedpower::rl

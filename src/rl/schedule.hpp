@@ -1,0 +1,45 @@
+// Parameter schedules. The paper decays both the softmax temperature (its
+// technique) and the exploration rate (the Profit baseline) exponentially
+// over training steps.
+#pragma once
+
+#include <cstddef>
+
+#include "util/assert.hpp"
+
+namespace fedpower::rl {
+
+/// value(t) = max(floor, initial * exp(-decay * t)).
+class ExponentialDecay {
+ public:
+  ExponentialDecay(double initial, double decay, double floor);
+
+  double value(std::size_t step) const noexcept;
+
+  double initial() const noexcept { return initial_; }
+  double decay() const noexcept { return decay_; }
+  double floor() const noexcept { return floor_; }
+
+  /// First step at which the schedule reaches its floor (useful in tests).
+  std::size_t steps_to_floor() const noexcept;
+
+ private:
+  double initial_;
+  double decay_;
+  double floor_;
+};
+
+/// value(t) = max(floor, initial - slope * t); provided for ablations.
+class LinearDecay {
+ public:
+  LinearDecay(double initial, double slope, double floor);
+
+  double value(std::size_t step) const noexcept;
+
+ private:
+  double initial_;
+  double slope_;
+  double floor_;
+};
+
+}  // namespace fedpower::rl

@@ -1,0 +1,25 @@
+#include "rl/state.hpp"
+
+#include "util/assert.hpp"
+
+namespace fedpower::rl {
+
+StateFeaturizer::StateFeaturizer(FeaturizerConfig config) : config_(config) {
+  FEDPOWER_EXPECTS(config_.f_max_mhz > 0.0);
+  FEDPOWER_EXPECTS(config_.power_scale_w > 0.0);
+  FEDPOWER_EXPECTS(config_.ipc_scale > 0.0);
+  FEDPOWER_EXPECTS(config_.mpki_scale > 0.0);
+}
+
+std::vector<double> StateFeaturizer::featurize(
+    const sim::TelemetrySample& sample) const {
+  return {
+      sample.freq_mhz / config_.f_max_mhz,
+      sample.power_w / config_.power_scale_w,
+      sample.ipc / config_.ipc_scale,
+      sample.miss_rate,
+      sample.mpki / config_.mpki_scale,
+  };
+}
+
+}  // namespace fedpower::rl

@@ -1,0 +1,103 @@
+#include "rl/tabular.hpp"
+
+#include <algorithm>
+
+namespace fedpower::rl {
+
+Discretizer::Discretizer(std::vector<DimensionSpec> dims)
+    : dims_(std::move(dims)) {
+  FEDPOWER_EXPECTS(!dims_.empty());
+  for (const auto& d : dims_) {
+    FEDPOWER_EXPECTS(d.bins >= 1);
+    FEDPOWER_EXPECTS(d.lo < d.hi);
+    state_count_ *= d.bins;
+  }
+}
+
+std::size_t Discretizer::bin(std::size_t dim, double value) const {
+  FEDPOWER_EXPECTS(dim < dims_.size());
+  const DimensionSpec& d = dims_[dim];
+  if (value <= d.lo) return 0;
+  if (value >= d.hi) return d.bins - 1;
+  const double t = (value - d.lo) / (d.hi - d.lo);
+  const auto b = static_cast<std::size_t>(t * static_cast<double>(d.bins));
+  return std::min(b, d.bins - 1);
+}
+
+std::size_t Discretizer::index(std::span<const double> state) const {
+  FEDPOWER_EXPECTS(state.size() == dims_.size());
+  std::size_t idx = 0;
+  for (std::size_t dim = 0; dim < dims_.size(); ++dim)
+    idx = idx * dims_[dim].bins + bin(dim, state[dim]);
+  return idx;
+}
+
+QTable::QTable(std::size_t states, std::size_t actions, double initial_value)
+    : states_(states),
+      actions_(actions),
+      q_(states * actions, initial_value),
+      visits_(states * actions, 0),
+      state_reward_sum_(states, 0.0),
+      state_visits_(states, 0) {
+  FEDPOWER_EXPECTS(states > 0 && actions > 0);
+}
+
+std::size_t QTable::cell(std::size_t s, std::size_t a) const {
+  FEDPOWER_EXPECTS(s < states_ && a < actions_);
+  return s * actions_ + a;
+}
+
+double QTable::value(std::size_t s, std::size_t a) const {
+  return q_[cell(s, a)];
+}
+
+void QTable::set_value(std::size_t s, std::size_t a, double q) {
+  q_[cell(s, a)] = q;
+}
+
+void QTable::update(std::size_t s, std::size_t a, double reward,
+                    double alpha) {
+  FEDPOWER_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+  const std::size_t c = cell(s, a);
+  q_[c] += alpha * (reward - q_[c]);
+  ++visits_[c];
+  state_reward_sum_[s] += reward;
+  ++state_visits_[s];
+}
+
+std::size_t QTable::visits(std::size_t s, std::size_t a) const {
+  return visits_[cell(s, a)];
+}
+
+std::size_t QTable::state_visits(std::size_t s) const {
+  FEDPOWER_EXPECTS(s < states_);
+  return state_visits_[s];
+}
+
+double QTable::state_mean_reward(std::size_t s) const {
+  FEDPOWER_EXPECTS(s < states_);
+  if (state_visits_[s] == 0) return 0.0;
+  return state_reward_sum_[s] / static_cast<double>(state_visits_[s]);
+}
+
+std::size_t QTable::best_action(std::size_t s) const {
+  FEDPOWER_EXPECTS(s < states_);
+  const auto begin = q_.begin() + static_cast<std::ptrdiff_t>(s * actions_);
+  return static_cast<std::size_t>(
+      std::max_element(begin, begin + static_cast<std::ptrdiff_t>(actions_)) -
+      begin);
+}
+
+std::vector<double> QTable::row(std::size_t s) const {
+  FEDPOWER_EXPECTS(s < states_);
+  return {q_.begin() + static_cast<std::ptrdiff_t>(s * actions_),
+          q_.begin() + static_cast<std::ptrdiff_t>((s + 1) * actions_)};
+}
+
+std::size_t QTable::storage_bytes() const noexcept {
+  return q_.size() * sizeof(double) + visits_.size() * sizeof(std::uint32_t) +
+         state_reward_sum_.size() * sizeof(double) +
+         state_visits_.size() * sizeof(std::uint32_t);
+}
+
+}  // namespace fedpower::rl

@@ -1,0 +1,85 @@
+// Tabular RL building blocks for the Profit [6] and CollabPolicy [11]
+// baselines: a per-dimension uniform discretizer and a Q-table with visit
+// counts. The discretization is what limits the baselines' representational
+// capability relative to the neural policy (§II).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace fedpower::rl {
+
+/// One state dimension: uniform bins between lo and hi, clamped outside.
+struct DimensionSpec {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::size_t bins = 4;
+};
+
+class Discretizer {
+ public:
+  explicit Discretizer(std::vector<DimensionSpec> dims);
+
+  std::size_t dimension_count() const noexcept { return dims_.size(); }
+  std::size_t state_count() const noexcept { return state_count_; }
+
+  /// Bin index of a single value in the given dimension.
+  std::size_t bin(std::size_t dim, double value) const;
+
+  /// Flat state index for a full feature vector.
+  std::size_t index(std::span<const double> state) const;
+
+  const std::vector<DimensionSpec>& dims() const noexcept { return dims_; }
+
+ private:
+  std::vector<DimensionSpec> dims_;
+  std::size_t state_count_ = 1;
+};
+
+/// Dense Q-table with per-(state, action) visit counts and per-state reward
+/// statistics (the CollabPolicy global policy needs r-bar and n per state).
+class QTable {
+ public:
+  QTable(std::size_t states, std::size_t actions, double initial_value = 0.0);
+
+  std::size_t states() const noexcept { return states_; }
+  std::size_t actions() const noexcept { return actions_; }
+
+  double value(std::size_t s, std::size_t a) const;
+  void set_value(std::size_t s, std::size_t a, double q);
+
+  /// Running-average update: Q += alpha * (r - Q); bumps visit counts and
+  /// the per-state reward average.
+  void update(std::size_t s, std::size_t a, double reward, double alpha);
+
+  std::size_t visits(std::size_t s, std::size_t a) const;
+  std::size_t state_visits(std::size_t s) const;
+
+  /// Mean observed reward in state s (0 if unvisited).
+  double state_mean_reward(std::size_t s) const;
+
+  /// Greedy action for state s (first on ties).
+  std::size_t best_action(std::size_t s) const;
+
+  /// Q-values of all actions in state s.
+  std::vector<double> row(std::size_t s) const;
+
+  /// Approximate memory footprint in bytes (for the overhead comparison).
+  std::size_t storage_bytes() const noexcept;
+
+ private:
+  std::size_t cell(std::size_t s, std::size_t a) const;
+
+  std::size_t states_;
+  std::size_t actions_;
+  std::vector<double> q_;
+  std::vector<std::uint32_t> visits_;
+  std::vector<double> state_reward_sum_;
+  std::vector<std::uint32_t> state_visits_;
+};
+
+}  // namespace fedpower::rl

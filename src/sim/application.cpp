@@ -1,0 +1,63 @@
+#include "sim/application.hpp"
+
+#include "util/assert.hpp"
+
+namespace fedpower::sim {
+
+double AppProfile::total_instructions() const noexcept {
+  double total = 0.0;
+  for (const auto& phase : phases) total += phase.instructions;
+  return total;
+}
+
+AppProfile AppProfile::scaled(double factor) const {
+  FEDPOWER_EXPECTS(factor > 0.0);
+  AppProfile copy = *this;
+  for (auto& phase : copy.phases) phase.instructions *= factor;
+  return copy;
+}
+
+namespace {
+
+template <typename Getter>
+double weighted(const AppProfile& app, Getter get) noexcept {
+  double acc = 0.0;
+  double total = 0.0;
+  for (const auto& phase : app.phases) {
+    acc += get(phase) * phase.instructions;
+    total += phase.instructions;
+  }
+  return total > 0.0 ? acc / total : 0.0;
+}
+
+}  // namespace
+
+double AppProfile::weighted_base_cpi() const noexcept {
+  return weighted(*this, [](const PhaseProfile& p) { return p.base_cpi; });
+}
+
+double AppProfile::weighted_llc_apki() const noexcept {
+  return weighted(*this, [](const PhaseProfile& p) { return p.llc_apki; });
+}
+
+double AppProfile::weighted_miss_rate() const noexcept {
+  return weighted(*this, [](const PhaseProfile& p) { return p.llc_miss_rate; });
+}
+
+double AppProfile::weighted_activity() const noexcept {
+  return weighted(*this, [](const PhaseProfile& p) { return p.activity; });
+}
+
+void validate(const AppProfile& app) {
+  FEDPOWER_EXPECTS(!app.name.empty());
+  FEDPOWER_EXPECTS(!app.phases.empty());
+  for (const auto& phase : app.phases) {
+    FEDPOWER_EXPECTS(phase.instructions > 0.0);
+    FEDPOWER_EXPECTS(phase.base_cpi > 0.0);
+    FEDPOWER_EXPECTS(phase.llc_apki >= 0.0);
+    FEDPOWER_EXPECTS(phase.llc_miss_rate >= 0.0 && phase.llc_miss_rate <= 1.0);
+    FEDPOWER_EXPECTS(phase.activity >= 0.0 && phase.activity <= 1.0);
+  }
+}
+
+}  // namespace fedpower::sim

@@ -1,0 +1,37 @@
+// Application profiles: a named sequence of execution phases. The simulator
+// executes phases in order; applications with more than one phase expose
+// time-varying behaviour to the power controller (compute bursts followed by
+// memory-bound sweeps, etc.), as real SPLASH-2 programs do.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/perf_model.hpp"
+
+namespace fedpower::sim {
+
+struct AppProfile {
+  std::string name;
+  std::vector<PhaseProfile> phases;
+
+  /// Total dynamic instruction count over all phases.
+  double total_instructions() const noexcept;
+
+  /// Scales every phase's instruction count by the given factor (used to
+  /// shorten runs in tests).
+  AppProfile scaled(double factor) const;
+
+  /// Instruction-weighted mean of a phase attribute; used by tests and by
+  /// workload characterization reports.
+  double weighted_base_cpi() const noexcept;
+  double weighted_llc_apki() const noexcept;
+  double weighted_miss_rate() const noexcept;
+  double weighted_activity() const noexcept;
+};
+
+/// Validates invariants (non-empty phases, positive instruction counts,
+/// rates within [0,1]); aborts on violation.
+void validate(const AppProfile& app);
+
+}  // namespace fedpower::sim

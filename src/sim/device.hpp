@@ -1,0 +1,31 @@
+// Abstraction over a DVFS-controllable platform. The power controller only
+// needs three capabilities — select a V/f level, execute one control
+// interval, and know the V/f table — so both the single-core Processor
+// (the paper's effective setting: single-threaded apps) and the
+// MulticoreProcessor (the Jetson Nano's real 4-core shared-clock cluster)
+// implement this interface.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/telemetry.hpp"
+#include "sim/vf_table.hpp"
+
+namespace fedpower::sim {
+
+class CpuDevice {
+ public:
+  virtual ~CpuDevice() = default;
+
+  /// Selects the V/f level for subsequent execution.
+  virtual void set_level(std::size_t level) = 0;
+  virtual std::size_t level() const = 0;
+
+  /// Advances simulated time by dt seconds and returns aggregated
+  /// telemetry for the interval.
+  virtual TelemetrySample run_interval(double dt_s) = 0;
+
+  virtual const VfTable& vf_table() const = 0;
+};
+
+}  // namespace fedpower::sim

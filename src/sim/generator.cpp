@@ -1,0 +1,77 @@
+#include "sim/generator.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace fedpower::sim {
+
+AppProfile generate_app(const std::string& name,
+                        const AppGeneratorParams& params, util::Rng& rng) {
+  FEDPOWER_EXPECTS(params.min_phases >= 1);
+  FEDPOWER_EXPECTS(params.max_phases >= params.min_phases);
+  FEDPOWER_EXPECTS(params.base_cpi_lo > 0.0 &&
+                   params.base_cpi_lo <= params.base_cpi_hi);
+  FEDPOWER_EXPECTS(params.apki_lo >= 0.0 && params.apki_lo <= params.apki_hi);
+  FEDPOWER_EXPECTS(params.miss_rate_lo >= 0.0 &&
+                   params.miss_rate_hi <= 1.0 &&
+                   params.miss_rate_lo <= params.miss_rate_hi);
+  FEDPOWER_EXPECTS(params.activity_lo > 0.0 &&
+                   params.activity_hi <= 1.0 &&
+                   params.activity_lo <= params.activity_hi);
+  FEDPOWER_EXPECTS(params.phase_instructions_lo > 0.0 &&
+                   params.phase_instructions_lo <=
+                       params.phase_instructions_hi);
+  FEDPOWER_EXPECTS(params.memory_activity_coupling >= 0.0 &&
+                   params.memory_activity_coupling <= 1.0);
+
+  const std::size_t phase_count = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<int>(params.min_phases),
+      static_cast<int>(params.max_phases)));
+
+  AppProfile app;
+  app.name = name;
+  app.phases.reserve(phase_count);
+  for (std::size_t p = 0; p < phase_count; ++p) {
+    PhaseProfile phase;
+    phase.base_cpi = rng.uniform(params.base_cpi_lo, params.base_cpi_hi);
+    phase.llc_apki = rng.uniform(params.apki_lo, params.apki_hi);
+    phase.llc_miss_rate =
+        rng.uniform(params.miss_rate_lo, params.miss_rate_hi);
+    // Memory-heavy phases keep fewer functional units switching: blend an
+    // independent draw with a traffic-anticorrelated component.
+    const double traffic_norm =
+        params.apki_hi > params.apki_lo
+            ? (phase.llc_apki - params.apki_lo) /
+                  (params.apki_hi - params.apki_lo)
+            : 0.0;
+    const double coupled = params.activity_hi -
+                           traffic_norm *
+                               (params.activity_hi - params.activity_lo);
+    const double independent =
+        rng.uniform(params.activity_lo, params.activity_hi);
+    phase.activity = std::clamp(
+        params.memory_activity_coupling * coupled +
+            (1.0 - params.memory_activity_coupling) * independent,
+        params.activity_lo, params.activity_hi);
+    phase.instructions = rng.uniform(params.phase_instructions_lo,
+                                     params.phase_instructions_hi);
+    app.phases.push_back(phase);
+  }
+  validate(app);
+  return app;
+}
+
+std::vector<AppProfile> generate_suite(std::size_t count,
+                                       const std::string& prefix,
+                                       const AppGeneratorParams& params,
+                                       util::Rng& rng) {
+  std::vector<AppProfile> suite;
+  suite.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    suite.push_back(
+        generate_app(prefix + "-" + std::to_string(i), params, rng));
+  return suite;
+}
+
+}  // namespace fedpower::sim

@@ -1,0 +1,46 @@
+// Synthetic application generator.
+//
+// The SPLASH-2 profiles are fixed points in workload space; the generator
+// samples new applications from the same space so the learned policies can
+// be evaluated on *never-seen* programs (the generalization claim behind
+// using neural networks, paper §I) and so tests can sweep far more
+// workload diversity than twelve profiles offer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/application.hpp"
+#include "util/rng.hpp"
+
+namespace fedpower::sim {
+
+struct AppGeneratorParams {
+  std::size_t min_phases = 2;
+  std::size_t max_phases = 4;
+  double base_cpi_lo = 0.6;
+  double base_cpi_hi = 1.0;
+  double apki_lo = 10.0;
+  double apki_hi = 75.0;
+  double miss_rate_lo = 0.15;
+  double miss_rate_hi = 0.6;
+  double activity_lo = 0.45;
+  double activity_hi = 0.9;
+  double phase_instructions_lo = 4e9;
+  double phase_instructions_hi = 1.2e10;
+  /// Strength of the (negative) memory-traffic <-> activity correlation in
+  /// [0, 1]: real memory-bound code keeps fewer functional units busy.
+  double memory_activity_coupling = 0.6;
+};
+
+/// One random application; validate()-clean by construction.
+AppProfile generate_app(const std::string& name,
+                        const AppGeneratorParams& params, util::Rng& rng);
+
+/// A suite of count random applications named <prefix>-0 .. <prefix>-N.
+std::vector<AppProfile> generate_suite(std::size_t count,
+                                       const std::string& prefix,
+                                       const AppGeneratorParams& params,
+                                       util::Rng& rng);
+
+}  // namespace fedpower::sim

@@ -1,0 +1,85 @@
+#include "sim/governor.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace fedpower::sim {
+
+OndemandGovernor::OndemandGovernor(double up_threshold, double down_threshold)
+    : up_threshold_(up_threshold), down_threshold_(down_threshold) {
+  FEDPOWER_EXPECTS(down_threshold >= 0.0);
+  FEDPOWER_EXPECTS(up_threshold > down_threshold && up_threshold <= 1.0);
+}
+
+std::size_t OndemandGovernor::select_level(const TelemetrySample& sample,
+                                           const VfTable& table) {
+  ipc_reference_ = std::max(ipc_reference_ * 0.999, sample.ipc);
+  const double load =
+      ipc_reference_ > 0.0 ? sample.ipc / ipc_reference_ : 1.0;
+  if (load >= up_threshold_) {
+    level_ = table.size() - 1;  // ondemand jumps straight to max on load
+  } else if (load < down_threshold_ && level_ > 0) {
+    --level_;
+  }
+  return level_;
+}
+
+void OndemandGovernor::reset() {
+  ipc_reference_ = 0.0;
+  level_ = 0;
+}
+
+ConservativeGovernor::ConservativeGovernor(double up_threshold,
+                                           double down_threshold)
+    : up_threshold_(up_threshold), down_threshold_(down_threshold) {
+  FEDPOWER_EXPECTS(down_threshold >= 0.0);
+  FEDPOWER_EXPECTS(up_threshold > down_threshold && up_threshold <= 1.0);
+}
+
+std::size_t ConservativeGovernor::select_level(const TelemetrySample& sample,
+                                               const VfTable& table) {
+  ipc_reference_ = std::max(ipc_reference_ * 0.999, sample.ipc);
+  const double load =
+      ipc_reference_ > 0.0 ? sample.ipc / ipc_reference_ : 1.0;
+  if (load >= up_threshold_) {
+    if (level_ + 1 < table.size()) ++level_;  // one step, never a jump
+  } else if (load < down_threshold_ && level_ > 0) {
+    --level_;
+  }
+  return level_;
+}
+
+void ConservativeGovernor::reset() {
+  ipc_reference_ = 0.0;
+  level_ = 0;
+}
+
+PowerCapGovernor::PowerCapGovernor(double power_limit_w, double headroom_w)
+    : power_limit_w_(power_limit_w), headroom_w_(headroom_w) {
+  FEDPOWER_EXPECTS(power_limit_w > 0.0);
+  FEDPOWER_EXPECTS(headroom_w >= 0.0);
+}
+
+std::size_t PowerCapGovernor::select_level(const TelemetrySample& sample,
+                                           const VfTable& table) {
+  if (!initialized_) {
+    // Start in the middle of the range.
+    level_ = table.size() / 2;
+    initialized_ = true;
+    return level_;
+  }
+  if (sample.power_w > power_limit_w_) {
+    if (level_ > 0) --level_;
+  } else if (sample.power_w < power_limit_w_ - headroom_w_) {
+    if (level_ + 1 < table.size()) ++level_;
+  }
+  return level_;
+}
+
+void PowerCapGovernor::reset() {
+  level_ = 0;
+  initialized_ = false;
+}
+
+}  // namespace fedpower::sim

@@ -1,0 +1,112 @@
+// Classic (non-learning) frequency governors, mirroring the cpufreq policies
+// shipped by Linux. They serve as reference points in the examples and as
+// sanity baselines: the paper's motivation (§I) is precisely that these
+// application-agnostic policies leave power efficiency on the table.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/telemetry.hpp"
+#include "sim/vf_table.hpp"
+
+namespace fedpower::sim {
+
+class Governor {
+ public:
+  virtual ~Governor() = default;
+
+  /// Chooses the V/f level for the next interval given the telemetry of the
+  /// previous one.
+  virtual std::size_t select_level(const TelemetrySample& sample,
+                                   const VfTable& table) = 0;
+
+  virtual void reset() {}
+};
+
+/// Always the highest level.
+class PerformanceGovernor final : public Governor {
+ public:
+  std::size_t select_level(const TelemetrySample&,
+                           const VfTable& table) override {
+    return table.size() - 1;
+  }
+};
+
+/// Always the lowest level.
+class PowersaveGovernor final : public Governor {
+ public:
+  std::size_t select_level(const TelemetrySample&, const VfTable&) override {
+    return 0;
+  }
+};
+
+/// A fixed, user-chosen level.
+class UserspaceGovernor final : public Governor {
+ public:
+  explicit UserspaceGovernor(std::size_t level) : level_(level) {}
+  std::size_t select_level(const TelemetrySample&,
+                           const VfTable& table) override {
+    return level_ < table.size() ? level_ : table.size() - 1;
+  }
+
+ private:
+  std::size_t level_;
+};
+
+/// Linux-ondemand-like: tracks a running estimate of the achievable IPC and
+/// raises the frequency when the observed IPC is close to it (high load),
+/// lowering it otherwise. On a fully loaded core this converges to f_max —
+/// the real ondemand behaves the same, which is exactly why it violates
+/// power budgets on compute-bound workloads.
+class OndemandGovernor final : public Governor {
+ public:
+  explicit OndemandGovernor(double up_threshold = 0.8,
+                            double down_threshold = 0.4);
+  std::size_t select_level(const TelemetrySample& sample,
+                           const VfTable& table) override;
+  void reset() override;
+
+ private:
+  double up_threshold_;
+  double down_threshold_;
+  double ipc_reference_ = 0.0;
+  std::size_t level_ = 0;
+};
+
+/// Linux-conservative-like: moves one level at a time based on the same
+/// load estimate as ondemand, avoiding ondemand's jump-to-max behaviour.
+/// Gentler power transients, slower response.
+class ConservativeGovernor final : public Governor {
+ public:
+  explicit ConservativeGovernor(double up_threshold = 0.8,
+                                double down_threshold = 0.4);
+  std::size_t select_level(const TelemetrySample& sample,
+                           const VfTable& table) override;
+  void reset() override;
+
+ private:
+  double up_threshold_;
+  double down_threshold_;
+  double ipc_reference_ = 0.0;
+  std::size_t level_ = 0;
+};
+
+/// Reactive power capping: steps the frequency down when measured power
+/// exceeds the limit and up when there is headroom. A reasonable hand-tuned
+/// controller — but purely reactive, so it oscillates around phase changes
+/// where the learned policies act proactively.
+class PowerCapGovernor final : public Governor {
+ public:
+  PowerCapGovernor(double power_limit_w, double headroom_w = 0.05);
+  std::size_t select_level(const TelemetrySample& sample,
+                           const VfTable& table) override;
+  void reset() override;
+
+ private:
+  double power_limit_w_;
+  double headroom_w_;
+  std::size_t level_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace fedpower::sim

@@ -1,0 +1,104 @@
+#include "sim/multicore.hpp"
+
+#include <algorithm>
+
+namespace fedpower::sim {
+
+MulticoreConfig MulticoreConfig::jetson_nano_4core() {
+  MulticoreConfig config;
+  config.cores = 4;
+  config.core_config = ProcessorConfig{};
+  config.core_config.power.leakage_w_per_v /= 4.0;  // rail -> per core
+  // Noise is applied once at the rail sensor, not per core.
+  config.core_config.sensor_noise_w = 0.0;
+  return config;
+}
+
+MulticoreProcessor::MulticoreProcessor(MulticoreConfig config, util::Rng rng)
+    : config_(std::move(config)), rng_(rng) {
+  FEDPOWER_EXPECTS(config_.cores >= 1);
+  FEDPOWER_EXPECTS(config_.sensor_noise_w >= 0.0);
+  // Per-core sensors stay noise-free; the rail sensor adds noise once.
+  config_.core_config.sensor_noise_w = 0.0;
+  cores_.reserve(config_.cores);
+  for (std::size_t c = 0; c < config_.cores; ++c)
+    cores_.push_back(
+        std::make_unique<Processor>(config_.core_config, rng_.split()));
+  core_samples_.resize(config_.cores);
+}
+
+void MulticoreProcessor::set_workload(std::size_t core, Workload* workload) {
+  FEDPOWER_EXPECTS(core < cores_.size());
+  cores_[core]->set_workload(workload);
+}
+
+void MulticoreProcessor::set_level(std::size_t level) {
+  FEDPOWER_EXPECTS(level < vf_table().size());
+  level_ = level;
+  for (auto& core : cores_) core->set_level(level);
+}
+
+const VfTable& MulticoreProcessor::vf_table() const {
+  return config_.core_config.vf_table;
+}
+
+const TelemetrySample& MulticoreProcessor::core_sample(
+    std::size_t core) const {
+  FEDPOWER_EXPECTS(core < core_samples_.size());
+  return core_samples_[core];
+}
+
+const std::vector<AppExecution>& MulticoreProcessor::completed_runs(
+    std::size_t core) const {
+  FEDPOWER_EXPECTS(core < cores_.size());
+  return cores_[core]->completed_runs();
+}
+
+TelemetrySample MulticoreProcessor::run_interval(double dt_s) {
+  FEDPOWER_EXPECTS(dt_s > 0.0);
+
+  TelemetrySample rail;
+  double misses = 0.0;
+  double accesses = 0.0;
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    // Shared-DRAM queueing from the previous interval's traffic slows every
+    // core's misses this interval (one-interval lag avoids a fixed point).
+    cores_[c]->set_memory_latency_scale(contention_scale_);
+    core_samples_[c] = cores_[c]->run_interval(dt_s);
+    const TelemetrySample& s = core_samples_[c];
+    rail.true_power_w += s.true_power_w;
+    rail.energy_j += s.energy_j;
+    rail.instructions += s.instructions;
+    rail.cycles += s.cycles;
+    // Reconstruct cache traffic from the per-core aggregates.
+    const double core_misses = s.mpki / 1000.0 * s.instructions;
+    misses += core_misses;
+    if (s.miss_rate > 0.0) accesses += core_misses / s.miss_rate;
+  }
+  time_s_ += dt_s;
+
+  if (config_.contention_coeff > 0.0) {
+    const double misses_per_s = misses / dt_s;
+    contention_scale_ =
+        1.0 + config_.contention_coeff *
+                  (misses_per_s / config_.peak_misses_per_s);
+  }
+
+  const VfLevel& vf = vf_table().level(level_);
+  rail.time_s = time_s_;
+  rail.level = level_;
+  rail.freq_mhz = vf.freq_mhz;
+  rail.voltage_v = vf.voltage_v;
+  rail.power_w = std::max(
+      0.0, rail.true_power_w + rng_.normal(0.0, config_.sensor_noise_w));
+  rail.ipc = rail.cycles > 0.0 ? rail.instructions / rail.cycles : 0.0;
+  rail.miss_rate = accesses > 0.0 ? misses / accesses : 0.0;
+  rail.mpki =
+      rail.instructions > 0.0 ? misses / rail.instructions * 1000.0 : 0.0;
+  rail.ips = rail.instructions / dt_s;
+  rail.temperature_c = cores_.front()->temperature_c();
+  rail.app_name = cores_.front()->current_app_name();
+  return rail;
+}
+
+}  // namespace fedpower::sim

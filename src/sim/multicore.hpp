@@ -1,0 +1,85 @@
+// Multi-core processor with a shared clock domain.
+//
+// The paper's evaluation platform is a Jetson Nano: four Cortex-A57 cores
+// behind ONE clock signal (§IV). Its experiments run single-threaded
+// applications, so the single-core Processor is the faithful model there —
+// but a real deployment runs work on several cores at once, all forced to
+// the same V/f level. MulticoreProcessor models exactly that: per-core
+// workloads and counters, one shared operating point, rail-level power =
+// sum of the cores.
+//
+// Calibration note: PowerModelParams::leakage_w_per_v is calibrated for
+// the whole CPU rail in the single-core model; jetson_nano_4core() divides
+// it across cores so that "one busy core + three idle cores" matches the
+// single-core totals.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/processor.hpp"
+
+namespace fedpower::sim {
+
+struct MulticoreConfig {
+  std::size_t cores = 4;
+  /// Per-core model parameters (leakage is per core — see header note).
+  ProcessorConfig core_config{};
+  /// Rail-level power-sensor noise (per-core sensors are disabled).
+  double sensor_noise_w = 0.008;
+  /// Shared-DRAM contention: the effective memory latency every core sees
+  /// grows as 1 + coeff * (total misses/s / peak misses/s). 0 disables it.
+  double contention_coeff = 0.5;
+  /// Miss throughput the memory system sustains without queueing.
+  double peak_misses_per_s = 4e7;
+
+  /// The paper's platform: 4 Cortex-A57 cores on the Jetson Nano V/f
+  /// table, rail leakage split across cores.
+  static MulticoreConfig jetson_nano_4core();
+};
+
+class MulticoreProcessor final : public CpuDevice {
+ public:
+  MulticoreProcessor(MulticoreConfig config, util::Rng rng);
+
+  /// Assigns a workload to one core (nullptr leaves the core idle).
+  /// Non-owning; must outlive the processor's use.
+  void set_workload(std::size_t core, Workload* workload);
+
+  void set_level(std::size_t level) override;
+  std::size_t level() const override { return level_; }
+
+  /// Runs all cores for dt seconds at the shared level and returns
+  /// rail-level telemetry: power and energy are summed over cores; IPC is
+  /// total instructions over total core cycles (cores x f x dt); cache
+  /// statistics aggregate all cores' traffic.
+  TelemetrySample run_interval(double dt_s) override;
+
+  const VfTable& vf_table() const override;
+
+  std::size_t core_count() const noexcept { return cores_.size(); }
+
+  /// Telemetry of one core from the most recent interval.
+  const TelemetrySample& core_sample(std::size_t core) const;
+
+  /// Completed application runs of one core.
+  const std::vector<AppExecution>& completed_runs(std::size_t core) const;
+
+  double time_s() const noexcept { return time_s_; }
+
+  /// DRAM latency multiplier currently applied to every core (>= 1);
+  /// derived from the previous interval's total miss traffic.
+  double contention_scale() const noexcept { return contention_scale_; }
+
+ private:
+  MulticoreConfig config_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<Processor>> cores_;
+  std::vector<TelemetrySample> core_samples_;
+  std::size_t level_ = 0;
+  double time_s_ = 0.0;
+  double contention_scale_ = 1.0;
+};
+
+}  // namespace fedpower::sim

@@ -1,0 +1,36 @@
+#include "sim/perf_model.hpp"
+
+namespace fedpower::sim {
+
+PerfModel::PerfModel(PerfModelParams params) : params_(params) {
+  FEDPOWER_EXPECTS(params_.mem_latency_ns > 0.0);
+  FEDPOWER_EXPECTS(params_.mlp_factor >= 1.0);
+}
+
+PhasePerf PerfModel::evaluate(const PhaseProfile& phase, double freq_mhz,
+                              double latency_scale) const {
+  FEDPOWER_EXPECTS(freq_mhz > 0.0);
+  FEDPOWER_EXPECTS(latency_scale >= 1.0);
+  FEDPOWER_EXPECTS(phase.base_cpi > 0.0);
+  FEDPOWER_EXPECTS(phase.llc_apki >= 0.0);
+  FEDPOWER_EXPECTS(phase.llc_miss_rate >= 0.0 && phase.llc_miss_rate <= 1.0);
+
+  const double f_ghz = freq_mhz / 1000.0;
+  const double accesses_per_instr = phase.llc_apki / 1000.0;
+  const double misses_per_instr = accesses_per_instr * phase.llc_miss_rate;
+  const double miss_penalty_cycles =
+      params_.mem_latency_ns * latency_scale * f_ghz;
+  const double stall_cpi =
+      misses_per_instr * miss_penalty_cycles / params_.mlp_factor;
+
+  PhasePerf perf;
+  perf.cpi = phase.base_cpi + stall_cpi;
+  perf.ipc = 1.0 / perf.cpi;
+  perf.ips = freq_mhz * 1e6 / perf.cpi;
+  perf.stall_fraction = stall_cpi / perf.cpi;
+  perf.mpki = misses_per_instr * 1000.0;
+  perf.miss_rate = phase.llc_miss_rate;
+  return perf;
+}
+
+}  // namespace fedpower::sim

@@ -1,0 +1,63 @@
+// Analytical performance model.
+//
+// An application phase is characterized by its stall-free CPI (a proxy for
+// instruction-level parallelism), its last-level-cache access density and
+// miss rate, and its switching activity. At a core frequency f the DRAM
+// latency — fixed in wall-clock nanoseconds — costs more core cycles, so
+// the effective CPI is
+//
+//   cpi(f) = base_cpi + (misses/instr) * mem_latency_ns * f_GHz / mlp
+//
+// where mlp models the overlap of outstanding misses (memory-level
+// parallelism). This is the standard first-order model behind the "memory
+// wall": compute-bound phases speed up almost linearly with f while
+// memory-bound phases saturate — exactly the asymmetry the paper's DVFS
+// policies must learn (see DESIGN.md §2).
+#pragma once
+
+#include "util/assert.hpp"
+
+namespace fedpower::sim {
+
+/// Workload characteristics of one execution phase.
+struct PhaseProfile {
+  double base_cpi = 1.0;       ///< cycles/instruction without memory stalls
+  double llc_apki = 20.0;      ///< LLC accesses per kilo-instruction
+  double llc_miss_rate = 0.3;  ///< fraction of LLC accesses that miss
+  double activity = 0.7;       ///< switching activity while not stalled [0,1]
+  double instructions = 1e9;   ///< dynamic instruction count of the phase
+};
+
+/// Machine parameters of the memory subsystem.
+struct PerfModelParams {
+  double mem_latency_ns = 80.0;  ///< DRAM round-trip latency
+  double mlp_factor = 4.0;       ///< average overlapped outstanding misses
+};
+
+/// Per-phase, per-frequency performance figures derived in closed form.
+struct PhasePerf {
+  double cpi = 0.0;         ///< effective cycles per instruction
+  double ipc = 0.0;         ///< instructions per cycle (1/cpi)
+  double ips = 0.0;         ///< instructions per second at this frequency
+  double stall_fraction = 0.0;  ///< share of cycles spent in memory stalls
+  double mpki = 0.0;        ///< LLC misses per kilo-instruction
+  double miss_rate = 0.0;   ///< LLC miss rate
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(PerfModelParams params = {});
+
+  /// Closed-form performance of a phase at the given core frequency.
+  /// latency_scale multiplies the effective DRAM latency (> 1 under
+  /// memory contention from other cores; 1 = uncontended).
+  PhasePerf evaluate(const PhaseProfile& phase, double freq_mhz,
+                     double latency_scale = 1.0) const;
+
+  const PerfModelParams& params() const noexcept { return params_; }
+
+ private:
+  PerfModelParams params_;
+};
+
+}  // namespace fedpower::sim

@@ -1,0 +1,34 @@
+#include "sim/power_model.hpp"
+
+namespace fedpower::sim {
+
+PowerModel::PowerModel(PowerModelParams params) : params_(params) {
+  FEDPOWER_EXPECTS(params_.c_eff_nf > 0.0);
+  FEDPOWER_EXPECTS(params_.leakage_w_per_v >= 0.0);
+  FEDPOWER_EXPECTS(params_.stall_activity >= 0.0 &&
+                   params_.stall_activity <= 1.0);
+  FEDPOWER_EXPECTS(params_.variation > 0.0);
+}
+
+double PowerModel::dynamic(const VfLevel& level, const PhaseProfile& phase,
+                           double stall_fraction) const {
+  FEDPOWER_EXPECTS(stall_fraction >= 0.0 && stall_fraction <= 1.0);
+  const double activity =
+      phase.activity * (1.0 - stall_fraction) +
+      params_.stall_activity * stall_fraction;
+  const double c_eff = params_.c_eff_nf * 1e-9;
+  const double f_hz = level.freq_mhz * 1e6;
+  return params_.variation * c_eff * level.voltage_v * level.voltage_v *
+         f_hz * activity;
+}
+
+double PowerModel::leakage(const VfLevel& level) const {
+  return params_.variation * params_.leakage_w_per_v * level.voltage_v;
+}
+
+double PowerModel::total(const VfLevel& level, const PhaseProfile& phase,
+                         double stall_fraction) const {
+  return dynamic(level, phase, stall_fraction) + leakage(level);
+}
+
+}  // namespace fedpower::sim

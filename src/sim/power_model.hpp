@@ -1,0 +1,45 @@
+// Analytical power model: dynamic CV²f power plus voltage-proportional
+// leakage. During memory-stall cycles the core clock-gates most switching
+// logic, so the effective activity blends the phase's compute activity with
+// a small stall-time activity weighted by the stall fraction. Calibrated so
+// the Jetson Nano V/f range spans ~0.15 W (idle-ish, lowest level) to
+// ~1.3 W (compute-bound at 1479 MHz) around the paper's 0.6 W constraint.
+#pragma once
+
+#include "sim/perf_model.hpp"
+#include "sim/vf_table.hpp"
+
+namespace fedpower::sim {
+
+struct PowerModelParams {
+  double c_eff_nf = 0.72;        ///< effective switched capacitance [nF]
+  double leakage_w_per_v = 0.136;///< static power coefficient [W/V]
+  double stall_activity = 0.08;  ///< switching activity during stall cycles
+  /// Per-device process-variation multiplier on both power components;
+  /// 1.0 = nominal silicon.
+  double variation = 1.0;
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(PowerModelParams params = {});
+
+  /// Total power for a phase running at the given operating point, with the
+  /// stall fraction taken from the performance model.
+  double total(const VfLevel& level, const PhaseProfile& phase,
+               double stall_fraction) const;
+
+  /// Dynamic component only.
+  double dynamic(const VfLevel& level, const PhaseProfile& phase,
+                 double stall_fraction) const;
+
+  /// Static (leakage) component only.
+  double leakage(const VfLevel& level) const;
+
+  const PowerModelParams& params() const noexcept { return params_; }
+
+ private:
+  PowerModelParams params_;
+};
+
+}  // namespace fedpower::sim

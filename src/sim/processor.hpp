@@ -1,0 +1,118 @@
+// The simulated edge processor: executes a workload of phased applications
+// at a selectable V/f operating point and produces per-interval telemetry
+// (performance counters and a noisy power reading) — the environment the
+// RL power controllers interact with.
+//
+// Execution inside a control interval is computed in closed form from the
+// phase parameters (DESIGN.md §5.2): the interval is split at phase and
+// application boundaries; within each segment, instruction throughput and
+// power are constant, so time, energy and counter increments follow
+// analytically. A 100-round federated experiment therefore simulates in
+// milliseconds.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/power_model.hpp"
+#include "sim/telemetry.hpp"
+#include "sim/thermal.hpp"
+#include "sim/vf_table.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace fedpower::sim {
+
+struct ProcessorConfig {
+  VfTable vf_table = VfTable::jetson_nano();
+  PerfModelParams perf{};
+  PowerModelParams power{};
+  /// Standard deviation of the power sensor's additive Gaussian noise [W].
+  double sensor_noise_w = 0.008;
+  /// Relative per-interval jitter on phase miss rate and activity; models
+  /// input-dependent behaviour of real applications.
+  double workload_jitter = 0.04;
+  /// Time lost per V/f transition [us]; modern PMICs switch in microseconds
+  /// (paper §I footnote 1), so the default is a realistic small value.
+  double dvfs_transition_us = 50.0;
+  /// Enables the RC thermal model and temperature-dependent leakage.
+  bool enable_thermal = false;
+  ThermalParams thermal{};
+};
+
+class Processor final : public CpuDevice {
+ public:
+  Processor(ProcessorConfig config, util::Rng rng);
+
+  /// Sets the workload supplying applications. The processor pulls the first
+  /// application lazily on the next run_interval(). Pointer is non-owning
+  /// and must outlive the processor's use.
+  void set_workload(Workload* workload);
+
+  /// Selects the V/f level for subsequent execution.
+  void set_level(std::size_t level) override;
+  std::size_t level() const noexcept override { return level_; }
+
+  /// Advances simulated time by dt seconds, executing the workload at the
+  /// current operating point, and returns aggregated telemetry.
+  TelemetrySample run_interval(double dt_s) override;
+
+  /// Application executions completed so far (since the last clear).
+  const std::vector<AppExecution>& completed_runs() const noexcept {
+    return completed_;
+  }
+  void clear_completed_runs() noexcept { completed_.clear(); }
+
+  /// Abandons the in-flight application; the next interval pulls a fresh
+  /// one from the workload. Used between evaluation episodes.
+  void reset_app();
+
+  /// Scales the effective DRAM latency seen by this core (>= 1). Set by
+  /// MulticoreProcessor to model shared-memory contention; 1 = uncontended.
+  void set_memory_latency_scale(double scale);
+  double memory_latency_scale() const noexcept { return mem_latency_scale_; }
+
+  double time_s() const noexcept { return time_s_; }
+  const VfTable& vf_table() const noexcept override {
+    return config_.vf_table;
+  }
+  const ProcessorConfig& config() const noexcept { return config_; }
+  const std::string& current_app_name() const noexcept;
+
+  /// Die temperature (ambient when the thermal model is disabled).
+  double temperature_c() const noexcept;
+
+ private:
+  struct AppRun {
+    AppProfile app;
+    std::size_t phase_index = 0;
+    double phase_instructions_done = 0.0;
+    double start_time_s = 0.0;
+    double instructions = 0.0;
+    double energy_j = 0.0;
+  };
+
+  void start_next_app();
+  PhaseProfile jittered(const PhaseProfile& phase) const;
+
+  ProcessorConfig config_;
+  mutable util::Rng rng_;
+  PerfModel perf_model_;
+  PowerModel power_model_;
+  std::optional<ThermalModel> thermal_;
+  Workload* workload_ = nullptr;
+  std::optional<AppRun> run_;
+  std::vector<AppExecution> completed_;
+  std::size_t level_ = 0;
+  std::size_t previous_level_ = 0;
+  double time_s_ = 0.0;
+  double jitter_miss_ = 1.0;     // per-interval multiplicative jitter
+  double jitter_activity_ = 1.0;
+  double mem_latency_scale_ = 1.0;
+};
+
+}  // namespace fedpower::sim

@@ -1,0 +1,34 @@
+// Synthetic profiles of the twelve SPLASH-2 applications used in the paper's
+// evaluation (§IV): fft, lu, raytrace, volrend, water-ns, water-sp, ocean,
+// radix, fmm, radiosity, barnes, cholesky.
+//
+// No SPLASH-2 binaries run here; each profile encodes the published
+// characterization of the program (Woo et al., ISCA'95) as phase parameters
+// of the analytical simulator: radix and ocean are memory-bound (high LLC
+// traffic, performance saturates with frequency), the water codes and lu are
+// compute-bound (high ILP and switching activity, power grows ~linearly with
+// frequency), and the rest fall in between, several with strongly phased
+// behaviour. DESIGN.md §2 explains why this substitution preserves the
+// paper's learning problem.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/application.hpp"
+
+namespace fedpower::sim {
+
+/// All twelve evaluation applications, in the paper's canonical order:
+/// fft, lu, raytrace, volrend, water-ns, water-sp, ocean, radix, fmm,
+/// radiosity, barnes, cholesky.
+std::vector<AppProfile> splash2_suite();
+
+/// One application by name; nullopt if the name is unknown.
+std::optional<AppProfile> splash2_app(const std::string& name);
+
+/// The canonical application order (names only).
+std::vector<std::string> splash2_names();
+
+}  // namespace fedpower::sim

@@ -1,0 +1,40 @@
+#include "sim/telemetry.hpp"
+
+#include "util/stats.hpp"
+
+namespace fedpower::sim {
+
+double TraceRecorder::mean_power() const noexcept {
+  util::RunningStats s;
+  for (const auto& sample : samples_) s.add(sample.power_w);
+  return s.mean();
+}
+
+double TraceRecorder::mean_freq_mhz() const noexcept {
+  util::RunningStats s;
+  for (const auto& sample : samples_) s.add(sample.freq_mhz);
+  return s.mean();
+}
+
+double TraceRecorder::stddev_freq_mhz() const noexcept {
+  util::RunningStats s;
+  for (const auto& sample : samples_) s.add(sample.freq_mhz);
+  return s.stddev();
+}
+
+double TraceRecorder::mean_ips() const noexcept {
+  util::RunningStats s;
+  for (const auto& sample : samples_) s.add(sample.ips);
+  return s.mean();
+}
+
+double TraceRecorder::violation_rate(double power_limit_w) const noexcept {
+  if (samples_.empty()) return 0.0;
+  std::size_t violations = 0;
+  for (const auto& sample : samples_)
+    if (sample.true_power_w > power_limit_w) ++violations;
+  return static_cast<double>(violations) /
+         static_cast<double>(samples_.size());
+}
+
+}  // namespace fedpower::sim

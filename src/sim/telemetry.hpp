@@ -1,0 +1,65 @@
+// Telemetry produced by the simulated processor: one sample per DVFS control
+// interval (what the power controller observes) and one record per completed
+// application execution (what the evaluation tables report).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fedpower::sim {
+
+/// Aggregated counters over one control interval.
+struct TelemetrySample {
+  double time_s = 0.0;       ///< simulation time at the end of the interval
+  std::size_t level = 0;     ///< V/f level active during the interval
+  double freq_mhz = 0.0;
+  double voltage_v = 0.0;
+  double power_w = 0.0;      ///< measured average power (sensor noise applied)
+  double true_power_w = 0.0; ///< noise-free average power
+  double energy_j = 0.0;
+  double instructions = 0.0;
+  double cycles = 0.0;
+  double ipc = 0.0;          ///< instructions / cycles (stalls included)
+  double miss_rate = 0.0;    ///< LLC miss rate over the interval
+  double mpki = 0.0;         ///< LLC misses per kilo-instruction
+  double ips = 0.0;          ///< instructions per second
+  double temperature_c = 0.0;///< die temperature (0 if thermal model off)
+  std::string app_name;      ///< application active at the end of the interval
+};
+
+/// One completed application run.
+struct AppExecution {
+  std::string name;
+  double start_time_s = 0.0;
+  double exec_time_s = 0.0;
+  double energy_j = 0.0;
+  double instructions = 0.0;
+  double avg_power_w = 0.0;  ///< energy / exec_time
+  double avg_ips = 0.0;      ///< instructions / exec_time
+};
+
+/// Append-only trace of interval samples, with summary helpers.
+class TraceRecorder {
+ public:
+  void record(const TelemetrySample& sample) { samples_.push_back(sample); }
+  void clear() noexcept { samples_.clear(); }
+
+  const std::vector<TelemetrySample>& samples() const noexcept {
+    return samples_;
+  }
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  double mean_power() const noexcept;
+  double mean_freq_mhz() const noexcept;
+  double stddev_freq_mhz() const noexcept;
+  double mean_ips() const noexcept;
+
+  /// Fraction of samples whose true power exceeds the given limit.
+  double violation_rate(double power_limit_w) const noexcept;
+
+ private:
+  std::vector<TelemetrySample> samples_;
+};
+
+}  // namespace fedpower::sim

@@ -1,0 +1,33 @@
+#include "sim/thermal.hpp"
+
+#include <cmath>
+
+namespace fedpower::sim {
+
+ThermalModel::ThermalModel(ThermalParams params)
+    : params_(params), temperature_c_(params.ambient_c) {
+  FEDPOWER_EXPECTS(params_.r_thermal_k_per_w > 0.0);
+  FEDPOWER_EXPECTS(params_.c_thermal_j_per_k > 0.0);
+  FEDPOWER_EXPECTS(params_.leakage_temp_coeff >= 0.0);
+}
+
+void ThermalModel::step(double power_w, double dt_s) {
+  FEDPOWER_EXPECTS(power_w >= 0.0);
+  FEDPOWER_EXPECTS(dt_s >= 0.0);
+  // C dT/dt = P - (T - T_amb)/R has the exact solution
+  // T(t) = T_ss + (T0 - T_ss) * exp(-t / (R*C)).
+  const double t_ss = steady_state_c(power_w);
+  const double tau = params_.r_thermal_k_per_w * params_.c_thermal_j_per_k;
+  temperature_c_ = t_ss + (temperature_c_ - t_ss) * std::exp(-dt_s / tau);
+}
+
+double ThermalModel::steady_state_c(double power_w) const noexcept {
+  return params_.ambient_c + power_w * params_.r_thermal_k_per_w;
+}
+
+double ThermalModel::leakage_multiplier() const noexcept {
+  const double delta = temperature_c_ - params_.ambient_c;
+  return 1.0 + params_.leakage_temp_coeff * (delta > 0.0 ? delta : 0.0);
+}
+
+}  // namespace fedpower::sim

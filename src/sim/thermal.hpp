@@ -1,0 +1,47 @@
+// First-order RC thermal model (optional extension).
+//
+// The paper explicitly neglects the power->temperature->leakage coupling
+// (§III-A, footnote 2); we provide the model anyway so the assumption can be
+// stress-tested: enabling it in ProcessorConfig makes leakage grow with die
+// temperature, and an ablation bench quantifies how much the learned
+// policies care.
+#pragma once
+
+#include "util/assert.hpp"
+
+namespace fedpower::sim {
+
+struct ThermalParams {
+  double r_thermal_k_per_w = 25.0;  ///< junction-to-ambient resistance
+  double c_thermal_j_per_k = 4.0;   ///< thermal capacitance
+  double ambient_c = 25.0;          ///< ambient temperature
+  double leakage_temp_coeff = 0.006;///< relative leakage increase per kelvin
+};
+
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalParams params = {});
+
+  /// Advances the die temperature given the average power over dt seconds
+  /// (exact solution of the linear RC ODE for constant power).
+  void step(double power_w, double dt_s);
+
+  double temperature_c() const noexcept { return temperature_c_; }
+
+  /// Steady-state temperature for a constant power draw.
+  double steady_state_c(double power_w) const noexcept;
+
+  /// Multiplier applied to leakage power at the current temperature
+  /// (1.0 at ambient).
+  double leakage_multiplier() const noexcept;
+
+  void reset() noexcept { temperature_c_ = params_.ambient_c; }
+
+  const ThermalParams& params() const noexcept { return params_; }
+
+ private:
+  ThermalParams params_;
+  double temperature_c_;
+};
+
+}  // namespace fedpower::sim

@@ -1,0 +1,96 @@
+#include "sim/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace fedpower::sim {
+
+namespace {
+
+constexpr const char* kHeader =
+    "time_s,level,freq_mhz,voltage_v,power_w,true_power_w,energy_j,"
+    "instructions,cycles,ipc,miss_rate,mpki,ips,temperature_c,app_name";
+
+std::vector<std::string> split_row(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream in(line);
+  while (std::getline(in, cell, ',')) cells.push_back(cell);
+  // A trailing empty cell ("a,b,") is not produced by our writer, so plain
+  // getline splitting suffices.
+  return cells;
+}
+
+double parse_double(const std::string& cell) {
+  std::size_t used = 0;
+  const double value = std::stod(cell, &used);
+  if (used != cell.size())
+    throw std::invalid_argument("trace csv: bad numeric cell '" + cell + "'");
+  return value;
+}
+
+}  // namespace
+
+void write_trace_csv(const TraceRecorder& trace, std::ostream& out) {
+  out << kHeader << '\n';
+  for (const TelemetrySample& s : trace.samples()) {
+    out << util::CsvWriter::format(s.time_s) << ',' << s.level << ','
+        << util::CsvWriter::format(s.freq_mhz) << ','
+        << util::CsvWriter::format(s.voltage_v) << ','
+        << util::CsvWriter::format(s.power_w) << ','
+        << util::CsvWriter::format(s.true_power_w) << ','
+        << util::CsvWriter::format(s.energy_j) << ','
+        << util::CsvWriter::format(s.instructions) << ','
+        << util::CsvWriter::format(s.cycles) << ','
+        << util::CsvWriter::format(s.ipc) << ','
+        << util::CsvWriter::format(s.miss_rate) << ','
+        << util::CsvWriter::format(s.mpki) << ','
+        << util::CsvWriter::format(s.ips) << ','
+        << util::CsvWriter::format(s.temperature_c) << ',' << s.app_name
+        << '\n';
+  }
+}
+
+void write_trace_csv(const TraceRecorder& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace csv: cannot open " + path);
+  write_trace_csv(trace, out);
+  if (!out) throw std::runtime_error("trace csv: write failed for " + path);
+}
+
+std::vector<TelemetrySample> read_trace_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader)
+    throw std::invalid_argument("trace csv: missing or unknown header");
+  std::vector<TelemetrySample> samples;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split_row(line);
+    if (cells.size() != 15)
+      throw std::invalid_argument("trace csv: expected 15 cells, got " +
+                                  std::to_string(cells.size()));
+    TelemetrySample s;
+    s.time_s = parse_double(cells[0]);
+    s.level = static_cast<std::size_t>(parse_double(cells[1]));
+    s.freq_mhz = parse_double(cells[2]);
+    s.voltage_v = parse_double(cells[3]);
+    s.power_w = parse_double(cells[4]);
+    s.true_power_w = parse_double(cells[5]);
+    s.energy_j = parse_double(cells[6]);
+    s.instructions = parse_double(cells[7]);
+    s.cycles = parse_double(cells[8]);
+    s.ipc = parse_double(cells[9]);
+    s.miss_rate = parse_double(cells[10]);
+    s.mpki = parse_double(cells[11]);
+    s.ips = parse_double(cells[12]);
+    s.temperature_c = parse_double(cells[13]);
+    s.app_name = cells[14];
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+}  // namespace fedpower::sim

@@ -1,0 +1,27 @@
+// Telemetry trace import/export. Traces written here load into any
+// spreadsheet/plotting tool, and read_trace_csv round-trips them for
+// offline analysis tooling built on the library.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/telemetry.hpp"
+
+namespace fedpower::sim {
+
+/// Column order of the CSV format (header row included on write).
+/// time_s,level,freq_mhz,voltage_v,power_w,true_power_w,energy_j,
+/// instructions,cycles,ipc,miss_rate,mpki,ips,temperature_c,app_name
+void write_trace_csv(const TraceRecorder& trace, std::ostream& out);
+
+/// Convenience overload writing to a file path; throws std::runtime_error
+/// on I/O failure.
+void write_trace_csv(const TraceRecorder& trace, const std::string& path);
+
+/// Parses a trace produced by write_trace_csv. Throws
+/// std::invalid_argument on malformed rows.
+std::vector<TelemetrySample> read_trace_csv(std::istream& in);
+
+}  // namespace fedpower::sim

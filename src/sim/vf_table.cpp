@@ -1,0 +1,64 @@
+#include "sim/vf_table.hpp"
+
+#include <cmath>
+
+namespace fedpower::sim {
+
+VfTable::VfTable(std::vector<VfLevel> levels) : levels_(std::move(levels)) {
+  FEDPOWER_EXPECTS(!levels_.empty());
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    FEDPOWER_EXPECTS(levels_[i].freq_mhz > 0.0);
+    FEDPOWER_EXPECTS(levels_[i].voltage_v > 0.0);
+    levels_[i].index = static_cast<int>(i);
+    if (i > 0) FEDPOWER_EXPECTS(levels_[i].freq_mhz > levels_[i - 1].freq_mhz);
+  }
+}
+
+VfTable VfTable::jetson_nano() {
+  // Frequencies from the Jetson Nano cpufreq table; voltages follow the
+  // near-linear DVS characteristic of the Cortex-A57 cluster.
+  const double freqs[] = {102.0,  204.0,  307.2,  403.2,  518.4,
+                          614.4,  710.4,  825.6,  921.6,  1036.8,
+                          1132.8, 1224.0, 1326.0, 1428.0, 1479.0};
+  constexpr double v_min = 0.80;
+  constexpr double v_max = 1.10;
+  const double f_lo = freqs[0];
+  const double f_hi = freqs[14];
+  std::vector<VfLevel> levels;
+  levels.reserve(15);
+  for (const double f : freqs) {
+    const double v = v_min + (v_max - v_min) * (f - f_lo) / (f_hi - f_lo);
+    levels.push_back(VfLevel{0, f, v});
+  }
+  return VfTable{std::move(levels)};
+}
+
+VfTable VfTable::linear(std::size_t k, double f_min_mhz, double f_max_mhz,
+                        double v_min, double v_max) {
+  FEDPOWER_EXPECTS(k >= 2);
+  FEDPOWER_EXPECTS(f_min_mhz > 0.0 && f_min_mhz < f_max_mhz);
+  FEDPOWER_EXPECTS(v_min > 0.0 && v_min <= v_max);
+  std::vector<VfLevel> levels;
+  levels.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(k - 1);
+    levels.push_back(VfLevel{0, f_min_mhz + t * (f_max_mhz - f_min_mhz),
+                             v_min + t * (v_max - v_min)});
+  }
+  return VfTable{std::move(levels)};
+}
+
+std::size_t VfTable::nearest_level(double freq_mhz) const noexcept {
+  std::size_t best = 0;
+  double best_dist = std::abs(levels_[0].freq_mhz - freq_mhz);
+  for (std::size_t i = 1; i < levels_.size(); ++i) {
+    const double dist = std::abs(levels_[i].freq_mhz - freq_mhz);
+    if (dist < best_dist) {
+      best = i;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+}  // namespace fedpower::sim

@@ -1,0 +1,57 @@
+// Voltage/frequency operating points of the simulated processor.
+//
+// The default table reproduces the 15 CPU frequency levels of the NVIDIA
+// Jetson Nano (Cortex-A57 cluster, 102 MHz .. 1479 MHz), the platform used
+// in the paper's evaluation (§IV). Voltages follow the usual near-linear
+// DVS curve between 0.80 V and 1.10 V.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fedpower::sim {
+
+struct VfLevel {
+  int index = 0;          ///< position in the table, 0 = slowest
+  double freq_mhz = 0.0;  ///< core clock in MHz
+  double voltage_v = 0.0; ///< supply voltage applied at this frequency
+};
+
+class VfTable {
+ public:
+  /// Builds a table from (already sorted, strictly increasing) levels.
+  explicit VfTable(std::vector<VfLevel> levels);
+
+  /// The Jetson Nano CPU table used throughout the paper's evaluation.
+  static VfTable jetson_nano();
+
+  /// Synthetic table with k equally spaced levels (for tests/ablations).
+  static VfTable linear(std::size_t k, double f_min_mhz, double f_max_mhz,
+                        double v_min, double v_max);
+
+  std::size_t size() const noexcept { return levels_.size(); }
+
+  const VfLevel& level(std::size_t index) const {
+    FEDPOWER_EXPECTS(index < levels_.size());
+    return levels_[index];
+  }
+
+  const VfLevel& min_level() const noexcept { return levels_.front(); }
+  const VfLevel& max_level() const noexcept { return levels_.back(); }
+
+  double f_max_mhz() const noexcept { return levels_.back().freq_mhz; }
+  double f_min_mhz() const noexcept { return levels_.front().freq_mhz; }
+
+  /// Index of the level whose frequency is closest to the given value.
+  std::size_t nearest_level(double freq_mhz) const noexcept;
+
+  const std::vector<VfLevel>& levels() const noexcept { return levels_; }
+
+ private:
+  std::vector<VfLevel> levels_;
+};
+
+}  // namespace fedpower::sim

@@ -1,0 +1,36 @@
+#include "sim/workload.hpp"
+
+#include "util/assert.hpp"
+
+namespace fedpower::sim {
+
+RotationWorkload::RotationWorkload(std::vector<AppProfile> apps)
+    : apps_(std::move(apps)) {
+  FEDPOWER_EXPECTS(!apps_.empty());
+  for (const auto& app : apps_) validate(app);
+}
+
+const AppProfile& RotationWorkload::next(util::Rng&) {
+  const AppProfile& app = apps_[index_];
+  index_ = (index_ + 1) % apps_.size();
+  return app;
+}
+
+RandomWorkload::RandomWorkload(std::vector<AppProfile> apps)
+    : apps_(std::move(apps)) {
+  FEDPOWER_EXPECTS(!apps_.empty());
+  for (const auto& app : apps_) validate(app);
+}
+
+const AppProfile& RandomWorkload::next(util::Rng& rng) {
+  return apps_[rng.uniform_index(apps_.size())];
+}
+
+SingleAppWorkload::SingleAppWorkload(AppProfile app) {
+  validate(app);
+  apps_.push_back(std::move(app));
+}
+
+const AppProfile& SingleAppWorkload::next(util::Rng&) { return apps_[0]; }
+
+}  // namespace fedpower::sim

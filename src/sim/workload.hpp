@@ -1,0 +1,67 @@
+// Workload sequencing: decides which application a device executes next.
+// The paper's training setting assigns a small, device-specific set of
+// applications to each device (Table II) and runs them back to back in an
+// order unknown at design time.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/application.hpp"
+#include "util/rng.hpp"
+
+namespace fedpower::sim {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Profile of the next application to run. The reference stays valid until
+  /// the next call to next() on the same workload.
+  virtual const AppProfile& next(util::Rng& rng) = 0;
+
+  /// Applications this workload can produce (for reporting).
+  virtual const std::vector<AppProfile>& apps() const noexcept = 0;
+};
+
+/// Runs the given applications round-robin.
+class RotationWorkload final : public Workload {
+ public:
+  explicit RotationWorkload(std::vector<AppProfile> apps);
+  const AppProfile& next(util::Rng& rng) override;
+  const std::vector<AppProfile>& apps() const noexcept override {
+    return apps_;
+  }
+
+ private:
+  std::vector<AppProfile> apps_;
+  std::size_t index_ = 0;
+};
+
+/// Samples the next application uniformly at random from the set.
+class RandomWorkload final : public Workload {
+ public:
+  explicit RandomWorkload(std::vector<AppProfile> apps);
+  const AppProfile& next(util::Rng& rng) override;
+  const std::vector<AppProfile>& apps() const noexcept override {
+    return apps_;
+  }
+
+ private:
+  std::vector<AppProfile> apps_;
+};
+
+/// Repeats a single application forever (used during policy evaluation).
+class SingleAppWorkload final : public Workload {
+ public:
+  explicit SingleAppWorkload(AppProfile app);
+  const AppProfile& next(util::Rng& rng) override;
+  const std::vector<AppProfile>& apps() const noexcept override {
+    return apps_;
+  }
+
+ private:
+  std::vector<AppProfile> apps_;  // exactly one element
+};
+
+}  // namespace fedpower::sim

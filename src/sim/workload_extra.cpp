@@ -1,0 +1,41 @@
+#include "sim/workload_extra.hpp"
+
+#include "util/assert.hpp"
+
+namespace fedpower::sim {
+
+ScriptedWorkload::ScriptedWorkload(std::vector<AppProfile> apps,
+                                   std::vector<std::size_t> script)
+    : apps_(std::move(apps)), script_(std::move(script)) {
+  FEDPOWER_EXPECTS(!apps_.empty());
+  FEDPOWER_EXPECTS(!script_.empty());
+  for (const auto& app : apps_) validate(app);
+  for (const std::size_t index : script_)
+    FEDPOWER_EXPECTS(index < apps_.size());
+}
+
+const AppProfile& ScriptedWorkload::next(util::Rng&) {
+  const AppProfile& app = apps_[script_[position_]];
+  position_ = (position_ + 1) % script_.size();
+  return app;
+}
+
+WeightedWorkload::WeightedWorkload(std::vector<AppProfile> apps,
+                                   std::vector<double> weights)
+    : apps_(std::move(apps)), weights_(std::move(weights)) {
+  FEDPOWER_EXPECTS(!apps_.empty());
+  FEDPOWER_EXPECTS(weights_.size() == apps_.size());
+  for (const auto& app : apps_) validate(app);
+  double total = 0.0;
+  for (const double w : weights_) {
+    FEDPOWER_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  FEDPOWER_EXPECTS(total > 0.0);
+}
+
+const AppProfile& WeightedWorkload::next(util::Rng& rng) {
+  return apps_[rng.categorical(weights_)];
+}
+
+}  // namespace fedpower::sim

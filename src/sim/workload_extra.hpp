@@ -1,0 +1,56 @@
+// Additional workload sequencers beyond the three the paper's protocol
+// needs: a scripted (trace-driven) sequence for reproducible multi-app
+// schedules and a weighted sampler for skewed app popularity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/workload.hpp"
+
+namespace fedpower::sim {
+
+/// Plays a fixed sequence of applications (by index into the app set),
+/// looping at the end — a deterministic "schedule trace".
+class ScriptedWorkload final : public Workload {
+ public:
+  /// apps: the application set; script: indices into apps, executed in
+  /// order. Both must be non-empty; indices must be in range.
+  ScriptedWorkload(std::vector<AppProfile> apps,
+                   std::vector<std::size_t> script);
+
+  const AppProfile& next(util::Rng& rng) override;
+  const std::vector<AppProfile>& apps() const noexcept override {
+    return apps_;
+  }
+
+  std::size_t position() const noexcept { return position_; }
+  const std::vector<std::size_t>& script() const noexcept { return script_; }
+
+ private:
+  std::vector<AppProfile> apps_;
+  std::vector<std::size_t> script_;
+  std::size_t position_ = 0;
+};
+
+/// Samples applications with configurable weights — real devices run a few
+/// frequent workloads and occasionally something rare (paper §IV-A's
+/// non-uniformity argument, made explicit).
+class WeightedWorkload final : public Workload {
+ public:
+  /// weights must match apps in size, be non-negative, and sum > 0.
+  WeightedWorkload(std::vector<AppProfile> apps, std::vector<double> weights);
+
+  const AppProfile& next(util::Rng& rng) override;
+  const std::vector<AppProfile>& apps() const noexcept override {
+    return apps_;
+  }
+
+  const std::vector<double>& weights() const noexcept { return weights_; }
+
+ private:
+  std::vector<AppProfile> apps_;
+  std::vector<double> weights_;
+};
+
+}  // namespace fedpower::sim

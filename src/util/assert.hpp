@@ -1,0 +1,34 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6/I.8). Violations abort with a message; checks stay on
+// in release builds because every caller of this library is a simulator or
+// experiment harness where silent corruption is worse than a crash.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fedpower::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "fedpower: %s violated: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace fedpower::util
+
+#define FEDPOWER_EXPECTS(cond)                                             \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::fedpower::util::contract_failure("precondition", #cond,      \
+                                               __FILE__, __LINE__))
+
+#define FEDPOWER_ENSURES(cond)                                             \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::fedpower::util::contract_failure("postcondition", #cond,     \
+                                               __FILE__, __LINE__))
+
+#define FEDPOWER_ASSERT(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::fedpower::util::contract_failure("invariant", #cond,         \
+                                               __FILE__, __LINE__))

@@ -1,0 +1,142 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedpower::util {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+[[noreturn]] void syntax_error(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("config line " + std::to_string(line) + ": " +
+                              what);
+}
+
+}  // namespace
+
+Config Config::parse(std::istream& in) {
+  Config config;
+  std::string section;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments (both styles), then whitespace.
+    const auto comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line.erase(comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') syntax_error(line_no, "unterminated section");
+      section = trim(line.substr(1, line.size() - 2));
+      if (section.empty()) syntax_error(line_no, "empty section name");
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      syntax_error(line_no, "expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) syntax_error(line_no, "empty key");
+    config.set(section.empty() ? key : section + "." + key, value);
+  }
+  return config;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("config: cannot open " + path);
+  return parse(in);
+}
+
+bool Config::has(const std::string& key) const noexcept {
+  return values_.contains(key);
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(it->second, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + key + "': '" + it->second +
+                                "' is not a number");
+  }
+  if (used != it->second.size())
+    throw std::invalid_argument("config key '" + key + "': '" + it->second +
+                                "' is not a number");
+  return value;
+}
+
+long Config::get_int(const std::string& key, long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::size_t used = 0;
+  long value = 0;
+  try {
+    value = std::stol(it->second, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + key + "': '" + it->second +
+                                "' is not an integer");
+  }
+  if (used != it->second.size())
+    throw std::invalid_argument("config key '" + key + "': '" + it->second +
+                                "' is not an integer");
+  return value;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("config key '" + key + "': '" + it->second +
+                              "' is not a boolean");
+}
+
+std::vector<std::string> Config::get_list(const std::string& key) const {
+  std::vector<std::string> items;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return items;
+  std::istringstream in(it->second);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+}  // namespace fedpower::util

@@ -1,0 +1,58 @@
+// Minimal INI-style configuration files for the experiment binaries.
+//
+// Format:
+//   # comment            ; comment
+//   [section]
+//   key = value          -> stored as "section.key"
+//   list = a, b, c       -> get_list splits on commas
+//
+// Keys are case-sensitive; later assignments override earlier ones.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fedpower::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses a config stream; throws std::invalid_argument with a line
+  /// number on syntax errors.
+  static Config parse(std::istream& in);
+
+  /// Loads from a file path; throws std::runtime_error if unreadable.
+  static Config load(const std::string& path);
+
+  bool has(const std::string& key) const noexcept;
+
+  /// Raw string (fallback when the key is absent).
+  std::string get_string(const std::string& key,
+                         const std::string& fallback = "") const;
+
+  /// Typed getters; throw std::invalid_argument when the stored value does
+  /// not parse as the requested type.
+  double get_double(const std::string& key, double fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Comma-separated list with per-item trimming; empty items dropped.
+  std::vector<std::string> get_list(const std::string& key) const;
+
+  /// All keys in lexicographic order.
+  std::vector<std::string> keys() const;
+
+  /// Sets/overrides a value programmatically (used by tests and by CLI
+  /// "key=value" overrides).
+  void set(const std::string& key, const std::string& value);
+
+  std::size_t size() const noexcept { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace fedpower::util

@@ -1,0 +1,36 @@
+// Minimal CSV emission for experiment outputs. Values are quoted only when
+// needed (comma, quote or newline present), per RFC 4180.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fedpower::util {
+
+/// Writes rows of string/double cells to a stream or file.
+class CsvWriter {
+ public:
+  /// Writes to the given file path; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes into a caller-owned stream (used by tests).
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Emits one row; cells are escaped as needed.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: label followed by numeric cells (formatted with %.6g).
+  void write_row(const std::string& label, const std::vector<double>& values);
+
+  /// Formats a double the way write_row does ("%.6g").
+  static std::string format(double value);
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+};
+
+}  // namespace fedpower::util

@@ -1,0 +1,23 @@
+// Minimal leveled logging. The library itself logs nothing by default;
+// experiment binaries raise the level for progress reporting.
+#pragma once
+
+#include <string>
+
+namespace fedpower::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Writes "[level] message\n" to stderr if level passes the threshold.
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+}  // namespace fedpower::util

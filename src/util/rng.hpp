@@ -1,0 +1,81 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library takes an explicit Rng (or a
+// seed); there is no global RNG state. This makes experiments bit-for-bit
+// reproducible across runs given the same seed (DESIGN.md §5.3).
+//
+// The generator is xoshiro256++ seeded via splitmix64, which is fast, has
+// 256-bit state and passes BigCrush; std::mt19937 would also work but its
+// seeding from a single integer is notoriously poor.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fedpower::util {
+
+/// Splitmix64 step; used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256++ pseudo-random generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64() noexcept;
+
+  // UniformRandomBitGenerator interface (usable with <algorithm>/<random>).
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's method.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int uniform_int(int lo, int hi) noexcept;
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state minimal).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation (stddev >= 0).
+  double normal(double mean, double stddev) noexcept;
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) noexcept;
+
+  /// Samples an index from an unnormalized non-negative weight vector.
+  /// Requires at least one strictly positive weight.
+  std::size_t categorical(const std::vector<double>& weights) noexcept;
+
+  /// Fisher–Yates shuffle of an arbitrary random-access container.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-device streams).
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace fedpower::util

@@ -1,0 +1,92 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace fedpower::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean(const std::vector<double>& xs) noexcept {
+  RunningStats s;
+  for (const double x : xs) s.add(x);
+  return s.mean();
+}
+
+double stddev(const std::vector<double>& xs) noexcept {
+  RunningStats s;
+  for (const double x : xs) s.add(x);
+  return s.stddev();
+}
+
+double percentile(std::vector<double> xs, double p) {
+  FEDPOWER_EXPECTS(!xs.empty());
+  FEDPOWER_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+std::vector<double> moving_average(const std::vector<double>& xs,
+                                   std::size_t window) {
+  FEDPOWER_EXPECTS(window >= 1);
+  std::vector<double> out;
+  out.reserve(xs.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i];
+    if (i >= window) acc -= xs[i - window];
+    const std::size_t n = std::min(i + 1, window);
+    out.push_back(acc / static_cast<double>(n));
+  }
+  return out;
+}
+
+double percent_change(double a, double b) noexcept {
+  if (a == 0.0) return 0.0;
+  return (b - a) / std::abs(a) * 100.0;
+}
+
+}  // namespace fedpower::util

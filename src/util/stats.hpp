@@ -1,0 +1,67 @@
+// Streaming and batch statistics used by the evaluation harness, telemetry
+// aggregation and the benchmark tables.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fedpower::util {
+
+/// Numerically stable streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator into this one (parallel-combinable).
+  void merge(const RunningStats& other) noexcept;
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+
+  /// Mean of the samples; 0 when empty.
+  double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+
+  /// Sample standard deviation; 0 for fewer than two samples.
+  double stddev() const noexcept;
+
+  /// Smallest sample seen; +inf when empty.
+  double min() const noexcept { return min_; }
+
+  /// Largest sample seen; -inf when empty.
+  double max() const noexcept { return max_; }
+
+  /// Sum of all samples.
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a vector; 0 when empty.
+double mean(const std::vector<double>& xs) noexcept;
+
+/// Sample standard deviation of a vector; 0 for fewer than two samples.
+double stddev(const std::vector<double>& xs) noexcept;
+
+/// Linear-interpolation percentile, p in [0, 100]. Requires non-empty input.
+/// The input is copied and sorted internally.
+double percentile(std::vector<double> xs, double p);
+
+/// Simple moving average with the given window (>= 1); output length matches
+/// the input, with a growing window at the start.
+std::vector<double> moving_average(const std::vector<double>& xs,
+                                   std::size_t window);
+
+/// Relative change (b - a) / |a| expressed in percent; 0 when a == 0.
+double percent_change(double a, double b) noexcept;
+
+}  // namespace fedpower::util

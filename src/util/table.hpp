@@ -1,0 +1,36 @@
+// Fixed-width ASCII table rendering for benchmark output. The benches print
+// the same rows the paper's tables/figures report, so the terminal output is
+// directly comparable with the publication.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fedpower::util {
+
+/// Accumulates rows of cells and renders them as an aligned ASCII table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Row where every numeric cell is pre-formatted with the given precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  /// Renders with column alignment and +--- separators.
+  std::string to_string() const;
+
+  /// Convenience: renders straight to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const AsciiTable& t);
+
+  static std::string format(double value, int precision);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fedpower::util

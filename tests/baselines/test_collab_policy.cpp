@@ -1,0 +1,151 @@
+#include "baselines/collab_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedpower::baselines {
+namespace {
+
+ProfitConfig small_config() {
+  ProfitConfig config;
+  config.action_count = 4;
+  config.epsilon_decay = 0.05;
+  return config;
+}
+
+TEST(PolicyTableBytes, Formula) {
+  // 1 action byte + 4-byte reward + 4-byte count per state.
+  EXPECT_EQ(policy_table_bytes(750), 750u * 9u);
+}
+
+TEST(CollabPolicyServer, StartsEmpty) {
+  CollabPolicyServer server(10);
+  EXPECT_EQ(server.state_count(), 10u);
+  for (const auto& entry : server.global()) EXPECT_EQ(entry.visits, 0u);
+}
+
+TEST(CollabPolicyServer, MergesVisitCounts) {
+  CollabPolicyServer server(2);
+  std::vector<PolicyEntry> a(2);
+  std::vector<PolicyEntry> b(2);
+  a[0] = {1, 0.5F, 10};
+  b[0] = {2, 0.7F, 30};
+  server.aggregate({a, b});
+  EXPECT_EQ(server.global()[0].visits, 40u);
+  // Weighted mean reward: (0.5*10 + 0.7*30)/40 = 0.65.
+  EXPECT_NEAR(server.global()[0].mean_reward, 0.65, 1e-6);
+  // Best action from the higher-reward client.
+  EXPECT_EQ(server.global()[0].best_action, 2);
+}
+
+TEST(CollabPolicyServer, UnvisitedStatesKeepPreviousEntry) {
+  CollabPolicyServer server(1);
+  std::vector<PolicyEntry> a(1);
+  a[0] = {3, 0.9F, 5};
+  server.aggregate({a});
+  std::vector<PolicyEntry> empty(1);  // no visits this round
+  server.aggregate({empty});
+  EXPECT_EQ(server.global()[0].best_action, 3);
+  EXPECT_EQ(server.global()[0].visits, 5u);
+}
+
+TEST(CollabPolicyServer, SingleClientPassesThrough) {
+  CollabPolicyServer server(3);
+  std::vector<PolicyEntry> a(3);
+  a[1] = {2, 0.4F, 7};
+  server.aggregate({a});
+  EXPECT_EQ(server.global()[1].best_action, 2);
+  EXPECT_EQ(server.global()[1].visits, 7u);
+  EXPECT_NEAR(server.global()[1].mean_reward, 0.4, 1e-6);
+}
+
+TEST(CollabProfitClient, FallsBackToLocalWithoutGlobal) {
+  CollabProfitClient client(small_config(), util::Rng{1});
+  const std::vector<double> f = {0.5, 0.5, 0.8, 20.0};
+  client.greedy_action(f);
+  EXPECT_FALSE(client.used_global());
+}
+
+TEST(CollabProfitClient, UsesGlobalForUnknownState) {
+  CollabProfitClient client(small_config(), util::Rng{2});
+  const std::vector<double> f = {0.5, 0.5, 0.8, 20.0};
+  const std::size_t s = client.local_agent().discretizer().index(f);
+  std::vector<PolicyEntry> global(
+      client.local_agent().discretizer().state_count());
+  global[s] = {3, 0.8F, 50};
+  client.receive_global(std::move(global));
+  EXPECT_EQ(client.greedy_action(f), 3u);
+  EXPECT_TRUE(client.used_global());
+}
+
+TEST(CollabProfitClient, PrefersLocalWhenItKnowsBetter) {
+  CollabProfitClient client(small_config(), util::Rng{3});
+  const std::vector<double> f = {0.5, 0.5, 0.8, 20.0};
+  // Give the local table strong experience with high rewards.
+  for (int i = 0; i < 50; ++i) client.record(f, 1, 0.9);
+  const std::size_t s = client.local_agent().discretizer().index(f);
+  std::vector<PolicyEntry> global(
+      client.local_agent().discretizer().state_count());
+  global[s] = {3, 0.2F, 100};  // global knows the state but with low reward
+  client.receive_global(std::move(global));
+  EXPECT_EQ(client.greedy_action(f), 1u);
+  EXPECT_FALSE(client.used_global());
+}
+
+TEST(CollabProfitClient, PrefersGlobalWhenItKnowsBetter) {
+  CollabProfitClient client(small_config(), util::Rng{4});
+  const std::vector<double> f = {0.5, 0.5, 0.8, 20.0};
+  for (int i = 0; i < 50; ++i) client.record(f, 1, 0.1);  // weak local
+  const std::size_t s = client.local_agent().discretizer().index(f);
+  std::vector<PolicyEntry> global(
+      client.local_agent().discretizer().state_count());
+  global[s] = {2, 0.9F, 100};
+  client.receive_global(std::move(global));
+  EXPECT_EQ(client.greedy_action(f), 2u);
+  EXPECT_TRUE(client.used_global());
+}
+
+TEST(CollabProfitClient, ExportReflectsLocalTable) {
+  CollabProfitClient client(small_config(), util::Rng{5});
+  const std::vector<double> f = {0.5, 0.5, 0.8, 20.0};
+  for (int i = 0; i < 20; ++i) client.record(f, 2, 0.6);
+  const auto summary = client.export_policy();
+  const std::size_t s = client.local_agent().discretizer().index(f);
+  EXPECT_EQ(summary[s].best_action, 2);
+  EXPECT_EQ(summary[s].visits, 20u);
+  EXPECT_NEAR(summary[s].mean_reward, 0.6, 1e-5);
+}
+
+TEST(CollabProfitClient, ExportSkipsUnvisitedStates) {
+  CollabProfitClient client(small_config(), util::Rng{6});
+  const auto summary = client.export_policy();
+  for (const auto& entry : summary) EXPECT_EQ(entry.visits, 0u);
+}
+
+TEST(CollabRoundTrip, TwoClientsShareKnowledge) {
+  // Client A learns a state; after aggregation client B acts on it without
+  // ever visiting it — the knowledge-sharing mechanism of [11].
+  CollabProfitClient a(small_config(), util::Rng{7});
+  CollabProfitClient b(small_config(), util::Rng{8});
+  const std::vector<double> f = {0.5, 0.5, 0.8, 20.0};
+  for (int i = 0; i < 40; ++i) a.record(f, 3, 0.8);
+  CollabPolicyServer server(a.local_agent().discretizer().state_count());
+  server.aggregate({a.export_policy(), b.export_policy()});
+  b.receive_global(server.global());
+  EXPECT_EQ(b.greedy_action(f), 3u);
+  EXPECT_TRUE(b.used_global());
+}
+
+TEST(CollabPolicyDeathTest, ServerRejectsSizeMismatch) {
+  CollabPolicyServer server(5);
+  std::vector<PolicyEntry> wrong(4);
+  EXPECT_DEATH(server.aggregate({wrong}), "precondition");
+}
+
+TEST(CollabPolicyDeathTest, ClientRejectsWrongGlobalSize) {
+  CollabProfitClient client(small_config(), util::Rng{9});
+  EXPECT_DEATH(client.receive_global(std::vector<PolicyEntry>(3)),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::baselines

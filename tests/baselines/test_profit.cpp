@@ -1,0 +1,119 @@
+#include "baselines/profit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedpower::baselines {
+namespace {
+
+ProfitConfig small_config() {
+  ProfitConfig config;
+  config.action_count = 4;
+  config.epsilon_decay = 0.01;
+  return config;
+}
+
+TEST(ProfitFeatures, ExtractsFourDimensions) {
+  sim::TelemetrySample sample;
+  sample.freq_mhz = 739.5;
+  sample.power_w = 0.5;
+  sample.ipc = 0.8;
+  sample.mpki = 20.0;
+  const auto features = profit_features(sample, 1479.0);
+  ASSERT_EQ(features.size(), 4u);
+  EXPECT_NEAR(features[0], 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(features[1], 0.5);
+  EXPECT_DOUBLE_EQ(features[2], 0.8);
+  EXPECT_DOUBLE_EQ(features[3], 20.0);
+}
+
+TEST(ProfitDiscretizer, StateCountMatchesBins) {
+  ProfitConfig config;  // 5*6*5*5
+  EXPECT_EQ(profit_discretizer(config).state_count(), 750u);
+}
+
+TEST(ProfitAgent, EpsilonStartsHighAndDecays) {
+  ProfitAgent agent(small_config(), util::Rng{1});
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 0.9);
+  const std::vector<double> f = {0.5, 0.5, 0.8, 20.0};
+  for (int i = 0; i < 500; ++i) agent.record(f, 0, 0.1);
+  EXPECT_LT(agent.epsilon(), 0.1);
+}
+
+TEST(ProfitAgent, EpsilonFloorsAtPaperMinimum) {
+  ProfitAgent agent(small_config(), util::Rng{2});
+  const std::vector<double> f = {0.5, 0.5, 0.8, 20.0};
+  for (int i = 0; i < 2000; ++i) agent.record(f, 0, 0.1);
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 0.01);
+}
+
+TEST(ProfitAgent, LearnsBestActionInState) {
+  ProfitConfig config = small_config();
+  ProfitAgent agent(config, util::Rng{3});
+  const std::vector<double> f = {0.5, 0.5, 0.8, 20.0};
+  const std::vector<double> rewards = {0.1, 0.9, 0.4, -0.2};
+  for (int t = 0; t < 800; ++t) {
+    const std::size_t a = agent.select_action(f);
+    agent.record(f, a, rewards[a]);
+  }
+  EXPECT_EQ(agent.greedy_action(f), 1u);
+}
+
+TEST(ProfitAgent, StatesAreIndependent) {
+  // Tabular: learning in one state must not change another — the
+  // no-generalization property the paper contrasts with NNs.
+  ProfitAgent agent(small_config(), util::Rng{4});
+  const std::vector<double> s1 = {0.1, 0.2, 0.3, 5.0};
+  const std::vector<double> s2 = {0.9, 1.1, 1.3, 45.0};
+  for (int i = 0; i < 100; ++i) agent.record(s1, 2, 1.0);
+  const std::size_t s2_index = agent.discretizer().index(s2);
+  for (std::size_t a = 0; a < 4; ++a)
+    EXPECT_DOUBLE_EQ(agent.table().value(s2_index, a), 0.0);
+}
+
+TEST(ProfitAgent, NearbyStatesShareBin) {
+  ProfitAgent agent(small_config(), util::Rng{5});
+  const std::vector<double> a = {0.50, 0.50, 0.80, 20.0};
+  const std::vector<double> b = {0.51, 0.51, 0.81, 20.5};
+  EXPECT_EQ(agent.discretizer().index(a), agent.discretizer().index(b));
+}
+
+TEST(ProfitAgent, RewardSignalMatchesPaperDescription) {
+  ProfitAgent agent(small_config(), util::Rng{6});
+  sim::TelemetrySample under;
+  under.ips = 1.2e9;
+  under.power_w = 0.5;
+  EXPECT_DOUBLE_EQ(agent.reward()(under), 1.2);
+  sim::TelemetrySample over;
+  over.ips = 1.2e9;
+  over.power_w = 0.8;
+  EXPECT_NEAR(agent.reward()(over), -1.0, 1e-12);  // -5 * 0.2
+}
+
+TEST(ProfitAgent, GreedyDoesNotMutateState) {
+  ProfitAgent agent(small_config(), util::Rng{7});
+  const std::vector<double> f = {0.5, 0.5, 0.8, 20.0};
+  const std::size_t steps_before = agent.step_count();
+  agent.greedy_action(f);
+  agent.greedy_action(f);
+  EXPECT_EQ(agent.step_count(), steps_before);
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 0.9);
+}
+
+TEST(ProfitAgent, SelectActionExploresInitially) {
+  ProfitAgent agent(small_config(), util::Rng{8});
+  const std::vector<double> f = {0.5, 0.5, 0.8, 20.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 400; ++i) ++counts[agent.select_action(f)];
+  int covered = 0;
+  for (const int c : counts)
+    if (c > 0) ++covered;
+  EXPECT_EQ(covered, 4);
+}
+
+TEST(ProfitAgentDeathTest, RejectsOutOfRangeAction) {
+  ProfitAgent agent(small_config(), util::Rng{9});
+  EXPECT_DEATH(agent.record(std::vector<double>{0.5, 0.5, 0.8, 20.0}, 4, 0.0), "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::baselines

@@ -1,0 +1,162 @@
+#include "core/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/splash2.hpp"
+
+namespace fedpower::core {
+namespace {
+
+Evaluator make_evaluator() {
+  ControllerConfig config;
+  EvalConfig eval;
+  eval.processor.sensor_noise_w = 0.0;
+  eval.processor.workload_jitter = 0.0;
+  eval.episode_intervals = 30;
+  return Evaluator(config, eval);
+}
+
+PolicyFn fixed_policy(std::size_t level) {
+  return [level](const sim::TelemetrySample&) { return level; };
+}
+
+TEST(Evaluator, EpisodeRunsRequestedIntervals) {
+  const Evaluator evaluator = make_evaluator();
+  const EvalResult result = evaluator.run_episode(
+      fixed_policy(7), *sim::splash2_app("fft"), 1);
+  EXPECT_EQ(result.intervals, 30u);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.app, "fft");
+}
+
+TEST(Evaluator, FixedPolicyYieldsThatFrequency) {
+  const Evaluator evaluator = make_evaluator();
+  const EvalResult result = evaluator.run_episode(
+      fixed_policy(7), *sim::splash2_app("fft"), 2);
+  EXPECT_DOUBLE_EQ(result.mean_freq_mhz, 825.6);
+  EXPECT_DOUBLE_EQ(result.stddev_freq_mhz, 0.0);
+}
+
+TEST(Evaluator, MaxFrequencyOnComputeAppViolates) {
+  const Evaluator evaluator = make_evaluator();
+  const EvalResult result = evaluator.run_episode(
+      fixed_policy(14), *sim::splash2_app("water-ns"), 3);
+  EXPECT_GT(result.violation_rate, 0.95);
+  EXPECT_NEAR(result.mean_reward, -1.0, 0.05);
+}
+
+TEST(Evaluator, MaxFrequencyOnMemoryAppIsOptimal) {
+  const Evaluator evaluator = make_evaluator();
+  const EvalResult result = evaluator.run_episode(
+      fixed_policy(14), *sim::splash2_app("radix"), 4);
+  EXPECT_LT(result.violation_rate, 0.05);
+  EXPECT_GT(result.mean_reward, 0.95);
+}
+
+TEST(Evaluator, RunToCompletionReportsExecTime) {
+  const Evaluator evaluator = make_evaluator();
+  const EvalResult result = evaluator.run_to_completion(
+      fixed_policy(14), *sim::splash2_app("radix"), 5);
+  EXPECT_TRUE(result.completed);
+  EXPECT_GT(result.exec_time_s, 5.0);
+  EXPECT_LT(result.exec_time_s, 60.0);
+  EXPECT_GT(result.mean_ips, 1e8);
+}
+
+TEST(Evaluator, CompletionReportsEnergyAndEdp) {
+  const Evaluator evaluator = make_evaluator();
+  const EvalResult result = evaluator.run_to_completion(
+      fixed_policy(10), *sim::splash2_app("fft"), 11);
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.energy_j, 0.0);
+  EXPECT_NEAR(result.edp, result.energy_j * result.exec_time_s, 1e-9);
+  // Energy must be consistent with mean power x time to within the
+  // interval granularity.
+  EXPECT_NEAR(result.energy_j,
+              result.mean_power_w * result.exec_time_s,
+              0.1 * result.energy_j);
+}
+
+TEST(Evaluator, EnergyDelayTradeoffAcrossLevels) {
+  // Energy-delay product is the metric of [8]; it must be a U-shaped-ish
+  // function with neither extreme level optimal for a compute app.
+  const Evaluator evaluator = make_evaluator();
+  const auto edp_at = [&](std::size_t level) {
+    return evaluator
+        .run_to_completion(fixed_policy(level), *sim::splash2_app("lu"), 12)
+        .edp;
+  };
+  const double low = edp_at(0);
+  const double mid = edp_at(8);
+  EXPECT_LT(mid, low);  // crawling wastes leakage energy over a long time
+}
+
+TEST(Evaluator, HigherFrequencyFinishesFaster) {
+  const Evaluator evaluator = make_evaluator();
+  const EvalResult slow = evaluator.run_to_completion(
+      fixed_policy(4), *sim::splash2_app("lu"), 6);
+  const EvalResult fast = evaluator.run_to_completion(
+      fixed_policy(10), *sim::splash2_app("lu"), 6);
+  ASSERT_TRUE(slow.completed);
+  ASSERT_TRUE(fast.completed);
+  EXPECT_LT(fast.exec_time_s, slow.exec_time_s);
+}
+
+TEST(Evaluator, TimeoutLeavesCompletedFalse) {
+  ControllerConfig config;
+  EvalConfig eval;
+  eval.processor.sensor_noise_w = 0.0;
+  eval.completion_timeout_s = 2.0;  // far too short for any app
+  const Evaluator evaluator(config, eval);
+  const EvalResult result = evaluator.run_to_completion(
+      fixed_policy(0), *sim::splash2_app("ocean"), 7);
+  EXPECT_FALSE(result.completed);
+  EXPECT_DOUBLE_EQ(result.exec_time_s, 0.0);
+}
+
+TEST(Evaluator, NeuralPolicyIsGreedyArgmax) {
+  const Evaluator evaluator = make_evaluator();
+  ControllerConfig config;
+  util::Rng rng(8);
+  nn::Mlp model = nn::make_mlp(config.agent.state_dim,
+                               config.agent.hidden_sizes,
+                               config.agent.action_count, rng);
+  // Force the model to always prefer action 3: zero weights, bias peak.
+  std::vector<double> params(model.param_count(), 0.0);
+  // Output bias layout: last action_count entries.
+  params[params.size() - config.agent.action_count + 3] = 1.0;
+  const PolicyFn policy = evaluator.neural_policy(params);
+  sim::TelemetrySample sample;
+  sample.freq_mhz = 500.0;
+  EXPECT_EQ(policy(sample), 3u);
+}
+
+TEST(Evaluator, DeterministicForSameSeed) {
+  const Evaluator evaluator = make_evaluator();
+  const EvalResult a = evaluator.run_episode(
+      fixed_policy(9), *sim::splash2_app("volrend"), 42);
+  const EvalResult b = evaluator.run_episode(
+      fixed_policy(9), *sim::splash2_app("volrend"), 42);
+  EXPECT_DOUBLE_EQ(a.mean_reward, b.mean_reward);
+  EXPECT_DOUBLE_EQ(a.mean_power_w, b.mean_power_w);
+}
+
+TEST(Evaluator, ReactivePolicyCanUseTelemetry) {
+  // A policy that reacts to power (step down when above budget) must end
+  // with fewer violations than blindly running at max.
+  const Evaluator evaluator = make_evaluator();
+  const PolicyFn reactive = [](const sim::TelemetrySample& s) {
+    if (s.power_w > 0.6 && s.level > 0) return s.level - 1;
+    if (s.power_w < 0.5 && s.level < 14) return s.level + 1;
+    return s.level;
+  };
+  const EvalResult adaptive = evaluator.run_episode(
+      reactive, *sim::splash2_app("water-sp"), 9);
+  const EvalResult blind = evaluator.run_episode(
+      fixed_policy(14), *sim::splash2_app("water-sp"), 9);
+  EXPECT_LT(adaptive.violation_rate, blind.violation_rate);
+  EXPECT_GT(adaptive.mean_reward, blind.mean_reward);
+}
+
+}  // namespace
+}  // namespace fedpower::core

@@ -1,0 +1,102 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedpower::core {
+namespace {
+
+RoundCurve make_curve(std::initializer_list<double> rewards) {
+  RoundCurve curve;
+  for (const double r : rewards) {
+    curve.reward.push_back(r);
+    curve.mean_power_w.push_back(0.5);
+    curve.mean_freq_mhz.push_back(1000.0);
+    curve.stddev_freq_mhz.push_back(10.0);
+    curve.violation_rate.push_back(r < 0.0 ? 0.5 : 0.0);
+  }
+  return curve;
+}
+
+TEST(CurveSummary, FullCurveStats) {
+  const CurveSummary s = summarize(make_curve({0.2, 0.4, 0.6}));
+  EXPECT_NEAR(s.mean_reward, 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min_reward, 0.2);
+  EXPECT_DOUBLE_EQ(s.mean_power_w, 0.5);
+  EXPECT_DOUBLE_EQ(s.mean_freq_mhz, 1000.0);
+  EXPECT_EQ(s.rounds, 3u);
+}
+
+TEST(CurveSummary, TailRestrictsWindow) {
+  const CurveSummary s = summarize(make_curve({-1.0, 0.5, 0.7}), 2);
+  EXPECT_NEAR(s.mean_reward, 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min_reward, 0.5);
+  EXPECT_EQ(s.rounds, 2u);
+}
+
+TEST(CurveSummary, TailLargerThanCurveUsesAll) {
+  const CurveSummary s = summarize(make_curve({0.1, 0.3}), 99);
+  EXPECT_EQ(s.rounds, 2u);
+  EXPECT_NEAR(s.mean_reward, 0.2, 1e-12);
+}
+
+TEST(CurveSummary, MultiDeviceAveragesAndTakesGlobalMin) {
+  const std::vector<RoundCurve> devices = {make_curve({0.4, 0.6}),
+                                           make_curve({-0.2, 0.2})};
+  const CurveSummary s = summarize(devices);
+  EXPECT_NEAR(s.mean_reward, 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min_reward, -0.2);
+}
+
+TEST(CurveSummary, ViolationRateAggregates) {
+  const CurveSummary s = summarize(make_curve({-0.5, 0.5}));
+  EXPECT_NEAR(s.violation_rate, 0.25, 1e-12);
+}
+
+TEST(AppMetricsSummary, MeansAndMax) {
+  const std::vector<AppMetrics> metrics = {
+      {"a", 10.0, 1e9, 0.5}, {"b", 30.0, 2e9, 0.55}};
+  const AppMetricsSummary s = summarize(metrics);
+  EXPECT_DOUBLE_EQ(s.mean_exec_time_s, 20.0);
+  EXPECT_DOUBLE_EQ(s.mean_ips, 1.5e9);
+  EXPECT_NEAR(s.mean_power_w, 0.525, 1e-12);
+  EXPECT_DOUBLE_EQ(s.max_exec_time_s, 30.0);
+}
+
+TEST(Compare, PerAppChanges) {
+  const std::vector<AppMetrics> baseline = {{"a", 20.0, 1.0e9, 0.45}};
+  const std::vector<AppMetrics> candidate = {{"a", 16.0, 1.3e9, 0.52}};
+  const auto comparisons = compare(baseline, candidate);
+  ASSERT_EQ(comparisons.size(), 1u);
+  EXPECT_NEAR(comparisons[0].exec_time_change_pct, -20.0, 1e-9);
+  EXPECT_NEAR(comparisons[0].ips_change_pct, 30.0, 1e-9);
+  EXPECT_NEAR(comparisons[0].power_delta_w, 0.07, 1e-12);
+}
+
+TEST(Compare, SummaryPicksBestCases) {
+  const std::vector<AppMetrics> baseline = {{"a", 20.0, 1e9, 0.5},
+                                            {"b", 40.0, 1e9, 0.5}};
+  const std::vector<AppMetrics> candidate = {{"a", 18.0, 1.1e9, 0.5},
+                                             {"b", 20.0, 1.5e9, 0.5}};
+  const ComparisonSummary s = summarize(compare(baseline, candidate));
+  EXPECT_NEAR(s.mean_exec_time_change_pct, -30.0, 1e-9);  // (-10-50)/2
+  EXPECT_NEAR(s.best_exec_time_change_pct, -50.0, 1e-9);
+  EXPECT_NEAR(s.best_ips_change_pct, 50.0, 1e-9);
+}
+
+TEST(CompareDeathTest, RejectsMismatchedApps) {
+  const std::vector<AppMetrics> a = {{"x", 1.0, 1.0, 1.0}};
+  const std::vector<AppMetrics> b = {{"y", 1.0, 1.0, 1.0}};
+  EXPECT_DEATH(compare(a, b), "precondition");
+  const std::vector<AppMetrics> longer = {{"x", 1.0, 1.0, 1.0},
+                                          {"y", 1.0, 1.0, 1.0}};
+  EXPECT_DEATH(compare(a, longer), "precondition");
+}
+
+TEST(CurveSummaryDeathTest, RejectsEmptyInputs) {
+  EXPECT_DEATH(summarize(RoundCurve{}), "precondition");
+  EXPECT_DEATH(summarize(std::vector<RoundCurve>{}), "precondition");
+  EXPECT_DEATH(summarize(std::vector<AppMetrics>{}), "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::core

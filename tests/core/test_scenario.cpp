@@ -1,0 +1,75 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/splash2.hpp"
+
+namespace fedpower::core {
+namespace {
+
+TEST(Scenario, ThreeTable2Scenarios) {
+  const auto scenarios = table2_scenarios();
+  ASSERT_EQ(scenarios.size(), 3u);
+  for (const auto& s : scenarios) {
+    ASSERT_EQ(s.device_apps.size(), 2u);
+    EXPECT_EQ(s.device_apps[0].size(), 2u);
+    EXPECT_EQ(s.device_apps[1].size(), 2u);
+  }
+}
+
+TEST(Scenario, Table2MatchesPaper) {
+  const auto scenarios = table2_scenarios();
+  EXPECT_EQ(scenarios[0].device_apps[0],
+            (std::vector<std::string>{"fft", "lu"}));
+  EXPECT_EQ(scenarios[0].device_apps[1],
+            (std::vector<std::string>{"raytrace", "volrend"}));
+  EXPECT_EQ(scenarios[1].device_apps[0],
+            (std::vector<std::string>{"water-ns", "water-sp"}));
+  EXPECT_EQ(scenarios[1].device_apps[1],
+            (std::vector<std::string>{"ocean", "radix"}));
+  EXPECT_EQ(scenarios[2].device_apps[0],
+            (std::vector<std::string>{"fmm", "radiosity"}));
+  EXPECT_EQ(scenarios[2].device_apps[1],
+            (std::vector<std::string>{"barnes", "cholesky"}));
+}
+
+TEST(Scenario, Table2AppsAreDisjointWithinScenario) {
+  for (const auto& scenario : table2_scenarios()) {
+    std::set<std::string> all;
+    for (const auto& device : scenario.device_apps)
+      for (const auto& app : device)
+        EXPECT_TRUE(all.insert(app).second) << app;
+  }
+}
+
+TEST(Scenario, SixAppSplitCoversAllTwelve) {
+  const Scenario split = six_app_split();
+  ASSERT_EQ(split.device_apps.size(), 2u);
+  EXPECT_EQ(split.device_apps[0].size(), 6u);
+  EXPECT_EQ(split.device_apps[1].size(), 6u);
+  std::set<std::string> all;
+  for (const auto& device : split.device_apps)
+    for (const auto& app : device) all.insert(app);
+  EXPECT_EQ(all.size(), 12u);
+  for (const auto& name : sim::splash2_names())
+    EXPECT_TRUE(all.contains(name)) << name;
+}
+
+TEST(Scenario, ResolveProducesProfiles) {
+  const auto resolved = resolve(table2_scenarios()[1]);
+  ASSERT_EQ(resolved.size(), 2u);
+  EXPECT_EQ(resolved[0][0].name, "water-ns");
+  EXPECT_EQ(resolved[1][1].name, "radix");
+  for (const auto& device : resolved)
+    for (const auto& app : device) EXPECT_FALSE(app.phases.empty());
+}
+
+TEST(ScenarioDeathTest, ResolveRejectsUnknownApp) {
+  Scenario bad{"bad", {{"nonexistent-app"}}};
+  EXPECT_DEATH(resolve(bad), "invariant");
+}
+
+}  // namespace
+}  // namespace fedpower::core

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluate.hpp"
+#include "sim/splash2.hpp"
+
+namespace fedpower::core {
+namespace {
+
+Evaluator make_evaluator() {
+  ControllerConfig config;
+  EvalConfig eval;
+  eval.processor.sensor_noise_w = 0.0;
+  eval.processor.workload_jitter = 0.0;
+  return Evaluator(config, eval);
+}
+
+PolicyFn fixed(std::size_t level) {
+  return [level](const sim::TelemetrySample&) { return level; };
+}
+
+TEST(SwitchingEpisode, OneSegmentPerApp) {
+  const Evaluator evaluator = make_evaluator();
+  const std::vector<sim::AppProfile> apps = {
+      *sim::splash2_app("fft"), *sim::splash2_app("radix"),
+      *sim::splash2_app("lu")};
+  const auto segments =
+      evaluator.run_switching_episode(fixed(7), apps, 10, 1);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[0].app, "fft");
+  EXPECT_EQ(segments[1].app, "radix");
+  EXPECT_EQ(segments[2].app, "lu");
+  for (const auto& segment : segments) EXPECT_EQ(segment.intervals, 10u);
+}
+
+TEST(SwitchingEpisode, SegmentsReflectTheirApp) {
+  // At f_max, the radix segment stays under budget and the lu segment
+  // violates — the per-segment stats must show it.
+  const Evaluator evaluator = make_evaluator();
+  const std::vector<sim::AppProfile> apps = {*sim::splash2_app("radix"),
+                                             *sim::splash2_app("lu")};
+  const auto segments =
+      evaluator.run_switching_episode(fixed(14), apps, 12, 2);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_LT(segments[0].violation_rate, 0.1);
+  EXPECT_GT(segments[0].mean_reward, 0.9);
+  EXPECT_GT(segments[1].violation_rate, 0.8);
+  EXPECT_LT(segments[1].mean_reward, -0.8);
+}
+
+TEST(SwitchingEpisode, ReactivePolicyLagsAtBoundary) {
+  // A step-down-on-violation policy carries its previous level into the
+  // first interval of the new app: after a memory segment the first
+  // compute interval must violate.
+  const Evaluator evaluator = make_evaluator();
+  const PolicyFn reactive = [](const sim::TelemetrySample& s) {
+    if (s.power_w > 0.6 && s.level > 0) return s.level - 1;
+    if (s.power_w < 0.5 && s.level < 14) return s.level + 1;
+    return s.level;
+  };
+  const std::vector<sim::AppProfile> apps = {*sim::splash2_app("radix"),
+                                             *sim::splash2_app("water-ns")};
+  const auto segments =
+      evaluator.run_switching_episode(reactive, apps, 20, 3);
+  // During radix the policy climbs to high levels; the water segment then
+  // starts with violations before stepping back down.
+  EXPECT_GT(segments[1].violation_rate, 0.1);
+}
+
+TEST(SwitchingEpisode, DeterministicGivenSeed) {
+  const Evaluator evaluator = make_evaluator();
+  const std::vector<sim::AppProfile> apps = {*sim::splash2_app("fft"),
+                                             *sim::splash2_app("barnes")};
+  const auto a = evaluator.run_switching_episode(fixed(9), apps, 8, 7);
+  const auto b = evaluator.run_switching_episode(fixed(9), apps, 8, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a[i].mean_reward, b[i].mean_reward);
+}
+
+TEST(SwitchingEpisode, RepeatedAppYieldsSimilarSegments) {
+  const Evaluator evaluator = make_evaluator();
+  const std::vector<sim::AppProfile> apps = {*sim::splash2_app("volrend"),
+                                             *sim::splash2_app("volrend")};
+  const auto segments =
+      evaluator.run_switching_episode(fixed(10), apps, 15, 9);
+  EXPECT_NEAR(segments[0].mean_reward, segments[1].mean_reward, 0.1);
+}
+
+}  // namespace
+}  // namespace fedpower::core

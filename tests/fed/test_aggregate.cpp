@@ -1,0 +1,76 @@
+#include "fed/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedpower::fed {
+namespace {
+
+TEST(AverageUnweighted, SingleModelIsIdentity) {
+  const std::vector<std::vector<double>> models = {{1.0, 2.0, 3.0}};
+  EXPECT_EQ(average_unweighted(models), models[0]);
+}
+
+TEST(AverageUnweighted, ElementwiseMean) {
+  const std::vector<std::vector<double>> models = {{1.0, 2.0}, {3.0, 6.0}};
+  const auto global = average_unweighted(models);
+  EXPECT_DOUBLE_EQ(global[0], 2.0);
+  EXPECT_DOUBLE_EQ(global[1], 4.0);
+}
+
+TEST(AverageUnweighted, PaperAlgorithm2Line8) {
+  // theta_{r+1} = 1/N sum theta_r^n for N = 3.
+  const std::vector<std::vector<double>> models = {
+      {0.3}, {0.6}, {0.9}};
+  EXPECT_NEAR(average_unweighted(models)[0], 0.6, 1e-12);
+}
+
+TEST(AverageUnweighted, NegativeValues) {
+  const std::vector<std::vector<double>> models = {{-1.0}, {1.0}};
+  EXPECT_DOUBLE_EQ(average_unweighted(models)[0], 0.0);
+}
+
+TEST(AverageUnweighted, IdenticalModelsAreFixedPoint) {
+  const std::vector<double> model = {0.5, -0.25, 1.5};
+  EXPECT_EQ(average_unweighted({model, model, model}), model);
+}
+
+TEST(AverageWeighted, RespectsWeights) {
+  const std::vector<std::vector<double>> models = {{0.0}, {1.0}};
+  const std::vector<double> weights = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(average_weighted(models, weights)[0], 0.75);
+}
+
+TEST(AverageWeighted, EqualWeightsMatchUnweighted) {
+  const std::vector<std::vector<double>> models = {{1.0, 4.0}, {3.0, 0.0}};
+  const std::vector<double> weights = {2.0, 2.0};
+  EXPECT_EQ(average_weighted(models, weights), average_unweighted(models));
+}
+
+TEST(AverageWeighted, ZeroWeightClientIgnored) {
+  const std::vector<std::vector<double>> models = {{5.0}, {1.0}};
+  const std::vector<double> weights = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(average_weighted(models, weights)[0], 1.0);
+}
+
+TEST(AggregateDeathTest, RejectsEmptyModelList) {
+  EXPECT_DEATH(average_unweighted({}), "precondition");
+}
+
+TEST(AggregateDeathTest, RejectsMismatchedSizes) {
+  EXPECT_DEATH(average_unweighted({{1.0}, {1.0, 2.0}}), "precondition");
+}
+
+TEST(AggregateDeathTest, RejectsAllZeroWeights) {
+  const std::vector<std::vector<double>> models = {{1.0}, {2.0}};
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_DEATH(average_weighted(models, weights), "precondition");
+}
+
+TEST(AggregateDeathTest, RejectsNegativeWeights) {
+  const std::vector<std::vector<double>> models = {{1.0}};
+  const std::vector<double> weights = {-1.0};
+  EXPECT_DEATH(average_weighted(models, weights), "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::fed

@@ -1,0 +1,131 @@
+#include "fed/async.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedpower::fed {
+namespace {
+
+class DriftClient final : public FederatedClient {
+ public:
+  explicit DriftClient(double delta) : delta_(delta) {}
+  void receive_global(std::span<const double> params) override {
+    params_.assign(params.begin(), params.end());
+    ++fetches_;
+  }
+  std::vector<double> local_parameters() const override { return params_; }
+  void run_local_round() override {
+    ++rounds_;
+    for (double& p : params_) p += delta_;
+  }
+  int rounds() const noexcept { return rounds_; }
+  int fetches() const noexcept { return fetches_; }
+
+ private:
+  double delta_;
+  std::vector<double> params_;
+  int rounds_ = 0;
+  int fetches_ = 0;
+};
+
+TEST(AsyncFederation, FastClientCompletesEveryTick) {
+  DriftClient fast(1.0);
+  DriftClient slow(1.0);
+  InProcessTransport transport;
+  AsyncFederation fed({&fast, &slow}, {1, 4}, &transport);
+  fed.initialize({0.0});
+  fed.run_ticks(8);
+  EXPECT_EQ(fast.rounds(), 8);
+  EXPECT_EQ(slow.rounds(), 2);
+  EXPECT_EQ(fed.stats().merges, 10u);
+}
+
+TEST(AsyncFederation, GlobalMovesTowardClientUpdates) {
+  DriftClient a(1.0);
+  InProcessTransport transport;
+  AsyncConfig config;
+  config.mixing_rate = 0.5;
+  AsyncFederation fed({&a}, {1}, &transport, config);
+  fed.initialize({0.0});
+  fed.run_ticks(1);
+  // Client trained 0 -> 1; merged with w = 0.5 (staleness 0): global 0.5.
+  EXPECT_NEAR(fed.global_model()[0], 0.5, 1e-6);
+}
+
+TEST(AsyncFederation, StalenessDiscountsSlowClients) {
+  // The slow client's update is based on an old global; its staleness
+  // must be positive and its weight reduced.
+  DriftClient fast(0.0);
+  DriftClient slow(100.0);  // a big, stale jump
+  InProcessTransport transport;
+  AsyncConfig config;
+  config.mixing_rate = 0.5;
+  config.staleness_power = 1.0;
+  AsyncFederation fed({&fast, &slow}, {1, 5}, &transport, config);
+  fed.initialize({0.0});
+  fed.run_ticks(5);
+  // By the slow client's first completion, the fast one merged 4-5 times:
+  // staleness ~5, weight ~0.5/6 — the 100-unit jump is strongly damped.
+  EXPECT_GT(fed.stats().max_staleness, 3.0);
+  EXPECT_LT(fed.global_model()[0], 20.0);
+}
+
+TEST(AsyncFederation, ZeroStalenessPowerIgnoresStaleness) {
+  DriftClient fast(0.0);
+  DriftClient slow(10.0);
+  InProcessTransport transport;
+  AsyncConfig config;
+  config.mixing_rate = 0.5;
+  config.staleness_power = 0.0;
+  AsyncFederation fed({&fast, &slow}, {1, 5}, &transport, config);
+  fed.initialize({0.0});
+  fed.run_ticks(5);
+  // Weight stays 0.5 regardless of staleness: the jump lands at ~5.
+  EXPECT_NEAR(fed.global_model()[0], 5.0, 1e-6);
+}
+
+TEST(AsyncFederation, ClientsRefetchAfterEveryMerge) {
+  DriftClient a(1.0);
+  InProcessTransport transport;
+  AsyncFederation fed({&a}, {1}, &transport);
+  fed.initialize({0.0});
+  fed.run_ticks(3);
+  // initialize + one fetch per completed round.
+  EXPECT_EQ(a.fetches(), 4);
+}
+
+TEST(AsyncFederation, TracksMeanStaleness) {
+  DriftClient fast(0.0);
+  DriftClient slow(0.0);
+  InProcessTransport transport;
+  AsyncFederation fed({&fast, &slow}, {1, 3}, &transport);
+  fed.initialize({0.0});
+  fed.run_ticks(9);
+  EXPECT_GT(fed.stats().mean_staleness, 0.0);
+  EXPECT_GE(fed.stats().max_staleness, fed.stats().mean_staleness);
+}
+
+TEST(AsyncFederation, TrafficAccountedPerCompletion) {
+  DriftClient a(0.0);
+  InProcessTransport transport;
+  AsyncFederation fed({&a}, {1}, &transport);
+  fed.initialize({1.0, 2.0});
+  transport.reset_stats();
+  fed.run_ticks(4);
+  EXPECT_EQ(transport.stats().uplink_transfers, 4u);
+  EXPECT_EQ(transport.stats().downlink_transfers, 4u);
+}
+
+TEST(AsyncFederationDeathTest, Preconditions) {
+  DriftClient a(0.0);
+  InProcessTransport transport;
+  EXPECT_DEATH(AsyncFederation({&a}, {0}, &transport), "precondition");
+  EXPECT_DEATH(AsyncFederation({&a}, {1, 2}, &transport), "precondition");
+  AsyncConfig bad;
+  bad.mixing_rate = 0.0;
+  EXPECT_DEATH(AsyncFederation({&a}, {1}, &transport, bad), "precondition");
+  AsyncFederation fed({&a}, {1}, &transport);
+  EXPECT_DEATH(fed.run_ticks(1), "precondition");  // not initialized
+}
+
+}  // namespace
+}  // namespace fedpower::fed

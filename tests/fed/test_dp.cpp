@@ -1,0 +1,128 @@
+#include "fed/dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedpower::fed {
+namespace {
+
+class MovingClient final : public FederatedClient {
+ public:
+  explicit MovingClient(std::vector<double> delta) : delta_(std::move(delta)) {}
+
+  void receive_global(std::span<const double> params) override {
+    params_.assign(params.begin(), params.end());
+  }
+  std::vector<double> local_parameters() const override { return params_; }
+  void run_local_round() override {
+    for (std::size_t i = 0; i < params_.size(); ++i) params_[i] += delta_[i];
+  }
+
+ private:
+  std::vector<double> delta_;
+  std::vector<double> params_;
+};
+
+TEST(L2Norm, KnownValues) {
+  EXPECT_DOUBLE_EQ(l2_norm(std::vector<double>{3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(l2_norm(std::vector<double>{}), 0.0);
+}
+
+TEST(ClipToNorm, LeavesSmallVectorsAlone) {
+  const std::vector<double> v = {0.3, 0.4};
+  EXPECT_EQ(clip_to_norm(v, 1.0), v);
+}
+
+TEST(ClipToNorm, ScalesLargeVectors) {
+  const auto clipped = clip_to_norm({3.0, 4.0}, 1.0);
+  EXPECT_NEAR(l2_norm(clipped), 1.0, 1e-12);
+  EXPECT_NEAR(clipped[0] / clipped[1], 0.75, 1e-12);  // direction kept
+}
+
+TEST(DpClient, UpdateClippedToNorm) {
+  MovingClient inner({3.0, 4.0});  // one local round moves by norm-5 update
+  DpConfig config;
+  config.clip_norm = 1.0;
+  DpClient client(&inner, config);
+  client.receive_global(std::vector<double>{0.0, 0.0});
+  client.run_local_round();
+  const auto upload = client.local_parameters();
+  EXPECT_NEAR(l2_norm(upload), 1.0, 1e-12);  // anchor 0 -> upload == update
+  EXPECT_DOUBLE_EQ(client.last_update_norm(), 5.0);
+}
+
+TEST(DpClient, SmallUpdatePassesUnclipped) {
+  MovingClient inner({0.1, 0.0});
+  DpConfig config;
+  config.clip_norm = 1.0;
+  DpClient client(&inner, config);
+  client.receive_global(std::vector<double>{1.0, 1.0});
+  client.run_local_round();
+  const auto upload = client.local_parameters();
+  EXPECT_NEAR(upload[0], 1.1, 1e-12);
+  EXPECT_NEAR(upload[1], 1.0, 1e-12);
+}
+
+TEST(DpClient, NoiseHasConfiguredScale) {
+  MovingClient inner({0.0, 0.0});
+  DpConfig config;
+  config.clip_norm = 1.0;
+  config.noise_multiplier = 0.1;
+  config.seed = 7;
+  DpClient client(&inner, config);
+  client.receive_global(std::vector<double>(100, 0.0));
+  // Zero update: uploads are pure noise with sigma = 0.1.
+  double sum_sq = 0.0;
+  const auto upload = client.local_parameters();
+  for (const double x : upload) sum_sq += x * x;
+  const double sigma = std::sqrt(sum_sq / 100.0);
+  EXPECT_NEAR(sigma, 0.1, 0.03);
+}
+
+TEST(DpClient, ZeroNoiseIsDeterministic) {
+  MovingClient inner({0.5, -0.5});
+  DpConfig config;
+  config.clip_norm = 10.0;
+  DpClient client(&inner, config);
+  client.receive_global(std::vector<double>{0.0, 0.0});
+  client.run_local_round();
+  EXPECT_EQ(client.local_parameters(), client.local_parameters());
+}
+
+TEST(DpClient, BeforeFirstGlobalUploadsRaw) {
+  MovingClient inner({1.0});
+  inner.receive_global(std::vector<double>{42.0});
+  DpConfig config;
+  config.noise_multiplier = 1.0;
+  DpClient client(&inner, config);
+  EXPECT_EQ(client.local_parameters(), (std::vector<double>{42.0}));
+  EXPECT_DOUBLE_EQ(client.last_update_norm(), 0.0);
+}
+
+TEST(DpClient, WorksInsideFederation) {
+  MovingClient inner_a({0.2, 0.0});
+  MovingClient inner_b({0.0, 0.2});
+  DpConfig config;
+  config.clip_norm = 0.1;  // clips both updates from 0.2 to 0.1
+  DpClient a(&inner_a, config);
+  DpClient b(&inner_b, config);
+  InProcessTransport transport;
+  FederatedAveraging server({&a, &b}, &transport);
+  server.initialize({0.0, 0.0});
+  server.run_round();
+  // Each update clipped to norm 0.1, averaged over 2 clients -> 0.05.
+  EXPECT_NEAR(server.global_model()[0], 0.05, 1e-6);
+  EXPECT_NEAR(server.global_model()[1], 0.05, 1e-6);
+}
+
+TEST(DpClientDeathTest, RejectsBadConfig) {
+  MovingClient inner({1.0});
+  DpConfig bad;
+  bad.clip_norm = 0.0;
+  EXPECT_DEATH(DpClient(&inner, bad), "precondition");
+  EXPECT_DEATH(DpClient(nullptr, DpConfig{}), "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::fed

@@ -1,0 +1,100 @@
+#include "fed/personalize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedpower::fed {
+namespace {
+
+/// Minimal inner client for decorator tests.
+class StubClient final : public FederatedClient {
+ public:
+  explicit StubClient(std::vector<double> params)
+      : params_(std::move(params)) {}
+
+  void receive_global(std::span<const double> params) override {
+    params_.assign(params.begin(), params.end());
+  }
+  std::vector<double> local_parameters() const override { return params_; }
+  void run_local_round() override { ++rounds_; }
+  std::size_t local_sample_count() const override { return 7; }
+
+  int rounds() const noexcept { return rounds_; }
+
+ private:
+  std::vector<double> params_;
+  int rounds_ = 0;
+};
+
+TEST(SharedBodyMask, SplitsAtTheRightBoundary) {
+  const auto mask = shared_body_mask(10, 3);
+  ASSERT_EQ(mask.size(), 10u);
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_TRUE(mask[i]);
+  for (std::size_t i = 7; i < 10; ++i) EXPECT_FALSE(mask[i]);
+}
+
+TEST(SharedBodyMaskDeathTest, HeadMustBeSmallerThanTotal) {
+  EXPECT_DEATH(shared_body_mask(5, 5), "precondition");
+}
+
+TEST(PersonalizedClient, MergesOnlySharedCoordinates) {
+  StubClient inner({1.0, 2.0, 3.0, 4.0});
+  PersonalizedClient client(&inner, {true, true, false, false});
+  client.receive_global(std::vector<double>{9.0, 8.0, 7.0, 6.0});
+  EXPECT_EQ(inner.local_parameters(),
+            (std::vector<double>{9.0, 8.0, 3.0, 4.0}));
+}
+
+TEST(PersonalizedClient, FullMaskBehavesLikePlainClient) {
+  StubClient inner({1.0, 2.0});
+  PersonalizedClient client(&inner, {true, true});
+  client.receive_global(std::vector<double>{5.0, 6.0});
+  EXPECT_EQ(inner.local_parameters(), (std::vector<double>{5.0, 6.0}));
+}
+
+TEST(PersonalizedClient, DelegatesEverythingElse) {
+  StubClient inner({1.0});
+  PersonalizedClient client(&inner, {true});
+  client.run_local_round();
+  EXPECT_EQ(inner.rounds(), 1);
+  EXPECT_EQ(client.local_sample_count(), 7u);
+  EXPECT_EQ(client.local_parameters(), inner.local_parameters());
+  EXPECT_EQ(client.shared_count(), 1u);
+}
+
+TEST(PersonalizedClient, PrivateHeadSurvivesFederationRounds) {
+  // Two personalized clients with different heads: the heads must still
+  // differ after several federated rounds even though the bodies converge.
+  StubClient inner_a({1.0, 2.0, 100.0});
+  StubClient inner_b({3.0, 4.0, -100.0});
+  const std::vector<bool> mask = {true, true, false};
+  PersonalizedClient a(&inner_a, mask);
+  PersonalizedClient b(&inner_b, mask);
+  InProcessTransport transport;
+  FederatedAveraging server({&a, &b}, &transport);
+  server.initialize(a.local_parameters());
+  server.run(3);
+  EXPECT_DOUBLE_EQ(inner_a.local_parameters()[2], 100.0);
+  EXPECT_DOUBLE_EQ(inner_b.local_parameters()[2], -100.0);
+  // Bodies have been averaged to a common value.
+  EXPECT_DOUBLE_EQ(inner_a.local_parameters()[0],
+                   inner_b.local_parameters()[0]);
+}
+
+TEST(PersonalizedClientDeathTest, RejectsNullInner) {
+  EXPECT_DEATH(PersonalizedClient(nullptr, {true}), "precondition");
+}
+
+TEST(PersonalizedClientDeathTest, RejectsFullyPrivateMask) {
+  StubClient inner({1.0});
+  EXPECT_DEATH(PersonalizedClient(&inner, {false}), "precondition");
+}
+
+TEST(PersonalizedClientDeathTest, RejectsSizeMismatch) {
+  StubClient inner({1.0, 2.0});
+  PersonalizedClient client(&inner, {true, false});
+  EXPECT_DEATH(client.receive_global(std::vector<double>{1.0}),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::fed

@@ -1,0 +1,139 @@
+// Byzantine-robust aggregation rules (median, trimmed mean) and their
+// behaviour under model poisoning.
+#include <gtest/gtest.h>
+
+#include "fed/federation.hpp"
+
+namespace fedpower::fed {
+namespace {
+
+TEST(MedianAggregate, OddCountPicksMiddle) {
+  const std::vector<std::vector<double>> models = {{1.0}, {5.0}, {3.0}};
+  EXPECT_DOUBLE_EQ(aggregate_median(models)[0], 3.0);
+}
+
+TEST(MedianAggregate, EvenCountAveragesMiddlePair) {
+  const std::vector<std::vector<double>> models = {{1.0}, {2.0}, {4.0},
+                                                   {8.0}};
+  EXPECT_DOUBLE_EQ(aggregate_median(models)[0], 3.0);
+}
+
+TEST(MedianAggregate, PerCoordinateIndependence) {
+  const std::vector<std::vector<double>> models = {
+      {1.0, 9.0}, {2.0, 8.0}, {3.0, 7.0}};
+  const auto global = aggregate_median(models);
+  EXPECT_DOUBLE_EQ(global[0], 2.0);
+  EXPECT_DOUBLE_EQ(global[1], 8.0);
+}
+
+TEST(MedianAggregate, IgnoresOneArbitraryOutlier) {
+  // 4 honest clients near 0.5, one Byzantine at 1e9: the median must stay
+  // with the honest majority while the mean is destroyed.
+  const std::vector<std::vector<double>> models = {
+      {0.49}, {0.50}, {0.51}, {0.52}, {1e9}};
+  EXPECT_NEAR(aggregate_median(models)[0], 0.51, 1e-12);
+  EXPECT_GT(average_unweighted(models)[0], 1e8);
+}
+
+TEST(MedianAggregate, SingleModelIsIdentity) {
+  const std::vector<std::vector<double>> models = {{0.7, -0.2}};
+  EXPECT_EQ(aggregate_median(models), models[0]);
+}
+
+TEST(TrimmedMean, DropsExtremesSymmetrically) {
+  const std::vector<std::vector<double>> models = {
+      {-100.0}, {1.0}, {2.0}, {3.0}, {100.0}};
+  EXPECT_DOUBLE_EQ(aggregate_trimmed_mean(models, 1)[0], 2.0);
+}
+
+TEST(TrimmedMean, ZeroTrimIsPlainMean) {
+  const std::vector<std::vector<double>> models = {{1.0}, {2.0}, {6.0}};
+  EXPECT_DOUBLE_EQ(aggregate_trimmed_mean(models, 0)[0], 3.0);
+  EXPECT_DOUBLE_EQ(aggregate_trimmed_mean(models, 0)[0],
+                   average_unweighted(models)[0]);
+}
+
+TEST(TrimmedMean, SurvivesOnePoisonedClient) {
+  const std::vector<std::vector<double>> models = {
+      {0.5, -0.5}, {0.6, -0.4}, {0.4, -0.6}, {1e9, -1e9}};
+  const auto global = aggregate_trimmed_mean(models, 1);
+  EXPECT_NEAR(global[0], 0.55, 0.06);
+  EXPECT_NEAR(global[1], -0.55, 0.06);
+}
+
+TEST(TrimmedMeanDeathTest, RejectsOverTrimming) {
+  const std::vector<std::vector<double>> models = {{1.0}, {2.0}};
+  EXPECT_DEATH(aggregate_trimmed_mean(models, 1), "precondition");
+}
+
+TEST(RobustAggregateDeathTest, RejectsMismatchedSizes) {
+  EXPECT_DEATH(aggregate_median({{1.0}, {1.0, 2.0}}), "precondition");
+  EXPECT_DEATH(aggregate_trimmed_mean({{1.0}, {1.0, 2.0}}, 0),
+               "precondition");
+}
+
+// --- federation integration --------------------------------------------
+
+class FixedClient final : public FederatedClient {
+ public:
+  explicit FixedClient(double value) : value_(value) {}
+  void receive_global(std::span<const double>) override {}
+  std::vector<double> local_parameters() const override { return {value_}; }
+  void run_local_round() override {}
+
+ private:
+  double value_;
+};
+
+TEST(RobustFederation, MedianModeShrugsOffPoisoning) {
+  FixedClient honest1(0.5);
+  FixedClient honest2(0.52);
+  FixedClient honest3(0.48);
+  FixedClient byzantine(1e6);
+  InProcessTransport transport;
+  FederatedAveraging server({&honest1, &honest2, &honest3, &byzantine},
+                            &transport,
+                            AggregationMode::kCoordinateMedian);
+  server.initialize({0.0});
+  server.run_round();
+  EXPECT_NEAR(server.global_model()[0], 0.51, 0.02);
+}
+
+TEST(RobustFederation, TrimmedMeanModeShrugsOffPoisoning) {
+  FixedClient honest1(0.5);
+  FixedClient honest2(0.52);
+  FixedClient honest3(0.48);
+  FixedClient honest4(0.50);
+  FixedClient byzantine(-1e6);
+  InProcessTransport transport;
+  FederatedAveraging server(
+      {&honest1, &honest2, &honest3, &honest4, &byzantine}, &transport,
+      AggregationMode::kTrimmedMean);
+  server.initialize({0.0});
+  server.run_round();
+  EXPECT_NEAR(server.global_model()[0], 0.5, 0.02);
+}
+
+TEST(RobustFederation, TrimmedMeanWithTwoClientsFallsBackToMean) {
+  FixedClient a(1.0);
+  FixedClient b(3.0);
+  InProcessTransport transport;
+  FederatedAveraging server({&a, &b}, &transport,
+                            AggregationMode::kTrimmedMean);
+  server.initialize({0.0});
+  server.run_round();
+  EXPECT_DOUBLE_EQ(server.global_model()[0], 2.0);
+}
+
+TEST(RobustFederation, PlainMeanIsVulnerableByContrast) {
+  FixedClient honest(0.5);
+  FixedClient byzantine(1e6);
+  InProcessTransport transport;
+  FederatedAveraging server({&honest, &byzantine}, &transport);
+  server.initialize({0.0});
+  server.run_round();
+  EXPECT_GT(server.global_model()[0], 1e5);
+}
+
+}  // namespace
+}  // namespace fedpower::fed

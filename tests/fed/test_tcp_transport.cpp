@@ -1,0 +1,110 @@
+#include "fed/tcp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fed/federation.hpp"
+#include "nn/serialize.hpp"
+
+namespace fedpower::fed {
+namespace {
+
+TEST(TcpTransport, EchoesPayloadThroughLoopback) {
+  TcpReflector reflector;
+  TcpTransport transport("127.0.0.1", reflector.port());
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 250, 0, 7};
+  EXPECT_EQ(transport.transfer(Direction::kUplink, payload), payload);
+  EXPECT_EQ(reflector.frames_served(), 1u);
+}
+
+TEST(TcpTransport, CountsTraffic) {
+  TcpReflector reflector;
+  TcpTransport transport("127.0.0.1", reflector.port());
+  transport.transfer(Direction::kUplink, std::vector<std::uint8_t>(100));
+  transport.transfer(Direction::kDownlink, std::vector<std::uint8_t>(40));
+  EXPECT_EQ(transport.stats().uplink_bytes, 100u);
+  EXPECT_EQ(transport.stats().downlink_bytes, 40u);
+  EXPECT_EQ(transport.stats().total_transfers(), 2u);
+}
+
+TEST(TcpTransport, EmptyPayload) {
+  TcpReflector reflector;
+  TcpTransport transport("127.0.0.1", reflector.port());
+  EXPECT_TRUE(transport.transfer(Direction::kUplink, {}).empty());
+}
+
+TEST(TcpTransport, ManySequentialFrames) {
+  TcpReflector reflector;
+  TcpTransport transport("127.0.0.1", reflector.port());
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(i % 50) + 1,
+                                      static_cast<std::uint8_t>(i));
+    EXPECT_EQ(transport.transfer(Direction::kDownlink, payload), payload);
+  }
+  EXPECT_EQ(reflector.frames_served(), 200u);
+}
+
+TEST(TcpTransport, MultipleClientsSequentially) {
+  TcpReflector reflector;
+  {
+    TcpTransport first("127.0.0.1", reflector.port());
+    first.transfer(Direction::kUplink, {1});
+  }
+  // The reflector must accept a fresh connection after the first closed.
+  TcpTransport second("127.0.0.1", reflector.port());
+  EXPECT_EQ(second.transfer(Direction::kUplink, {2}),
+            (std::vector<std::uint8_t>{2}));
+}
+
+TEST(TcpTransport, ConnectToClosedPortThrows) {
+  std::uint16_t dead_port = 1;  // almost certainly closed low port
+  {
+    TcpReflector reflector;
+    dead_port = reflector.port();
+    reflector.stop();
+  }
+  EXPECT_THROW(TcpTransport("127.0.0.1", dead_port), std::runtime_error);
+}
+
+TEST(TcpTransport, BadAddressThrows) {
+  EXPECT_THROW(TcpTransport("not-an-ip", 80), std::runtime_error);
+}
+
+TEST(TcpTransport, FullFederatedRoundOverRealSockets) {
+  // The whole point: FederatedAveraging runs unmodified over TCP.
+  class Delta final : public FederatedClient {
+   public:
+    explicit Delta(double d) : d_(d) {}
+    void receive_global(std::span<const double> p) override {
+      params_.assign(p.begin(), p.end());
+    }
+    std::vector<double> local_parameters() const override { return params_; }
+    void run_local_round() override {
+      for (double& p : params_) p += d_;
+    }
+
+   private:
+    double d_;
+    std::vector<double> params_;
+  };
+
+  TcpReflector reflector;
+  TcpTransport transport("127.0.0.1", reflector.port());
+  Delta a(+1.0);
+  Delta b(+3.0);
+  FederatedAveraging server({&a, &b}, &transport);
+  server.initialize(std::vector<double>(687, 0.0));
+  server.run(3);
+  EXPECT_NEAR(server.global_model()[0], 6.0, 1e-4);
+  // 3 rounds x 2 clients x (1 down + 1 up) = 12 frames over the wire.
+  EXPECT_EQ(reflector.frames_served(), 12u);
+  EXPECT_EQ(transport.stats().uplink_bytes, 6u * nn::payload_size(687));
+}
+
+TEST(TcpReflector, StopIsIdempotent) {
+  TcpReflector reflector;
+  reflector.stop();
+  reflector.stop();
+}
+
+}  // namespace
+}  // namespace fedpower::fed

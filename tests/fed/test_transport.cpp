@@ -1,0 +1,69 @@
+#include "fed/transport.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedpower::fed {
+namespace {
+
+TEST(InProcessTransport, DeliversPayloadUnmodified) {
+  InProcessTransport transport;
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 255, 0};
+  EXPECT_EQ(transport.transfer(Direction::kUplink, payload), payload);
+}
+
+TEST(InProcessTransport, CountsUplinkAndDownlinkSeparately) {
+  InProcessTransport transport;
+  transport.transfer(Direction::kUplink, std::vector<std::uint8_t>(100));
+  transport.transfer(Direction::kUplink, std::vector<std::uint8_t>(50));
+  transport.transfer(Direction::kDownlink, std::vector<std::uint8_t>(70));
+  const TrafficStats& stats = transport.stats();
+  EXPECT_EQ(stats.uplink_transfers, 2u);
+  EXPECT_EQ(stats.uplink_bytes, 150u);
+  EXPECT_EQ(stats.downlink_transfers, 1u);
+  EXPECT_EQ(stats.downlink_bytes, 70u);
+  EXPECT_EQ(stats.total_bytes(), 220u);
+  EXPECT_EQ(stats.total_transfers(), 3u);
+}
+
+TEST(InProcessTransport, MeanTransferBytes) {
+  InProcessTransport transport;
+  transport.transfer(Direction::kUplink, std::vector<std::uint8_t>(100));
+  transport.transfer(Direction::kDownlink, std::vector<std::uint8_t>(200));
+  EXPECT_DOUBLE_EQ(transport.stats().mean_transfer_bytes(), 150.0);
+}
+
+TEST(InProcessTransport, MeanOfNoTransfersIsZero) {
+  InProcessTransport transport;
+  EXPECT_DOUBLE_EQ(transport.stats().mean_transfer_bytes(), 0.0);
+}
+
+TEST(InProcessTransport, LatencyModelAccumulates) {
+  InProcessTransport transport(0.01, 1000.0);  // 10 ms + 1 kB/s
+  transport.transfer(Direction::kUplink, std::vector<std::uint8_t>(500));
+  EXPECT_NEAR(transport.stats().total_latency_s, 0.01 + 0.5, 1e-12);
+  transport.transfer(Direction::kDownlink, std::vector<std::uint8_t>(1000));
+  EXPECT_NEAR(transport.stats().total_latency_s, 0.51 + 1.01, 1e-12);
+}
+
+TEST(InProcessTransport, ResetStats) {
+  InProcessTransport transport;
+  transport.transfer(Direction::kUplink, std::vector<std::uint8_t>(10));
+  transport.reset_stats();
+  EXPECT_EQ(transport.stats().total_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(transport.stats().total_latency_s, 0.0);
+}
+
+TEST(InProcessTransport, EmptyPayloadStillCountsTransfer) {
+  InProcessTransport transport;
+  transport.transfer(Direction::kUplink, {});
+  EXPECT_EQ(transport.stats().uplink_transfers, 1u);
+  EXPECT_EQ(transport.stats().uplink_bytes, 0u);
+}
+
+TEST(InProcessTransportDeathTest, RejectsBadParameters) {
+  EXPECT_DEATH(InProcessTransport(-1.0, 100.0), "precondition");
+  EXPECT_DEATH(InProcessTransport(0.0, 0.0), "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::fed

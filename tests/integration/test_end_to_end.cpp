@@ -1,0 +1,129 @@
+// End-to-end integration tests exercising the full federated power-control
+// pipeline at reduced scale (fewer rounds than the paper's 100, same
+// structure). The full-scale reproduction lives in bench/.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "sim/splash2.hpp"
+#include "util/stats.hpp"
+
+namespace fedpower::core {
+namespace {
+
+ExperimentConfig paper_config(std::size_t rounds) {
+  ExperimentConfig config;  // ControllerConfig defaults are Table I
+  config.rounds = rounds;
+  config.eval.episode_intervals = 30;
+  config.seed = 42;
+  return config;
+}
+
+double tail_mean(const std::vector<double>& xs, std::size_t from) {
+  util::RunningStats s;
+  for (std::size_t i = from; i < xs.size(); ++i) s.add(xs[i]);
+  return s.mean();
+}
+
+TEST(EndToEnd, FederatedPolicyIsStableAcrossApps) {
+  const auto apps = resolve(table2_scenarios()[1]);
+  const auto result = run_federated(paper_config(40), apps,
+                                    sim::splash2_suite(), true);
+  // After the first quarter of training, the global policy must hold a
+  // clearly positive reward on *every* evaluation app (paper Fig. 3: the
+  // federated curves are almost constant just below 0.5).
+  const double late = tail_mean(result.devices[0].reward, 10);
+  EXPECT_GT(late, 0.3);
+  // And both devices see similar rewards.
+  const double late_b = tail_mean(result.devices[1].reward, 10);
+  EXPECT_NEAR(late, late_b, 0.15);
+}
+
+TEST(EndToEnd, LocalOnlyHasAStrugglingDevice) {
+  // Scenario 2: the device trained on ocean+radix learns that f_max is safe
+  // and then violates the budget on compute-bound evaluation apps.
+  const auto apps = resolve(table2_scenarios()[1]);
+  const auto local = run_local_only(paper_config(40), apps,
+                                    sim::splash2_suite(), true);
+  const double device_b = tail_mean(local.devices[1].reward, 10);
+  EXPECT_LT(device_b, 0.1);  // clearly degraded vs the federated ~0.45
+}
+
+TEST(EndToEnd, FederatedBeatsMeanLocalReward) {
+  const auto apps = resolve(table2_scenarios()[1]);
+  const auto fed = run_federated(paper_config(40), apps,
+                                 sim::splash2_suite(), true);
+  const auto local = run_local_only(paper_config(40), apps,
+                                    sim::splash2_suite(), true);
+  const double fed_mean = (tail_mean(fed.devices[0].reward, 10) +
+                           tail_mean(fed.devices[1].reward, 10)) /
+                          2.0;
+  const double local_mean = (tail_mean(local.devices[0].reward, 10) +
+                             tail_mean(local.devices[1].reward, 10)) /
+                            2.0;
+  EXPECT_GT(fed_mean, local_mean);
+}
+
+TEST(EndToEnd, FederatedKeepsPowerNearButUnderBudget) {
+  const auto apps = resolve(table2_scenarios()[0]);
+  const auto fed = run_federated(paper_config(40), apps,
+                                 sim::splash2_suite(), true);
+  const double late_power = tail_mean(fed.devices[0].mean_power_w, 20);
+  EXPECT_LT(late_power, 0.62);
+  EXPECT_GT(late_power, 0.35);  // not sandbagging at the lowest levels
+}
+
+TEST(EndToEnd, PayloadSizeMatchesPaperClaim) {
+  const auto apps = resolve(table2_scenarios()[0]);
+  const auto fed = run_federated(paper_config(5), apps,
+                                 sim::splash2_suite(), false);
+  EXPECT_NEAR(fed.traffic.mean_transfer_bytes() / 1000.0, 2.8, 0.1);
+}
+
+TEST(EndToEnd, NeuralPolicyOutperformsCollabProfitOnExecTime) {
+  // Reduced-scale Table III: same training protocol for both techniques,
+  // then run every app to completion and compare mean execution time.
+  const Scenario split = six_app_split();
+  const auto apps = resolve(split);
+  ExperimentConfig config = paper_config(60);
+
+  const auto ours = run_federated(config, apps, sim::splash2_suite(), false);
+  const auto sota = run_collab_profit(config, apps);
+
+  EvalConfig eval;
+  eval.processor = config.processor;
+  const Evaluator evaluator(config.controller, eval);
+
+  const auto our_metrics =
+      evaluate_apps(evaluator, evaluator.neural_policy(ours.global_params),
+                    sim::splash2_suite(), 5);
+  const auto sota_metrics = evaluate_apps(
+      evaluator, sota.policy(0, config.processor.vf_table.f_max_mhz()),
+      sim::splash2_suite(), 5);
+
+  util::RunningStats ours_time;
+  util::RunningStats sota_time;
+  util::RunningStats ours_power;
+  for (const auto& m : our_metrics) {
+    ours_time.add(m.exec_time_s);
+    ours_power.add(m.power_w);
+  }
+  for (const auto& m : sota_metrics) sota_time.add(m.exec_time_s);
+
+  EXPECT_LT(ours_time.mean(), sota_time.mean());
+  EXPECT_LT(ours_power.mean(), 0.62);  // constraint respected on average
+}
+
+TEST(EndToEnd, MoreDevicesDoNotBreakConvergence) {
+  ExperimentConfig config = paper_config(30);
+  std::vector<std::vector<sim::AppProfile>> apps;
+  const auto suite = sim::splash2_suite();
+  for (std::size_t d = 0; d < 4; ++d)
+    apps.push_back({suite[3 * d], suite[3 * d + 1], suite[3 * d + 2]});
+  const auto fed = run_federated(config, apps, suite, true);
+  const double late = tail_mean(fed.devices[0].reward, 10);
+  EXPECT_GT(late, 0.3);
+}
+
+}  // namespace
+}  // namespace fedpower::core

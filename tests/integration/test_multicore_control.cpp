@@ -1,0 +1,85 @@
+// Integration: the power controller driving the 4-core shared-clock device
+// through the CpuDevice interface.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/controller.hpp"
+#include "sim/multicore.hpp"
+#include "sim/splash2.hpp"
+#include "util/stats.hpp"
+
+namespace fedpower::core {
+namespace {
+
+ControllerConfig rail_config() {
+  ControllerConfig config;
+  config.p_crit_w = 1.5;
+  config.k_offset_w = 0.1;
+  config.featurizer.power_scale_w = 3.0;
+  config.agent.tau_decay = 0.003;
+  return config;
+}
+
+TEST(MulticoreControl, ControllerAcceptsMulticoreDevice) {
+  sim::MulticoreProcessor proc(sim::MulticoreConfig::jetson_nano_4core(),
+                               util::Rng{1});
+  sim::SingleAppWorkload workload(*sim::splash2_app("fft"));
+  proc.set_workload(0, &workload);
+  PowerController controller(rail_config(), &proc, util::Rng{2});
+  const sim::TelemetrySample sample = controller.step();
+  EXPECT_GT(sample.true_power_w, 0.0);
+  EXPECT_EQ(controller.agent().replay().size(), 1u);
+}
+
+TEST(MulticoreControl, LearnsToHoldRailBudgetWithComputeMix) {
+  sim::MulticoreProcessor proc(sim::MulticoreConfig::jetson_nano_4core(),
+                               util::Rng{3});
+  std::vector<std::unique_ptr<sim::SingleAppWorkload>> workloads;
+  for (const char* name : {"lu", "water-ns", "water-sp"}) {
+    workloads.push_back(
+        std::make_unique<sim::SingleAppWorkload>(*sim::splash2_app(name)));
+    proc.set_workload(workloads.size() - 1, workloads.back().get());
+  }
+  PowerController controller(rail_config(), &proc, util::Rng{4});
+  controller.run_steps(2000);
+
+  util::RunningStats power;
+  std::size_t violations = 0;
+  for (int i = 0; i < 30; ++i) {
+    const sim::TelemetrySample s = controller.greedy_step();
+    power.add(s.true_power_w);
+    if (s.true_power_w > 1.5) ++violations;
+  }
+  EXPECT_LT(power.mean(), 1.55);
+  EXPECT_GT(power.mean(), 1.0);  // uses most of the rail budget
+  EXPECT_LE(violations, 4u);
+}
+
+TEST(MulticoreControl, MemoryMixRunsFasterThanComputeMix) {
+  // The learned shared level must be higher for a memory-bound mix (cheap
+  // cycles) than for a compute-bound mix under the same rail budget.
+  const auto train = [](const std::vector<const char*>& names,
+                        std::uint64_t seed) {
+    sim::MulticoreProcessor proc(sim::MulticoreConfig::jetson_nano_4core(),
+                                 util::Rng{seed});
+    std::vector<std::unique_ptr<sim::SingleAppWorkload>> workloads;
+    for (const char* name : names) {
+      workloads.push_back(
+          std::make_unique<sim::SingleAppWorkload>(*sim::splash2_app(name)));
+      proc.set_workload(workloads.size() - 1, workloads.back().get());
+    }
+    PowerController controller(rail_config(), &proc, util::Rng{seed + 1});
+    controller.run_steps(2000);
+    util::RunningStats freq;
+    for (int i = 0; i < 20; ++i)
+      freq.add(controller.greedy_step().freq_mhz);
+    return freq.mean();
+  };
+  const double memory_freq = train({"radix", "ocean", "radix"}, 10);
+  const double compute_freq = train({"lu", "water-ns", "water-sp"}, 20);
+  EXPECT_GT(memory_freq, compute_freq + 150.0);
+}
+
+}  // namespace
+}  // namespace fedpower::core

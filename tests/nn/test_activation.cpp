@@ -1,0 +1,71 @@
+#include "nn/activation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedpower::nn {
+namespace {
+
+TEST(Relu, ForwardClampsNegatives) {
+  Relu relu;
+  const Matrix out = relu.forward(Matrix{{-1.0, 0.0, 2.5}});
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(out(0, 2), 2.5);
+}
+
+TEST(Relu, BackwardMasksByInputSign) {
+  Relu relu;
+  relu.forward(Matrix{{-1.0, 0.0, 2.5}});
+  const Matrix grad = relu.backward(Matrix{{1.0, 1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(grad(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(grad(0, 1), 0.0);  // derivative at 0 defined as 0
+  EXPECT_DOUBLE_EQ(grad(0, 2), 1.0);
+}
+
+TEST(Relu, HasNoParameters) {
+  Relu relu;
+  EXPECT_EQ(relu.param_count(), 0u);
+}
+
+TEST(Relu, BatchedBackwardShape) {
+  Relu relu;
+  relu.forward(Matrix(3, 4, -1.0));
+  const Matrix grad = relu.backward(Matrix(3, 4, 1.0));
+  EXPECT_EQ(grad.rows(), 3u);
+  EXPECT_EQ(grad.cols(), 4u);
+}
+
+TEST(Tanh, ForwardValues) {
+  Tanh tanh_layer;
+  const Matrix out = tanh_layer.forward(Matrix{{0.0, 1.0, -1.0}});
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+  EXPECT_NEAR(out(0, 1), std::tanh(1.0), 1e-12);
+  EXPECT_NEAR(out(0, 2), -std::tanh(1.0), 1e-12);
+}
+
+TEST(Tanh, BackwardDerivative) {
+  Tanh tanh_layer;
+  tanh_layer.forward(Matrix{{0.5}});
+  const Matrix grad = tanh_layer.backward(Matrix{{1.0}});
+  const double y = std::tanh(0.5);
+  EXPECT_NEAR(grad(0, 0), 1.0 - y * y, 1e-12);
+}
+
+TEST(Tanh, SaturatesGradientsAtExtremes) {
+  Tanh tanh_layer;
+  tanh_layer.forward(Matrix{{20.0}});
+  const Matrix grad = tanh_layer.backward(Matrix{{1.0}});
+  EXPECT_NEAR(grad(0, 0), 0.0, 1e-12);
+}
+
+TEST(Activations, CloneIsIndependent) {
+  Relu relu;
+  auto clone = relu.clone();
+  EXPECT_NE(clone.get(), static_cast<Layer*>(&relu));
+  EXPECT_EQ(clone->param_count(), 0u);
+}
+
+}  // namespace
+}  // namespace fedpower::nn

@@ -1,0 +1,68 @@
+#include "nn/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "nn/mlp.hpp"
+
+namespace fedpower::nn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(Checkpoint, RoundTripsFloat32Values) {
+  const std::string path = temp_path("fp_ckpt_roundtrip.bin");
+  const std::vector<double> params = {0.5, -1.25, 3.0};
+  save_parameters(path, params);
+  EXPECT_EQ(load_parameters(path), params);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RestoredModelPredictsIdentically) {
+  const std::string path = temp_path("fp_ckpt_model.bin");
+  util::Rng rng(1);
+  Mlp original = make_mlp(5, {32}, 15, rng);
+  save_parameters(path, original.parameters());
+
+  Mlp restored = make_mlp(5, {32}, 15, rng);
+  restored.set_parameters(load_parameters(path));
+  const Matrix input{{0.5, 0.4, 0.7, 0.3, 0.2}};
+  const Matrix a = original.forward(input);
+  const Matrix b = restored.forward(input);
+  for (std::size_t c = 0; c < 15; ++c) EXPECT_NEAR(a(0, c), b(0, c), 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(save_parameters("/nonexistent-dir/x.bin", std::vector<double>{1.0}),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, ThrowsOnMissingFile) {
+  EXPECT_THROW(load_parameters(temp_path("fp_ckpt_missing.bin")),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, ThrowsOnCorruptContent) {
+  const std::string path = temp_path("fp_ckpt_corrupt.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint";
+  }
+  EXPECT_THROW(load_parameters(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, EmptyParameterVector) {
+  const std::string path = temp_path("fp_ckpt_empty.bin");
+  save_parameters(path, std::vector<double>{});
+  EXPECT_TRUE(load_parameters(path).empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fedpower::nn

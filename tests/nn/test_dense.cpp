@@ -1,0 +1,139 @@
+#include "nn/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedpower::nn {
+namespace {
+
+TEST(Dense, ForwardComputesAffineMap) {
+  util::Rng rng(1);
+  Dense layer(2, 3, Init::kZero, rng);
+  std::vector<double> params = {
+      // W (2x3, row-major)
+      1.0, 2.0, 3.0,
+      4.0, 5.0, 6.0,
+      // b
+      0.1, 0.2, 0.3};
+  layer.set_params_from(params);
+  const Matrix out = layer.forward(Matrix{{1.0, 1.0}});
+  EXPECT_NEAR(out(0, 0), 5.1, 1e-12);
+  EXPECT_NEAR(out(0, 1), 7.2, 1e-12);
+  EXPECT_NEAR(out(0, 2), 9.3, 1e-12);
+}
+
+TEST(Dense, ParamCount) {
+  util::Rng rng(2);
+  Dense layer(5, 32, Init::kHe, rng);
+  EXPECT_EQ(layer.param_count(), 5u * 32u + 32u);
+}
+
+TEST(Dense, ParamsRoundTrip) {
+  util::Rng rng(3);
+  Dense layer(3, 4, Init::kHe, rng);
+  std::vector<double> params(layer.param_count());
+  layer.copy_params_to(params);
+  Dense other(3, 4, Init::kZero, rng);
+  other.set_params_from(params);
+  std::vector<double> copied(other.param_count());
+  other.copy_params_to(copied);
+  EXPECT_EQ(params, copied);
+}
+
+TEST(Dense, HeInitHasExpectedScale) {
+  util::Rng rng(4);
+  Dense layer(100, 200, Init::kHe, rng);
+  std::vector<double> params(layer.param_count());
+  layer.copy_params_to(params);
+  double sum_sq = 0.0;
+  const std::size_t weight_count = 100 * 200;
+  for (std::size_t i = 0; i < weight_count; ++i)
+    sum_sq += params[i] * params[i];
+  const double observed_var = sum_sq / static_cast<double>(weight_count);
+  EXPECT_NEAR(observed_var, 2.0 / 100.0, 0.002);
+  // Biases are zero-initialized.
+  for (std::size_t i = weight_count; i < params.size(); ++i)
+    EXPECT_DOUBLE_EQ(params[i], 0.0);
+}
+
+TEST(Dense, XavierInitHasExpectedScale) {
+  util::Rng rng(5);
+  Dense layer(100, 100, Init::kXavier, rng);
+  std::vector<double> params(layer.param_count());
+  layer.copy_params_to(params);
+  double sum_sq = 0.0;
+  const std::size_t weight_count = 100 * 100;
+  for (std::size_t i = 0; i < weight_count; ++i)
+    sum_sq += params[i] * params[i];
+  EXPECT_NEAR(sum_sq / static_cast<double>(weight_count), 0.01, 0.001);
+}
+
+TEST(Dense, BackwardInputGradient) {
+  util::Rng rng(6);
+  Dense layer(2, 2, Init::kZero, rng);
+  layer.set_params_from(std::vector<double>{1.0, 2.0, 3.0, 4.0, 0.0, 0.0});
+  layer.forward(Matrix{{1.0, 1.0}});
+  // grad_in = grad_out * W^T
+  const Matrix grad_in = layer.backward(Matrix{{1.0, 0.0}});
+  EXPECT_DOUBLE_EQ(grad_in(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(grad_in(0, 1), 3.0);
+}
+
+TEST(Dense, BackwardAccumulatesWeightGradients) {
+  util::Rng rng(7);
+  Dense layer(2, 1, Init::kZero, rng);
+  layer.forward(Matrix{{2.0, 3.0}});
+  layer.backward(Matrix{{1.0}});
+  // dL/dW = x^T * grad_out
+  EXPECT_DOUBLE_EQ(layer.weight_grads()(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(layer.weight_grads()(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(layer.bias_grads()(0, 0), 1.0);
+  // A second backward accumulates.
+  layer.forward(Matrix{{2.0, 3.0}});
+  layer.backward(Matrix{{1.0}});
+  EXPECT_DOUBLE_EQ(layer.weight_grads()(0, 0), 4.0);
+}
+
+TEST(Dense, ZeroGradsClears) {
+  util::Rng rng(8);
+  Dense layer(2, 1, Init::kHe, rng);
+  layer.forward(Matrix{{1.0, 1.0}});
+  layer.backward(Matrix{{1.0}});
+  layer.zero_grads();
+  std::vector<double> grads(layer.param_count());
+  layer.copy_grads_to(grads);
+  for (const double g : grads) EXPECT_DOUBLE_EQ(g, 0.0);
+}
+
+TEST(Dense, BatchForwardMatchesPerRow) {
+  util::Rng rng(9);
+  Dense layer(3, 2, Init::kHe, rng);
+  const Matrix batch{{1.0, 0.5, -1.0}, {0.0, 2.0, 1.0}};
+  const Matrix out = layer.forward(batch);
+  Dense single = layer;
+  const Matrix row0 = single.forward(Matrix{{1.0, 0.5, -1.0}});
+  const Matrix row1 = single.forward(Matrix{{0.0, 2.0, 1.0}});
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_NEAR(out(0, c), row0(0, c), 1e-12);
+    EXPECT_NEAR(out(1, c), row1(0, c), 1e-12);
+  }
+}
+
+TEST(Dense, CloneIsDeepCopy) {
+  util::Rng rng(10);
+  Dense layer(2, 2, Init::kHe, rng);
+  auto clone = layer.clone();
+  std::vector<double> zeros(layer.param_count(), 0.0);
+  layer.set_params_from(zeros);
+  std::vector<double> cloned(clone->param_count());
+  clone->copy_grads_to(cloned);  // grads are zero either way
+  std::vector<double> params(clone->param_count());
+  clone->copy_params_to(params);
+  bool any_nonzero = false;
+  for (const double p : params) any_nonzero |= (p != 0.0);
+  EXPECT_TRUE(any_nonzero);
+}
+
+}  // namespace
+}  // namespace fedpower::nn

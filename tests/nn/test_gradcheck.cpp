@@ -1,0 +1,87 @@
+#include "nn/gradcheck.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedpower::nn {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& x : m.data()) x = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+TEST(GradCheck, LinearModelWithMse) {
+  util::Rng rng(1);
+  Mlp mlp = make_mlp(3, {}, 2, rng);
+  MseLoss loss;
+  const Matrix input = random_matrix(4, 3, rng);
+  const Matrix target = random_matrix(4, 2, rng);
+  const GradCheckResult r = check_gradients(mlp, loss, input, target);
+  EXPECT_LT(r.max_rel_error, 1e-5);
+}
+
+TEST(GradCheck, ReluNetworkWithMse) {
+  util::Rng rng(2);
+  Mlp mlp = make_mlp(4, {8}, 3, rng);
+  MseLoss loss;
+  const Matrix input = random_matrix(6, 4, rng);
+  const Matrix target = random_matrix(6, 3, rng);
+  const GradCheckResult r = check_gradients(mlp, loss, input, target);
+  EXPECT_LT(r.max_rel_error, 1e-4);
+}
+
+TEST(GradCheck, DeepNetwork) {
+  util::Rng rng(3);
+  Mlp mlp = make_mlp(3, {8, 8}, 2, rng);
+  MseLoss loss;
+  const Matrix input = random_matrix(5, 3, rng);
+  const Matrix target = random_matrix(5, 2, rng);
+  const GradCheckResult r = check_gradients(mlp, loss, input, target);
+  EXPECT_LT(r.max_rel_error, 1e-4);
+}
+
+TEST(GradCheck, HuberLossInsideQuadraticRegion) {
+  util::Rng rng(4);
+  Mlp mlp = make_mlp(3, {8}, 2, rng);
+  // Scale parameters down so errors stay within delta (smooth region).
+  std::vector<double> params = mlp.parameters();
+  for (double& p : params) p *= 0.1;
+  mlp.set_parameters(params);
+  HuberLoss loss(5.0);
+  const Matrix input = random_matrix(4, 3, rng);
+  const Matrix target = random_matrix(4, 2, rng);
+  const GradCheckResult r = check_gradients(mlp, loss, input, target);
+  EXPECT_LT(r.max_rel_error, 1e-4);
+}
+
+TEST(GradCheck, MaskedBanditLoss) {
+  // The exact training configuration of the paper: masked Huber loss on a
+  // 5 -> 32 -> 15 network.
+  util::Rng rng(5);
+  Mlp mlp = make_mlp(5, {32}, 15, rng);
+  HuberLoss loss(10.0);  // large delta keeps the check in the smooth region
+  const Matrix input = random_matrix(8, 5, rng);
+  std::vector<std::size_t> actions;
+  std::vector<double> targets;
+  for (std::size_t i = 0; i < 8; ++i) {
+    actions.push_back(rng.uniform_index(15));
+    targets.push_back(rng.uniform(-1.0, 1.0));
+  }
+  const GradCheckResult r =
+      check_gradients_masked(mlp, loss, input, actions, targets);
+  EXPECT_LT(r.max_rel_error, 1e-4);
+}
+
+TEST(GradCheck, MaskedMseLoss) {
+  util::Rng rng(6);
+  Mlp mlp = make_mlp(4, {6}, 5, rng);
+  MseLoss loss;
+  const Matrix input = random_matrix(3, 4, rng);
+  const GradCheckResult r = check_gradients_masked(
+      mlp, loss, input, {0, 2, 4}, {0.5, -0.5, 1.0});
+  EXPECT_LT(r.max_rel_error, 1e-4);
+}
+
+}  // namespace
+}  // namespace fedpower::nn

@@ -1,0 +1,121 @@
+#include "nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedpower::nn {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 2, 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 7.0);
+}
+
+TEST(Matrix, BraceConstruction) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RowVector) {
+  const Matrix v = Matrix::row_vector({1.0, 2.0, 3.0});
+  EXPECT_EQ(v.rows(), 1u);
+  EXPECT_EQ(v.cols(), 3u);
+  EXPECT_DOUBLE_EQ(v(0, 2), 3.0);
+}
+
+TEST(Matrix, MatmulKnownProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a.matmul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulRectangular) {
+  const Matrix a{{1.0, 0.0, 2.0}};          // 1x3
+  const Matrix b{{1.0}, {2.0}, {3.0}};      // 3x1
+  const Matrix c = a.matmul(b);
+  EXPECT_EQ(c.rows(), 1u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 7.0);
+}
+
+TEST(Matrix, TransposeMatmulEqualsExplicitTranspose) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};  // 3x2
+  const Matrix b{{1.0, 0.5}, {2.0, 1.5}, {3.0, 2.5}};  // 3x2
+  const Matrix expected = a.transpose().matmul(b);
+  const Matrix actual = a.transpose_matmul(b);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Matrix, MatmulTransposeEqualsExplicitTranspose) {
+  const Matrix a{{1.0, 2.0, 3.0}};                      // 1x3
+  const Matrix b{{0.5, 1.0, 1.5}, {2.0, 2.5, 3.0}};     // 2x3
+  const Matrix expected = a.matmul(b.transpose());
+  const Matrix actual = a.matmul_transpose(b);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Matrix, TransposeShapeAndValues) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, ElementwiseAddSubScale) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{0.5, 1.0}};
+  EXPECT_EQ(a + b, (Matrix{{1.5, 3.0}}));
+  EXPECT_EQ(a - b, (Matrix{{0.5, 1.0}}));
+  EXPECT_EQ(a * 2.0, (Matrix{{2.0, 4.0}}));
+  EXPECT_EQ(2.0 * a, (Matrix{{2.0, 4.0}}));
+}
+
+TEST(Matrix, Hadamard) {
+  const Matrix a{{2.0, 3.0}};
+  const Matrix b{{4.0, 5.0}};
+  EXPECT_EQ(a.hadamard(b), (Matrix{{8.0, 15.0}}));
+}
+
+TEST(Matrix, AddRowBroadcast) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  m.add_row_broadcast(Matrix{{10.0, 20.0}});
+  EXPECT_EQ(m, (Matrix{{11.0, 22.0}, {13.0, 24.0}}));
+}
+
+TEST(Matrix, ColumnSums) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.column_sums(), (Matrix{{4.0, 6.0}}));
+}
+
+TEST(Matrix, SameShape) {
+  EXPECT_TRUE(Matrix(2, 3).same_shape(Matrix(2, 3)));
+  EXPECT_FALSE(Matrix(2, 3).same_shape(Matrix(3, 2)));
+}
+
+TEST(Matrix, MatmulAssociativity) {
+  // (A*B)*C == A*(B*C) for compatible shapes — exercises accumulation order.
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{0.5, 1.0}, {1.5, 2.0}};
+  const Matrix c{{2.0, 0.0}, {0.0, 2.0}};
+  const Matrix lhs = a.matmul(b).matmul(c);
+  const Matrix rhs = a.matmul(b.matmul(c));
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t col = 0; col < 2; ++col)
+      EXPECT_NEAR(lhs(r, col), rhs(r, col), 1e-12);
+}
+
+}  // namespace
+}  // namespace fedpower::nn

@@ -1,0 +1,100 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nn/mlp.hpp"
+
+namespace fedpower::nn {
+namespace {
+
+TEST(Serialize, RoundTripPreservesFloat32Values) {
+  const std::vector<double> params = {0.5, -1.25, 3.0, 0.0, 1e-3};
+  const auto payload = encode_parameters(params);
+  const auto decoded = decode_parameters(payload);
+  ASSERT_EQ(decoded.size(), params.size());
+  for (std::size_t i = 0; i < params.size(); ++i)
+    EXPECT_FLOAT_EQ(static_cast<float>(decoded[i]),
+                    static_cast<float>(params[i]));
+}
+
+TEST(Serialize, ExactForFloat32RepresentableValues) {
+  const std::vector<double> params = {0.5, -0.25, 2.0};
+  const auto decoded = decode_parameters(encode_parameters(params));
+  EXPECT_EQ(decoded, params);
+}
+
+TEST(Serialize, PayloadSizeMatchesFormula) {
+  const std::vector<double> params(719, 1.0);
+  const auto payload = encode_parameters(params);
+  EXPECT_EQ(payload.size(), payload_size(719));
+  EXPECT_EQ(payload.size(), 12u + 719u * 4u);
+}
+
+TEST(Serialize, PaperPolicyNetworkIsAbout2point8kB) {
+  // The paper reports 2.8 kB per transfer (§IV-C); our 687-parameter policy
+  // network serializes to 2760 bytes = 2.76 kB.
+  util::Rng rng(1);
+  Mlp mlp = make_mlp(5, {32}, 15, rng);
+  const auto payload = encode_parameters(mlp.parameters());
+  EXPECT_EQ(payload.size(), 2760u);
+  EXPECT_NEAR(static_cast<double>(payload.size()) / 1000.0, 2.8, 0.1);
+}
+
+TEST(Serialize, EmptyParameterVector) {
+  const auto payload = encode_parameters(std::vector<double>{});
+  EXPECT_EQ(payload.size(), kPayloadHeaderBytes);
+  EXPECT_TRUE(decode_parameters(payload).empty());
+}
+
+TEST(Serialize, RejectsTruncatedHeader) {
+  EXPECT_THROW(decode_parameters(std::vector<std::uint8_t>(5, 0)),
+               std::invalid_argument);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  auto payload = encode_parameters(std::vector<double>{1.0});
+  payload[0] = 'X';
+  EXPECT_THROW(decode_parameters(payload), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsWrongVersion) {
+  auto payload = encode_parameters(std::vector<double>{1.0});
+  payload[4] = 99;
+  EXPECT_THROW(decode_parameters(payload), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsLengthMismatch) {
+  auto payload = encode_parameters(std::vector<double>{1.0, 2.0});
+  payload.pop_back();
+  EXPECT_THROW(decode_parameters(payload), std::invalid_argument);
+  payload.push_back(0);
+  payload.push_back(0);
+  EXPECT_THROW(decode_parameters(payload), std::invalid_argument);
+}
+
+TEST(Serialize, ModelSurvivesWireRoundTrip) {
+  // A model encoded, decoded and re-installed must produce (float-rounded)
+  // identical predictions — this is what federation relies on.
+  util::Rng rng(2);
+  Mlp original = make_mlp(5, {32}, 15, rng);
+  Mlp restored = make_mlp(5, {32}, 15, rng);
+  restored.set_parameters(
+      decode_parameters(encode_parameters(original.parameters())));
+  const Matrix input{{0.5, 0.4, 0.7, 0.3, 0.2}};
+  const Matrix a = original.forward(input);
+  const Matrix b = restored.forward(input);
+  for (std::size_t c = 0; c < 15; ++c) EXPECT_NEAR(a(0, c), b(0, c), 1e-5);
+}
+
+TEST(Serialize, NegativeAndSpecialValues) {
+  const std::vector<double> params = {-0.0, 1e38, -1e38};
+  const auto decoded = decode_parameters(encode_parameters(params));
+  EXPECT_EQ(decoded[0], 0.0);
+  EXPECT_NEAR(decoded[1], 1e38, 1e32);
+  EXPECT_NEAR(decoded[2], -1e38, 1e32);
+}
+
+}  // namespace
+}  // namespace fedpower::nn

@@ -1,0 +1,118 @@
+// Parameterized training properties across network shapes and losses:
+// every configuration we might instantiate must backprop correctly and fit
+// a simple function.
+#include <gtest/gtest.h>
+
+#include "nn/gradcheck.hpp"
+#include "nn/optimizer.hpp"
+
+namespace fedpower::nn {
+namespace {
+
+struct Shape {
+  std::size_t input;
+  std::vector<std::size_t> hidden;
+  std::size_t output;
+};
+
+class NetworkShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(NetworkShapes, GradientsMatchFiniteDifferences) {
+  const Shape& shape = GetParam();
+  util::Rng rng(1);
+  Mlp mlp = make_mlp(shape.input, shape.hidden, shape.output, rng);
+  MseLoss loss;
+  Matrix input(4, shape.input);
+  Matrix target(4, shape.output);
+  util::Rng data(2);
+  for (double& x : input.data()) x = data.uniform(-1.0, 1.0);
+  for (double& x : target.data()) x = data.uniform(-1.0, 1.0);
+  const GradCheckResult result = check_gradients(mlp, loss, input, target);
+  EXPECT_LT(result.max_rel_error, 1e-4);
+}
+
+TEST_P(NetworkShapes, ParamCountMatchesFormula) {
+  const Shape& shape = GetParam();
+  util::Rng rng(3);
+  Mlp mlp = make_mlp(shape.input, shape.hidden, shape.output, rng);
+  std::size_t expected = 0;
+  std::size_t in = shape.input;
+  for (const std::size_t h : shape.hidden) {
+    expected += in * h + h;
+    in = h;
+  }
+  expected += in * shape.output + shape.output;
+  EXPECT_EQ(mlp.param_count(), expected);
+}
+
+TEST_P(NetworkShapes, FitsLinearTarget) {
+  const Shape& shape = GetParam();
+  util::Rng rng(4);
+  Mlp mlp = make_mlp(shape.input, shape.hidden, shape.output, rng);
+  MseLoss loss;
+  Adam adam(0.02);
+  util::Rng data(5);
+  double final_loss = 1e9;
+  for (int iter = 0; iter < 1200; ++iter) {
+    Matrix input(8, shape.input);
+    Matrix target(8, shape.output);
+    for (std::size_t r = 0; r < 8; ++r) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < shape.input; ++c) {
+        input(r, c) = data.uniform(-1.0, 1.0);
+        sum += input(r, c);
+      }
+      for (std::size_t c = 0; c < shape.output; ++c)
+        target(r, c) = 0.5 * sum;
+    }
+    const Matrix prediction = mlp.forward(input);
+    const LossResult result = loss.evaluate(prediction, target);
+    mlp.zero_gradients();
+    mlp.backward(result.grad);
+    std::vector<double> params = mlp.parameters();
+    adam.step(params, mlp.gradients());
+    mlp.set_parameters(params);
+    final_loss = result.value;
+  }
+  EXPECT_LT(final_loss, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, NetworkShapes,
+    ::testing::Values(Shape{5, {32}, 15},    // the paper's policy network
+                      Shape{5, {}, 15},      // linear baseline
+                      Shape{3, {8}, 4},      // small test network
+                      Shape{5, {16, 16}, 15},// deeper variant
+                      Shape{2, {4, 4, 4}, 1}),
+    [](const ::testing::TestParamInfo<Shape>& param_info) {
+      std::string name = "in" + std::to_string(param_info.param.input);
+      for (const std::size_t h : param_info.param.hidden)
+        name += "_h" + std::to_string(h);
+      name += "_out" + std::to_string(param_info.param.output);
+      return name;
+    });
+
+class LossFamilies : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossFamilies, HuberGradCheckAcrossDeltas) {
+  util::Rng rng(6);
+  Mlp mlp = make_mlp(4, {8}, 3, rng);
+  // Keep errors in the smooth region for the finite-difference check.
+  std::vector<double> params = mlp.parameters();
+  for (double& p : params) p *= 0.05;
+  mlp.set_parameters(params);
+  HuberLoss loss(GetParam());
+  Matrix input(3, 4);
+  Matrix target(3, 3);
+  util::Rng data(7);
+  for (double& x : input.data()) x = data.uniform(-0.5, 0.5);
+  for (double& x : target.data()) x = data.uniform(-0.05, 0.05);
+  const GradCheckResult result = check_gradients(mlp, loss, input, target);
+  EXPECT_LT(result.max_rel_error, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, LossFamilies,
+                         ::testing::Values(0.5, 1.0, 2.0, 10.0));
+
+}  // namespace
+}  // namespace fedpower::nn

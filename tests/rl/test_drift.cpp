@@ -1,0 +1,135 @@
+#include "rl/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rl/neural_agent.hpp"
+
+namespace fedpower::rl {
+namespace {
+
+DriftConfig fast_config() {
+  DriftConfig config;
+  config.warmup = 10;
+  config.cooldown = 20;
+  config.drop_threshold = 0.3;
+  return config;
+}
+
+TEST(DriftMonitor, NoDetectionOnStableReward) {
+  DriftMonitor monitor(fast_config());
+  for (int i = 0; i < 500; ++i) EXPECT_FALSE(monitor.observe(0.6));
+  EXPECT_EQ(monitor.detections(), 0u);
+}
+
+TEST(DriftMonitor, NoDetectionOnSlowImprovement) {
+  DriftMonitor monitor(fast_config());
+  for (int i = 0; i < 500; ++i)
+    EXPECT_FALSE(monitor.observe(0.1 + 0.001 * i));
+}
+
+TEST(DriftMonitor, DetectsSuddenDrop) {
+  DriftMonitor monitor(fast_config());
+  for (int i = 0; i < 100; ++i) monitor.observe(0.6);
+  bool detected = false;
+  for (int i = 0; i < 30; ++i) detected |= monitor.observe(-0.8);
+  EXPECT_TRUE(detected);
+  // The re-anchored slow tracker may legitimately fire once more while the
+  // fast tracker is still converging to the new level.
+  EXPECT_GE(monitor.detections(), 1u);
+  EXPECT_LE(monitor.detections(), 2u);
+}
+
+TEST(DriftMonitor, WarmupSuppressesEarlyNoise) {
+  DriftConfig config = fast_config();
+  config.warmup = 50;
+  DriftMonitor monitor(config);
+  // Violent swings inside the warmup window must not trigger.
+  for (int i = 0; i < 49; ++i)
+    EXPECT_FALSE(monitor.observe(i % 2 == 0 ? 1.0 : -1.0));
+}
+
+TEST(DriftMonitor, CooldownLimitsTriggerRate) {
+  DriftConfig config = fast_config();
+  config.cooldown = 100;
+  DriftMonitor monitor(config);
+  for (int i = 0; i < 50; ++i) monitor.observe(0.8);
+  int triggers = 0;
+  for (int i = 0; i < 90; ++i)
+    if (monitor.observe(-1.0)) ++triggers;
+  EXPECT_EQ(triggers, 1);  // second trigger blocked by cooldown
+}
+
+TEST(DriftMonitor, ReanchorsAfterDetection) {
+  DriftMonitor monitor(fast_config());
+  for (int i = 0; i < 100; ++i) monitor.observe(0.8);
+  bool detected = false;
+  for (int i = 0; i < 200; ++i) detected |= monitor.observe(-0.5);
+  EXPECT_TRUE(detected);
+  // Reward is now stably -0.5: the monitor must settle, not re-fire
+  // forever on the same (old) drop.
+  for (int i = 0; i < 300; ++i) monitor.observe(-0.5);
+  EXPECT_LE(monitor.detections(), 2u);
+}
+
+TEST(DriftMonitor, TracksBothAverages) {
+  DriftMonitor monitor(fast_config());
+  monitor.observe(1.0);
+  EXPECT_DOUBLE_EQ(monitor.fast(), 1.0);
+  EXPECT_DOUBLE_EQ(monitor.slow(), 1.0);
+  monitor.observe(0.0);
+  EXPECT_LT(monitor.fast(), monitor.slow());  // fast falls quicker
+}
+
+TEST(DriftMonitor, ResetClearsState) {
+  DriftMonitor monitor(fast_config());
+  for (int i = 0; i < 50; ++i) monitor.observe(0.5);
+  monitor.reset();
+  EXPECT_EQ(monitor.samples(), 0u);
+  EXPECT_EQ(monitor.detections(), 0u);
+}
+
+TEST(DriftMonitorDeathTest, FastMustBeFasterThanSlow) {
+  DriftConfig config;
+  config.fast_alpha = 0.01;
+  config.slow_alpha = 0.2;
+  EXPECT_DEATH(DriftMonitor{config}, "precondition");
+}
+
+// --- agent reheat -------------------------------------------------------
+
+TEST(Reheat, RestoresTargetTemperature) {
+  NeuralAgentConfig config;
+  config.state_dim = 3;
+  config.action_count = 4;
+  config.hidden_sizes = {8};
+  NeuralBanditAgent agent(config, util::Rng{1});
+  const std::vector<double> state = {0.5, 0.5, 0.5};
+  for (int i = 0; i < 4000; ++i) agent.record(state, 0, 0.5);
+  ASSERT_LT(agent.temperature(), 0.2);
+  agent.reheat(0.45);
+  EXPECT_NEAR(agent.temperature(), 0.45, 0.01);
+}
+
+TEST(Reheat, ClampsToScheduleBounds) {
+  NeuralAgentConfig config;
+  config.state_dim = 3;
+  config.action_count = 4;
+  config.hidden_sizes = {8};
+  NeuralBanditAgent agent(config, util::Rng{2});
+  agent.reheat(99.0);  // above tau_max -> clamp to tau_max (step 0)
+  EXPECT_DOUBLE_EQ(agent.temperature(), 0.9);
+}
+
+TEST(Reheat, NoopWithoutDecay) {
+  NeuralAgentConfig config;
+  config.state_dim = 3;
+  config.action_count = 4;
+  config.hidden_sizes = {8};
+  config.tau_decay = 0.0;
+  NeuralBanditAgent agent(config, util::Rng{3});
+  agent.reheat(0.1);
+  EXPECT_DOUBLE_EQ(agent.temperature(), 0.9);
+}
+
+}  // namespace
+}  // namespace fedpower::rl

@@ -1,0 +1,125 @@
+#include "rl/reward.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedpower::rl {
+namespace {
+
+// Paper parameters: P_crit = 0.6 W, k_offset = 0.05 W, f_max = 1479 MHz.
+PaperReward paper_reward() { return PaperReward(0.6, 0.05, 1479.0); }
+
+TEST(PaperReward, NormalizedFrequencyUnderConstraint) {
+  const PaperReward r = paper_reward();
+  EXPECT_DOUBLE_EQ(r.evaluate(1479.0, 0.5), 1.0);
+  EXPECT_NEAR(r.evaluate(739.5, 0.5), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(r.evaluate(1479.0, 0.6), 1.0);  // boundary inclusive
+}
+
+TEST(PaperReward, FirstRampScalesFrequencyTerm) {
+  const PaperReward r = paper_reward();
+  // At P = P_crit + k/2 the ramp factor is 0.5.
+  EXPECT_NEAR(r.evaluate(1479.0, 0.625), 0.5, 1e-12);
+  EXPECT_NEAR(r.evaluate(739.5, 0.625), 0.25, 1e-12);
+}
+
+TEST(PaperReward, ZeroAtPcritPlusOffset) {
+  const PaperReward r = paper_reward();
+  EXPECT_NEAR(r.evaluate(1479.0, 0.65), 0.0, 1e-12);
+}
+
+TEST(PaperReward, SecondRampIsFrequencyIndependent) {
+  const PaperReward r = paper_reward();
+  // Between P_crit+k and P_crit+2k the reward is the bare ramp.
+  EXPECT_NEAR(r.evaluate(1479.0, 0.675), -0.5, 1e-12);
+  EXPECT_NEAR(r.evaluate(102.0, 0.675), -0.5, 1e-12);
+}
+
+TEST(PaperReward, MinusOneAtAndBeyondPcritPlus2k) {
+  const PaperReward r = paper_reward();
+  EXPECT_NEAR(r.evaluate(1000.0, 0.7), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.evaluate(1000.0, 5.0), -1.0);
+}
+
+TEST(PaperReward, ContinuousAcrossAllBreakpoints) {
+  const PaperReward r = paper_reward();
+  const double f = 1036.8;
+  for (const double p : {0.6, 0.65, 0.7}) {
+    const double below = r.evaluate(f, p - 1e-9);
+    const double above = r.evaluate(f, p + 1e-9);
+    EXPECT_NEAR(below, above, 1e-6) << "discontinuity at P=" << p;
+  }
+}
+
+TEST(PaperReward, MonotoneDecreasingInPowerBeyondConstraint) {
+  const PaperReward r = paper_reward();
+  double previous = 2.0;
+  for (double p = 0.6; p <= 0.75; p += 0.005) {
+    const double value = r.evaluate(1200.0, p);
+    EXPECT_LE(value, previous + 1e-12);
+    previous = value;
+  }
+}
+
+TEST(PaperReward, MonotoneIncreasingInFrequencyUnderConstraint) {
+  const PaperReward r = paper_reward();
+  EXPECT_LT(r.evaluate(500.0, 0.4), r.evaluate(1000.0, 0.4));
+}
+
+TEST(PaperReward, BoundedInMinusOneOne) {
+  const PaperReward r = paper_reward();
+  for (double f = 102.0; f <= 1479.0; f += 137.0)
+    for (double p = 0.0; p <= 2.0; p += 0.03) {
+      const double value = r.evaluate(f, p);
+      EXPECT_GE(value, -1.0);
+      EXPECT_LE(value, 1.0);
+    }
+}
+
+TEST(PaperReward, OperatesOnTelemetry) {
+  const PaperReward r = paper_reward();
+  sim::TelemetrySample sample;
+  sample.freq_mhz = 1479.0;
+  sample.power_w = 0.5;
+  EXPECT_DOUBLE_EQ(r(sample), 1.0);
+}
+
+TEST(PaperReward, Accessors) {
+  const PaperReward r = paper_reward();
+  EXPECT_DOUBLE_EQ(r.p_crit(), 0.6);
+  EXPECT_DOUBLE_EQ(r.k_offset(), 0.05);
+  EXPECT_DOUBLE_EQ(r.f_max_mhz(), 1479.0);
+}
+
+TEST(ProfitReward, IpsUnderConstraint) {
+  const ProfitReward r(0.6, 1e9);
+  EXPECT_DOUBLE_EQ(r.evaluate(1.5e9, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(r.evaluate(1.5e9, 0.6), 1.5);  // boundary inclusive
+}
+
+TEST(ProfitReward, PenaltyProportionalToViolation) {
+  const ProfitReward r(0.6, 1e9);
+  EXPECT_NEAR(r.evaluate(2e9, 0.7), -0.5, 1e-12);   // -5 * 0.1
+  EXPECT_NEAR(r.evaluate(2e9, 1.0), -2.0, 1e-12);   // -5 * 0.4
+}
+
+TEST(ProfitReward, PenaltyIgnoresIps) {
+  const ProfitReward r(0.6, 1e9);
+  EXPECT_DOUBLE_EQ(r.evaluate(1e6, 0.8), r.evaluate(9e9, 0.8));
+}
+
+TEST(ProfitReward, TelemetryOverload) {
+  const ProfitReward r(0.6, 1e9);
+  sim::TelemetrySample sample;
+  sample.ips = 8e8;
+  sample.power_w = 0.4;
+  EXPECT_DOUBLE_EQ(r(sample), 0.8);
+}
+
+TEST(RewardDeathTest, RejectsNonPositiveParameters) {
+  EXPECT_DEATH(PaperReward(0.0, 0.05, 1479.0), "precondition");
+  EXPECT_DEATH(PaperReward(0.6, 0.0, 1479.0), "precondition");
+  EXPECT_DEATH(ProfitReward(0.0), "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::rl

@@ -1,0 +1,106 @@
+// Parameterized sweep of the paper's reward function (Eq. 4) over budget
+// and offset combinations: the four-segment structure must hold for any
+// sane (P_crit, k_offset), not just the paper's 0.6/0.05.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl/reward.hpp"
+
+namespace fedpower::rl {
+namespace {
+
+class RewardSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {
+ protected:
+  double p_crit() const { return GetParam().first; }
+  double k() const { return GetParam().second; }
+  PaperReward reward() const { return PaperReward(p_crit(), k(), 1479.0); }
+};
+
+TEST_P(RewardSweep, FullRewardExactlyAtBudget) {
+  EXPECT_DOUBLE_EQ(reward().evaluate(1479.0, p_crit()), 1.0);
+}
+
+TEST_P(RewardSweep, ZeroAtBudgetPlusOffset) {
+  EXPECT_NEAR(reward().evaluate(1479.0, p_crit() + k()), 0.0, 1e-12);
+}
+
+TEST_P(RewardSweep, MinusOneAtBudgetPlusTwoOffsets) {
+  EXPECT_NEAR(reward().evaluate(1479.0, p_crit() + 2.0 * k()), -1.0, 1e-12);
+}
+
+TEST_P(RewardSweep, ContinuousEverywhere) {
+  const PaperReward r = reward();
+  for (const double f : {102.0, 739.5, 1479.0}) {
+    for (double p = p_crit() - k(); p <= p_crit() + 3.0 * k();
+         p += k() / 50.0) {
+      const double below = r.evaluate(f, p - 1e-10);
+      const double above = r.evaluate(f, p + 1e-10);
+      EXPECT_NEAR(below, above, 1e-6)
+          << "f=" << f << " P=" << p;
+    }
+  }
+}
+
+TEST_P(RewardSweep, MonotoneNonIncreasingInPower) {
+  const PaperReward r = reward();
+  double previous = 2.0;
+  for (double p = 0.0; p <= p_crit() + 3.0 * k(); p += k() / 10.0) {
+    const double value = r.evaluate(1000.0, p);
+    EXPECT_LE(value, previous + 1e-12);
+    previous = value;
+  }
+}
+
+TEST_P(RewardSweep, MonotoneNonDecreasingInFrequencyWhenSafe) {
+  const PaperReward r = reward();
+  double previous = -2.0;
+  for (double f = 102.0; f <= 1479.0; f += 98.0) {
+    const double value = r.evaluate(f, p_crit() * 0.8);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+}
+
+TEST_P(RewardSweep, Bounded) {
+  const PaperReward r = reward();
+  for (double f = 102.0; f <= 1479.0; f += 196.0)
+    for (double p = 0.0; p <= 3.0; p += 0.05) {
+      const double value = r.evaluate(f, p);
+      EXPECT_GE(value, -1.0);
+      EXPECT_LE(value, 1.0);
+    }
+}
+
+TEST_P(RewardSweep, FrequencyIrrelevantDeepInViolation) {
+  const PaperReward r = reward();
+  const double p = p_crit() + 1.5 * k();
+  EXPECT_NEAR(r.evaluate(102.0, p), r.evaluate(1479.0, p), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetOffsetGrid, RewardSweep,
+    ::testing::Values(std::pair{0.6, 0.05},   // the paper's setting
+                      std::pair{0.4, 0.05},   // tighter budget
+                      std::pair{0.8, 0.05},   // looser budget
+                      std::pair{0.6, 0.01},   // near-hard constraint
+                      std::pair{0.6, 0.2},    // very soft ramp
+                      std::pair{1.5, 0.1}),   // multicore-scale budget
+    [](const ::testing::TestParamInfo<std::pair<double, double>>& param_info) {
+      const auto fmt = [](double v) {
+        std::string text = std::to_string(v);
+        text.erase(text.find_last_not_of('0') + 1);
+        for (char& c : text)
+          if (c == '.') c = 'p';
+        return text;
+      };
+      std::string name = "P";
+      name += fmt(param_info.param.first);
+      name += "_k";
+      name += fmt(param_info.param.second);
+      return name;
+    });
+
+}  // namespace
+}  // namespace fedpower::rl

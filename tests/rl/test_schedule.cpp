@@ -1,0 +1,77 @@
+#include "rl/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedpower::rl {
+namespace {
+
+TEST(ExponentialDecay, InitialValueAtStepZero) {
+  ExponentialDecay schedule(0.9, 0.0005, 0.01);
+  EXPECT_DOUBLE_EQ(schedule.value(0), 0.9);
+}
+
+TEST(ExponentialDecay, FollowsExponential) {
+  ExponentialDecay schedule(0.9, 0.0005, 0.01);
+  EXPECT_NEAR(schedule.value(1000), 0.9 * std::exp(-0.5), 1e-12);
+}
+
+TEST(ExponentialDecay, ClampsAtFloor) {
+  ExponentialDecay schedule(0.9, 0.0005, 0.01);
+  EXPECT_DOUBLE_EQ(schedule.value(1000000), 0.01);
+}
+
+TEST(ExponentialDecay, MonotoneNonIncreasing) {
+  ExponentialDecay schedule(0.9, 0.0005, 0.01);
+  double previous = schedule.value(0);
+  for (std::size_t t = 1; t < 20000; t += 137) {
+    const double v = schedule.value(t);
+    EXPECT_LE(v, previous);
+    previous = v;
+  }
+}
+
+TEST(ExponentialDecay, PaperScheduleReachesFloorWithinTraining) {
+  // tau_max=0.9, decay=5e-4, tau_min=0.01: floor reached at step ~9000,
+  // within the paper's 100 rounds x 100 steps = 10000 total steps.
+  ExponentialDecay schedule(0.9, 0.0005, 0.01);
+  const std::size_t at = schedule.steps_to_floor();
+  EXPECT_GT(at, 8000u);
+  EXPECT_LT(at, 10000u);
+  EXPECT_DOUBLE_EQ(schedule.value(at), 0.01);
+  EXPECT_GT(schedule.value(at - 100), 0.01);
+}
+
+TEST(ExponentialDecay, ZeroDecayIsConstant) {
+  ExponentialDecay schedule(0.5, 0.0, 0.1);
+  EXPECT_DOUBLE_EQ(schedule.value(0), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.value(100000), 0.5);
+  EXPECT_EQ(schedule.steps_to_floor(), 0u);
+}
+
+TEST(ExponentialDecay, Accessors) {
+  ExponentialDecay schedule(0.9, 0.0005, 0.01);
+  EXPECT_DOUBLE_EQ(schedule.initial(), 0.9);
+  EXPECT_DOUBLE_EQ(schedule.decay(), 0.0005);
+  EXPECT_DOUBLE_EQ(schedule.floor(), 0.01);
+}
+
+TEST(ExponentialDecayDeathTest, RejectsFloorAboveInitial) {
+  EXPECT_DEATH(ExponentialDecay(0.1, 0.01, 0.5), "precondition");
+}
+
+TEST(LinearDecay, Slope) {
+  LinearDecay schedule(1.0, 0.1, 0.2);
+  EXPECT_DOUBLE_EQ(schedule.value(0), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.value(5), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.value(100), 0.2);  // clamped
+}
+
+TEST(LinearDecay, ZeroSlopeIsConstant) {
+  LinearDecay schedule(0.7, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(schedule.value(1000), 0.7);
+}
+
+}  // namespace
+}  // namespace fedpower::rl

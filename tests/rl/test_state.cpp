@@ -1,0 +1,73 @@
+#include "rl/state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedpower::rl {
+namespace {
+
+sim::TelemetrySample sample() {
+  sim::TelemetrySample s;
+  s.freq_mhz = 739.5;
+  s.power_w = 0.45;
+  s.ipc = 0.75;
+  s.miss_rate = 0.3;
+  s.mpki = 25.0;
+  return s;
+}
+
+TEST(StateFeaturizer, ProducesFiveFeatures) {
+  StateFeaturizer featurizer;
+  EXPECT_EQ(featurizer.featurize(sample()).size(),
+            StateFeaturizer::kStateDim);
+  EXPECT_EQ(StateFeaturizer::kStateDim, 5u);
+}
+
+TEST(StateFeaturizer, NormalizesEachDimension) {
+  StateFeaturizer featurizer;
+  const auto f = featurizer.featurize(sample());
+  EXPECT_NEAR(f[0], 739.5 / 1479.0, 1e-12);  // frequency
+  EXPECT_DOUBLE_EQ(f[1], 0.45);              // power in watts
+  EXPECT_DOUBLE_EQ(f[2], 0.75 / 1.5);        // ipc
+  EXPECT_DOUBLE_EQ(f[3], 0.3);               // miss rate unscaled
+  EXPECT_DOUBLE_EQ(f[4], 0.5);               // mpki / 50
+}
+
+TEST(StateFeaturizer, FeaturesAreOrderOne) {
+  // Realistic telemetry across the operating range must map to features in
+  // roughly [0, 1.5] so the network trains without input whitening.
+  StateFeaturizer featurizer;
+  sim::TelemetrySample extreme;
+  extreme.freq_mhz = 1479.0;
+  extreme.power_w = 1.3;
+  extreme.ipc = 1.5;
+  extreme.miss_rate = 1.0;
+  extreme.mpki = 60.0;
+  for (const double f : featurizer.featurize(extreme)) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.5);
+  }
+}
+
+TEST(StateFeaturizer, CustomConfig) {
+  FeaturizerConfig config;
+  config.f_max_mhz = 2000.0;
+  config.mpki_scale = 100.0;
+  StateFeaturizer featurizer(config);
+  const auto f = featurizer.featurize(sample());
+  EXPECT_NEAR(f[0], 739.5 / 2000.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f[4], 0.25);
+}
+
+TEST(StateFeaturizer, DeterministicForSameSample) {
+  StateFeaturizer featurizer;
+  EXPECT_EQ(featurizer.featurize(sample()), featurizer.featurize(sample()));
+}
+
+TEST(StateFeaturizerDeathTest, RejectsNonPositiveScales) {
+  FeaturizerConfig config;
+  config.ipc_scale = 0.0;
+  EXPECT_DEATH(StateFeaturizer{config}, "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::rl

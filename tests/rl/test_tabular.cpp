@@ -1,0 +1,143 @@
+#include "rl/tabular.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedpower::rl {
+namespace {
+
+Discretizer simple_discretizer() {
+  return Discretizer({
+      DimensionSpec{0.0, 1.0, 4},
+      DimensionSpec{0.0, 10.0, 5},
+  });
+}
+
+TEST(Discretizer, StateCountIsProductOfBins) {
+  EXPECT_EQ(simple_discretizer().state_count(), 20u);
+  EXPECT_EQ(simple_discretizer().dimension_count(), 2u);
+}
+
+TEST(Discretizer, BinBoundaries) {
+  const Discretizer d = simple_discretizer();
+  EXPECT_EQ(d.bin(0, 0.0), 0u);
+  EXPECT_EQ(d.bin(0, 0.24), 0u);
+  EXPECT_EQ(d.bin(0, 0.25), 1u);
+  EXPECT_EQ(d.bin(0, 0.74), 2u);
+  EXPECT_EQ(d.bin(0, 0.75), 3u);
+  EXPECT_EQ(d.bin(0, 0.999), 3u);
+}
+
+TEST(Discretizer, ClampsOutOfRange) {
+  const Discretizer d = simple_discretizer();
+  EXPECT_EQ(d.bin(0, -5.0), 0u);
+  EXPECT_EQ(d.bin(0, 99.0), 3u);
+  EXPECT_EQ(d.bin(1, -1.0), 0u);
+  EXPECT_EQ(d.bin(1, 100.0), 4u);
+}
+
+TEST(Discretizer, IndexIsRowMajor) {
+  const Discretizer d = simple_discretizer();
+  // bin(dim0)=1, bin(dim1)=2 -> 1*5 + 2 = 7.
+  EXPECT_EQ(d.index(std::vector<double>{0.3, 4.5}), 7u);
+}
+
+TEST(Discretizer, IndexCoversFullRangeInjectively) {
+  const Discretizer d = simple_discretizer();
+  std::vector<bool> seen(d.state_count(), false);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 5; ++j) {
+      const std::size_t idx = d.index(std::vector<double>{
+          0.125 + 0.25 * i, 1.0 + 2.0 * j});
+      ASSERT_LT(idx, d.state_count());
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+    }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Discretizer, UpperEdgeBelongsToLastBin) {
+  const Discretizer d = simple_discretizer();
+  EXPECT_EQ(d.bin(0, 1.0), 3u);
+}
+
+TEST(DiscretizerDeathTest, RejectsWrongDimensionality) {
+  const Discretizer d = simple_discretizer();
+  EXPECT_DEATH(d.index(std::vector<double>{0.5}), "precondition");
+}
+
+TEST(QTable, InitialValue) {
+  QTable table(10, 4, 0.5);
+  EXPECT_DOUBLE_EQ(table.value(3, 2), 0.5);
+  EXPECT_EQ(table.states(), 10u);
+  EXPECT_EQ(table.actions(), 4u);
+}
+
+TEST(QTable, UpdateMovesTowardReward) {
+  QTable table(4, 2);
+  table.update(1, 0, 1.0, 0.1);
+  EXPECT_DOUBLE_EQ(table.value(1, 0), 0.1);
+  table.update(1, 0, 1.0, 0.1);
+  EXPECT_DOUBLE_EQ(table.value(1, 0), 0.19);
+}
+
+TEST(QTable, UpdateConvergesToStationaryReward) {
+  QTable table(1, 1);
+  for (int i = 0; i < 500; ++i) table.update(0, 0, 0.7, 0.1);
+  EXPECT_NEAR(table.value(0, 0), 0.7, 1e-6);
+}
+
+TEST(QTable, VisitCountsTrack) {
+  QTable table(4, 2);
+  table.update(2, 1, 0.0, 0.1);
+  table.update(2, 1, 0.0, 0.1);
+  table.update(2, 0, 0.0, 0.1);
+  EXPECT_EQ(table.visits(2, 1), 2u);
+  EXPECT_EQ(table.visits(2, 0), 1u);
+  EXPECT_EQ(table.visits(0, 0), 0u);
+  EXPECT_EQ(table.state_visits(2), 3u);
+}
+
+TEST(QTable, StateMeanRewardAverages) {
+  QTable table(2, 2);
+  table.update(0, 0, 1.0, 0.5);
+  table.update(0, 1, 0.0, 0.5);
+  EXPECT_DOUBLE_EQ(table.state_mean_reward(0), 0.5);
+  EXPECT_DOUBLE_EQ(table.state_mean_reward(1), 0.0);  // unvisited
+}
+
+TEST(QTable, BestAction) {
+  QTable table(2, 3);
+  table.set_value(0, 0, 0.2);
+  table.set_value(0, 1, 0.9);
+  table.set_value(0, 2, 0.5);
+  EXPECT_EQ(table.best_action(0), 1u);
+  EXPECT_EQ(table.best_action(1), 0u);  // all equal -> first
+}
+
+TEST(QTable, RowReturnsAllActions) {
+  QTable table(2, 3);
+  table.set_value(1, 2, 7.0);
+  const std::vector<double> row = table.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[2], 7.0);
+}
+
+TEST(QTable, StorageBytesScalesWithTable) {
+  QTable small(10, 4);
+  QTable large(100, 4);
+  EXPECT_GT(large.storage_bytes(), small.storage_bytes());
+  // A 750-state, 15-action table is far larger than the 2.9 kB neural
+  // payload — one of the paper's implicit points about scalability.
+  QTable profit_sized(750, 15);
+  EXPECT_GT(profit_sized.storage_bytes(), 90000u);
+}
+
+TEST(QTableDeathTest, BoundsChecked) {
+  QTable table(4, 2);
+  EXPECT_DEATH(table.value(4, 0), "precondition");
+  EXPECT_DEATH(table.value(0, 2), "precondition");
+  EXPECT_DEATH(table.update(0, 0, 0.0, 0.0), "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::rl

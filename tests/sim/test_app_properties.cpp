@@ -1,0 +1,149 @@
+// Parameterized property sweep over the entire SPLASH-2 suite: physical
+// invariants that must hold for every application at every operating point.
+#include <gtest/gtest.h>
+
+#include "core/evaluate.hpp"
+#include "sim/processor.hpp"
+#include "sim/splash2.hpp"
+
+namespace fedpower::sim {
+namespace {
+
+class AppProperties : public ::testing::TestWithParam<std::string> {
+ protected:
+  AppProfile app() const { return *splash2_app(GetParam()); }
+
+  static ProcessorConfig quiet() {
+    ProcessorConfig config;
+    config.sensor_noise_w = 0.0;
+    config.workload_jitter = 0.0;
+    config.dvfs_transition_us = 0.0;
+    return config;
+  }
+};
+
+TEST_P(AppProperties, PowerIsMonotoneInLevel) {
+  double previous = 0.0;
+  for (std::size_t level = 0; level < 15; ++level) {
+    SingleAppWorkload workload(app());
+    Processor proc(quiet(), util::Rng{1});
+    proc.set_workload(&workload);
+    proc.set_level(level);
+    const double power = proc.run_interval(0.5).true_power_w;
+    EXPECT_GT(power, previous) << "level " << level;
+    previous = power;
+  }
+}
+
+TEST_P(AppProperties, ThroughputIsMonotoneInLevel) {
+  double previous = 0.0;
+  for (std::size_t level = 0; level < 15; ++level) {
+    SingleAppWorkload workload(app());
+    Processor proc(quiet(), util::Rng{2});
+    proc.set_workload(&workload);
+    proc.set_level(level);
+    const double ips = proc.run_interval(0.5).ips;
+    EXPECT_GT(ips, previous) << "level " << level;
+    previous = ips;
+  }
+}
+
+TEST_P(AppProperties, ExecutionTimeIsMonotoneInLevel) {
+  core::ControllerConfig controller_config;
+  core::EvalConfig eval_config;
+  eval_config.processor = quiet();
+  const core::Evaluator evaluator(controller_config, eval_config);
+  double previous = 1e18;
+  for (const std::size_t level : {0u, 4u, 9u, 14u}) {
+    const auto result = evaluator.run_to_completion(
+        [level](const TelemetrySample&) { return level; }, app(), 3);
+    ASSERT_TRUE(result.completed) << "level " << level;
+    EXPECT_LT(result.exec_time_s, previous) << "level " << level;
+    previous = result.exec_time_s;
+  }
+}
+
+TEST_P(AppProperties, EnergyEqualsPowerTimesTime) {
+  SingleAppWorkload workload(app());
+  Processor proc(quiet(), util::Rng{4});
+  proc.set_workload(&workload);
+  proc.set_level(8);
+  double energy = 0.0;
+  double weighted_power = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const TelemetrySample s = proc.run_interval(0.5);
+    energy += s.energy_j;
+    weighted_power += s.true_power_w * 0.5;
+  }
+  EXPECT_NEAR(energy, weighted_power, 1e-9);
+}
+
+TEST_P(AppProperties, CountersWithinPhysicalBounds) {
+  SingleAppWorkload workload(app());
+  ProcessorConfig config;  // noise and jitter on — the realistic setting
+  Processor proc(config, util::Rng{5});
+  proc.set_workload(&workload);
+  for (const std::size_t level : {0u, 7u, 14u}) {
+    proc.set_level(level);
+    for (int i = 0; i < 10; ++i) {
+      const TelemetrySample s = proc.run_interval(0.5);
+      EXPECT_GT(s.ipc, 0.0);
+      EXPECT_LT(s.ipc, 2.0);  // <= 1/base_cpi of the fastest phase
+      EXPECT_GE(s.miss_rate, 0.0);
+      EXPECT_LE(s.miss_rate, 1.0);
+      EXPECT_GE(s.mpki, 0.0);
+      EXPECT_LT(s.mpki, 100.0);
+      EXPECT_GT(s.true_power_w, 0.05);
+      EXPECT_LT(s.true_power_w, 1.6);
+    }
+  }
+}
+
+TEST_P(AppProperties, ConstrainedOptimumIsConsistent) {
+  // The best level under the paper reward must be the highest level whose
+  // steady-state power stays under the reward's zero-crossing region.
+  const rl::PaperReward reward(0.6, 0.05, 1479.0);
+  double best_reward = -2.0;
+  std::size_t best_level = 0;
+  std::vector<double> powers(15);
+  for (std::size_t level = 0; level < 15; ++level) {
+    SingleAppWorkload workload(app());
+    Processor proc(quiet(), util::Rng{6});
+    proc.set_workload(&workload);
+    proc.set_level(level);
+    // Average over several intervals to cover phases.
+    double sum = 0.0;
+    double r = 0.0;
+    for (int i = 0; i < 30; ++i) {
+      const TelemetrySample s = proc.run_interval(0.5);
+      sum += s.true_power_w;
+      r += reward.evaluate(s.freq_mhz, s.true_power_w);
+    }
+    powers[level] = sum / 30.0;
+    if (r / 30.0 > best_reward) {
+      best_reward = r / 30.0;
+      best_level = level;
+    }
+  }
+  // Sanity on both sides of the optimum.
+  EXPECT_LT(powers[best_level], 0.7);
+  if (best_level + 1 < 15) {
+    EXPECT_GT(powers[best_level + 1], 0.5);
+  }
+  EXPECT_GT(best_reward, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Splash2, AppProperties,
+    ::testing::Values("fft", "lu", "raytrace", "volrend", "water-ns",
+                      "water-sp", "ocean", "radix", "fmm", "radiosity",
+                      "barnes", "cholesky"),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace fedpower::sim

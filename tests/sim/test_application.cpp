@@ -1,0 +1,68 @@
+#include "sim/application.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedpower::sim {
+namespace {
+
+AppProfile two_phase_app() {
+  return AppProfile{"test",
+                    {PhaseProfile{0.5, 10.0, 0.2, 0.8, 1e9},
+                     PhaseProfile{1.5, 30.0, 0.4, 0.4, 3e9}}};
+}
+
+TEST(AppProfile, TotalInstructionsSumsPhases) {
+  EXPECT_DOUBLE_EQ(two_phase_app().total_instructions(), 4e9);
+}
+
+TEST(AppProfile, ScaledMultipliesInstructionCounts) {
+  const AppProfile scaled = two_phase_app().scaled(0.5);
+  EXPECT_DOUBLE_EQ(scaled.total_instructions(), 2e9);
+  EXPECT_DOUBLE_EQ(scaled.phases[0].instructions, 5e8);
+  // Non-instruction fields untouched.
+  EXPECT_DOUBLE_EQ(scaled.phases[0].base_cpi, 0.5);
+}
+
+TEST(AppProfile, WeightedAveragesUseInstructionWeights) {
+  const AppProfile app = two_phase_app();
+  // weights: 1e9 and 3e9 -> 0.25 / 0.75.
+  EXPECT_DOUBLE_EQ(app.weighted_base_cpi(), 0.25 * 0.5 + 0.75 * 1.5);
+  EXPECT_DOUBLE_EQ(app.weighted_llc_apki(), 0.25 * 10.0 + 0.75 * 30.0);
+  EXPECT_DOUBLE_EQ(app.weighted_miss_rate(), 0.25 * 0.2 + 0.75 * 0.4);
+  EXPECT_DOUBLE_EQ(app.weighted_activity(), 0.25 * 0.8 + 0.75 * 0.4);
+}
+
+TEST(AppProfile, WeightedAveragesOfEmptyAppAreZero) {
+  const AppProfile app{"empty", {}};
+  EXPECT_DOUBLE_EQ(app.weighted_base_cpi(), 0.0);
+}
+
+TEST(AppProfile, ValidateAcceptsWellFormed) {
+  validate(two_phase_app());  // must not abort
+}
+
+TEST(AppProfileDeathTest, ValidateRejectsEmptyName) {
+  AppProfile app = two_phase_app();
+  app.name.clear();
+  EXPECT_DEATH(validate(app), "precondition");
+}
+
+TEST(AppProfileDeathTest, ValidateRejectsNoPhases) {
+  AppProfile app{"x", {}};
+  EXPECT_DEATH(validate(app), "precondition");
+}
+
+TEST(AppProfileDeathTest, ValidateRejectsBadMissRate) {
+  AppProfile app = two_phase_app();
+  app.phases[0].llc_miss_rate = 1.5;
+  EXPECT_DEATH(validate(app), "precondition");
+}
+
+TEST(AppProfileDeathTest, ValidateRejectsNonPositiveInstructions) {
+  AppProfile app = two_phase_app();
+  app.phases[1].instructions = 0.0;
+  EXPECT_DEATH(validate(app), "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::sim

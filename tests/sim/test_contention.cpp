@@ -1,0 +1,163 @@
+// Shared-DRAM contention in the multicore model and the per-core latency
+// scaling hook it builds on.
+#include <gtest/gtest.h>
+
+#include "sim/governor.hpp"
+#include "sim/multicore.hpp"
+#include "sim/splash2.hpp"
+
+namespace fedpower::sim {
+namespace {
+
+MulticoreConfig contended_config() {
+  MulticoreConfig config = MulticoreConfig::jetson_nano_4core();
+  config.sensor_noise_w = 0.0;
+  config.core_config.workload_jitter = 0.0;
+  config.core_config.dvfs_transition_us = 0.0;
+  return config;
+}
+
+TEST(LatencyScale, SlowsMemoryBoundPhases) {
+  PerfModel model;
+  PhaseProfile memory{0.85, 62.0, 0.58, 0.55, 1e9};
+  const PhasePerf clean = model.evaluate(memory, 1479.0, 1.0);
+  const PhasePerf contended = model.evaluate(memory, 1479.0, 2.0);
+  EXPECT_GT(contended.cpi, clean.cpi);
+  EXPECT_LT(contended.ips, clean.ips);
+}
+
+TEST(LatencyScale, NoEffectOnComputeBoundPhases) {
+  PerfModel model;
+  PhaseProfile compute{0.65, 0.0, 0.0, 0.86, 1e9};
+  EXPECT_DOUBLE_EQ(model.evaluate(compute, 1000.0, 1.0).cpi,
+                   model.evaluate(compute, 1000.0, 3.0).cpi);
+}
+
+TEST(LatencyScale, ProcessorHookApplies) {
+  ProcessorConfig config;
+  config.sensor_noise_w = 0.0;
+  config.workload_jitter = 0.0;
+  SingleAppWorkload w1(*splash2_app("radix"));
+  SingleAppWorkload w2(*splash2_app("radix"));
+  Processor clean(config, util::Rng{1});
+  Processor contended(config, util::Rng{1});
+  clean.set_workload(&w1);
+  contended.set_workload(&w2);
+  contended.set_memory_latency_scale(2.0);
+  clean.set_level(14);
+  contended.set_level(14);
+  EXPECT_GT(clean.run_interval(0.5).ips,
+            contended.run_interval(0.5).ips * 1.2);
+}
+
+TEST(LatencyScaleDeathTest, RejectsBelowOne) {
+  Processor proc(ProcessorConfig{}, util::Rng{2});
+  EXPECT_DEATH(proc.set_memory_latency_scale(0.5), "precondition");
+}
+
+TEST(Contention, ScaleGrowsWithMemoryTraffic) {
+  MulticoreProcessor proc(contended_config(), util::Rng{3});
+  std::vector<std::unique_ptr<SingleAppWorkload>> workloads;
+  for (std::size_t c = 0; c < 4; ++c) {
+    workloads.push_back(
+        std::make_unique<SingleAppWorkload>(*splash2_app("radix")));
+    proc.set_workload(c, workloads.back().get());
+  }
+  proc.set_level(14);
+  EXPECT_DOUBLE_EQ(proc.contention_scale(), 1.0);  // before any traffic
+  proc.run_interval(0.5);
+  EXPECT_GT(proc.contention_scale(), 1.3);  // 4x radix saturates DRAM
+}
+
+TEST(Contention, ComputeWorkloadsBarelyContend) {
+  MulticoreProcessor proc(contended_config(), util::Rng{4});
+  std::vector<std::unique_ptr<SingleAppWorkload>> workloads;
+  for (std::size_t c = 0; c < 4; ++c) {
+    workloads.push_back(
+        std::make_unique<SingleAppWorkload>(*splash2_app("water-ns")));
+    proc.set_workload(c, workloads.back().get());
+  }
+  proc.set_level(14);
+  proc.run_interval(0.5);
+  EXPECT_LT(proc.contention_scale(), 1.25);
+}
+
+TEST(Contention, FourMemoryCoresRunSlowerThanSolo) {
+  // Per-core throughput with four radix instances must be lower than a
+  // single radix on an otherwise idle device.
+  MulticoreProcessor crowded(contended_config(), util::Rng{5});
+  std::vector<std::unique_ptr<SingleAppWorkload>> workloads;
+  for (std::size_t c = 0; c < 4; ++c) {
+    workloads.push_back(
+        std::make_unique<SingleAppWorkload>(*splash2_app("radix")));
+    crowded.set_workload(c, workloads.back().get());
+  }
+  crowded.set_level(14);
+  crowded.run_interval(0.5);  // builds up the contention estimate
+  crowded.run_interval(0.5);
+  const double crowded_core_ips = crowded.core_sample(0).ips;
+
+  MulticoreProcessor solo(contended_config(), util::Rng{5});
+  SingleAppWorkload solo_workload(*splash2_app("radix"));
+  solo.set_workload(0, &solo_workload);
+  solo.set_level(14);
+  solo.run_interval(0.5);
+  solo.run_interval(0.5);
+  EXPECT_LT(crowded_core_ips, solo.core_sample(0).ips * 0.85);
+}
+
+TEST(Contention, DisabledWithZeroCoefficient) {
+  MulticoreConfig config = contended_config();
+  config.contention_coeff = 0.0;
+  MulticoreProcessor proc(config, util::Rng{6});
+  std::vector<std::unique_ptr<SingleAppWorkload>> workloads;
+  for (std::size_t c = 0; c < 4; ++c) {
+    workloads.push_back(
+        std::make_unique<SingleAppWorkload>(*splash2_app("radix")));
+    proc.set_workload(c, workloads.back().get());
+  }
+  proc.set_level(14);
+  proc.run_interval(0.5);
+  proc.run_interval(0.5);
+  EXPECT_DOUBLE_EQ(proc.contention_scale(), 1.0);
+}
+
+TEST(ConservativeGovernor, StepsOneLevelAtATime) {
+  ConservativeGovernor governor;
+  const VfTable table = VfTable::jetson_nano();
+  TelemetrySample busy;
+  busy.ipc = 1.2;
+  std::size_t previous = 0;
+  for (int i = 0; i < 14; ++i) {
+    const std::size_t level = governor.select_level(busy, table);
+    EXPECT_LE(level, previous + 1);
+    previous = level;
+  }
+  EXPECT_EQ(previous, 14u);  // eventually reaches max, one step per call
+}
+
+TEST(ConservativeGovernor, StepsDownOnLowLoad) {
+  ConservativeGovernor governor;
+  const VfTable table = VfTable::jetson_nano();
+  TelemetrySample busy;
+  busy.ipc = 1.2;
+  for (int i = 0; i < 6; ++i) governor.select_level(busy, table);
+  TelemetrySample idle;
+  idle.ipc = 0.05;
+  const std::size_t before = governor.select_level(idle, table);
+  const std::size_t after = governor.select_level(idle, table);
+  EXPECT_EQ(after + 1, before);
+}
+
+TEST(ConservativeGovernor, ResetReturnsToBottom) {
+  ConservativeGovernor governor;
+  const VfTable table = VfTable::jetson_nano();
+  TelemetrySample busy;
+  busy.ipc = 1.0;
+  for (int i = 0; i < 5; ++i) governor.select_level(busy, table);
+  governor.reset();
+  EXPECT_LE(governor.select_level(busy, table), 1u);
+}
+
+}  // namespace
+}  // namespace fedpower::sim

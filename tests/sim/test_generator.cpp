@@ -1,0 +1,137 @@
+#include "sim/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/perf_model.hpp"
+#include "sim/power_model.hpp"
+#include "sim/vf_table.hpp"
+
+namespace fedpower::sim {
+namespace {
+
+TEST(Generator, ProducesValidApps) {
+  util::Rng rng(1);
+  const AppGeneratorParams params;
+  for (int i = 0; i < 50; ++i) {
+    const AppProfile app =
+        generate_app("synth-" + std::to_string(i), params, rng);
+    validate(app);  // must not abort
+    EXPECT_GE(app.phases.size(), params.min_phases);
+    EXPECT_LE(app.phases.size(), params.max_phases);
+  }
+}
+
+TEST(Generator, RespectsParameterRanges) {
+  util::Rng rng(2);
+  AppGeneratorParams params;
+  params.base_cpi_lo = 0.7;
+  params.base_cpi_hi = 0.8;
+  params.apki_lo = 20.0;
+  params.apki_hi = 30.0;
+  params.miss_rate_lo = 0.2;
+  params.miss_rate_hi = 0.3;
+  for (int i = 0; i < 20; ++i) {
+    const AppProfile app = generate_app("x", params, rng);
+    for (const PhaseProfile& phase : app.phases) {
+      EXPECT_GE(phase.base_cpi, 0.7);
+      EXPECT_LE(phase.base_cpi, 0.8);
+      EXPECT_GE(phase.llc_apki, 20.0);
+      EXPECT_LE(phase.llc_apki, 30.0);
+      EXPECT_GE(phase.llc_miss_rate, 0.2);
+      EXPECT_LE(phase.llc_miss_rate, 0.3);
+      EXPECT_GE(phase.activity, params.activity_lo);
+      EXPECT_LE(phase.activity, params.activity_hi);
+    }
+  }
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  const AppGeneratorParams params;
+  util::Rng a(7);
+  util::Rng b(7);
+  const AppProfile app_a = generate_app("a", params, a);
+  const AppProfile app_b = generate_app("a", params, b);
+  ASSERT_EQ(app_a.phases.size(), app_b.phases.size());
+  for (std::size_t i = 0; i < app_a.phases.size(); ++i)
+    EXPECT_DOUBLE_EQ(app_a.phases[i].llc_apki, app_b.phases[i].llc_apki);
+}
+
+TEST(Generator, SuiteNamesAreUniqueAndPrefixed) {
+  util::Rng rng(3);
+  const auto suite = generate_suite(10, "synthetic", {}, rng);
+  ASSERT_EQ(suite.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& app : suite) {
+    EXPECT_TRUE(app.name.starts_with("synthetic-"));
+    EXPECT_TRUE(names.insert(app.name).second);
+  }
+}
+
+TEST(Generator, MemoryActivityCouplingIsNegative) {
+  // With full coupling, high-traffic phases must have lower activity.
+  util::Rng rng(4);
+  AppGeneratorParams params;
+  params.memory_activity_coupling = 1.0;
+  params.min_phases = 1;
+  params.max_phases = 1;
+  double high_traffic_activity = 0.0;
+  double low_traffic_activity = 0.0;
+  int high = 0;
+  int low = 0;
+  for (int i = 0; i < 400; ++i) {
+    const AppProfile app = generate_app("x", params, rng);
+    const PhaseProfile& phase = app.phases.front();
+    if (phase.llc_apki > 55.0) {
+      high_traffic_activity += phase.activity;
+      ++high;
+    } else if (phase.llc_apki < 30.0) {
+      low_traffic_activity += phase.activity;
+      ++low;
+    }
+  }
+  ASSERT_GT(high, 10);
+  ASSERT_GT(low, 10);
+  EXPECT_LT(high_traffic_activity / high, low_traffic_activity / low);
+}
+
+TEST(Generator, GeneratedSuiteSpansThePowerSpectrum) {
+  // The generated population must include both budget-safe and
+  // budget-violating apps at f_max, like the real suite does.
+  util::Rng rng(5);
+  const auto suite = generate_suite(120, "s", {}, rng);
+  PerfModel perf;
+  PowerModel power;
+  const VfTable table = VfTable::jetson_nano();
+  int safe = 0;
+  int violating = 0;
+  for (const auto& app : suite) {
+    double t = 0.0;
+    double e = 0.0;
+    for (const auto& phase : app.phases) {
+      const PhasePerf p = perf.evaluate(phase, table.f_max_mhz());
+      const double dt = phase.instructions / p.ips;
+      t += dt;
+      e += power.total(table.max_level(), phase, p.stall_fraction) * dt;
+    }
+    ((e / t) <= 0.6 ? safe : violating) += 1;
+  }
+  // Fully budget-safe apps need every phase memory-bound, so they are the
+  // rarer kind — but both kinds must exist in a 120-app population.
+  EXPECT_GE(safe, 2);
+  EXPECT_GT(violating, 20);
+}
+
+TEST(GeneratorDeathTest, RejectsBadRanges) {
+  util::Rng rng(6);
+  AppGeneratorParams params;
+  params.min_phases = 0;
+  EXPECT_DEATH(generate_app("x", params, rng), "precondition");
+  params = {};
+  params.miss_rate_hi = 1.5;
+  EXPECT_DEATH(generate_app("x", params, rng), "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::sim

@@ -1,0 +1,137 @@
+#include "sim/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/processor.hpp"
+#include "sim/splash2.hpp"
+
+namespace fedpower::sim {
+namespace {
+
+TelemetrySample sample_with(double power_w, double ipc) {
+  TelemetrySample s;
+  s.power_w = power_w;
+  s.true_power_w = power_w;
+  s.ipc = ipc;
+  return s;
+}
+
+TEST(PerformanceGovernor, AlwaysMax) {
+  PerformanceGovernor governor;
+  const VfTable table = VfTable::jetson_nano();
+  EXPECT_EQ(governor.select_level(sample_with(0.1, 0.5), table), 14u);
+  EXPECT_EQ(governor.select_level(sample_with(2.0, 1.5), table), 14u);
+}
+
+TEST(PowersaveGovernor, AlwaysMin) {
+  PowersaveGovernor governor;
+  const VfTable table = VfTable::jetson_nano();
+  EXPECT_EQ(governor.select_level(sample_with(0.1, 0.5), table), 0u);
+}
+
+TEST(UserspaceGovernor, FixedLevel) {
+  UserspaceGovernor governor(7);
+  const VfTable table = VfTable::jetson_nano();
+  EXPECT_EQ(governor.select_level(sample_with(0.5, 1.0), table), 7u);
+}
+
+TEST(UserspaceGovernor, ClampsToTableSize) {
+  UserspaceGovernor governor(99);
+  const VfTable table = VfTable::jetson_nano();
+  EXPECT_EQ(governor.select_level(sample_with(0.5, 1.0), table), 14u);
+}
+
+TEST(OndemandGovernor, FullyLoadedCoreGoesToMax) {
+  OndemandGovernor governor;
+  const VfTable table = VfTable::jetson_nano();
+  std::size_t level = 0;
+  // Constant IPC == reference -> load 1.0 -> jump to max.
+  for (int i = 0; i < 5; ++i)
+    level = governor.select_level(sample_with(0.5, 1.2), table);
+  EXPECT_EQ(level, 14u);
+}
+
+TEST(OndemandGovernor, StepsDownWhenLoadCollapses) {
+  OndemandGovernor governor;
+  const VfTable table = VfTable::jetson_nano();
+  for (int i = 0; i < 3; ++i)
+    governor.select_level(sample_with(0.5, 1.2), table);
+  // Load drops to ~8% of reference -> below down-threshold.
+  std::size_t level = governor.select_level(sample_with(0.2, 0.1), table);
+  EXPECT_LT(level, 14u);
+}
+
+TEST(OndemandGovernor, ResetRestoresInitialState) {
+  OndemandGovernor governor;
+  const VfTable table = VfTable::jetson_nano();
+  for (int i = 0; i < 3; ++i)
+    governor.select_level(sample_with(0.5, 1.2), table);
+  governor.reset();
+  // After reset the first low-IPC sample sets the reference; load = 1 -> max.
+  EXPECT_EQ(governor.select_level(sample_with(0.1, 0.05), table), 14u);
+}
+
+TEST(PowerCapGovernor, StartsMidTable) {
+  PowerCapGovernor governor(0.6);
+  const VfTable table = VfTable::jetson_nano();
+  EXPECT_EQ(governor.select_level(sample_with(0.3, 1.0), table), 7u);
+}
+
+TEST(PowerCapGovernor, StepsDownOnViolation) {
+  PowerCapGovernor governor(0.6);
+  const VfTable table = VfTable::jetson_nano();
+  governor.select_level(sample_with(0.3, 1.0), table);  // init -> 7
+  EXPECT_EQ(governor.select_level(sample_with(0.9, 1.0), table), 6u);
+  EXPECT_EQ(governor.select_level(sample_with(0.9, 1.0), table), 5u);
+}
+
+TEST(PowerCapGovernor, StepsUpWithHeadroom) {
+  PowerCapGovernor governor(0.6, 0.05);
+  const VfTable table = VfTable::jetson_nano();
+  governor.select_level(sample_with(0.3, 1.0), table);  // init -> 7
+  EXPECT_EQ(governor.select_level(sample_with(0.3, 1.0), table), 8u);
+}
+
+TEST(PowerCapGovernor, HoldsInsideHysteresisBand) {
+  PowerCapGovernor governor(0.6, 0.05);
+  const VfTable table = VfTable::jetson_nano();
+  governor.select_level(sample_with(0.57, 1.0), table);  // init -> 7
+  EXPECT_EQ(governor.select_level(sample_with(0.57, 1.0), table), 7u);
+  EXPECT_EQ(governor.select_level(sample_with(0.57, 1.0), table), 7u);
+}
+
+TEST(PowerCapGovernor, SaturatesAtTableEnds) {
+  PowerCapGovernor governor(0.6);
+  const VfTable table = VfTable::jetson_nano();
+  governor.select_level(sample_with(0.3, 1.0), table);
+  for (int i = 0; i < 30; ++i)
+    governor.select_level(sample_with(2.0, 1.0), table);
+  EXPECT_EQ(governor.select_level(sample_with(2.0, 1.0), table), 0u);
+  for (int i = 0; i < 30; ++i)
+    governor.select_level(sample_with(0.1, 1.0), table);
+  EXPECT_EQ(governor.select_level(sample_with(0.1, 1.0), table), 14u);
+}
+
+TEST(PowerCapGovernor, KeepsComputeAppNearBudgetOnProcessor) {
+  // Closed loop: the reactive controller should keep lu near but mostly
+  // under the cap once settled.
+  ProcessorConfig config;
+  config.sensor_noise_w = 0.0;
+  config.workload_jitter = 0.0;
+  SingleAppWorkload workload(*splash2_app("lu"));
+  Processor proc(config, util::Rng{1});
+  proc.set_workload(&workload);
+  PowerCapGovernor governor(0.6, 0.05);
+  TelemetrySample sample = proc.run_interval(0.5);
+  double settled_power = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    proc.set_level(governor.select_level(sample, proc.vf_table()));
+    sample = proc.run_interval(0.5);
+    if (i >= 40) settled_power += sample.true_power_w / 20.0;
+  }
+  EXPECT_GT(settled_power, 0.35);
+  EXPECT_LT(settled_power, 0.68);
+}
+
+}  // namespace
+}  // namespace fedpower::sim

@@ -1,0 +1,171 @@
+#include "sim/multicore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/splash2.hpp"
+
+namespace fedpower::sim {
+namespace {
+
+MulticoreConfig quiet_4core() {
+  MulticoreConfig config = MulticoreConfig::jetson_nano_4core();
+  config.sensor_noise_w = 0.0;
+  config.core_config.workload_jitter = 0.0;
+  config.core_config.dvfs_transition_us = 0.0;
+  return config;
+}
+
+TEST(Multicore, FourCoresByDefault) {
+  MulticoreProcessor proc(MulticoreConfig::jetson_nano_4core(),
+                          util::Rng{1});
+  EXPECT_EQ(proc.core_count(), 4u);
+  EXPECT_EQ(proc.vf_table().size(), 15u);
+}
+
+TEST(Multicore, SharedClockReachesEveryCore) {
+  MulticoreProcessor proc(quiet_4core(), util::Rng{2});
+  proc.set_level(9);
+  proc.run_interval(0.5);
+  for (std::size_t c = 0; c < proc.core_count(); ++c) {
+    EXPECT_EQ(proc.core_sample(c).level, 9u);
+    EXPECT_DOUBLE_EQ(proc.core_sample(c).freq_mhz, 1036.8);
+  }
+}
+
+TEST(Multicore, OneBusyCoreMatchesSingleCoreCalibration) {
+  // One app + three idle cores should consume roughly what the single-core
+  // Processor consumes for the same app (rail leakage was split 4 ways and
+  // the idle cores add only a little idle dynamic power).
+  SingleAppWorkload workload(*splash2_app("lu"));
+  MulticoreProcessor multi(quiet_4core(), util::Rng{3});
+  multi.set_workload(0, &workload);
+  multi.set_level(7);
+  const double p_multi = multi.run_interval(0.5).true_power_w;
+
+  ProcessorConfig single_config;
+  single_config.sensor_noise_w = 0.0;
+  single_config.workload_jitter = 0.0;
+  single_config.dvfs_transition_us = 0.0;
+  Processor single(single_config, util::Rng{4});
+  SingleAppWorkload workload2(*splash2_app("lu"));
+  single.set_workload(&workload2);
+  single.set_level(7);
+  const double p_single = single.run_interval(0.5).true_power_w;
+
+  EXPECT_NEAR(p_multi, p_single, 0.08);
+}
+
+TEST(Multicore, PowerSumsAcrossBusyCores) {
+  SingleAppWorkload w0(*splash2_app("lu"));
+  SingleAppWorkload w1(*splash2_app("lu"));
+  MulticoreProcessor one_busy(quiet_4core(), util::Rng{5});
+  one_busy.set_workload(0, &w0);
+  one_busy.set_level(7);
+  const double p1 = one_busy.run_interval(0.5).true_power_w;
+
+  MulticoreProcessor two_busy(quiet_4core(), util::Rng{5});
+  SingleAppWorkload w2(*splash2_app("lu"));
+  SingleAppWorkload w3(*splash2_app("lu"));
+  two_busy.set_workload(0, &w2);
+  two_busy.set_workload(1, &w3);
+  two_busy.set_level(7);
+  const double p2 = two_busy.run_interval(0.5).true_power_w;
+
+  EXPECT_GT(p2, p1 + 0.1);  // the second core adds real dynamic power
+}
+
+TEST(Multicore, InstructionsAggregateOverCores) {
+  SingleAppWorkload w0(*splash2_app("water-ns"));
+  SingleAppWorkload w1(*splash2_app("water-ns"));
+  MulticoreProcessor proc(quiet_4core(), util::Rng{6});
+  proc.set_workload(0, &w0);
+  proc.set_workload(1, &w1);
+  proc.set_level(10);
+  const TelemetrySample rail = proc.run_interval(0.5);
+  const double core0 = proc.core_sample(0).instructions;
+  const double core1 = proc.core_sample(1).instructions;
+  EXPECT_GT(core0, 0.0);
+  EXPECT_GT(core1, 0.0);
+  // Rail instructions = busy cores + the two idle cores' trickle.
+  EXPECT_GE(rail.instructions, core0 + core1);
+}
+
+TEST(Multicore, RailIpcReflectsIdleCores) {
+  // With one busy core out of four, rail IPC (instr / (4 * f * dt)) is
+  // about a quarter of the busy core's own IPC.
+  SingleAppWorkload workload(*splash2_app("lu"));
+  MulticoreProcessor proc(quiet_4core(), util::Rng{7});
+  proc.set_workload(0, &workload);
+  proc.set_level(10);
+  const TelemetrySample rail = proc.run_interval(0.5);
+  const double busy_ipc = proc.core_sample(0).ipc;
+  EXPECT_NEAR(rail.ipc, busy_ipc / 4.0, 0.05);
+}
+
+TEST(Multicore, CacheStatsAggregate) {
+  SingleAppWorkload w0(*splash2_app("radix"));   // high miss rate
+  SingleAppWorkload w1(*splash2_app("water-ns"));  // low traffic
+  MulticoreProcessor proc(quiet_4core(), util::Rng{8});
+  proc.set_workload(0, &w0);
+  proc.set_workload(1, &w1);
+  proc.set_level(7);
+  const TelemetrySample rail = proc.run_interval(0.5);
+  const double radix_mr = proc.core_sample(0).miss_rate;
+  const double water_mr = proc.core_sample(1).miss_rate;
+  EXPECT_GT(rail.miss_rate, std::min(radix_mr, water_mr));
+  EXPECT_LT(rail.miss_rate, std::max(radix_mr, water_mr));
+  EXPECT_GT(rail.mpki, 0.0);
+}
+
+TEST(Multicore, PerCoreCompletionTracking) {
+  AppProfile tiny = splash2_app("fft")->scaled(0.001);
+  SingleAppWorkload workload(tiny);
+  MulticoreProcessor proc(quiet_4core(), util::Rng{9});
+  proc.set_workload(2, &workload);
+  proc.set_level(14);
+  proc.run_interval(0.5);
+  EXPECT_FALSE(proc.completed_runs(2).empty());
+  EXPECT_TRUE(proc.completed_runs(0).empty());
+}
+
+TEST(Multicore, RailSensorNoiseAppliedOnce) {
+  MulticoreConfig config = quiet_4core();
+  config.sensor_noise_w = 0.05;
+  SingleAppWorkload workload(*splash2_app("fft"));
+  MulticoreProcessor proc(config, util::Rng{10});
+  proc.set_workload(0, &workload);
+  proc.set_level(7);
+  bool saw_noise = false;
+  for (int i = 0; i < 20; ++i) {
+    const TelemetrySample s = proc.run_interval(0.1);
+    if (std::abs(s.power_w - s.true_power_w) > 1e-9) saw_noise = true;
+    // Per-core samples stay noise-free.
+    EXPECT_DOUBLE_EQ(proc.core_sample(0).power_w,
+                     proc.core_sample(0).true_power_w);
+  }
+  EXPECT_TRUE(saw_noise);
+}
+
+TEST(Multicore, FourBusyComputeCoresBlowThePaperBudget) {
+  // The shared-clock consequence: at a level that is safe for one core,
+  // four busy compute cores far exceed the single-core 0.6 W budget.
+  std::vector<std::unique_ptr<SingleAppWorkload>> workloads;
+  MulticoreProcessor proc(quiet_4core(), util::Rng{11});
+  for (std::size_t c = 0; c < 4; ++c) {
+    workloads.push_back(
+        std::make_unique<SingleAppWorkload>(*splash2_app("lu")));
+    proc.set_workload(c, workloads.back().get());
+  }
+  proc.set_level(7);  // safe for one core (~0.55 W)
+  EXPECT_GT(proc.run_interval(0.5).true_power_w, 1.2);
+}
+
+TEST(MulticoreDeathTest, BoundsChecked) {
+  MulticoreProcessor proc(quiet_4core(), util::Rng{12});
+  EXPECT_DEATH(proc.set_workload(4, nullptr), "precondition");
+  EXPECT_DEATH(proc.set_level(15), "precondition");
+  EXPECT_DEATH(proc.core_sample(4), "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::sim

@@ -1,0 +1,122 @@
+#include "sim/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedpower::sim {
+namespace {
+
+PhaseProfile compute_phase() {
+  return PhaseProfile{0.65, 14.0, 0.22, 0.86, 1e9};
+}
+
+PhaseProfile memory_phase() {
+  return PhaseProfile{0.85, 62.0, 0.58, 0.55, 1e9};
+}
+
+TEST(PerfModel, NoMemoryTrafficMeansBaseCpi) {
+  PerfModel model;
+  PhaseProfile phase{1.2, 0.0, 0.0, 0.5, 1e9};
+  const PhasePerf perf = model.evaluate(phase, 1000.0);
+  EXPECT_DOUBLE_EQ(perf.cpi, 1.2);
+  EXPECT_DOUBLE_EQ(perf.stall_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(perf.mpki, 0.0);
+}
+
+TEST(PerfModel, IpsIsFrequencyOverCpi) {
+  PerfModel model;
+  PhaseProfile phase{2.0, 0.0, 0.0, 0.5, 1e9};
+  const PhasePerf perf = model.evaluate(phase, 1000.0);
+  EXPECT_DOUBLE_EQ(perf.ips, 1000.0 * 1e6 / 2.0);
+}
+
+TEST(PerfModel, StallCpiGrowsWithFrequency) {
+  // Fixed-latency DRAM: the cycle cost of a miss scales with f.
+  PerfModel model;
+  const PhasePerf slow = model.evaluate(memory_phase(), 102.0);
+  const PhasePerf fast = model.evaluate(memory_phase(), 1479.0);
+  EXPECT_GT(fast.cpi, slow.cpi);
+  EXPECT_GT(fast.stall_fraction, slow.stall_fraction);
+}
+
+TEST(PerfModel, MemoryBoundPerformanceSaturates) {
+  // Going from 102 to 1479 MHz is a 14.5x clock boost but must yield far
+  // less than 14.5x IPS for a memory-bound phase.
+  PerfModel model;
+  const PhasePerf slow = model.evaluate(memory_phase(), 102.0);
+  const PhasePerf fast = model.evaluate(memory_phase(), 1479.0);
+  EXPECT_LT(fast.ips / slow.ips, 8.0);
+  EXPECT_GT(fast.ips, slow.ips);  // still monotone
+}
+
+TEST(PerfModel, ComputeBoundScalesNearlyLinearly) {
+  PerfModel model;
+  const PhasePerf slow = model.evaluate(compute_phase(), 102.0);
+  const PhasePerf fast = model.evaluate(compute_phase(), 1479.0);
+  EXPECT_GT(fast.ips / slow.ips, 11.0);  // close to the 14.5x clock ratio
+}
+
+TEST(PerfModel, MpkiIndependentOfFrequency) {
+  PerfModel model;
+  const PhasePerf slow = model.evaluate(memory_phase(), 204.0);
+  const PhasePerf fast = model.evaluate(memory_phase(), 1326.0);
+  EXPECT_DOUBLE_EQ(slow.mpki, fast.mpki);
+  EXPECT_DOUBLE_EQ(slow.mpki, 62.0 * 0.58);
+}
+
+TEST(PerfModel, MissRatePassedThrough) {
+  PerfModel model;
+  EXPECT_DOUBLE_EQ(model.evaluate(memory_phase(), 500.0).miss_rate, 0.58);
+}
+
+TEST(PerfModel, IpcIsInverseCpi) {
+  PerfModel model;
+  const PhasePerf perf = model.evaluate(memory_phase(), 700.0);
+  EXPECT_DOUBLE_EQ(perf.ipc, 1.0 / perf.cpi);
+}
+
+TEST(PerfModel, HigherMlpFactorReducesStalls) {
+  PerfModel narrow(PerfModelParams{80.0, 1.0});
+  PerfModel wide(PerfModelParams{80.0, 8.0});
+  const PhasePerf n = narrow.evaluate(memory_phase(), 1000.0);
+  const PhasePerf w = wide.evaluate(memory_phase(), 1000.0);
+  EXPECT_GT(n.cpi, w.cpi);
+}
+
+TEST(PerfModel, LongerMemoryLatencyHurts) {
+  PerfModel fast_mem(PerfModelParams{40.0, 4.0});
+  PerfModel slow_mem(PerfModelParams{160.0, 4.0});
+  EXPECT_LT(fast_mem.evaluate(memory_phase(), 1000.0).cpi,
+            slow_mem.evaluate(memory_phase(), 1000.0).cpi);
+}
+
+TEST(PerfModel, StallMathIsExact) {
+  PerfModelParams params{100.0, 2.0};
+  PerfModel model(params);
+  PhaseProfile phase{1.0, 10.0, 0.5, 0.5, 1e9};
+  // misses/instr = 0.01*0.5 = 0.005; penalty at 1 GHz = 100 cycles;
+  // stall_cpi = 0.005*100/2 = 0.25.
+  const PhasePerf perf = model.evaluate(phase, 1000.0);
+  EXPECT_DOUBLE_EQ(perf.cpi, 1.25);
+  EXPECT_DOUBLE_EQ(perf.stall_fraction, 0.25 / 1.25);
+}
+
+class PerfAcrossLevels : public ::testing::TestWithParam<double> {};
+
+TEST_P(PerfAcrossLevels, InvariantsHoldAtEveryFrequency) {
+  PerfModel model;
+  for (const PhaseProfile& phase : {compute_phase(), memory_phase()}) {
+    const PhasePerf perf = model.evaluate(phase, GetParam());
+    EXPECT_GT(perf.cpi, 0.0);
+    EXPECT_GT(perf.ips, 0.0);
+    EXPECT_GE(perf.stall_fraction, 0.0);
+    EXPECT_LT(perf.stall_fraction, 1.0);
+    EXPECT_NEAR(perf.ipc * perf.cpi, 1.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(JetsonFrequencies, PerfAcrossLevels,
+                         ::testing::Values(102.0, 204.0, 307.2, 518.4, 825.6,
+                                           1036.8, 1224.0, 1479.0));
+
+}  // namespace
+}  // namespace fedpower::sim

@@ -1,0 +1,126 @@
+#include "sim/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/perf_model.hpp"
+#include "sim/vf_table.hpp"
+
+namespace fedpower::sim {
+namespace {
+
+PhaseProfile busy_phase() { return PhaseProfile{0.7, 10.0, 0.2, 0.85, 1e9}; }
+
+TEST(PowerModel, DynamicPowerFormula) {
+  PowerModelParams params;
+  params.c_eff_nf = 1.0;
+  params.leakage_w_per_v = 0.0;
+  params.stall_activity = 0.0;
+  PowerModel model(params);
+  const VfLevel level{0, 1000.0, 1.0};
+  PhaseProfile phase = busy_phase();
+  phase.activity = 0.5;
+  // P = 1e-9 * 1^2 * 1e9 * 0.5 = 0.5 W at zero stall.
+  EXPECT_DOUBLE_EQ(model.dynamic(level, phase, 0.0), 0.5);
+}
+
+TEST(PowerModel, LeakageProportionalToVoltage) {
+  PowerModel model;
+  const VfLevel lo{0, 102.0, 0.8};
+  const VfLevel hi{14, 1479.0, 1.1};
+  EXPECT_DOUBLE_EQ(model.leakage(lo), 0.136 * 0.8);
+  EXPECT_DOUBLE_EQ(model.leakage(hi), 0.136 * 1.1);
+}
+
+TEST(PowerModel, TotalIsDynamicPlusLeakage) {
+  PowerModel model;
+  const VfLevel level{7, 825.6, 0.958};
+  const PhaseProfile phase = busy_phase();
+  EXPECT_DOUBLE_EQ(model.total(level, phase, 0.2),
+                   model.dynamic(level, phase, 0.2) + model.leakage(level));
+}
+
+TEST(PowerModel, StallFractionReducesDynamicPower) {
+  PowerModel model;
+  const VfLevel level{14, 1479.0, 1.1};
+  const PhaseProfile phase = busy_phase();
+  EXPECT_GT(model.dynamic(level, phase, 0.0),
+            model.dynamic(level, phase, 0.7));
+}
+
+TEST(PowerModel, FullStallUsesStallActivity) {
+  PowerModelParams params;
+  params.stall_activity = 0.08;
+  PowerModel model(params);
+  const VfLevel level{0, 1000.0, 1.0};
+  PhaseProfile phase = busy_phase();
+  const double expected =
+      params.variation * params.c_eff_nf * 1e-9 * 1.0 * 1e9 * 0.08;
+  EXPECT_DOUBLE_EQ(model.dynamic(level, phase, 1.0), expected);
+}
+
+TEST(PowerModel, PowerMonotoneInFrequencyOnVfCurve) {
+  PowerModel model;
+  const VfTable table = VfTable::jetson_nano();
+  const PhaseProfile phase = busy_phase();
+  double previous = 0.0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const double p = model.total(table.level(i), phase, 0.1);
+    EXPECT_GT(p, previous);
+    previous = p;
+  }
+}
+
+TEST(PowerModel, JetsonCalibrationStraddlesConstraint) {
+  // The whole experiment depends on this: at 0.6 W, a compute-bound phase
+  // must violate at f_max but fit at a mid frequency, while the idle floor
+  // stays well below.
+  PowerModel model;
+  PerfModel perf;
+  const VfTable table = VfTable::jetson_nano();
+  PhaseProfile compute{0.65, 14.0, 0.22, 0.86, 1e9};
+  const double stall_max =
+      perf.evaluate(compute, table.f_max_mhz()).stall_fraction;
+  const double p_max = model.total(table.max_level(), compute, stall_max);
+  EXPECT_GT(p_max, 0.9);  // severe violation of the 0.6 W budget
+  const double stall_mid = perf.evaluate(compute, 825.6).stall_fraction;
+  const double p_mid = model.total(table.level(7), compute, stall_mid);
+  EXPECT_LT(p_mid, 0.6);
+  const double p_min = model.total(table.min_level(), compute, 0.0);
+  EXPECT_LT(p_min, 0.25);
+}
+
+TEST(PowerModel, MemoryBoundStaysUnderConstraintAtMaxFrequency) {
+  PowerModel model;
+  PerfModel perf;
+  const VfTable table = VfTable::jetson_nano();
+  PhaseProfile memory{0.85, 62.0, 0.58, 0.55, 1e9};
+  const double stall =
+      perf.evaluate(memory, table.f_max_mhz()).stall_fraction;
+  EXPECT_LT(model.total(table.max_level(), memory, stall), 0.6);
+}
+
+TEST(PowerModel, ProcessVariationScalesBothComponents) {
+  PowerModelParams nominal;
+  PowerModelParams fast = nominal;
+  fast.variation = 1.05;
+  PowerModel m_nom(nominal);
+  PowerModel m_fast(fast);
+  const VfLevel level{7, 825.6, 0.958};
+  const PhaseProfile phase = busy_phase();
+  EXPECT_NEAR(m_fast.total(level, phase, 0.1),
+              1.05 * m_nom.total(level, phase, 0.1), 1e-12);
+}
+
+TEST(PowerModel, VoltageEntersQuadratically) {
+  PowerModelParams params;
+  params.leakage_w_per_v = 0.0;
+  PowerModel model(params);
+  const PhaseProfile phase = busy_phase();
+  const VfLevel v1{0, 1000.0, 1.0};
+  const VfLevel v2{0, 1000.0, 2.0};
+  EXPECT_NEAR(model.dynamic(v2, phase, 0.0),
+              4.0 * model.dynamic(v1, phase, 0.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace fedpower::sim

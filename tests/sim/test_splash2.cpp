@@ -1,0 +1,133 @@
+#include "sim/splash2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/perf_model.hpp"
+#include "sim/power_model.hpp"
+#include "sim/vf_table.hpp"
+
+namespace fedpower::sim {
+namespace {
+
+TEST(Splash2, SuiteHasTwelveApps) {
+  EXPECT_EQ(splash2_suite().size(), 12u);
+}
+
+TEST(Splash2, CanonicalNamesPresent) {
+  const std::set<std::string> expected = {
+      "fft",  "lu",    "raytrace", "volrend",   "water-ns", "water-sp",
+      "ocean", "radix", "fmm",     "radiosity", "barnes",   "cholesky"};
+  std::set<std::string> actual;
+  for (const auto& app : splash2_suite()) actual.insert(app.name);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Splash2, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& app : splash2_suite()) {
+    EXPECT_TRUE(names.insert(app.name).second) << app.name;
+  }
+}
+
+TEST(Splash2, LookupByName) {
+  const auto app = splash2_app("radix");
+  ASSERT_TRUE(app.has_value());
+  EXPECT_EQ(app->name, "radix");
+}
+
+TEST(Splash2, LookupUnknownReturnsNullopt) {
+  EXPECT_FALSE(splash2_app("doom").has_value());
+}
+
+TEST(Splash2, NamesMatchSuiteOrder) {
+  const auto suite = splash2_suite();
+  const auto names = splash2_names();
+  ASSERT_EQ(names.size(), suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i)
+    EXPECT_EQ(names[i], suite[i].name);
+}
+
+TEST(Splash2, AllProfilesValidate) {
+  for (const auto& app : splash2_suite()) validate(app);
+}
+
+TEST(Splash2, RadixAndOceanAreMemoryBound) {
+  // The Fig. 3 collapse depends on it: the scenario-2 device-B training
+  // apps must run safely at f_max.
+  PerfModel perf;
+  PowerModel power;
+  const VfTable table = VfTable::jetson_nano();
+  for (const char* name : {"radix", "ocean"}) {
+    const auto app = splash2_app(name);
+    ASSERT_TRUE(app.has_value());
+    for (const auto& phase : app->phases) {
+      const double stall =
+          perf.evaluate(phase, table.f_max_mhz()).stall_fraction;
+      EXPECT_LT(power.total(table.max_level(), phase, stall), 0.6)
+          << name << " must stay under P_crit at f_max";
+    }
+  }
+}
+
+TEST(Splash2, WaterAndLuViolateAtMaxFrequency) {
+  PerfModel perf;
+  PowerModel power;
+  const VfTable table = VfTable::jetson_nano();
+  for (const char* name : {"lu", "water-ns", "water-sp"}) {
+    const auto app = splash2_app(name);
+    ASSERT_TRUE(app.has_value());
+    double worst = 0.0;
+    for (const auto& phase : app->phases) {
+      const double stall =
+          perf.evaluate(phase, table.f_max_mhz()).stall_fraction;
+      worst = std::max(worst,
+                       power.total(table.max_level(), phase, stall));
+    }
+    EXPECT_GT(worst, 0.7) << name << " must violate P_crit+2k at f_max";
+  }
+}
+
+TEST(Splash2, SuiteSpansComputeToMemorySpectrum) {
+  double min_apki = 1e9;
+  double max_apki = 0.0;
+  for (const auto& app : splash2_suite()) {
+    min_apki = std::min(min_apki, app.weighted_llc_apki());
+    max_apki = std::max(max_apki, app.weighted_llc_apki());
+  }
+  EXPECT_LT(min_apki, 15.0);
+  EXPECT_GT(max_apki, 55.0);
+}
+
+TEST(Splash2, SeveralAppsHaveMultiplePhases) {
+  std::size_t multi_phase = 0;
+  for (const auto& app : splash2_suite())
+    if (app.phases.size() >= 2) ++multi_phase;
+  EXPECT_EQ(multi_phase, 12u);  // every app has phased behaviour
+}
+
+TEST(Splash2, ExecutionTimesAreTensOfSeconds) {
+  // At the constrained-optimal frequency the paper's Table III execution
+  // times are 24..30 s; our profiles must land in the same regime.
+  PerfModel perf;
+  for (const auto& app : splash2_suite()) {
+    double t_at_mid = 0.0;  // 825.6 MHz as a representative frequency
+    for (const auto& phase : app.phases)
+      t_at_mid += phase.instructions / perf.evaluate(phase, 825.6).ips;
+    EXPECT_GT(t_at_mid, 8.0) << app.name;
+    EXPECT_LT(t_at_mid, 80.0) << app.name;
+  }
+}
+
+TEST(Splash2, SuiteIsDeterministic) {
+  const auto a = splash2_suite();
+  const auto b = splash2_suite();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_DOUBLE_EQ(a[i].total_instructions(), b[i].total_instructions());
+  }
+}
+
+}  // namespace
+}  // namespace fedpower::sim

@@ -1,0 +1,82 @@
+#include "sim/thermal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedpower::sim {
+namespace {
+
+TEST(Thermal, StartsAtAmbient) {
+  ThermalModel model;
+  EXPECT_DOUBLE_EQ(model.temperature_c(), 25.0);
+}
+
+TEST(Thermal, SteadyStateFollowsOhmsLawAnalog) {
+  ThermalModel model;  // R = 25 K/W
+  EXPECT_DOUBLE_EQ(model.steady_state_c(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(model.steady_state_c(0.0), 25.0);
+}
+
+TEST(Thermal, ConvergesToSteadyState) {
+  ThermalModel model;
+  for (int i = 0; i < 10000; ++i) model.step(0.8, 0.5);
+  EXPECT_NEAR(model.temperature_c(), model.steady_state_c(0.8), 0.01);
+}
+
+TEST(Thermal, ExactExponentialStep) {
+  ThermalParams params;
+  ThermalModel model(params);
+  const double tau = params.r_thermal_k_per_w * params.c_thermal_j_per_k;
+  model.step(1.0, tau);  // one time constant towards 50 C
+  const double expected = 50.0 + (25.0 - 50.0) * std::exp(-1.0);
+  EXPECT_NEAR(model.temperature_c(), expected, 1e-9);
+}
+
+TEST(Thermal, StepIsTimeAdditive) {
+  // Two half steps must equal one full step (exact ODE solution property).
+  ThermalModel a;
+  ThermalModel b;
+  a.step(0.7, 1.0);
+  b.step(0.7, 0.5);
+  b.step(0.7, 0.5);
+  EXPECT_NEAR(a.temperature_c(), b.temperature_c(), 1e-12);
+}
+
+TEST(Thermal, CoolsWhenPowerDrops) {
+  ThermalModel model;
+  for (int i = 0; i < 1000; ++i) model.step(1.2, 0.5);
+  const double hot = model.temperature_c();
+  for (int i = 0; i < 1000; ++i) model.step(0.1, 0.5);
+  EXPECT_LT(model.temperature_c(), hot);
+}
+
+TEST(Thermal, LeakageMultiplierAtAmbientIsOne) {
+  ThermalModel model;
+  EXPECT_DOUBLE_EQ(model.leakage_multiplier(), 1.0);
+}
+
+TEST(Thermal, LeakageMultiplierGrowsWithTemperature) {
+  ThermalModel model;
+  for (int i = 0; i < 2000; ++i) model.step(1.0, 0.5);
+  // 25 K above ambient at 0.006/K -> 1.15x.
+  EXPECT_NEAR(model.leakage_multiplier(), 1.15, 0.01);
+}
+
+TEST(Thermal, ResetReturnsToAmbient) {
+  ThermalModel model;
+  model.step(2.0, 100.0);
+  model.reset();
+  EXPECT_DOUBLE_EQ(model.temperature_c(), 25.0);
+}
+
+TEST(Thermal, ZeroDtIsNoop) {
+  ThermalModel model;
+  model.step(1.0, 10.0);
+  const double t = model.temperature_c();
+  model.step(1.0, 0.0);
+  EXPECT_DOUBLE_EQ(model.temperature_c(), t);
+}
+
+}  // namespace
+}  // namespace fedpower::sim

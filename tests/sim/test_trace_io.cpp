@@ -1,0 +1,101 @@
+#include "sim/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/processor.hpp"
+#include "sim/splash2.hpp"
+
+namespace fedpower::sim {
+namespace {
+
+TraceRecorder sample_trace() {
+  ProcessorConfig config;
+  config.sensor_noise_w = 0.0;
+  Processor processor(config, util::Rng{1});
+  SingleAppWorkload workload(*splash2_app("fft"));
+  processor.set_workload(&workload);
+  TraceRecorder trace;
+  for (std::size_t level : {0u, 7u, 14u, 7u}) {
+    processor.set_level(level);
+    trace.record(processor.run_interval(0.5));
+  }
+  return trace;
+}
+
+TEST(TraceIo, WriteProducesHeaderAndRows) {
+  std::ostringstream out;
+  write_trace_csv(sample_trace(), out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_TRUE(line.starts_with("time_s,level,freq_mhz"));
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 4u);
+}
+
+TEST(TraceIo, RoundTripPreservesKeyFields) {
+  const TraceRecorder trace = sample_trace();
+  std::ostringstream out;
+  write_trace_csv(trace, out);
+  std::istringstream in(out.str());
+  const auto samples = read_trace_csv(in);
+  ASSERT_EQ(samples.size(), trace.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].level, trace.samples()[i].level);
+    EXPECT_EQ(samples[i].app_name, trace.samples()[i].app_name);
+    // Values go through "%.6g" formatting: 6 significant digits.
+    EXPECT_NEAR(samples[i].power_w, trace.samples()[i].power_w,
+                1e-5 * std::max(1.0, trace.samples()[i].power_w));
+    EXPECT_NEAR(samples[i].freq_mhz, trace.samples()[i].freq_mhz, 0.1);
+    EXPECT_NEAR(samples[i].ipc, trace.samples()[i].ipc, 1e-4);
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  TraceRecorder empty;
+  std::ostringstream out;
+  write_trace_csv(empty, out);
+  std::istringstream in(out.str());
+  EXPECT_TRUE(read_trace_csv(in).empty());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "fp_trace.csv";
+  write_trace_csv(sample_trace(), path);
+  std::ifstream in(path);
+  EXPECT_EQ(read_trace_csv(in).size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::istringstream in("1,2,3\n");
+  EXPECT_THROW(read_trace_csv(in), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsShortRows) {
+  std::ostringstream out;
+  write_trace_csv(TraceRecorder{}, out);
+  std::istringstream in(out.str() + "1,2,3\n");
+  EXPECT_THROW(read_trace_csv(in), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsNonNumericCells) {
+  std::ostringstream out;
+  write_trace_csv(TraceRecorder{}, out);
+  std::istringstream in(out.str() +
+                        "x,0,102,0.8,0.1,0.1,0.05,1,2,0.5,0.3,10,1e8,25,app\n");
+  EXPECT_THROW(read_trace_csv(in), std::invalid_argument);
+}
+
+TEST(TraceIo, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(write_trace_csv(TraceRecorder{}, "/nonexistent-dir/t.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fedpower::sim

@@ -1,0 +1,75 @@
+#include "sim/vf_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedpower::sim {
+namespace {
+
+TEST(VfTable, JetsonNanoHas15Levels) {
+  const VfTable table = VfTable::jetson_nano();
+  EXPECT_EQ(table.size(), 15u);
+  EXPECT_DOUBLE_EQ(table.f_min_mhz(), 102.0);
+  EXPECT_DOUBLE_EQ(table.f_max_mhz(), 1479.0);
+}
+
+TEST(VfTable, FrequenciesStrictlyIncreasing) {
+  const VfTable table = VfTable::jetson_nano();
+  for (std::size_t i = 1; i < table.size(); ++i)
+    EXPECT_GT(table.level(i).freq_mhz, table.level(i - 1).freq_mhz);
+}
+
+TEST(VfTable, VoltagesMonotonicallyIncrease) {
+  const VfTable table = VfTable::jetson_nano();
+  for (std::size_t i = 1; i < table.size(); ++i)
+    EXPECT_GE(table.level(i).voltage_v, table.level(i - 1).voltage_v);
+  EXPECT_DOUBLE_EQ(table.min_level().voltage_v, 0.80);
+  EXPECT_DOUBLE_EQ(table.max_level().voltage_v, 1.10);
+}
+
+TEST(VfTable, IndicesAreConsecutive) {
+  const VfTable table = VfTable::jetson_nano();
+  for (std::size_t i = 0; i < table.size(); ++i)
+    EXPECT_EQ(table.level(i).index, static_cast<int>(i));
+}
+
+TEST(VfTable, NearestLevelExactMatch) {
+  const VfTable table = VfTable::jetson_nano();
+  EXPECT_EQ(table.nearest_level(825.6), 7u);
+  EXPECT_EQ(table.nearest_level(1479.0), 14u);
+  EXPECT_EQ(table.nearest_level(102.0), 0u);
+}
+
+TEST(VfTable, NearestLevelRounds) {
+  const VfTable table = VfTable::jetson_nano();
+  EXPECT_EQ(table.nearest_level(150.0), 0u);    // closer to 102 than 204
+  EXPECT_EQ(table.nearest_level(160.0), 1u);    // closer to 204
+  EXPECT_EQ(table.nearest_level(5000.0), 14u);  // clamps above
+  EXPECT_EQ(table.nearest_level(1.0), 0u);      // clamps below
+}
+
+TEST(VfTable, LinearFactory) {
+  const VfTable table = VfTable::linear(5, 100.0, 500.0, 0.7, 1.1);
+  EXPECT_EQ(table.size(), 5u);
+  EXPECT_DOUBLE_EQ(table.level(0).freq_mhz, 100.0);
+  EXPECT_DOUBLE_EQ(table.level(4).freq_mhz, 500.0);
+  EXPECT_DOUBLE_EQ(table.level(2).freq_mhz, 300.0);
+  EXPECT_DOUBLE_EQ(table.level(2).voltage_v, 0.9);
+}
+
+TEST(VfTable, MinMaxLevelAccessors) {
+  const VfTable table = VfTable::jetson_nano();
+  EXPECT_EQ(table.min_level().index, 0);
+  EXPECT_EQ(table.max_level().index, 14);
+}
+
+TEST(VfTableDeathTest, RejectsEmptyTable) {
+  EXPECT_DEATH(VfTable{std::vector<VfLevel>{}}, "precondition");
+}
+
+TEST(VfTableDeathTest, RejectsNonMonotonicFrequencies) {
+  std::vector<VfLevel> levels = {{0, 200.0, 0.8}, {0, 100.0, 0.9}};
+  EXPECT_DEATH(VfTable{std::move(levels)}, "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::sim

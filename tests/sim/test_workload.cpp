@@ -1,0 +1,71 @@
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/splash2.hpp"
+
+namespace fedpower::sim {
+namespace {
+
+std::vector<AppProfile> two_apps() {
+  return {*splash2_app("fft"), *splash2_app("lu")};
+}
+
+TEST(RotationWorkload, CyclesInOrder) {
+  RotationWorkload workload(two_apps());
+  util::Rng rng(1);
+  EXPECT_EQ(workload.next(rng).name, "fft");
+  EXPECT_EQ(workload.next(rng).name, "lu");
+  EXPECT_EQ(workload.next(rng).name, "fft");
+}
+
+TEST(RotationWorkload, SingleAppRepeats) {
+  RotationWorkload workload({*splash2_app("radix")});
+  util::Rng rng(2);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(workload.next(rng).name, "radix");
+}
+
+TEST(RotationWorkload, ExposesApps) {
+  RotationWorkload workload(two_apps());
+  EXPECT_EQ(workload.apps().size(), 2u);
+}
+
+TEST(RandomWorkload, DrawsAllAppsEventually) {
+  RandomWorkload workload(two_apps());
+  util::Rng rng(3);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 1000; ++i) ++counts[workload.next(rng).name];
+  EXPECT_GT(counts["fft"], 400);
+  EXPECT_GT(counts["lu"], 400);
+}
+
+TEST(RandomWorkload, DeterministicGivenSeed) {
+  RandomWorkload w1(two_apps());
+  RandomWorkload w2(two_apps());
+  util::Rng r1(7);
+  util::Rng r2(7);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(w1.next(r1).name, w2.next(r2).name);
+}
+
+TEST(SingleAppWorkload, AlwaysSameApp) {
+  SingleAppWorkload workload(*splash2_app("ocean"));
+  util::Rng rng(4);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(workload.next(rng).name, "ocean");
+  EXPECT_EQ(workload.apps().size(), 1u);
+}
+
+TEST(WorkloadDeathTest, RejectsEmptyAppSet) {
+  EXPECT_DEATH(RotationWorkload{std::vector<AppProfile>{}}, "precondition");
+  EXPECT_DEATH(RandomWorkload{std::vector<AppProfile>{}}, "precondition");
+}
+
+TEST(WorkloadDeathTest, RejectsInvalidApp) {
+  AppProfile bad{"bad", {}};
+  EXPECT_DEATH(SingleAppWorkload{bad}, "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::sim

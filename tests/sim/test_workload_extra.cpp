@@ -1,0 +1,83 @@
+#include "sim/workload_extra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/splash2.hpp"
+
+namespace fedpower::sim {
+namespace {
+
+std::vector<AppProfile> three_apps() {
+  return {*splash2_app("fft"), *splash2_app("lu"), *splash2_app("radix")};
+}
+
+TEST(ScriptedWorkload, FollowsScriptAndLoops) {
+  ScriptedWorkload workload(three_apps(), {2, 0, 0, 1});
+  util::Rng rng(1);
+  EXPECT_EQ(workload.next(rng).name, "radix");
+  EXPECT_EQ(workload.next(rng).name, "fft");
+  EXPECT_EQ(workload.next(rng).name, "fft");
+  EXPECT_EQ(workload.next(rng).name, "lu");
+  EXPECT_EQ(workload.next(rng).name, "radix");  // wrapped
+}
+
+TEST(ScriptedWorkload, PositionTracks) {
+  ScriptedWorkload workload(three_apps(), {0, 1});
+  util::Rng rng(2);
+  EXPECT_EQ(workload.position(), 0u);
+  workload.next(rng);
+  EXPECT_EQ(workload.position(), 1u);
+  workload.next(rng);
+  EXPECT_EQ(workload.position(), 0u);
+}
+
+TEST(ScriptedWorkload, IgnoresRngEntirely) {
+  ScriptedWorkload w1(three_apps(), {0, 2, 1});
+  ScriptedWorkload w2(three_apps(), {0, 2, 1});
+  util::Rng r1(111);
+  util::Rng r2(999);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(w1.next(r1).name, w2.next(r2).name);
+}
+
+TEST(ScriptedWorkloadDeathTest, RejectsOutOfRangeIndex) {
+  EXPECT_DEATH(ScriptedWorkload(three_apps(), {0, 3}), "precondition");
+}
+
+TEST(ScriptedWorkloadDeathTest, RejectsEmptyScript) {
+  EXPECT_DEATH(ScriptedWorkload(three_apps(), {}), "precondition");
+}
+
+TEST(WeightedWorkload, FollowsWeights) {
+  WeightedWorkload workload(three_apps(), {8.0, 1.0, 1.0});
+  util::Rng rng(3);
+  std::map<std::string, int> counts;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) ++counts[workload.next(rng).name];
+  EXPECT_NEAR(counts["fft"] / static_cast<double>(n), 0.8, 0.02);
+  EXPECT_NEAR(counts["lu"] / static_cast<double>(n), 0.1, 0.02);
+}
+
+TEST(WeightedWorkload, ZeroWeightAppNeverRuns) {
+  WeightedWorkload workload(three_apps(), {1.0, 0.0, 1.0});
+  util::Rng rng(4);
+  for (int i = 0; i < 500; ++i) EXPECT_NE(workload.next(rng).name, "lu");
+}
+
+TEST(WeightedWorkloadDeathTest, RejectsMismatchedWeights) {
+  EXPECT_DEATH(WeightedWorkload(three_apps(), {1.0}), "precondition");
+}
+
+TEST(WeightedWorkloadDeathTest, RejectsAllZeroWeights) {
+  EXPECT_DEATH(WeightedWorkload(three_apps(), {0.0, 0.0, 0.0}),
+               "precondition");
+}
+
+TEST(WeightedWorkloadDeathTest, RejectsNegativeWeights) {
+  EXPECT_DEATH(WeightedWorkload(three_apps(), {1.0, -1.0, 1.0}),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::sim

@@ -1,0 +1,136 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fedpower::util {
+namespace {
+
+Config parse_str(const std::string& text) {
+  std::istringstream in(text);
+  return Config::parse(in);
+}
+
+TEST(Config, ParsesKeyValuePairs) {
+  const Config c = parse_str("alpha = 0.005\nname = fedpower\n");
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.get_string("name"), "fedpower");
+  EXPECT_DOUBLE_EQ(c.get_double("alpha", 0.0), 0.005);
+}
+
+TEST(Config, SectionsPrefixKeys) {
+  const Config c = parse_str("[agent]\nlr = 0.1\n[fed]\nrounds = 100\n");
+  EXPECT_TRUE(c.has("agent.lr"));
+  EXPECT_TRUE(c.has("fed.rounds"));
+  EXPECT_FALSE(c.has("lr"));
+  EXPECT_EQ(c.get_int("fed.rounds", 0), 100);
+}
+
+TEST(Config, CommentsAndBlankLinesIgnored) {
+  const Config c = parse_str(
+      "# full line comment\n"
+      "\n"
+      "key = value   # trailing comment\n"
+      "other = 1     ; ini-style comment\n");
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.get_string("key"), "value");
+}
+
+TEST(Config, WhitespaceTrimmed) {
+  const Config c = parse_str("   spaced   =    hello world   \n");
+  EXPECT_EQ(c.get_string("spaced"), "hello world");
+}
+
+TEST(Config, LaterAssignmentWins) {
+  const Config c = parse_str("x = 1\nx = 2\n");
+  EXPECT_EQ(c.get_int("x", 0), 2);
+}
+
+TEST(Config, FallbacksForMissingKeys) {
+  const Config c = parse_str("present = 1\n");
+  EXPECT_EQ(c.get_string("absent", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(c.get_double("absent", 2.5), 2.5);
+  EXPECT_EQ(c.get_int("absent", -3), -3);
+  EXPECT_TRUE(c.get_bool("absent", true));
+  EXPECT_TRUE(c.get_list("absent").empty());
+}
+
+TEST(Config, BoolSpellings) {
+  const Config c = parse_str(
+      "a = true\nb = FALSE\nc = Yes\nd = off\ne = 1\nf = 0\n");
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_FALSE(c.get_bool("b", true));
+  EXPECT_TRUE(c.get_bool("c", false));
+  EXPECT_FALSE(c.get_bool("d", true));
+  EXPECT_TRUE(c.get_bool("e", false));
+  EXPECT_FALSE(c.get_bool("f", true));
+}
+
+TEST(Config, Lists) {
+  const Config c = parse_str("apps = fft, lu ,radix,,\nsolo = one\n");
+  EXPECT_EQ(c.get_list("apps"),
+            (std::vector<std::string>{"fft", "lu", "radix"}));
+  EXPECT_EQ(c.get_list("solo"), (std::vector<std::string>{"one"}));
+}
+
+TEST(Config, ScientificNotation) {
+  const Config c = parse_str("decay = 5e-4\n");
+  EXPECT_DOUBLE_EQ(c.get_double("decay", 0.0), 5e-4);
+}
+
+TEST(Config, KeysSorted) {
+  const Config c = parse_str("b = 1\na = 2\n");
+  EXPECT_EQ(c.keys(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Config, SetOverrides) {
+  Config c = parse_str("x = 1\n");
+  c.set("x", "9");
+  c.set("fresh", "new");
+  EXPECT_EQ(c.get_int("x", 0), 9);
+  EXPECT_EQ(c.get_string("fresh"), "new");
+}
+
+TEST(Config, SyntaxErrors) {
+  EXPECT_THROW(parse_str("no equals sign\n"), std::invalid_argument);
+  EXPECT_THROW(parse_str("[unterminated\n"), std::invalid_argument);
+  EXPECT_THROW(parse_str("[]\nx = 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_str("= nokey\n"), std::invalid_argument);
+}
+
+TEST(Config, SyntaxErrorReportsLineNumber) {
+  try {
+    parse_str("ok = 1\nbroken line\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Config, TypeErrors) {
+  const Config c = parse_str("word = hello\npartial = 12abc\n");
+  EXPECT_THROW(c.get_double("word", 0.0), std::invalid_argument);
+  EXPECT_THROW(c.get_int("partial", 0), std::invalid_argument);
+  EXPECT_THROW(c.get_bool("word", false), std::invalid_argument);
+}
+
+TEST(Config, LoadsFromFile) {
+  const std::string path = ::testing::TempDir() + "fp_config_test.ini";
+  {
+    std::ofstream out(path);
+    out << "[run]\nrounds = 42\n";
+  }
+  const Config c = Config::load(path);
+  EXPECT_EQ(c.get_int("run.rounds", 0), 42);
+  std::remove(path.c_str());
+}
+
+TEST(Config, LoadMissingFileThrows) {
+  EXPECT_THROW(Config::load("/nonexistent/f.ini"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fedpower::util

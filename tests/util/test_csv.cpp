@@ -1,0 +1,78 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fedpower::util {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesCellsWithCommas) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"x,y", "z"});
+  EXPECT_EQ(out.str(), "\"x,y\",z\n");
+}
+
+TEST(CsvWriter, EscapesEmbeddedQuotes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"say \"hi\""});
+  EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"line1\nline2"});
+  EXPECT_EQ(out.str(), "\"line1\nline2\"\n");
+}
+
+TEST(CsvWriter, NumericRowWithLabel) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row("row", {1.0, 2.5, 0.125});
+  EXPECT_EQ(out.str(), "row,1,2.5,0.125\n");
+}
+
+TEST(CsvWriter, FormatUsesSixSignificantDigits) {
+  EXPECT_EQ(CsvWriter::format(1234567.0), "1.23457e+06");
+  EXPECT_EQ(CsvWriter::format(0.5), "0.5");
+}
+
+TEST(CsvWriter, EmptyRowIsJustNewline) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row(std::vector<std::string>{});
+  EXPECT_EQ(out.str(), "\n");
+}
+
+TEST(CsvWriter, WritesToFile) {
+  const std::string path = ::testing::TempDir() + "fedpower_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row({"h1", "h2"});
+    csv.write_row("r", {3.0});
+  }
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "h1,h2\nr,3\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fedpower::util

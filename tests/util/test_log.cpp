@@ -1,0 +1,41 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedpower::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, SuppressedMessagesDoNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  log_debug("dropped");
+  log_info("dropped");
+  log_warn("dropped");
+  log_error("dropped");
+}
+
+TEST(Log, EmittingMessagesDoesNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  log_debug("visible debug (expected in test output)");
+}
+
+}  // namespace
+}  // namespace fedpower::util

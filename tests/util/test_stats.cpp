@@ -1,0 +1,144 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace fedpower::util {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  // Naive sum-of-squares would catastrophically cancel here.
+  RunningStats s;
+  const double offset = 1e9;
+  for (const double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 3.0 + 1.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+}
+
+TEST(RunningStats, MergeIntoEmptyCopies) {
+  RunningStats a;
+  RunningStats b;
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(VectorStats, MeanAndStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(VectorStats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenValues) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25.0), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> xs = {5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 9.0);
+}
+
+TEST(MovingAverage, WindowOneIsIdentity) {
+  const std::vector<double> xs = {1.0, 5.0, 3.0};
+  EXPECT_EQ(moving_average(xs, 1), xs);
+}
+
+TEST(MovingAverage, SmoothsWithGrowingPrefix) {
+  const std::vector<double> xs = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> smoothed = moving_average(xs, 2);
+  ASSERT_EQ(smoothed.size(), 4u);
+  EXPECT_DOUBLE_EQ(smoothed[0], 2.0);   // window has one element
+  EXPECT_DOUBLE_EQ(smoothed[1], 3.0);
+  EXPECT_DOUBLE_EQ(smoothed[2], 5.0);
+  EXPECT_DOUBLE_EQ(smoothed[3], 7.0);
+}
+
+TEST(MovingAverage, EmptyInput) {
+  EXPECT_TRUE(moving_average({}, 3).empty());
+}
+
+TEST(PercentChange, Basics) {
+  EXPECT_DOUBLE_EQ(percent_change(10.0, 12.0), 20.0);
+  EXPECT_DOUBLE_EQ(percent_change(10.0, 8.0), -20.0);
+  EXPECT_DOUBLE_EQ(percent_change(-10.0, -5.0), 50.0);
+  EXPECT_DOUBLE_EQ(percent_change(0.0, 5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace fedpower::util

@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fedpower::util {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string rendered = t.to_string();
+  EXPECT_NE(rendered.find("| name "), std::string::npos);
+  EXPECT_NE(rendered.find("| alpha "), std::string::npos);
+  EXPECT_NE(rendered.find("| beta "), std::string::npos);
+}
+
+TEST(AsciiTable, ColumnsAlignToWidestCell) {
+  AsciiTable t({"h"});
+  t.add_row({"wide-cell-content"});
+  const std::string rendered = t.to_string();
+  // Every line must have the same length for a single-column table.
+  std::istringstream in(rendered);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(AsciiTable, NumericRowFormatting) {
+  AsciiTable t({"label", "x"});
+  t.add_row("pi", {3.14159}, 2);
+  EXPECT_NE(t.to_string().find("3.14"), std::string::npos);
+  EXPECT_EQ(t.to_string().find("3.142"), std::string::npos);
+}
+
+TEST(AsciiTable, FormatPrecision) {
+  EXPECT_EQ(AsciiTable::format(1.0, 3), "1.000");
+  EXPECT_EQ(AsciiTable::format(-0.5, 1), "-0.5");
+}
+
+TEST(AsciiTable, ShortRowsPadWithEmptyCells) {
+  AsciiTable t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  const std::string rendered = t.to_string();
+  // Must not crash and must still have 3 columns' worth of separators.
+  std::istringstream in(rendered);
+  std::string line;
+  std::getline(in, line);  // rule
+  std::getline(in, line);  // header
+  EXPECT_EQ(std::count(line.begin(), line.end(), '|'), 4);
+}
+
+TEST(AsciiTable, StreamsViaOperator) {
+  AsciiTable t({"x"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+}  // namespace
+}  // namespace fedpower::util
