@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_personalization.dir/bench_ablation_personalization.cpp.o"
+  "CMakeFiles/bench_ablation_personalization.dir/bench_ablation_personalization.cpp.o.d"
+  "bench_ablation_personalization"
+  "bench_ablation_personalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_personalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_privacy.dir/bench_ablation_privacy.cpp.o"
+  "CMakeFiles/bench_ablation_privacy.dir/bench_ablation_privacy.cpp.o.d"
+  "bench_ablation_privacy"
+  "bench_ablation_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_silicon.dir/bench_ablation_silicon.cpp.o"
+  "CMakeFiles/bench_ablation_silicon.dir/bench_ablation_silicon.cpp.o.d"
+  "bench_ablation_silicon"
+  "bench_ablation_silicon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_silicon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

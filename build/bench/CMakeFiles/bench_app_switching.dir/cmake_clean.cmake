@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_switching.dir/bench_app_switching.cpp.o"
+  "CMakeFiles/bench_app_switching.dir/bench_app_switching.cpp.o.d"
+  "bench_app_switching"
+  "bench_app_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

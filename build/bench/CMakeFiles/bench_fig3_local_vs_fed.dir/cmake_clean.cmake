@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_local_vs_fed.dir/bench_fig3_local_vs_fed.cpp.o"
+  "CMakeFiles/bench_fig3_local_vs_fed.dir/bench_fig3_local_vs_fed.cpp.o.d"
+  "bench_fig3_local_vs_fed"
+  "bench_fig3_local_vs_fed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_local_vs_fed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_six_apps.dir/bench_fig5_six_apps.cpp.o"
+  "CMakeFiles/bench_fig5_six_apps.dir/bench_fig5_six_apps.cpp.o.d"
+  "bench_fig5_six_apps"
+  "bench_fig5_six_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_six_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

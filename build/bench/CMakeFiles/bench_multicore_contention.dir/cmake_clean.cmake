@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multicore_contention.dir/bench_multicore_contention.cpp.o"
+  "CMakeFiles/bench_multicore_contention.dir/bench_multicore_contention.cpp.o.d"
+  "bench_multicore_contention"
+  "bench_multicore_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multicore_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

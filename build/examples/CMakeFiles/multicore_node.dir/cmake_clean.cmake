@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_node.dir/multicore_node.cpp.o"
+  "CMakeFiles/multicore_node.dir/multicore_node.cpp.o.d"
+  "multicore_node"
+  "multicore_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

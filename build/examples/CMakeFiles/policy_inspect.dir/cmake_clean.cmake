@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_inspect.dir/policy_inspect.cpp.o"
+  "CMakeFiles/policy_inspect.dir/policy_inspect.cpp.o.d"
+  "policy_inspect"
+  "policy_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_fleet.dir/secure_fleet.cpp.o"
+  "CMakeFiles/secure_fleet.dir/secure_fleet.cpp.o.d"
+  "secure_fleet"
+  "secure_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

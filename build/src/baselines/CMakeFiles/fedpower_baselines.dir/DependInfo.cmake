@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/collab_policy.cpp" "src/baselines/CMakeFiles/fedpower_baselines.dir/collab_policy.cpp.o" "gcc" "src/baselines/CMakeFiles/fedpower_baselines.dir/collab_policy.cpp.o.d"
+  "/root/repo/src/baselines/profit.cpp" "src/baselines/CMakeFiles/fedpower_baselines.dir/profit.cpp.o" "gcc" "src/baselines/CMakeFiles/fedpower_baselines.dir/profit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rl/CMakeFiles/fedpower_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fedpower_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedpower_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedpower_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedpower_baselines.dir/collab_policy.cpp.o"
+  "CMakeFiles/fedpower_baselines.dir/collab_policy.cpp.o.d"
+  "CMakeFiles/fedpower_baselines.dir/profit.cpp.o"
+  "CMakeFiles/fedpower_baselines.dir/profit.cpp.o.d"
+  "libfedpower_baselines.a"
+  "libfedpower_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedpower_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/fedpower_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/fedpower_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/evaluate.cpp" "src/core/CMakeFiles/fedpower_core.dir/evaluate.cpp.o" "gcc" "src/core/CMakeFiles/fedpower_core.dir/evaluate.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/fedpower_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/fedpower_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/fedpower_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/fedpower_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/fedpower_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/fedpower_core.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rl/CMakeFiles/fedpower_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/fed/CMakeFiles/fedpower_fed.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fedpower_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fedpower_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedpower_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedpower_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

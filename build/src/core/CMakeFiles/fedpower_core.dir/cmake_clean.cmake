@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedpower_core.dir/controller.cpp.o"
+  "CMakeFiles/fedpower_core.dir/controller.cpp.o.d"
+  "CMakeFiles/fedpower_core.dir/evaluate.cpp.o"
+  "CMakeFiles/fedpower_core.dir/evaluate.cpp.o.d"
+  "CMakeFiles/fedpower_core.dir/experiment.cpp.o"
+  "CMakeFiles/fedpower_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/fedpower_core.dir/metrics.cpp.o"
+  "CMakeFiles/fedpower_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/fedpower_core.dir/scenario.cpp.o"
+  "CMakeFiles/fedpower_core.dir/scenario.cpp.o.d"
+  "libfedpower_core.a"
+  "libfedpower_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedpower_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fed/aggregate.cpp" "src/fed/CMakeFiles/fedpower_fed.dir/aggregate.cpp.o" "gcc" "src/fed/CMakeFiles/fedpower_fed.dir/aggregate.cpp.o.d"
+  "/root/repo/src/fed/async.cpp" "src/fed/CMakeFiles/fedpower_fed.dir/async.cpp.o" "gcc" "src/fed/CMakeFiles/fedpower_fed.dir/async.cpp.o.d"
+  "/root/repo/src/fed/codec.cpp" "src/fed/CMakeFiles/fedpower_fed.dir/codec.cpp.o" "gcc" "src/fed/CMakeFiles/fedpower_fed.dir/codec.cpp.o.d"
+  "/root/repo/src/fed/dp.cpp" "src/fed/CMakeFiles/fedpower_fed.dir/dp.cpp.o" "gcc" "src/fed/CMakeFiles/fedpower_fed.dir/dp.cpp.o.d"
+  "/root/repo/src/fed/federation.cpp" "src/fed/CMakeFiles/fedpower_fed.dir/federation.cpp.o" "gcc" "src/fed/CMakeFiles/fedpower_fed.dir/federation.cpp.o.d"
+  "/root/repo/src/fed/personalize.cpp" "src/fed/CMakeFiles/fedpower_fed.dir/personalize.cpp.o" "gcc" "src/fed/CMakeFiles/fedpower_fed.dir/personalize.cpp.o.d"
+  "/root/repo/src/fed/secure_agg.cpp" "src/fed/CMakeFiles/fedpower_fed.dir/secure_agg.cpp.o" "gcc" "src/fed/CMakeFiles/fedpower_fed.dir/secure_agg.cpp.o.d"
+  "/root/repo/src/fed/tcp_transport.cpp" "src/fed/CMakeFiles/fedpower_fed.dir/tcp_transport.cpp.o" "gcc" "src/fed/CMakeFiles/fedpower_fed.dir/tcp_transport.cpp.o.d"
+  "/root/repo/src/fed/transport.cpp" "src/fed/CMakeFiles/fedpower_fed.dir/transport.cpp.o" "gcc" "src/fed/CMakeFiles/fedpower_fed.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/fedpower_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedpower_fed.dir/aggregate.cpp.o"
+  "CMakeFiles/fedpower_fed.dir/aggregate.cpp.o.d"
+  "CMakeFiles/fedpower_fed.dir/async.cpp.o"
+  "CMakeFiles/fedpower_fed.dir/async.cpp.o.d"
+  "CMakeFiles/fedpower_fed.dir/codec.cpp.o"
+  "CMakeFiles/fedpower_fed.dir/codec.cpp.o.d"
+  "CMakeFiles/fedpower_fed.dir/dp.cpp.o"
+  "CMakeFiles/fedpower_fed.dir/dp.cpp.o.d"
+  "CMakeFiles/fedpower_fed.dir/federation.cpp.o"
+  "CMakeFiles/fedpower_fed.dir/federation.cpp.o.d"
+  "CMakeFiles/fedpower_fed.dir/personalize.cpp.o"
+  "CMakeFiles/fedpower_fed.dir/personalize.cpp.o.d"
+  "CMakeFiles/fedpower_fed.dir/secure_agg.cpp.o"
+  "CMakeFiles/fedpower_fed.dir/secure_agg.cpp.o.d"
+  "CMakeFiles/fedpower_fed.dir/tcp_transport.cpp.o"
+  "CMakeFiles/fedpower_fed.dir/tcp_transport.cpp.o.d"
+  "CMakeFiles/fedpower_fed.dir/transport.cpp.o"
+  "CMakeFiles/fedpower_fed.dir/transport.cpp.o.d"
+  "libfedpower_fed.a"
+  "libfedpower_fed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedpower_fed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

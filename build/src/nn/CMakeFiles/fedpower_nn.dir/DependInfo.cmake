@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/fedpower_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/fedpower_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/fedpower_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/fedpower_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/fedpower_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/fedpower_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/gradcheck.cpp" "src/nn/CMakeFiles/fedpower_nn.dir/gradcheck.cpp.o" "gcc" "src/nn/CMakeFiles/fedpower_nn.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/fedpower_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/fedpower_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/nn/CMakeFiles/fedpower_nn.dir/matrix.cpp.o" "gcc" "src/nn/CMakeFiles/fedpower_nn.dir/matrix.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/fedpower_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/fedpower_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/fedpower_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/fedpower_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/fedpower_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/fedpower_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fedpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedpower_nn.dir/activation.cpp.o"
+  "CMakeFiles/fedpower_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/fedpower_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/fedpower_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/fedpower_nn.dir/dense.cpp.o"
+  "CMakeFiles/fedpower_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/fedpower_nn.dir/gradcheck.cpp.o"
+  "CMakeFiles/fedpower_nn.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/fedpower_nn.dir/loss.cpp.o"
+  "CMakeFiles/fedpower_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/fedpower_nn.dir/matrix.cpp.o"
+  "CMakeFiles/fedpower_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/fedpower_nn.dir/mlp.cpp.o"
+  "CMakeFiles/fedpower_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/fedpower_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/fedpower_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/fedpower_nn.dir/serialize.cpp.o"
+  "CMakeFiles/fedpower_nn.dir/serialize.cpp.o.d"
+  "libfedpower_nn.a"
+  "libfedpower_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedpower_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

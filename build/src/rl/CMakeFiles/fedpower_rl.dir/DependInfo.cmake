@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/drift.cpp" "src/rl/CMakeFiles/fedpower_rl.dir/drift.cpp.o" "gcc" "src/rl/CMakeFiles/fedpower_rl.dir/drift.cpp.o.d"
+  "/root/repo/src/rl/neural_agent.cpp" "src/rl/CMakeFiles/fedpower_rl.dir/neural_agent.cpp.o" "gcc" "src/rl/CMakeFiles/fedpower_rl.dir/neural_agent.cpp.o.d"
+  "/root/repo/src/rl/neural_q_agent.cpp" "src/rl/CMakeFiles/fedpower_rl.dir/neural_q_agent.cpp.o" "gcc" "src/rl/CMakeFiles/fedpower_rl.dir/neural_q_agent.cpp.o.d"
+  "/root/repo/src/rl/policy.cpp" "src/rl/CMakeFiles/fedpower_rl.dir/policy.cpp.o" "gcc" "src/rl/CMakeFiles/fedpower_rl.dir/policy.cpp.o.d"
+  "/root/repo/src/rl/q_replay_buffer.cpp" "src/rl/CMakeFiles/fedpower_rl.dir/q_replay_buffer.cpp.o" "gcc" "src/rl/CMakeFiles/fedpower_rl.dir/q_replay_buffer.cpp.o.d"
+  "/root/repo/src/rl/replay_buffer.cpp" "src/rl/CMakeFiles/fedpower_rl.dir/replay_buffer.cpp.o" "gcc" "src/rl/CMakeFiles/fedpower_rl.dir/replay_buffer.cpp.o.d"
+  "/root/repo/src/rl/reward.cpp" "src/rl/CMakeFiles/fedpower_rl.dir/reward.cpp.o" "gcc" "src/rl/CMakeFiles/fedpower_rl.dir/reward.cpp.o.d"
+  "/root/repo/src/rl/schedule.cpp" "src/rl/CMakeFiles/fedpower_rl.dir/schedule.cpp.o" "gcc" "src/rl/CMakeFiles/fedpower_rl.dir/schedule.cpp.o.d"
+  "/root/repo/src/rl/state.cpp" "src/rl/CMakeFiles/fedpower_rl.dir/state.cpp.o" "gcc" "src/rl/CMakeFiles/fedpower_rl.dir/state.cpp.o.d"
+  "/root/repo/src/rl/tabular.cpp" "src/rl/CMakeFiles/fedpower_rl.dir/tabular.cpp.o" "gcc" "src/rl/CMakeFiles/fedpower_rl.dir/tabular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/fedpower_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fedpower_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedpower_rl.dir/drift.cpp.o"
+  "CMakeFiles/fedpower_rl.dir/drift.cpp.o.d"
+  "CMakeFiles/fedpower_rl.dir/neural_agent.cpp.o"
+  "CMakeFiles/fedpower_rl.dir/neural_agent.cpp.o.d"
+  "CMakeFiles/fedpower_rl.dir/neural_q_agent.cpp.o"
+  "CMakeFiles/fedpower_rl.dir/neural_q_agent.cpp.o.d"
+  "CMakeFiles/fedpower_rl.dir/policy.cpp.o"
+  "CMakeFiles/fedpower_rl.dir/policy.cpp.o.d"
+  "CMakeFiles/fedpower_rl.dir/q_replay_buffer.cpp.o"
+  "CMakeFiles/fedpower_rl.dir/q_replay_buffer.cpp.o.d"
+  "CMakeFiles/fedpower_rl.dir/replay_buffer.cpp.o"
+  "CMakeFiles/fedpower_rl.dir/replay_buffer.cpp.o.d"
+  "CMakeFiles/fedpower_rl.dir/reward.cpp.o"
+  "CMakeFiles/fedpower_rl.dir/reward.cpp.o.d"
+  "CMakeFiles/fedpower_rl.dir/schedule.cpp.o"
+  "CMakeFiles/fedpower_rl.dir/schedule.cpp.o.d"
+  "CMakeFiles/fedpower_rl.dir/state.cpp.o"
+  "CMakeFiles/fedpower_rl.dir/state.cpp.o.d"
+  "CMakeFiles/fedpower_rl.dir/tabular.cpp.o"
+  "CMakeFiles/fedpower_rl.dir/tabular.cpp.o.d"
+  "libfedpower_rl.a"
+  "libfedpower_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedpower_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

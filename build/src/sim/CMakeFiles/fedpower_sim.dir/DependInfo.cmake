@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/application.cpp" "src/sim/CMakeFiles/fedpower_sim.dir/application.cpp.o" "gcc" "src/sim/CMakeFiles/fedpower_sim.dir/application.cpp.o.d"
+  "/root/repo/src/sim/generator.cpp" "src/sim/CMakeFiles/fedpower_sim.dir/generator.cpp.o" "gcc" "src/sim/CMakeFiles/fedpower_sim.dir/generator.cpp.o.d"
+  "/root/repo/src/sim/governor.cpp" "src/sim/CMakeFiles/fedpower_sim.dir/governor.cpp.o" "gcc" "src/sim/CMakeFiles/fedpower_sim.dir/governor.cpp.o.d"
+  "/root/repo/src/sim/multicore.cpp" "src/sim/CMakeFiles/fedpower_sim.dir/multicore.cpp.o" "gcc" "src/sim/CMakeFiles/fedpower_sim.dir/multicore.cpp.o.d"
+  "/root/repo/src/sim/perf_model.cpp" "src/sim/CMakeFiles/fedpower_sim.dir/perf_model.cpp.o" "gcc" "src/sim/CMakeFiles/fedpower_sim.dir/perf_model.cpp.o.d"
+  "/root/repo/src/sim/power_model.cpp" "src/sim/CMakeFiles/fedpower_sim.dir/power_model.cpp.o" "gcc" "src/sim/CMakeFiles/fedpower_sim.dir/power_model.cpp.o.d"
+  "/root/repo/src/sim/processor.cpp" "src/sim/CMakeFiles/fedpower_sim.dir/processor.cpp.o" "gcc" "src/sim/CMakeFiles/fedpower_sim.dir/processor.cpp.o.d"
+  "/root/repo/src/sim/splash2.cpp" "src/sim/CMakeFiles/fedpower_sim.dir/splash2.cpp.o" "gcc" "src/sim/CMakeFiles/fedpower_sim.dir/splash2.cpp.o.d"
+  "/root/repo/src/sim/telemetry.cpp" "src/sim/CMakeFiles/fedpower_sim.dir/telemetry.cpp.o" "gcc" "src/sim/CMakeFiles/fedpower_sim.dir/telemetry.cpp.o.d"
+  "/root/repo/src/sim/thermal.cpp" "src/sim/CMakeFiles/fedpower_sim.dir/thermal.cpp.o" "gcc" "src/sim/CMakeFiles/fedpower_sim.dir/thermal.cpp.o.d"
+  "/root/repo/src/sim/trace_io.cpp" "src/sim/CMakeFiles/fedpower_sim.dir/trace_io.cpp.o" "gcc" "src/sim/CMakeFiles/fedpower_sim.dir/trace_io.cpp.o.d"
+  "/root/repo/src/sim/vf_table.cpp" "src/sim/CMakeFiles/fedpower_sim.dir/vf_table.cpp.o" "gcc" "src/sim/CMakeFiles/fedpower_sim.dir/vf_table.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/fedpower_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/fedpower_sim.dir/workload.cpp.o.d"
+  "/root/repo/src/sim/workload_extra.cpp" "src/sim/CMakeFiles/fedpower_sim.dir/workload_extra.cpp.o" "gcc" "src/sim/CMakeFiles/fedpower_sim.dir/workload_extra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fedpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedpower_sim.dir/application.cpp.o"
+  "CMakeFiles/fedpower_sim.dir/application.cpp.o.d"
+  "CMakeFiles/fedpower_sim.dir/generator.cpp.o"
+  "CMakeFiles/fedpower_sim.dir/generator.cpp.o.d"
+  "CMakeFiles/fedpower_sim.dir/governor.cpp.o"
+  "CMakeFiles/fedpower_sim.dir/governor.cpp.o.d"
+  "CMakeFiles/fedpower_sim.dir/multicore.cpp.o"
+  "CMakeFiles/fedpower_sim.dir/multicore.cpp.o.d"
+  "CMakeFiles/fedpower_sim.dir/perf_model.cpp.o"
+  "CMakeFiles/fedpower_sim.dir/perf_model.cpp.o.d"
+  "CMakeFiles/fedpower_sim.dir/power_model.cpp.o"
+  "CMakeFiles/fedpower_sim.dir/power_model.cpp.o.d"
+  "CMakeFiles/fedpower_sim.dir/processor.cpp.o"
+  "CMakeFiles/fedpower_sim.dir/processor.cpp.o.d"
+  "CMakeFiles/fedpower_sim.dir/splash2.cpp.o"
+  "CMakeFiles/fedpower_sim.dir/splash2.cpp.o.d"
+  "CMakeFiles/fedpower_sim.dir/telemetry.cpp.o"
+  "CMakeFiles/fedpower_sim.dir/telemetry.cpp.o.d"
+  "CMakeFiles/fedpower_sim.dir/thermal.cpp.o"
+  "CMakeFiles/fedpower_sim.dir/thermal.cpp.o.d"
+  "CMakeFiles/fedpower_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/fedpower_sim.dir/trace_io.cpp.o.d"
+  "CMakeFiles/fedpower_sim.dir/vf_table.cpp.o"
+  "CMakeFiles/fedpower_sim.dir/vf_table.cpp.o.d"
+  "CMakeFiles/fedpower_sim.dir/workload.cpp.o"
+  "CMakeFiles/fedpower_sim.dir/workload.cpp.o.d"
+  "CMakeFiles/fedpower_sim.dir/workload_extra.cpp.o"
+  "CMakeFiles/fedpower_sim.dir/workload_extra.cpp.o.d"
+  "libfedpower_sim.a"
+  "libfedpower_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedpower_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

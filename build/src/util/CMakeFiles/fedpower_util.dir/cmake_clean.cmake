@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedpower_util.dir/config.cpp.o"
+  "CMakeFiles/fedpower_util.dir/config.cpp.o.d"
+  "CMakeFiles/fedpower_util.dir/csv.cpp.o"
+  "CMakeFiles/fedpower_util.dir/csv.cpp.o.d"
+  "CMakeFiles/fedpower_util.dir/log.cpp.o"
+  "CMakeFiles/fedpower_util.dir/log.cpp.o.d"
+  "CMakeFiles/fedpower_util.dir/rng.cpp.o"
+  "CMakeFiles/fedpower_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fedpower_util.dir/stats.cpp.o"
+  "CMakeFiles/fedpower_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fedpower_util.dir/table.cpp.o"
+  "CMakeFiles/fedpower_util.dir/table.cpp.o.d"
+  "libfedpower_util.a"
+  "libfedpower_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedpower_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

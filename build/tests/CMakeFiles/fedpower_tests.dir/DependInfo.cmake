@@ -1,0 +1,93 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/test_collab_policy.cpp" "tests/CMakeFiles/fedpower_tests.dir/baselines/test_collab_policy.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/baselines/test_collab_policy.cpp.o.d"
+  "/root/repo/tests/baselines/test_profit.cpp" "tests/CMakeFiles/fedpower_tests.dir/baselines/test_profit.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/baselines/test_profit.cpp.o.d"
+  "/root/repo/tests/core/test_controller.cpp" "tests/CMakeFiles/fedpower_tests.dir/core/test_controller.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/core/test_controller.cpp.o.d"
+  "/root/repo/tests/core/test_evaluate.cpp" "tests/CMakeFiles/fedpower_tests.dir/core/test_evaluate.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/core/test_evaluate.cpp.o.d"
+  "/root/repo/tests/core/test_experiment.cpp" "tests/CMakeFiles/fedpower_tests.dir/core/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/core/test_experiment.cpp.o.d"
+  "/root/repo/tests/core/test_metrics.cpp" "tests/CMakeFiles/fedpower_tests.dir/core/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/core/test_metrics.cpp.o.d"
+  "/root/repo/tests/core/test_scenario.cpp" "tests/CMakeFiles/fedpower_tests.dir/core/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/core/test_scenario.cpp.o.d"
+  "/root/repo/tests/core/test_switching.cpp" "tests/CMakeFiles/fedpower_tests.dir/core/test_switching.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/core/test_switching.cpp.o.d"
+  "/root/repo/tests/fed/test_aggregate.cpp" "tests/CMakeFiles/fedpower_tests.dir/fed/test_aggregate.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/fed/test_aggregate.cpp.o.d"
+  "/root/repo/tests/fed/test_async.cpp" "tests/CMakeFiles/fedpower_tests.dir/fed/test_async.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/fed/test_async.cpp.o.d"
+  "/root/repo/tests/fed/test_codec.cpp" "tests/CMakeFiles/fedpower_tests.dir/fed/test_codec.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/fed/test_codec.cpp.o.d"
+  "/root/repo/tests/fed/test_dp.cpp" "tests/CMakeFiles/fedpower_tests.dir/fed/test_dp.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/fed/test_dp.cpp.o.d"
+  "/root/repo/tests/fed/test_fed_properties.cpp" "tests/CMakeFiles/fedpower_tests.dir/fed/test_fed_properties.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/fed/test_fed_properties.cpp.o.d"
+  "/root/repo/tests/fed/test_federation.cpp" "tests/CMakeFiles/fedpower_tests.dir/fed/test_federation.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/fed/test_federation.cpp.o.d"
+  "/root/repo/tests/fed/test_participation.cpp" "tests/CMakeFiles/fedpower_tests.dir/fed/test_participation.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/fed/test_participation.cpp.o.d"
+  "/root/repo/tests/fed/test_personalize.cpp" "tests/CMakeFiles/fedpower_tests.dir/fed/test_personalize.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/fed/test_personalize.cpp.o.d"
+  "/root/repo/tests/fed/test_robust_aggregate.cpp" "tests/CMakeFiles/fedpower_tests.dir/fed/test_robust_aggregate.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/fed/test_robust_aggregate.cpp.o.d"
+  "/root/repo/tests/fed/test_secure_agg.cpp" "tests/CMakeFiles/fedpower_tests.dir/fed/test_secure_agg.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/fed/test_secure_agg.cpp.o.d"
+  "/root/repo/tests/fed/test_tcp_transport.cpp" "tests/CMakeFiles/fedpower_tests.dir/fed/test_tcp_transport.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/fed/test_tcp_transport.cpp.o.d"
+  "/root/repo/tests/fed/test_transport.cpp" "tests/CMakeFiles/fedpower_tests.dir/fed/test_transport.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/fed/test_transport.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/fedpower_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_learning.cpp" "tests/CMakeFiles/fedpower_tests.dir/integration/test_learning.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/integration/test_learning.cpp.o.d"
+  "/root/repo/tests/integration/test_multicore_control.cpp" "tests/CMakeFiles/fedpower_tests.dir/integration/test_multicore_control.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/integration/test_multicore_control.cpp.o.d"
+  "/root/repo/tests/integration/test_paper_claims.cpp" "tests/CMakeFiles/fedpower_tests.dir/integration/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/integration/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/integration/test_privacy_stack.cpp" "tests/CMakeFiles/fedpower_tests.dir/integration/test_privacy_stack.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/integration/test_privacy_stack.cpp.o.d"
+  "/root/repo/tests/integration/test_public_api.cpp" "tests/CMakeFiles/fedpower_tests.dir/integration/test_public_api.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/integration/test_public_api.cpp.o.d"
+  "/root/repo/tests/nn/test_activation.cpp" "tests/CMakeFiles/fedpower_tests.dir/nn/test_activation.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/nn/test_activation.cpp.o.d"
+  "/root/repo/tests/nn/test_checkpoint.cpp" "tests/CMakeFiles/fedpower_tests.dir/nn/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/nn/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/nn/test_dense.cpp" "tests/CMakeFiles/fedpower_tests.dir/nn/test_dense.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/nn/test_dense.cpp.o.d"
+  "/root/repo/tests/nn/test_gradcheck.cpp" "tests/CMakeFiles/fedpower_tests.dir/nn/test_gradcheck.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/nn/test_gradcheck.cpp.o.d"
+  "/root/repo/tests/nn/test_loss.cpp" "tests/CMakeFiles/fedpower_tests.dir/nn/test_loss.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/nn/test_loss.cpp.o.d"
+  "/root/repo/tests/nn/test_matrix.cpp" "tests/CMakeFiles/fedpower_tests.dir/nn/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/nn/test_matrix.cpp.o.d"
+  "/root/repo/tests/nn/test_mlp.cpp" "tests/CMakeFiles/fedpower_tests.dir/nn/test_mlp.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/nn/test_mlp.cpp.o.d"
+  "/root/repo/tests/nn/test_optimizer.cpp" "tests/CMakeFiles/fedpower_tests.dir/nn/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/nn/test_optimizer.cpp.o.d"
+  "/root/repo/tests/nn/test_serialize.cpp" "tests/CMakeFiles/fedpower_tests.dir/nn/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/nn/test_serialize.cpp.o.d"
+  "/root/repo/tests/nn/test_training_properties.cpp" "tests/CMakeFiles/fedpower_tests.dir/nn/test_training_properties.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/nn/test_training_properties.cpp.o.d"
+  "/root/repo/tests/rl/test_drift.cpp" "tests/CMakeFiles/fedpower_tests.dir/rl/test_drift.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/rl/test_drift.cpp.o.d"
+  "/root/repo/tests/rl/test_exploration.cpp" "tests/CMakeFiles/fedpower_tests.dir/rl/test_exploration.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/rl/test_exploration.cpp.o.d"
+  "/root/repo/tests/rl/test_neural_agent.cpp" "tests/CMakeFiles/fedpower_tests.dir/rl/test_neural_agent.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/rl/test_neural_agent.cpp.o.d"
+  "/root/repo/tests/rl/test_policy.cpp" "tests/CMakeFiles/fedpower_tests.dir/rl/test_policy.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/rl/test_policy.cpp.o.d"
+  "/root/repo/tests/rl/test_q_agent.cpp" "tests/CMakeFiles/fedpower_tests.dir/rl/test_q_agent.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/rl/test_q_agent.cpp.o.d"
+  "/root/repo/tests/rl/test_replay_buffer.cpp" "tests/CMakeFiles/fedpower_tests.dir/rl/test_replay_buffer.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/rl/test_replay_buffer.cpp.o.d"
+  "/root/repo/tests/rl/test_reward.cpp" "tests/CMakeFiles/fedpower_tests.dir/rl/test_reward.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/rl/test_reward.cpp.o.d"
+  "/root/repo/tests/rl/test_reward_sweep.cpp" "tests/CMakeFiles/fedpower_tests.dir/rl/test_reward_sweep.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/rl/test_reward_sweep.cpp.o.d"
+  "/root/repo/tests/rl/test_schedule.cpp" "tests/CMakeFiles/fedpower_tests.dir/rl/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/rl/test_schedule.cpp.o.d"
+  "/root/repo/tests/rl/test_state.cpp" "tests/CMakeFiles/fedpower_tests.dir/rl/test_state.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/rl/test_state.cpp.o.d"
+  "/root/repo/tests/rl/test_tabular.cpp" "tests/CMakeFiles/fedpower_tests.dir/rl/test_tabular.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/rl/test_tabular.cpp.o.d"
+  "/root/repo/tests/sim/test_app_properties.cpp" "tests/CMakeFiles/fedpower_tests.dir/sim/test_app_properties.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/sim/test_app_properties.cpp.o.d"
+  "/root/repo/tests/sim/test_application.cpp" "tests/CMakeFiles/fedpower_tests.dir/sim/test_application.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/sim/test_application.cpp.o.d"
+  "/root/repo/tests/sim/test_contention.cpp" "tests/CMakeFiles/fedpower_tests.dir/sim/test_contention.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/sim/test_contention.cpp.o.d"
+  "/root/repo/tests/sim/test_generator.cpp" "tests/CMakeFiles/fedpower_tests.dir/sim/test_generator.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/sim/test_generator.cpp.o.d"
+  "/root/repo/tests/sim/test_governor.cpp" "tests/CMakeFiles/fedpower_tests.dir/sim/test_governor.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/sim/test_governor.cpp.o.d"
+  "/root/repo/tests/sim/test_multicore.cpp" "tests/CMakeFiles/fedpower_tests.dir/sim/test_multicore.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/sim/test_multicore.cpp.o.d"
+  "/root/repo/tests/sim/test_perf_model.cpp" "tests/CMakeFiles/fedpower_tests.dir/sim/test_perf_model.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/sim/test_perf_model.cpp.o.d"
+  "/root/repo/tests/sim/test_power_model.cpp" "tests/CMakeFiles/fedpower_tests.dir/sim/test_power_model.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/sim/test_power_model.cpp.o.d"
+  "/root/repo/tests/sim/test_processor.cpp" "tests/CMakeFiles/fedpower_tests.dir/sim/test_processor.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/sim/test_processor.cpp.o.d"
+  "/root/repo/tests/sim/test_splash2.cpp" "tests/CMakeFiles/fedpower_tests.dir/sim/test_splash2.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/sim/test_splash2.cpp.o.d"
+  "/root/repo/tests/sim/test_thermal.cpp" "tests/CMakeFiles/fedpower_tests.dir/sim/test_thermal.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/sim/test_thermal.cpp.o.d"
+  "/root/repo/tests/sim/test_trace_io.cpp" "tests/CMakeFiles/fedpower_tests.dir/sim/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/sim/test_trace_io.cpp.o.d"
+  "/root/repo/tests/sim/test_vf_table.cpp" "tests/CMakeFiles/fedpower_tests.dir/sim/test_vf_table.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/sim/test_vf_table.cpp.o.d"
+  "/root/repo/tests/sim/test_workload.cpp" "tests/CMakeFiles/fedpower_tests.dir/sim/test_workload.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/sim/test_workload.cpp.o.d"
+  "/root/repo/tests/sim/test_workload_extra.cpp" "tests/CMakeFiles/fedpower_tests.dir/sim/test_workload_extra.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/sim/test_workload_extra.cpp.o.d"
+  "/root/repo/tests/util/test_config.cpp" "tests/CMakeFiles/fedpower_tests.dir/util/test_config.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/util/test_config.cpp.o.d"
+  "/root/repo/tests/util/test_csv.cpp" "tests/CMakeFiles/fedpower_tests.dir/util/test_csv.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/util/test_csv.cpp.o.d"
+  "/root/repo/tests/util/test_log.cpp" "tests/CMakeFiles/fedpower_tests.dir/util/test_log.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/util/test_log.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/fedpower_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/fedpower_tests.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/fedpower_tests.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/fedpower_tests.dir/util/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fedpower_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fedpower_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/fed/CMakeFiles/fedpower_fed.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/fedpower_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fedpower_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedpower_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
