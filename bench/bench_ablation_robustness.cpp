@@ -7,8 +7,13 @@
 // Setup: 5 devices on disjoint workload shards; one of them uploads an
 // adversarially scaled model every round. We compare the three aggregation
 // rules on the clean devices' evaluation reward.
+// A second failure mode rides along: client *dropout*. Real edge fleets
+// lose devices to network faults constantly; the dropout ablation below
+// injects seeded transport faults and shows the round loop aggregating
+// over the survivors (FedAvg with partial participation) instead of dying.
 #include <cstdio>
 
+#include "fed/fault_injection.hpp"
 #include "fleet.hpp"
 #include "sim/processor.hpp"
 #include "sim/splash2.hpp"
@@ -82,6 +87,60 @@ Outcome run_with(fed::AggregationMode mode) {
   return Outcome{reward.mean(), violations.mean()};
 }
 
+struct DropoutOutcome {
+  double mean_reward = 0.0;
+  std::size_t dropped_total = 0;
+  std::size_t failed_rounds = 0;
+  std::vector<double> final_global;
+};
+
+/// 5 clean devices federating over a fault-injecting transport: each
+/// transfer is lost with drop_probability; rounds aggregate over the
+/// survivors and abort (without advancing) only when nobody survives.
+DropoutOutcome run_with_dropout(double drop_probability,
+                                std::uint64_t fault_seed) {
+  const std::size_t rounds = 60;
+  core::ControllerConfig controller_config;
+  sim::ProcessorConfig processor_config;
+  const auto suite = sim::splash2_suite();
+  std::vector<std::vector<sim::AppProfile>> apps;
+  for (std::size_t d = 0; d < 5; ++d)
+    apps.push_back({suite[(2 * d) % 12], suite[(2 * d + 1) % 12]});
+
+  benchutil::Fleet fleet = benchutil::make_fleet(
+      {controller_config}, processor_config, apps, /*seed=*/42);
+
+  fed::InProcessTransport inner;
+  fed::FaultInjectionConfig fault_config;
+  fault_config.drop_probability = drop_probability;
+  fault_config.seed = fault_seed;
+  fed::FaultInjectingTransport transport(&inner, fault_config);
+  fed::FederatedAveraging server(fleet.clients(), &transport);
+  server.initialize(fleet.controllers.front()->local_parameters());
+
+  core::EvalConfig eval_config;
+  eval_config.processor = processor_config;
+  eval_config.episode_intervals = 30;
+  const core::Evaluator evaluator(controller_config, eval_config);
+
+  DropoutOutcome outcome;
+  util::RunningStats reward;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    try {
+      outcome.dropped_total += server.run_round().dropped.size();
+    } catch (const fed::QuorumError&) {
+      ++outcome.failed_rounds;  // nobody survived; retry next round
+    }
+    const auto result = evaluator.run_episode(
+        evaluator.neural_policy(server.global_model()),
+        suite[round % suite.size()], 500 + round);
+    reward.add(result.mean_reward);
+  }
+  outcome.mean_reward = reward.mean();
+  outcome.final_global = server.global_model();
+  return outcome;
+}
+
 const char* mode_name(fed::AggregationMode mode) {
   switch (mode) {
     case fed::AggregationMode::kUnweightedMean: return "mean (paper)";
@@ -111,5 +170,35 @@ int main() {
   std::printf("Plain averaging lets the attacker own the policy; the\n"
               "robust rules confine it to (at most) shifting one order\n"
               "statistic per coordinate.\n");
-  return 0;
+
+  std::printf("\n== Ablation: client dropout over a faulty transport ==\n");
+  std::printf("5 devices, 60 rounds; each transfer is lost with the given\n"
+              "probability; rounds aggregate over the survivors.\n\n");
+  util::AsciiTable dropout_table(
+      {"drop prob", "global-policy reward", "dropped clients",
+       "failed rounds"});
+  for (const double p : {0.0, 0.1, 0.3}) {
+    const DropoutOutcome o = run_with_dropout(p, /*fault_seed=*/7);
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0f%%", p * 100.0);
+    dropout_table.add_row(
+        label, {o.mean_reward, static_cast<double>(o.dropped_total),
+                static_cast<double>(o.failed_rounds)});
+  }
+  std::printf("%s\n", dropout_table.to_string().c_str());
+
+  // Determinism check: the fault schedule is a pure function of the seed,
+  // so two runs with the same seed must agree bit-for-bit.
+  const DropoutOutcome first = run_with_dropout(0.3, /*fault_seed=*/7);
+  const DropoutOutcome second = run_with_dropout(0.3, /*fault_seed=*/7);
+  const bool identical = first.dropped_total == second.dropped_total &&
+                         first.failed_rounds == second.failed_rounds &&
+                         first.final_global == second.final_global;
+  std::printf("Same-seed replay identical: %s (%zu dropped, %zu failed "
+              "rounds)\n",
+              identical ? "yes" : "NO — NONDETERMINISM BUG",
+              first.dropped_total, first.failed_rounds);
+  std::printf("Dropout costs learning speed, not liveness: the round loop\n"
+              "never dies, and the survivors keep the fleet converging.\n");
+  return identical ? 0 : 1;
 }

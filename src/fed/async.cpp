@@ -39,12 +39,25 @@ void AsyncFederation::initialize(std::vector<double> global) {
 void AsyncFederation::complete_round(std::size_t client) {
   // Train on whatever global the client last fetched, then upload.
   clients_[client]->run_local_round();
-  const auto payload = transport_->transfer(
-      Direction::kUplink,
-      Float32Codec::instance().encode(clients_[client]->local_parameters()));
-  const std::vector<double> local =
-      Float32Codec::instance().decode(payload);
-  FEDPOWER_ASSERT(local.size() == global_.size());
+  std::vector<double> local;
+  try {
+    const auto payload = transport_->transfer(
+        Direction::kUplink, Float32Codec::instance().encode(
+                                clients_[client]->local_parameters()));
+    local = Float32Codec::instance().decode(payload);
+  } catch (const TransportError&) {
+    // Update lost in flight: the client keeps training from its stale
+    // base and re-uploads at its next period.
+    ++stats_.dropouts;
+    return;
+  } catch (const std::invalid_argument&) {
+    ++stats_.dropouts;  // payload damaged in flight
+    return;
+  }
+  if (local.size() != global_.size()) {
+    ++stats_.dropouts;  // decoded to the wrong shape: treat as corrupt
+    return;
+  }
 
   const double staleness = static_cast<double>(
       stats_.server_version - base_version_[client]);
@@ -61,12 +74,20 @@ void AsyncFederation::complete_round(std::size_t client) {
   stats_.mean_staleness =
       staleness_sum_ / static_cast<double>(stats_.merges);
 
-  // Fetch the fresh global for the next local round.
-  const auto delivered = transport_->transfer(
-      Direction::kDownlink, Float32Codec::instance().encode(global_));
-  clients_[client]->receive_global(
-      Float32Codec::instance().decode(delivered));
-  base_version_[client] = stats_.server_version;
+  // Fetch the fresh global for the next local round. If the fetch faults
+  // the merge above stands; the client trains on from its stale model and
+  // its staleness keeps growing until a fetch succeeds.
+  try {
+    const auto delivered = transport_->transfer(
+        Direction::kDownlink, Float32Codec::instance().encode(global_));
+    clients_[client]->receive_global(
+        Float32Codec::instance().decode(delivered));
+    base_version_[client] = stats_.server_version;
+  } catch (const TransportError&) {
+    ++stats_.dropouts;
+  } catch (const std::invalid_argument&) {
+    ++stats_.dropouts;
+  }
 }
 
 void AsyncFederation::run_ticks(std::size_t n) {

@@ -31,6 +31,7 @@ struct AsyncConfig {
 struct AsyncStats {
   std::size_t merges = 0;            ///< uploads merged into the global
   std::size_t server_version = 0;    ///< times the global model changed
+  std::size_t dropouts = 0;          ///< client rounds lost to transport faults
   double max_staleness = 0.0;        ///< worst staleness seen
   double mean_staleness = 0.0;       ///< average staleness over merges
 };
@@ -48,7 +49,9 @@ class AsyncFederation {
 
   /// Advances the tick clock by n ticks; clients whose period divides the
   /// tick complete a round (train on their last-fetched model, upload,
-  /// get merged, fetch the fresh global).
+  /// get merged, fetch the fresh global). A client whose upload faults
+  /// loses that round (counted in AsyncStats::dropouts) and retries from
+  /// its stale base at its next period; the fleet keeps ticking.
   void run_ticks(std::size_t n);
 
   const std::vector<double>& global_model() const noexcept { return global_; }

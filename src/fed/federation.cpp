@@ -19,6 +19,7 @@ FederatedAveraging::FederatedAveraging(std::vector<FederatedClient*> clients,
   FEDPOWER_EXPECTS(!clients_.empty());
   FEDPOWER_EXPECTS(transport_ != nullptr);
   for (const auto* client : clients_) FEDPOWER_EXPECTS(client != nullptr);
+  client_transports_.assign(clients_.size(), nullptr);
 }
 
 void FederatedAveraging::initialize(std::vector<double> global) {
@@ -31,6 +32,35 @@ void FederatedAveraging::set_participation(double fraction,
   FEDPOWER_EXPECTS(fraction > 0.0 && fraction <= 1.0);
   participation_ = fraction;
   participation_rng_ = util::Rng{seed};
+}
+
+void FederatedAveraging::set_quorum(std::size_t min_survivors) {
+  FEDPOWER_EXPECTS(min_survivors >= 1 && min_survivors <= clients_.size());
+  quorum_ = min_survivors;
+}
+
+void FederatedAveraging::set_client_transport(std::size_t client,
+                                              Transport* transport) {
+  FEDPOWER_EXPECTS(client < clients_.size());
+  FEDPOWER_EXPECTS(transport != nullptr);
+  client_transports_[client] = transport;
+}
+
+Transport& FederatedAveraging::transport_for(std::size_t client) noexcept {
+  Transport* t = client_transports_[client];
+  return t != nullptr ? *t : *transport_;
+}
+
+std::size_t FederatedAveraging::total_transport_retries() const {
+  std::vector<const Transport*> seen{transport_};
+  std::size_t total = transport_->stats().retries;
+  for (const Transport* t : client_transports_) {
+    if (t == nullptr) continue;
+    if (std::find(seen.begin(), seen.end(), t) != seen.end()) continue;
+    seen.push_back(t);
+    total += t->stats().retries;
+  }
+  return total;
 }
 
 std::vector<std::size_t> FederatedAveraging::draw_participants() {
@@ -49,33 +79,64 @@ std::vector<std::size_t> FederatedAveraging::draw_participants() {
 RoundResult FederatedAveraging::run_round() {
   FEDPOWER_EXPECTS(!global_.empty());
   RoundResult result;
-  result.round = ++rounds_completed_;
+  // The counter is bumped only after aggregation: a round that throws
+  // (transport fault cascade below quorum) leaves it untouched.
+  result.round = rounds_completed_ + 1;
   result.participants = draw_participants();
+  const std::size_t retries_before = total_transport_retries();
 
   // Broadcast theta_r to every participating client (Algorithm 2 line 3).
-  // Each client receives its own transfer, as over a real network.
+  // Each client receives its own transfer, as over a real network; a
+  // client whose link faults is dropped for the round but must not abort
+  // it (FedAvg with partial participation covers the survivors).
+  std::vector<char> lost(clients_.size(), 0);
   const std::vector<std::uint8_t> broadcast = codec_->encode(global_);
   for (const std::size_t i : result.participants) {
-    const auto delivered =
-        transport_->transfer(Direction::kDownlink, broadcast);
-    result.downlink_bytes += delivered.size();
-    clients_[i]->receive_global(codec_->decode(delivered));
+    try {
+      const auto delivered =
+          transport_for(i).transfer(Direction::kDownlink, broadcast);
+      clients_[i]->receive_global(codec_->decode(delivered));
+      result.downlink_bytes += delivered.size();
+    } catch (const TransportError&) {
+      lost[i] = 1;  // unreachable device
+    } catch (const std::invalid_argument&) {
+      lost[i] = 1;  // payload damaged in flight, codec rejected it
+    }
   }
 
   // Local optimization (line 5) and upload (line 6). Aggregation is
-  // synchronous: the server waits for all participating local models.
+  // synchronous over the clients that are still reachable.
   std::vector<std::vector<double>> locals;
   std::vector<double> weights;
   locals.reserve(result.participants.size());
   for (const std::size_t i : result.participants) {
+    if (lost[i]) continue;
     clients_[i]->run_local_round();
-    const auto payload = transport_->transfer(
-        Direction::kUplink, codec_->encode(clients_[i]->local_parameters()));
-    result.uplink_bytes += payload.size();
-    locals.push_back(codec_->decode(payload));
-    weights.push_back(
-        static_cast<double>(clients_[i]->local_sample_count()));
+    try {
+      const auto payload = transport_for(i).transfer(
+          Direction::kUplink,
+          codec_->encode(clients_[i]->local_parameters()));
+      auto local = codec_->decode(payload);
+      if (local.size() != global_.size()) {
+        lost[i] = 1;  // decoded to the wrong shape: treat as corrupt
+        continue;
+      }
+      result.uplink_bytes += payload.size();
+      locals.push_back(std::move(local));
+      weights.push_back(
+          static_cast<double>(clients_[i]->local_sample_count()));
+    } catch (const TransportError&) {
+      lost[i] = 1;
+    } catch (const std::invalid_argument&) {
+      lost[i] = 1;
+    }
   }
+
+  for (const std::size_t i : result.participants)
+    if (lost[i]) result.dropped.push_back(i);
+  result.transport_retries = total_transport_retries() - retries_before;
+
+  if (locals.size() < quorum_) throw QuorumError(locals.size(), quorum_);
 
   // theta_{r+1} (line 8).
   switch (mode_) {
@@ -97,6 +158,7 @@ RoundResult FederatedAveraging::run_round() {
       break;
     }
   }
+  ++rounds_completed_;
   return result;
 }
 

@@ -14,6 +14,8 @@
 
 #include <cstddef>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "fed/aggregate.hpp"
@@ -49,6 +51,37 @@ struct RoundResult {
   /// Clients selected this round (all of them unless partial participation
   /// is configured).
   std::vector<std::size_t> participants;
+  /// Selected clients lost to transport faults (connection errors or
+  /// corrupt payloads); always a subset of participants, sorted.
+  std::vector<std::size_t> dropped;
+  /// Transport-level reconnect/retry attempts observed during the round.
+  std::size_t transport_retries = 0;
+
+  /// Clients whose local model made it into the aggregate.
+  std::size_t survivors() const noexcept {
+    return participants.size() - dropped.size();
+  }
+};
+
+/// Thrown by run_round when fewer clients than the configured quorum
+/// survive the round's transfers. The global model and round counter are
+/// left unchanged, so the caller can retry the round or abandon it.
+class QuorumError final : public std::runtime_error {
+ public:
+  QuorumError(std::size_t survivors, std::size_t required)
+      : std::runtime_error("federated round aborted: " +
+                           std::to_string(survivors) +
+                           " survivor(s), quorum requires " +
+                           std::to_string(required)),
+        survivors_(survivors),
+        required_(required) {}
+
+  std::size_t survivors() const noexcept { return survivors_; }
+  std::size_t required() const noexcept { return required_; }
+
+ private:
+  std::size_t survivors_;
+  std::size_t required_;
 };
 
 class FederatedAveraging {
@@ -69,7 +102,21 @@ class FederatedAveraging {
   /// participation (fraction = 1, the default).
   void set_participation(double fraction, std::uint64_t seed);
 
+  /// Minimum number of clients whose uploads must survive the round's
+  /// transfers; below it run_round throws QuorumError and leaves the
+  /// global model and round counter untouched. Default 1: any survivor
+  /// lets FedAvg proceed with partial participation.
+  void set_quorum(std::size_t min_survivors);
+
+  /// Routes client's transfers through its own transport (e.g. one TCP
+  /// connection per device) instead of the shared one. Non-owning.
+  void set_client_transport(std::size_t client, Transport* transport);
+
   /// Runs one full round: broadcast, parallel local training, aggregation.
+  /// A client whose downlink or uplink transfer throws TransportError (or
+  /// delivers a payload the codec rejects) is recorded in
+  /// RoundResult::dropped and excluded from the aggregate; the round
+  /// completes with the survivors as long as the quorum holds.
   RoundResult run_round();
 
   /// Runs the given number of rounds back to back.
@@ -82,14 +129,18 @@ class FederatedAveraging {
 
  private:
   std::vector<std::size_t> draw_participants();
+  Transport& transport_for(std::size_t client) noexcept;
+  std::size_t total_transport_retries() const;
 
   std::vector<FederatedClient*> clients_;
   Transport* transport_;
+  std::vector<Transport*> client_transports_;  ///< per-client overrides
   AggregationMode mode_;
   const ModelCodec* codec_;
   std::vector<double> global_;
   std::size_t rounds_completed_ = 0;
   double participation_ = 1.0;
+  std::size_t quorum_ = 1;
   util::Rng participation_rng_{0};
 };
 

@@ -1,47 +1,108 @@
 #include "fed/tcp_transport.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
-#include <stdexcept>
+#include <thread>
 
 namespace fedpower::fed {
 
 namespace {
 
+[[noreturn]] void throw_errno(const char* what, int err) {
+  throw TransportError(std::string("tcp transport: ") + what + ": " +
+                       std::strerror(err));
+}
+
+/// send() the whole buffer. MSG_NOSIGNAL turns a peer-closed connection
+/// into EPIPE (a catchable TransportError) instead of a process-killing
+/// SIGPIPE; EINTR restarts the syscall.
 void write_all(int fd, const void* data, std::size_t size) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (size > 0) {
-    const ssize_t n = ::write(fd, p, size);
-    if (n <= 0) throw std::runtime_error("tcp transport: write failed");
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw TransportError("tcp transport: send timed out");
+      throw_errno("send failed", errno);
+    }
+    if (n == 0) throw TransportError("tcp transport: send made no progress");
     p += n;
     size -= static_cast<std::size_t>(n);
   }
 }
 
+/// recv() the whole buffer; returns false on an orderly peer close at a
+/// frame boundary, throws TransportError on errors/timeouts, restarts on
+/// EINTR.
 bool read_all(int fd, void* data, std::size_t size) {
   auto* p = static_cast<std::uint8_t*>(data);
   while (size > 0) {
-    const ssize_t n = ::read(fd, p, size);
+    const ssize_t n = ::recv(fd, p, size, 0);
     if (n == 0) return false;  // orderly peer close
-    if (n < 0) throw std::runtime_error("tcp transport: read failed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw TransportError("tcp transport: read timed out");
+      throw_errno("read failed", errno);
+    }
     p += n;
     size -= static_cast<std::size_t>(n);
   }
   return true;
 }
 
-constexpr std::size_t kMaxFrameBytes = 64 * 1024 * 1024;
+void set_io_timeouts(int fd, double timeout_s) {
+  if (timeout_s <= 0.0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_s);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_s - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
 
 }  // namespace
 
+void store_u32_le(std::uint32_t v, std::uint8_t* out) noexcept {
+  out[0] = static_cast<std::uint8_t>(v & 0xff);
+  out[1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  out[2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  out[3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+}
+
+std::uint32_t load_u32_le(const std::uint8_t* in) noexcept {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+std::vector<std::uint8_t> encode_frame(
+    Direction direction, std::span<const std::uint8_t> payload) {
+  const auto frame_len = static_cast<std::uint32_t>(payload.size() + 1);
+  std::vector<std::uint8_t> frame(sizeof frame_len);
+  frame.reserve(sizeof frame_len + frame_len);
+  store_u32_le(frame_len, frame.data());
+  frame.push_back(direction == Direction::kUplink ? 0 : 1);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
 TcpReflector::TcpReflector() {
   listener_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener_ < 0) throw std::runtime_error("tcp reflector: socket failed");
+  if (listener_ < 0) throw_errno("reflector socket failed", errno);
   const int reuse = 1;
   ::setsockopt(listener_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof reuse);
   sockaddr_in addr{};
@@ -49,12 +110,12 @@ TcpReflector::TcpReflector() {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = 0;  // ephemeral
   if (::bind(listener_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
-    throw std::runtime_error("tcp reflector: bind failed");
+    throw_errno("reflector bind failed", errno);
   socklen_t len = sizeof addr;
   ::getsockname(listener_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
-  if (::listen(listener_, 8) != 0)
-    throw std::runtime_error("tcp reflector: listen failed");
+  if (::listen(listener_, 16) != 0)
+    throw_errno("reflector listen failed", errno);
   running_ = true;
   thread_ = std::thread([this] { serve(); });
 }
@@ -67,87 +128,200 @@ void TcpReflector::stop() {
   ::shutdown(listener_, SHUT_RDWR);
   ::close(listener_);
   if (thread_.joinable()) thread_.join();
+  // The accept loop has exited, so handlers_/connections_ are stable now.
+  std::vector<std::thread> handlers;
+  std::vector<int> connections;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    handlers.swap(handlers_);
+    connections.swap(connections_);
+  }
+  // Shutdown unblocks handlers parked in recv(); fds stay valid until every
+  // handler has exited, so no handler can race a reused descriptor.
+  for (const int fd : connections) ::shutdown(fd, SHUT_RDWR);
+  for (auto& handler : handlers)
+    if (handler.joinable()) handler.join();
+  for (const int fd : connections) ::close(fd);
 }
 
 void TcpReflector::serve() {
   while (running_) {
     const int conn = ::accept(listener_, nullptr, nullptr);
-    if (conn < 0) break;  // listener closed by stop()
-    // Echo frames until the client closes.
-    try {
-      for (;;) {
-        std::uint32_t frame_len = 0;
-        if (!read_all(conn, &frame_len, sizeof frame_len)) break;
-        if (frame_len > kMaxFrameBytes) break;  // protocol violation
-        std::vector<std::uint8_t> frame(frame_len);
-        if (frame_len > 0 && !read_all(conn, frame.data(), frame_len)) break;
-        write_all(conn, &frame_len, sizeof frame_len);
-        if (frame_len > 0) write_all(conn, frame.data(), frame_len);
-        ++frames_;
-      }
-    } catch (const std::runtime_error&) {
-      // Connection error: drop this client, keep serving.
+    if (conn < 0) {
+      if (!running_) break;  // listener closed by stop()
+      // Transient accept failures must not kill the server.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK)
+        continue;
+      break;  // genuinely fatal (EBADF, ENOTSOCK, ...)
     }
-    ::close(conn);
+    if (!running_ || refuse_.load()) {
+      ::close(conn);
+      continue;
+    }
+    const std::size_t index = accepted_.fetch_add(1);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    connections_.push_back(conn);
+    handlers_.emplace_back([this, conn, index] { handle(conn, index); });
   }
 }
 
-TcpTransport::TcpTransport(const std::string& host, std::uint16_t port) {
-  socket_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (socket_ < 0) throw std::runtime_error("tcp transport: socket failed");
+void TcpReflector::handle(int conn, std::size_t index) {
+  const int nodelay = 1;
+  ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
+  std::size_t served = 0;
+  try {
+    for (;;) {
+      std::uint8_t header[4];
+      if (!read_all(conn, header, sizeof header)) break;
+      const std::uint32_t frame_len = load_u32_le(header);
+      if (frame_len > kMaxFrameBytes) break;  // protocol violation
+      if (index == fault_connection_.load() &&
+          served >= fault_after_frames_.load()) {
+        // Injected fault: swallow the request and die without echoing, so
+        // the client observes a mid-exchange connection loss.
+        std::vector<std::uint8_t> sink(frame_len);
+        if (frame_len > 0) read_all(conn, sink.data(), frame_len);
+        break;
+      }
+      std::vector<std::uint8_t> echo(sizeof header + frame_len);
+      std::copy(header, header + sizeof header, echo.begin());
+      if (frame_len > 0 &&
+          !read_all(conn, echo.data() + sizeof header, frame_len))
+        break;
+      // Count before echoing: once the client has its echo in hand, the
+      // frame must already be visible in frames_served().
+      ++served;
+      ++frames_;
+      write_all(conn, echo.data(), echo.size());
+    }
+  } catch (const TransportError&) {
+    // Connection error: drop this client; other handlers keep serving.
+  }
+  // Half-close only; stop() owns the descriptor's lifetime.
+  ::shutdown(conn, SHUT_RDWR);
+}
+
+TcpTransport::TcpTransport(const std::string& host, std::uint16_t port,
+                           TcpTransportConfig config)
+    : host_(host), port_(port), config_(config) {
+  FEDPOWER_EXPECTS(config_.max_attempts >= 1);
+  FEDPOWER_EXPECTS(config_.backoff_initial_s >= 0.0);
+  FEDPOWER_EXPECTS(config_.backoff_multiplier >= 1.0);
+  connect_socket();
+}
+
+TcpTransport::~TcpTransport() { close_socket(); }
+
+void TcpTransport::close_socket() noexcept {
+  if (socket_ >= 0) {
+    ::close(socket_);
+    socket_ = -1;
+  }
+}
+
+void TcpTransport::connect_socket() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket failed", errno);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(socket_);
-    throw std::runtime_error("tcp transport: bad address " + host);
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw TransportError("tcp transport: bad address " + host_);
   }
-  if (::connect(socket_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    ::close(socket_);
-    throw std::runtime_error("tcp transport: connect failed");
+
+  // Non-blocking connect bounded by poll(): a black-holed server address
+  // fails after connect_timeout_s instead of the kernel's minutes-long
+  // default.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EINPROGRESS && errno != EINTR) {
+      const int err = errno;
+      ::close(fd);
+      throw_errno("connect failed", err);
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int timeout_ms =
+        config_.connect_timeout_s > 0.0
+            ? std::max(1, static_cast<int>(config_.connect_timeout_s * 1e3))
+            : -1;
+    int rc = 0;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc <= 0) {
+      ::close(fd);
+      throw TransportError("tcp transport: connect timed out");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof err;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    if (err != 0) {
+      ::close(fd);
+      throw_errno("connect failed", err);
+    }
   }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking for framed I/O
+
+  set_io_timeouts(fd, config_.io_timeout_s);
   const int nodelay = 1;
-  ::setsockopt(socket_, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
+  socket_ = fd;
 }
 
-TcpTransport::~TcpTransport() {
-  if (socket_ >= 0) ::close(socket_);
+std::vector<std::uint8_t> TcpTransport::exchange(
+    Direction direction, const std::vector<std::uint8_t>& frame) {
+  write_all(socket_, frame.data(), frame.size());
+
+  std::uint8_t header[4];
+  if (!read_all(socket_, header, sizeof header))
+    throw TransportError("tcp transport: peer closed");
+  const std::uint32_t echoed_len = load_u32_le(header);
+  if (echoed_len != frame.size() - sizeof header || echoed_len == 0)
+    throw TransportError("tcp transport: echo length mismatch");
+  std::vector<std::uint8_t> echoed(echoed_len);
+  if (!read_all(socket_, echoed.data(), echoed_len))
+    throw TransportError("tcp transport: peer closed mid-frame");
+  if (echoed[0] != (direction == Direction::kUplink ? 0 : 1))
+    throw TransportError("tcp transport: echo direction mismatch");
+  return {echoed.begin() + 1, echoed.end()};
 }
 
 std::vector<std::uint8_t> TcpTransport::transfer(
     Direction direction, std::vector<std::uint8_t> payload) {
   if (payload.size() + 1 > kMaxFrameBytes)
-    throw std::runtime_error("tcp transport: payload too large");
-  // Frame: u32 length of (direction byte + payload), then the bytes.
-  const auto frame_len = static_cast<std::uint32_t>(payload.size() + 1);
-  std::vector<std::uint8_t> frame;
-  frame.reserve(sizeof frame_len + frame_len);
-  frame.resize(sizeof frame_len);
-  std::memcpy(frame.data(), &frame_len, sizeof frame_len);
-  frame.push_back(direction == Direction::kUplink ? 0 : 1);
-  frame.insert(frame.end(), payload.begin(), payload.end());
-  write_all(socket_, frame.data(), frame.size());
+    throw TransportError("tcp transport: payload too large");
+  const std::vector<std::uint8_t> frame = encode_frame(direction, payload);
 
-  std::uint32_t echoed_len = 0;
-  if (!read_all(socket_, &echoed_len, sizeof echoed_len))
-    throw std::runtime_error("tcp transport: peer closed");
-  if (echoed_len != frame_len)
-    throw std::runtime_error("tcp transport: echo length mismatch");
-  std::vector<std::uint8_t> echoed(echoed_len);
-  if (!read_all(socket_, echoed.data(), echoed_len))
-    throw std::runtime_error("tcp transport: peer closed mid-frame");
-  if (echoed[0] != (direction == Direction::kUplink ? 0 : 1))
-    throw std::runtime_error("tcp transport: echo direction mismatch");
-
-  if (direction == Direction::kUplink) {
-    ++stats_.uplink_transfers;
-    stats_.uplink_bytes += payload.size();
-  } else {
-    ++stats_.downlink_transfers;
-    stats_.downlink_bytes += payload.size();
+  double backoff = config_.backoff_initial_s;
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      // A faulted exchange may leave the byte stream desynchronized, so
+      // every retry starts from a fresh connection.
+      if (socket_ < 0) connect_socket();
+      std::vector<std::uint8_t> delivered = exchange(direction, frame);
+      if (direction == Direction::kUplink) {
+        ++stats_.uplink_transfers;
+        stats_.uplink_bytes += payload.size();
+      } else {
+        ++stats_.downlink_transfers;
+        stats_.downlink_bytes += payload.size();
+      }
+      return delivered;
+    } catch (const TransportError&) {
+      close_socket();
+      if (attempt >= config_.max_attempts) throw;
+      ++stats_.retries;
+      if (backoff > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(backoff * config_.backoff_multiplier,
+                         config_.backoff_max_s);
+    }
   }
-  return {echoed.begin() + 1, echoed.end()};
 }
 
 }  // namespace fedpower::fed

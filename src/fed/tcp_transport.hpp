@@ -7,13 +7,26 @@
 // u8 direction + payload bytes; the peer echoes the frame back as the
 // delivery acknowledgement carrying the payload.
 //
-// TcpReflector is the matching peer: a minimal echo server that accepts
-// sequential connections and reflects every frame. In a production
-// deployment the aggregation server would sit behind the same framing.
+// Failure model (DESIGN.md §6): every connection-level fault — peer close,
+// EPIPE, timeout, refused reconnect — surfaces as fed::TransportError, never
+// as process death. Sends use MSG_NOSIGNAL (no SIGPIPE), reads and writes
+// retry EINTR, both directions honour SO_RCVTIMEO/SO_SNDTIMEO, and a failed
+// transfer is retried over a fresh connection with bounded exponential
+// backoff before the error propagates.
+//
+// TcpReflector is the matching peer: an echo server that serves each
+// accepted connection on its own handler thread, so N federated clients can
+// hold N live connections concurrently. In a production deployment the
+// aggregation server would sit behind the same framing. For tests the
+// reflector can deterministically kill one connection after a chosen number
+// of frames (inject_close) or refuse new connections entirely.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
+#include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,10 +35,24 @@
 
 namespace fedpower::fed {
 
+/// Serializes v into out[0..3] little-endian, independent of host order.
+void store_u32_le(std::uint32_t v, std::uint8_t* out) noexcept;
+
+/// Reads a little-endian u32 from in[0..3].
+std::uint32_t load_u32_le(const std::uint8_t* in) noexcept;
+
+/// Builds a complete wire frame: u32 LE length of (direction byte +
+/// payload), the direction byte (0 = uplink, 1 = downlink), the payload.
+std::vector<std::uint8_t> encode_frame(Direction direction,
+                                       std::span<const std::uint8_t> payload);
+
+/// Largest frame either side will accept (protocol sanity bound).
+inline constexpr std::size_t kMaxFrameBytes = 64 * 1024 * 1024;
+
 /// Minimal frame-echo TCP server bound to 127.0.0.1 on an ephemeral port.
 class TcpReflector {
  public:
-  /// Binds, listens and starts the accept thread; throws std::runtime_error
+  /// Binds, listens and starts the accept thread; throws TransportError
   /// on socket errors.
   TcpReflector();
   ~TcpReflector();
@@ -39,36 +66,96 @@ class TcpReflector {
   /// Frames echoed so far (across all connections).
   std::size_t frames_served() const noexcept { return frames_.load(); }
 
-  /// Stops accepting and joins the server thread (idempotent).
+  /// Connections accepted so far (accept order = connection index).
+  std::size_t connections_accepted() const noexcept {
+    return accepted_.load();
+  }
+
+  /// Test fault hook: the connection_index-th accepted connection echoes
+  /// exactly after_frames frames, then dies on the next incoming frame
+  /// without echoing — the client sees a mid-exchange connection loss.
+  void inject_close(std::size_t connection_index, std::size_t after_frames) {
+    fault_after_frames_.store(after_frames);
+    fault_connection_.store(connection_index);
+  }
+
+  /// Test fault hook: when true, accepted connections are closed
+  /// immediately, so every client transfer (and reconnect) fails.
+  void refuse_new_connections(bool refuse) { refuse_.store(refuse); }
+
+  /// Stops accepting, disconnects all clients and joins every server
+  /// thread (idempotent).
   void stop();
 
  private:
   void serve();
+  void handle(int conn, std::size_t index);
 
   int listener_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
+  std::atomic<bool> refuse_{false};
   std::atomic<std::size_t> frames_{0};
+  std::atomic<std::size_t> accepted_{0};
+  std::atomic<std::size_t> fault_connection_{
+      std::numeric_limits<std::size_t>::max()};
+  std::atomic<std::size_t> fault_after_frames_{0};
   std::thread thread_;
+  std::mutex mutex_;  ///< guards handlers_/connections_
+  std::vector<std::thread> handlers_;
+  std::vector<int> connections_;
 };
 
-/// Transport that frames payloads over one TCP connection. Not thread-safe
-/// (matching FederatedAveraging's single-threaded round loop).
+/// Connection management knobs for TcpTransport.
+struct TcpTransportConfig {
+  /// Wall-clock bound on establishing a connection (poll on the
+  /// non-blocking connect); <= 0 waits indefinitely.
+  double connect_timeout_s = 5.0;
+  /// Per-syscall read/write bound via SO_RCVTIMEO/SO_SNDTIMEO; <= 0
+  /// disables the timeouts.
+  double io_timeout_s = 5.0;
+  /// Total delivery tries per transfer (1 = fail on the first fault).
+  std::size_t max_attempts = 3;
+  /// Exponential backoff between retries: initial delay, growth factor
+  /// and cap.
+  double backoff_initial_s = 0.01;
+  double backoff_multiplier = 2.0;
+  double backoff_max_s = 0.5;
+};
+
+/// Transport that frames payloads over one TCP connection, reconnecting
+/// with bounded exponential backoff when the connection faults. Not
+/// thread-safe (matching FederatedAveraging's single-threaded round loop).
 class TcpTransport final : public Transport {
  public:
-  /// Connects to host:port; throws std::runtime_error on failure.
-  TcpTransport(const std::string& host, std::uint16_t port);
+  /// Connects to host:port; throws TransportError on failure.
+  TcpTransport(const std::string& host, std::uint16_t port,
+               TcpTransportConfig config = {});
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
   TcpTransport& operator=(const TcpTransport&) = delete;
 
+  /// Delivers the payload, reconnecting and retrying on connection faults
+  /// up to config.max_attempts; throws TransportError once exhausted.
   std::vector<std::uint8_t> transfer(
       Direction direction, std::vector<std::uint8_t> payload) override;
 
   const TrafficStats& stats() const noexcept override { return stats_; }
 
+  /// True while a connection is established (a failed transfer leaves the
+  /// transport disconnected until the next transfer reconnects).
+  bool connected() const noexcept { return socket_ >= 0; }
+
  private:
+  void connect_socket();
+  void close_socket() noexcept;
+  std::vector<std::uint8_t> exchange(Direction direction,
+                                     const std::vector<std::uint8_t>& frame);
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  TcpTransportConfig config_;
   int socket_ = -1;
   TrafficStats stats_;
 };

@@ -8,11 +8,22 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/assert.hpp"
 
 namespace fedpower::fed {
+
+/// Connection-level delivery failure: peer closed, timeout, exhausted
+/// reconnect attempts, or an injected fault. The federation layers catch
+/// this per client and drop that client from the round; it must never kill
+/// the process.
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 enum class Direction {
   kUplink,    ///< client -> server (local model upload)
@@ -24,6 +35,9 @@ struct TrafficStats {
   std::size_t uplink_bytes = 0;
   std::size_t downlink_transfers = 0;
   std::size_t downlink_bytes = 0;
+  /// Reconnect/retry attempts the transport made to deliver transfers
+  /// (0 for transports that cannot fail).
+  std::size_t retries = 0;
   double total_latency_s = 0.0;
 
   std::size_t total_bytes() const noexcept {

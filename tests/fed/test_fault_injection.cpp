@@ -1,0 +1,130 @@
+#include "fed/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace fedpower::fed {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::size_t n) {
+  return std::vector<std::uint8_t>(n, 0x5A);
+}
+
+TEST(FaultInjection, NoFaultsIsTransparent) {
+  InProcessTransport inner;
+  FaultInjectingTransport transport(&inner, {});
+  const auto payload = bytes(64);
+  EXPECT_EQ(transport.transfer(Direction::kUplink, payload), payload);
+  EXPECT_EQ(transport.stats().uplink_bytes, 64u);
+  EXPECT_EQ(transport.fault_stats().attempted, 1u);
+  EXPECT_EQ(transport.fault_stats().delivered, 1u);
+  EXPECT_EQ(transport.fault_stats().drops, 0u);
+}
+
+TEST(FaultInjection, CertainDropAlwaysThrowsTransportError) {
+  InProcessTransport inner;
+  FaultInjectionConfig config;
+  config.drop_probability = 1.0;
+  FaultInjectingTransport transport(&inner, config);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_THROW(transport.transfer(Direction::kUplink, bytes(8)),
+                 TransportError);
+  EXPECT_EQ(transport.fault_stats().drops, 5u);
+  EXPECT_EQ(transport.fault_stats().delivered, 0u);
+  // Dropped transfers never reach the inner transport.
+  EXPECT_EQ(inner.stats().total_transfers(), 0u);
+}
+
+TEST(FaultInjection, SameSeedSameFaultSchedule) {
+  // Determinism is the whole point: the sequence of (dropped, delivered)
+  // outcomes must be a pure function of the seed.
+  FaultInjectionConfig config;
+  config.drop_probability = 0.3;
+  config.seed = 1234;
+  const auto schedule = [&config] {
+    InProcessTransport inner;
+    FaultInjectingTransport transport(&inner, config);
+    std::vector<bool> dropped;
+    for (int i = 0; i < 200; ++i) {
+      try {
+        transport.transfer(Direction::kUplink, bytes(4));
+        dropped.push_back(false);
+      } catch (const TransportError&) {
+        dropped.push_back(true);
+      }
+    }
+    return dropped;
+  };
+  const std::vector<bool> first = schedule();
+  const std::vector<bool> second = schedule();
+  EXPECT_EQ(first, second);
+  // And the schedule actually mixes outcomes at p = 0.3.
+  EXPECT_GT(std::count(first.begin(), first.end(), true), 20);
+  EXPECT_GT(std::count(first.begin(), first.end(), false), 100);
+
+  config.seed = 5678;
+  EXPECT_NE(schedule(), first);
+}
+
+TEST(FaultInjection, TruncationDamagesThePayload) {
+  InProcessTransport inner;
+  FaultInjectionConfig config;
+  config.truncate_probability = 1.0;
+  FaultInjectingTransport transport(&inner, config);
+  const auto delivered = transport.transfer(Direction::kDownlink, bytes(64));
+  EXPECT_EQ(delivered.size(), 32u);
+  EXPECT_EQ(transport.fault_stats().truncations, 1u);
+}
+
+TEST(FaultInjection, DisconnectCausesAnOutage) {
+  InProcessTransport inner;
+  FaultInjectionConfig config;
+  config.disconnect_probability = 1.0;
+  config.outage_transfers = 2;
+  FaultInjectingTransport transport(&inner, config);
+  EXPECT_THROW(transport.transfer(Direction::kUplink, bytes(4)),
+               TransportError);  // the disconnect itself
+  EXPECT_FALSE(transport.connected());
+  EXPECT_THROW(transport.transfer(Direction::kUplink, bytes(4)),
+               TransportError);  // outage transfer 1
+  EXPECT_THROW(transport.transfer(Direction::kUplink, bytes(4)),
+               TransportError);  // outage transfer 2
+  EXPECT_TRUE(transport.connected());
+  EXPECT_EQ(transport.fault_stats().disconnects, 1u);
+  EXPECT_EQ(transport.fault_stats().outage_failures, 2u);
+  // Line healed — but with p = 1 the next transfer disconnects again.
+  EXPECT_THROW(transport.transfer(Direction::kUplink, bytes(4)),
+               TransportError);
+  EXPECT_EQ(transport.fault_stats().disconnects, 2u);
+}
+
+TEST(FaultInjection, DelayAccountsLatencyButDelivers) {
+  InProcessTransport inner;
+  FaultInjectionConfig config;
+  config.delay_probability = 1.0;
+  config.injected_delay_s = 0.25;
+  FaultInjectingTransport transport(&inner, config);
+  const auto payload = bytes(16);
+  EXPECT_EQ(transport.transfer(Direction::kUplink, payload), payload);
+  EXPECT_EQ(transport.transfer(Direction::kUplink, payload), payload);
+  EXPECT_EQ(transport.fault_stats().delays, 2u);
+  EXPECT_EQ(transport.fault_stats().delivered, 2u);
+  EXPECT_NEAR(transport.fault_stats().injected_delay_s, 0.5, 1e-12);
+}
+
+TEST(FaultInjectionDeathTest, RejectsInvalidConfig) {
+  InProcessTransport inner;
+  FaultInjectionConfig negative;
+  negative.drop_probability = -0.1;
+  EXPECT_DEATH(FaultInjectingTransport(&inner, negative), "precondition");
+  FaultInjectionConfig oversum;
+  oversum.drop_probability = 0.7;
+  oversum.truncate_probability = 0.7;
+  EXPECT_DEATH(FaultInjectingTransport(&inner, oversum), "precondition");
+  EXPECT_DEATH(FaultInjectingTransport(nullptr, {}), "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::fed

@@ -1,12 +1,48 @@
 #include "fed/tcp_transport.hpp"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "fed/federation.hpp"
 #include "nn/serialize.hpp"
 
 namespace fedpower::fed {
 namespace {
+
+/// Fast-failing transport config for fault tests: one or few attempts,
+/// millisecond backoff, sub-second timeouts.
+TcpTransportConfig fast_config(std::size_t max_attempts) {
+  TcpTransportConfig config;
+  config.max_attempts = max_attempts;
+  config.backoff_initial_s = 0.001;
+  config.backoff_max_s = 0.005;
+  config.connect_timeout_s = 2.0;
+  config.io_timeout_s = 2.0;
+  return config;
+}
+
+/// Client that adds a fixed delta to every parameter each local round.
+class Delta final : public FederatedClient {
+ public:
+  explicit Delta(double d) : d_(d) {}
+  void receive_global(std::span<const double> p) override {
+    params_.assign(p.begin(), p.end());
+  }
+  std::vector<double> local_parameters() const override { return params_; }
+  void run_local_round() override {
+    ++rounds_;
+    for (double& p : params_) p += d_;
+  }
+  int rounds() const noexcept { return rounds_; }
+
+ private:
+  double d_;
+  int rounds_ = 0;
+  std::vector<double> params_;
+};
 
 TEST(TcpTransport, EchoesPayloadThroughLoopback) {
   TcpReflector reflector;
@@ -71,22 +107,6 @@ TEST(TcpTransport, BadAddressThrows) {
 
 TEST(TcpTransport, FullFederatedRoundOverRealSockets) {
   // The whole point: FederatedAveraging runs unmodified over TCP.
-  class Delta final : public FederatedClient {
-   public:
-    explicit Delta(double d) : d_(d) {}
-    void receive_global(std::span<const double> p) override {
-      params_.assign(p.begin(), p.end());
-    }
-    std::vector<double> local_parameters() const override { return params_; }
-    void run_local_round() override {
-      for (double& p : params_) p += d_;
-    }
-
-   private:
-    double d_;
-    std::vector<double> params_;
-  };
-
   TcpReflector reflector;
   TcpTransport transport("127.0.0.1", reflector.port());
   Delta a(+1.0);
@@ -104,6 +124,146 @@ TEST(TcpReflector, StopIsIdempotent) {
   TcpReflector reflector;
   reflector.stop();
   reflector.stop();
+}
+
+TEST(TcpFraming, GoldenBytesAreLittleEndian) {
+  // Wire contract: u32 LE length of (direction byte + payload), then the
+  // direction byte, then the payload — independent of host byte order.
+  const std::vector<std::uint8_t> downlink =
+      encode_frame(Direction::kDownlink, std::vector<std::uint8_t>{0xAA,
+                                                                   0xBB});
+  EXPECT_EQ(downlink, (std::vector<std::uint8_t>{0x03, 0x00, 0x00, 0x00,
+                                                 0x01, 0xAA, 0xBB}));
+  const std::vector<std::uint8_t> empty_uplink =
+      encode_frame(Direction::kUplink, std::vector<std::uint8_t>{});
+  EXPECT_EQ(empty_uplink,
+            (std::vector<std::uint8_t>{0x01, 0x00, 0x00, 0x00, 0x00}));
+}
+
+TEST(TcpFraming, U32RoundTrip) {
+  std::uint8_t bytes[4];
+  store_u32_le(0x12345678u, bytes);
+  EXPECT_EQ(bytes[0], 0x78);
+  EXPECT_EQ(bytes[1], 0x56);
+  EXPECT_EQ(bytes[2], 0x34);
+  EXPECT_EQ(bytes[3], 0x12);
+  EXPECT_EQ(load_u32_le(bytes), 0x12345678u);
+  store_u32_le(0u, bytes);
+  EXPECT_EQ(load_u32_le(bytes), 0u);
+  store_u32_le(0xFFFFFFFFu, bytes);
+  EXPECT_EQ(load_u32_le(bytes), 0xFFFFFFFFu);
+}
+
+TEST(TcpReflector, ServesConcurrentConnections) {
+  // Two clients hold live connections at once and interleave transfers;
+  // a single-threaded accept loop would leave the second client blocked
+  // behind the first forever.
+  TcpReflector reflector;
+  TcpTransport first("127.0.0.1", reflector.port());
+  TcpTransport second("127.0.0.1", reflector.port());
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<std::uint8_t> payload{static_cast<std::uint8_t>(i)};
+    EXPECT_EQ(first.transfer(Direction::kUplink, payload), payload);
+    EXPECT_EQ(second.transfer(Direction::kDownlink, payload), payload);
+  }
+  EXPECT_EQ(reflector.frames_served(), 20u);
+  EXPECT_EQ(reflector.connections_accepted(), 2u);
+}
+
+TEST(TcpTransport, ReconnectsWithRetryAfterPeerClose) {
+  TcpReflector reflector;
+  // The first accepted connection dies after echoing one frame.
+  reflector.inject_close(0, 1);
+  TcpTransport transport("127.0.0.1", reflector.port(), fast_config(3));
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  EXPECT_EQ(transport.transfer(Direction::kUplink, payload), payload);
+  // The second transfer loses the connection mid-exchange, reconnects and
+  // succeeds on the fresh connection.
+  EXPECT_EQ(transport.transfer(Direction::kUplink, payload), payload);
+  EXPECT_EQ(transport.stats().retries, 1u);
+  EXPECT_EQ(transport.stats().uplink_transfers, 2u);
+  EXPECT_EQ(reflector.connections_accepted(), 2u);
+}
+
+TEST(TcpTransport, RetriesAreBounded) {
+  TcpReflector reflector;
+  // Every accepted connection (including reconnects) is closed on sight.
+  reflector.refuse_new_connections(true);
+  TcpTransport transport("127.0.0.1", reflector.port(), fast_config(3));
+  EXPECT_THROW(transport.transfer(Direction::kUplink, {1}), TransportError);
+  EXPECT_EQ(transport.stats().retries, 2u);  // attempts 2 and 3
+  EXPECT_FALSE(transport.connected());
+  EXPECT_EQ(transport.stats().uplink_transfers, 0u);
+}
+
+TEST(TcpTransport, ReadTimeoutSurfacesAsTransportError) {
+  // A listener that never accepts: the client's connect lands in the
+  // backlog, the send is buffered, and the echo never comes. SO_RCVTIMEO
+  // must turn that into a TransportError instead of hanging forever.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof addr),
+            0);
+  socklen_t len = sizeof addr;
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
+  ASSERT_EQ(::listen(listener, 8), 0);
+
+  TcpTransportConfig config = fast_config(1);
+  config.io_timeout_s = 0.05;
+  TcpTransport transport("127.0.0.1", ntohs(addr.sin_port), config);
+  EXPECT_THROW(transport.transfer(Direction::kUplink, {1, 2, 3}),
+               TransportError);
+  ::close(listener);
+}
+
+TEST(TcpTransport, RoundSurvivesOneClientDroppedMidRound) {
+  // End-to-end dropout: two devices on their own TCP connections; the
+  // reflector kills device 1's connection between rounds. The round must
+  // complete with the survivor, record the dropout, and the process must
+  // exit cleanly (no SIGPIPE, no uncaught exception).
+  TcpReflector reflector;
+  // Connection 1 (device b) serves its two round-1 frames, then dies.
+  reflector.inject_close(1, 2);
+  TcpTransport transport_a("127.0.0.1", reflector.port());
+  TcpTransport transport_b("127.0.0.1", reflector.port(), fast_config(1));
+
+  Delta a(+1.0);
+  Delta b(+3.0);
+  FederatedAveraging server({&a, &b}, &transport_a);
+  server.set_client_transport(1, &transport_b);
+  server.initialize(std::vector<double>(10, 0.0));
+
+  const RoundResult first = server.run_round();
+  EXPECT_TRUE(first.dropped.empty());
+  EXPECT_NEAR(server.global_model()[0], 2.0, 1e-4);  // (1 + 3) / 2
+
+  const RoundResult second = server.run_round();
+  EXPECT_EQ(second.dropped, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(second.survivors(), 1u);
+  EXPECT_EQ(b.rounds(), 1);  // unreachable in round 2: never trained
+  // Aggregation covered the survivor alone: 2 + 1.
+  EXPECT_NEAR(server.global_model()[0], 3.0, 1e-4);
+  EXPECT_EQ(server.rounds_completed(), 2u);
+}
+
+TEST(TcpTransport, DeadReflectorFailsRoundWithQuorumError) {
+  TcpReflector reflector;
+  TcpTransport transport("127.0.0.1", reflector.port(), fast_config(1));
+  Delta a(+1.0);
+  FederatedAveraging server({&a}, &transport);
+  server.initialize({0.0});
+  server.run_round();
+  reflector.stop();  // the server vanishes between rounds
+  // Every transfer now faults; with zero survivors the round aborts with
+  // a catchable QuorumError and the state stays at round 1.
+  EXPECT_THROW(server.run_round(), QuorumError);
+  EXPECT_EQ(server.rounds_completed(), 1u);
+  EXPECT_NEAR(server.global_model()[0], 1.0, 1e-4);
 }
 
 }  // namespace
