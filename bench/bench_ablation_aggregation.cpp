@@ -5,6 +5,7 @@
 // hardest Table II scenario (scenario 2, water vs ocean/radix).
 #include <cstdio>
 
+#include "core/evaluate.hpp"
 #include "core/experiment.hpp"
 #include "core/scenario.hpp"
 #include "fed/federation.hpp"

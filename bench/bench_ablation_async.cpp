@@ -8,6 +8,7 @@
 // the fast devices keep contributing, at the cost of stale updates.
 #include <cstdio>
 
+#include "core/evaluate.hpp"
 #include "fed/async.hpp"
 #include "fleet.hpp"
 #include "sim/processor.hpp"
@@ -69,7 +70,7 @@ int main() {
         42);
     fed::InProcessTransport transport;
     fed::FederatedAveraging server(fleet.clients(), &transport);
-    server.initialize(fleet.controllers.front()->local_parameters());
+    server.initialize(fleet.controller(0).local_parameters());
     const std::size_t rounds = window_ticks / 4;
     server.run(rounds);
     Outcome o = evaluate_global(server.global_model());
@@ -89,7 +90,7 @@ int main() {
     config.staleness_power = 1.0;
     fed::AsyncFederation server(fleet.clients(), {1, 1, 1, 4}, &transport,
                                 config);
-    server.initialize(fleet.controllers.front()->local_parameters());
+    server.initialize(fleet.controller(0).local_parameters());
     server.run_ticks(window_ticks);
     Outcome o = evaluate_global(server.global_model());
     o.fast_rounds = window_ticks;

@@ -5,6 +5,7 @@
 // accumulate in principle).
 #include <cstdio>
 
+#include "core/evaluate.hpp"
 #include "fleet.hpp"
 #include "core/scenario.hpp"
 #include "sim/processor.hpp"
@@ -37,7 +38,7 @@ Outcome run_with(const fed::ModelCodec& codec) {
   fed::FederatedAveraging server(fleet.clients(), &transport,
                                  fed::AggregationMode::kUnweightedMean,
                                  &codec);
-  server.initialize(fleet.controllers.front()->local_parameters());
+  server.initialize(fleet.controller(0).local_parameters());
 
   core::EvalConfig eval_config;
   eval_config.processor = processor_config;

@@ -5,6 +5,7 @@
 // representation question.
 #include <cstdio>
 
+#include "core/evaluate.hpp"
 #include "fleet.hpp"
 #include "core/scenario.hpp"
 #include "sim/processor.hpp"
@@ -34,7 +35,7 @@ Outcome run_with(rl::ExplorationMode mode) {
       {controller_config}, processor_config, apps, /*seed=*/42);
   fed::InProcessTransport transport;
   fed::FederatedAveraging server(fleet.clients(), &transport);
-  server.initialize(fleet.controllers.front()->local_parameters());
+  server.initialize(fleet.controller(0).local_parameters());
 
   core::EvalConfig eval_config;
   eval_config.processor = processor_config;

@@ -4,6 +4,7 @@
 // sampling costs in convergence and buys in traffic on a 6-device fleet.
 #include <cstdio>
 
+#include "core/evaluate.hpp"
 #include "fleet.hpp"
 #include "sim/processor.hpp"
 #include "sim/splash2.hpp"
@@ -34,7 +35,7 @@ Outcome run_with(double participation) {
       {controller_config}, processor_config, apps, /*seed=*/42);
   fed::InProcessTransport transport;
   fed::FederatedAveraging server(fleet.clients(), &transport);
-  server.initialize(fleet.controllers.front()->local_parameters());
+  server.initialize(fleet.controller(0).local_parameters());
   if (participation < 1.0) server.set_participation(participation, 7);
 
   core::EvalConfig eval_config;

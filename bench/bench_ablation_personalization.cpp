@@ -9,6 +9,7 @@
 // training is the no-collaboration reference.
 #include <cstdio>
 
+#include "core/evaluate.hpp"
 #include "fleet.hpp"
 #include "core/scenario.hpp"
 #include "fed/personalize.hpp"
@@ -82,13 +83,11 @@ int main() {
   {
     benchutil::Fleet fleet =
         benchutil::make_fleet(device_configs(), processor_config, apps, 42);
-    for (std::size_t r = 0; r < rounds; ++r)
-      for (auto& controller : fleet.controllers)
-        controller->run_local_round();
+    for (std::size_t r = 0; r < rounds; ++r) fleet.run_local_round();
     const auto s0 =
-        score(fleet.controllers[0]->local_parameters(), 0, processor_config);
+        score(fleet.controller(0).local_parameters(), 0, processor_config);
     const auto s1 =
-        score(fleet.controllers[1]->local_parameters(), 1, processor_config);
+        score(fleet.controller(1).local_parameters(), 1, processor_config);
     out.add_row("local-only",
                 {s0.reward, s0.violation, s1.reward, s1.violation});
   }
@@ -99,7 +98,7 @@ int main() {
         benchutil::make_fleet(device_configs(), processor_config, apps, 42);
     fed::InProcessTransport transport;
     fed::FederatedAveraging server(fleet.clients(), &transport);
-    server.initialize(fleet.controllers.front()->local_parameters());
+    server.initialize(fleet.controller(0).local_parameters());
     server.run(rounds);
     const auto s0 = score(server.global_model(), 0, processor_config);
     const auto s1 = score(server.global_model(), 1, processor_config);
@@ -112,20 +111,20 @@ int main() {
     benchutil::Fleet fleet =
         benchutil::make_fleet(device_configs(), processor_config, apps, 42);
     const std::size_t total =
-        fleet.controllers.front()->agent().param_count();
+        fleet.controller(0).agent().param_count();
     const std::size_t head = 32 * 15 + 15;  // the output Dense layer
     const std::vector<bool> mask = fed::shared_body_mask(total, head);
-    fed::PersonalizedClient p0(fleet.controllers[0].get(), mask);
-    fed::PersonalizedClient p1(fleet.controllers[1].get(), mask);
+    fed::PersonalizedClient p0(&fleet.controller(0), mask);
+    fed::PersonalizedClient p1(&fleet.controller(1), mask);
     fed::InProcessTransport transport;
     fed::FederatedAveraging server({&p0, &p1}, &transport);
-    server.initialize(fleet.controllers.front()->local_parameters());
+    server.initialize(fleet.controller(0).local_parameters());
     server.run(rounds);
     // Each device evaluates with its own (personalized) parameters.
     const auto s0 =
-        score(fleet.controllers[0]->local_parameters(), 0, processor_config);
+        score(fleet.controller(0).local_parameters(), 0, processor_config);
     const auto s1 =
-        score(fleet.controllers[1]->local_parameters(), 1, processor_config);
+        score(fleet.controller(1).local_parameters(), 1, processor_config);
     out.add_row("personalized (FedPer)",
                 {s0.reward, s0.violation, s1.reward, s1.violation});
   }

@@ -4,6 +4,7 @@
 // utility knee.
 #include <cstdio>
 
+#include "core/evaluate.hpp"
 #include "fed/dp.hpp"
 #include "fleet.hpp"
 #include "core/scenario.hpp"
@@ -37,15 +38,15 @@ Outcome run_with(double noise_multiplier, double clip_norm) {
   dp_config.seed = 77;
   std::vector<std::unique_ptr<fed::DpClient>> dp_clients;
   std::vector<fed::FederatedClient*> clients;
-  for (auto& controller : fleet.controllers) {
+  for (std::size_t d = 0; d < fleet.size(); ++d) {
     dp_clients.push_back(
-        std::make_unique<fed::DpClient>(controller.get(), dp_config));
+        std::make_unique<fed::DpClient>(&fleet.controller(d), dp_config));
     clients.push_back(dp_clients.back().get());
   }
 
   fed::InProcessTransport transport;
   fed::FederatedAveraging server(clients, &transport);
-  server.initialize(fleet.controllers.front()->local_parameters());
+  server.initialize(fleet.controller(0).local_parameters());
 
   core::EvalConfig eval_config;
   eval_config.processor = processor_config;

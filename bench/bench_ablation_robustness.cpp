@@ -13,6 +13,7 @@
 // over the survivors (FedAvg with partial participation) instead of dying.
 #include <cstdio>
 
+#include "core/evaluate.hpp"
 #include "fed/fault_injection.hpp"
 #include "fleet.hpp"
 #include "sim/processor.hpp"
@@ -61,13 +62,13 @@ Outcome run_with(fed::AggregationMode mode) {
 
   benchutil::Fleet fleet = benchutil::make_fleet(
       {controller_config}, processor_config, apps, /*seed=*/42);
-  ByzantineClient attacker(fleet.controllers.back().get());
+  ByzantineClient attacker(&fleet.controller(fleet.size() - 1));
   std::vector<fed::FederatedClient*> clients = fleet.clients();
   clients.back() = &attacker;  // device 4 turns hostile
 
   fed::InProcessTransport transport;
   fed::FederatedAveraging server(clients, &transport, mode);
-  server.initialize(fleet.controllers.front()->local_parameters());
+  server.initialize(fleet.controller(0).local_parameters());
 
   core::EvalConfig eval_config;
   eval_config.processor = processor_config;
@@ -116,7 +117,7 @@ DropoutOutcome run_with_dropout(double drop_probability,
   fault_config.seed = fault_seed;
   fed::FaultInjectingTransport transport(&inner, fault_config);
   fed::FederatedAveraging server(fleet.clients(), &transport);
-  server.initialize(fleet.controllers.front()->local_parameters());
+  server.initialize(fleet.controller(0).local_parameters());
 
   core::EvalConfig eval_config;
   eval_config.processor = processor_config;

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "core/evaluate.hpp"
 #include "fed/personalize.hpp"
 #include "fleet.hpp"
 #include "sim/processor.hpp"

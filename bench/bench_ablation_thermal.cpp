@@ -8,6 +8,7 @@
 // and vice versa, to measure how much the assumption costs.
 #include <cstdio>
 
+#include "core/evaluate.hpp"
 #include "core/experiment.hpp"
 #include "core/scenario.hpp"
 #include "sim/splash2.hpp"

@@ -1,56 +1,27 @@
 // Shared helper for ablation benches that need a hand-built federation
 // (custom codec, participation, per-device configs) instead of the
-// standard core::run_federated runner.
+// standard core::run_federated runner. Device construction lives in
+// runtime::FleetRuntime — this is only the bench-friendly entry point.
 #pragma once
 
-#include <memory>
 #include <vector>
 
-#include "core/controller.hpp"
-#include "core/evaluate.hpp"
-#include "fed/federation.hpp"
-#include "sim/processor.hpp"
-#include "sim/workload.hpp"
-#include "util/rng.hpp"
+#include "runtime/fleet_runtime.hpp"
 
 namespace fedpower::benchutil {
 
-struct Fleet {
-  std::vector<std::unique_ptr<sim::Processor>> processors;
-  std::vector<std::unique_ptr<sim::Workload>> workloads;
-  std::vector<std::unique_ptr<core::PowerController>> controllers;
-
-  std::vector<fed::FederatedClient*> clients() {
-    std::vector<fed::FederatedClient*> out;
-    out.reserve(controllers.size());
-    for (auto& controller : controllers) out.push_back(controller.get());
-    return out;
-  }
-};
+using Fleet = runtime::FleetRuntime;
 
 /// Builds one device per entry of device_apps; configs may hold one entry
-/// (applied to every device) or one per device.
+/// (applied to every device) or one per device. Serial by default — pass
+/// num_threads to shard local training across workers (bit-identical
+/// results either way).
 inline Fleet make_fleet(const std::vector<core::ControllerConfig>& configs,
                         const sim::ProcessorConfig& processor_config,
                         const std::vector<std::vector<sim::AppProfile>>&
                             device_apps,
-                        std::uint64_t seed) {
-  FEDPOWER_EXPECTS(configs.size() == 1 ||
-                   configs.size() == device_apps.size());
-  util::Rng root(seed);
-  Fleet fleet;
-  for (std::size_t d = 0; d < device_apps.size(); ++d) {
-    fleet.processors.push_back(
-        std::make_unique<sim::Processor>(processor_config, root.split()));
-    fleet.workloads.push_back(
-        std::make_unique<sim::RandomWorkload>(device_apps[d]));
-    fleet.processors.back()->set_workload(fleet.workloads.back().get());
-    const core::ControllerConfig& config =
-        configs.size() == 1 ? configs.front() : configs[d];
-    fleet.controllers.push_back(std::make_unique<core::PowerController>(
-        config, fleet.processors.back().get(), root.split()));
-  }
-  return fleet;
+                        std::uint64_t seed, std::size_t num_threads = 1) {
+  return Fleet(configs, processor_config, device_apps, seed, num_threads);
 }
 
 }  // namespace fedpower::benchutil

@@ -38,6 +38,9 @@ int main(int argc, char** argv) {
   config.rounds = rounds;
   config.seed = 2026;
   config.eval.episode_intervals = 30;
+  // Train the four devices on all available cores; the runtime guarantees
+  // results identical to a serial (num_threads = 1) run.
+  config.num_threads = 0;
 
   std::vector<std::vector<sim::AppProfile>> device_apps;
   std::printf("fleet:\n");

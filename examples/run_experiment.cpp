@@ -6,6 +6,7 @@
 //
 // Run without arguments to print the recognized keys and a sample config.
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "fedpower.hpp"
@@ -18,6 +19,7 @@ constexpr const char* kSampleConfig = R"(# FedPower experiment configuration
 [run]
 seed = 42
 mode = both            ; federated | local | both
+num_threads = 1        ; worker threads for local training; 0 = all cores
 
 [fed]
 rounds = 100
@@ -75,6 +77,13 @@ core::ExperimentConfig build_config(const util::Config& config) {
   core::ExperimentConfig experiment;
   experiment.seed =
       static_cast<std::uint64_t>(config.get_int("run.seed", 42));
+  // Results are bit-identical for every value (see DESIGN.md §7); this
+  // only trades wall-clock for cores.
+  const long num_threads = config.get_int("run.num_threads", 1);
+  if (num_threads < 0)
+    throw std::invalid_argument(
+        "config key 'run.num_threads': must be >= 0 (0 = all cores)");
+  experiment.num_threads = static_cast<std::size_t>(num_threads);
   experiment.rounds =
       static_cast<std::size_t>(config.get_int("fed.rounds", 100));
   auto& controller = experiment.controller;

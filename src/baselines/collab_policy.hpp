@@ -23,6 +23,8 @@ struct PolicyEntry {
   std::uint8_t best_action = 0;
   float mean_reward = 0.0F;
   std::uint32_t visits = 0;
+
+  bool operator==(const PolicyEntry&) const = default;
 };
 
 /// Serialized size of a global-policy table (for traffic accounting).

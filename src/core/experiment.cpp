@@ -1,8 +1,10 @@
 #include "core/experiment.hpp"
 
 #include "fed/federation.hpp"
+#include "runtime/fleet_runtime.hpp"
 #include "sim/workload.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace fedpower::core {
 
@@ -12,33 +14,6 @@ std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
   std::uint64_t s = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
                     (b * 0xbf58476d1ce4e5b9ULL);
   return util::splitmix64(s);
-}
-
-/// One simulated device: processor + workload + neural power controller.
-struct NeuralDevice {
-  std::unique_ptr<sim::Processor> processor;
-  std::unique_ptr<sim::Workload> workload;
-  std::unique_ptr<PowerController> controller;
-};
-
-std::vector<NeuralDevice> make_neural_devices(
-    const ExperimentConfig& config,
-    const std::vector<std::vector<sim::AppProfile>>& device_apps) {
-  FEDPOWER_EXPECTS(!device_apps.empty());
-  util::Rng root(config.seed);
-  std::vector<NeuralDevice> devices;
-  devices.reserve(device_apps.size());
-  for (const auto& apps : device_apps) {
-    NeuralDevice device;
-    device.processor =
-        std::make_unique<sim::Processor>(config.processor, root.split());
-    device.workload = std::make_unique<sim::RandomWorkload>(apps);
-    device.processor->set_workload(device.workload.get());
-    device.controller = std::make_unique<PowerController>(
-        config.controller, device.processor.get(), root.split());
-    devices.push_back(std::move(device));
-  }
-  return devices;
 }
 
 Evaluator make_evaluator(const ExperimentConfig& config) {
@@ -58,6 +33,33 @@ void record_eval(RoundCurve& curve, const EvalResult& result) {
   curve.violation_rate.push_back(result.violation_rate);
 }
 
+/// Merges one round's per-device results into the per-device curves and the
+/// fleet curve. The per-device EvalResults are produced in parallel (each
+/// episode owns its processor and stats); this merge is the serial step
+/// that combines them, RunningStats being the parallel-combinable
+/// accumulator.
+void record_round(std::vector<RoundCurve>& devices, RoundCurve& fleet,
+                  const std::vector<EvalResult>& evals) {
+  util::RunningStats reward;
+  util::RunningStats freq;
+  util::RunningStats freq_stddev;
+  util::RunningStats power;
+  util::RunningStats violations;
+  for (std::size_t d = 0; d < evals.size(); ++d) {
+    record_eval(devices[d], evals[d]);
+    reward.add(evals[d].mean_reward);
+    freq.add(evals[d].mean_freq_mhz);
+    freq_stddev.add(evals[d].stddev_freq_mhz);
+    power.add(evals[d].mean_power_w);
+    violations.add(evals[d].violation_rate);
+  }
+  fleet.reward.push_back(reward.mean());
+  fleet.mean_freq_mhz.push_back(freq.mean());
+  fleet.stddev_freq_mhz.push_back(freq_stddev.mean());
+  fleet.mean_power_w.push_back(power.mean());
+  fleet.violation_rate.push_back(violations.mean());
+}
+
 }  // namespace
 
 FederatedRunResult run_federated(
@@ -65,31 +67,34 @@ FederatedRunResult run_federated(
     const std::vector<std::vector<sim::AppProfile>>& device_apps,
     const std::vector<sim::AppProfile>& eval_apps, bool eval_each_round) {
   FEDPOWER_EXPECTS(!eval_apps.empty() || !eval_each_round);
-  std::vector<NeuralDevice> devices =
-      make_neural_devices(config, device_apps);
+  runtime::FleetRuntime fleet({config.controller}, config.processor,
+                              device_apps, config.seed, config.num_threads);
 
   fed::InProcessTransport transport;
-  std::vector<fed::FederatedClient*> clients;
-  clients.reserve(devices.size());
-  for (auto& device : devices) clients.push_back(device.controller.get());
-  fed::FederatedAveraging server(clients, &transport);
-  server.initialize(devices.front().controller->local_parameters());
+  fed::FederatedAveraging server(fleet.clients(), &transport);
+  server.set_local_executor(fleet.executor());
+  server.initialize(fleet.controller(0).local_parameters());
 
   const Evaluator evaluator = make_evaluator(config);
   FederatedRunResult result;
-  result.devices.resize(devices.size());
+  result.devices.resize(fleet.size());
 
   for (std::size_t round = 0; round < config.rounds; ++round) {
     server.run_round();
     if (!eval_each_round) continue;
     const sim::AppProfile& app = eval_apps[round % eval_apps.size()];
     result.eval_app_per_round.push_back(app.name);
-    const PolicyFn policy = evaluator.neural_policy(server.global_model());
-    for (std::size_t d = 0; d < devices.size(); ++d) {
-      const EvalResult eval =
+    // Greedy evaluation of the global policy on every device, in parallel:
+    // each task builds its own policy instance (nn::Mlp::forward caches
+    // activations, so a shared one would race) and runs an episode seeded
+    // by (round, device) — independent of the schedule.
+    std::vector<EvalResult> evals(fleet.size());
+    fleet.for_each_device([&](std::size_t d) {
+      const PolicyFn policy = evaluator.neural_policy(server.global_model());
+      evals[d] =
           evaluator.run_episode(policy, app, mix_seed(config.seed, round, d));
-      record_eval(result.devices[d], eval);
-    }
+    });
+    record_round(result.devices, result.fleet, evals);
   }
 
   result.global_params = server.global_model();
@@ -102,29 +107,30 @@ LocalRunResult run_local_only(
     const std::vector<std::vector<sim::AppProfile>>& device_apps,
     const std::vector<sim::AppProfile>& eval_apps, bool eval_each_round) {
   FEDPOWER_EXPECTS(!eval_apps.empty() || !eval_each_round);
-  std::vector<NeuralDevice> devices =
-      make_neural_devices(config, device_apps);
+  runtime::FleetRuntime fleet({config.controller}, config.processor,
+                              device_apps, config.seed, config.num_threads);
 
   const Evaluator evaluator = make_evaluator(config);
   LocalRunResult result;
-  result.devices.resize(devices.size());
+  result.devices.resize(fleet.size());
 
   for (std::size_t round = 0; round < config.rounds; ++round) {
-    for (auto& device : devices) device.controller->run_local_round();
+    fleet.run_local_round();
     if (!eval_each_round) continue;
     const sim::AppProfile& app = eval_apps[round % eval_apps.size()];
     result.eval_app_per_round.push_back(app.name);
-    for (std::size_t d = 0; d < devices.size(); ++d) {
-      const PolicyFn policy = evaluator.neural_policy(
-          devices[d].controller->local_parameters());
-      const EvalResult eval =
+    std::vector<EvalResult> evals(fleet.size());
+    fleet.for_each_device([&](std::size_t d) {
+      const PolicyFn policy =
+          evaluator.neural_policy(fleet.controller(d).local_parameters());
+      evals[d] =
           evaluator.run_episode(policy, app, mix_seed(config.seed, round, d));
-      record_eval(result.devices[d], eval);
-    }
+    });
+    record_round(result.devices, result.fleet, evals);
   }
 
-  for (auto& device : devices)
-    result.final_params.push_back(device.controller->local_parameters());
+  for (std::size_t d = 0; d < fleet.size(); ++d)
+    result.final_params.push_back(fleet.controller(d).local_parameters());
   return result;
 }
 
@@ -132,8 +138,7 @@ namespace {
 
 /// Device running the Profit+CollabPolicy baseline.
 struct TabularDevice {
-  std::unique_ptr<sim::Processor> processor;
-  std::unique_ptr<sim::Workload> workload;
+  sim::Processor* processor = nullptr;
   std::shared_ptr<baselines::CollabProfitClient> client;
   sim::TelemetrySample last_sample{};
   bool have_state = false;
@@ -173,21 +178,22 @@ CollabRunResult run_collab_profit(
     const std::vector<std::vector<sim::AppProfile>>& device_apps) {
   FEDPOWER_EXPECTS(!device_apps.empty());
   util::Rng root(config.seed);
+  // Same hardware-construction loop (and RNG split order) as the neural
+  // fleets; only the mounted brain differs.
+  std::vector<runtime::DeviceHardware> hardware =
+      runtime::make_hardware(config.processor, device_apps, root);
 
   baselines::ProfitConfig profit_config;
   profit_config.action_count = config.processor.vf_table.size();
   profit_config.p_crit_w = config.controller.p_crit_w;
 
   std::vector<TabularDevice> devices;
-  devices.reserve(device_apps.size());
-  for (const auto& apps : device_apps) {
+  devices.reserve(hardware.size());
+  for (auto& hw : hardware) {
     TabularDevice device;
-    device.processor =
-        std::make_unique<sim::Processor>(config.processor, root.split());
-    device.workload = std::make_unique<sim::RandomWorkload>(apps);
-    device.processor->set_workload(device.workload.get());
+    device.processor = hw.processor.get();
     device.client = std::make_shared<baselines::CollabProfitClient>(
-        profit_config, root.split());
+        profit_config, hw.brain_rng);
     device.f_max_mhz = config.processor.vf_table.f_max_mhz();
     device.dvfs_interval_s = config.controller.dvfs_interval_s;
     devices.push_back(std::move(device));
@@ -196,14 +202,27 @@ CollabRunResult run_collab_profit(
   baselines::CollabPolicyServer server(
       devices.front().client->local_agent().discretizer().state_count());
 
+  std::unique_ptr<runtime::ThreadPool> pool;
+  const std::size_t threads =
+      runtime::resolve_num_threads(config.num_threads);
+  if (threads > 1) pool = std::make_unique<runtime::ThreadPool>(threads);
+
   const std::size_t steps = config.controller.steps_per_round;
   for (std::size_t round = 0; round < config.rounds; ++round) {
+    // Local training in parallel (devices are disjoint), then policy
+    // export / aggregation / broadcast serially in device order.
+    const auto train = [&](std::size_t d) {
+      for (std::size_t t = 0; t < steps; ++t) devices[d].step();
+    };
+    if (pool)
+      pool->parallel_for(0, devices.size(), train);
+    else
+      for (std::size_t d = 0; d < devices.size(); ++d) train(d);
+
     std::vector<std::vector<baselines::PolicyEntry>> summaries;
     summaries.reserve(devices.size());
-    for (auto& device : devices) {
-      for (std::size_t t = 0; t < steps; ++t) device.step();
+    for (auto& device : devices)
       summaries.push_back(device.client->export_policy());
-    }
     server.aggregate(summaries);
     for (auto& device : devices)
       device.client->receive_global(server.global());

@@ -29,6 +29,10 @@ struct ExperimentConfig {
   EvalConfig eval{};
   std::size_t rounds = 100;  // R
   std::uint64_t seed = 42;
+  /// Worker threads for device training/evaluation (runtime::FleetRuntime).
+  /// 1 = serial (the default), 0 = one per hardware thread. Results are
+  /// bit-identical for every value (DESIGN.md §7).
+  std::size_t num_threads = 1;
 };
 
 /// Per-round evaluation curves of one device's policy.
@@ -42,6 +46,10 @@ struct RoundCurve {
 
 struct FederatedRunResult {
   std::vector<RoundCurve> devices;         ///< global policy, per device
+  /// Fleet-level curve: per round, the across-device mean of each
+  /// per-device value (telemetry is collected per device — possibly on
+  /// different threads — then merged through util::RunningStats).
+  RoundCurve fleet;
   std::vector<double> global_params;       ///< final global model
   fed::TrafficStats traffic;
   std::vector<std::string> eval_app_per_round;
@@ -49,6 +57,7 @@ struct FederatedRunResult {
 
 struct LocalRunResult {
   std::vector<RoundCurve> devices;          ///< each device's own policy
+  RoundCurve fleet;                         ///< across-device means per round
   std::vector<std::vector<double>> final_params;
   std::vector<std::string> eval_app_per_round;
 };

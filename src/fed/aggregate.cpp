@@ -6,42 +6,21 @@
 
 namespace fedpower::fed {
 
-std::vector<double> average_unweighted(
-    const std::vector<std::vector<double>>& models) {
-  FEDPOWER_EXPECTS(!models.empty());
-  const std::size_t dim = models.front().size();
-  std::vector<double> global(dim, 0.0);
-  for (const auto& model : models) {
-    FEDPOWER_EXPECTS(model.size() == dim);
-    for (std::size_t i = 0; i < dim; ++i) global[i] += model[i];
-  }
-  const double inv_n = 1.0 / static_cast<double>(models.size());
-  for (double& p : global) p *= inv_n;
-  return global;
-}
-
-std::vector<double> average_weighted(
-    const std::vector<std::vector<double>>& models,
-    std::span<const double> weights) {
-  FEDPOWER_EXPECTS(!models.empty());
-  FEDPOWER_EXPECTS(weights.size() == models.size());
-  const std::size_t dim = models.front().size();
-  double weight_sum = 0.0;
-  for (const double w : weights) {
-    FEDPOWER_EXPECTS(w >= 0.0);
-    weight_sum += w;
-  }
-  FEDPOWER_EXPECTS(weight_sum > 0.0);
-  std::vector<double> global(dim, 0.0);
-  for (std::size_t m = 0; m < models.size(); ++m) {
-    FEDPOWER_EXPECTS(models[m].size() == dim);
-    const double w = weights[m] / weight_sum;
-    for (std::size_t i = 0; i < dim; ++i) global[i] += w * models[m][i];
-  }
-  return global;
-}
-
 namespace {
+
+/// Runs column_fn(i) for every coordinate, sharded across the executor when
+/// the aggregation is large enough to amortize the scheduling. Each column
+/// is computed exactly as in the serial loop, so the split cannot change
+/// results.
+void for_each_column(std::size_t dim, std::size_t model_count,
+                     const util::ParallelFor& parallel_for,
+                     const std::function<void(std::size_t)>& column_fn) {
+  if (parallel_for && dim * model_count >= kParallelAggregationMinWork) {
+    parallel_for(dim, column_fn);
+    return;
+  }
+  for (std::size_t i = 0; i < dim; ++i) column_fn(i);
+}
 
 /// Collects coordinate i of every model into a scratch buffer.
 void gather_coordinate(const std::vector<std::vector<double>>& models,
@@ -52,15 +31,68 @@ void gather_coordinate(const std::vector<std::vector<double>>& models,
 
 }  // namespace
 
-std::vector<double> aggregate_median(
+std::vector<double> average_unweighted(
+    const std::vector<std::vector<double>>& models,
+    const util::ParallelFor& parallel_for) {
+  FEDPOWER_EXPECTS(!models.empty());
+  const std::size_t dim = models.front().size();
+  for (const auto& model : models) FEDPOWER_EXPECTS(model.size() == dim);
+  const double inv_n = 1.0 / static_cast<double>(models.size());
+  std::vector<double> global(dim, 0.0);
+  for_each_column(dim, models.size(), parallel_for, [&](std::size_t i) {
+    double sum = 0.0;
+    for (const auto& model : models) sum += model[i];
+    global[i] = sum * inv_n;
+  });
+  return global;
+}
+
+std::vector<double> average_unweighted(
     const std::vector<std::vector<double>>& models) {
+  return average_unweighted(models, util::ParallelFor{});
+}
+
+std::vector<double> average_weighted(
+    const std::vector<std::vector<double>>& models,
+    std::span<const double> weights, const util::ParallelFor& parallel_for) {
+  FEDPOWER_EXPECTS(!models.empty());
+  FEDPOWER_EXPECTS(weights.size() == models.size());
+  const std::size_t dim = models.front().size();
+  for (const auto& model : models) FEDPOWER_EXPECTS(model.size() == dim);
+  double weight_sum = 0.0;
+  for (const double w : weights) {
+    FEDPOWER_EXPECTS(w >= 0.0);
+    weight_sum += w;
+  }
+  FEDPOWER_EXPECTS(weight_sum > 0.0);
+  std::vector<double> normalized(weights.begin(), weights.end());
+  for (double& w : normalized) w /= weight_sum;
+  std::vector<double> global(dim, 0.0);
+  for_each_column(dim, models.size(), parallel_for, [&](std::size_t i) {
+    double sum = 0.0;
+    for (std::size_t m = 0; m < models.size(); ++m)
+      sum += normalized[m] * models[m][i];
+    global[i] = sum;
+  });
+  return global;
+}
+
+std::vector<double> average_weighted(
+    const std::vector<std::vector<double>>& models,
+    std::span<const double> weights) {
+  return average_weighted(models, weights, util::ParallelFor{});
+}
+
+std::vector<double> aggregate_median(
+    const std::vector<std::vector<double>>& models,
+    const util::ParallelFor& parallel_for) {
   FEDPOWER_EXPECTS(!models.empty());
   const std::size_t dim = models.front().size();
   for (const auto& model : models) FEDPOWER_EXPECTS(model.size() == dim);
   std::vector<double> global(dim);
-  std::vector<double> scratch;
-  scratch.reserve(models.size());
-  for (std::size_t i = 0; i < dim; ++i) {
+  for_each_column(dim, models.size(), parallel_for, [&](std::size_t i) {
+    std::vector<double> scratch;
+    scratch.reserve(models.size());
     gather_coordinate(models, i, scratch);
     const std::size_t mid = scratch.size() / 2;
     std::nth_element(scratch.begin(),
@@ -71,32 +103,44 @@ std::vector<double> aggregate_median(
     } else {
       const double upper = scratch[mid];
       const double lower = *std::max_element(
-          scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(mid));
+          scratch.begin(),
+          scratch.begin() + static_cast<std::ptrdiff_t>(mid));
       global[i] = (lower + upper) / 2.0;
     }
-  }
+  });
   return global;
 }
 
+std::vector<double> aggregate_median(
+    const std::vector<std::vector<double>>& models) {
+  return aggregate_median(models, util::ParallelFor{});
+}
+
 std::vector<double> aggregate_trimmed_mean(
-    const std::vector<std::vector<double>>& models, std::size_t trim_count) {
+    const std::vector<std::vector<double>>& models, std::size_t trim_count,
+    const util::ParallelFor& parallel_for) {
   FEDPOWER_EXPECTS(!models.empty());
   FEDPOWER_EXPECTS(2 * trim_count < models.size());
   const std::size_t dim = models.front().size();
   for (const auto& model : models) FEDPOWER_EXPECTS(model.size() == dim);
-  std::vector<double> global(dim);
-  std::vector<double> scratch;
-  scratch.reserve(models.size());
   const std::size_t keep = models.size() - 2 * trim_count;
-  for (std::size_t i = 0; i < dim; ++i) {
+  std::vector<double> global(dim);
+  for_each_column(dim, models.size(), parallel_for, [&](std::size_t i) {
+    std::vector<double> scratch;
+    scratch.reserve(models.size());
     gather_coordinate(models, i, scratch);
     std::sort(scratch.begin(), scratch.end());
     double sum = 0.0;
     for (std::size_t k = trim_count; k < trim_count + keep; ++k)
       sum += scratch[k];
     global[i] = sum / static_cast<double>(keep);
-  }
+  });
   return global;
+}
+
+std::vector<double> aggregate_trimmed_mean(
+    const std::vector<std::vector<double>>& models, std::size_t trim_count) {
+  return aggregate_trimmed_mean(models, trim_count, util::ParallelFor{});
 }
 
 }  // namespace fedpower::fed

@@ -8,6 +8,8 @@
 #include <span>
 #include <vector>
 
+#include "util/executor.hpp"
+
 namespace fedpower::fed {
 
 enum class AggregationMode {
@@ -40,5 +42,37 @@ std::vector<double> aggregate_median(
 /// 2 * trim_count < N.
 std::vector<double> aggregate_trimmed_mean(
     const std::vector<std::vector<double>>& models, std::size_t trim_count);
+
+// --- parallel reduction path ----------------------------------------------
+//
+// Every rule above is per-coordinate independent, so large aggregations
+// shard the coordinate range across an executor while each coordinate keeps
+// accumulating over the models in index order. That choice is deliberate:
+// sharding the *model* dimension (a pairwise tree over clients) would
+// change the floating-point summation order and break the bit-exactness
+// guarantee between serial and parallel runs (DESIGN.md §7). Coordinate
+// shards are disjoint, so any thread count — including the serial fallback
+// when the executor is empty or the problem is small — produces identical
+// bits.
+
+/// Coordinate count × model count below which the parallel overloads run
+/// serially (sharding overhead beats the win on small aggregations).
+inline constexpr std::size_t kParallelAggregationMinWork = 16384;
+
+std::vector<double> average_unweighted(
+    const std::vector<std::vector<double>>& models,
+    const util::ParallelFor& parallel_for);
+
+std::vector<double> average_weighted(
+    const std::vector<std::vector<double>>& models,
+    std::span<const double> weights, const util::ParallelFor& parallel_for);
+
+std::vector<double> aggregate_median(
+    const std::vector<std::vector<double>>& models,
+    const util::ParallelFor& parallel_for);
+
+std::vector<double> aggregate_trimmed_mean(
+    const std::vector<std::vector<double>>& models, std::size_t trim_count,
+    const util::ParallelFor& parallel_for);
 
 }  // namespace fedpower::fed

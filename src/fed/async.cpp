@@ -36,9 +36,13 @@ void AsyncFederation::initialize(std::vector<double> global) {
   }
 }
 
-void AsyncFederation::complete_round(std::size_t client) {
-  // Train on whatever global the client last fetched, then upload.
-  clients_[client]->run_local_round();
+void AsyncFederation::set_local_executor(util::ParallelFor executor) {
+  executor_ = std::move(executor);
+}
+
+void AsyncFederation::finish_round(std::size_t client) {
+  // The client has already trained (on whatever global it last fetched);
+  // upload its local model and merge.
   std::vector<double> local;
   try {
     const auto payload = transport_->transfer(
@@ -64,8 +68,16 @@ void AsyncFederation::complete_round(std::size_t client) {
   const double weight =
       config_.mixing_rate /
       std::pow(1.0 + staleness, config_.staleness_power);
-  for (std::size_t i = 0; i < global_.size(); ++i)
-    global_[i] = (1.0 - weight) * global_[i] + weight * local[i];
+  // Per-coordinate blend: coordinates are independent, so large models
+  // shard the loop across the executor with bit-identical results.
+  if (executor_ && global_.size() >= kParallelAggregationMinWork) {
+    executor_(global_.size(), [&](std::size_t i) {
+      global_[i] = (1.0 - weight) * global_[i] + weight * local[i];
+    });
+  } else {
+    for (std::size_t i = 0; i < global_.size(); ++i)
+      global_[i] = (1.0 - weight) * global_[i] + weight * local[i];
+  }
 
   ++stats_.merges;
   ++stats_.server_version;
@@ -94,8 +106,18 @@ void AsyncFederation::run_ticks(std::size_t n) {
   FEDPOWER_EXPECTS(!global_.empty());
   for (std::size_t t = 0; t < n; ++t) {
     ++tick_;
+    std::vector<std::size_t> due;
     for (std::size_t c = 0; c < clients_.size(); ++c)
-      if (tick_ % periods_[c] == 0) complete_round(c);
+      if (tick_ % periods_[c] == 0) due.push_back(c);
+    if (due.empty()) continue;
+    // Train every due client concurrently (barrier), then merge serially
+    // in index order. Each client trains on its last-fetched model, not on
+    // its peers' same-tick merges, so this matches the serial schedule bit
+    // for bit while the training — the expensive part — overlaps.
+    util::for_each_index(executor_, due.size(), [&](std::size_t k) {
+      clients_[due[k]]->run_local_round();
+    });
+    for (const std::size_t c : due) finish_round(c);
   }
 }
 

@@ -47,6 +47,15 @@ class AsyncFederation {
   /// Sets the initial global model; every client immediately fetches it.
   void initialize(std::vector<double> global);
 
+  /// Runs local training through the given executor: all clients whose
+  /// period divides a tick train concurrently (one client = one task, with
+  /// a barrier), then their uploads merge serially in client-index order —
+  /// exactly the order the serial path uses, so results are bit-identical
+  /// (clients train on their last-fetched model, never on the same-tick
+  /// merges of their peers). Large models also shard the merge loop across
+  /// the executor. Empty executor (the default) = serial.
+  void set_local_executor(util::ParallelFor executor);
+
   /// Advances the tick clock by n ticks; clients whose period divides the
   /// tick complete a round (train on their last-fetched model, upload,
   /// get merged, fetch the fresh global). A client whose upload faults
@@ -59,12 +68,13 @@ class AsyncFederation {
   std::size_t ticks() const noexcept { return tick_; }
 
  private:
-  void complete_round(std::size_t client);
+  void finish_round(std::size_t client);
 
   std::vector<FederatedClient*> clients_;
   std::vector<std::size_t> periods_;
   Transport* transport_;
   AsyncConfig config_;
+  util::ParallelFor executor_;  ///< empty = serial local rounds
   std::vector<double> global_;
   /// Server version each client's in-progress round is based on.
   std::vector<std::size_t> base_version_;

@@ -46,6 +46,10 @@ void FederatedAveraging::set_client_transport(std::size_t client,
   client_transports_[client] = transport;
 }
 
+void FederatedAveraging::set_local_executor(util::ParallelFor executor) {
+  executor_ = std::move(executor);
+}
+
 Transport& FederatedAveraging::transport_for(std::size_t client) noexcept {
   Transport* t = client_transports_[client];
   return t != nullptr ? *t : *transport_;
@@ -104,14 +108,27 @@ RoundResult FederatedAveraging::run_round() {
     }
   }
 
-  // Local optimization (line 5) and upload (line 6). Aggregation is
-  // synchronous over the clients that are still reachable.
+  // Local optimization (line 5): every still-reachable participant trains
+  // its steps_per_round local steps, in parallel when an executor is set
+  // (one client = one task). The barrier at the end of for_each_index is
+  // what makes the round synchronous; clients own disjoint state, so the
+  // schedule cannot change what they learn and the result matches the
+  // serial loop bit for bit.
+  std::vector<std::size_t> training;
+  training.reserve(result.participants.size());
+  for (const std::size_t i : result.participants)
+    if (!lost[i]) training.push_back(i);
+  util::for_each_index(executor_, training.size(), [&](std::size_t k) {
+    clients_[training[k]]->run_local_round();
+  });
+
+  // Upload (line 6), serial and in client-index order — transports are not
+  // thread-safe and fault-injection streams must see one deterministic
+  // transfer sequence. Aggregation is synchronous over the survivors.
   std::vector<std::vector<double>> locals;
   std::vector<double> weights;
   locals.reserve(result.participants.size());
-  for (const std::size_t i : result.participants) {
-    if (lost[i]) continue;
-    clients_[i]->run_local_round();
+  for (const std::size_t i : training) {
     try {
       const auto payload = transport_for(i).transfer(
           Direction::kUplink,
@@ -138,23 +155,24 @@ RoundResult FederatedAveraging::run_round() {
 
   if (locals.size() < quorum_) throw QuorumError(locals.size(), quorum_);
 
-  // theta_{r+1} (line 8).
+  // theta_{r+1} (line 8). Large fleets shard the coordinate reduction
+  // across the executor (bit-identical to serial; see aggregate.hpp).
   switch (mode_) {
     case AggregationMode::kUnweightedMean:
-      global_ = average_unweighted(locals);
+      global_ = average_unweighted(locals, executor_);
       break;
     case AggregationMode::kSampleWeighted:
-      global_ = average_weighted(locals, weights);
+      global_ = average_weighted(locals, weights, executor_);
       break;
     case AggregationMode::kCoordinateMedian:
-      global_ = aggregate_median(locals);
+      global_ = aggregate_median(locals, executor_);
       break;
     case AggregationMode::kTrimmedMean: {
       // ~20% trimmed; degrades to the plain mean below three clients.
       const std::size_t trim =
           locals.size() >= 3 ? std::max<std::size_t>(1, locals.size() / 5)
                              : 0;
-      global_ = aggregate_trimmed_mean(locals, trim);
+      global_ = aggregate_trimmed_mean(locals, trim, executor_);
       break;
     }
   }

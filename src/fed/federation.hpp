@@ -21,6 +21,7 @@
 #include "fed/aggregate.hpp"
 #include "fed/codec.hpp"
 #include "fed/transport.hpp"
+#include "util/executor.hpp"
 #include "util/rng.hpp"
 
 namespace fedpower::fed {
@@ -112,6 +113,17 @@ class FederatedAveraging {
   /// connection per device) instead of the shared one. Non-owning.
   void set_client_transport(std::size_t client, Transport* transport);
 
+  /// Runs the clients' local training through the given executor (e.g. a
+  /// runtime::ThreadPool), one client = one work item, with a barrier
+  /// before the uplink phase; large aggregations also shard their
+  /// coordinate reduction across it. Clients must not share mutable state
+  /// for this to be legal — PowerController fleets satisfy that (each owns
+  /// its processor, workload and split RNG), which also makes the result
+  /// bit-identical to the serial default (empty executor). Transfers always
+  /// stay serial in client-index order, so transport fault injection and
+  /// traffic accounting are schedule-independent.
+  void set_local_executor(util::ParallelFor executor);
+
   /// Runs one full round: broadcast, parallel local training, aggregation.
   /// A client whose downlink or uplink transfer throws TransportError (or
   /// delivers a payload the codec rejects) is recorded in
@@ -137,6 +149,7 @@ class FederatedAveraging {
   std::vector<Transport*> client_transports_;  ///< per-client overrides
   AggregationMode mode_;
   const ModelCodec* codec_;
+  util::ParallelFor executor_;  ///< empty = serial local rounds
   std::vector<double> global_;
   std::size_t rounds_completed_ = 0;
   double participation_ = 1.0;

@@ -9,6 +9,7 @@
 //   fed/       federated averaging: clients, server, transport
 //   baselines/ Profit [6] and CollabPolicy [11] comparison techniques
 //   core/      the power controller, evaluation and experiment runners
+//   runtime/   thread-pool fleet execution (deterministic parallel rounds)
 #pragma once
 
 #include "baselines/collab_policy.hpp"
@@ -36,6 +37,8 @@
 #include "nn/checkpoint.hpp"
 #include "nn/serialize.hpp"
 #include "rl/drift.hpp"
+#include "runtime/fleet_runtime.hpp"
+#include "runtime/thread_pool.hpp"
 #include "rl/neural_agent.hpp"
 #include "rl/neural_q_agent.hpp"
 #include "rl/q_replay_buffer.hpp"
@@ -62,6 +65,7 @@
 #include "sim/workload_extra.hpp"
 #include "util/config.hpp"
 #include "util/csv.hpp"
+#include "util/executor.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"

@@ -1,0 +1,71 @@
+#include "runtime/fleet_runtime.hpp"
+
+#include "util/assert.hpp"
+
+namespace fedpower::runtime {
+
+std::vector<DeviceHardware> make_hardware(
+    const sim::ProcessorConfig& processor_config,
+    const std::vector<std::vector<sim::AppProfile>>& device_apps,
+    util::Rng& root) {
+  FEDPOWER_EXPECTS(!device_apps.empty());
+  std::vector<DeviceHardware> hardware;
+  hardware.reserve(device_apps.size());
+  for (const auto& apps : device_apps) {
+    DeviceHardware device;
+    device.processor =
+        std::make_unique<sim::Processor>(processor_config, root.split());
+    device.workload = std::make_unique<sim::RandomWorkload>(apps);
+    device.processor->set_workload(device.workload.get());
+    device.brain_rng = root.split();
+    hardware.push_back(std::move(device));
+  }
+  return hardware;
+}
+
+FleetRuntime::FleetRuntime(
+    const std::vector<core::ControllerConfig>& configs,
+    const sim::ProcessorConfig& processor_config,
+    const std::vector<std::vector<sim::AppProfile>>& device_apps,
+    std::uint64_t seed, std::size_t num_threads) {
+  FEDPOWER_EXPECTS(configs.size() == 1 ||
+                   configs.size() == device_apps.size());
+  util::Rng root(seed);
+  hardware_ = make_hardware(processor_config, device_apps, root);
+  controllers_.reserve(hardware_.size());
+  for (std::size_t d = 0; d < hardware_.size(); ++d) {
+    const core::ControllerConfig& config =
+        configs.size() == 1 ? configs.front() : configs[d];
+    controllers_.push_back(std::make_unique<core::PowerController>(
+        config, hardware_[d].processor.get(), hardware_[d].brain_rng));
+  }
+  const std::size_t threads = resolve_num_threads(num_threads);
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+std::vector<fed::FederatedClient*> FleetRuntime::clients() {
+  std::vector<fed::FederatedClient*> out;
+  out.reserve(controllers_.size());
+  for (auto& controller : controllers_) out.push_back(controller.get());
+  return out;
+}
+
+void FleetRuntime::run_local_round() {
+  for_each_device(
+      [this](std::size_t d) { controllers_[d]->run_local_round(); });
+}
+
+void FleetRuntime::for_each_device(
+    const std::function<void(std::size_t)>& body) {
+  if (pool_) {
+    pool_->parallel_for(0, controllers_.size(), body);
+    return;
+  }
+  for (std::size_t d = 0; d < controllers_.size(); ++d) body(d);
+}
+
+util::ParallelFor FleetRuntime::executor() {
+  return pool_ ? pool_->executor() : util::ParallelFor{};
+}
+
+}  // namespace fedpower::runtime

@@ -1,0 +1,105 @@
+// The parallel fleet runtime: owns a federation's simulated devices and
+// runs their local training across a worker pool.
+//
+// Before this subsystem existed, every fleet consumer (core::run_federated,
+// core::run_collab_profit, benchutil::make_fleet, the examples) hand-rolled
+// the same device-construction loop and stepped devices one after another
+// on a single thread, so an N-device federation cost N× wall-clock even on
+// a many-core host. FleetRuntime centralizes both:
+//
+//   * construction — one canonical loop (make_hardware) with one canonical
+//     RNG split order (per device: processor stream first, controller/brain
+//     stream second), so every consumer builds bit-identical fleets;
+//   * execution — run_local_round() trains every device's steps_per_round
+//     local steps concurrently, one device = one task, with a barrier
+//     before control returns to the aggregation layer.
+//
+// Determinism (DESIGN.md §7): each device owns its processor, workload,
+// controller and split RNG; no state is shared between devices inside a
+// round, so the thread schedule cannot influence results. num_threads = 1
+// skips the pool entirely and runs the exact serial code path.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "fed/federation.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/application.hpp"
+#include "sim/processor.hpp"
+#include "sim/workload.hpp"
+#include "util/executor.hpp"
+#include "util/rng.hpp"
+
+namespace fedpower::runtime {
+
+/// One device's simulated hardware plus the RNG stream reserved for
+/// whatever decision-making "brain" is mounted on it (a PowerController, a
+/// tabular baseline client, ...). The split order — processor first, brain
+/// second — is the repo-wide canonical order; keeping it here is what lets
+/// neural and baseline fleets share one construction loop without
+/// perturbing each other's random streams.
+struct DeviceHardware {
+  std::unique_ptr<sim::Processor> processor;
+  std::unique_ptr<sim::Workload> workload;
+  util::Rng brain_rng{0};
+};
+
+/// Builds one processor + RandomWorkload per entry of device_apps, drawing
+/// per-device streams from root in the canonical order.
+std::vector<DeviceHardware> make_hardware(
+    const sim::ProcessorConfig& processor_config,
+    const std::vector<std::vector<sim::AppProfile>>& device_apps,
+    util::Rng& root);
+
+class FleetRuntime {
+ public:
+  /// Builds one neural device (processor + workload + PowerController) per
+  /// entry of device_apps. configs may hold one entry (applied to every
+  /// device) or one per device. num_threads: 1 = serial (no pool), 0 = one
+  /// worker per hardware thread, else taken literally.
+  FleetRuntime(const std::vector<core::ControllerConfig>& configs,
+               const sim::ProcessorConfig& processor_config,
+               const std::vector<std::vector<sim::AppProfile>>& device_apps,
+               std::uint64_t seed, std::size_t num_threads = 1);
+
+  std::size_t size() const noexcept { return controllers_.size(); }
+  std::size_t num_threads() const noexcept {
+    return pool_ ? pool_->size() : 1;
+  }
+
+  core::PowerController& controller(std::size_t device) {
+    return *controllers_[device];
+  }
+  const core::PowerController& controller(std::size_t device) const {
+    return *controllers_[device];
+  }
+  sim::Processor& processor(std::size_t device) {
+    return *hardware_[device].processor;
+  }
+
+  /// The controllers as federated clients, index-aligned with the devices.
+  std::vector<fed::FederatedClient*> clients();
+
+  /// Runs every device's local round (steps_per_round training steps)
+  /// concurrently; returns after all devices finished (barrier).
+  void run_local_round();
+
+  /// Runs body(device) for every device across the pool (barrier), serially
+  /// when num_threads is 1. Bodies must touch only their device's state.
+  void for_each_device(const std::function<void(std::size_t)>& body);
+
+  /// Executor handle for the aggregation layers (FederatedAveraging /
+  /// AsyncFederation). Empty when the runtime is serial, which makes those
+  /// layers fall back to their plain loops.
+  util::ParallelFor executor();
+
+ private:
+  std::vector<DeviceHardware> hardware_;
+  std::vector<std::unique_ptr<core::PowerController>> controllers_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when num_threads == 1
+};
+
+}  // namespace fedpower::runtime

@@ -1,0 +1,126 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "util/assert.hpp"
+
+namespace fedpower::runtime {
+
+std::size_t resolve_num_threads(std::size_t requested) noexcept {
+  if (requested != 0) return std::min(requested, kMaxThreads);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  FEDPOWER_EXPECTS(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  FEDPOWER_EXPECTS(task != nullptr);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    FEDPOWER_EXPECTS(!stopping_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error;
+    std::swap(error, first_error_);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  FEDPOWER_EXPECTS(begin <= end);
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+  // One worker (or one item): the exact serial code path, on this thread.
+  if (workers_.size() <= 1 || n == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  // Contiguous chunks, a few per worker so uneven items still balance.
+  // Completion is tracked per call, independent of submit()/wait() users.
+  struct ForState {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+  };
+  const std::size_t target_chunks = std::min(n, workers_.size() * 4);
+  const std::size_t chunk_size = (n + target_chunks - 1) / target_chunks;
+  const std::size_t chunk_count = (n + chunk_size - 1) / chunk_size;
+  auto state = std::make_shared<ForState>();
+  state->remaining = chunk_count;
+
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    submit([state, lo, hi, &body] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        if (state->error == nullptr) state->error = std::current_exception();
+      }
+      const std::lock_guard<std::mutex> lock(state->mutex);
+      if (--state->remaining == 0) state->done.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&state] { return state->remaining == 0; });
+  if (state->error != nullptr) std::rethrow_exception(state->error);
+}
+
+}  // namespace fedpower::runtime

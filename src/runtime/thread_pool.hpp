@@ -1,0 +1,89 @@
+// Fixed-size worker pool for the fleet runtime.
+//
+// Design goals (DESIGN.md §7):
+//   * deterministic clients: the pool schedules, it never sequences — all
+//     work handed to it must touch disjoint state, so any interleaving
+//     yields bit-identical results;
+//   * exceptions cross the pool boundary: the first exception thrown by a
+//     task or a parallel_for body is rethrown to the caller at the next
+//     barrier (wait() / parallel_for() return), never swallowed and never
+//     terminate()d on a worker;
+//   * a single-threaded pool degenerates gracefully: parallel_for with one
+//     worker runs the plain serial loop inline on the calling thread, which
+//     is the exact pre-parallelism code path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/executor.hpp"
+
+namespace fedpower::runtime {
+
+/// Upper bound on worker threads: more than this is always a config error
+/// (e.g. a negative value wrapped through size_t), not a real machine.
+inline constexpr std::size_t kMaxThreads = 512;
+
+/// Resolves a num_threads config value: 0 means "one per hardware thread"
+/// (at least 1), anything else is taken literally up to kMaxThreads.
+std::size_t resolve_num_threads(std::size_t requested) noexcept;
+
+class ThreadPool {
+ public:
+  /// Spawns num_threads workers (>= 1). With exactly one worker the pool
+  /// still queues submitted tasks FIFO, but parallel_for short-circuits to
+  /// an inline loop.
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding tasks, then joins the workers. Pending exceptions
+  /// that were never observed through wait() are dropped (destructors must
+  /// not throw).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task. Tasks are started in submission order (completion
+  /// order is up to the scheduler once more than one worker runs).
+  void submit(std::function<void()> task);
+
+  /// Barrier: blocks until every submitted task has finished, then rethrows
+  /// the first exception any of them raised (clearing it).
+  void wait();
+
+  /// Runs body(begin) ... body(end - 1) across the workers in contiguous
+  /// chunks and blocks until all calls finished; rethrows the first body
+  /// exception. Independent of other submit()ted work. Bodies must touch
+  /// disjoint state per index.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// This pool as the library-wide executor contract.
+  util::ParallelFor executor() {
+    return [this](std::size_t n, const std::function<void(std::size_t)>& f) {
+      parallel_for(0, n, f);
+    };
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + currently running tasks
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fedpower::runtime

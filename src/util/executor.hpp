@@ -1,0 +1,35 @@
+// The parallel-execution contract shared by the library layers.
+//
+// A ParallelFor runs body(0) ... body(n-1), in any order and possibly
+// concurrently, and returns only once every call has finished (it is a
+// barrier). Implementations must rethrow the first exception a body raised
+// after the barrier. An empty (default-constructed) ParallelFor means
+// "serial": callers fall back to a plain loop, which is the exact
+// pre-parallelism code path.
+//
+// This lives in util (the bottom layer) so that fed can accept an executor
+// without depending on runtime, where the ThreadPool that produces real
+// parallel executors is implemented. Determinism contract: callers may only
+// hand a ParallelFor work items that touch disjoint state, so the schedule
+// cannot influence results (DESIGN.md §7).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace fedpower::util {
+
+using ParallelFor =
+    std::function<void(std::size_t, const std::function<void(std::size_t)>&)>;
+
+/// Runs the body through the executor when one is set, else inline.
+inline void for_each_index(const ParallelFor& parallel_for, std::size_t n,
+                           const std::function<void(std::size_t)>& body) {
+  if (parallel_for) {
+    parallel_for(n, body);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) body(i);
+}
+
+}  // namespace fedpower::util

@@ -99,8 +99,8 @@ TEST_P(AggregationProperties, TranslationEquivariant) {
 
 INSTANTIATE_TEST_SUITE_P(
     Rules, AggregationProperties,
-    ::testing::Values(&average_unweighted, &median_wrapper,
-                      &trimmed_wrapper),
+    ::testing::Values(static_cast<Aggregator>(&average_unweighted),
+                      &median_wrapper, &trimmed_wrapper),
     [](const ::testing::TestParamInfo<Aggregator>& param_info) {
       switch (param_info.index) {
         case 0: return std::string("mean");

@@ -1,0 +1,111 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace fedpower::runtime {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i)
+    pool.submit([&order, i] { order.push_back(i); });
+  pool.wait();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error is cleared once observed; the pool stays usable.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversExactRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(0, hits.size(),
+                    [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRespectsBeginOffset) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(20);
+  pool.parallel_for(5, 15, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), (i >= 5 && i < 15) ? 1 : 0) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(7, 7, [&touched](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForRethrowsBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 64,
+                                 [](std::size_t i) {
+                                   if (i == 13)
+                                     throw std::invalid_argument("body");
+                                 }),
+               std::invalid_argument);
+  // Pool survives for further use.
+  std::vector<std::atomic<int>> hits(8);
+  pool.parallel_for(0, hits.size(),
+                    [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerParallelForRunsInline) {
+  // With one worker parallel_for is the serial loop on the calling thread.
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  pool.parallel_for(0, seen.size(), [&seen](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ParallelForSumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<double> out(1000);
+  pool.parallel_for(0, out.size(), [&out](std::size_t i) {
+    out[i] = static_cast<double>(i) * 0.5;
+  });
+  double expected = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    expected += static_cast<double>(i) * 0.5;
+  EXPECT_DOUBLE_EQ(std::accumulate(out.begin(), out.end(), 0.0), expected);
+}
+
+TEST(ThreadPool, ResolveNumThreads) {
+  EXPECT_EQ(resolve_num_threads(3), 3u);
+  EXPECT_EQ(resolve_num_threads(1), 1u);
+  EXPECT_GE(resolve_num_threads(0), 1u);  // auto: at least one
+}
+
+}  // namespace
+}  // namespace fedpower::runtime
