@@ -49,11 +49,13 @@ Run run_at(std::size_t threads,
 
   Run run;
   run.threads = threads;
+  // lint: nondet-ok(wall-clock timing of the run, never fed into a seed)
   const auto start = std::chrono::steady_clock::now();
   const core::FederatedRunResult result =
       core::run_federated(config, apps, {}, /*eval_each_round=*/false);
   run.seconds = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - start)
+                    std::chrono::steady_clock::now() -  // lint: nondet-ok(timing)
+                    start)
                     .count();
   run.final_weights = result.global_params;
   return run;

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# One-shot gate: build + full test suite + fedpower-lint + (when clang-tidy
+# is installed) the curated clang-tidy build. Exits nonzero on any finding.
+#
+#   scripts/check.sh            # default preset
+#   scripts/check.sh --asan     # additionally run the asan preset suite
+#   scripts/check.sh --tsan     # additionally run the tsan preset suite
+set -euo pipefail
+
+cd "$(dirname "${BASH_SOURCE[0]}")/.."
+
+run_sanitizer_presets=()
+for arg in "$@"; do
+  case "$arg" in
+    --asan) run_sanitizer_presets+=(asan) ;;
+    --tsan) run_sanitizer_presets+=(tsan) ;;
+    *) echo "usage: scripts/check.sh [--asan] [--tsan]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== configure + build (preset: default) =="
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+
+echo "== ctest (includes the lint label) =="
+ctest --preset default
+
+echo "== fedpower-lint (explicit, for visible output) =="
+./build/tools/fedpower_lint --root . src bench tests examples
+
+for preset in "${run_sanitizer_presets[@]}"; do
+  echo "== sanitizer suite (preset: ${preset}) =="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  ctest --preset "$preset"
+done
+
+if command -v clang-tidy > /dev/null 2>&1; then
+  echo "== clang-tidy (preset: tidy, .clang-tidy curated checks) =="
+  cmake --preset tidy
+  cmake --build --preset tidy -j "$(nproc)"
+else
+  echo "== clang-tidy not installed — skipping tidy preset =="
+fi
+
+echo "== all checks passed =="

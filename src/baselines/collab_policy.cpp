@@ -23,7 +23,7 @@ void CollabPolicyServer::aggregate(
   for (std::size_t s = 0; s < global_.size(); ++s) {
     std::uint64_t visits = 0;
     double reward_sum = 0.0;
-    double best_reward = 0.0;
+    float best_reward = 0.0F;
     std::uint8_t best_action = 0;
     bool any = false;
     for (const auto& local : locals) {

@@ -23,12 +23,13 @@ struct CurveSummary {
 };
 
 /// Summarizes one curve; tail = 0 uses every round.
-CurveSummary summarize(const RoundCurve& curve, std::size_t tail = 0);
+[[nodiscard]] CurveSummary summarize(const RoundCurve& curve,
+                                     std::size_t tail = 0);
 
 /// Element-wise mean summary over several devices' curves (all curves must
 /// have equal length; at least one device).
-CurveSummary summarize(const std::vector<RoundCurve>& devices,
-                       std::size_t tail = 0);
+[[nodiscard]] CurveSummary summarize(const std::vector<RoundCurve>& devices,
+                                     std::size_t tail = 0);
 
 /// Aggregate of per-application completion metrics (Table III shape).
 struct AppMetricsSummary {
@@ -38,7 +39,8 @@ struct AppMetricsSummary {
   double max_exec_time_s = 0.0;
 };
 
-AppMetricsSummary summarize(const std::vector<AppMetrics>& metrics);
+[[nodiscard]] AppMetricsSummary summarize(
+    const std::vector<AppMetrics>& metrics);
 
 /// Per-app relative comparison of two techniques (baseline vs candidate),
 /// matched by application name. Percentages follow util::percent_change
@@ -51,8 +53,9 @@ struct AppComparison {
 };
 
 /// Requires both vectors to cover the same apps in the same order.
-std::vector<AppComparison> compare(const std::vector<AppMetrics>& baseline,
-                                   const std::vector<AppMetrics>& candidate);
+[[nodiscard]] std::vector<AppComparison> compare(
+    const std::vector<AppMetrics>& baseline,
+    const std::vector<AppMetrics>& candidate);
 
 /// Headline over a comparison: mean and best-case changes (the Fig. 5
 /// aggregates).
@@ -63,6 +66,7 @@ struct ComparisonSummary {
   double best_ips_change_pct = 0.0;        ///< most positive
 };
 
-ComparisonSummary summarize(const std::vector<AppComparison>& comparisons);
+[[nodiscard]] ComparisonSummary summarize(
+    const std::vector<AppComparison>& comparisons);
 
 }  // namespace fedpower::core

@@ -21,12 +21,12 @@ enum class AggregationMode {
 
 /// Element-wise mean of equally sized parameter vectors.
 /// Requires at least one vector; all must have the same length.
-std::vector<double> average_unweighted(
+[[nodiscard]] std::vector<double> average_unweighted(
     const std::vector<std::vector<double>>& models);
 
 /// Element-wise weighted mean; weights must be non-negative with a positive
 /// sum and match the number of models.
-std::vector<double> average_weighted(
+[[nodiscard]] std::vector<double> average_weighted(
     const std::vector<std::vector<double>>& models,
     std::span<const double> weights);
 
@@ -34,13 +34,13 @@ std::vector<double> average_weighted(
 /// (Byzantine) client models — the paper's §I threat model includes
 /// malicious participants, and plain averaging lets a single one steer the
 /// global policy anywhere.
-std::vector<double> aggregate_median(
+[[nodiscard]] std::vector<double> aggregate_median(
     const std::vector<std::vector<double>>& models);
 
 /// Per-coordinate trimmed mean: drops the trim_count smallest and largest
 /// values in every coordinate before averaging. Requires
 /// 2 * trim_count < N.
-std::vector<double> aggregate_trimmed_mean(
+[[nodiscard]] std::vector<double> aggregate_trimmed_mean(
     const std::vector<std::vector<double>>& models, std::size_t trim_count);
 
 // --- parallel reduction path ----------------------------------------------
@@ -59,19 +59,19 @@ std::vector<double> aggregate_trimmed_mean(
 /// serially (sharding overhead beats the win on small aggregations).
 inline constexpr std::size_t kParallelAggregationMinWork = 16384;
 
-std::vector<double> average_unweighted(
+[[nodiscard]] std::vector<double> average_unweighted(
     const std::vector<std::vector<double>>& models,
     const util::ParallelFor& parallel_for);
 
-std::vector<double> average_weighted(
+[[nodiscard]] std::vector<double> average_weighted(
     const std::vector<std::vector<double>>& models,
     std::span<const double> weights, const util::ParallelFor& parallel_for);
 
-std::vector<double> aggregate_median(
+[[nodiscard]] std::vector<double> aggregate_median(
     const std::vector<std::vector<double>>& models,
     const util::ParallelFor& parallel_for);
 
-std::vector<double> aggregate_trimmed_mean(
+[[nodiscard]] std::vector<double> aggregate_trimmed_mean(
     const std::vector<std::vector<double>>& models, std::size_t trim_count,
     const util::ParallelFor& parallel_for);
 

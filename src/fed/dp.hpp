@@ -26,11 +26,11 @@ struct DpConfig {
 };
 
 /// L2 norm of a vector.
-double l2_norm(std::span<const double> v) noexcept;
+[[nodiscard]] double l2_norm(std::span<const double> v) noexcept;
 
 /// Returns v scaled so its L2 norm is at most max_norm (identity if it
 /// already is). Requires max_norm > 0.
-std::vector<double> clip_to_norm(std::vector<double> v, double max_norm);
+[[nodiscard]] std::vector<double> clip_to_norm(std::vector<double> v, double max_norm);
 
 class DpClient final : public FederatedClient {
  public:
@@ -46,9 +46,9 @@ class DpClient final : public FederatedClient {
 
   /// L2 norm of the most recent raw (pre-clip) update; 0 before the first
   /// upload. Exposed for tests and calibration of clip_norm.
-  double last_update_norm() const noexcept { return last_update_norm_; }
+  [[nodiscard]] double last_update_norm() const noexcept { return last_update_norm_; }
 
-  const DpConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const DpConfig& config() const noexcept { return config_; }
 
  private:
   FederatedClient* inner_;

@@ -27,12 +27,12 @@ class Matrix {
   Matrix(std::initializer_list<std::initializer_list<double>> rows);
 
   /// A 1 x n row vector from a flat list of values.
-  static Matrix row_vector(const std::vector<double>& values);
+  [[nodiscard]] static Matrix row_vector(const std::vector<double>& values);
 
-  std::size_t rows() const noexcept { return rows_; }
-  std::size_t cols() const noexcept { return cols_; }
-  std::size_t size() const noexcept { return data_.size(); }
-  bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
 
   double& operator()(std::size_t r, std::size_t c) noexcept {
     FEDPOWER_EXPECTS(r < rows_ && c < cols_);
@@ -47,15 +47,15 @@ class Matrix {
   const std::vector<double>& data() const noexcept { return data_; }
 
   /// Matrix product this(r x k) * other(k x c).
-  Matrix matmul(const Matrix& other) const;
+  [[nodiscard]] Matrix matmul(const Matrix& other) const;
 
   /// this^T * other, without materializing the transpose.
-  Matrix transpose_matmul(const Matrix& other) const;
+  [[nodiscard]] Matrix transpose_matmul(const Matrix& other) const;
 
   /// this * other^T, without materializing the transpose.
-  Matrix matmul_transpose(const Matrix& other) const;
+  [[nodiscard]] Matrix matmul_transpose(const Matrix& other) const;
 
-  Matrix transpose() const;
+  [[nodiscard]] Matrix transpose() const;
 
   /// Elementwise operations; shapes must match.
   Matrix& operator+=(const Matrix& other);
@@ -67,15 +67,15 @@ class Matrix {
   friend Matrix operator*(double s, Matrix a) { return a *= s; }
 
   /// Elementwise (Hadamard) product.
-  Matrix hadamard(const Matrix& other) const;
+  [[nodiscard]] Matrix hadamard(const Matrix& other) const;
 
   /// Adds a 1 x cols row vector to every row (bias broadcast).
   void add_row_broadcast(const Matrix& row);
 
   /// Sum over rows, yielding a 1 x cols vector (bias gradient).
-  Matrix column_sums() const;
+  [[nodiscard]] Matrix column_sums() const;
 
-  bool same_shape(const Matrix& other) const noexcept {
+  [[nodiscard]] bool same_shape(const Matrix& other) const noexcept {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
 

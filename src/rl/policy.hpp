@@ -12,21 +12,22 @@ namespace fedpower::rl {
 /// Boltzmann distribution over values with temperature tau (paper Eq. 3).
 /// Numerically stabilized by subtracting the maximum before exponentiation.
 /// Requires tau > 0 and a non-empty value vector.
-std::vector<double> softmax(std::span<const double> values, double tau);
+[[nodiscard]] std::vector<double> softmax(std::span<const double> values,
+                                          double tau);
 
 /// Samples an action from the softmax distribution.
-std::size_t sample_softmax(std::span<const double> values, double tau,
-                           util::Rng& rng);
+[[nodiscard]] std::size_t sample_softmax(std::span<const double> values,
+                                         double tau, util::Rng& rng);
 
 /// Index of the largest value (first on ties).
-std::size_t argmax(std::span<const double> values);
+[[nodiscard]] std::size_t argmax(std::span<const double> values);
 
 /// With probability epsilon a uniform random action, otherwise the argmax.
-std::size_t epsilon_greedy(std::span<const double> values, double epsilon,
-                           util::Rng& rng);
+[[nodiscard]] std::size_t epsilon_greedy(std::span<const double> values,
+                                         double epsilon, util::Rng& rng);
 
 /// Shannon entropy (nats) of a probability vector; used to test that the
 /// temperature schedule moves the policy from explore to exploit.
-double entropy(std::span<const double> probabilities);
+[[nodiscard]] double entropy(std::span<const double> probabilities);
 
 }  // namespace fedpower::rl

@@ -28,15 +28,15 @@ class PaperReward final : public RewardFunction {
   PaperReward(double p_crit_w, double k_offset_w, double f_max_mhz);
 
   /// Eq. (4) evaluated on raw frequency/power values.
-  double evaluate(double freq_mhz, double power_w) const noexcept;
+  [[nodiscard]] double evaluate(double freq_mhz, double power_w) const noexcept;
 
   double operator()(const sim::TelemetrySample& next) const override {
     return evaluate(next.freq_mhz, next.power_w);
   }
 
-  double p_crit() const noexcept { return p_crit_; }
-  double k_offset() const noexcept { return k_offset_; }
-  double f_max_mhz() const noexcept { return f_max_mhz_; }
+  [[nodiscard]] double p_crit() const noexcept { return p_crit_; }
+  [[nodiscard]] double k_offset() const noexcept { return k_offset_; }
+  [[nodiscard]] double f_max_mhz() const noexcept { return f_max_mhz_; }
 
  private:
   double p_crit_;
@@ -50,13 +50,13 @@ class ProfitReward final : public RewardFunction {
   /// agent learns on (the paper reports IPS in units of 1e6).
   explicit ProfitReward(double p_crit_w, double ips_scale = 1e9);
 
-  double evaluate(double ips, double power_w) const noexcept;
+  [[nodiscard]] double evaluate(double ips, double power_w) const noexcept;
 
   double operator()(const sim::TelemetrySample& next) const override {
     return evaluate(next.ips, next.power_w);
   }
 
-  double p_crit() const noexcept { return p_crit_; }
+  [[nodiscard]] double p_crit() const noexcept { return p_crit_; }
 
  private:
   double p_crit_;

@@ -14,14 +14,14 @@ class ExponentialDecay {
  public:
   ExponentialDecay(double initial, double decay, double floor);
 
-  double value(std::size_t step) const noexcept;
+  [[nodiscard]] double value(std::size_t step) const noexcept;
 
-  double initial() const noexcept { return initial_; }
-  double decay() const noexcept { return decay_; }
-  double floor() const noexcept { return floor_; }
+  [[nodiscard]] double initial() const noexcept { return initial_; }
+  [[nodiscard]] double decay() const noexcept { return decay_; }
+  [[nodiscard]] double floor() const noexcept { return floor_; }
 
   /// First step at which the schedule reaches its floor (useful in tests).
-  std::size_t steps_to_floor() const noexcept;
+  [[nodiscard]] std::size_t steps_to_floor() const noexcept;
 
  private:
   double initial_;
@@ -34,7 +34,7 @@ class LinearDecay {
  public:
   LinearDecay(double initial, double slope, double floor);
 
-  double value(std::size_t step) const noexcept;
+  [[nodiscard]] double value(std::size_t step) const noexcept;
 
  private:
   double initial_;

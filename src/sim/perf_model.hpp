@@ -51,10 +51,13 @@ class PerfModel {
   /// Closed-form performance of a phase at the given core frequency.
   /// latency_scale multiplies the effective DRAM latency (> 1 under
   /// memory contention from other cores; 1 = uncontended).
-  PhasePerf evaluate(const PhaseProfile& phase, double freq_mhz,
-                     double latency_scale = 1.0) const;
+  [[nodiscard]] PhasePerf evaluate(const PhaseProfile& phase,
+                                   double freq_mhz,
+                                   double latency_scale = 1.0) const;
 
-  const PerfModelParams& params() const noexcept { return params_; }
+  [[nodiscard]] const PerfModelParams& params() const noexcept {
+    return params_;
+  }
 
  private:
   PerfModelParams params_;

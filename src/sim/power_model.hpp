@@ -26,17 +26,20 @@ class PowerModel {
 
   /// Total power for a phase running at the given operating point, with the
   /// stall fraction taken from the performance model.
-  double total(const VfLevel& level, const PhaseProfile& phase,
-               double stall_fraction) const;
+  [[nodiscard]] double total(const VfLevel& level, const PhaseProfile& phase,
+                             double stall_fraction) const;
 
   /// Dynamic component only.
-  double dynamic(const VfLevel& level, const PhaseProfile& phase,
-                 double stall_fraction) const;
+  [[nodiscard]] double dynamic(const VfLevel& level,
+                               const PhaseProfile& phase,
+                               double stall_fraction) const;
 
   /// Static (leakage) component only.
-  double leakage(const VfLevel& level) const;
+  [[nodiscard]] double leakage(const VfLevel& level) const;
 
-  const PowerModelParams& params() const noexcept { return params_; }
+  [[nodiscard]] const PowerModelParams& params() const noexcept {
+    return params_;
+  }
 
  private:
   PowerModelParams params_;

@@ -26,29 +26,30 @@ class VfTable {
   explicit VfTable(std::vector<VfLevel> levels);
 
   /// The Jetson Nano CPU table used throughout the paper's evaluation.
-  static VfTable jetson_nano();
+  [[nodiscard]] static VfTable jetson_nano();
 
   /// Synthetic table with k equally spaced levels (for tests/ablations).
-  static VfTable linear(std::size_t k, double f_min_mhz, double f_max_mhz,
-                        double v_min, double v_max);
+  [[nodiscard]] static VfTable linear(std::size_t k, double f_min_mhz,
+                                      double f_max_mhz, double v_min,
+                                      double v_max);
 
-  std::size_t size() const noexcept { return levels_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return levels_.size(); }
 
-  const VfLevel& level(std::size_t index) const {
+  [[nodiscard]] const VfLevel& level(std::size_t index) const {
     FEDPOWER_EXPECTS(index < levels_.size());
     return levels_[index];
   }
 
-  const VfLevel& min_level() const noexcept { return levels_.front(); }
-  const VfLevel& max_level() const noexcept { return levels_.back(); }
+  [[nodiscard]] const VfLevel& min_level() const noexcept { return levels_.front(); }
+  [[nodiscard]] const VfLevel& max_level() const noexcept { return levels_.back(); }
 
-  double f_max_mhz() const noexcept { return levels_.back().freq_mhz; }
-  double f_min_mhz() const noexcept { return levels_.front().freq_mhz; }
+  [[nodiscard]] double f_max_mhz() const noexcept { return levels_.back().freq_mhz; }
+  [[nodiscard]] double f_min_mhz() const noexcept { return levels_.front().freq_mhz; }
 
   /// Index of the level whose frequency is closest to the given value.
-  std::size_t nearest_level(double freq_mhz) const noexcept;
+  [[nodiscard]] std::size_t nearest_level(double freq_mhz) const noexcept;
 
-  const std::vector<VfLevel>& levels() const noexcept { return levels_; }
+  [[nodiscard]] const std::vector<VfLevel>& levels() const noexcept { return levels_; }
 
  private:
   std::vector<VfLevel> levels_;

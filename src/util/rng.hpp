@@ -29,7 +29,7 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
 
   /// Raw 64 random bits.
-  std::uint64_t next_u64() noexcept;
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
 
   // UniformRandomBitGenerator interface (usable with <algorithm>/<random>).
   static constexpr result_type min() noexcept { return 0; }
@@ -37,29 +37,29 @@ class Rng {
   result_type operator()() noexcept { return next_u64(); }
 
   /// Uniform double in [0, 1).
-  double uniform() noexcept;
+  [[nodiscard]] double uniform() noexcept;
 
   /// Uniform double in [lo, hi). Requires lo <= hi.
-  double uniform(double lo, double hi) noexcept;
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
 
   /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's method.
-  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept;
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
-  int uniform_int(int lo, int hi) noexcept;
+  [[nodiscard]] int uniform_int(int lo, int hi) noexcept;
 
   /// Standard normal via Box–Muller (no cached spare: keeps state minimal).
-  double normal() noexcept;
+  [[nodiscard]] double normal() noexcept;
 
   /// Normal with the given mean and standard deviation (stddev >= 0).
-  double normal(double mean, double stddev) noexcept;
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
 
   /// Bernoulli trial with probability p of returning true.
-  bool bernoulli(double p) noexcept;
+  [[nodiscard]] bool bernoulli(double p) noexcept;
 
   /// Samples an index from an unnormalized non-negative weight vector.
   /// Requires at least one strictly positive weight.
-  std::size_t categorical(const std::vector<double>& weights) noexcept;
+  [[nodiscard]] std::size_t categorical(const std::vector<double>& weights) noexcept;
 
   /// Fisher–Yates shuffle of an arbitrary random-access container.
   template <typename Container>
@@ -72,7 +72,7 @@ class Rng {
   }
 
   /// Derives an independent child generator (for per-device streams).
-  Rng split() noexcept;
+  [[nodiscard]] Rng split() noexcept;
 
  private:
   std::array<std::uint64_t, 4> state_{};

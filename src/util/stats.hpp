@@ -17,26 +17,26 @@ class RunningStats {
 
   void reset() noexcept { *this = RunningStats{}; }
 
-  std::size_t count() const noexcept { return n_; }
-  bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
 
   /// Mean of the samples; 0 when empty.
-  double mean() const noexcept { return mean_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
 
   /// Unbiased sample variance; 0 for fewer than two samples.
-  double variance() const noexcept;
+  [[nodiscard]] double variance() const noexcept;
 
   /// Sample standard deviation; 0 for fewer than two samples.
-  double stddev() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
 
   /// Smallest sample seen; +inf when empty.
-  double min() const noexcept { return min_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
 
   /// Largest sample seen; -inf when empty.
-  double max() const noexcept { return max_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
 
   /// Sum of all samples.
-  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
 
  private:
   std::size_t n_ = 0;
@@ -47,21 +47,21 @@ class RunningStats {
 };
 
 /// Mean of a vector; 0 when empty.
-double mean(const std::vector<double>& xs) noexcept;
+[[nodiscard]] double mean(const std::vector<double>& xs) noexcept;
 
 /// Sample standard deviation of a vector; 0 for fewer than two samples.
-double stddev(const std::vector<double>& xs) noexcept;
+[[nodiscard]] double stddev(const std::vector<double>& xs) noexcept;
 
 /// Linear-interpolation percentile, p in [0, 100]. Requires non-empty input.
 /// The input is copied and sorted internally.
-double percentile(std::vector<double> xs, double p);
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
 
 /// Simple moving average with the given window (>= 1); output length matches
 /// the input, with a growing window at the start.
-std::vector<double> moving_average(const std::vector<double>& xs,
-                                   std::size_t window);
+[[nodiscard]] std::vector<double> moving_average(
+    const std::vector<double>& xs, std::size_t window);
 
 /// Relative change (b - a) / |a| expressed in percent; 0 when a == 0.
-double percent_change(double a, double b) noexcept;
+[[nodiscard]] double percent_change(double a, double b) noexcept;
 
 }  // namespace fedpower::util

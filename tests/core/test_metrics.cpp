@@ -93,9 +93,9 @@ TEST(CompareDeathTest, RejectsMismatchedApps) {
 }
 
 TEST(CurveSummaryDeathTest, RejectsEmptyInputs) {
-  EXPECT_DEATH(summarize(RoundCurve{}), "precondition");
-  EXPECT_DEATH(summarize(std::vector<RoundCurve>{}), "precondition");
-  EXPECT_DEATH(summarize(std::vector<AppMetrics>{}), "precondition");
+  EXPECT_DEATH((void)summarize(RoundCurve{}), "precondition");
+  EXPECT_DEATH((void)summarize(std::vector<RoundCurve>{}), "precondition");
+  EXPECT_DEATH((void)summarize(std::vector<AppMetrics>{}), "precondition");
 }
 
 }  // namespace

@@ -1,0 +1,30 @@
+// Fixture: every L1 nondeterminism source the linter must catch.
+// Scanned by the `lint.fixtures` ctest via --must-fail; never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fedpower::core {
+
+unsigned bad_seed() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // L1: srand + time
+  return static_cast<unsigned>(rand());              // L1: rand
+}
+
+std::uint64_t bad_entropy() {
+  std::random_device entropy;  // L1: random_device
+  const auto tick = std::chrono::steady_clock::now();  // L1: ::now()
+  return entropy() + static_cast<std::uint64_t>(
+                         tick.time_since_epoch().count());
+}
+
+const char* bad_env() {
+  return std::getenv("FEDPOWER_SEED");  // L1: getenv
+}
+
+unsigned waived_seed() {
+  return static_cast<unsigned>(rand());  // lint: nondet-ok(fixture waiver)
+}
+
+}  // namespace fedpower::core

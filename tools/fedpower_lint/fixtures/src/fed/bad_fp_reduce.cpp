@@ -1,0 +1,22 @@
+// Fixture: L3 — FP reductions in src/fed must use the documented
+// model-order loops, not std::accumulate/std::reduce. Never compiled.
+#include <numeric>
+#include <vector>
+
+namespace fedpower::fed {
+
+double bad_mean(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /  // L3
+         static_cast<double>(xs.size());
+}
+
+double bad_total(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end());  // L3
+}
+
+double waived_total(const std::vector<double>& xs) {
+  // lint: fpreduce-ok(fixture waiver — integer counts, order-exact)
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+}  // namespace fedpower::fed

@@ -1,0 +1,29 @@
+// Fixture: L2 — iterating a hash container in a determinism-critical dir
+// (src/fed). Bucket order would feed platform-dependent order into the
+// model-order FP accumulation. Never compiled, only linted.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fedpower::fed {
+
+double bad_sum(const std::unordered_map<std::string, double>& by_client) {
+  double sum = 0.0;
+  for (const auto& entry : by_client) sum += entry.second;  // L2
+  return sum;
+}
+
+struct Registry {
+  std::unordered_map<int, double> weights_;
+  double first() const { return weights_.begin()->second; }  // L2
+  double lookup(int k) const { return weights_.at(k); }      // ok: no iter
+};
+
+double waived_sum(const Registry& r) {
+  double sum = 0.0;
+  // lint: ordered-ok(fixture waiver — order-insensitive count)
+  for (const auto& entry : r.weights_) sum += entry.second;
+  return sum;
+}
+
+}  // namespace fedpower::fed

@@ -1,0 +1,11 @@
+// Fixture: L4 — header with no include guard and a namespace-scope
+// using-namespace. Never compiled, only linted.
+#include <vector>
+
+using namespace std;  // L4: using-namespace (and no guard above: L4)
+
+namespace fedpower::nn {
+
+inline vector<double> zeros(size_t n) { return vector<double>(n, 0.0); }
+
+}  // namespace fedpower::nn

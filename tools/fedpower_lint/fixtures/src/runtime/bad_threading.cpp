@@ -1,0 +1,28 @@
+// Fixture: L5 — detached threads and raw mutex lock()/unlock() in src/.
+// Never compiled, only linted.
+#include <mutex>
+#include <thread>
+
+namespace fedpower::runtime {
+
+struct Worker {
+  std::mutex mutex_;
+  int value_ = 0;
+
+  void bad_detach() {
+    std::thread([] {}).detach();  // L5: thread-detach
+  }
+
+  void bad_lock() {
+    mutex_.lock();  // L5: raw-mutex-lock
+    ++value_;
+    mutex_.unlock();  // L5: raw-mutex-lock
+  }
+
+  void good_lock() {
+    const std::lock_guard<std::mutex> lock(mutex_);  // ok: guard type
+    ++value_;
+  }
+};
+
+}  // namespace fedpower::runtime

@@ -1,0 +1,610 @@
+#include "fedpower_lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedpower::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Path helpers
+// ---------------------------------------------------------------------------
+
+std::string normalize_path(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  while (path.rfind("./", 0) == 0) path.erase(0, 2);
+  return path;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool under_dir(const std::string& path, const std::string& dir) {
+  return path.size() > dir.size() + 1 &&
+         path.compare(0, dir.size(), dir) == 0 && path[dir.size()] == '/';
+}
+
+bool under_any(const std::string& path, const std::vector<std::string>& dirs) {
+  return std::any_of(dirs.begin(), dirs.end(), [&](const std::string& d) {
+    return under_dir(path, d);
+  });
+}
+
+bool is_header_path(const std::string& path) {
+  return ends_with(path, ".hpp") || ends_with(path, ".h") ||
+         ends_with(path, ".hh");
+}
+
+bool is_source_path(const std::string& path) {
+  return is_header_path(path) || ends_with(path, ".cpp") ||
+         ends_with(path, ".cc");
+}
+
+// ---------------------------------------------------------------------------
+// Scrubber: blank comments and string/char literals (including raw strings)
+// so rules only ever match real code, and collect waiver comments per line.
+// ---------------------------------------------------------------------------
+
+struct Scrubbed {
+  std::vector<std::string> code;  ///< literal/comment-free text, per line
+  /// Waiver keys ("nondet", "ordered", ...) active on each line.
+  std::vector<std::vector<std::string>> waivers;
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Extracts every `lint: <key>-ok(<non-empty reason>)` from a comment.
+void parse_waivers(const std::string& comment, std::vector<std::string>* out) {
+  std::size_t pos = 0;
+  while ((pos = comment.find("lint:", pos)) != std::string::npos) {
+    pos += 5;
+    while (pos < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[pos])) != 0)
+      ++pos;
+    std::string key;
+    while (pos < comment.size() &&
+           (is_ident_char(comment[pos]) || comment[pos] == '-'))
+      key += comment[pos++];
+    if (!ends_with(key, "-ok") || pos >= comment.size() || comment[pos] != '(')
+      continue;
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string::npos || close == pos + 1) continue;  // no reason
+    out->push_back(key.substr(0, key.size() - 3));
+    pos = close + 1;
+  }
+}
+
+Scrubbed scrub(const std::string& text) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  Scrubbed out;
+  State state = State::kCode;
+  std::string code_line;
+  std::string comment;
+  std::string raw_delim;
+  std::size_t comment_start_line = 0;
+  std::size_t line = 0;
+
+  auto ensure_line = [&](std::size_t idx) {
+    if (out.waivers.size() <= idx) out.waivers.resize(idx + 1);
+  };
+  auto flush_comment = [&] {
+    ensure_line(comment_start_line);
+    parse_waivers(comment, &out.waivers[comment_start_line]);
+    comment.clear();
+  };
+  auto newline = [&] {
+    out.code.push_back(code_line);
+    code_line.clear();
+    if (state == State::kLineComment) {
+      flush_comment();
+      state = State::kCode;
+    }
+    ++line;
+  };
+
+  const std::size_t n = text.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      newline();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kLineComment;
+          comment_start_line = line;
+          ++i;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          state = State::kBlockComment;
+          comment_start_line = line;
+          ++i;
+        } else if (c == '"') {
+          // Raw string literal? The '"' directly follows a lone 'R' (or an
+          // encoding-prefixed uR/u8R/LR, whose prefix chars are ident chars
+          // too — treating those as raw is equally correct).
+          if (!code_line.empty() && code_line.back() == 'R' &&
+              (code_line.size() < 2 ||
+               !is_ident_char(code_line[code_line.size() - 2]))) {
+            raw_delim.clear();
+            ++i;
+            while (i < n && text[i] != '(' && text[i] != '\n')
+              raw_delim += text[i++];
+            state = State::kRaw;
+          } else {
+            state = State::kString;
+          }
+          code_line += ' ';
+        } else if (c == '\'') {
+          // Digit separators (1'000'000) are code, not char literals.
+          if (!code_line.empty() &&
+              std::isdigit(static_cast<unsigned char>(code_line.back())) != 0) {
+            code_line += ' ';
+          } else {
+            state = State::kChar;
+            code_line += ' ';
+          }
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+          flush_comment();
+        } else {
+          comment += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n)
+          ++i;
+        else if (c == '"')
+          state = State::kCode;
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n)
+          ++i;
+        else if (c == '\'')
+          state = State::kCode;
+        break;
+      case State::kRaw:
+        if (c == ')' && i + raw_delim.size() + 1 < n &&
+            text.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            text[i + 1 + raw_delim.size()] == '"') {
+          i += raw_delim.size() + 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  newline();  // final line (also flushes a trailing // comment)
+  if (state == State::kBlockComment) flush_comment();
+  ensure_line(out.code.empty() ? 0 : out.code.size() - 1);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer: identifiers/numbers vs punctuation, with "::" and "->" fused.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  bool ident = false;
+  std::string text;
+};
+
+std::vector<Token> lex(const std::string& code_line) {
+  std::vector<Token> out;
+  const std::size_t n = code_line.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const char c = code_line[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+    } else if (is_ident_char(c)) {
+      std::string word;
+      while (i < n && is_ident_char(code_line[i])) word += code_line[i++];
+      out.push_back({true, word});
+    } else if (c == ':' && i + 1 < n && code_line[i + 1] == ':') {
+      out.push_back({false, "::"});
+      i += 2;
+    } else if (c == '-' && i + 1 < n && code_line[i + 1] == '>') {
+      out.push_back({false, "->"});
+      i += 2;
+    } else {
+      out.push_back({false, std::string(1, c)});
+      ++i;
+    }
+  }
+  return out;
+}
+
+bool tok_is(const std::vector<Token>& toks, std::size_t i, const char* text) {
+  return i < toks.size() && toks[i].text == text;
+}
+
+bool prev_is_member_access(const std::vector<Token>& toks, std::size_t i) {
+  return i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine
+// ---------------------------------------------------------------------------
+
+class Checker {
+ public:
+  Checker(std::string path, const Scrubbed& src, const Options& options)
+      : path_(std::move(path)), src_(src), options_(options) {
+    for (const auto& line : src_.code) tokens_.push_back(lex(line));
+  }
+
+  std::vector<Finding> run() {
+    const bool header = is_header_path(path_);
+    if (std::find(options_.nondet_allowlist.begin(),
+                  options_.nondet_allowlist.end(),
+                  path_) == options_.nondet_allowlist.end())
+      check_nondet();
+    if (under_any(path_, options_.determinism_dirs)) check_unordered_iter();
+    if (under_any(path_, options_.fp_reduce_dirs)) check_fp_reduce();
+    if (header) check_header_hygiene();
+    if (under_any(path_, options_.thread_rule_dirs)) check_threading();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+              });
+    return std::move(findings_);
+  }
+
+ private:
+  bool waived(std::size_t line_idx, const char* key) const {
+    auto has = [&](std::size_t li) {
+      if (li >= src_.waivers.size()) return false;
+      const auto& w = src_.waivers[li];
+      return std::find(w.begin(), w.end(), key) != w.end();
+    };
+    if (has(line_idx)) return true;
+    // A waiver on a comment-only line covers the line below it (for code
+    // lines too long to carry the comment inline).
+    return line_idx > 0 && has(line_idx - 1) &&
+           line_idx - 1 < tokens_.size() && tokens_[line_idx - 1].empty();
+  }
+
+  void report(std::size_t line_idx, const char* waiver_key, std::string rule,
+              std::string message) {
+    if (waived(line_idx, waiver_key)) return;
+    findings_.push_back(
+        {path_, line_idx + 1, std::move(rule), std::move(message)});
+  }
+
+  // L1: nondeterminism sources. Everything stochastic must flow through
+  // explicitly seeded util::Rng streams; wall-clock reads are only legal in
+  // allowlisted files or under a nondet-ok waiver (e.g. bench timing).
+  void check_nondet() {
+    for (std::size_t li = 0; li < tokens_.size(); ++li) {
+      const auto& toks = tokens_[li];
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!toks[i].ident) continue;
+        const std::string& t = toks[i].text;
+        const bool call = tok_is(toks, i + 1, "(");
+        const bool member = prev_is_member_access(toks, i);
+        std::string what;
+        if (t == "srand" && call && !member)
+          what = "srand() seeds global libc state";
+        else if (t == "rand" && call && !member)
+          what = "rand() draws from hidden global state";
+        else if (t == "random_device")
+          what = "std::random_device is entropy-seeded";
+        else if (t == "time" && call && !member)
+          what = "time() makes results depend on the wall clock";
+        else if (t == "getenv" && call && !member)
+          what = "getenv() makes behaviour depend on the environment";
+        else if (t == "now" && call && i > 0 && toks[i - 1].text == "::")
+          what = "clock ::now() reads the wall clock";
+        if (!what.empty())
+          report(li, "nondet", "L1-nondet",
+                 what + "; use a seeded util::Rng stream or waive with "
+                        "`// lint: nondet-ok(reason)`");
+      }
+    }
+  }
+
+  // L2: iteration over hash containers on determinism-critical paths.
+  // Declaring/looking up in an unordered container is fine — iterating one
+  // feeds platform-dependent bucket order into FP accumulation (§8).
+  void check_unordered_iter() {
+    const std::set<std::string> unordered_types = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    // Pass A: names declared (on one line) with an unordered container type.
+    std::set<std::string> unordered_names;
+    for (const auto& toks : tokens_) {
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!toks[i].ident || unordered_types.count(toks[i].text) == 0)
+          continue;
+        std::size_t j = i + 1;
+        if (!tok_is(toks, j, "<")) continue;
+        int depth = 0;
+        for (; j < toks.size(); ++j) {
+          if (toks[j].text == "<") ++depth;
+          if (toks[j].text == ">" && --depth == 0) break;
+        }
+        ++j;  // past closing '>'
+        while (j < toks.size() &&
+               (toks[j].text == "&" || toks[j].text == "*" ||
+                toks[j].text == "const"))
+          ++j;  // reference/pointer/const qualifiers before the name
+        if (j >= toks.size() || !toks[j].ident || toks[j].text == "const")
+          continue;
+        // `name` is a variable iff not immediately called/qualified.
+        if (j + 1 == toks.size() || tok_is(toks, j + 1, ";") ||
+            tok_is(toks, j + 1, "=") || tok_is(toks, j + 1, "{") ||
+            tok_is(toks, j + 1, ",") || tok_is(toks, j + 1, ")"))
+          unordered_names.insert(toks[j].text);
+      }
+    }
+    // Pass B: range-for over an unordered expression, or begin()/end() on a
+    // known unordered name.
+    for (std::size_t li = 0; li < tokens_.size(); ++li) {
+      const auto& toks = tokens_[li];
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].ident && toks[i].text == "for" && tok_is(toks, i + 1, "(")) {
+          int depth = 0;
+          std::size_t colon = 0;
+          for (std::size_t j = i + 1; j < toks.size(); ++j) {
+            if (toks[j].text == "(") ++depth;
+            if (toks[j].text == ")" && --depth == 0) break;
+            if (toks[j].text == ":" && depth == 1) {
+              colon = j;
+              break;
+            }
+          }
+          if (colon == 0) continue;
+          int depth2 = 1;
+          for (std::size_t j = colon + 1; j < toks.size(); ++j) {
+            if (toks[j].text == "(") ++depth2;
+            if (toks[j].text == ")" && --depth2 == 0) break;
+            if (toks[j].ident && (unordered_names.count(toks[j].text) != 0 ||
+                                  unordered_types.count(toks[j].text) != 0))
+              report(li, "ordered", "L2-unordered-iter",
+                     "range-for over unordered container '" + toks[j].text +
+                         "': bucket order is platform-defined; iterate an "
+                         "ordered structure or waive with "
+                         "`// lint: ordered-ok(reason)`");
+          }
+        }
+        if (toks[i].ident && unordered_names.count(toks[i].text) != 0 &&
+            (tok_is(toks, i + 1, ".") || tok_is(toks, i + 1, "->"))) {
+          static const std::set<std::string> iter_fns = {
+              "begin", "end", "cbegin", "cend", "rbegin", "rend"};
+          if (i + 2 < toks.size() && toks[i + 2].ident &&
+              iter_fns.count(toks[i + 2].text) != 0 && tok_is(toks, i + 3, "("))
+            report(li, "ordered", "L2-unordered-iter",
+                   "iterator over unordered container '" + toks[i].text +
+                       "': bucket order is platform-defined; iterate an "
+                       "ordered structure or waive with "
+                       "`// lint: ordered-ok(reason)`");
+        }
+      }
+    }
+  }
+
+  // L3: FP reductions in src/fed. Aggregation must keep the model-order
+  // accumulation loops (fed/aggregate.hpp) — std::accumulate/std::reduce
+  // make the summation order an implementation detail.
+  void check_fp_reduce() {
+    for (std::size_t li = 0; li < tokens_.size(); ++li) {
+      const auto& toks = tokens_[li];
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!toks[i].ident) continue;
+        const std::string& t = toks[i].text;
+        if ((t == "accumulate" || t == "reduce") && tok_is(toks, i + 1, "(") &&
+            !prev_is_member_access(toks, i))
+          report(li, "fpreduce", "L3-fp-reduce",
+                 "std::" + t +
+                     " hides the floating-point summation order; use the "
+                     "documented model-order loop (fed/aggregate.hpp) or "
+                     "waive with `// lint: fpreduce-ok(reason)`");
+      }
+    }
+  }
+
+  // L4: header hygiene — a guard up front, no using namespace at namespace
+  // scope. (The tokenizer can't see scopes, so any `using namespace` in a
+  // header is flagged; function-local uses are rare enough to waive.)
+  void check_header_hygiene() {
+    bool guard_seen = false;
+    bool first_code_checked = false;
+    for (std::size_t li = 0; li < src_.code.size() && !first_code_checked;
+         ++li) {
+      const auto& toks = tokens_[li];
+      if (toks.empty()) continue;
+      first_code_checked = true;
+      if (tok_is(toks, 0, "#") &&
+          ((tok_is(toks, 1, "pragma") && tok_is(toks, 2, "once")) ||
+           tok_is(toks, 1, "ifndef")))
+        guard_seen = true;
+      if (!guard_seen)
+        report(li, "header", "L4-header-guard",
+               "header must open with #pragma once or an #ifndef include "
+               "guard before any code");
+    }
+    for (std::size_t li = 0; li < tokens_.size(); ++li) {
+      const auto& toks = tokens_[li];
+      for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].ident && toks[i].text == "using" && toks[i + 1].ident &&
+            toks[i + 1].text == "namespace")
+          report(li, "header", "L4-using-namespace",
+                 "using namespace in a header leaks into every includer; "
+                 "qualify names or waive with `// lint: header-ok(reason)`");
+      }
+    }
+  }
+
+  // L5: threading discipline in src/ — no detached threads (they outlive
+  // the barrier semantics of §7) and no raw mutex lock()/unlock() (a thrown
+  // exception leaks the lock; use a guard type).
+  void check_threading() {
+    static const std::set<std::string> lock_fns = {"lock", "unlock",
+                                                   "try_lock"};
+    for (std::size_t li = 0; li < tokens_.size(); ++li) {
+      const auto& toks = tokens_[li];
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!toks[i].ident) continue;
+        if (toks[i].text == "detach" && prev_is_member_access(toks, i) &&
+            tok_is(toks, i + 1, "(")) {
+          report(li, "thread", "L5-thread-detach",
+                 "detached threads escape the pool's barrier/exception "
+                 "contract (DESIGN.md §7); join them or waive with "
+                 "`// lint: thread-ok(reason)`");
+        }
+        const std::string low = lower(toks[i].text);
+        if ((low.find("mutex") != std::string::npos ||
+             low.find("mtx") != std::string::npos) &&
+            (tok_is(toks, i + 1, ".") || tok_is(toks, i + 1, "->")) &&
+            i + 2 < toks.size() && toks[i + 2].ident &&
+            lock_fns.count(toks[i + 2].text) != 0 && tok_is(toks, i + 3, "(")) {
+          report(li, "thread", "L5-raw-mutex-lock",
+                 "raw ." + toks[i + 2].text + "() on '" + toks[i].text +
+                     "' is not exception-safe; use std::lock_guard/"
+                     "unique_lock/scoped_lock or waive with "
+                     "`// lint: thread-ok(reason)`");
+        }
+      }
+    }
+  }
+
+  std::string path_;
+  const Scrubbed& src_;
+  const Options& options_;
+  std::vector<std::vector<Token>> tokens_;
+  std::vector<Finding> findings_;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += hex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content,
+                                 const Options& options) {
+  const std::string norm = normalize_path(path);
+  const Scrubbed scrubbed = scrub(content);
+  return Checker(norm, scrubbed, options).run();
+}
+
+std::vector<Finding> lint_file(const std::string& fs_path,
+                               const std::string& display_path,
+                               const Options& options) {
+  std::ifstream in(fs_path, std::ios::binary);
+  if (!in) throw std::runtime_error("fedpower-lint: cannot read " + fs_path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_source(display_path, buf.str(), options);
+}
+
+std::vector<Finding> lint_tree(const std::string& root,
+                               const std::vector<std::string>& inputs,
+                               const Options& options) {
+  namespace fs = std::filesystem;
+  const fs::path root_path = root.empty() ? fs::path(".") : fs::path(root);
+  std::vector<std::string> rel_files;
+  for (const auto& input : inputs) {
+    const fs::path abs = root_path / input;
+    if (fs::is_directory(abs)) {
+      for (const auto& entry : fs::recursive_directory_iterator(abs)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string rel =
+            normalize_path(fs::relative(entry.path(), root_path).string());
+        if (is_source_path(rel)) rel_files.push_back(rel);
+      }
+    } else if (fs::is_regular_file(abs)) {
+      rel_files.push_back(normalize_path(input));
+    } else {
+      throw std::runtime_error("fedpower-lint: no such file or directory: " +
+                               abs.string());
+    }
+  }
+  std::sort(rel_files.begin(), rel_files.end());
+  rel_files.erase(std::unique(rel_files.begin(), rel_files.end()),
+                  rel_files.end());
+
+  std::vector<Finding> all;
+  for (const auto& rel : rel_files) {
+    auto findings = lint_file((root_path / rel).string(), rel, options);
+    all.insert(all.end(), std::make_move_iterator(findings.begin()),
+               std::make_move_iterator(findings.end()));
+  }
+  std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return all;
+}
+
+std::string to_text(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const auto& f : findings)
+    out << f.file << ':' << f.line << ": " << f.rule << ' ' << f.message
+        << '\n';
+  return out.str();
+}
+
+std::string to_json(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) out << ",";
+    out << "\n  {\"file\": \"" << json_escape(f.file)
+        << "\", \"line\": " << f.line << ", \"rule\": \""
+        << json_escape(f.rule) << "\", \"message\": \""
+        << json_escape(f.message) << "\"}";
+  }
+  out << (findings.empty() ? "]\n" : "\n]\n");
+  return out.str();
+}
+
+}  // namespace fedpower::lint

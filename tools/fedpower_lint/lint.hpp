@@ -1,0 +1,90 @@
+// fedpower-lint: repo-specific determinism & safety static analysis.
+//
+// The reproduction's headline guarantee — bit-identical federated rounds at
+// every thread count (DESIGN.md §7) — rests on conventions a compiler never
+// checks: all randomness flows through util::Rng streams split in canonical
+// order, floating-point aggregation runs in model index order, and nothing
+// on a determinism-critical path iterates a hash container. This linter
+// turns those conventions into machine-checked rules (DESIGN.md §8):
+//
+//   L1-nondet          no rand()/srand/std::random_device/time()/getenv/
+//                      clock ::now() outside the allowlist
+//   L2-unordered-iter  no iteration over std::unordered_{map,set} in
+//                      determinism-critical dirs (src/fed, src/nn,
+//                      src/runtime, src/core)
+//   L3-fp-reduce       no std::accumulate/std::reduce in src/fed —
+//                      aggregation uses the documented model-order loops
+//   L4-header-guard    every header opens with #pragma once or an
+//   L4-using-namespace #ifndef guard; no using namespace at namespace
+//                      scope in headers
+//   L5-thread-detach   no detached threads and no raw mutex .lock()/
+//   L5-raw-mutex-lock  .unlock() (use lock_guard/unique_lock/scoped_lock)
+//                      in src/
+//
+// A finding is waived by a same-line comment `// lint: <key>-ok(<reason>)`
+// with a non-empty reason; keys: nondet, ordered, fpreduce, header, thread.
+// The analysis is a scrubbing tokenizer (comments, string/char literals and
+// raw strings are blanked before matching), not a parser — rules are
+// deliberately conservative so a clean pass means something.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fedpower::lint {
+
+/// One rule violation at a specific source line (1-based).
+struct Finding {
+  std::string file;     ///< path as given (normalized, '/'-separated)
+  std::size_t line = 0; ///< 1-based line number
+  std::string rule;     ///< stable rule id, e.g. "L1-nondet"
+  std::string message;  ///< human-readable explanation
+};
+
+/// Rule scoping. Paths are repository-relative with forward slashes; a file
+/// matches a dir entry when it lives underneath it.
+struct Options {
+  /// Files exempt from L1 (the determinism contract's designated owners:
+  /// the RNG implementation itself and the transport timeout code).
+  std::vector<std::string> nondet_allowlist = {
+      "src/util/rng.cpp",
+      "src/fed/tcp_transport.cpp",
+      "src/fed/tcp_transport.hpp",
+  };
+  /// Dirs where hash-container iteration order could leak into results.
+  std::vector<std::string> determinism_dirs = {
+      "src/fed", "src/nn", "src/runtime", "src/core"};
+  /// Dirs where FP reductions must keep the documented model-order loops.
+  std::vector<std::string> fp_reduce_dirs = {"src/fed"};
+  /// Dirs covered by the threading rules (L5).
+  std::vector<std::string> thread_rule_dirs = {"src"};
+};
+
+/// Lints one translation unit given as an in-memory string. `path` scopes
+/// the directory-dependent rules and is echoed into findings; findings are
+/// sorted by line, then rule.
+[[nodiscard]] std::vector<Finding> lint_source(const std::string& path,
+                                               const std::string& content,
+                                               const Options& options = {});
+
+/// Reads and lints one file. `display_path` is the repo-relative path used
+/// for rule scoping and reporting. Throws std::runtime_error on I/O error.
+[[nodiscard]] std::vector<Finding> lint_file(const std::string& fs_path,
+                                             const std::string& display_path,
+                                             const Options& options = {});
+
+/// Recursively lints every .cpp/.cc/.hpp/.h file under `inputs` (files or
+/// directories, relative to `root`), in sorted path order. Findings are
+/// sorted by (file, line, rule).
+[[nodiscard]] std::vector<Finding> lint_tree(
+    const std::string& root, const std::vector<std::string>& inputs,
+    const Options& options = {});
+
+/// "file:line: rule-id message" lines, one per finding.
+[[nodiscard]] std::string to_text(const std::vector<Finding>& findings);
+
+/// JSON array of {"file", "line", "rule", "message"} objects.
+[[nodiscard]] std::string to_json(const std::vector<Finding>& findings);
+
+}  // namespace fedpower::lint

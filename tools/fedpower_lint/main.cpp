@@ -1,0 +1,81 @@
+// fedpower-lint CLI. Scans files/directories (relative to --root) and
+// prints findings as `file:line: rule-id message` lines, or a JSON array
+// with --json. Exit status: 0 clean, 1 findings, 2 usage/I-O error —
+// inverted by --must-fail, which the fixture self-check uses to assert the
+// linter still catches deliberately broken code.
+#include <cstring>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fedpower_lint/lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--json] [--must-fail] [--root DIR] PATH...\n"
+               "  PATH      file or directory, relative to --root (default .)\n"
+               "  --json    emit findings as a JSON array\n"
+               "  --must-fail  exit 0 iff findings were produced (fixture "
+               "self-check)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> inputs;
+  bool json = false;
+  bool must_fail = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--must-fail") {
+      must_fail = true;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "fedpower-lint: unknown option " << arg << "\n";
+      return usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage(argv[0]);
+
+  std::vector<fedpower::lint::Finding> findings;
+  try {
+    findings = fedpower::lint::lint_tree(root, inputs);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  if (json)
+    std::cout << fedpower::lint::to_json(findings);
+  else
+    std::cout << fedpower::lint::to_text(findings);
+
+  if (must_fail) {
+    if (findings.empty()) {
+      std::cerr << "fedpower-lint: --must-fail but no findings — the linter "
+                   "no longer catches the broken fixtures\n";
+      return 1;
+    }
+    return 0;
+  }
+  if (!findings.empty()) {
+    std::cerr << "fedpower-lint: " << findings.size() << " finding(s)\n";
+    return 1;
+  }
+  return 0;
+}
