@@ -46,6 +46,12 @@ device1 = ocean, radix
 [eval]
 episode_intervals = 30
 csv =                  ; optional path for per-round reward CSV
+
+[checkpoint]
+every_rounds = 0       ; snapshot cadence; 0 disables checkpointing
+dir =                  ; rotation directory (required when every_rounds > 0)
+keep = 3               ; snapshots retained in the rotation
+resume_from =          ; snapshot file or rotation dir to resume from
 )";
 
 std::vector<std::vector<sim::AppProfile>> parse_devices(
@@ -104,6 +110,20 @@ core::ExperimentConfig build_config(const util::Config& config) {
   controller.k_offset_w = config.get_double("power.k_offset_w", 0.05);
   experiment.eval.episode_intervals = static_cast<std::size_t>(
       config.get_int("eval.episode_intervals", 30));
+  const long every_rounds = config.get_int("checkpoint.every_rounds", 0);
+  if (every_rounds < 0)
+    throw std::invalid_argument(
+        "config key 'checkpoint.every_rounds': must be >= 0 (0 = disabled)");
+  experiment.checkpoint.every_rounds =
+      static_cast<std::size_t>(every_rounds);
+  experiment.checkpoint.dir = config.get_string("checkpoint.dir");
+  const long keep = config.get_int("checkpoint.keep", 3);
+  if (keep < 1)
+    throw std::invalid_argument(
+        "config key 'checkpoint.keep': must be >= 1");
+  experiment.checkpoint.keep = static_cast<std::size_t>(keep);
+  experiment.checkpoint.resume_from =
+      config.get_string("checkpoint.resume_from");
   return experiment;
 }
 
@@ -157,6 +177,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(experiment.seed));
 
   const std::string mode = config.get_string("run.mode", "both");
+  // A snapshot captures ONE run loop; with mode=both the federated and
+  // local runs would fight over the same rotation directory and resume
+  // source, so checkpointing requires picking a single mode.
+  if (mode == "both" && (experiment.checkpoint.every_rounds > 0 ||
+                         !experiment.checkpoint.resume_from.empty())) {
+    std::fprintf(stderr,
+                 "checkpointing requires run.mode=federated or "
+                 "run.mode=local (not both)\n");
+    return 1;
+  }
   std::vector<core::RoundCurve> fed_curves;
   if (mode == "federated" || mode == "both") {
     const auto fed = core::run_federated(experiment, devices, eval_apps,

@@ -28,6 +28,9 @@ ctest --preset default
 echo "== fedpower-lint (explicit, for visible output) =="
 ./build/tools/fedpower_lint --root . src bench tests examples
 
+echo "== kill-and-resume smoke (SIGKILL mid-run, resume from snapshot) =="
+scripts/kill_resume_smoke.sh ./build/examples/run_experiment
+
 for preset in "${run_sanitizer_presets[@]}"; do
   echo "== sanitizer suite (preset: ${preset}) =="
   cmake --preset "$preset"

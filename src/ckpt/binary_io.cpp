@@ -1,0 +1,195 @@
+#include "ckpt/binary_io.hpp"
+
+#include <bit>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace fedpower::ckpt {
+
+void Writer::u8(std::uint8_t v) { buffer_.push_back(v); }
+
+void Writer::u16(std::uint16_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v & 0xffu));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    buffer_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xffu));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    buffer_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xffu));
+}
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+
+void Writer::str(const std::string& s) {
+  FEDPOWER_EXPECTS(s.size() <= std::numeric_limits<std::uint32_t>::max());
+  u32(static_cast<std::uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void Writer::bytes(std::span<const std::uint8_t> data) {
+  FEDPOWER_EXPECTS(data.size() <= std::numeric_limits<std::uint32_t>::max());
+  u32(static_cast<std::uint32_t>(data.size()));
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void Writer::raw(std::span<const std::uint8_t> data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void Writer::vec_f64(std::span<const double> v) {
+  u64(v.size());
+  for (const double x : v) f64(x);
+}
+
+void Writer::vec_f32(std::span<const float> v) {
+  u64(v.size());
+  for (const float x : v) f32(x);
+}
+
+void Writer::vec_u8(std::span<const std::uint8_t> v) {
+  u64(v.size());
+  buffer_.insert(buffer_.end(), v.begin(), v.end());
+}
+
+void Writer::vec_u64(std::span<const std::uint64_t> v) {
+  u64(v.size());
+  for (const std::uint64_t x : v) u64(x);
+}
+
+void Reader::require(std::size_t n) const {
+  if (remaining() < n)
+    throw CorruptSnapshotError(
+        "snapshot payload truncated: need " + std::to_string(n) +
+        " more byte(s) at offset " + std::to_string(pos_) + ", have " +
+        std::to_string(remaining()));
+}
+
+std::uint8_t Reader::u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  require(2);
+  const auto v = static_cast<std::uint16_t>(
+      data_[pos_] | (static_cast<unsigned>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+float Reader::f32() { return std::bit_cast<float>(u32()); }
+
+std::string Reader::str() {
+  const std::uint32_t n = u32();
+  require(n);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<std::uint8_t> Reader::bytes() { return raw(u32()); }
+
+std::vector<std::uint8_t> Reader::raw(std::size_t n) {
+  require(n);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() +
+                                    static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+namespace {
+
+/// Rejects element counts a truncated buffer cannot possibly hold, before
+/// any allocation happens; written as a division so a forged count near
+/// 2^64 cannot overflow the byte computation.
+void check_count(std::uint64_t n, std::size_t elem_size,
+                 std::size_t remaining) {
+  if (n > remaining / elem_size)
+    throw CorruptSnapshotError("snapshot payload truncated: vector claims " +
+                               std::to_string(n) + " element(s) but only " +
+                               std::to_string(remaining) + " byte(s) remain");
+}
+
+}  // namespace
+
+std::vector<double> Reader::vec_f64() {
+  const std::uint64_t n = u64();
+  check_count(n, 8, remaining());
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(f64());
+  return out;
+}
+
+std::vector<float> Reader::vec_f32() {
+  const std::uint64_t n = u64();
+  check_count(n, 4, remaining());
+  std::vector<float> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(f32());
+  return out;
+}
+
+std::vector<std::uint8_t> Reader::vec_u8() {
+  const std::uint64_t n = u64();
+  require(n);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() +
+                                    static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::vector<std::uint64_t> Reader::vec_u64() {
+  const std::uint64_t n = u64();
+  check_count(n, 8, remaining());
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(u64());
+  return out;
+}
+
+void write_tag(Writer& out, const Tag& tag) {
+  for (const char c : tag) out.u8(static_cast<std::uint8_t>(c));
+}
+
+void expect_tag(Reader& in, const Tag& tag, const char* component) {
+  Tag got{};
+  for (char& c : got) c = static_cast<char>(in.u8());
+  if (got != tag)
+    throw CorruptSnapshotError(
+        std::string("snapshot section mismatch: expected '") +
+        std::string(tag.data(), tag.size()) + "' (" + component + "), found '" +
+        std::string(got.data(), got.size()) + "'");
+}
+
+}  // namespace fedpower::ckpt

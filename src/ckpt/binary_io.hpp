@@ -1,0 +1,106 @@
+// Typed little-endian binary encoding for snapshot payloads.
+//
+// Writer appends fixed-width fields to a byte buffer; Reader consumes them
+// with bounds checking and throws CorruptSnapshotError instead of reading
+// past the end, so a truncated or bit-flipped payload that somehow slips
+// past the container CRC still cannot make restore_state() read garbage.
+// Every multi-byte value is little-endian regardless of host order, so a
+// snapshot written on one machine restores on any other.
+//
+// Components frame their state with a 4-byte tag (write_tag/expect_tag):
+// the tag turns "restore read the wrong bytes" into a named error ("expected
+// ADAM section") instead of silently mis-assigning fields.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ckpt/errors.hpp"
+
+namespace fedpower::ckpt {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);  ///< IEEE-754 bit pattern, little-endian
+  void f32(float v);
+
+  /// Length-prefixed (u32) byte/character sequences.
+  void str(const std::string& s);
+  void bytes(std::span<const std::uint8_t> data);
+
+  /// Appends bytes verbatim, no length prefix (container framing only).
+  void raw(std::span<const std::uint8_t> data);
+
+  /// Length-prefixed (u64) homogeneous vectors.
+  void vec_f64(std::span<const double> v);
+  void vec_f32(std::span<const float> v);
+  void vec_u8(std::span<const std::uint8_t> v);
+  void vec_u64(std::span<const std::uint64_t> v);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept {
+    return buffer_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(buffer_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+class Reader {
+ public:
+  /// The reader does not own the bytes; they must outlive it.
+  explicit Reader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] float f32();
+
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::vector<std::uint8_t> bytes();
+
+  /// Consumes exactly n bytes verbatim (container framing only).
+  [[nodiscard]] std::vector<std::uint8_t> raw(std::size_t n);
+
+  [[nodiscard]] std::vector<double> vec_f64();
+  [[nodiscard]] std::vector<float> vec_f32();
+  [[nodiscard]] std::vector<std::uint8_t> vec_u8();
+  [[nodiscard]] std::vector<std::uint64_t> vec_u64();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  /// Throws CorruptSnapshotError when fewer than n bytes remain.
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// 4-character section tags framing each component's state.
+using Tag = std::array<char, 4>;
+
+void write_tag(Writer& out, const Tag& tag);
+
+/// Consumes 4 bytes and throws CorruptSnapshotError naming `component` when
+/// they differ from the expected tag.
+void expect_tag(Reader& in, const Tag& tag, const char* component);
+
+}  // namespace fedpower::ckpt

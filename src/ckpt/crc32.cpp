@@ -1,0 +1,36 @@
+#include "ckpt/crc32.hpp"
+
+#include <array>
+
+namespace fedpower::ckpt {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc,
+                           std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t c = crc ^ 0xffffffffu;
+  for (const std::uint8_t byte : data)
+    c = kTable[(c ^ byte) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  return crc32_update(0, data);
+}
+
+}  // namespace fedpower::ckpt

@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum that
+// seals every snapshot. Chosen over a cryptographic hash because snapshots
+// guard against accidental damage (torn writes, bit rot), not adversaries,
+// and a 4-byte trailer keeps small component snapshots small.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fedpower::ckpt {
+
+/// CRC of one buffer (initial value 0).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+/// Streaming form: feed the previous call's return value to checksum data
+/// arriving in chunks. Start with crc = 0.
+[[nodiscard]] std::uint32_t crc32_update(
+    std::uint32_t crc, std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace fedpower::ckpt

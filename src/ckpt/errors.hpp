@@ -1,0 +1,61 @@
+// Error taxonomy of the persistence subsystem (DESIGN.md §9).
+//
+// Recovery code needs to distinguish three failure classes because each one
+// has a different correct reaction:
+//
+//   * SnapshotNotFoundError   — nothing to resume from: start fresh.
+//   * CorruptSnapshotError    — the bytes are damaged (truncation, bit flip,
+//                               torn write): fall back to an older rotation
+//                               entry; never silently restore garbage.
+//   * VersionMismatchError    — the bytes are intact but written by an
+//                               incompatible format revision: refuse loudly
+//                               (falling back to an older entry of the same
+//                               version would be equally incompatible).
+//   * StateMismatchError      — the snapshot is valid but does not fit the
+//                               object it is being restored into (different
+//                               fleet size, model shape, buffer capacity):
+//                               a configuration error, not data damage.
+//
+// All derive from CkptError so callers that only care about "resume failed"
+// can catch one type.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fedpower::ckpt {
+
+/// Base class of every persistence-layer failure.
+class CkptError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// No snapshot exists at the given path / in the given rotation directory.
+class SnapshotNotFoundError final : public CkptError {
+ public:
+  using CkptError::CkptError;
+};
+
+/// The snapshot bytes fail validation: short header, bad magic, length
+/// mismatch, or CRC32 failure. The data cannot be trusted.
+class CorruptSnapshotError final : public CkptError {
+ public:
+  using CkptError::CkptError;
+};
+
+/// The snapshot container is intact but uses a format revision this build
+/// does not understand.
+class VersionMismatchError final : public CkptError {
+ public:
+  using CkptError::CkptError;
+};
+
+/// The snapshot decoded cleanly but describes a different object shape than
+/// the one being restored (wrong device count, parameter count, capacity).
+class StateMismatchError final : public CkptError {
+ public:
+  using CkptError::CkptError;
+};
+
+}  // namespace fedpower::ckpt

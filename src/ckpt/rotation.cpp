@@ -1,0 +1,107 @@
+#include "ckpt/rotation.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "ckpt/snapshot.hpp"
+#include "util/assert.hpp"
+
+namespace fedpower::ckpt {
+
+namespace {
+
+constexpr const char* kPrefix = "snapshot-";
+constexpr const char* kSuffix = ".fpck";
+
+/// Parses "snapshot-NNNNNN.fpck" -> NNNNNN; returns false for anything
+/// else so stray files in the directory are ignored, not misread.
+bool parse_sequence(const std::string& name, std::uint64_t& sequence) {
+  const std::string prefix = kPrefix;
+  const std::string suffix = kSuffix;
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+    return false;
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  std::uint64_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  sequence = value;
+  return true;
+}
+
+}  // namespace
+
+SnapshotRotation::SnapshotRotation(std::string dir, std::size_t keep)
+    : dir_(std::move(dir)), keep_(keep) {
+  FEDPOWER_EXPECTS(keep_ >= 1);
+  FEDPOWER_EXPECTS(!dir_.empty());
+}
+
+std::string SnapshotRotation::path_for(std::uint64_t sequence) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%s%06llu%s", kPrefix,
+                static_cast<unsigned long long>(sequence), kSuffix);
+  return dir_ + "/" + name;
+}
+
+std::vector<std::uint64_t> SnapshotRotation::sequences() const {
+  std::vector<std::uint64_t> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::uint64_t sequence = 0;
+    if (parse_sequence(entry.path().filename().string(), sequence))
+      out.push_back(sequence);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string SnapshotRotation::save(
+    std::span<const std::uint8_t> payload) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec)
+    throw CkptError("snapshot rotation: cannot create directory " + dir_ +
+                    ": " + ec.message());
+
+  const std::vector<std::uint64_t> existing = sequences();
+  const std::uint64_t next = existing.empty() ? 1 : existing.back() + 1;
+  const std::string path = path_for(next);
+  write_snapshot_file(path, payload);
+
+  // Prune oldest beyond the keep depth. The newly written snapshot counts.
+  if (existing.size() + 1 > keep_) {
+    const std::size_t excess = existing.size() + 1 - keep_;
+    for (std::size_t i = 0; i < excess; ++i)
+      std::filesystem::remove(path_for(existing[i]), ec);  // best effort
+  }
+  return path;
+}
+
+LoadedSnapshot SnapshotRotation::load_latest() const {
+  const std::vector<std::uint64_t> existing = sequences();
+  if (existing.empty())
+    throw SnapshotNotFoundError("no snapshots in " + dir_);
+
+  std::string failures;
+  for (auto it = existing.rbegin(); it != existing.rend(); ++it) {
+    const std::string path = path_for(*it);
+    try {
+      return LoadedSnapshot{read_snapshot_file(path), path, *it};
+    } catch (const CkptError& e) {
+      // Damaged or unreadable entry: remember why and fall back to the
+      // next-older snapshot.
+      failures += "\n  " + path + ": " + e.what();
+    }
+  }
+  throw CorruptSnapshotError("every snapshot in " + dir_ +
+                             " failed to load:" + failures);
+}
+
+}  // namespace fedpower::ckpt

@@ -1,0 +1,61 @@
+// N-deep snapshot rotation (DESIGN.md §9).
+//
+// A rotation directory holds sequence-numbered containers,
+// "snapshot-000042.fpck". save() always writes a NEW file (atomic, via
+// write_snapshot_file) and then prunes the oldest entries beyond `keep`;
+// the previous snapshot is never modified in place, so a crash or a
+// corrupted write can cost at most the newest entry. load_latest() walks
+// the entries newest-first and returns the first one that decodes cleanly,
+// which is exactly the fallback the single-byte-corruption acceptance test
+// exercises: damage snapshot N and recovery silently lands on N-1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ckpt/errors.hpp"
+
+namespace fedpower::ckpt {
+
+/// Result of load_latest: the decoded payload plus where it came from, so
+/// callers can report which snapshot a run resumed against.
+struct LoadedSnapshot {
+  std::vector<std::uint8_t> payload;
+  std::string path;
+  std::uint64_t sequence = 0;
+};
+
+class SnapshotRotation {
+ public:
+  /// `dir` is created on first save if missing. `keep` >= 1.
+  SnapshotRotation(std::string dir, std::size_t keep);
+
+  /// Writes the payload as the next sequence-numbered snapshot and prunes
+  /// entries beyond the keep depth. Returns the path written.
+  std::string save(std::span<const std::uint8_t> payload) const;
+
+  /// Newest-first search for a decodable snapshot. Entries that fail to
+  /// decode (corruption, version mismatch) are skipped with the next-older
+  /// entry tried instead. Throws SnapshotNotFoundError when the directory
+  /// holds no snapshots at all, CorruptSnapshotError when every entry is
+  /// damaged.
+  [[nodiscard]] LoadedSnapshot load_latest() const;
+
+  /// Sequence numbers currently present, ascending. Empty when the
+  /// directory is missing or holds no snapshots.
+  [[nodiscard]] std::vector<std::uint64_t> sequences() const;
+
+  /// Path a given sequence number maps to ("<dir>/snapshot-NNNNNN.fpck").
+  [[nodiscard]] std::string path_for(std::uint64_t sequence) const;
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::size_t keep() const noexcept { return keep_; }
+
+ private:
+  std::string dir_;
+  std::size_t keep_;
+};
+
+}  // namespace fedpower::ckpt

@@ -1,0 +1,116 @@
+#include "ckpt/snapshot.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "ckpt/binary_io.hpp"
+#include "ckpt/crc32.hpp"
+
+namespace fedpower::ckpt {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'F', 'P', 'C', 'K'};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_snapshot(
+    std::span<const std::uint8_t> payload) {
+  Writer out;
+  for (const std::uint8_t b : kMagic) out.u8(b);
+  out.u16(kSnapshotVersion);
+  out.u16(0);  // reserved
+  out.u64(payload.size());
+  out.raw(payload);
+  const std::uint32_t crc =
+      crc32(std::span(out.data()).subspan(sizeof kMagic));
+  out.u32(crc);
+  return out.take();
+}
+
+std::vector<std::uint8_t> decode_snapshot(
+    std::span<const std::uint8_t> container) {
+  if (container.size() < kSnapshotHeaderBytes + kSnapshotTrailerBytes)
+    throw CorruptSnapshotError("snapshot truncated: " +
+                               std::to_string(container.size()) +
+                               " byte(s) is smaller than header + trailer");
+  if (std::memcmp(container.data(), kMagic, sizeof kMagic) != 0)
+    throw CorruptSnapshotError("snapshot has bad magic (not an FPCK file)");
+
+  // Everything after the magic and before the trailer is under the CRC.
+  const std::size_t body_len =
+      container.size() - sizeof kMagic - kSnapshotTrailerBytes;
+  const std::uint32_t computed =
+      crc32(container.subspan(sizeof kMagic, body_len));
+  Reader trailer(container.subspan(container.size() - kSnapshotTrailerBytes));
+  const std::uint32_t stored = trailer.u32();
+  if (computed != stored)
+    throw CorruptSnapshotError("snapshot CRC mismatch: stored " +
+                               std::to_string(stored) + ", computed " +
+                               std::to_string(computed));
+
+  Reader in(container.subspan(sizeof kMagic, body_len));
+  const std::uint16_t version = in.u16();
+  if (version != kSnapshotVersion)
+    throw VersionMismatchError("snapshot format version " +
+                               std::to_string(version) +
+                               " is not supported (this build reads version " +
+                               std::to_string(kSnapshotVersion) + ")");
+  (void)in.u16();  // reserved
+  const std::uint64_t payload_len = in.u64();
+  if (payload_len != in.remaining())
+    throw CorruptSnapshotError(
+        "snapshot length mismatch: header claims " +
+        std::to_string(payload_len) + " payload byte(s), container holds " +
+        std::to_string(in.remaining()));
+  return in.raw(payload_len);
+}
+
+void write_snapshot_file(const std::string& path,
+                         std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> container = encode_snapshot(payload);
+  const std::string tmp = path + ".tmp";
+  // C stdio instead of ofstream: fsync needs the file descriptor, and a
+  // snapshot that only reached the page cache is not durable.
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr)
+    throw CkptError("snapshot: cannot open " + tmp + ": " +
+                    std::strerror(errno));
+  const bool wrote =
+      std::fwrite(container.data(), 1, container.size(), f) ==
+      container.size();
+  bool flushed = wrote && std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  if (flushed && ::fsync(::fileno(f)) != 0) flushed = false;
+#endif
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !flushed || !closed) {
+    std::remove(tmp.c_str());  // best effort
+    throw CkptError("snapshot: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CkptError("snapshot: rename " + tmp + " -> " + path + " failed: " +
+                    std::strerror(errno));
+  }
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw SnapshotNotFoundError("cannot open " + path);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+std::vector<std::uint8_t> read_snapshot_file(const std::string& path) {
+  return decode_snapshot(read_file_bytes(path));
+}
+
+}  // namespace fedpower::ckpt

@@ -1,0 +1,26 @@
+// Serialization helpers for util types used by many component snapshots.
+#pragma once
+
+#include "ckpt/binary_io.hpp"
+#include "util/rng.hpp"
+
+namespace fedpower::ckpt {
+
+/// Writes the four 64-bit words of the xoshiro256++ state.
+inline void save_rng(Writer& out, const util::Rng& rng) {
+  for (const std::uint64_t word : rng.state()) out.u64(word);
+}
+
+/// Restores an Rng stream to exactly where it was serialized. An all-zero
+/// state (possible only in a forged snapshot — the generator can never
+/// reach it) is rejected as corruption rather than tripping the assert in
+/// Rng::set_state.
+inline void restore_rng(Reader& in, util::Rng& rng) {
+  std::array<std::uint64_t, 4> state{};
+  for (std::uint64_t& word : state) word = in.u64();
+  if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0)
+    throw CorruptSnapshotError("RNG snapshot holds the all-zero state");
+  rng.set_state(state);
+}
+
+}  // namespace fedpower::ckpt

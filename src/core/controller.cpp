@@ -67,4 +67,71 @@ std::size_t PowerController::local_sample_count() const {
   return agent_.replay().size();
 }
 
+namespace {
+
+constexpr ckpt::Tag kControllerTag{'C', 'T', 'R', 'L'};
+
+void save_sample(ckpt::Writer& out, const sim::TelemetrySample& s) {
+  out.f64(s.time_s);
+  out.u64(s.level);
+  out.f64(s.freq_mhz);
+  out.f64(s.voltage_v);
+  out.f64(s.power_w);
+  out.f64(s.true_power_w);
+  out.f64(s.energy_j);
+  out.f64(s.instructions);
+  out.f64(s.cycles);
+  out.f64(s.ipc);
+  out.f64(s.miss_rate);
+  out.f64(s.mpki);
+  out.f64(s.ips);
+  out.f64(s.temperature_c);
+  out.str(s.app_name);
+}
+
+sim::TelemetrySample restore_sample(ckpt::Reader& in) {
+  sim::TelemetrySample s;
+  s.time_s = in.f64();
+  s.level = in.u64();
+  s.freq_mhz = in.f64();
+  s.voltage_v = in.f64();
+  s.power_w = in.f64();
+  s.true_power_w = in.f64();
+  s.energy_j = in.f64();
+  s.instructions = in.f64();
+  s.cycles = in.f64();
+  s.ipc = in.f64();
+  s.miss_rate = in.f64();
+  s.mpki = in.f64();
+  s.ips = in.f64();
+  s.temperature_c = in.f64();
+  s.app_name = in.str();
+  return s;
+}
+
+}  // namespace
+
+void PowerController::save_state(ckpt::Writer& out) const {
+  write_tag(out, kControllerTag);
+  agent_.save_state(out);
+  out.u8(drift_.has_value() ? 1 : 0);
+  if (drift_) drift_->save_state(out);
+  out.u8(have_state_ ? 1 : 0);
+  save_sample(out, last_sample_);
+  out.f64(last_reward_);
+}
+
+void PowerController::restore_state(ckpt::Reader& in) {
+  expect_tag(in, kControllerTag, "power controller");
+  agent_.restore_state(in);
+  const bool had_drift = in.u8() != 0;
+  if (had_drift != drift_.has_value())
+    throw ckpt::StateMismatchError(
+        "controller snapshot drift-adaptation flag does not match config");
+  if (drift_) drift_->restore_state(in);
+  have_state_ = in.u8() != 0;
+  last_sample_ = restore_sample(in);
+  last_reward_ = in.f64();
+}
+
 }  // namespace fedpower::core

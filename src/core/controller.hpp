@@ -13,6 +13,7 @@
 
 #include <optional>
 
+#include "ckpt/binary_io.hpp"
 #include "fed/federation.hpp"
 #include "rl/drift.hpp"
 #include "rl/neural_agent.hpp"
@@ -82,6 +83,12 @@ class PowerController final : public fed::FederatedClient {
   std::size_t drift_detections() const noexcept {
     return drift_ ? drift_->detections() : 0;
   }
+
+  /// Serializes the agent, the drift monitor (when enabled) and the
+  /// observe/act bootstrap state (last telemetry sample + reward). The
+  /// processor is snapshotted separately by whoever owns it.
+  void save_state(ckpt::Writer& out) const;
+  void restore_state(ckpt::Reader& in);
 
  private:
   const sim::TelemetrySample& observed_state();

@@ -1,5 +1,10 @@
 #include "core/experiment.hpp"
 
+#include <filesystem>
+#include <optional>
+
+#include "ckpt/rotation.hpp"
+#include "ckpt/snapshot.hpp"
 #include "fed/federation.hpp"
 #include "runtime/fleet_runtime.hpp"
 #include "sim/workload.hpp"
@@ -60,6 +65,112 @@ void record_round(std::vector<RoundCurve>& devices, RoundCurve& fleet,
   fleet.violation_rate.push_back(violations.mean());
 }
 
+// --- checkpoint payload encoding (DESIGN.md §9) -------------------------
+
+constexpr ckpt::Tag kFedExpTag{'F', 'E', 'X', 'P'};
+constexpr ckpt::Tag kLocalExpTag{'L', 'E', 'X', 'P'};
+
+void save_curve(ckpt::Writer& out, const RoundCurve& curve) {
+  out.vec_f64(curve.reward);
+  out.vec_f64(curve.mean_freq_mhz);
+  out.vec_f64(curve.stddev_freq_mhz);
+  out.vec_f64(curve.mean_power_w);
+  out.vec_f64(curve.violation_rate);
+}
+
+RoundCurve restore_curve(ckpt::Reader& in) {
+  RoundCurve curve;
+  curve.reward = in.vec_f64();
+  curve.mean_freq_mhz = in.vec_f64();
+  curve.stddev_freq_mhz = in.vec_f64();
+  curve.mean_power_w = in.vec_f64();
+  curve.violation_rate = in.vec_f64();
+  return curve;
+}
+
+void save_traffic(ckpt::Writer& out, const fed::TrafficStats& stats) {
+  out.u64(stats.uplink_transfers);
+  out.u64(stats.uplink_bytes);
+  out.u64(stats.downlink_transfers);
+  out.u64(stats.downlink_bytes);
+  out.u64(stats.retries);
+  out.f64(stats.total_latency_s);
+}
+
+fed::TrafficStats restore_traffic(ckpt::Reader& in) {
+  fed::TrafficStats stats;
+  stats.uplink_transfers = in.u64();
+  stats.uplink_bytes = in.u64();
+  stats.downlink_transfers = in.u64();
+  stats.downlink_bytes = in.u64();
+  stats.retries = in.u64();
+  stats.total_latency_s = in.f64();
+  return stats;
+}
+
+/// Traffic accrued before the snapshot plus traffic of the resumed
+/// process's own transport.
+fed::TrafficStats merge_traffic(const fed::TrafficStats& base,
+                                const fed::TrafficStats& post) {
+  fed::TrafficStats sum = base;
+  sum.uplink_transfers += post.uplink_transfers;
+  sum.uplink_bytes += post.uplink_bytes;
+  sum.downlink_transfers += post.downlink_transfers;
+  sum.downlink_bytes += post.downlink_bytes;
+  sum.retries += post.retries;
+  sum.total_latency_s += post.total_latency_s;
+  return sum;
+}
+
+void save_app_names(ckpt::Writer& out, const std::vector<std::string>& names) {
+  out.u64(names.size());
+  for (const std::string& name : names) out.str(name);
+}
+
+std::vector<std::string> restore_app_names(ckpt::Reader& in) {
+  const std::uint64_t count = in.u64();
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) names.push_back(in.str());
+  return names;
+}
+
+void save_device_curves(ckpt::Writer& out,
+                        const std::vector<RoundCurve>& devices) {
+  out.u64(devices.size());
+  for (const RoundCurve& curve : devices) save_curve(out, curve);
+}
+
+void restore_device_curves(ckpt::Reader& in,
+                           std::vector<RoundCurve>& devices) {
+  const std::uint64_t count = in.u64();
+  if (count != devices.size())
+    throw ckpt::StateMismatchError(
+        "experiment snapshot holds curves for " + std::to_string(count) +
+        " device(s), this run has " + std::to_string(devices.size()));
+  for (RoundCurve& curve : devices) curve = restore_curve(in);
+}
+
+/// Resolves the resume source: a rotation directory picks its newest valid
+/// snapshot (falling back past corrupt entries), a file path is read
+/// directly.
+std::vector<std::uint8_t> load_resume_payload(const std::string& from,
+                                              std::size_t keep) {
+  if (std::filesystem::is_directory(from))
+    return ckpt::SnapshotRotation(from, keep).load_latest().payload;
+  return ckpt::read_snapshot_file(from);
+}
+
+/// Opens the rotation for periodic snapshots when enabled.
+std::optional<ckpt::SnapshotRotation> make_rotation(
+    const CheckpointConfig& checkpoint) {
+  if (checkpoint.every_rounds == 0) return std::nullopt;
+  if (checkpoint.dir.empty())
+    throw ckpt::CkptError(
+        "checkpoint.every_rounds is set but checkpoint.dir is empty");
+  return ckpt::SnapshotRotation(checkpoint.dir, checkpoint.keep);
+}
+
 }  // namespace
 
 FederatedRunResult run_federated(
@@ -79,26 +190,63 @@ FederatedRunResult run_federated(
   FederatedRunResult result;
   result.devices.resize(fleet.size());
 
-  for (std::size_t round = 0; round < config.rounds; ++round) {
+  // Resume: restore the whole experiment — fleet, server, partial curves
+  // and the traffic accrued before the snapshot — then continue the round
+  // loop exactly where the snapshotted process stopped.
+  std::size_t start_round = 0;
+  fed::TrafficStats traffic_baseline;
+  if (!config.checkpoint.resume_from.empty()) {
+    const std::vector<std::uint8_t> payload =
+        load_resume_payload(config.checkpoint.resume_from,
+                            config.checkpoint.keep);
+    ckpt::Reader in(payload);
+    ckpt::expect_tag(in, kFedExpTag, "federated experiment");
+    start_round = in.u64();
+    fleet.restore_state(in);
+    server.restore_state(in);
+    restore_device_curves(in, result.devices);
+    result.fleet = restore_curve(in);
+    result.eval_app_per_round = restore_app_names(in);
+    traffic_baseline = restore_traffic(in);
+  }
+  const std::optional<ckpt::SnapshotRotation> rotation =
+      make_rotation(config.checkpoint);
+
+  for (std::size_t round = start_round; round < config.rounds; ++round) {
     server.run_round();
-    if (!eval_each_round) continue;
-    const sim::AppProfile& app = eval_apps[round % eval_apps.size()];
-    result.eval_app_per_round.push_back(app.name);
-    // Greedy evaluation of the global policy on every device, in parallel:
-    // each task builds its own policy instance (nn::Mlp::forward caches
-    // activations, so a shared one would race) and runs an episode seeded
-    // by (round, device) — independent of the schedule.
-    std::vector<EvalResult> evals(fleet.size());
-    fleet.for_each_device([&](std::size_t d) {
-      const PolicyFn policy = evaluator.neural_policy(server.global_model());
-      evals[d] =
-          evaluator.run_episode(policy, app, mix_seed(config.seed, round, d));
-    });
-    record_round(result.devices, result.fleet, evals);
+    if (eval_each_round) {
+      const sim::AppProfile& app = eval_apps[round % eval_apps.size()];
+      result.eval_app_per_round.push_back(app.name);
+      // Greedy evaluation of the global policy on every device, in
+      // parallel: each task builds its own policy instance
+      // (nn::Mlp::forward caches activations, so a shared one would race)
+      // and runs an episode seeded by (round, device) — independent of the
+      // schedule.
+      std::vector<EvalResult> evals(fleet.size());
+      fleet.for_each_device([&](std::size_t d) {
+        const PolicyFn policy =
+            evaluator.neural_policy(server.global_model());
+        evals[d] = evaluator.run_episode(policy, app,
+                                         mix_seed(config.seed, round, d));
+      });
+      record_round(result.devices, result.fleet, evals);
+    }
+    if (rotation && (round + 1) % config.checkpoint.every_rounds == 0) {
+      ckpt::Writer out;
+      ckpt::write_tag(out, kFedExpTag);
+      out.u64(round + 1);  // next round to run
+      fleet.save_state(out);
+      server.save_state(out);
+      save_device_curves(out, result.devices);
+      save_curve(out, result.fleet);
+      save_app_names(out, result.eval_app_per_round);
+      save_traffic(out, merge_traffic(traffic_baseline, transport.stats()));
+      rotation->save(out.data());
+    }
   }
 
   result.global_params = server.global_model();
-  result.traffic = transport.stats();
+  result.traffic = merge_traffic(traffic_baseline, transport.stats());
   return result;
 }
 
@@ -114,19 +262,46 @@ LocalRunResult run_local_only(
   LocalRunResult result;
   result.devices.resize(fleet.size());
 
-  for (std::size_t round = 0; round < config.rounds; ++round) {
+  std::size_t start_round = 0;
+  if (!config.checkpoint.resume_from.empty()) {
+    const std::vector<std::uint8_t> payload =
+        load_resume_payload(config.checkpoint.resume_from,
+                            config.checkpoint.keep);
+    ckpt::Reader in(payload);
+    ckpt::expect_tag(in, kLocalExpTag, "local-only experiment");
+    start_round = in.u64();
+    fleet.restore_state(in);
+    restore_device_curves(in, result.devices);
+    result.fleet = restore_curve(in);
+    result.eval_app_per_round = restore_app_names(in);
+  }
+  const std::optional<ckpt::SnapshotRotation> rotation =
+      make_rotation(config.checkpoint);
+
+  for (std::size_t round = start_round; round < config.rounds; ++round) {
     fleet.run_local_round();
-    if (!eval_each_round) continue;
-    const sim::AppProfile& app = eval_apps[round % eval_apps.size()];
-    result.eval_app_per_round.push_back(app.name);
-    std::vector<EvalResult> evals(fleet.size());
-    fleet.for_each_device([&](std::size_t d) {
-      const PolicyFn policy =
-          evaluator.neural_policy(fleet.controller(d).local_parameters());
-      evals[d] =
-          evaluator.run_episode(policy, app, mix_seed(config.seed, round, d));
-    });
-    record_round(result.devices, result.fleet, evals);
+    if (eval_each_round) {
+      const sim::AppProfile& app = eval_apps[round % eval_apps.size()];
+      result.eval_app_per_round.push_back(app.name);
+      std::vector<EvalResult> evals(fleet.size());
+      fleet.for_each_device([&](std::size_t d) {
+        const PolicyFn policy =
+            evaluator.neural_policy(fleet.controller(d).local_parameters());
+        evals[d] = evaluator.run_episode(policy, app,
+                                         mix_seed(config.seed, round, d));
+      });
+      record_round(result.devices, result.fleet, evals);
+    }
+    if (rotation && (round + 1) % config.checkpoint.every_rounds == 0) {
+      ckpt::Writer out;
+      ckpt::write_tag(out, kLocalExpTag);
+      out.u64(round + 1);
+      fleet.save_state(out);
+      save_device_curves(out, result.devices);
+      save_curve(out, result.fleet);
+      save_app_names(out, result.eval_app_per_round);
+      rotation->save(out.data());
+    }
   }
 
   for (std::size_t d = 0; d < fleet.size(); ++d)

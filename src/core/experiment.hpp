@@ -23,6 +23,22 @@
 
 namespace fedpower::core {
 
+/// Crash-safe checkpointing of a federated/local run (DESIGN.md §9).
+/// With every_rounds > 0, run_federated / run_local_only write a durable
+/// snapshot of the whole experiment — fleet, server, partial curves,
+/// traffic baseline — into `dir` after each multiple of every_rounds, kept
+/// `keep` deep. A run restarted with resume_from pointing at a snapshot
+/// file (or at the rotation directory, to pick the newest valid entry)
+/// continues from the saved round and finishes bit-identical to the
+/// uninterrupted run.
+struct CheckpointConfig {
+  std::size_t every_rounds = 0;  ///< 0 disables periodic snapshots
+  std::string dir;               ///< rotation directory (required if enabled)
+  std::size_t keep = 3;          ///< rotation depth
+  std::string resume_from;       ///< snapshot file or rotation dir; empty =
+                                 ///< start fresh
+};
+
 struct ExperimentConfig {
   ControllerConfig controller{};
   sim::ProcessorConfig processor{};
@@ -33,6 +49,7 @@ struct ExperimentConfig {
   /// 1 = serial (the default), 0 = one per hardware thread. Results are
   /// bit-identical for every value (DESIGN.md §7).
   std::size_t num_threads = 1;
+  CheckpointConfig checkpoint{};
 };
 
 /// Per-round evaluation curves of one device's policy.

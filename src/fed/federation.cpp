@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "ckpt/state_io.hpp"
 #include "util/assert.hpp"
 
 namespace fedpower::fed {
@@ -127,6 +128,7 @@ RoundResult FederatedAveraging::run_round() {
   // transfer sequence. Aggregation is synchronous over the survivors.
   std::vector<std::vector<double>> locals;
   std::vector<double> weights;
+  std::vector<char> screened(clients_.size(), 0);
   locals.reserve(result.participants.size());
   for (const std::size_t i : training) {
     try {
@@ -136,6 +138,14 @@ RoundResult FederatedAveraging::run_round() {
       auto local = codec_->decode(payload);
       if (local.size() != global_.size()) {
         lost[i] = 1;  // decoded to the wrong shape: treat as corrupt
+        continue;
+      }
+      // Server-side screening: a NaN or infinity anywhere in an upload
+      // would poison every mean-style aggregate, so a diverged (or
+      // malicious) model is excluded exactly like a transport dropout.
+      if (std::any_of(local.begin(), local.end(),
+                      [](double v) { return !std::isfinite(v); })) {
+        screened[i] = 1;
         continue;
       }
       result.uplink_bytes += payload.size();
@@ -149,8 +159,10 @@ RoundResult FederatedAveraging::run_round() {
     }
   }
 
-  for (const std::size_t i : result.participants)
+  for (const std::size_t i : result.participants) {
     if (lost[i]) result.dropped.push_back(i);
+    if (screened[i]) result.rejected.push_back(i);
+  }
   result.transport_retries = total_transport_retries() - retries_before;
 
   if (locals.size() < quorum_) throw QuorumError(locals.size(), quorum_);
@@ -182,6 +194,42 @@ RoundResult FederatedAveraging::run_round() {
 
 void FederatedAveraging::run(std::size_t rounds) {
   for (std::size_t r = 0; r < rounds; ++r) run_round();
+}
+
+namespace {
+constexpr ckpt::Tag kFedTag{'F', 'A', 'V', 'G'};
+}  // namespace
+
+void FederatedAveraging::save_state(ckpt::Writer& out) const {
+  write_tag(out, kFedTag);
+  out.u64(clients_.size());
+  out.u64(rounds_completed_);
+  ckpt::save_rng(out, participation_rng_);
+  out.vec_f64(global_);
+}
+
+void FederatedAveraging::restore_state(ckpt::Reader& in) {
+  expect_tag(in, kFedTag, "federated averaging server");
+  const std::uint64_t client_count = in.u64();
+  if (client_count != clients_.size())
+    throw ckpt::StateMismatchError(
+        "federation snapshot was taken with " + std::to_string(client_count) +
+        " client(s), this federation has " + std::to_string(clients_.size()));
+  rounds_completed_ = in.u64();
+  ckpt::restore_rng(in, participation_rng_);
+  global_ = in.vec_f64();
+  // An uninitialized client reports an empty model, which says nothing
+  // about shape; only a client that already holds parameters can expose a
+  // snapshot/fleet mismatch.
+  const std::size_t client_params =
+      clients_.front()->local_parameters().size();
+  if (!global_.empty() && client_params != 0 &&
+      global_.size() != client_params)
+    throw ckpt::StateMismatchError(
+        "federation snapshot global model has " +
+        std::to_string(global_.size()) +
+        " parameter(s), the clients' models have " +
+        std::to_string(client_params));
 }
 
 }  // namespace fedpower::fed

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/binary_io.hpp"
 #include "fed/aggregate.hpp"
 #include "fed/codec.hpp"
 #include "fed/transport.hpp"
@@ -55,12 +56,16 @@ struct RoundResult {
   /// Selected clients lost to transport faults (connection errors or
   /// corrupt payloads); always a subset of participants, sorted.
   std::vector<std::size_t> dropped;
+  /// Selected clients whose upload decoded cleanly but was screened out by
+  /// the server (non-finite parameters — a diverged or malicious model);
+  /// disjoint from dropped, sorted.
+  std::vector<std::size_t> rejected;
   /// Transport-level reconnect/retry attempts observed during the round.
   std::size_t transport_retries = 0;
 
   /// Clients whose local model made it into the aggregate.
   std::size_t survivors() const noexcept {
-    return participants.size() - dropped.size();
+    return participants.size() - dropped.size() - rejected.size();
   }
 };
 
@@ -127,8 +132,10 @@ class FederatedAveraging {
   /// Runs one full round: broadcast, parallel local training, aggregation.
   /// A client whose downlink or uplink transfer throws TransportError (or
   /// delivers a payload the codec rejects) is recorded in
-  /// RoundResult::dropped and excluded from the aggregate; the round
-  /// completes with the survivors as long as the quorum holds.
+  /// RoundResult::dropped and excluded from the aggregate; an upload that
+  /// decodes to the wrong shape or contains non-finite values is screened
+  /// out server-side (RoundResult::rejected) exactly like a dropout. The
+  /// round completes with the survivors as long as the quorum holds.
   RoundResult run_round();
 
   /// Runs the given number of rounds back to back.
@@ -138,6 +145,12 @@ class FederatedAveraging {
   std::size_t rounds_completed() const noexcept { return rounds_completed_; }
   std::size_t client_count() const noexcept { return clients_.size(); }
   const ModelCodec& codec() const noexcept { return *codec_; }
+
+  /// Serializes the server's round state: global model, round counter and
+  /// the participation RNG stream (so a resumed run selects the same
+  /// clients the uninterrupted run would have).
+  void save_state(ckpt::Writer& out) const;
+  void restore_state(ckpt::Reader& in);
 
  private:
   std::vector<std::size_t> draw_participants();

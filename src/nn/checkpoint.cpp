@@ -1,28 +1,35 @@
 #include "nn/checkpoint.hpp"
 
-#include <fstream>
 #include <stdexcept>
 
+#include "ckpt/snapshot.hpp"
 #include "nn/serialize.hpp"
 
 namespace fedpower::nn {
 
 void save_parameters(const std::string& path,
                      std::span<const double> params) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
-  const std::vector<std::uint8_t> payload = encode_parameters(params);
-  out.write(reinterpret_cast<const char*>(payload.data()),
-            static_cast<std::streamsize>(payload.size()));
-  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+  // Atomic write through the snapshot subsystem's temp-file + fsync +
+  // rename path: a crash mid-save leaves the previous checkpoint intact,
+  // never a torn file. The bytes on disk are still the plain FPNN payload
+  // (wrapped in the FPCK container), so decode errors stay precise.
+  ckpt::write_snapshot_file(path, encode_parameters(params));
 }
 
 std::vector<double> load_parameters(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
-  std::vector<std::uint8_t> payload(
-      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-  return decode_parameters(payload);
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = ckpt::read_file_bytes(path);
+  } catch (const ckpt::SnapshotNotFoundError& e) {
+    throw std::runtime_error(std::string("checkpoint: ") + e.what());
+  }
+  // Accept both the FPCK-wrapped form written by save_parameters (with
+  // checksum validation) and a bare FPNN payload (the federated wire
+  // format, e.g. a captured upload).
+  if (bytes.size() >= 4 && bytes[0] == 'F' && bytes[1] == 'P' &&
+      bytes[2] == 'C' && bytes[3] == 'K')
+    return decode_parameters(ckpt::decode_snapshot(bytes));
+  return decode_parameters(bytes);
 }
 
 }  // namespace fedpower::nn

@@ -10,12 +10,16 @@
 
 namespace fedpower::nn {
 
-/// Writes parameters to the given path; throws std::runtime_error on I/O
-/// failure.
+/// Writes parameters atomically (temp file + fsync + rename, wrapped in
+/// the checksummed FPCK snapshot container); throws std::runtime_error on
+/// I/O failure. A crash mid-save never leaves a torn checkpoint.
 void save_parameters(const std::string& path, std::span<const double> params);
 
-/// Reads parameters back; throws std::runtime_error on I/O failure and
-/// std::invalid_argument on malformed content.
+/// Reads parameters back from either an FPCK-wrapped checkpoint (checksum
+/// validated) or a bare FPNN wire payload. Throws std::runtime_error on
+/// I/O failure or container corruption and std::invalid_argument on
+/// malformed payload content, with distinct messages for truncation,
+/// trailing garbage, bad magic and unsupported versions.
 std::vector<double> load_parameters(const std::string& path);
 
 }  // namespace fedpower::nn

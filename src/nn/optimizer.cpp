@@ -28,6 +28,21 @@ void Sgd::step(std::vector<double>& params, const std::vector<double>& grads) {
 
 void Sgd::reset() noexcept { velocity_.clear(); }
 
+namespace {
+constexpr ckpt::Tag kSgdTag{'S', 'G', 'D', '0'};
+constexpr ckpt::Tag kAdamTag{'A', 'D', 'A', 'M'};
+}  // namespace
+
+void Sgd::save_state(ckpt::Writer& out) const {
+  write_tag(out, kSgdTag);
+  out.vec_f64(velocity_);
+}
+
+void Sgd::restore_state(ckpt::Reader& in) {
+  expect_tag(in, kSgdTag, "Sgd optimizer");
+  velocity_ = in.vec_f64();
+}
+
 Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon)
     : lr_(learning_rate), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
   FEDPOWER_EXPECTS(learning_rate > 0.0);
@@ -59,6 +74,33 @@ void Adam::reset() noexcept {
   m_.clear();
   v_.clear();
   t_ = 0;
+}
+
+void Adam::save_state(ckpt::Writer& out) const {
+  write_tag(out, kAdamTag);
+  out.u64(static_cast<std::uint64_t>(t_));
+  out.vec_f64(m_);
+  out.vec_f64(v_);
+}
+
+void Adam::restore_state(ckpt::Reader& in) {
+  expect_tag(in, kAdamTag, "Adam optimizer");
+  const auto t = static_cast<long>(in.u64());
+  auto m = in.vec_f64();
+  auto v = in.vec_f64();
+  if (m.size() != v.size())
+    throw ckpt::StateMismatchError(
+        "Adam snapshot has mismatched moment vectors (" +
+        std::to_string(m.size()) + " vs " + std::to_string(v.size()) + ")");
+  // An optimizer that already stepped knows its parameter dimension; a
+  // snapshot of a different dimension belongs to a different model.
+  if (!m_.empty() && !m.empty() && m.size() != m_.size())
+    throw ckpt::StateMismatchError(
+        "Adam snapshot is for " + std::to_string(m.size()) +
+        " parameter(s), this optimizer tracks " + std::to_string(m_.size()));
+  t_ = t;
+  m_ = std::move(m);
+  v_ = std::move(v);
 }
 
 }  // namespace fedpower::nn

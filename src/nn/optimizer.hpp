@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "ckpt/binary_io.hpp"
+
 namespace fedpower::nn {
 
 class Optimizer {
@@ -18,6 +20,14 @@ class Optimizer {
   /// Clears momentum/moment state (e.g. when a fresh global model arrives
   /// and the old curvature estimates no longer apply).
   virtual void reset() noexcept = 0;
+
+  /// Serializes the mutable state (momenta, step counters) — not the
+  /// hyperparameters, which are reconstructed from config on resume.
+  virtual void save_state(ckpt::Writer& out) const = 0;
+
+  /// Restores state saved by the same concrete type; the section tag makes
+  /// restoring an Adam snapshot into an Sgd a named error.
+  virtual void restore_state(ckpt::Reader& in) = 0;
 };
 
 /// Plain stochastic gradient descent with optional momentum.
@@ -28,6 +38,8 @@ class Sgd final : public Optimizer {
   void step(std::vector<double>& params,
             const std::vector<double>& grads) override;
   void reset() noexcept override;
+  void save_state(ckpt::Writer& out) const override;
+  void restore_state(ckpt::Reader& in) override;
 
   double learning_rate() const noexcept { return lr_; }
 
@@ -46,6 +58,8 @@ class Adam final : public Optimizer {
   void step(std::vector<double>& params,
             const std::vector<double>& grads) override;
   void reset() noexcept override;
+  void save_state(ckpt::Writer& out) const override;
+  void restore_state(ckpt::Reader& in) override;
 
   double learning_rate() const noexcept { return lr_; }
   long step_count() const noexcept { return t_; }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "util/assert.hpp"
 
@@ -64,8 +65,19 @@ std::vector<double> decode_parameters(std::span<const std::uint8_t> payload) {
   if (get_u16(payload, 4) != kPayloadVersion)
     throw std::invalid_argument("model payload has unsupported version");
   const std::uint32_t count = get_u32(payload, 8);
-  if (payload.size() != payload_size(count))
-    throw std::invalid_argument("model payload length mismatch");
+  // Distinct messages for the two corruption directions: a short payload
+  // means the transfer/file was cut off, extra bytes mean trailing garbage
+  // (e.g. a double write or a torn copy).
+  if (payload.size() < payload_size(count))
+    throw std::invalid_argument(
+        "model payload truncated: header claims " + std::to_string(count) +
+        " parameter(s) (" + std::to_string(payload_size(count)) +
+        " bytes), got " + std::to_string(payload.size()));
+  if (payload.size() > payload_size(count))
+    throw std::invalid_argument(
+        "model payload has trailing garbage: " +
+        std::to_string(payload.size() - payload_size(count)) +
+        " byte(s) past the " + std::to_string(count) + "-parameter payload");
   std::vector<double> params(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint32_t bits =

@@ -41,4 +41,26 @@ void DriftMonitor::reset() noexcept {
   detections_ = 0;
 }
 
+namespace {
+constexpr ckpt::Tag kDriftTag{'D', 'R', 'F', 'T'};
+}  // namespace
+
+void DriftMonitor::save_state(ckpt::Writer& out) const {
+  write_tag(out, kDriftTag);
+  out.f64(fast_);
+  out.f64(slow_);
+  out.u64(samples_);
+  out.u64(since_trigger_);
+  out.u64(detections_);
+}
+
+void DriftMonitor::restore_state(ckpt::Reader& in) {
+  expect_tag(in, kDriftTag, "drift monitor");
+  fast_ = in.f64();
+  slow_ = in.f64();
+  samples_ = in.u64();
+  since_trigger_ = in.u64();
+  detections_ = in.u64();
+}
+
 }  // namespace fedpower::rl

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 
+#include "ckpt/binary_io.hpp"
 #include "util/assert.hpp"
 
 namespace fedpower::rl {
@@ -38,6 +39,10 @@ class DriftMonitor {
   std::size_t detections() const noexcept { return detections_; }
 
   void reset() noexcept;
+
+  /// Checkpointing: the EWMA trackers and counters (config is not saved).
+  void save_state(ckpt::Writer& out) const;
+  void restore_state(ckpt::Reader& in);
 
   const DriftConfig& config() const noexcept { return config_; }
 

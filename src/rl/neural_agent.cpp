@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckpt/state_io.hpp"
 #include "nn/matrix.hpp"
 #include "rl/policy.hpp"
 
@@ -106,6 +107,43 @@ void NeuralBanditAgent::reheat(double target_tau) {
   const double step =
       std::log(config_.tau_max / target) / config_.tau_decay;
   step_ = static_cast<std::size_t>(std::max(0.0, step));
+}
+
+namespace {
+constexpr ckpt::Tag kAgentTag{'A', 'G', 'N', 'T'};
+}  // namespace
+
+void NeuralBanditAgent::save_state(ckpt::Writer& out) const {
+  write_tag(out, kAgentTag);
+  ckpt::save_rng(out, rng_);
+  out.vec_f64(model_.parameters());
+  optimizer_.save_state(out);
+  replay_.save_state(out);
+  out.vec_f64(global_anchor_);
+  out.u64(step_);
+  out.u64(updates_);
+  out.f64(last_loss_);
+}
+
+void NeuralBanditAgent::restore_state(ckpt::Reader& in) {
+  expect_tag(in, kAgentTag, "bandit agent");
+  ckpt::restore_rng(in, rng_);
+  const std::vector<double> params = in.vec_f64();
+  if (params.size() != model_.param_count())
+    throw ckpt::StateMismatchError(
+        "agent snapshot holds " + std::to_string(params.size()) +
+        " model parameter(s), this architecture has " +
+        std::to_string(model_.param_count()));
+  model_.set_parameters(params);
+  optimizer_.restore_state(in);
+  replay_.restore_state(in);
+  global_anchor_ = in.vec_f64();
+  if (!global_anchor_.empty() && global_anchor_.size() != params.size())
+    throw ckpt::StateMismatchError(
+        "agent snapshot FedProx anchor size does not match the model");
+  step_ = in.u64();
+  updates_ = in.u64();
+  last_loss_ = in.f64();
 }
 
 void NeuralBanditAgent::set_parameters(std::span<const double> params) {

@@ -82,6 +82,14 @@ class NeuralBanditAgent {
   void set_parameters(std::span<const double> params);
   std::size_t param_count() const noexcept { return model_.param_count(); }
 
+  // --- checkpointing ----------------------------------------------------
+  /// Serializes everything that evolves during training: the RNG stream,
+  /// model parameters, optimizer moments, replay contents, FedProx anchor
+  /// and step counters. Config/hyperparameters are not saved; a restored
+  /// agent must be constructed from the same config.
+  void save_state(ckpt::Writer& out) const;
+  void restore_state(ckpt::Reader& in);
+
   // --- inspection -------------------------------------------------------
   double temperature() const noexcept;
   std::size_t step_count() const noexcept { return step_; }

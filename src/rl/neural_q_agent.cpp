@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state_io.hpp"
 #include "nn/matrix.hpp"
 #include "rl/policy.hpp"
 
@@ -87,6 +88,40 @@ double NeuralQAgent::train_step() {
   if (updates_ % config_.target_sync_interval == 0) target_ = online_;
   last_loss_ = loss.value;
   return loss.value;
+}
+
+namespace {
+constexpr ckpt::Tag kQAgentTag{'Q', 'A', 'G', 'T'};
+}  // namespace
+
+void NeuralQAgent::save_state(ckpt::Writer& out) const {
+  write_tag(out, kQAgentTag);
+  ckpt::save_rng(out, rng_);
+  out.vec_f64(online_.parameters());
+  out.vec_f64(target_.parameters());
+  optimizer_.save_state(out);
+  replay_.save_state(out);
+  out.u64(step_);
+  out.u64(updates_);
+  out.f64(last_loss_);
+}
+
+void NeuralQAgent::restore_state(ckpt::Reader& in) {
+  expect_tag(in, kQAgentTag, "Q agent");
+  ckpt::restore_rng(in, rng_);
+  const std::vector<double> online = in.vec_f64();
+  const std::vector<double> target = in.vec_f64();
+  if (online.size() != online_.param_count() ||
+      target.size() != online_.param_count())
+    throw ckpt::StateMismatchError(
+        "Q agent snapshot parameter counts do not match this architecture");
+  online_.set_parameters(online);
+  target_.set_parameters(target);
+  optimizer_.restore_state(in);
+  replay_.restore_state(in);
+  step_ = in.u64();
+  updates_ = in.u64();
+  last_loss_ = in.f64();
 }
 
 void NeuralQAgent::set_parameters(std::span<const double> params) {

@@ -54,6 +54,11 @@ class NeuralQAgent {
   void set_parameters(std::span<const double> params);
   std::size_t param_count() const noexcept { return online_.param_count(); }
 
+  /// Checkpointing; same contract as NeuralBanditAgent, plus the frozen
+  /// target network's parameters.
+  void save_state(ckpt::Writer& out) const;
+  void restore_state(ckpt::Reader& in);
+
   double temperature() const noexcept { return tau_.value(step_); }
   std::size_t step_count() const noexcept { return step_; }
   std::size_t update_count() const noexcept { return updates_; }

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "ckpt/binary_io.hpp"
 #include "util/rng.hpp"
 
 namespace fedpower::rl {
@@ -36,6 +37,10 @@ class QReplayBuffer {
   QTransition at(std::size_t index) const;
 
   void clear() noexcept;
+
+  /// Checkpointing; same contract as ReplayBuffer::save_state/restore_state.
+  void save_state(ckpt::Writer& out) const;
+  void restore_state(ckpt::Reader& in);
 
  private:
   std::size_t capacity_;

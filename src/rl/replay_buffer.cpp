@@ -71,4 +71,40 @@ void ReplayBuffer::clear() noexcept {
   size_ = 0;
 }
 
+namespace {
+constexpr ckpt::Tag kReplayTag{'R', 'P', 'L', 'Y'};
+}  // namespace
+
+void ReplayBuffer::save_state(ckpt::Writer& out) const {
+  write_tag(out, kReplayTag);
+  out.u64(capacity_);
+  out.u64(state_dim_);
+  out.u64(head_);
+  out.u64(size_);
+  out.vec_f32(states_);
+  out.vec_u8(actions_);
+  out.vec_f32(rewards_);
+}
+
+void ReplayBuffer::restore_state(ckpt::Reader& in) {
+  expect_tag(in, kReplayTag, "replay buffer");
+  const std::uint64_t capacity = in.u64();
+  const std::uint64_t state_dim = in.u64();
+  if (capacity != capacity_ || state_dim != state_dim_)
+    throw ckpt::StateMismatchError(
+        "replay buffer snapshot geometry " + std::to_string(capacity) + "x" +
+        std::to_string(state_dim) + " does not match configured " +
+        std::to_string(capacity_) + "x" + std::to_string(state_dim_));
+  head_ = in.u64();
+  size_ = in.u64();
+  states_ = in.vec_f32();
+  actions_ = in.vec_u8();
+  rewards_ = in.vec_f32();
+  if (head_ >= capacity_ || size_ > capacity_ ||
+      states_.size() != capacity_ * state_dim_ ||
+      actions_.size() != capacity_ || rewards_.size() != capacity_)
+    throw ckpt::StateMismatchError(
+        "replay buffer snapshot has inconsistent cursors or array sizes");
+}
+
 }  // namespace fedpower::rl

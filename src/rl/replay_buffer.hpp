@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "ckpt/binary_io.hpp"
 #include "util/rng.hpp"
 
 namespace fedpower::rl {
@@ -46,6 +47,14 @@ class ReplayBuffer {
   std::size_t storage_bytes() const noexcept;
 
   void clear() noexcept;
+
+  /// Serializes the ring contents plus head/size cursors verbatim.
+  void save_state(ckpt::Writer& out) const;
+
+  /// Restores a snapshot taken from a buffer with the same capacity and
+  /// state_dim; throws StateMismatchError when the shapes differ (the
+  /// config, not the snapshot, decides buffer geometry).
+  void restore_state(ckpt::Reader& in);
 
  private:
   std::size_t capacity_;

@@ -68,4 +68,30 @@ util::ParallelFor FleetRuntime::executor() {
   return pool_ ? pool_->executor() : util::ParallelFor{};
 }
 
+namespace {
+constexpr ckpt::Tag kFleetTag{'F', 'L', 'T', '1'};
+}  // namespace
+
+void FleetRuntime::save_state(ckpt::Writer& out) const {
+  write_tag(out, kFleetTag);
+  out.u64(controllers_.size());
+  for (std::size_t d = 0; d < controllers_.size(); ++d) {
+    hardware_[d].processor->save_state(out);
+    controllers_[d]->save_state(out);
+  }
+}
+
+void FleetRuntime::restore_state(ckpt::Reader& in) {
+  expect_tag(in, kFleetTag, "fleet runtime");
+  const std::uint64_t device_count = in.u64();
+  if (device_count != controllers_.size())
+    throw ckpt::StateMismatchError(
+        "fleet snapshot holds " + std::to_string(device_count) +
+        " device(s), this fleet has " + std::to_string(controllers_.size()));
+  for (std::size_t d = 0; d < controllers_.size(); ++d) {
+    hardware_[d].processor->restore_state(in);
+    controllers_[d]->restore_state(in);
+  }
+}
+
 }  // namespace fedpower::runtime

@@ -96,6 +96,16 @@ class FleetRuntime {
   /// layers fall back to their plain loops.
   util::ParallelFor executor();
 
+  /// Serializes the whole fleet — every device's processor and controller,
+  /// in device order. Thread count is NOT part of the state: execution is
+  /// bit-identical across pool sizes (DESIGN.md §7), so a snapshot taken
+  /// at 4 threads restores into a serial runtime and vice versa.
+  void save_state(ckpt::Writer& out) const;
+
+  /// Restores into a fleet built from the same configs/apps/seed shape;
+  /// throws StateMismatchError when the device count differs.
+  void restore_state(ckpt::Reader& in);
+
  private:
   std::vector<DeviceHardware> hardware_;
   std::vector<std::unique_ptr<core::PowerController>> controllers_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckpt/state_io.hpp"
+
 namespace fedpower::sim {
 
 namespace {
@@ -197,6 +199,120 @@ TelemetrySample Processor::run_interval(double dt_s) {
   sample.app_name = current_app_name();
   previous_level_ = level_;
   return sample;
+}
+
+namespace {
+
+constexpr ckpt::Tag kProcessorTag{'P', 'R', 'O', 'C'};
+
+void save_phase(ckpt::Writer& out, const PhaseProfile& phase) {
+  out.f64(phase.base_cpi);
+  out.f64(phase.llc_apki);
+  out.f64(phase.llc_miss_rate);
+  out.f64(phase.activity);
+  out.f64(phase.instructions);
+}
+
+PhaseProfile restore_phase(ckpt::Reader& in) {
+  PhaseProfile phase;
+  phase.base_cpi = in.f64();
+  phase.llc_apki = in.f64();
+  phase.llc_miss_rate = in.f64();
+  phase.activity = in.f64();
+  phase.instructions = in.f64();
+  return phase;
+}
+
+}  // namespace
+
+void Processor::save_state(ckpt::Writer& out) const {
+  write_tag(out, kProcessorTag);
+  ckpt::save_rng(out, rng_);
+  out.u8(thermal_.has_value() ? 1 : 0);
+  if (thermal_) out.f64(thermal_->temperature_c());
+  // In-flight application run, profile stored verbatim: the profile was
+  // drawn (and possibly scaled) by the workload at start time, so the
+  // resumed run must finish the exact same instance.
+  out.u8(run_.has_value() ? 1 : 0);
+  if (run_) {
+    out.str(run_->app.name);
+    out.u64(run_->app.phases.size());
+    for (const PhaseProfile& phase : run_->app.phases) save_phase(out, phase);
+    out.u64(run_->phase_index);
+    out.f64(run_->phase_instructions_done);
+    out.f64(run_->start_time_s);
+    out.f64(run_->instructions);
+    out.f64(run_->energy_j);
+  }
+  out.u64(completed_.size());
+  for (const AppExecution& exec : completed_) {
+    out.str(exec.name);
+    out.f64(exec.start_time_s);
+    out.f64(exec.exec_time_s);
+    out.f64(exec.energy_j);
+    out.f64(exec.instructions);
+    out.f64(exec.avg_power_w);
+    out.f64(exec.avg_ips);
+  }
+  out.u64(level_);
+  out.u64(previous_level_);
+  out.f64(time_s_);
+  out.f64(jitter_miss_);
+  out.f64(jitter_activity_);
+  out.f64(mem_latency_scale_);
+}
+
+void Processor::restore_state(ckpt::Reader& in) {
+  expect_tag(in, kProcessorTag, "processor");
+  ckpt::restore_rng(in, rng_);
+  const bool had_thermal = in.u8() != 0;
+  if (had_thermal != thermal_.has_value())
+    throw ckpt::StateMismatchError(
+        "processor snapshot thermal-model flag does not match this config");
+  if (thermal_) thermal_->set_temperature_c(in.f64());
+  run_.reset();
+  if (in.u8() != 0) {
+    AppRun run;
+    run.app.name = in.str();
+    const std::uint64_t phase_count = in.u64();
+    run.app.phases.reserve(phase_count);
+    for (std::uint64_t i = 0; i < phase_count; ++i)
+      run.app.phases.push_back(restore_phase(in));
+    run.phase_index = in.u64();
+    run.phase_instructions_done = in.f64();
+    run.start_time_s = in.f64();
+    run.instructions = in.f64();
+    run.energy_j = in.f64();
+    if (run.app.phases.empty() || run.phase_index >= run.app.phases.size())
+      throw ckpt::StateMismatchError(
+          "processor snapshot has an in-flight run with an out-of-range "
+          "phase index");
+    run_ = std::move(run);
+  }
+  const std::uint64_t completed_count = in.u64();
+  completed_.clear();
+  completed_.reserve(completed_count);
+  for (std::uint64_t i = 0; i < completed_count; ++i) {
+    AppExecution exec;
+    exec.name = in.str();
+    exec.start_time_s = in.f64();
+    exec.exec_time_s = in.f64();
+    exec.energy_j = in.f64();
+    exec.instructions = in.f64();
+    exec.avg_power_w = in.f64();
+    exec.avg_ips = in.f64();
+    completed_.push_back(std::move(exec));
+  }
+  level_ = in.u64();
+  previous_level_ = in.u64();
+  if (level_ >= config_.vf_table.size() ||
+      previous_level_ >= config_.vf_table.size())
+    throw ckpt::StateMismatchError(
+        "processor snapshot V/f level is out of range for this table");
+  time_s_ = in.f64();
+  jitter_miss_ = in.f64();
+  jitter_activity_ = in.f64();
+  mem_latency_scale_ = in.f64();
 }
 
 }  // namespace fedpower::sim

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/binary_io.hpp"
 #include "sim/device.hpp"
 #include "sim/perf_model.hpp"
 #include "sim/power_model.hpp"
@@ -85,6 +86,14 @@ class Processor final : public CpuDevice {
 
   /// Die temperature (ambient when the thermal model is disabled).
   double temperature_c() const noexcept;
+
+  /// Serializes all mutable execution state: RNG, die temperature, the
+  /// in-flight application run (its profile is stored verbatim — resumed
+  /// execution continues the exact same jittered phases), completed-run
+  /// log, V/f level, clock and per-interval jitters. The workload pointer
+  /// is not saved; re-attach the same workload before resuming.
+  void save_state(ckpt::Writer& out) const;
+  void restore_state(ckpt::Reader& in);
 
  private:
   struct AppRun {

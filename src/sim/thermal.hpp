@@ -37,6 +37,9 @@ class ThermalModel {
 
   void reset() noexcept { temperature_c_ = params_.ambient_c; }
 
+  /// Restores a checkpointed die temperature.
+  void set_temperature_c(double value) noexcept { temperature_c_ = value; }
+
   const ThermalParams& params() const noexcept { return params_; }
 
  private:

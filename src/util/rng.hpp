@@ -74,6 +74,21 @@ class Rng {
   /// Derives an independent child generator (for per-device streams).
   [[nodiscard]] Rng split() noexcept;
 
+  /// The raw 256-bit generator state, for checkpointing. Restoring a saved
+  /// state resumes the stream exactly where it left off (normal() caches no
+  /// spare, so the state array is the complete generator state).
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const noexcept {
+    return state_;
+  }
+
+  /// Replaces the generator state. The all-zero state is a fixed point of
+  /// xoshiro256++ (the generator would emit zeros forever) and is rejected.
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    FEDPOWER_EXPECTS(state[0] != 0 || state[1] != 0 || state[2] != 0 ||
+                     state[3] != 0);
+    state_ = state;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_{};
 };

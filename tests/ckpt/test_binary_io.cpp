@@ -1,0 +1,129 @@
+#include "ckpt/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace fedpower::ckpt {
+namespace {
+
+TEST(BinaryIo, ScalarsRoundTrip) {
+  Writer out;
+  out.u8(0xab);
+  out.u16(0xbeef);
+  out.u32(0xdeadbeefu);
+  out.u64(0x0123456789abcdefULL);
+  out.f64(-1.5e300);
+  out.f32(2.25f);
+  const auto bytes = out.data();
+
+  Reader in(bytes);
+  EXPECT_EQ(in.u8(), 0xab);
+  EXPECT_EQ(in.u16(), 0xbeef);
+  EXPECT_EQ(in.u32(), 0xdeadbeefu);
+  EXPECT_EQ(in.u64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(in.f64(), -1.5e300);
+  EXPECT_FLOAT_EQ(in.f32(), 2.25f);
+  EXPECT_TRUE(in.exhausted());
+}
+
+TEST(BinaryIo, MultiByteValuesAreLittleEndian) {
+  Writer out;
+  out.u32(0x04030201u);
+  const auto& bytes = out.data();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[1], 0x02);
+  EXPECT_EQ(bytes[2], 0x03);
+  EXPECT_EQ(bytes[3], 0x04);
+}
+
+TEST(BinaryIo, NonFiniteDoublesRoundTripBitExact) {
+  Writer out;
+  out.f64(std::numeric_limits<double>::quiet_NaN());
+  out.f64(std::numeric_limits<double>::infinity());
+  out.f64(-0.0);
+  Reader in(out.data());
+  EXPECT_TRUE(std::isnan(in.f64()));
+  EXPECT_EQ(in.f64(), std::numeric_limits<double>::infinity());
+  const double neg_zero = in.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+}
+
+TEST(BinaryIo, StringsAndVectorsRoundTrip) {
+  Writer out;
+  out.str("water-ns");
+  out.str("");
+  out.vec_f64(std::vector<double>{1.0, -2.5, 3.75});
+  out.vec_u64(std::vector<std::uint64_t>{7, 0, 42});
+  out.vec_u8(std::vector<std::uint8_t>{9, 8});
+  Reader in(out.data());
+  EXPECT_EQ(in.str(), "water-ns");
+  EXPECT_EQ(in.str(), "");
+  EXPECT_EQ(in.vec_f64(), (std::vector<double>{1.0, -2.5, 3.75}));
+  EXPECT_EQ(in.vec_u64(), (std::vector<std::uint64_t>{7, 0, 42}));
+  EXPECT_EQ(in.vec_u8(), (std::vector<std::uint8_t>{9, 8}));
+  EXPECT_TRUE(in.exhausted());
+}
+
+TEST(BinaryIo, RawBytesHaveNoFraming) {
+  Writer out;
+  out.raw(std::vector<std::uint8_t>{1, 2, 3});
+  EXPECT_EQ(out.size(), 3u);  // verbatim, no length prefix
+  Reader in(out.data());
+  EXPECT_EQ(in.raw(3), (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(BinaryIo, ReadingPastEndThrowsCorrupt) {
+  Writer out;
+  out.u16(1);
+  Reader in(out.data());
+  (void)in.u8();
+  EXPECT_THROW((void)in.u16(), CorruptSnapshotError);
+  Reader in2(out.data());
+  EXPECT_THROW((void)in2.u64(), CorruptSnapshotError);
+  Reader in3(out.data());
+  EXPECT_THROW((void)in3.raw(3), CorruptSnapshotError);
+}
+
+TEST(BinaryIo, TruncatedStringThrowsCorrupt) {
+  Writer out;
+  out.str("federated");
+  auto bytes = out.take();
+  bytes.resize(bytes.size() - 3);
+  Reader in(bytes);
+  EXPECT_THROW((void)in.str(), CorruptSnapshotError);
+}
+
+TEST(BinaryIo, ForgedHugeVectorCountThrowsInsteadOfAllocating) {
+  // A forged count of 2^61 elements times 8 bytes overflows u64 into a
+  // small number; the division-based guard must reject it before any
+  // allocation happens.
+  Writer out;
+  out.u64(0x2000000000000000ULL);
+  out.f64(1.0);
+  Reader in(out.data());
+  EXPECT_THROW((void)in.vec_f64(), CorruptSnapshotError);
+}
+
+TEST(BinaryIo, TagMismatchNamesComponent) {
+  Writer out;
+  write_tag(out, Tag{'A', 'D', 'A', 'M'});
+  Reader good(out.data());
+  EXPECT_NO_THROW(expect_tag(good, Tag{'A', 'D', 'A', 'M'}, "Adam"));
+  Reader bad(out.data());
+  try {
+    expect_tag(bad, Tag{'S', 'G', 'D', '0'}, "Sgd");
+    FAIL() << "expect_tag should have thrown";
+  } catch (const CorruptSnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("Sgd"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fedpower::ckpt

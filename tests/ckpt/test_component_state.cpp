@@ -1,0 +1,322 @@
+// Save/restore equivalence per stateful component: serialize mid-stream,
+// restore into a freshly built (differently seeded) instance, drive both
+// with identical inputs and require bit-identical behaviour — the unit-level
+// version of the crash-resume guarantee (DESIGN.md §9).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ckpt/binary_io.hpp"
+#include "ckpt/errors.hpp"
+#include "fed/federation.hpp"
+#include "nn/optimizer.hpp"
+#include "rl/drift.hpp"
+#include "rl/neural_agent.hpp"
+#include "rl/replay_buffer.hpp"
+#include "sim/processor.hpp"
+#include "sim/splash2.hpp"
+
+namespace fedpower {
+namespace {
+
+std::vector<std::uint8_t> saved_bytes(const auto& component) {
+  ckpt::Writer out;
+  component.save_state(out);
+  return out.take();
+}
+
+// ---------------------------------------------------------------------------
+// Optimizers
+// ---------------------------------------------------------------------------
+
+TEST(ComponentState, SgdResumesMomentumExactly) {
+  nn::Sgd original(0.1, 0.9);
+  std::vector<double> params = {0.0, 1.0};
+  for (int i = 0; i < 7; ++i) original.step(params, {1.0, -0.5});
+
+  const auto bytes = saved_bytes(original);
+  nn::Sgd restored(0.1, 0.9);
+  ckpt::Reader in(bytes);
+  restored.restore_state(in);
+  EXPECT_TRUE(in.exhausted());
+
+  std::vector<double> params_restored = params;
+  for (int i = 0; i < 20; ++i) {
+    original.step(params, {0.3, 0.3});
+    restored.step(params_restored, {0.3, 0.3});
+  }
+  EXPECT_EQ(params, params_restored);
+}
+
+TEST(ComponentState, AdamResumesMomentsAndTimestepExactly) {
+  nn::Adam original(0.01);
+  std::vector<double> params = {1.0, -2.0, 0.5};
+  for (int i = 0; i < 13; ++i)
+    original.step(params, {0.1, -0.2, 0.05});
+
+  const auto bytes = saved_bytes(original);
+  nn::Adam restored(0.01);
+  ckpt::Reader in(bytes);
+  restored.restore_state(in);
+
+  std::vector<double> params_restored = params;
+  for (int i = 0; i < 50; ++i) {
+    original.step(params, {-0.05, 0.1, 0.2});
+    restored.step(params_restored, {-0.05, 0.1, 0.2});
+  }
+  EXPECT_EQ(params, params_restored);
+}
+
+TEST(ComponentState, AdamRejectsWrongDimensionSnapshot) {
+  nn::Adam two_dim(0.01);
+  std::vector<double> params = {1.0, 2.0};
+  two_dim.step(params, {0.1, 0.1});
+  const auto bytes = saved_bytes(two_dim);
+
+  nn::Adam three_dim(0.01);
+  std::vector<double> other = {1.0, 2.0, 3.0};
+  three_dim.step(other, {0.1, 0.1, 0.1});
+  ckpt::Reader in(bytes);
+  EXPECT_THROW(three_dim.restore_state(in), ckpt::StateMismatchError);
+}
+
+TEST(ComponentState, OptimizerSnapshotsAreNotInterchangeable) {
+  nn::Adam adam(0.01);
+  std::vector<double> params = {1.0};
+  adam.step(params, {0.1});
+  const auto bytes = saved_bytes(adam);
+  nn::Sgd sgd(0.01);
+  ckpt::Reader in(bytes);
+  EXPECT_THROW(sgd.restore_state(in), ckpt::CorruptSnapshotError);
+}
+
+// ---------------------------------------------------------------------------
+// Replay buffer
+// ---------------------------------------------------------------------------
+
+TEST(ComponentState, ReplayBufferRoundTripsContentsAndWritePosition) {
+  rl::ReplayBuffer original(4, 2);
+  for (int i = 0; i < 6; ++i)  // wraps around: head mid-buffer
+    original.push(std::vector<double>{1.0 * i, 2.0 * i}, static_cast<std::size_t>(i % 3),
+                  0.1 * i);
+
+  const auto bytes = saved_bytes(original);
+  rl::ReplayBuffer restored(4, 2);
+  ckpt::Reader in(bytes);
+  restored.restore_state(in);
+  EXPECT_TRUE(in.exhausted());
+
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored.at(i).state, original.at(i).state);
+    EXPECT_EQ(restored.at(i).action, original.at(i).action);
+    EXPECT_EQ(restored.at(i).reward, original.at(i).reward);
+  }
+  // Both evict the same slot on the next push.
+  original.push(std::vector<double>{9.0, 9.0}, 0, 9.0);
+  restored.push(std::vector<double>{9.0, 9.0}, 0, 9.0);
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(restored.at(i).reward, original.at(i).reward);
+}
+
+TEST(ComponentState, ReplayBufferRejectsWrongGeometry) {
+  rl::ReplayBuffer original(4, 2);
+  original.push(std::vector<double>{1.0, 2.0}, 0, 0.5);
+  const auto bytes = saved_bytes(original);
+
+  rl::ReplayBuffer wrong_capacity(8, 2);
+  ckpt::Reader in1(bytes);
+  EXPECT_THROW(wrong_capacity.restore_state(in1), ckpt::StateMismatchError);
+
+  rl::ReplayBuffer wrong_dim(4, 3);
+  ckpt::Reader in2(bytes);
+  EXPECT_THROW(wrong_dim.restore_state(in2), ckpt::StateMismatchError);
+}
+
+// ---------------------------------------------------------------------------
+// Drift monitor
+// ---------------------------------------------------------------------------
+
+TEST(ComponentState, DriftMonitorResumesTrackersExactly) {
+  rl::DriftConfig config;
+  config.warmup = 10;
+  config.cooldown = 20;
+  config.drop_threshold = 0.3;
+
+  rl::DriftMonitor original(config);
+  for (int i = 0; i < 50; ++i) (void)original.observe(0.6);
+
+  const auto bytes = saved_bytes(original);
+  rl::DriftMonitor restored(config);
+  ckpt::Reader in(bytes);
+  restored.restore_state(in);
+  EXPECT_TRUE(in.exhausted());
+
+  // A reward collapse right after the save point must trigger identically.
+  for (int i = 0; i < 40; ++i)
+    EXPECT_EQ(original.observe(-0.8), restored.observe(-0.8)) << i;
+  EXPECT_EQ(original.detections(), restored.detections());
+}
+
+// ---------------------------------------------------------------------------
+// Neural agent (model + optimizer + replay + exploration RNG)
+// ---------------------------------------------------------------------------
+
+rl::NeuralAgentConfig small_agent_config() {
+  rl::NeuralAgentConfig config;
+  config.state_dim = 3;
+  config.action_count = 4;
+  config.hidden_sizes = {8};
+  config.replay_capacity = 64;
+  config.batch_size = 16;
+  config.optimize_interval = 5;
+  return config;
+}
+
+TEST(ComponentState, NeuralAgentResumesTrainingBitIdentical) {
+  const auto config = small_agent_config();
+  rl::NeuralBanditAgent original(config, util::Rng{7});
+  const std::vector<double> state = {0.4, -0.2, 0.9};
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t a = original.select_action(state);
+    original.record(state, a, a == 1 ? 0.8 : -0.1);
+  }
+
+  const auto bytes = saved_bytes(original);
+  // Differently seeded construction: every word of restored state must come
+  // from the snapshot, not survive from initialization.
+  rl::NeuralBanditAgent restored(config, util::Rng{999});
+  ckpt::Reader in(bytes);
+  restored.restore_state(in);
+  EXPECT_TRUE(in.exhausted());
+  EXPECT_EQ(restored.parameters(), original.parameters());
+  EXPECT_EQ(restored.step_count(), original.step_count());
+
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t a = original.select_action(state);
+    const std::size_t b = restored.select_action(state);
+    ASSERT_EQ(a, b) << "exploration diverged at step " << i;
+    original.record(state, a, a == 1 ? 0.8 : -0.1);
+    restored.record(state, b, b == 1 ? 0.8 : -0.1);
+  }
+  EXPECT_EQ(restored.parameters(), original.parameters());
+  EXPECT_EQ(restored.update_count(), original.update_count());
+}
+
+TEST(ComponentState, NeuralAgentRejectsWrongArchitecture) {
+  rl::NeuralBanditAgent original(small_agent_config(), util::Rng{7});
+  const auto bytes = saved_bytes(original);
+
+  auto bigger = small_agent_config();
+  bigger.hidden_sizes = {16};
+  rl::NeuralBanditAgent other(bigger, util::Rng{7});
+  ckpt::Reader in(bytes);
+  EXPECT_THROW(other.restore_state(in), ckpt::CkptError);
+}
+
+// ---------------------------------------------------------------------------
+// Processor (simulated hardware: RNG, thermal, in-flight application)
+// ---------------------------------------------------------------------------
+
+TEST(ComponentState, ProcessorResumesMidApplicationBitIdentical) {
+  sim::ProcessorConfig config;  // defaults: noise + jitter active
+  sim::SingleAppWorkload workload_a(*sim::splash2_app("fft"));
+  sim::SingleAppWorkload workload_b(*sim::splash2_app("fft"));
+
+  sim::Processor original(config, util::Rng{11});
+  original.set_workload(&workload_a);
+  original.set_level(9);
+  for (int i = 0; i < 25; ++i) (void)original.run_interval(0.5);
+
+  const auto bytes = saved_bytes(original);
+  sim::Processor restored(config, util::Rng{4242});
+  restored.set_workload(&workload_b);
+  ckpt::Reader in(bytes);
+  restored.restore_state(in);
+  EXPECT_TRUE(in.exhausted());
+  EXPECT_EQ(restored.time_s(), original.time_s());
+
+  for (int i = 0; i < 25; ++i) {
+    if (i == 10) {
+      original.set_level(3);
+      restored.set_level(3);
+    }
+    const sim::TelemetrySample a = original.run_interval(0.5);
+    const sim::TelemetrySample b = restored.run_interval(0.5);
+    EXPECT_EQ(a.app_name, b.app_name) << i;
+    EXPECT_EQ(a.level, b.level) << i;
+    EXPECT_EQ(a.freq_mhz, b.freq_mhz) << i;
+    EXPECT_EQ(a.power_w, b.power_w) << i;
+    EXPECT_EQ(a.true_power_w, b.true_power_w) << i;
+    EXPECT_EQ(a.instructions, b.instructions) << i;
+    EXPECT_EQ(a.ipc, b.ipc) << i;
+    EXPECT_EQ(a.temperature_c, b.temperature_c) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Federated averaging server
+// ---------------------------------------------------------------------------
+
+/// Deterministic test client: adds a fixed delta each local round.
+class DeltaClient final : public fed::FederatedClient {
+ public:
+  explicit DeltaClient(double delta) : delta_(delta) {}
+  void receive_global(std::span<const double> params) override {
+    params_.assign(params.begin(), params.end());
+  }
+  std::vector<double> local_parameters() const override { return params_; }
+  void run_local_round() override {
+    for (double& p : params_) p += delta_;
+  }
+
+ private:
+  double delta_;
+  std::vector<double> params_;
+};
+
+TEST(ComponentState, FederationServerResumesRoundsAndParticipationStream) {
+  DeltaClient a1(+1.0), a2(-0.5), a3(+0.25);
+  fed::InProcessTransport transport_a;
+  fed::FederatedAveraging original({&a1, &a2, &a3}, &transport_a);
+  original.initialize({0.0, 10.0});
+  original.set_participation(0.5, 77);  // 2 of 3 clients per round
+  for (int i = 0; i < 4; ++i) (void)original.run_round();
+
+  const auto bytes = saved_bytes(original);
+  DeltaClient b1(+1.0), b2(-0.5), b3(+0.25);
+  fed::InProcessTransport transport_b;
+  fed::FederatedAveraging restored({&b1, &b2, &b3}, &transport_b);
+  restored.initialize({99.0, 99.0});  // overwritten by the snapshot
+  restored.set_participation(0.5, 1234);  // seed overwritten too
+  ckpt::Reader in(bytes);
+  restored.restore_state(in);
+  EXPECT_TRUE(in.exhausted());
+  EXPECT_EQ(restored.rounds_completed(), original.rounds_completed());
+  EXPECT_EQ(restored.global_model(), original.global_model());
+
+  for (int i = 0; i < 6; ++i) {
+    const fed::RoundResult ra = original.run_round();
+    const fed::RoundResult rb = restored.run_round();
+    EXPECT_EQ(ra.participants, rb.participants) << "round " << i;
+  }
+  EXPECT_EQ(restored.global_model(), original.global_model());
+}
+
+TEST(ComponentState, FederationServerRejectsWrongClientCount) {
+  DeltaClient a1(1.0), a2(1.0);
+  fed::InProcessTransport transport;
+  fed::FederatedAveraging two({&a1, &a2}, &transport);
+  two.initialize({0.0});
+  const auto bytes = saved_bytes(two);
+
+  DeltaClient b1(1.0);
+  fed::FederatedAveraging one({&b1}, &transport);
+  one.initialize({0.0});
+  ckpt::Reader in(bytes);
+  EXPECT_THROW(one.restore_state(in), ckpt::StateMismatchError);
+}
+
+}  // namespace
+}  // namespace fedpower

@@ -1,0 +1,198 @@
+#include "ckpt/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ckpt/crc32.hpp"
+#include "ckpt/rotation.hpp"
+
+namespace fedpower::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> payload_of(std::initializer_list<int> values) {
+  std::vector<std::uint8_t> out;
+  for (const int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+/// Overwrites a file with exact bytes, bypassing the atomic writer — the
+/// tests use this to plant deliberately damaged containers on disk.
+void write_raw(const std::string& path,
+               const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << path;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Fresh scratch directory per test, removed on destruction.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& name)
+      : path(fs::temp_directory_path() / ("fedpower_ckpt_" + name)) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string file(const std::string& leaf) const {
+    return (path / leaf).string();
+  }
+};
+
+TEST(Snapshot, RoundTripsPayload) {
+  const auto payload = payload_of({1, 2, 3, 4, 5});
+  const auto container = encode_snapshot(payload);
+  EXPECT_EQ(container.size(),
+            kSnapshotHeaderBytes + payload.size() + kSnapshotTrailerBytes);
+  EXPECT_EQ(decode_snapshot(container), payload);
+}
+
+TEST(Snapshot, EmptyPayloadRoundTrips) {
+  const auto container = encode_snapshot(std::vector<std::uint8_t>{});
+  EXPECT_EQ(decode_snapshot(container), std::vector<std::uint8_t>{});
+}
+
+TEST(Snapshot, EverySingleByteFlipIsDetected) {
+  // The container guarantee: no single-byte corruption anywhere — header,
+  // payload or trailer — restores silently. Magic damage and CRC-detected
+  // damage both surface as CorruptSnapshotError; flipping the version bytes
+  // also breaks the CRC (which covers them), so it too reads as corruption.
+  const auto payload = payload_of({10, 20, 30, 40});
+  const auto container = encode_snapshot(payload);
+  for (std::size_t i = 0; i < container.size(); ++i) {
+    auto damaged = container;
+    damaged[i] ^= 0x01;
+    EXPECT_THROW((void)decode_snapshot(damaged), CorruptSnapshotError)
+        << "byte " << i;
+  }
+}
+
+TEST(Snapshot, TruncationIsDetected) {
+  const auto container = encode_snapshot(payload_of({1, 2, 3}));
+  for (std::size_t keep = 0; keep < container.size(); ++keep) {
+    const std::vector<std::uint8_t> cut(container.begin(),
+                                        container.begin() + keep);
+    EXPECT_THROW((void)decode_snapshot(cut), CorruptSnapshotError)
+        << "kept " << keep;
+  }
+}
+
+TEST(Snapshot, TrailingGarbageIsDetected) {
+  auto container = encode_snapshot(payload_of({1, 2, 3}));
+  container.push_back(0x00);
+  EXPECT_THROW((void)decode_snapshot(container), CorruptSnapshotError);
+}
+
+TEST(Snapshot, FutureVersionWithValidCrcIsVersionMismatch) {
+  // A genuinely newer format revision has an intact CRC over its (changed)
+  // version bytes — distinguish that from damage. Recompute the CRC the
+  // same way the encoder does after bumping the version field.
+  auto container = encode_snapshot(payload_of({5, 6}));
+  container[4] = 0x02;  // version -> 2, little-endian low byte
+  // Strip the old trailer, recompute over bytes 4..end.
+  container.resize(container.size() - kSnapshotTrailerBytes);
+  const std::uint32_t crc =
+      crc32(std::span(container).subspan(4));
+  for (int shift = 0; shift < 32; shift += 8)
+    container.push_back(static_cast<std::uint8_t>((crc >> shift) & 0xff));
+  EXPECT_THROW((void)decode_snapshot(container), VersionMismatchError);
+}
+
+TEST(SnapshotFile, WriteReadRoundTripsAndLeavesNoTempFile) {
+  const TempDir dir("file_roundtrip");
+  const std::string path = dir.file("model.fpck");
+  const auto payload = payload_of({9, 8, 7});
+  write_snapshot_file(path, payload);
+  EXPECT_EQ(read_snapshot_file(path), payload);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(SnapshotFile, OverwriteReplacesAtomically) {
+  const TempDir dir("file_overwrite");
+  const std::string path = dir.file("model.fpck");
+  write_snapshot_file(path, payload_of({1}));
+  write_snapshot_file(path, payload_of({2, 3}));
+  EXPECT_EQ(read_snapshot_file(path), payload_of({2, 3}));
+}
+
+TEST(SnapshotFile, MissingFileIsNotFound) {
+  const TempDir dir("file_missing");
+  EXPECT_THROW((void)read_snapshot_file(dir.file("absent.fpck")),
+               SnapshotNotFoundError);
+}
+
+TEST(SnapshotFile, UnwritableDirectoryThrowsCkptError) {
+  EXPECT_THROW(
+      write_snapshot_file("/nonexistent_dir_fedpower/x.fpck",
+                          payload_of({1})),
+      CkptError);
+}
+
+TEST(Rotation, SavePrunesBeyondKeepDepth) {
+  const TempDir dir("rotation_prune");
+  const SnapshotRotation rotation(dir.path.string(), 3);
+  for (int i = 1; i <= 5; ++i)
+    rotation.save(payload_of({i}));
+  EXPECT_EQ(rotation.sequences(),
+            (std::vector<std::uint64_t>{3, 4, 5}));
+  const LoadedSnapshot latest = rotation.load_latest();
+  EXPECT_EQ(latest.payload, payload_of({5}));
+  EXPECT_EQ(latest.sequence, 5u);
+}
+
+TEST(Rotation, LoadLatestFallsBackPastCorruptEntry) {
+  const TempDir dir("rotation_fallback");
+  const SnapshotRotation rotation(dir.path.string(), 3);
+  rotation.save(payload_of({1}));
+  rotation.save(payload_of({2}));
+  // Single-byte damage to the newest entry: recovery must land on the
+  // previous one, silently.
+  const std::string newest = rotation.path_for(2);
+  auto bytes = read_file_bytes(newest);
+  bytes[bytes.size() / 2] ^= 0x40;
+  write_raw(newest, bytes);
+  const LoadedSnapshot loaded = rotation.load_latest();
+  EXPECT_EQ(loaded.payload, payload_of({1}));
+  EXPECT_EQ(loaded.sequence, 1u);
+}
+
+TEST(Rotation, EmptyDirectoryIsNotFound) {
+  const TempDir dir("rotation_empty");
+  const SnapshotRotation rotation(dir.path.string(), 2);
+  EXPECT_THROW((void)rotation.load_latest(), SnapshotNotFoundError);
+  EXPECT_TRUE(rotation.sequences().empty());
+}
+
+TEST(Rotation, AllEntriesDamagedIsCorrupt) {
+  const TempDir dir("rotation_all_bad");
+  const SnapshotRotation rotation(dir.path.string(), 2);
+  rotation.save(payload_of({1}));
+  rotation.save(payload_of({2}));
+  for (const std::uint64_t seq : rotation.sequences()) {
+    auto bytes = read_file_bytes(rotation.path_for(seq));
+    bytes[bytes.size() - 1] ^= 0xff;
+    write_raw(rotation.path_for(seq), bytes);
+  }
+  EXPECT_THROW((void)rotation.load_latest(), CorruptSnapshotError);
+}
+
+TEST(Rotation, ForeignFilesAreIgnored) {
+  const TempDir dir("rotation_foreign");
+  const SnapshotRotation rotation(dir.path.string(), 2);
+  rotation.save(payload_of({1}));
+  write_snapshot_file(dir.file("notes.fpck"), payload_of({99}));
+  write_snapshot_file(dir.file("snapshot-junk.fpck"), payload_of({98}));
+  EXPECT_EQ(rotation.sequences(), (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(rotation.load_latest().payload, payload_of({1}));
+}
+
+}  // namespace
+}  // namespace fedpower::ckpt

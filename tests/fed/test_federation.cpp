@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "nn/serialize.hpp"
 
 namespace fedpower::fed {
@@ -132,6 +135,61 @@ TEST(Federation, Float32WireQuantizesParameters) {
   // The round-tripped value is float32-rounded, not the original double.
   EXPECT_NE(server.global_model()[0], fine_value);
   EXPECT_NEAR(server.global_model()[0], fine_value, 1e-7);
+}
+
+/// Client whose local training diverges to non-finite parameters.
+class PoisonClient final : public FederatedClient {
+ public:
+  explicit PoisonClient(double poison) : poison_(poison) {}
+  void receive_global(std::span<const double> params) override {
+    params_.assign(params.begin(), params.end());
+  }
+  std::vector<double> local_parameters() const override { return params_; }
+  void run_local_round() override {
+    if (!params_.empty()) params_[0] = poison_;
+  }
+
+ private:
+  double poison_;
+  std::vector<double> params_;
+};
+
+TEST(Federation, NonFiniteUploadIsRejectedNotAveraged) {
+  ScriptedClient good(+2.0);
+  PoisonClient bad(std::numeric_limits<double>::quiet_NaN());
+  InProcessTransport transport;
+  FederatedAveraging server({&good, &bad}, &transport);
+  server.initialize({1.0, 1.0});
+  const RoundResult result = server.run_round();
+  EXPECT_EQ(result.rejected, (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(result.dropped.empty());
+  EXPECT_EQ(result.survivors(), 1u);
+  // The aggregate is the good client alone — no NaN contamination.
+  EXPECT_EQ(server.global_model(), (std::vector<double>{3.0, 3.0}));
+}
+
+TEST(Federation, InfiniteUploadIsRejectedToo) {
+  ScriptedClient good(0.5);
+  PoisonClient bad(std::numeric_limits<double>::infinity());
+  InProcessTransport transport;
+  FederatedAveraging server({&good, &bad}, &transport);
+  server.initialize({0.0});
+  const RoundResult result = server.run_round();
+  EXPECT_EQ(result.rejected, (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(std::isfinite(server.global_model()[0]));
+}
+
+TEST(Federation, RejectionCountsAgainstQuorum) {
+  PoisonClient bad(std::numeric_limits<double>::quiet_NaN());
+  ScriptedClient good(1.0);
+  InProcessTransport transport;
+  FederatedAveraging server({&bad, &good}, &transport);
+  server.initialize({0.0});
+  server.set_quorum(2);
+  EXPECT_THROW(server.run_round(), QuorumError);
+  // Quorum failure leaves the round counter and model untouched.
+  EXPECT_EQ(server.rounds_completed(), 0u);
+  EXPECT_EQ(server.global_model(), (std::vector<double>{0.0}));
 }
 
 TEST(Federation, ClientCount) {

@@ -4,8 +4,11 @@
 
 #include <cstdio>
 #include <fstream>
+#include <string>
 
+#include "ckpt/errors.hpp"
 #include "nn/mlp.hpp"
+#include "nn/serialize.hpp"
 
 namespace fedpower::nn {
 namespace {
@@ -54,6 +57,73 @@ TEST(Checkpoint, ThrowsOnCorruptContent) {
     out << "not a checkpoint";
   }
   EXPECT_THROW(load_parameters(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SavedFilesAreFpckWrappedAndChecksummed) {
+  const std::string path = temp_path("fp_ckpt_wrapped.bin");
+  save_parameters(path, std::vector<double>{1.0, 2.0});
+  {
+    std::ifstream in(path, std::ios::binary);
+    char magic[4] = {};
+    in.read(magic, 4);
+    EXPECT_EQ(std::string(magic, 4), "FPCK");
+  }
+  // A flipped payload byte fails the container CRC before the FPNN decoder
+  // ever sees the bytes.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(20);
+    f.put('\xff');
+  }
+  EXPECT_THROW(load_parameters(path), ckpt::CorruptSnapshotError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LoadsBareWirePayloads) {
+  // A captured federated upload (bare FPNN, no container) stays loadable.
+  const std::string path = temp_path("fp_ckpt_bare.bin");
+  const std::vector<double> params = {0.5, -1.5};
+  const auto payload = encode_parameters(params);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+  }
+  EXPECT_EQ(load_parameters(path), params);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncationAndTrailingGarbageReportDistinctly) {
+  const auto payload = encode_parameters(std::vector<double>{1.0, 2.0, 3.0});
+
+  auto truncated = payload;
+  truncated.resize(truncated.size() - 4);
+  try {
+    (void)decode_parameters(truncated);
+    FAIL() << "truncated payload should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+
+  auto oversized = payload;
+  oversized.push_back(0x00);
+  try {
+    (void)decode_parameters(oversized);
+    FAIL() << "oversized payload should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing garbage"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Checkpoint, SaveLeavesNoTempFileBehind) {
+  const std::string path = temp_path("fp_ckpt_atomic.bin");
+  save_parameters(path, std::vector<double>{1.0});
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
   std::remove(path.c_str());
 }
 

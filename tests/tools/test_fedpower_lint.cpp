@@ -268,6 +268,55 @@ TEST(LintThreading, OutsideSrcIsClean) {
 }
 
 // ---------------------------------------------------------------------------
+// L6: ad-hoc file writes in src/
+// ---------------------------------------------------------------------------
+
+TEST(LintFsWrite, FlagsOfstreamAndFopenFamily) {
+  const std::string src =
+      "#include <fstream>\n"                                  // 1
+      "void f(const char* p) { std::ofstream out(p); }\n"     // 2
+      "void g(const char* p) { std::FILE* x = fopen(p, \"wb\"); }\n"  // 3
+      "void h(const char* p) { std::freopen(p, \"w\", stdout); }\n";  // 4
+  const auto fs = lint_source("src/sim/x.cpp", src);
+  EXPECT_TRUE(has_rule_at(fs, "L6-fs-write", 2));
+  EXPECT_TRUE(has_rule_at(fs, "L6-fs-write", 3));
+  EXPECT_TRUE(has_rule_at(fs, "L6-fs-write", 4));
+  EXPECT_EQ(fs.size(), 3u);
+}
+
+TEST(LintFsWrite, AllowlistedWritersAreExempt) {
+  const std::string src = "void f(const char* p) { std::ofstream out(p); }\n";
+  EXPECT_FALSE(lint_source("src/core/x.cpp", src).empty());
+  EXPECT_TRUE(lint_source("src/ckpt/snapshot.cpp", src).empty());
+  EXPECT_TRUE(lint_source("src/sim/trace_io.cpp", src).empty());
+  // The header allowlist entry still obeys the L4 guard rule — only L6 is
+  // waived for it.
+  const std::string hdr = "#pragma once\nstd::ofstream file_;\n";
+  EXPECT_TRUE(lint_source("src/util/csv.hpp", hdr).empty());
+}
+
+TEST(LintFsWrite, OutsideSrcIsClean) {
+  const std::string src = "void f(const char* p) { std::ofstream out(p); }\n";
+  EXPECT_TRUE(lint_source("tests/sim/x.cpp", src).empty());
+  EXPECT_TRUE(lint_source("tools/x.cpp", src).empty());
+  EXPECT_TRUE(lint_source("bench/x.cpp", src).empty());
+}
+
+TEST(LintFsWrite, MemberFunctionsAndReadsAreClean) {
+  const std::string src =
+      "void f(Codec* c, const char* p) { c->fopen(p); }\n"
+      "void g(const char* p) { std::ifstream in(p); }\n";
+  EXPECT_TRUE(lint_source("src/sim/x.cpp", src).empty());
+}
+
+TEST(LintFsWrite, FsOkWaiverSuppresses) {
+  const std::string src =
+      "// lint: fs-ok(debug dump, never durable state)\n"
+      "void f(const char* p) { std::ofstream out(p); }\n";
+  EXPECT_TRUE(lint_source("src/sim/x.cpp", src).empty());
+}
+
+// ---------------------------------------------------------------------------
 // Output formats & ordering
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,28 @@
+// Fixture: L6 — ad-hoc file writing in src/ outside the allowlist.
+// Never compiled, only linted.
+#include <cstdio>
+#include <fstream>
+
+namespace fedpower::sim {
+
+void bad_ofstream(const char* path) {
+  std::ofstream out(path);  // L6: fs-write
+  out << 42;
+}
+
+void bad_fopen(const char* path) {
+  std::FILE* f = std::fopen(path, "wb");  // L6: fs-write
+  if (f != nullptr) std::fclose(f);
+}
+
+void bad_freopen(const char* path) {
+  std::freopen(path, "w", stdout);  // L6: fs-write
+}
+
+void waived_ofstream(const char* path) {
+  // lint: fs-ok(fixture demonstrates the waiver form)
+  std::ofstream out(path);
+  out << 42;
+}
+
+}  // namespace fedpower::sim

@@ -268,6 +268,11 @@ class Checker {
     if (under_any(path_, options_.fp_reduce_dirs)) check_fp_reduce();
     if (header) check_header_hygiene();
     if (under_any(path_, options_.thread_rule_dirs)) check_threading();
+    if (under_any(path_, options_.fs_write_dirs) &&
+        std::find(options_.fs_write_allowlist.begin(),
+                  options_.fs_write_allowlist.end(),
+                  path_) == options_.fs_write_allowlist.end())
+      check_fs_write();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 return a.line != b.line ? a.line < b.line : a.rule < b.rule;
@@ -489,6 +494,32 @@ class Checker {
                      "unique_lock/scoped_lock or waive with "
                      "`// lint: thread-ok(reason)`");
         }
+      }
+    }
+  }
+
+  // L6: ad-hoc file writing in src/. Durable artifacts must go through
+  // ckpt::write_snapshot_file (temp + fsync + rename + checksum) so a crash
+  // never leaves a torn file; only the allowlisted writers (the snapshot
+  // subsystem itself and the explicitly non-durable exporters) may open
+  // writable streams directly.
+  void check_fs_write() {
+    for (std::size_t li = 0; li < tokens_.size(); ++li) {
+      const auto& toks = tokens_[li];
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!toks[i].ident) continue;
+        const std::string& t = toks[i].text;
+        std::string what;
+        if (t == "ofstream")
+          what = "std::ofstream writes a file without atomicity or checksum";
+        else if ((t == "fopen" || t == "freopen") &&
+                 tok_is(toks, i + 1, "(") && !prev_is_member_access(toks, i))
+          what = t + "() writes a file without atomicity or checksum";
+        if (!what.empty())
+          report(li, "fs", "L6-fs-write",
+                 what + "; route durable state through "
+                        "ckpt::write_snapshot_file (src/ckpt/snapshot.hpp) "
+                        "or waive with `// lint: fs-ok(reason)`");
       }
     }
   }

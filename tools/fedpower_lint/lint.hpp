@@ -20,9 +20,14 @@
 //   L5-thread-detach   no detached threads and no raw mutex .lock()/
 //   L5-raw-mutex-lock  .unlock() (use lock_guard/unique_lock/scoped_lock)
 //                      in src/
+//   L6-fs-write        no ad-hoc file writing (std::ofstream / fopen /
+//                      freopen) in src/ outside the allowlisted writers —
+//                      durable state goes through ckpt::write_snapshot_file
+//                      so every on-disk artifact is atomic and checksummed
 //
 // A finding is waived by a same-line comment `// lint: <key>-ok(<reason>)`
-// with a non-empty reason; keys: nondet, ordered, fpreduce, header, thread.
+// with a non-empty reason; keys: nondet, ordered, fpreduce, header, thread,
+// fs.
 // The analysis is a scrubbing tokenizer (comments, string/char literals and
 // raw strings are blanked before matching), not a parser — rules are
 // deliberately conservative so a clean pass means something.
@@ -59,6 +64,16 @@ struct Options {
   std::vector<std::string> fp_reduce_dirs = {"src/fed"};
   /// Dirs covered by the threading rules (L5).
   std::vector<std::string> thread_rule_dirs = {"src"};
+  /// Dirs covered by the filesystem-write rule (L6).
+  std::vector<std::string> fs_write_dirs = {"src"};
+  /// Files allowed to open writable streams directly: the snapshot
+  /// subsystem's atomic writer (the sanctioned durable-write path) and the
+  /// explicitly non-durable exporters (CSV reports, trace dumps).
+  std::vector<std::string> fs_write_allowlist = {
+      "src/ckpt/snapshot.cpp",
+      "src/util/csv.hpp",
+      "src/sim/trace_io.cpp",
+  };
 };
 
 /// Lints one translation unit given as an in-memory string. `path` scopes
