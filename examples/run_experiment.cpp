@@ -24,6 +24,7 @@ num_threads = 1        ; worker threads for local training; 0 = all cores
 [fed]
 rounds = 100
 steps_per_round = 100
+aggregation = mean     ; mean | weighted | median | trimmed | krum | multi-krum
 
 [agent]
 learning_rate = 0.005
@@ -52,6 +53,30 @@ every_rounds = 0       ; snapshot cadence; 0 disables checkpointing
 dir =                  ; rotation directory (required when every_rounds > 0)
 keep = 3               ; snapshots retained in the rotation
 resume_from =          ; snapshot file or rotation dir to resume from
+
+[defense]
+enabled = false        ; server-side Byzantine screening + quarantine
+norm_clip = 2.5        ; clip updates above this multiple of the norm median
+norm_screen = 6.0      ; reject updates above this multiple (>= norm_clip)
+cosine_max_distance = 0.8
+warmup_rounds = 3
+quarantine_threshold = 0.5
+fail_penalty = 0.25
+pass_credit = 0.05
+probation_rounds = 3
+
+[faults]
+attack = none          ; none | sign-flip | scale | stale-replay
+attack_fraction = 0.0  ; ceil(fraction * N) highest-index devices attack
+attack_scale = 25.0
+stale_rounds = 5
+start_round = 0
+reward_scale = 1.0     ; training-reward poisoning on attacked devices
+stuck_power_w = -1     ; >= 0 sticks attacked devices' power sensor there
+frozen_counters = false
+dvfs_stuck = false
+transport_drop = 0.0   ; per-transfer drop probability (whole federation)
+transport_seed = 0
 )";
 
 std::vector<std::vector<sim::AppProfile>> parse_devices(
@@ -77,6 +102,28 @@ std::vector<std::vector<sim::AppProfile>> parse_devices(
     devices.push_back(std::move(apps));
   }
   return devices;
+}
+
+fed::AggregationMode parse_aggregation(const std::string& name) {
+  if (name == "mean") return fed::AggregationMode::kUnweightedMean;
+  if (name == "weighted") return fed::AggregationMode::kSampleWeighted;
+  if (name == "median") return fed::AggregationMode::kCoordinateMedian;
+  if (name == "trimmed") return fed::AggregationMode::kTrimmedMean;
+  if (name == "krum") return fed::AggregationMode::kKrum;
+  if (name == "multi-krum") return fed::AggregationMode::kMultiKrum;
+  throw std::invalid_argument(
+      "config key 'fed.aggregation': unknown mode '" + name +
+      "' (mean | weighted | median | trimmed | krum | multi-krum)");
+}
+
+fed::UploadAttack parse_attack(const std::string& name) {
+  if (name == "none") return fed::UploadAttack::kNone;
+  if (name == "sign-flip") return fed::UploadAttack::kSignFlip;
+  if (name == "scale") return fed::UploadAttack::kScale;
+  if (name == "stale-replay") return fed::UploadAttack::kStaleReplay;
+  throw std::invalid_argument(
+      "config key 'faults.attack': unknown attack '" + name +
+      "' (none | sign-flip | scale | stale-replay)");
 }
 
 core::ExperimentConfig build_config(const util::Config& config) {
@@ -124,6 +171,50 @@ core::ExperimentConfig build_config(const util::Config& config) {
   experiment.checkpoint.keep = static_cast<std::size_t>(keep);
   experiment.checkpoint.resume_from =
       config.get_string("checkpoint.resume_from");
+  experiment.aggregation =
+      parse_aggregation(config.get_string("fed.aggregation", "mean"));
+
+  auto& defense = experiment.defense;
+  defense.enabled = config.get_bool("defense.enabled", false);
+  defense.norm_clip_multiplier = config.get_double("defense.norm_clip", 2.5);
+  defense.norm_screen_multiplier =
+      config.get_double("defense.norm_screen", 6.0);
+  defense.cosine_max_distance =
+      config.get_double("defense.cosine_max_distance", 0.8);
+  defense.warmup_rounds = static_cast<std::size_t>(
+      config.get_int("defense.warmup_rounds", 3));
+  defense.quarantine_threshold =
+      config.get_double("defense.quarantine_threshold", 0.5);
+  defense.fail_penalty = config.get_double("defense.fail_penalty", 0.25);
+  defense.pass_credit = config.get_double("defense.pass_credit", 0.05);
+  defense.probation_rounds = static_cast<std::size_t>(
+      config.get_int("defense.probation_rounds", 3));
+
+  auto& faults = experiment.faults;
+  faults.attack = parse_attack(config.get_string("faults.attack", "none"));
+  faults.fraction = config.get_double("faults.attack_fraction", 0.0);
+  if (faults.fraction < 0.0 || faults.fraction > 1.0)
+    throw std::invalid_argument(
+        "config key 'faults.attack_fraction': must be in [0, 1]");
+  faults.attack_scale = config.get_double("faults.attack_scale", 25.0);
+  faults.stale_rounds = static_cast<std::size_t>(
+      config.get_int("faults.stale_rounds", 5));
+  faults.start_round = static_cast<std::size_t>(
+      config.get_int("faults.start_round", 0));
+  faults.reward_poison_scale =
+      config.get_double("faults.reward_scale", 1.0);
+  const double stuck_power = config.get_double("faults.stuck_power_w", -1.0);
+  if (stuck_power >= 0.0) {
+    faults.hardware.stuck_power_sensor = true;
+    faults.hardware.stuck_power_w = stuck_power;
+  }
+  faults.hardware.frozen_counters =
+      config.get_bool("faults.frozen_counters", false);
+  faults.hardware.dvfs_stuck = config.get_bool("faults.dvfs_stuck", false);
+  faults.transport.drop_probability =
+      config.get_double("faults.transport_drop", 0.0);
+  faults.transport.seed = static_cast<std::uint64_t>(
+      config.get_int("faults.transport_seed", 0));
   return experiment;
 }
 
@@ -133,6 +224,39 @@ void report(const char* label, const std::vector<core::RoundCurve>& devices) {
               "violation rate %.3f\n",
               label, summary.mean_reward, summary.min_reward,
               summary.mean_power_w, summary.violation_rate);
+}
+
+void report_robustness(const core::RobustnessReport& robustness) {
+  if (!robustness.compromised.empty()) {
+    std::string list;
+    for (const std::size_t d : robustness.compromised) {
+      if (!list.empty()) list += ", ";
+      list += std::to_string(d);
+    }
+    std::printf("           compromised devices: %s\n", list.c_str());
+  }
+  if (!robustness.final_reputation.empty()) {
+    std::printf("           defense: screened %zu upload(s), clipped %zu, "
+                "max quarantined %zu, readmitted %zu\n",
+                robustness.total_screened, robustness.total_clipped,
+                robustness.max_quarantined, robustness.total_readmitted);
+    std::string reps;
+    for (const double r : robustness.final_reputation) {
+      if (!reps.empty()) reps += ", ";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", r);
+      reps += buf;
+    }
+    std::printf("           final reputation: [%s]\n", reps.c_str());
+  }
+  const fed::FaultInjectionStats& t = robustness.transport;
+  if (t.attempted > 0 && t.delivered < t.attempted) {
+    std::printf("           transport faults: %zu/%zu transfers delivered "
+                "(%zu drops, %zu disconnects, %zu truncated, %zu outage "
+                "failures)\n",
+                t.delivered, t.attempted, t.drops, t.disconnects,
+                t.truncations, t.outage_failures);
+  }
 }
 
 }  // namespace
@@ -195,6 +319,7 @@ int main(int argc, char** argv) {
     std::printf("           traffic %.1f kB total, %.2f kB per transfer\n",
                 static_cast<double>(fed.traffic.total_bytes()) / 1000.0,
                 fed.traffic.mean_transfer_bytes() / 1000.0);
+    report_robustness(fed.robustness);
     fed_curves = fed.devices;
 
     const std::string csv_path = config.get_string("eval.csv");

@@ -31,11 +31,18 @@ echo "== fedpower-lint (explicit, for visible output) =="
 echo "== kill-and-resume smoke (SIGKILL mid-run, resume from snapshot) =="
 scripts/kill_resume_smoke.sh ./build/examples/run_experiment
 
+echo "== Byzantine attack smoke (25% sign-flippers vs median + defense) =="
+scripts/attack_smoke.sh ./build/examples/run_experiment
+
 for preset in "${run_sanitizer_presets[@]}"; do
   echo "== sanitizer suite (preset: ${preset}) =="
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$(nproc)"
   ctest --preset "$preset"
+  if [[ "$preset" == asan ]]; then
+    echo "== attack smoke under asan (memory bugs in the attack path) =="
+    scripts/attack_smoke.sh "./build-${preset}/examples/run_experiment"
+  fi
 done
 
 if command -v clang-tidy > /dev/null 2>&1; then

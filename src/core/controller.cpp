@@ -1,5 +1,7 @@
 #include "core/controller.hpp"
 
+#include <cmath>
+
 namespace fedpower::core {
 
 PowerController::PowerController(ControllerConfig config,
@@ -13,6 +15,7 @@ PowerController::PowerController(ControllerConfig config,
   FEDPOWER_EXPECTS(processor != nullptr);
   FEDPOWER_EXPECTS(config.agent.action_count == processor->vf_table().size());
   FEDPOWER_EXPECTS(config.dvfs_interval_s > 0.0);
+  FEDPOWER_EXPECTS(std::isfinite(config.reward_poison_scale));
   if (config.drift_adaptation) drift_.emplace(config.drift);
 }
 
@@ -33,7 +36,11 @@ sim::TelemetrySample PowerController::step() {
   const sim::TelemetrySample sample =
       processor_->run_interval(config_.dvfs_interval_s);
   last_reward_ = reward_(sample);
-  agent_.record(features, action, last_reward_);
+  // Poisoned devices record a scaled reward but report the honest one via
+  // last_reward(): the attack corrupts what the agent learns from, not the
+  // experiment's measurements.
+  agent_.record(features, action,
+                last_reward_ * config_.reward_poison_scale);
   if (drift_ && drift_->observe(last_reward_))
     agent_.reheat(config_.reheat_tau);
   last_sample_ = sample;

@@ -38,6 +38,11 @@ struct ControllerConfig {
   bool drift_adaptation = false;
   rl::DriftConfig drift{};
   double reheat_tau = 0.45;
+  /// Reward-poisoning attack (DESIGN.md §10): training rewards are
+  /// multiplied by this before the agent records them, so a compromised
+  /// device learns an inverted/garbled objective. Greedy evaluation stays
+  /// honest — the attack corrupts learning, not measurement. 1 = honest.
+  double reward_poison_scale = 1.0;
 };
 
 class PowerController final : public fed::FederatedClient {

@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <optional>
 
@@ -12,6 +14,19 @@
 #include "util/stats.hpp"
 
 namespace fedpower::core {
+
+std::vector<std::size_t> FaultPlanConfig::compromised_devices(
+    std::size_t fleet_size) const {
+  std::vector<std::size_t> out;
+  if (!compromises_devices() || fleet_size == 0) return out;
+  const auto count = std::min(
+      fleet_size,
+      static_cast<std::size_t>(
+          std::ceil(fraction * static_cast<double>(fleet_size))));
+  for (std::size_t d = fleet_size - count; d < fleet_size; ++d)
+    out.push_back(d);
+  return out;
+}
 
 namespace {
 
@@ -178,17 +193,50 @@ FederatedRunResult run_federated(
     const std::vector<std::vector<sim::AppProfile>>& device_apps,
     const std::vector<sim::AppProfile>& eval_apps, bool eval_each_round) {
   FEDPOWER_EXPECTS(!eval_apps.empty() || !eval_each_round);
-  runtime::FleetRuntime fleet({config.controller}, config.processor,
+
+  // Fault plan: compromised devices get their controller configs poisoned
+  // and their hardware/uplink faults armed before training starts, so
+  // attacked runs are a pure function of (config, seed).
+  const std::vector<std::size_t> compromised =
+      config.faults.compromised_devices(device_apps.size());
+  std::vector<ControllerConfig> controller_configs{config.controller};
+  if (!compromised.empty() && config.faults.reward_poison_scale != 1.0) {
+    controller_configs.assign(device_apps.size(), config.controller);
+    for (const std::size_t d : compromised)
+      controller_configs[d].reward_poison_scale =
+          config.faults.reward_poison_scale;
+  }
+  runtime::FleetRuntime fleet(controller_configs, config.processor,
                               device_apps, config.seed, config.num_threads);
+  for (const std::size_t d : compromised) {
+    runtime::DeviceFaultConfig faults;
+    faults.upload.attack = config.faults.attack;
+    faults.upload.scale = config.faults.attack_scale;
+    faults.upload.stale_rounds = config.faults.stale_rounds;
+    faults.upload.start_round = config.faults.start_round;
+    faults.hardware = config.faults.hardware;
+    fleet.inject_faults(d, faults);
+  }
 
   fed::InProcessTransport transport;
-  fed::FederatedAveraging server(fleet.clients(), &transport);
+  std::optional<fed::FaultInjectingTransport> fault_injector;
+  fed::Transport* wire = &transport;
+  if (config.faults.faults_transport()) {
+    fault_injector.emplace(&transport, config.faults.transport);
+    wire = &*fault_injector;
+  }
+  fed::FederatedAveraging server(fleet.clients(), wire, config.aggregation);
   server.set_local_executor(fleet.executor());
+  server.enable_defense(config.defense);
   server.initialize(fleet.controller(0).local_parameters());
 
   const Evaluator evaluator = make_evaluator(config);
   FederatedRunResult result;
   result.devices.resize(fleet.size());
+  RobustnessReport& robustness = result.robustness;
+  // Robustness history rides in the snapshot only for defended/faulted
+  // configs, keeping clean-run snapshots byte-identical to older ones.
+  const bool robust_ckpt = config.defense.enabled || config.faults.any();
 
   // Resume: restore the whole experiment — fleet, server, partial curves
   // and the traffic accrued before the snapshot — then continue the round
@@ -208,12 +256,24 @@ FederatedRunResult run_federated(
     result.fleet = restore_curve(in);
     result.eval_app_per_round = restore_app_names(in);
     traffic_baseline = restore_traffic(in);
+    if (robust_ckpt) {
+      robustness.screened_per_round = in.vec_u64();
+      robustness.quarantined_per_round = in.vec_u64();
+      robustness.readmitted_per_round = in.vec_u64();
+      robustness.clipped_per_round = in.vec_u64();
+    }
+    if (fault_injector) fault_injector->restore_state(in);
   }
   const std::optional<ckpt::SnapshotRotation> rotation =
       make_rotation(config.checkpoint);
 
   for (std::size_t round = start_round; round < config.rounds; ++round) {
-    server.run_round();
+    const fed::RoundResult round_result = server.run_round();
+    robustness.screened_per_round.push_back(round_result.screened.size());
+    robustness.quarantined_per_round.push_back(
+        round_result.quarantined.size());
+    robustness.readmitted_per_round.push_back(round_result.readmitted.size());
+    robustness.clipped_per_round.push_back(round_result.clipped);
     if (eval_each_round) {
       const sim::AppProfile& app = eval_apps[round % eval_apps.size()];
       result.eval_app_per_round.push_back(app.name);
@@ -241,12 +301,35 @@ FederatedRunResult run_federated(
       save_curve(out, result.fleet);
       save_app_names(out, result.eval_app_per_round);
       save_traffic(out, merge_traffic(traffic_baseline, transport.stats()));
+      if (robust_ckpt) {
+        out.vec_u64(robustness.screened_per_round);
+        out.vec_u64(robustness.quarantined_per_round);
+        out.vec_u64(robustness.readmitted_per_round);
+        out.vec_u64(robustness.clipped_per_round);
+      }
+      if (fault_injector) fault_injector->save_state(out);
       rotation->save(out.data());
     }
   }
 
   result.global_params = server.global_model();
   result.traffic = merge_traffic(traffic_baseline, transport.stats());
+  robustness.compromised = compromised;
+  for (const std::uint64_t v : robustness.screened_per_round)
+    robustness.total_screened += v;
+  for (const std::uint64_t v : robustness.readmitted_per_round)
+    robustness.total_readmitted += v;
+  for (const std::uint64_t v : robustness.clipped_per_round)
+    robustness.total_clipped += v;
+  for (const std::uint64_t v : robustness.quarantined_per_round)
+    robustness.max_quarantined =
+        std::max<std::size_t>(robustness.max_quarantined, v);
+  if (const fed::DefensePipeline* defense = server.defense()) {
+    robustness.final_reputation.reserve(fleet.size());
+    for (std::size_t d = 0; d < fleet.size(); ++d)
+      robustness.final_reputation.push_back(defense->reputation(d));
+  }
+  if (fault_injector) robustness.transport = fault_injector->fault_stats();
   return result;
 }
 

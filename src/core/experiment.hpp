@@ -18,8 +18,13 @@
 #include "baselines/collab_policy.hpp"
 #include "core/controller.hpp"
 #include "core/evaluate.hpp"
+#include "fed/aggregate.hpp"
+#include "fed/byzantine.hpp"
+#include "fed/defense.hpp"
+#include "fed/fault_injection.hpp"
 #include "fed/transport.hpp"
 #include "sim/application.hpp"
+#include "sim/processor.hpp"
 
 namespace fedpower::core {
 
@@ -39,6 +44,51 @@ struct CheckpointConfig {
                                  ///< start fresh
 };
 
+/// Fleet-level fault/attack plan for robustness experiments (DESIGN.md
+/// §10). The compromised set is deterministic: the ceil(fraction * N)
+/// highest-index devices, so the same config always attacks the same
+/// devices regardless of thread count or platform.
+struct FaultPlanConfig {
+  /// What compromised devices upload (fed::UploadAttack::kNone with a
+  /// non-empty compromised set still applies the hardware/reward faults).
+  fed::UploadAttack attack = fed::UploadAttack::kNone;
+  /// Fraction of the fleet that is compromised (ceil(fraction * N) highest
+  /// indices); 0 = everyone honest.
+  double fraction = 0.0;
+  /// Magnitude for sign-flip / scale attacks.
+  double attack_scale = 25.0;
+  /// Replay lag for stale-replay attacks.
+  std::size_t stale_rounds = 5;
+  /// First local round at which upload attacks activate.
+  std::size_t start_round = 0;
+  /// Training rewards of compromised devices are multiplied by this
+  /// (ControllerConfig::reward_poison_scale); 1 = honest learning.
+  double reward_poison_scale = 1.0;
+  /// Hardware faults injected into compromised devices' processors.
+  sim::HardwareFaultConfig hardware{};
+  /// Transport-level fault injection applied to the whole federation's
+  /// shared transport (honest and compromised devices alike — links do not
+  /// know who is malicious).
+  fed::FaultInjectionConfig transport{};
+
+  bool compromises_devices() const noexcept {
+    return fraction > 0.0 &&
+           (attack != fed::UploadAttack::kNone || hardware.any() ||
+            reward_poison_scale != 1.0);
+  }
+  bool faults_transport() const noexcept {
+    return transport.drop_probability > 0.0 ||
+           transport.delay_probability > 0.0 ||
+           transport.truncate_probability > 0.0 ||
+           transport.disconnect_probability > 0.0;
+  }
+  bool any() const noexcept {
+    return compromises_devices() || faults_transport();
+  }
+  /// The compromised device indices for a fleet of the given size, sorted.
+  std::vector<std::size_t> compromised_devices(std::size_t fleet_size) const;
+};
+
 struct ExperimentConfig {
   ControllerConfig controller{};
   sim::ProcessorConfig processor{};
@@ -50,6 +100,12 @@ struct ExperimentConfig {
   /// bit-identical for every value (DESIGN.md §7).
   std::size_t num_threads = 1;
   CheckpointConfig checkpoint{};
+  /// Server aggregation rule (run_federated only).
+  fed::AggregationMode aggregation = fed::AggregationMode::kUnweightedMean;
+  /// Server-side Byzantine defense (run_federated only; off by default).
+  fed::DefenseConfig defense{};
+  /// Client/transport fault injection (run_federated only; clean default).
+  FaultPlanConfig faults{};
 };
 
 /// Per-round evaluation curves of one device's policy.
@@ -61,6 +117,28 @@ struct RoundCurve {
   std::vector<double> violation_rate;
 };
 
+/// What the defense pipeline and fault injection did over a federated run,
+/// one entry per completed round (all empty/zero when defense and faults
+/// are off). Checkpointed with the experiment, so a resumed run reports
+/// the same history as the uninterrupted one.
+struct RobustnessReport {
+  std::vector<std::uint64_t> screened_per_round;
+  std::vector<std::uint64_t> quarantined_per_round;
+  std::vector<std::uint64_t> readmitted_per_round;
+  std::vector<std::uint64_t> clipped_per_round;
+  std::size_t total_screened = 0;
+  std::size_t total_readmitted = 0;
+  std::size_t total_clipped = 0;
+  /// Peak simultaneous quarantine population over the run.
+  std::size_t max_quarantined = 0;
+  /// Final per-device reputation (empty when defense is off).
+  std::vector<double> final_reputation;
+  /// Devices the fault plan compromised, sorted (empty when clean).
+  std::vector<std::size_t> compromised;
+  /// Transport-level fault injection counters (zero when clean).
+  fed::FaultInjectionStats transport;
+};
+
 struct FederatedRunResult {
   std::vector<RoundCurve> devices;         ///< global policy, per device
   /// Fleet-level curve: per round, the across-device mean of each
@@ -70,6 +148,7 @@ struct FederatedRunResult {
   std::vector<double> global_params;       ///< final global model
   fed::TrafficStats traffic;
   std::vector<std::string> eval_app_per_round;
+  RobustnessReport robustness;
 };
 
 struct LocalRunResult {

@@ -116,11 +116,20 @@ std::vector<double> aggregate_median(
   return aggregate_median(models, util::ParallelFor{});
 }
 
+std::size_t clamp_trim_count(std::size_t trim_count,
+                             std::size_t model_count) noexcept {
+  if (model_count == 0) return 0;
+  return std::min(trim_count, (model_count - 1) / 2);
+}
+
 std::vector<double> aggregate_trimmed_mean(
     const std::vector<std::vector<double>>& models, std::size_t trim_count,
     const util::ParallelFor& parallel_for) {
   FEDPOWER_EXPECTS(!models.empty());
-  FEDPOWER_EXPECTS(2 * trim_count < models.size());
+  // Dropouts can shrink the survivor set below 2 * trim_count + 1 mid-run;
+  // clamping (instead of asserting) keeps the round alive with the widest
+  // trim the survivors support.
+  trim_count = clamp_trim_count(trim_count, models.size());
   const std::size_t dim = models.front().size();
   for (const auto& model : models) FEDPOWER_EXPECTS(model.size() == dim);
   const std::size_t keep = models.size() - 2 * trim_count;
@@ -141,6 +150,98 @@ std::vector<double> aggregate_trimmed_mean(
 std::vector<double> aggregate_trimmed_mean(
     const std::vector<std::vector<double>>& models, std::size_t trim_count) {
   return aggregate_trimmed_mean(models, trim_count, util::ParallelFor{});
+}
+
+std::vector<double> aggregate_krum(
+    const std::vector<std::vector<double>>& models,
+    std::size_t byzantine_count, std::size_t select_count,
+    const util::ParallelFor& parallel_for) {
+  FEDPOWER_EXPECTS(!models.empty());
+  const std::size_t n = models.size();
+  const std::size_t dim = models.front().size();
+  for (const auto& model : models) FEDPOWER_EXPECTS(model.size() == dim);
+  if (n == 1) return models.front();
+
+  // Krum needs at least one honest neighbour per model: f <= n - 3. Small
+  // survivor sets degrade gracefully (f = 0: pick the most central model).
+  const std::size_t f = n >= 3 ? std::min(byzantine_count, n - 3)
+                               : std::size_t{0};
+  const std::size_t neighbors = n > f + 2 ? n - f - 2 : std::size_t{1};
+
+  // Pairwise squared distances. Each row is computed independently (row i
+  // owns dist[i*n .. i*n+n)), so sharding rows across the executor writes
+  // disjoint slots; within a row the coordinate loop keeps the serial
+  // accumulation order, making the matrix bit-identical at every thread
+  // count. The symmetric half is recomputed rather than shared — cheaper
+  // than a synchronization point, and order-stable.
+  std::vector<double> dist(n * n, 0.0);
+  const auto fill_row = [&](std::size_t i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double sum = 0.0;
+      const std::vector<double>& a = models[i];
+      const std::vector<double>& b = models[j];
+      for (std::size_t c = 0; c < dim; ++c) {
+        const double d = a[c] - b[c];
+        sum += d * d;
+      }
+      dist[i * n + j] = sum;
+    }
+  };
+  if (parallel_for && dim * n * n >= kParallelAggregationMinWork) {
+    parallel_for(n, fill_row);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fill_row(i);
+  }
+
+  // Score_i = sum of the `neighbors` smallest distances, accumulated in
+  // ascending order after a full sort — the order is a pure function of
+  // the values, never of the schedule.
+  std::vector<double> score(n, 0.0);
+  std::vector<double> scratch;
+  scratch.reserve(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.clear();
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) scratch.push_back(dist[i * n + j]);
+    std::sort(scratch.begin(), scratch.end());
+    double sum = 0.0;
+    for (std::size_t k = 0; k < neighbors && k < scratch.size(); ++k)
+      sum += scratch[k];
+    score[i] = sum;
+  }
+
+  // Select the best-scoring models, ties broken by model index, then
+  // average the selection in model-index order.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (score[a] != score[b]) return score[a] < score[b];
+              return a < b;
+            });
+  const std::size_t select =
+      std::min<std::size_t>(std::max<std::size_t>(select_count, 1), n);
+  std::vector<std::size_t> chosen(order.begin(),
+                                  order.begin() +
+                                      static_cast<std::ptrdiff_t>(select));
+  std::sort(chosen.begin(), chosen.end());
+
+  const double inv = 1.0 / static_cast<double>(chosen.size());
+  std::vector<double> global(dim, 0.0);
+  for_each_column(dim, chosen.size(), parallel_for, [&](std::size_t i) {
+    double sum = 0.0;
+    for (const std::size_t m : chosen) sum += models[m][i];
+    global[i] = sum * inv;
+  });
+  return global;
+}
+
+std::vector<double> aggregate_krum(
+    const std::vector<std::vector<double>>& models,
+    std::size_t byzantine_count, std::size_t select_count) {
+  return aggregate_krum(models, byzantine_count, select_count,
+                        util::ParallelFor{});
 }
 
 }  // namespace fedpower::fed

@@ -17,6 +17,8 @@ enum class AggregationMode {
   kSampleWeighted,  ///< clients weighted by local sample counts
   kCoordinateMedian,///< per-coordinate median (Byzantine-robust)
   kTrimmedMean,     ///< per-coordinate 20%-trimmed mean (Byzantine-robust)
+  kKrum,            ///< Krum: the single most-central model (Byzantine-robust)
+  kMultiKrum,       ///< multi-Krum: mean of the most-central models
 };
 
 /// Element-wise mean of equally sized parameter vectors.
@@ -38,10 +40,32 @@ enum class AggregationMode {
     const std::vector<std::vector<double>>& models);
 
 /// Per-coordinate trimmed mean: drops the trim_count smallest and largest
-/// values in every coordinate before averaging. Requires
-/// 2 * trim_count < N.
+/// values in every coordinate before averaging. A trim_count that would
+/// consume the whole survivor set (2 * trim_count >= N — dropouts can
+/// shrink N below what the caller planned for) is clamped to the largest
+/// valid value, floor((N-1)/2), instead of aborting the round; use
+/// clamp_trim_count to observe the clamp.
 [[nodiscard]] std::vector<double> aggregate_trimmed_mean(
     const std::vector<std::vector<double>>& models, std::size_t trim_count);
+
+/// The trim count aggregate_trimmed_mean will actually use for N models:
+/// min(trim_count, floor((N-1)/2)).
+[[nodiscard]] std::size_t clamp_trim_count(std::size_t trim_count,
+                                           std::size_t model_count) noexcept;
+
+/// Krum (Blanchard et al., NeurIPS 2017): scores every model by the sum of
+/// its squared distances to its N - byzantine_count - 2 nearest peers and
+/// selects the select_count best-scoring models (ties broken by model
+/// index), averaging them in model-index order. select_count = 1 is plain
+/// Krum; multi-Krum uses select_count = N - byzantine_count - 2.
+/// byzantine_count is clamped so at least one honest neighbour remains
+/// (f <= N - 3; 0 below N = 3), select_count to [1, N]. Distances and the
+/// final average are accumulated in model order — a pairwise tree would
+/// change the FP summation order and break the serial/parallel
+/// bit-identity contract (DESIGN.md §7).
+[[nodiscard]] std::vector<double> aggregate_krum(
+    const std::vector<std::vector<double>>& models,
+    std::size_t byzantine_count, std::size_t select_count = 1);
 
 // --- parallel reduction path ----------------------------------------------
 //
@@ -73,6 +97,15 @@ inline constexpr std::size_t kParallelAggregationMinWork = 16384;
 
 [[nodiscard]] std::vector<double> aggregate_trimmed_mean(
     const std::vector<std::vector<double>>& models, std::size_t trim_count,
+    const util::ParallelFor& parallel_for);
+
+/// Parallel Krum: pairwise distance rows are sharded across the executor
+/// (each row's coordinate loop keeps the serial accumulation order, so any
+/// thread count produces identical bits); scoring and selection stay
+/// serial in model order.
+[[nodiscard]] std::vector<double> aggregate_krum(
+    const std::vector<std::vector<double>>& models,
+    std::size_t byzantine_count, std::size_t select_count,
     const util::ParallelFor& parallel_for);
 
 }  // namespace fedpower::fed

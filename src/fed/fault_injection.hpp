@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/binary_io.hpp"
 #include "fed/transport.hpp"
 #include "util/rng.hpp"
 
@@ -75,6 +76,12 @@ class FaultInjectingTransport final : public Transport {
 
   /// False while a disconnect outage is in progress.
   bool connected() const noexcept { return outage_remaining_ == 0; }
+
+  /// Serializes the fault schedule's position — RNG stream, in-progress
+  /// outage and accumulated stats — under tag FINJ, so a resumed run
+  /// injects exactly the faults the uninterrupted run would have.
+  void save_state(ckpt::Writer& out) const;
+  void restore_state(ckpt::Reader& in);
 
  private:
   Transport* inner_;

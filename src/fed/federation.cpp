@@ -2,12 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "ckpt/state_io.hpp"
 #include "util/assert.hpp"
 
 namespace fedpower::fed {
+
+std::size_t RoundResult::effective_clients() const noexcept {
+  // The exclusion lists are each sorted, but a client can appear in more
+  // than one (e.g. quarantined and then lost to a transport fault), so the
+  // categories must be counted as a set union, not summed. A 4-way sorted
+  // merge stays allocation-free, which keeps this noexcept.
+  const std::vector<std::size_t>* lists[] = {&dropped, &rejected, &screened,
+                                             &quarantined};
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  std::size_t cursor[] = {0, 0, 0, 0};
+  std::size_t excluded = 0;
+  for (;;) {
+    std::size_t next = kNone;
+    for (std::size_t l = 0; l < 4; ++l) {
+      const auto& list = *lists[l];
+      if (cursor[l] < list.size() && list[cursor[l]] < next)
+        next = list[cursor[l]];
+    }
+    if (next == kNone) break;
+    for (std::size_t l = 0; l < 4; ++l) {
+      const auto& list = *lists[l];
+      while (cursor[l] < list.size() && list[cursor[l]] == next) ++cursor[l];
+    }
+    ++excluded;
+  }
+  return excluded <= participants.size() ? participants.size() - excluded
+                                         : std::size_t{0};
+}
 
 FederatedAveraging::FederatedAveraging(std::vector<FederatedClient*> clients,
                                        Transport* transport,
@@ -45,6 +74,20 @@ void FederatedAveraging::set_client_transport(std::size_t client,
   FEDPOWER_EXPECTS(client < clients_.size());
   FEDPOWER_EXPECTS(transport != nullptr);
   client_transports_[client] = transport;
+}
+
+void FederatedAveraging::enable_defense(const DefenseConfig& config) {
+  if (!config.enabled) {
+    defense_.reset();
+    return;
+  }
+  FEDPOWER_EXPECTS(rounds_completed_ == 0);
+  defense_.emplace(config, clients_.size());
+}
+
+void FederatedAveraging::set_trim_count(std::size_t trim_count) {
+  trim_count_override_ = true;
+  trim_count_ = trim_count;
 }
 
 void FederatedAveraging::set_local_executor(util::ParallelFor executor) {
@@ -124,11 +167,20 @@ RoundResult FederatedAveraging::run_round() {
   });
 
   // Upload (line 6), serial and in client-index order — transports are not
-  // thread-safe and fault-injection streams must see one deterministic
-  // transfer sequence. Aggregation is synchronous over the survivors.
+  // thread-safe, fault-injection streams must see one deterministic
+  // transfer sequence, and the defense screens below accumulate history in
+  // client order (DESIGN.md §7). Aggregation is synchronous over the
+  // survivors.
   std::vector<std::vector<double>> locals;
   std::vector<double> weights;
   std::vector<char> screened(clients_.size(), 0);
+  std::vector<char> defense_rejected(clients_.size(), 0);
+  std::vector<char> in_quarantine(clients_.size(), 0);
+  if (defense_)
+    for (const std::size_t i : result.participants)
+      if (defense_->quarantined(i)) in_quarantine[i] = 1;
+  std::vector<ScreenObservation> observations;
+  observations.reserve(result.participants.size());
   locals.reserve(result.participants.size());
   for (const std::size_t i : training) {
     try {
@@ -146,9 +198,25 @@ RoundResult FederatedAveraging::run_round() {
       if (std::any_of(local.begin(), local.end(),
                       [](double v) { return !std::isfinite(v); })) {
         screened[i] = 1;
+        if (defense_) observations.push_back(defense_->non_finite(i));
         continue;
       }
       result.uplink_bytes += payload.size();
+      if (defense_) {
+        // Screening may clip `local` in place; the verdict only feeds the
+        // reputation update after the quorum holds (commit_round below).
+        const ScreenObservation obs = defense_->screen(i, local, global_);
+        observations.push_back(obs);
+        const bool clean = obs.verdict == ScreenVerdict::kAccepted ||
+                           obs.verdict == ScreenVerdict::kClipped;
+        if (!clean) {
+          if (!in_quarantine[i]) defense_rejected[i] = 1;
+          continue;
+        }
+        // A quarantined client's clean upload feeds its probation streak
+        // but stays out of the aggregate until re-admission.
+        if (in_quarantine[i]) continue;
+      }
       locals.push_back(std::move(local));
       weights.push_back(
           static_cast<double>(clients_[i]->local_sample_count()));
@@ -162,9 +230,13 @@ RoundResult FederatedAveraging::run_round() {
   for (const std::size_t i : result.participants) {
     if (lost[i]) result.dropped.push_back(i);
     if (screened[i]) result.rejected.push_back(i);
+    if (defense_rejected[i]) result.screened.push_back(i);
+    if (in_quarantine[i]) result.quarantined.push_back(i);
   }
   result.transport_retries = total_transport_retries() - retries_before;
 
+  // An aborted round drops its screening observations along with the round
+  // counter: reputations only move on completed rounds.
   if (locals.size() < quorum_) throw QuorumError(locals.size(), quorum_);
 
   // theta_{r+1} (line 8). Large fleets shard the coordinate reduction
@@ -180,13 +252,40 @@ RoundResult FederatedAveraging::run_round() {
       global_ = aggregate_median(locals, executor_);
       break;
     case AggregationMode::kTrimmedMean: {
-      // ~20% trimmed; degrades to the plain mean below three clients.
-      const std::size_t trim =
-          locals.size() >= 3 ? std::max<std::size_t>(1, locals.size() / 5)
-                             : 0;
-      global_ = aggregate_trimmed_mean(locals, trim, executor_);
+      // ~20% trimmed by default; degrades to the plain mean below three
+      // clients. Dropouts can make any requested trim infeasible mid-run,
+      // so the effective (clamped) value is recorded in the result instead
+      // of aborting the round.
+      const std::size_t requested =
+          trim_count_override_
+              ? trim_count_
+              : (locals.size() >= 3
+                     ? std::max<std::size_t>(1, locals.size() / 5)
+                     : 0);
+      result.trim_count = clamp_trim_count(requested, locals.size());
+      result.trim_clamped = result.trim_count != requested;
+      global_ = aggregate_trimmed_mean(locals, result.trim_count, executor_);
       break;
     }
+    case AggregationMode::kKrum:
+    case AggregationMode::kMultiKrum: {
+      // Budget a quarter of the surviving uploads as potentially Byzantine
+      // (aggregate_krum clamps further when the survivor set is small).
+      const std::size_t f = locals.size() / 4;
+      const std::size_t select =
+          mode_ == AggregationMode::kKrum
+              ? 1
+              : (locals.size() > f + 2 ? locals.size() - f - 2
+                                       : std::size_t{1});
+      global_ = aggregate_krum(locals, f, select, executor_);
+      break;
+    }
+  }
+
+  if (defense_) {
+    const DefenseRoundLog log = defense_->commit_round(observations);
+    result.readmitted = log.readmitted;
+    result.clipped = log.clipped;
   }
   ++rounds_completed_;
   return result;
@@ -206,6 +305,9 @@ void FederatedAveraging::save_state(ckpt::Writer& out) const {
   out.u64(rounds_completed_);
   ckpt::save_rng(out, participation_rng_);
   out.vec_f64(global_);
+  // Appended only when the defense pipeline is armed: clean-run snapshots
+  // keep the pre-defense byte format.
+  if (defense_) defense_->save_state(out);
 }
 
 void FederatedAveraging::restore_state(ckpt::Reader& in) {
@@ -230,6 +332,7 @@ void FederatedAveraging::restore_state(ckpt::Reader& in) {
         std::to_string(global_.size()) +
         " parameter(s), the clients' models have " +
         std::to_string(client_params));
+  if (defense_) defense_->restore_state(in);
 }
 
 }  // namespace fedpower::fed

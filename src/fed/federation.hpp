@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -21,6 +22,7 @@
 #include "ckpt/binary_io.hpp"
 #include "fed/aggregate.hpp"
 #include "fed/codec.hpp"
+#include "fed/defense.hpp"
 #include "fed/transport.hpp"
 #include "util/executor.hpp"
 #include "util/rng.hpp"
@@ -60,13 +62,34 @@ struct RoundResult {
   /// the server (non-finite parameters — a diverged or malicious model);
   /// disjoint from dropped, sorted.
   std::vector<std::size_t> rejected;
+  /// Selected clients whose finite upload failed the defense pipeline's
+  /// norm or cosine screen this round (defense enabled only); sorted.
+  std::vector<std::size_t> screened;
+  /// Selected clients excluded from aggregation because they entered the
+  /// round quarantined (they still received the broadcast and their upload
+  /// was screened for probation); sorted.
+  std::vector<std::size_t> quarantined;
+  /// Quarantined clients re-admitted at the end of this round (their models
+  /// rejoin the aggregate from the next round on); sorted.
+  std::vector<std::size_t> readmitted;
+  /// Uploads admitted after defense norm clipping.
+  std::size_t clipped = 0;
+  /// Trim count the trimmed-mean aggregation actually used this round.
+  std::size_t trim_count = 0;
+  /// True when dropouts shrank the survivor set enough that the requested
+  /// trim count had to be clamped (see aggregate_trimmed_mean).
+  bool trim_clamped = false;
   /// Transport-level reconnect/retry attempts observed during the round.
   std::size_t transport_retries = 0;
 
-  /// Clients whose local model made it into the aggregate.
-  std::size_t survivors() const noexcept {
-    return participants.size() - dropped.size() - rejected.size();
-  }
+  /// Clients whose local model made it into the aggregate: the participants
+  /// minus the union of dropped/rejected/screened/quarantined. A client
+  /// listed in several exclusion categories is subtracted exactly once
+  /// (naively summing the lists double-counts and underflows).
+  std::size_t effective_clients() const noexcept;
+
+  /// Legacy name for effective_clients().
+  std::size_t survivors() const noexcept { return effective_clients(); }
 };
 
 /// Thrown by run_round when fewer clients than the configured quorum
@@ -118,6 +141,25 @@ class FederatedAveraging {
   /// connection per device) instead of the shared one. Non-owning.
   void set_client_transport(std::size_t client, Transport* transport);
 
+  /// Arms the server-side Byzantine defense pipeline (defense.hpp): norm
+  /// clipping and screening, cosine screening against the previous global
+  /// model, and reputation-based quarantine. No-op when config.enabled is
+  /// false. Must be called before the first round; the pipeline's state is
+  /// then part of save_state/restore_state.
+  void enable_defense(const DefenseConfig& config);
+
+  /// The armed defense pipeline, or nullptr when defense is disabled.
+  const DefensePipeline* defense() const noexcept {
+    return defense_ ? &*defense_ : nullptr;
+  }
+
+  /// Overrides the trimmed-mean trim count (default: ~20% of the round's
+  /// survivors, at least 1 from three survivors up). The effective value is
+  /// still clamped per round to what the survivor set supports
+  /// (clamp_trim_count); RoundResult::trim_clamped records when that
+  /// happened.
+  void set_trim_count(std::size_t trim_count);
+
   /// Runs the clients' local training through the given executor (e.g. a
   /// runtime::ThreadPool), one client = one work item, with a barrier
   /// before the uplink phase; large aggregations also shard their
@@ -148,7 +190,9 @@ class FederatedAveraging {
 
   /// Serializes the server's round state: global model, round counter and
   /// the participation RNG stream (so a resumed run selects the same
-  /// clients the uninterrupted run would have).
+  /// clients the uninterrupted run would have). When the defense pipeline
+  /// is armed its reputation/quarantine state follows (tag DFNS); snapshots
+  /// and federations must agree on whether defense is enabled.
   void save_state(ckpt::Writer& out) const;
   void restore_state(ckpt::Reader& in);
 
@@ -168,6 +212,9 @@ class FederatedAveraging {
   double participation_ = 1.0;
   std::size_t quorum_ = 1;
   util::Rng participation_rng_{0};
+  std::optional<DefensePipeline> defense_;
+  bool trim_count_override_ = false;
+  std::size_t trim_count_ = 0;
 };
 
 }  // namespace fedpower::fed

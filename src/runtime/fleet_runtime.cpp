@@ -39,20 +39,54 @@ FleetRuntime::FleetRuntime(
     controllers_.push_back(std::make_unique<core::PowerController>(
         config, hardware_[d].processor.get(), hardware_[d].brain_rng));
   }
+  attackers_.resize(hardware_.size());
   const std::size_t threads = resolve_num_threads(num_threads);
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+void FleetRuntime::inject_faults(std::size_t device,
+                                 const DeviceFaultConfig& faults) {
+  FEDPOWER_EXPECTS(device < controllers_.size());
+  hardware_[device].processor->inject_faults(faults.hardware);
+  if (faults.upload.attack != fed::UploadAttack::kNone) {
+    attackers_[device] = std::make_unique<fed::ByzantineClient>(
+        controllers_[device].get(), faults.upload);
+  } else {
+    attackers_[device].reset();
+  }
+}
+
+std::vector<std::size_t> FleetRuntime::attacked_devices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t d = 0; d < attackers_.size(); ++d)
+    if (attackers_[d]) out.push_back(d);
+  return out;
 }
 
 std::vector<fed::FederatedClient*> FleetRuntime::clients() {
   std::vector<fed::FederatedClient*> out;
   out.reserve(controllers_.size());
-  for (auto& controller : controllers_) out.push_back(controller.get());
+  for (std::size_t d = 0; d < controllers_.size(); ++d) {
+    if (attackers_[d]) {
+      out.push_back(attackers_[d].get());
+    } else {
+      out.push_back(controllers_[d].get());
+    }
+  }
   return out;
 }
 
 void FleetRuntime::run_local_round() {
-  for_each_device(
-      [this](std::size_t d) { controllers_[d]->run_local_round(); });
+  // Route through the client view so an attacker's per-round bookkeeping
+  // (replay history, activation counter) advances exactly as it would when
+  // a federation drives the round.
+  for_each_device([this](std::size_t d) {
+    if (attackers_[d]) {
+      attackers_[d]->run_local_round();
+    } else {
+      controllers_[d]->run_local_round();
+    }
+  });
 }
 
 void FleetRuntime::for_each_device(
@@ -78,6 +112,10 @@ void FleetRuntime::save_state(ckpt::Writer& out) const {
   for (std::size_t d = 0; d < controllers_.size(); ++d) {
     hardware_[d].processor->save_state(out);
     controllers_[d]->save_state(out);
+    // Attacker state is appended only for attacked devices: clean fleets
+    // keep the attack-free byte format, and both sides of a resume must
+    // agree on which devices are compromised.
+    if (attackers_[d]) attackers_[d]->save_state(out);
   }
 }
 
@@ -91,6 +129,7 @@ void FleetRuntime::restore_state(ckpt::Reader& in) {
   for (std::size_t d = 0; d < controllers_.size(); ++d) {
     hardware_[d].processor->restore_state(in);
     controllers_[d]->restore_state(in);
+    if (attackers_[d]) attackers_[d]->restore_state(in);
   }
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/controller.hpp"
+#include "fed/byzantine.hpp"
 #include "fed/federation.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/application.hpp"
@@ -54,6 +55,19 @@ std::vector<DeviceHardware> make_hardware(
     const std::vector<std::vector<sim::AppProfile>>& device_apps,
     util::Rng& root);
 
+/// Everything that can go wrong with one device (DESIGN.md §10): a
+/// compromised uplink (fed::ClientFaultConfig) and/or degraded hardware
+/// (sim::HardwareFaultConfig). Reward poisoning lives in ControllerConfig
+/// (it corrupts the learning loop itself, not the device's plumbing).
+struct DeviceFaultConfig {
+  fed::ClientFaultConfig upload{};
+  sim::HardwareFaultConfig hardware{};
+
+  bool any() const noexcept {
+    return upload.attack != fed::UploadAttack::kNone || hardware.any();
+  }
+};
+
 class FleetRuntime {
  public:
   /// Builds one neural device (processor + workload + PowerController) per
@@ -80,7 +94,23 @@ class FleetRuntime {
     return *hardware_[device].processor;
   }
 
+  /// Arms fault/attack models on one device: hardware faults go straight
+  /// to the processor; an upload attack wraps the device's federated-client
+  /// view in a fed::ByzantineClient (visible in subsequent clients()
+  /// calls). Call before handing clients() to a federation.
+  void inject_faults(std::size_t device, const DeviceFaultConfig& faults);
+
+  /// The device's uplink attacker, or nullptr when the device is honest.
+  const fed::ByzantineClient* attacker(std::size_t device) const {
+    return attackers_[device].get();
+  }
+
+  /// Devices with an armed upload attack, in index order.
+  std::vector<std::size_t> attacked_devices() const;
+
   /// The controllers as federated clients, index-aligned with the devices.
+  /// Devices with an armed upload attack are represented by their
+  /// ByzantineClient wrapper.
   std::vector<fed::FederatedClient*> clients();
 
   /// Runs every device's local round (steps_per_round training steps)
@@ -96,8 +126,10 @@ class FleetRuntime {
   /// layers fall back to their plain loops.
   util::ParallelFor executor();
 
-  /// Serializes the whole fleet — every device's processor and controller,
-  /// in device order. Thread count is NOT part of the state: execution is
+  /// Serializes the whole fleet — every device's processor, controller and
+  /// (when armed) uplink-attacker state, in device order. Fault configs are
+  /// configuration, not state: the restoring fleet must have the same
+  /// faults injected. Thread count is NOT part of the state: execution is
   /// bit-identical across pool sizes (DESIGN.md §7), so a snapshot taken
   /// at 4 threads restores into a serial runtime and vice versa.
   void save_state(ckpt::Writer& out) const;
@@ -109,6 +141,8 @@ class FleetRuntime {
  private:
   std::vector<DeviceHardware> hardware_;
   std::vector<std::unique_ptr<core::PowerController>> controllers_;
+  /// Per-device uplink attacker; null = honest device. Index-aligned.
+  std::vector<std::unique_ptr<fed::ByzantineClient>> attackers_;
   std::unique_ptr<ThreadPool> pool_;  ///< null when num_threads == 1
 };
 

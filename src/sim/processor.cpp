@@ -40,7 +40,34 @@ void Processor::set_workload(Workload* workload) {
 
 void Processor::set_level(std::size_t level) {
   FEDPOWER_EXPECTS(level < config_.vf_table.size());
+  // A stuck DVFS actuator acknowledges the request (a real driver returns
+  // success from the sysfs write) but leaves the operating point alone.
+  if (faults_.dvfs_stuck) return;
   level_ = level;
+}
+
+void Processor::inject_faults(const HardwareFaultConfig& faults) {
+  FEDPOWER_EXPECTS(!faults.stuck_power_sensor || faults.stuck_power_w >= 0.0);
+  faults_ = faults;
+  if (!faults_.frozen_counters) frozen_.reset();
+}
+
+void Processor::apply_faults(TelemetrySample& sample) {
+  // Applied after the honest sample is fully computed — including its
+  // sensor-noise draw — so arming a fault never shifts the RNG stream.
+  if (faults_.stuck_power_sensor) sample.power_w = faults_.stuck_power_w;
+  if (faults_.frozen_counters) {
+    if (!frozen_)
+      frozen_ = FrozenCounters{sample.instructions, sample.cycles,
+                               sample.ipc,          sample.miss_rate,
+                               sample.mpki,         sample.ips};
+    sample.instructions = frozen_->instructions;
+    sample.cycles = frozen_->cycles;
+    sample.ipc = frozen_->ipc;
+    sample.miss_rate = frozen_->miss_rate;
+    sample.mpki = frozen_->mpki;
+    sample.ips = frozen_->ips;
+  }
 }
 
 void Processor::reset_app() { run_.reset(); }
@@ -198,6 +225,7 @@ TelemetrySample Processor::run_interval(double dt_s) {
   sample.temperature_c = temperature_c();
   sample.app_name = current_app_name();
   previous_level_ = level_;
+  apply_faults(sample);
   return sample;
 }
 
@@ -260,6 +288,20 @@ void Processor::save_state(ckpt::Writer& out) const {
   out.f64(jitter_miss_);
   out.f64(jitter_activity_);
   out.f64(mem_latency_scale_);
+  // Fault state is appended only when faults are armed, keeping clean-run
+  // snapshots byte-identical to the fault-free format. Faults are config,
+  // not state — the restoring processor must already be armed the same way.
+  if (faults_.any()) {
+    out.u8(frozen_.has_value() ? 1 : 0);
+    if (frozen_) {
+      out.f64(frozen_->instructions);
+      out.f64(frozen_->cycles);
+      out.f64(frozen_->ipc);
+      out.f64(frozen_->miss_rate);
+      out.f64(frozen_->mpki);
+      out.f64(frozen_->ips);
+    }
+  }
 }
 
 void Processor::restore_state(ckpt::Reader& in) {
@@ -313,6 +355,24 @@ void Processor::restore_state(ckpt::Reader& in) {
   jitter_miss_ = in.f64();
   jitter_activity_ = in.f64();
   mem_latency_scale_ = in.f64();
+  if (faults_.any()) {
+    frozen_.reset();
+    const std::uint8_t has_frozen = in.u8();
+    if (has_frozen > 1)
+      throw ckpt::StateMismatchError(
+          "processor snapshot lacks the hardware-fault section this "
+          "configuration expects");
+    if (has_frozen == 1) {
+      FrozenCounters frozen;
+      frozen.instructions = in.f64();
+      frozen.cycles = in.f64();
+      frozen.ipc = in.f64();
+      frozen.miss_rate = in.f64();
+      frozen.mpki = in.f64();
+      frozen.ips = in.f64();
+      frozen_ = frozen;
+    }
+  }
 }
 
 }  // namespace fedpower::sim

@@ -45,6 +45,29 @@ struct ProcessorConfig {
   ThermalParams thermal{};
 };
 
+/// Hardware-level faults a degraded device can exhibit (DESIGN.md §10).
+/// All faults corrupt only what the controller observes or commands; the
+/// underlying execution (and the RNG draw sequence) is untouched, so a
+/// faulted run remains deterministic and checkpointable.
+struct HardwareFaultConfig {
+  /// Power sensor sticks at a constant reading. power_w reports
+  /// stuck_power_w; true_power_w stays honest (energy accounting and the
+  /// thermal model keep working — only the controller is deceived).
+  bool stuck_power_sensor = false;
+  double stuck_power_w = 0.0;
+  /// Performance counters freeze: every sample repeats the counter block
+  /// (instructions, cycles, ipc, miss rate, mpki, ips) captured on the
+  /// first faulted interval.
+  bool frozen_counters = false;
+  /// DVFS actuator failure: set_level() validates and silently ignores the
+  /// request; the core stays at its current operating point.
+  bool dvfs_stuck = false;
+
+  bool any() const noexcept {
+    return stuck_power_sensor || frozen_counters || dvfs_stuck;
+  }
+};
+
 class Processor final : public CpuDevice {
  public:
   Processor(ProcessorConfig config, util::Rng rng);
@@ -87,6 +110,11 @@ class Processor final : public CpuDevice {
   /// Die temperature (ambient when the thermal model is disabled).
   double temperature_c() const noexcept;
 
+  /// Arms (or replaces) this device's hardware faults. Faults apply from
+  /// the next run_interval()/set_level() on.
+  void inject_faults(const HardwareFaultConfig& faults);
+  const HardwareFaultConfig& faults() const noexcept { return faults_; }
+
   /// Serializes all mutable execution state: RNG, die temperature, the
   /// in-flight application run (its profile is stored verbatim — resumed
   /// execution continues the exact same jittered phases), completed-run
@@ -105,8 +133,19 @@ class Processor final : public CpuDevice {
     double energy_j = 0.0;
   };
 
+  /// Counter block captured when frozen_counters first fires.
+  struct FrozenCounters {
+    double instructions = 0.0;
+    double cycles = 0.0;
+    double ipc = 0.0;
+    double miss_rate = 0.0;
+    double mpki = 0.0;
+    double ips = 0.0;
+  };
+
   void start_next_app();
   PhaseProfile jittered(const PhaseProfile& phase) const;
+  void apply_faults(TelemetrySample& sample);
 
   ProcessorConfig config_;
   mutable util::Rng rng_;
@@ -122,6 +161,8 @@ class Processor final : public CpuDevice {
   double jitter_miss_ = 1.0;     // per-interval multiplicative jitter
   double jitter_activity_ = 1.0;
   double mem_latency_scale_ = 1.0;
+  HardwareFaultConfig faults_{};
+  std::optional<FrozenCounters> frozen_;
 };
 
 }  // namespace fedpower::sim

@@ -1,0 +1,228 @@
+// Server-side Byzantine defense pipeline: screening verdicts, the
+// reputation/quarantine state machine, and DFNS checkpoint round-trips
+// (DESIGN.md §10).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ckpt/binary_io.hpp"
+#include "ckpt/errors.hpp"
+#include "fed/defense.hpp"
+
+namespace fedpower::fed {
+namespace {
+
+/// Small windows so the screens arm after a single committed round.
+DefenseConfig test_config() {
+  DefenseConfig config;
+  config.enabled = true;
+  config.warmup_rounds = 1;
+  config.norm_min_samples = 4;
+  config.norm_history = 16;
+  return config;
+}
+
+/// Fabricated clean observation: client uploaded an update of given norm.
+ScreenObservation accepted(std::size_t client, double norm) {
+  return {client, ScreenVerdict::kAccepted, norm};
+}
+
+/// Commits one round of unit-norm accepted uploads from every client, which
+/// both advances the round counter past warm-up and seeds the norm history
+/// (median 1.0).
+void warm_up(DefensePipeline& pipeline) {
+  std::vector<ScreenObservation> observations;
+  for (std::size_t c = 0; c < pipeline.client_count(); ++c)
+    observations.push_back(accepted(c, 1.0));
+  pipeline.commit_round(observations);
+}
+
+/// A model `scale` update-norm-units along the previous global's own
+/// direction: cosine distance 0, update norm = |scale|.
+std::vector<double> along_global(std::span<const double> global,
+                                 double scale) {
+  double norm = 0.0;
+  for (const double g : global) norm += g * g;
+  norm = std::sqrt(norm);
+  std::vector<double> model(global.begin(), global.end());
+  for (double& v : model) v += v / norm * scale;
+  return model;
+}
+
+const std::vector<double> kGlobal = {1.0, 2.0, 3.0, 4.0};
+
+TEST(DefenseScreen, WarmupAcceptsEverything) {
+  const DefensePipeline pipeline(test_config(), 4);
+  std::vector<double> flipped(kGlobal);
+  for (double& v : flipped) v = -v * 50.0;
+  // rounds_committed = 0 < warmup_rounds: even a blatant sign flip passes.
+  EXPECT_EQ(pipeline.screen(0, flipped, kGlobal).verdict,
+            ScreenVerdict::kAccepted);
+}
+
+TEST(DefenseScreen, CosineScreenCatchesSignFlip) {
+  DefensePipeline pipeline(test_config(), 4);
+  warm_up(pipeline);
+  std::vector<double> flipped(kGlobal);
+  for (double& v : flipped) v = -v * 50.0;
+  EXPECT_EQ(pipeline.screen(0, flipped, kGlobal).verdict,
+            ScreenVerdict::kCosineReject);
+}
+
+TEST(DefenseScreen, ModerateOversizeIsClippedOntoTheEnvelope) {
+  DefensePipeline pipeline(test_config(), 4);
+  warm_up(pipeline);  // norm history median = 1.0
+  // Update norm 4.0: above clip (2.5 * 1.0) but below reject (6.0 * 1.0).
+  std::vector<double> upload = along_global(kGlobal, 4.0);
+  const ScreenObservation obs = pipeline.screen(0, upload, kGlobal);
+  EXPECT_EQ(obs.verdict, ScreenVerdict::kClipped);
+  EXPECT_DOUBLE_EQ(obs.accepted_norm, 2.5);
+  double clipped_norm = 0.0;
+  for (std::size_t i = 0; i < upload.size(); ++i) {
+    const double d = upload[i] - kGlobal[i];
+    clipped_norm += d * d;
+  }
+  EXPECT_NEAR(std::sqrt(clipped_norm), 2.5, 1e-12);
+}
+
+TEST(DefenseScreen, GrossOversizeIsRejectedOutright) {
+  DefensePipeline pipeline(test_config(), 4);
+  warm_up(pipeline);
+  std::vector<double> upload = along_global(kGlobal, 10.0);
+  EXPECT_EQ(pipeline.screen(0, upload, kGlobal).verdict,
+            ScreenVerdict::kNormReject);
+}
+
+TEST(DefenseScreen, InEnvelopeUploadIsAccepted) {
+  DefensePipeline pipeline(test_config(), 4);
+  warm_up(pipeline);
+  std::vector<double> upload = along_global(kGlobal, 1.2);
+  const std::vector<double> before = upload;
+  const ScreenObservation obs = pipeline.screen(0, upload, kGlobal);
+  EXPECT_EQ(obs.verdict, ScreenVerdict::kAccepted);
+  EXPECT_EQ(upload, before);  // accepted uploads are never rescaled
+}
+
+TEST(DefenseScreen, ScreeningMutatesNoPipelineState) {
+  DefensePipeline pipeline(test_config(), 4);
+  warm_up(pipeline);
+  const double reputation_before = pipeline.reputation(0);
+  std::vector<double> upload = along_global(kGlobal, 10.0);
+  (void)pipeline.screen(0, upload, kGlobal);
+  (void)pipeline.non_finite(0);
+  // A round aborted by QuorumError drops its observations; nothing may have
+  // moved until commit_round().
+  EXPECT_DOUBLE_EQ(pipeline.reputation(0), reputation_before);
+  EXPECT_EQ(pipeline.rounds_committed(), 1u);
+}
+
+TEST(DefenseReputation, RepeatOffenderIsQuarantined) {
+  DefensePipeline pipeline(test_config(), 2);
+  // fail_penalty 0.25 from 1.0: fails land at 0.75, 0.50, 0.25 — the third
+  // one crosses quarantine_threshold 0.5.
+  for (int round = 0; round < 2; ++round) {
+    const DefenseRoundLog log =
+        pipeline.commit_round({pipeline.non_finite(1)});
+    EXPECT_TRUE(log.newly_quarantined.empty());
+  }
+  EXPECT_FALSE(pipeline.quarantined(1));
+  const DefenseRoundLog log = pipeline.commit_round({pipeline.non_finite(1)});
+  ASSERT_EQ(log.newly_quarantined.size(), 1u);
+  EXPECT_EQ(log.newly_quarantined[0], 1u);
+  EXPECT_TRUE(pipeline.quarantined(1));
+  EXPECT_FALSE(pipeline.quarantined(0));
+  EXPECT_EQ(pipeline.quarantined_count(), 1u);
+}
+
+TEST(DefenseReputation, ProbationStreakEarnsReadmission) {
+  DefenseConfig config = test_config();
+  config.probation_rounds = 3;
+  DefensePipeline pipeline(config, 2);
+  for (int round = 0; round < 3; ++round)
+    pipeline.commit_round({pipeline.non_finite(1)});
+  ASSERT_TRUE(pipeline.quarantined(1));
+
+  // Two clean rounds are not enough; the third re-admits.
+  for (int round = 0; round < 2; ++round) {
+    const DefenseRoundLog log = pipeline.commit_round({accepted(1, 1.0)});
+    EXPECT_TRUE(log.readmitted.empty());
+    EXPECT_TRUE(pipeline.quarantined(1));
+  }
+  const DefenseRoundLog log = pipeline.commit_round({accepted(1, 1.0)});
+  ASSERT_EQ(log.readmitted.size(), 1u);
+  EXPECT_EQ(log.readmitted[0], 1u);
+  EXPECT_FALSE(pipeline.quarantined(1));
+  EXPECT_DOUBLE_EQ(pipeline.reputation(1), config.readmit_reputation);
+}
+
+TEST(DefenseReputation, DirtyUploadResetsTheProbationStreak) {
+  DefensePipeline pipeline(test_config(), 1);
+  for (int round = 0; round < 3; ++round)
+    pipeline.commit_round({pipeline.non_finite(0)});
+  ASSERT_TRUE(pipeline.quarantined(0));
+
+  pipeline.commit_round({accepted(0, 1.0)});
+  pipeline.commit_round({accepted(0, 1.0)});
+  pipeline.commit_round({pipeline.non_finite(0)});  // streak back to zero
+  pipeline.commit_round({accepted(0, 1.0)});
+  pipeline.commit_round({accepted(0, 1.0)});
+  EXPECT_TRUE(pipeline.quarantined(0));
+  const DefenseRoundLog log = pipeline.commit_round({accepted(0, 1.0)});
+  EXPECT_EQ(log.readmitted.size(), 1u);
+  EXPECT_FALSE(pipeline.quarantined(0));
+}
+
+TEST(DefenseReputation, PassCreditIsCappedAtOne) {
+  DefensePipeline pipeline(test_config(), 1);
+  for (int round = 0; round < 50; ++round)
+    pipeline.commit_round({accepted(0, 1.0)});
+  EXPECT_DOUBLE_EQ(pipeline.reputation(0), 1.0);
+}
+
+TEST(DefenseCheckpoint, RoundtripRestoresTheExactState) {
+  DefensePipeline original(test_config(), 3);
+  warm_up(original);
+  for (int round = 0; round < 3; ++round)
+    original.commit_round({accepted(0, 1.1), original.non_finite(2)});
+
+  ckpt::Writer out;
+  original.save_state(out);
+  const std::vector<std::uint8_t> bytes = out.take();
+
+  DefensePipeline restored(test_config(), 3);
+  ckpt::Reader in(bytes);
+  restored.restore_state(in);
+  EXPECT_TRUE(in.exhausted());
+
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(restored.reputation(c), original.reputation(c));
+    EXPECT_EQ(restored.quarantined(c), original.quarantined(c));
+  }
+  EXPECT_EQ(restored.rounds_committed(), original.rounds_committed());
+
+  // Equal state must screen identically from here on.
+  std::vector<double> upload_a = along_global(kGlobal, 4.0);
+  std::vector<double> upload_b = upload_a;
+  const ScreenObservation obs_a = original.screen(0, upload_a, kGlobal);
+  const ScreenObservation obs_b = restored.screen(0, upload_b, kGlobal);
+  EXPECT_EQ(obs_a.verdict, obs_b.verdict);
+  EXPECT_EQ(upload_a, upload_b);
+}
+
+TEST(DefenseCheckpoint, RejectsClientCountMismatch) {
+  DefensePipeline original(test_config(), 3);
+  warm_up(original);
+  ckpt::Writer out;
+  original.save_state(out);
+  const std::vector<std::uint8_t> bytes = out.take();
+
+  DefensePipeline other(test_config(), 5);
+  ckpt::Reader in(bytes);
+  EXPECT_THROW(other.restore_state(in), ckpt::StateMismatchError);
+}
+
+}  // namespace
+}  // namespace fedpower::fed

@@ -2,7 +2,10 @@
 // behaviour under model poisoning.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "fed/federation.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace fedpower::fed {
 namespace {
@@ -61,9 +64,70 @@ TEST(TrimmedMean, SurvivesOnePoisonedClient) {
   EXPECT_NEAR(global[1], -0.55, 0.06);
 }
 
-TEST(TrimmedMeanDeathTest, RejectsOverTrimming) {
+TEST(TrimmedMean, OverTrimmingClampsInsteadOfAborting) {
+  // Dropouts can shrink the survivor set below what the configured trim
+  // count was planned for; the rule degrades to the widest valid trim
+  // (here: none — 2 models cannot lose a symmetric pair) instead of
+  // killing the round.
   const std::vector<std::vector<double>> models = {{1.0}, {2.0}};
-  EXPECT_DEATH(aggregate_trimmed_mean(models, 1), "precondition");
+  EXPECT_DOUBLE_EQ(aggregate_trimmed_mean(models, 1)[0], 1.5);
+  EXPECT_DOUBLE_EQ(aggregate_trimmed_mean(models, 100)[0], 1.5);
+}
+
+TEST(TrimmedMean, ClampKeepsTheMedianForOddCounts) {
+  // 3 models with trim 5 clamps to trim 1 = the middle order statistic.
+  const std::vector<std::vector<double>> models = {{-7.0}, {2.0}, {90.0}};
+  EXPECT_DOUBLE_EQ(aggregate_trimmed_mean(models, 5)[0], 2.0);
+}
+
+TEST(TrimmedMean, ClampTrimCountHelper) {
+  EXPECT_EQ(clamp_trim_count(0, 5), 0u);
+  EXPECT_EQ(clamp_trim_count(2, 5), 2u);
+  EXPECT_EQ(clamp_trim_count(3, 5), 2u);   // floor((5-1)/2)
+  EXPECT_EQ(clamp_trim_count(1, 2), 0u);
+  EXPECT_EQ(clamp_trim_count(100, 1), 0u);
+}
+
+TEST(Krum, PicksTheMostCentralModel) {
+  // Three honest models clustered at ~0.5 and one far outlier: Krum must
+  // select a cluster member, never the outlier.
+  const std::vector<std::vector<double>> models = {
+      {0.49}, {0.50}, {0.51}, {1e6}};
+  const auto global = aggregate_krum(models, 1);
+  EXPECT_NEAR(global[0], 0.50, 0.02);
+}
+
+TEST(Krum, MultiKrumAveragesTheSelectedSet) {
+  const std::vector<std::vector<double>> models = {
+      {0.4}, {0.5}, {0.6}, {0.5}, {1e6}};
+  // f = 1 → select n - f - 2 = 2 most central models.
+  const auto global = aggregate_krum(models, 1, models.size() - 1 - 2);
+  EXPECT_NEAR(global[0], 0.5, 0.06);
+}
+
+TEST(Krum, TinyFleetsClampByzantineCount) {
+  // 3 models leave no room for f >= 1 (needs n >= f + 3); the clamp keeps
+  // the rule total instead of aborting.
+  const std::vector<std::vector<double>> models = {{1.0}, {2.0}, {3.0}};
+  const auto global = aggregate_krum(models, 2);
+  EXPECT_TRUE(std::isfinite(global[0]));
+}
+
+TEST(Krum, ParallelOverloadMatchesSerialBitwise) {
+  std::vector<std::vector<double>> models;
+  for (std::size_t m = 0; m < 9; ++m) {
+    std::vector<double> params(700);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i] = std::sin(static_cast<double>(m * 131 + i) * 0.013) +
+                  (m == 8 ? 50.0 : 0.0);
+    }
+    models.push_back(std::move(params));
+  }
+  runtime::ThreadPool pool(4);
+  const util::ParallelFor parallel_for = pool.executor();
+  const auto serial = aggregate_krum(models, 2, 4);
+  const auto parallel = aggregate_krum(models, 2, 4, parallel_for);
+  EXPECT_EQ(serial, parallel);
 }
 
 TEST(RobustAggregateDeathTest, RejectsMismatchedSizes) {

@@ -1,0 +1,144 @@
+// Hardware fault injection: stuck power sensor, frozen performance
+// counters and a stuck DVFS actuator corrupt only what the controller
+// observes or commands — execution, energy accounting and the RNG draw
+// sequence stay honest (DESIGN.md §10).
+#include "sim/processor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ckpt/binary_io.hpp"
+#include "ckpt/errors.hpp"
+#include "sim/splash2.hpp"
+
+namespace fedpower::sim {
+namespace {
+
+ProcessorConfig quiet_config() {
+  ProcessorConfig config;
+  config.sensor_noise_w = 0.0;
+  config.workload_jitter = 0.0;
+  config.dvfs_transition_us = 0.0;
+  return config;
+}
+
+TEST(HardwareFaults, StuckSensorLiesOnlyToTheController) {
+  SingleAppWorkload workload(*splash2_app("fft"));
+  Processor proc(quiet_config(), util::Rng{11});
+  proc.set_workload(&workload);
+  proc.set_level(10);
+  HardwareFaultConfig faults;
+  faults.stuck_power_sensor = true;
+  faults.stuck_power_w = 0.123;
+  proc.inject_faults(faults);
+  const TelemetrySample sample = proc.run_interval(0.5);
+  EXPECT_DOUBLE_EQ(sample.power_w, 0.123);
+  EXPECT_GT(sample.true_power_w, 0.3);  // the honest reading survives
+  EXPECT_NE(sample.true_power_w, sample.power_w);
+}
+
+TEST(HardwareFaults, FrozenCountersRepeatTheFirstFaultedSample) {
+  SingleAppWorkload workload(*splash2_app("lu"));
+  Processor proc(quiet_config(), util::Rng{12});
+  proc.set_workload(&workload);
+  proc.set_level(4);
+  HardwareFaultConfig faults;
+  faults.frozen_counters = true;
+  proc.inject_faults(faults);
+  const TelemetrySample first = proc.run_interval(0.5);
+  proc.set_level(14);  // a level jump would normally move every counter
+  const TelemetrySample second = proc.run_interval(0.5);
+  EXPECT_DOUBLE_EQ(second.instructions, first.instructions);
+  EXPECT_DOUBLE_EQ(second.cycles, first.cycles);
+  EXPECT_DOUBLE_EQ(second.ipc, first.ipc);
+  EXPECT_DOUBLE_EQ(second.miss_rate, first.miss_rate);
+  EXPECT_DOUBLE_EQ(second.mpki, first.mpki);
+  EXPECT_DOUBLE_EQ(second.ips, first.ips);
+  // Non-counter channels keep moving: power follows the real level change.
+  EXPECT_GT(second.true_power_w, 1.5 * first.true_power_w);
+}
+
+TEST(HardwareFaults, StuckDvfsIgnoresLevelRequests) {
+  SingleAppWorkload workload(*splash2_app("radix"));
+  Processor proc(quiet_config(), util::Rng{13});
+  proc.set_workload(&workload);
+  proc.set_level(3);
+  HardwareFaultConfig faults;
+  faults.dvfs_stuck = true;
+  proc.inject_faults(faults);
+  proc.set_level(14);  // silently ignored
+  const TelemetrySample sample = proc.run_interval(0.5);
+  EXPECT_EQ(sample.level, 3u);
+}
+
+TEST(HardwareFaultsDeathTest, StuckDvfsStillValidatesTheRequest) {
+  Processor proc(quiet_config(), util::Rng{14});
+  HardwareFaultConfig faults;
+  faults.dvfs_stuck = true;
+  proc.inject_faults(faults);
+  EXPECT_DEATH(proc.set_level(1000), "precondition");
+}
+
+TEST(HardwareFaults, FaultsDoNotPerturbTheRngStream) {
+  // Faults are applied to the finished sample, after every honest draw.
+  // A faulted device must therefore execute the exact same trajectory —
+  // same energy, same time, same app progress — as its healthy twin.
+  SingleAppWorkload workload_a(*splash2_app("ocean"));
+  SingleAppWorkload workload_b(*splash2_app("ocean"));
+  ProcessorConfig noisy = quiet_config();
+  noisy.sensor_noise_w = 0.02;  // exercises the RNG every interval
+  noisy.workload_jitter = 0.05;
+  Processor honest(noisy, util::Rng{15});
+  Processor faulted(noisy, util::Rng{15});
+  honest.set_workload(&workload_a);
+  faulted.set_workload(&workload_b);
+  HardwareFaultConfig faults;
+  faults.stuck_power_sensor = true;
+  faults.stuck_power_w = 0.2;
+  faults.frozen_counters = true;
+  faulted.inject_faults(faults);
+  for (int interval = 0; interval < 20; ++interval) {
+    honest.set_level(static_cast<std::size_t>(interval) % 15);
+    faulted.set_level(static_cast<std::size_t>(interval) % 15);
+    const TelemetrySample h = honest.run_interval(0.25);
+    const TelemetrySample f = faulted.run_interval(0.25);
+    EXPECT_EQ(f.true_power_w, h.true_power_w);
+    EXPECT_EQ(f.energy_j, h.energy_j);
+    EXPECT_EQ(f.time_s, h.time_s);
+  }
+}
+
+TEST(HardwareFaults, CheckpointRoundtripKeepsFrozenCounters) {
+  SingleAppWorkload workload(*splash2_app("fmm"));
+  Processor original(quiet_config(), util::Rng{16});
+  original.set_workload(&workload);
+  original.set_level(6);
+  HardwareFaultConfig faults;
+  faults.frozen_counters = true;
+  original.inject_faults(faults);
+  const TelemetrySample frozen = original.run_interval(0.5);
+
+  ckpt::Writer out;
+  original.save_state(out);
+  const std::vector<std::uint8_t> bytes = out.take();
+
+  SingleAppWorkload workload_restored(*splash2_app("fmm"));
+  Processor restored(quiet_config(), util::Rng{999});
+  restored.set_workload(&workload_restored);
+  restored.inject_faults(faults);  // config is re-armed, state is restored
+  ckpt::Reader in(bytes);
+  restored.restore_state(in);
+  EXPECT_TRUE(in.exhausted());
+
+  const TelemetrySample a = original.run_interval(0.5);
+  const TelemetrySample b = restored.run_interval(0.5);
+  EXPECT_EQ(a.instructions, frozen.instructions);
+  EXPECT_EQ(b.instructions, a.instructions);
+  EXPECT_EQ(b.power_w, a.power_w);
+  EXPECT_EQ(b.true_power_w, a.true_power_w);
+}
+
+}  // namespace
+}  // namespace fedpower::sim

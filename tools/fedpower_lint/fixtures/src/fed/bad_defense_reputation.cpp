@@ -1,0 +1,36 @@
+// Fixture: the defense pipeline written the wrong way. A reputation table
+// iterated in hash order (L2) or an update norm via std::accumulate (L3)
+// would make screening verdicts — and thus the whole round — depend on
+// bucket layout and summation order. The real src/fed/defense.cpp keeps a
+// vector indexed by client and accumulates norms in coordinate order;
+// these are the mistakes the lint gate exists to catch. Never compiled.
+#include <cstddef>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+namespace fedpower::fed {
+
+struct BadDefense {
+  std::unordered_map<std::size_t, double> reputation_;
+
+  std::vector<std::size_t> bad_quarantine_sweep() const {
+    std::vector<std::size_t> quarantined;
+    for (const auto& entry : reputation_)  // L2: hash-order verdicts
+      if (entry.second < 0.5) quarantined.push_back(entry.first);
+    return quarantined;
+  }
+
+  double bad_update_norm(const std::vector<double>& update) const {
+    return std::accumulate(update.begin(), update.end(), 0.0);  // L3
+  }
+};
+
+/// What the real pipeline does: client-index vector, coordinate-order sum.
+inline double good_update_norm(const std::vector<double>& update) {
+  double sum = 0.0;
+  for (const double v : update) sum += v * v;
+  return sum;
+}
+
+}  // namespace fedpower::fed
