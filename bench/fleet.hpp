@@ -24,4 +24,15 @@ inline Fleet make_fleet(const std::vector<core::ControllerConfig>& configs,
   return Fleet(configs, processor_config, device_apps, seed, num_threads);
 }
 
+/// Options overload for fleet-scale benches (lazy construction at 100k+
+/// devices). Same prvalue-return contract as above.
+inline Fleet make_fleet(const std::vector<core::ControllerConfig>& configs,
+                        const sim::ProcessorConfig& processor_config,
+                        const std::vector<std::vector<sim::AppProfile>>&
+                            device_apps,
+                        std::uint64_t seed,
+                        const runtime::FleetOptions& options) {
+  return Fleet(configs, processor_config, device_apps, seed, options);
+}
+
 }  // namespace fedpower::benchutil

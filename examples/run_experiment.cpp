@@ -20,11 +20,16 @@ constexpr const char* kSampleConfig = R"(# FedPower experiment configuration
 seed = 42
 mode = both            ; federated | local | both
 num_threads = 1        ; worker threads for local training; 0 = all cores
+lazy_fleet = false     ; defer device construction to first selection
 
 [fed]
 rounds = 100
 steps_per_round = 100
 aggregation = mean     ; mean | weighted | median | trimmed | krum | multi-krum
+participation = 1.0    ; C: fraction of eligible clients drawn per round
+min_participants = 1   ; floor on the per-round draw
+sampling_seed = 0      ; participation stream seed
+quorum = 1             ; min surviving uploads among this round's draw
 
 [agent]
 learning_rate = 0.005
@@ -173,6 +178,25 @@ core::ExperimentConfig build_config(const util::Config& config) {
       config.get_string("checkpoint.resume_from");
   experiment.aggregation =
       parse_aggregation(config.get_string("fed.aggregation", "mean"));
+  experiment.sampling.fraction =
+      config.get_double("fed.participation", 1.0);
+  if (experiment.sampling.fraction <= 0.0 ||
+      experiment.sampling.fraction > 1.0)
+    throw std::invalid_argument(
+        "config key 'fed.participation': must be in (0, 1]");
+  const long min_participants = config.get_int("fed.min_participants", 1);
+  if (min_participants < 1)
+    throw std::invalid_argument(
+        "config key 'fed.min_participants': must be >= 1");
+  experiment.sampling.min_clients =
+      static_cast<std::size_t>(min_participants);
+  experiment.sampling.seed = static_cast<std::uint64_t>(
+      config.get_int("fed.sampling_seed", 0));
+  const long quorum = config.get_int("fed.quorum", 1);
+  if (quorum < 1)
+    throw std::invalid_argument("config key 'fed.quorum': must be >= 1");
+  experiment.quorum = static_cast<std::size_t>(quorum);
+  experiment.lazy_fleet = config.get_bool("run.lazy_fleet", false);
 
   auto& defense = experiment.defense;
   defense.enabled = config.get_bool("defense.enabled", false);

@@ -34,6 +34,9 @@ scripts/kill_resume_smoke.sh ./build/examples/run_experiment
 echo "== Byzantine attack smoke (25% sign-flippers vs median + defense) =="
 scripts/attack_smoke.sh ./build/examples/run_experiment
 
+echo "== fleet-scale bench (lazy 100k-device fleet + retry-accounting guard) =="
+./build/bench/bench_fleet_scale
+
 for preset in "${run_sanitizer_presets[@]}"; do
   echo "== sanitizer suite (preset: ${preset}) =="
   cmake --preset "$preset"

@@ -14,8 +14,11 @@ namespace {
 constexpr const char* kPrefix = "snapshot-";
 constexpr const char* kSuffix = ".fpck";
 
-/// Parses "snapshot-NNNNNN.fpck" -> NNNNNN; returns false for anything
-/// else so stray files in the directory are ignored, not misread.
+/// Parses "snapshot-<digits>.fpck" -> sequence; returns false for anything
+/// else so stray files in the directory are ignored, not misread. The digit
+/// run may be any width: historic rotations used a fixed %06 format, newer
+/// ones pad to 12 digits, and long soaks can outgrow either — numeric
+/// ordering (not name ordering) is what sequences()/load_latest() sort by.
 bool parse_sequence(const std::string& name, std::uint64_t& sequence) {
   const std::string prefix = kPrefix;
   const std::string suffix = kSuffix;
@@ -25,10 +28,15 @@ bool parse_sequence(const std::string& name, std::uint64_t& sequence) {
     return false;
   const std::string digits =
       name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  // A u64 holds at most 20 decimal digits; longer runs would silently wrap
+  // in the accumulation below, so they are rejected as not-a-snapshot.
+  if (digits.size() > 20) return false;
   std::uint64_t value = 0;
   for (const char c : digits) {
     if (c < '0' || c > '9') return false;
-    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~std::uint64_t{0} - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
   }
   sequence = value;
   return true;
@@ -43,22 +51,41 @@ SnapshotRotation::SnapshotRotation(std::string dir, std::size_t keep)
 }
 
 std::string SnapshotRotation::path_for(std::uint64_t sequence) const {
-  char name[32];
-  std::snprintf(name, sizeof name, "%s%06llu%s", kPrefix,
+  // 12-digit zero padding: the historic %06 width overflows at sequence
+  // 10^6 (plausible in long soaks at every-round cadence), after which
+  // lexicographic name order and numeric order diverge. %012 keeps names
+  // aligned to 10^12 snapshots; beyond that the name simply grows wider —
+  // parse_sequence reads any digit run, so ordering stays numeric either
+  // way. Old narrow names remain loadable: entries() matches on the
+  // parsed sequence, never on the formatted width.
+  char name[40];
+  std::snprintf(name, sizeof name, "%s%012llu%s", kPrefix,
                 static_cast<unsigned long long>(sequence), kSuffix);
   return dir_ + "/" + name;
 }
 
-std::vector<std::uint64_t> SnapshotRotation::sequences() const {
-  std::vector<std::uint64_t> out;
+std::vector<SnapshotRotation::Entry> SnapshotRotation::entries() const {
+  std::vector<Entry> out;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
     if (!entry.is_regular_file()) continue;
     std::uint64_t sequence = 0;
-    if (parse_sequence(entry.path().filename().string(), sequence))
-      out.push_back(sequence);
+    const std::string name = entry.path().filename().string();
+    if (parse_sequence(name, sequence)) out.push_back({sequence, name});
   }
-  std::sort(out.begin(), out.end());
+  // Sort by (sequence, name): a sequence present under both the narrow and
+  // the wide spelling (possible only if two rotation epochs wrote the same
+  // number) still yields one deterministic order.
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.sequence != b.sequence ? a.sequence < b.sequence
+                                    : a.name < b.name;
+  });
+  return out;
+}
+
+std::vector<std::uint64_t> SnapshotRotation::sequences() const {
+  std::vector<std::uint64_t> out;
+  for (const Entry& entry : entries()) out.push_back(entry.sequence);
   return out;
 }
 
@@ -70,30 +97,34 @@ std::string SnapshotRotation::save(
     throw CkptError("snapshot rotation: cannot create directory " + dir_ +
                     ": " + ec.message());
 
-  const std::vector<std::uint64_t> existing = sequences();
-  const std::uint64_t next = existing.empty() ? 1 : existing.back() + 1;
+  const std::vector<Entry> existing = entries();
+  const std::uint64_t next =
+      existing.empty() ? 1 : existing.back().sequence + 1;
   const std::string path = path_for(next);
   write_snapshot_file(path, payload);
 
-  // Prune oldest beyond the keep depth. The newly written snapshot counts.
+  // Prune oldest beyond the keep depth, by the names actually on disk so a
+  // rotation carried over from the narrow-format era is trimmed too. The
+  // newly written snapshot counts.
   if (existing.size() + 1 > keep_) {
     const std::size_t excess = existing.size() + 1 - keep_;
     for (std::size_t i = 0; i < excess; ++i)
-      std::filesystem::remove(path_for(existing[i]), ec);  // best effort
+      std::filesystem::remove(dir_ + "/" + existing[i].name,
+                              ec);  // best effort
   }
   return path;
 }
 
 LoadedSnapshot SnapshotRotation::load_latest() const {
-  const std::vector<std::uint64_t> existing = sequences();
+  const std::vector<Entry> existing = entries();
   if (existing.empty())
     throw SnapshotNotFoundError("no snapshots in " + dir_);
 
   std::string failures;
   for (auto it = existing.rbegin(); it != existing.rend(); ++it) {
-    const std::string path = path_for(*it);
+    const std::string path = dir_ + "/" + it->name;
     try {
-      return LoadedSnapshot{read_snapshot_file(path), path, *it};
+      return LoadedSnapshot{read_snapshot_file(path), path, it->sequence};
     } catch (const CkptError& e) {
       // Damaged or unreadable entry: remember why and fall back to the
       // next-older snapshot.

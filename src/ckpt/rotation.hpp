@@ -47,13 +47,27 @@ class SnapshotRotation {
   /// directory is missing or holds no snapshots.
   [[nodiscard]] std::vector<std::uint64_t> sequences() const;
 
-  /// Path a given sequence number maps to ("<dir>/snapshot-NNNNNN.fpck").
+  /// Path a given sequence number maps to when newly written
+  /// ("<dir>/snapshot-NNNNNNNNNNNN.fpck", 12-digit zero padding). Load and
+  /// prune go by the filenames actually present, so snapshots written by
+  /// the historic 6-digit format keep working; this is only where the NEXT
+  /// snapshot lands.
   [[nodiscard]] std::string path_for(std::uint64_t sequence) const;
 
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
   [[nodiscard]] std::size_t keep() const noexcept { return keep_; }
 
  private:
+  /// One snapshot on disk: its parsed sequence number and the filename it
+  /// was found under (the format width may differ between rotation epochs).
+  struct Entry {
+    std::uint64_t sequence = 0;
+    std::string name;
+  };
+
+  /// Snapshots currently on disk, ascending by (sequence, name).
+  [[nodiscard]] std::vector<Entry> entries() const;
+
   std::string dir_;
   std::size_t keep_;
 };

@@ -206,8 +206,9 @@ FederatedRunResult run_federated(
       controller_configs[d].reward_poison_scale =
           config.faults.reward_poison_scale;
   }
-  runtime::FleetRuntime fleet(controller_configs, config.processor,
-                              device_apps, config.seed, config.num_threads);
+  runtime::FleetRuntime fleet(
+      controller_configs, config.processor, device_apps, config.seed,
+      runtime::FleetOptions{config.num_threads, config.lazy_fleet});
   for (const std::size_t d : compromised) {
     runtime::DeviceFaultConfig faults;
     faults.upload.attack = config.faults.attack;
@@ -228,6 +229,10 @@ FederatedRunResult run_federated(
   fed::FederatedAveraging server(fleet.clients(), wire, config.aggregation);
   server.set_local_executor(fleet.executor());
   server.enable_defense(config.defense);
+  // Sampling before any resume below: restore_state overrides the
+  // participation stream position, the config itself is not state.
+  server.set_sampling(config.sampling);
+  server.set_quorum(config.quorum);
   server.initialize(fleet.controller(0).local_parameters());
 
   const Evaluator evaluator = make_evaluator(config);
@@ -291,6 +296,12 @@ FederatedRunResult run_federated(
       });
       record_round(result.devices, result.fleet, evals);
     }
+    // Lazy fleets return out-of-round devices to their compact cold form:
+    // resident memory tracks the per-round working set, not the fleet.
+    // (Per-round eval above hydrates everything, so fleet-scale runs skip
+    // per-round eval.)
+    if (config.lazy_fleet)
+      fleet.dehydrate_inactive(round_result.participants);
     if (rotation && (round + 1) % config.checkpoint.every_rounds == 0) {
       ckpt::Writer out;
       ckpt::write_tag(out, kFedExpTag);
@@ -338,8 +349,9 @@ LocalRunResult run_local_only(
     const std::vector<std::vector<sim::AppProfile>>& device_apps,
     const std::vector<sim::AppProfile>& eval_apps, bool eval_each_round) {
   FEDPOWER_EXPECTS(!eval_apps.empty() || !eval_each_round);
-  runtime::FleetRuntime fleet({config.controller}, config.processor,
-                              device_apps, config.seed, config.num_threads);
+  runtime::FleetRuntime fleet(
+      {config.controller}, config.processor, device_apps, config.seed,
+      runtime::FleetOptions{config.num_threads, config.lazy_fleet});
 
   const Evaluator evaluator = make_evaluator(config);
   LocalRunResult result;

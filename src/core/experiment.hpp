@@ -102,6 +102,19 @@ struct ExperimentConfig {
   CheckpointConfig checkpoint{};
   /// Server aggregation rule (run_federated only).
   fed::AggregationMode aggregation = fed::AggregationMode::kUnweightedMean;
+  /// Per-round client sampling (run_federated only). The default is the
+  /// paper's full participation; fleet-scale runs set fraction « 1 so the
+  /// per-round cost follows the sample, not the fleet (DESIGN.md §11).
+  fed::SamplingConfig sampling{};
+  /// Minimum surviving uploads per round, checked against the round's
+  /// aggregation-eligible participants (fed::FederatedAveraging::set_quorum;
+  /// run_federated only).
+  std::size_t quorum = 1;
+  /// Lazy device instantiation (runtime::FleetOptions::lazy): sampled-out
+  /// devices stay as compact cold records and run_federated dehydrates
+  /// devices between rounds, so resident memory follows the per-round
+  /// working set. Results are bit-identical to an eager fleet.
+  bool lazy_fleet = false;
   /// Server-side Byzantine defense (run_federated only; off by default).
   fed::DefenseConfig defense{};
   /// Client/transport fault injection (run_federated only; clean default).

@@ -57,11 +57,19 @@ void FederatedAveraging::initialize(std::vector<double> global) {
   global_ = std::move(global);
 }
 
+void FederatedAveraging::set_sampling(const SamplingConfig& config) {
+  FEDPOWER_EXPECTS(config.fraction > 0.0 && config.fraction <= 1.0);
+  FEDPOWER_EXPECTS(config.min_clients >= 1);
+  sampling_ = config;
+  participation_rng_ = util::Rng{config.seed};
+}
+
 void FederatedAveraging::set_participation(double fraction,
                                            std::uint64_t seed) {
-  FEDPOWER_EXPECTS(fraction > 0.0 && fraction <= 1.0);
-  participation_ = fraction;
-  participation_rng_ = util::Rng{seed};
+  SamplingConfig config;
+  config.fraction = fraction;
+  config.seed = seed;
+  set_sampling(config);
 }
 
 void FederatedAveraging::set_quorum(std::size_t min_survivors) {
@@ -74,6 +82,7 @@ void FederatedAveraging::set_client_transport(std::size_t client,
   FEDPOWER_EXPECTS(client < clients_.size());
   FEDPOWER_EXPECTS(transport != nullptr);
   client_transports_[client] = transport;
+  transport_dedup_stale_ = true;
 }
 
 void FederatedAveraging::enable_defense(const DefenseConfig& config) {
@@ -100,28 +109,67 @@ Transport& FederatedAveraging::transport_for(std::size_t client) noexcept {
 }
 
 std::size_t FederatedAveraging::total_transport_retries() const {
-  std::vector<const Transport*> seen{transport_};
-  std::size_t total = transport_->stats().retries;
-  for (const Transport* t : client_transports_) {
-    if (t == nullptr) continue;
-    if (std::find(seen.begin(), seen.end(), t) != seen.end()) continue;
-    seen.push_back(t);
-    total += t->stats().retries;
+  // Retry accounting runs twice per round; the historic implementation
+  // deduplicated with an O(n^2) std::find over a pointer vector, which is
+  // pathological once every client owns its own transport (100k clients =
+  // 10^10 pointer compares per round). Sort-based dedup instead, cached
+  // until the transport wiring changes. Address order is not stable across
+  // runs, but the sum over the distinct set is order-independent, so the
+  // result stays deterministic.
+  if (transport_dedup_stale_) {
+    transport_dedup_.clear();
+    transport_dedup_.reserve(client_transports_.size() + 1);
+    transport_dedup_.push_back(transport_);
+    for (const Transport* t : client_transports_)
+      if (t != nullptr) transport_dedup_.push_back(t);
+    std::sort(transport_dedup_.begin(), transport_dedup_.end());
+    transport_dedup_.erase(
+        std::unique(transport_dedup_.begin(), transport_dedup_.end()),
+        transport_dedup_.end());
+    transport_dedup_stale_ = false;
   }
+  std::size_t total = 0;
+  for (const Transport* t : transport_dedup_) total += t->stats().retries;
   return total;
 }
 
 std::vector<std::size_t> FederatedAveraging::draw_participants() {
   std::vector<std::size_t> all(clients_.size());
   std::iota(all.begin(), all.end(), std::size_t{0});
-  if (participation_ >= 1.0) return all;
-  const auto count = std::max<std::size_t>(
-      1, static_cast<std::size_t>(
-             std::ceil(participation_ * static_cast<double>(all.size()))));
-  participation_rng_.shuffle(all);
-  all.resize(count);
-  std::sort(all.begin(), all.end());
-  return all;
+  // Full participation consumes no randomness: the historic RNG stream
+  // shape of fraction = 1 runs is part of the checkpoint contract.
+  if (sampling_.fraction >= 1.0) return all;
+
+  // Partition out quarantined clients (quarantine-aware sampling): the
+  // C-fraction draw is spent on clients whose uploads can reach the
+  // aggregate; quarantined clients ride along as probation participants
+  // below. With defense off (or awareness disabled) every client is
+  // eligible and the shuffle consumes exactly the historic stream.
+  std::vector<std::size_t> eligible;
+  std::vector<std::size_t> riders;
+  if (defense_ && sampling_.quarantine_aware) {
+    eligible.reserve(all.size());
+    for (const std::size_t i : all)
+      (defense_->quarantined(i) ? riders : eligible).push_back(i);
+  } else {
+    eligible = std::move(all);
+  }
+  if (eligible.empty()) return riders;  // probation-only round
+
+  const auto ceil_fraction = static_cast<std::size_t>(std::ceil(
+      sampling_.fraction * static_cast<double>(eligible.size())));
+  const std::size_t count =
+      std::min(eligible.size(),
+               std::max({std::size_t{1}, sampling_.min_clients,
+                         ceil_fraction}));
+  participation_rng_.shuffle(eligible);
+  eligible.resize(count);
+  // Probation riders: quarantined clients participate every round (their
+  // uploads feed re-admission streaks, never the aggregate), so quarantine
+  // can end even when C is small.
+  for (const std::size_t r : riders) eligible.push_back(r);
+  std::sort(eligible.begin(), eligible.end());
+  return eligible;
 }
 
 RoundResult FederatedAveraging::run_round() {
@@ -236,8 +284,18 @@ RoundResult FederatedAveraging::run_round() {
   result.transport_retries = total_transport_retries() - retries_before;
 
   // An aborted round drops its screening observations along with the round
-  // counter: reputations only move on completed rounds.
-  if (locals.size() < quorum_) throw QuorumError(locals.size(), quorum_);
+  // counter: reputations only move on completed rounds. The quorum is
+  // checked against this round's aggregation-eligible participants — the
+  // drawn clients minus probation riders — never the full fleet: a round
+  // that samples fewer clients than the configured quorum only demands
+  // that every sampled client survive. (Pre-fix the absolute count was
+  // used, so small-C rounds threw QuorumError spuriously with zero
+  // faults.) At least one upload must always survive.
+  const std::size_t eligible_drawn =
+      result.participants.size() - result.quarantined.size();
+  const std::size_t required =
+      std::max<std::size_t>(1, std::min(quorum_, eligible_drawn));
+  if (locals.size() < required) throw QuorumError(locals.size(), required);
 
   // theta_{r+1} (line 8). Large fleets shard the coordinate reduction
   // across the executor (bit-identical to serial; see aggregate.hpp).

@@ -48,6 +48,44 @@ class FederatedClient {
   virtual std::size_t local_sample_count() const { return 1; }
 };
 
+/// Per-round client sampling (McMahan-style C-fraction). The paper's
+/// setting is full participation (fraction = 1); fleets beyond a few dozen
+/// devices sample ceil(fraction * eligible) clients per round instead, so
+/// per-round cost scales with the sample, not the fleet.
+///
+/// Semantics:
+///   * fraction = 1 selects every client and consumes no randomness, so
+///     full-participation runs keep their historic RNG stream byte for
+///     byte.
+///   * fraction < 1 draws uniformly without replacement from the ELIGIBLE
+///     clients — when the defense pipeline is armed and quarantine_aware
+///     is set (the default), quarantined clients are excluded from the
+///     draw so the round's C-fraction is spent entirely on clients whose
+///     uploads can actually reach the aggregate. (The pre-fix behaviour
+///     drew from the full fleet; rounds that happened to select
+///     quarantined clients silently ran below the configured fraction and
+///     could starve the quorum.)
+///   * Quarantined clients still participate every sampled round as
+///     probation riders: they receive the broadcast and their uploads are
+///     screened (never aggregated), so the defense pipeline's
+///     consecutive-clean-upload re-admission keeps progressing even at
+///     small C. They are listed in RoundResult::participants and
+///     RoundResult::quarantined exactly as under full participation.
+///   * min_clients floors the eligible draw: small fleets (or tiny
+///     fractions) still field at least min(min_clients, eligible) clients.
+///
+/// The draw is deterministic from `seed`: the participation stream lives
+/// in FederatedAveraging::save_state, so a resumed run selects the same
+/// clients the uninterrupted run would have. The config itself is
+/// configuration, not state — a resuming federation must be handed the
+/// same SamplingConfig, exactly like DefenseConfig.
+struct SamplingConfig {
+  double fraction = 1.0;        ///< C: fraction of eligible clients per round
+  std::size_t min_clients = 1;  ///< floor on the per-round eligible draw
+  std::uint64_t seed = 0;       ///< participation stream seed
+  bool quarantine_aware = true; ///< skip quarantined clients in the draw
+};
+
 struct RoundResult {
   std::size_t round = 0;
   std::size_t uplink_bytes = 0;
@@ -125,16 +163,32 @@ class FederatedAveraging {
   /// Sets the initial global model theta_1 (Algorithm 2 line 1).
   void initialize(std::vector<double> global);
 
-  /// Enables partial participation: each round, ceil(fraction * N) clients
-  /// (at least one) are drawn uniformly without replacement; only they
-  /// receive the broadcast, train and upload. The paper's setting is full
-  /// participation (fraction = 1, the default).
+  /// Configures per-round client sampling (see SamplingConfig). Resets the
+  /// participation stream to config.seed; call before the first round (or
+  /// restore_state, which overrides the stream position).
+  void set_sampling(const SamplingConfig& config);
+
+  /// The active sampling configuration (full participation by default).
+  const SamplingConfig& sampling() const noexcept { return sampling_; }
+
+  /// Legacy entry point: set_sampling with the given fraction/seed and the
+  /// default floor (1) and quarantine awareness.
   void set_participation(double fraction, std::uint64_t seed);
 
   /// Minimum number of clients whose uploads must survive the round's
   /// transfers; below it run_round throws QuorumError and leaves the
   /// global model and round counter untouched. Default 1: any survivor
   /// lets FedAvg proceed with partial participation.
+  ///
+  /// Quorum semantics under partial participation: the requirement is
+  /// checked against THIS round's aggregation-eligible participants (the
+  /// drawn clients minus probation riders), never against the full fleet —
+  /// a round that samples fewer clients than min_survivors demands only
+  /// that every sampled client survives. (The pre-fix behaviour compared
+  /// against the absolute count, so small-C rounds threw QuorumError
+  /// spuriously even with zero faults.) At least one upload must always
+  /// survive: a round whose every participant is quarantined, dropped or
+  /// rejected still aborts.
   void set_quorum(std::size_t min_survivors);
 
   /// Routes client's transfers through its own transport (e.g. one TCP
@@ -204,12 +258,17 @@ class FederatedAveraging {
   std::vector<FederatedClient*> clients_;
   Transport* transport_;
   std::vector<Transport*> client_transports_;  ///< per-client overrides
+  /// Distinct transports (shared + overrides), sorted by address; rebuilt
+  /// lazily after set_client_transport so per-round retry accounting is one
+  /// linear pass instead of the historic O(n^2) pointer scan.
+  mutable std::vector<const Transport*> transport_dedup_;
+  mutable bool transport_dedup_stale_ = true;
   AggregationMode mode_;
   const ModelCodec* codec_;
   util::ParallelFor executor_;  ///< empty = serial local rounds
   std::vector<double> global_;
   std::size_t rounds_completed_ = 0;
-  double participation_ = 1.0;
+  SamplingConfig sampling_{};
   std::size_t quorum_ = 1;
   util::Rng participation_rng_{0};
   std::optional<DefensePipeline> defense_;

@@ -1,0 +1,228 @@
+#include "fed/hierarchy.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "ckpt/state_io.hpp"
+#include "util/assert.hpp"
+
+namespace fedpower::fed {
+
+EdgeAggregator::EdgeAggregator(std::size_t shard, std::size_t first_client,
+                               std::vector<FederatedClient*> clients,
+                               Transport* transport, AggregationMode mode,
+                               const ModelCodec* codec)
+    : shard_(shard),
+      first_(first_client),
+      federation_(std::make_unique<FederatedAveraging>(std::move(clients),
+                                                       transport, mode,
+                                                       codec)) {}
+
+HierarchicalFederation::HierarchicalFederation(
+    std::vector<FederatedClient*> clients, Transport* transport,
+    std::size_t shard_count, AggregationMode mode, const ModelCodec* codec)
+    : codec_(codec != nullptr ? codec : &Float32Codec::instance()),
+      client_count_(clients.size()) {
+  FEDPOWER_EXPECTS(shard_count >= 1 && shard_count <= clients.size());
+  // Contiguous balanced shards: sizes differ by at most one, the first
+  // (clients % shards) shards take the extra client. Static assignment is
+  // deliberate — a client's reputation history lives in its shard's
+  // DefensePipeline, so clients must not migrate between shards mid-run.
+  const std::size_t base = clients.size() / shard_count;
+  const std::size_t extra = clients.size() % shard_count;
+  std::size_t first = 0;
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::size_t size = base + (s < extra ? 1 : 0);
+    std::vector<FederatedClient*> shard_clients(
+        clients.begin() + static_cast<std::ptrdiff_t>(first),
+        clients.begin() + static_cast<std::ptrdiff_t>(first + size));
+    shards_.push_back(std::make_unique<EdgeAggregator>(
+        s, first, std::move(shard_clients), transport, mode, codec_));
+    first += size;
+  }
+}
+
+void HierarchicalFederation::initialize(std::vector<double> global) {
+  FEDPOWER_EXPECTS(!global.empty());
+  global_ = std::move(global);
+}
+
+void HierarchicalFederation::set_sampling(const SamplingConfig& config) {
+  for (auto& shard : shards_) {
+    SamplingConfig shard_config = config;
+    if (shard->shard() != 0) {
+      // Independent per-shard participation streams; shard 0 keeps the
+      // seed verbatim so one shard reproduces the flat federation exactly.
+      std::uint64_t state =
+          config.seed ^ (0x9e3779b97f4a7c15ULL *
+                         static_cast<std::uint64_t>(shard->shard()));
+      shard_config.seed = util::splitmix64(state);
+    }
+    shard->federation().set_sampling(shard_config);
+  }
+}
+
+void HierarchicalFederation::set_quorum(std::size_t min_survivors) {
+  FEDPOWER_EXPECTS(min_survivors >= 1);
+  for (auto& shard : shards_)
+    shard->federation().set_quorum(
+        std::min(min_survivors, shard->client_count()));
+}
+
+void HierarchicalFederation::set_min_contributing_shards(
+    std::size_t min_shards) {
+  FEDPOWER_EXPECTS(min_shards >= 1 && min_shards <= shards_.size());
+  min_contributing_shards_ = min_shards;
+}
+
+void HierarchicalFederation::enable_defense(const DefenseConfig& config) {
+  for (auto& shard : shards_) shard->federation().enable_defense(config);
+}
+
+void HierarchicalFederation::set_trim_count(std::size_t trim_count) {
+  for (auto& shard : shards_) shard->federation().set_trim_count(trim_count);
+}
+
+void HierarchicalFederation::set_local_executor(util::ParallelFor executor) {
+  for (auto& shard : shards_) shard->federation().set_local_executor(executor);
+  executor_ = std::move(executor);
+}
+
+std::size_t HierarchicalFederation::shard_of(std::size_t client) const {
+  FEDPOWER_EXPECTS(client < client_count_);
+  for (const auto& shard : shards_)
+    if (client < shard->first_client() + shard->client_count())
+      return shard->shard();
+  return shards_.size() - 1;  // unreachable given the EXPECTS above
+}
+
+void HierarchicalFederation::set_client_transport(std::size_t client,
+                                                  Transport* transport) {
+  const std::size_t s = shard_of(client);
+  shards_[s]->federation().set_client_transport(
+      client - shards_[s]->first_client(), transport);
+}
+
+void HierarchicalFederation::set_edge_transport(std::size_t shard,
+                                                Transport* transport) {
+  FEDPOWER_EXPECTS(shard < shards_.size());
+  shards_[shard]->set_edge_transport(transport);
+}
+
+HierarchicalRoundResult HierarchicalFederation::run_round() {
+  FEDPOWER_EXPECTS(!global_.empty());
+  HierarchicalRoundResult result;
+  result.round = rounds_completed_ + 1;
+  result.shards.reserve(shards_.size());
+
+  // The edge wire image is shared by every shard downlink; the model
+  // itself crosses in process at full precision (see file header).
+  const std::vector<std::uint8_t> wire = codec_->encode(global_);
+  std::vector<std::vector<double>> shard_models;
+  std::vector<double> weights;
+  for (auto& shard : shards_) {
+    ShardRoundOutcome outcome;
+    outcome.shard = shard->shard();
+
+    // Edge downlink: server -> edge aggregator. A faulted (or corrupted)
+    // transfer leaves the shard on the stale model it last received; the
+    // shard round still runs, exactly as an unreachable region keeps
+    // training on what it has.
+    bool fresh = true;
+    if (Transport* edge = shard->edge_transport()) {
+      try {
+        const auto delivered = edge->transfer(Direction::kDownlink, wire);
+        codec_->decode(delivered);  // corruption check only; value unused
+        result.downlink_bytes += delivered.size();
+      } catch (const TransportError&) {
+        fresh = false;
+      } catch (const std::invalid_argument&) {
+        fresh = false;
+      }
+      outcome.downlink_stale = !fresh;
+    }
+    if (fresh) shard->federation().initialize(global_);
+
+    try {
+      outcome.result = shard->federation().run_round();
+    } catch (const QuorumError&) {
+      outcome.quorum_failed = true;
+    }
+
+    if (outcome.result) {
+      // Edge uplink: one model per shard per round, whatever the shard
+      // size — this is the two-tier topology's entire bandwidth win.
+      bool delivered_ok = true;
+      if (Transport* edge = shard->edge_transport()) {
+        try {
+          const auto delivered = edge->transfer(
+              Direction::kUplink,
+              codec_->encode(shard->federation().global_model()));
+          codec_->decode(delivered);
+          result.uplink_bytes += delivered.size();
+        } catch (const TransportError&) {
+          delivered_ok = false;
+        } catch (const std::invalid_argument&) {
+          delivered_ok = false;
+        }
+        outcome.uplink_dropped = !delivered_ok;
+      }
+      if (delivered_ok) {
+        outcome.contributed = true;
+        shard_models.push_back(shard->federation().global_model());
+        weights.push_back(static_cast<double>(
+            outcome.result->effective_clients()));
+      }
+    }
+    result.shards.push_back(std::move(outcome));
+  }
+
+  result.contributing_shards = shard_models.size();
+  const std::size_t required = std::max<std::size_t>(
+      1, std::min(min_contributing_shards_, shards_.size()));
+  if (shard_models.size() < required)
+    throw QuorumError(shard_models.size(), required);
+
+  // Weighted by aggregated upload counts, accumulated in shard order. A
+  // single contributing shard adopts that model by copy: a weighted
+  // average of one is not guaranteed bit-exact (w*x/w), and the
+  // single-shard topology must reproduce the flat run to the bit.
+  if (shard_models.size() == 1) {
+    global_ = std::move(shard_models.front());
+  } else {
+    global_ = average_weighted(shard_models, weights, executor_);
+  }
+  ++rounds_completed_;
+  return result;
+}
+
+void HierarchicalFederation::run(std::size_t rounds) {
+  for (std::size_t r = 0; r < rounds; ++r) run_round();
+}
+
+namespace {
+constexpr ckpt::Tag kHierTag{'H', 'I', 'E', 'R'};
+}  // namespace
+
+void HierarchicalFederation::save_state(ckpt::Writer& out) const {
+  write_tag(out, kHierTag);
+  out.u64(shards_.size());
+  out.u64(rounds_completed_);
+  out.vec_f64(global_);
+  for (const auto& shard : shards_) shard->federation().save_state(out);
+}
+
+void HierarchicalFederation::restore_state(ckpt::Reader& in) {
+  expect_tag(in, kHierTag, "hierarchical federation server");
+  const std::uint64_t shard_count = in.u64();
+  if (shard_count != shards_.size())
+    throw ckpt::StateMismatchError(
+        "hierarchical snapshot was taken with " + std::to_string(shard_count) +
+        " shard(s), this federation has " + std::to_string(shards_.size()));
+  rounds_completed_ = in.u64();
+  global_ = in.vec_f64();
+  for (auto& shard : shards_) shard->federation().restore_state(in);
+}
+
+}  // namespace fedpower::fed

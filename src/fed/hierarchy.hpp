@@ -1,0 +1,202 @@
+// Two-tier (hierarchical) federated averaging: edge aggregators between
+// the devices and the global server (DESIGN.md §11).
+//
+// Fleets past a few thousand devices cannot upload to one server: the
+// paper's single-server Algorithm 2 is re-staged as a static two-tier
+// topology. Each EdgeAggregator owns a contiguous shard of the fleet and
+// runs an ordinary FederatedAveraging round over it — sampling, transport
+// faults, Byzantine screening and reputation/quarantine are all
+// shard-local, so a poisoning campaign inside one shard cannot consume
+// another shard's trim budget. The edge then forwards ONE model per round
+// to the global server, which combines the shard models weighted by how
+// many client uploads each shard aggregated.
+//
+// Determinism contract: a single-shard hierarchical federation reproduces
+// the flat FederatedAveraging run bit for bit — same participant draws,
+// same round results, same global model trajectory. This holds because
+// (a) shard 0 uses the SamplingConfig seed verbatim (further shards derive
+// theirs via splitmix64), (b) shard models cross the edge tier in process
+// at full double precision (the lossy float32 wire codec is used only for
+// traffic accounting and fault injection on the optional edge links — edge
+// aggregators are operator infrastructure, not untrusted devices), and
+// (c) a round with exactly one contributing shard adopts that shard's
+// model by copy instead of a weighted average of one.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fed/federation.hpp"
+
+namespace fedpower::fed {
+
+/// One edge node: a contiguous client shard plus the FederatedAveraging
+/// instance that runs its shard-local rounds. Owned by
+/// HierarchicalFederation; exposed for inspection (reputation audits,
+/// per-shard metrics).
+class EdgeAggregator {
+ public:
+  EdgeAggregator(std::size_t shard, std::size_t first_client,
+                 std::vector<FederatedClient*> clients, Transport* transport,
+                 AggregationMode mode, const ModelCodec* codec);
+
+  [[nodiscard]] std::size_t shard() const noexcept { return shard_; }
+  /// Global index of the shard's first client; the shard covers
+  /// [first_client, first_client + client_count).
+  [[nodiscard]] std::size_t first_client() const noexcept { return first_; }
+  [[nodiscard]] std::size_t client_count() const noexcept {
+    return federation_->client_count();
+  }
+
+  [[nodiscard]] FederatedAveraging& federation() noexcept {
+    return *federation_;
+  }
+  [[nodiscard]] const FederatedAveraging& federation() const noexcept {
+    return *federation_;
+  }
+
+  /// Routes this shard's edge<->server transfers through the given
+  /// transport (traffic accounting and fault injection only; the model
+  /// itself crosses in process). nullptr (default) keeps the edge link
+  /// ideal: no bytes counted, no faults possible.
+  void set_edge_transport(Transport* transport) noexcept {
+    edge_transport_ = transport;
+  }
+  [[nodiscard]] Transport* edge_transport() const noexcept {
+    return edge_transport_;
+  }
+
+ private:
+  std::size_t shard_;
+  std::size_t first_;
+  std::unique_ptr<FederatedAveraging> federation_;
+  Transport* edge_transport_ = nullptr;
+};
+
+/// Per-shard outcome of one hierarchical round.
+struct ShardRoundOutcome {
+  std::size_t shard = 0;
+  /// The shard's model entered this round's global aggregate.
+  bool contributed = false;
+  /// The edge downlink faulted: the shard ran its round on the stale
+  /// global model it last received (the shard round itself still ran).
+  bool downlink_stale = false;
+  /// The shard round completed but its model was lost on the edge uplink.
+  bool uplink_dropped = false;
+  /// The shard round aborted below its quorum; no reputation movement, no
+  /// contribution (see FederatedAveraging::set_quorum).
+  bool quorum_failed = false;
+  /// The shard-local round result; absent exactly when quorum_failed.
+  std::optional<RoundResult> result;
+};
+
+struct HierarchicalRoundResult {
+  std::size_t round = 0;
+  std::vector<ShardRoundOutcome> shards;
+  /// Shards whose model reached the global aggregate this round.
+  std::size_t contributing_shards = 0;
+  /// Edge-tier traffic only; client<->edge traffic is in the per-shard
+  /// RoundResults.
+  std::size_t uplink_bytes = 0;
+  std::size_t downlink_bytes = 0;
+};
+
+/// The global server of the two-tier topology. API mirrors
+/// FederatedAveraging; configuration calls fan out to every shard.
+class HierarchicalFederation {
+ public:
+  /// Splits `clients` into `shard_count` contiguous shards (sizes differ by
+  /// at most one; earlier shards take the remainder). Requires
+  /// 1 <= shard_count <= clients.size(). The transport is shared by every
+  /// client that has no per-client override, exactly as in the flat
+  /// federation.
+  HierarchicalFederation(std::vector<FederatedClient*> clients,
+                         Transport* transport,
+                         std::size_t shard_count,
+                         AggregationMode mode = AggregationMode::kUnweightedMean,
+                         const ModelCodec* codec = nullptr);
+
+  /// Sets the initial global model theta_1.
+  void initialize(std::vector<double> global);
+
+  /// Configures every shard's client sampling. Shard 0 uses config.seed
+  /// verbatim (the single-shard bit-identity contract); shard s > 0 derives
+  /// an independent stream seed from (seed, s) via splitmix64.
+  void set_sampling(const SamplingConfig& config);
+
+  /// Per-shard quorum: each shard demands min(min_survivors, shard size)
+  /// surviving uploads, with FederatedAveraging's partial-participation
+  /// semantics applied shard-locally (a shard that samples fewer clients
+  /// than the quorum only demands that every sampled client survive).
+  void set_quorum(std::size_t min_survivors);
+
+  /// Minimum number of shards that must contribute a model for the global
+  /// round to commit; below it run_round throws QuorumError and leaves the
+  /// global model and round counter untouched (shard-local rounds that
+  /// completed stand — their reputation updates are not rolled back).
+  /// Default 1; always at least 1.
+  void set_min_contributing_shards(std::size_t min_shards);
+
+  /// Arms an independent DefensePipeline per shard (shard-local screening,
+  /// reputation and quarantine). Must precede the first round.
+  void enable_defense(const DefenseConfig& config);
+
+  /// Forwards to every shard (see FederatedAveraging::set_trim_count).
+  void set_trim_count(std::size_t trim_count);
+
+  /// Executor for shard-local training and all aggregations (shards run
+  /// sequentially; each shard parallelizes internally, which preserves the
+  /// bit-identity contract across thread counts).
+  void set_local_executor(util::ParallelFor executor);
+
+  /// Per-client transport override, addressed by GLOBAL client index.
+  void set_client_transport(std::size_t client, Transport* transport);
+
+  /// Edge-link transport for one shard (accounting/faults only).
+  void set_edge_transport(std::size_t shard, Transport* transport);
+
+  /// Runs one hierarchical round: per shard, edge downlink -> shard-local
+  /// FederatedAveraging round -> edge uplink; then the global weighted
+  /// combine (weights = each shard's aggregated upload count). Shards run
+  /// in shard order.
+  HierarchicalRoundResult run_round();
+  void run(std::size_t rounds);
+
+  [[nodiscard]] const std::vector<double>& global_model() const noexcept {
+    return global_;
+  }
+  [[nodiscard]] std::size_t rounds_completed() const noexcept {
+    return rounds_completed_;
+  }
+  [[nodiscard]] std::size_t client_count() const noexcept {
+    return client_count_;
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] const EdgeAggregator& shard(std::size_t s) const {
+    return *shards_.at(s);
+  }
+  [[nodiscard]] EdgeAggregator& shard(std::size_t s) { return *shards_.at(s); }
+  /// Shard that owns the given global client index.
+  [[nodiscard]] std::size_t shard_of(std::size_t client) const;
+
+  /// Serializes the two-tier server state: global model, round counter and
+  /// every shard's FederatedAveraging state (tag HIER). Snapshot and
+  /// federation must agree on shard count and defense arming.
+  void save_state(ckpt::Writer& out) const;
+  void restore_state(ckpt::Reader& in);
+
+ private:
+  std::vector<std::unique_ptr<EdgeAggregator>> shards_;
+  const ModelCodec* codec_;
+  util::ParallelFor executor_;
+  std::vector<double> global_;
+  std::size_t client_count_ = 0;
+  std::size_t rounds_completed_ = 0;
+  std::size_t min_contributing_shards_ = 1;
+};
+
+}  // namespace fedpower::fed

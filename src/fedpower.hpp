@@ -24,6 +24,7 @@
 #include "fed/codec.hpp"
 #include "fed/dp.hpp"
 #include "fed/federation.hpp"
+#include "fed/hierarchy.hpp"
 #include "fed/personalize.hpp"
 #include "fed/secure_agg.hpp"
 #include "fed/transport.hpp"

@@ -14,14 +14,30 @@
 //     local steps concurrently, one device = one task, with a barrier
 //     before control returns to the aggregation layer.
 //
+// Lazy fleets (FleetOptions::lazy): at 100k+ devices with C-fraction
+// sampling, instantiating every processor + controller up front wastes
+// gigabytes on devices that may never be drawn. A lazy runtime keeps
+// sampled-out devices as compact cold records — the two RNG stream states
+// the canonical construction would have dealt them (the workload position
+// is implicit in the processor stream), or, once a device has trained, a
+// serialized state blob — and hydrates a device into real objects the
+// first time something touches it. Hydration happens on serial paths only
+// (the federation's broadcast loop precedes parallel training), construction
+// order stays canonical, and a hydrated device is bit-identical to one
+// built eagerly, so laziness never changes results. dehydrate_inactive()
+// returns devices to blob form between rounds, bounding resident memory by
+// the working set instead of the fleet.
+//
 // Determinism (DESIGN.md §7): each device owns its processor, workload,
 // controller and split RNG; no state is shared between devices inside a
 // round, so the thread schedule cannot influence results. num_threads = 1
 // skips the pool entirely and runs the exact serial code path.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/controller.hpp"
@@ -68,39 +84,120 @@ struct DeviceFaultConfig {
   }
 };
 
+/// Execution options for a FleetRuntime. num_threads: 1 = serial (no
+/// pool), 0 = one worker per hardware thread, else taken literally. lazy:
+/// defer device construction until first touch (see the file header).
+struct FleetOptions {
+  std::size_t num_threads = 1;
+  bool lazy = false;
+};
+
+class FleetRuntime;
+
+/// Stable fed::FederatedClient facade over one (possibly cold) device of a
+/// lazy fleet. The federation holds these pointers for the whole run; the
+/// proxy hydrates its device on first use and then forwards to the real
+/// client view (the controller, or its ByzantineClient wrapper when an
+/// upload attack is armed). Hydration is not thread-safe — the federation's
+/// serial broadcast loop touches every participant before parallel
+/// training starts, which is what makes the lazy path schedule-safe.
+class LazyDeviceClient final : public fed::FederatedClient {
+ public:
+  LazyDeviceClient(FleetRuntime* fleet, std::size_t device) noexcept
+      : fleet_(fleet), device_(device) {}
+
+  void receive_global(std::span<const double> params) override;
+  std::vector<double> local_parameters() const override;
+  void run_local_round() override;
+  std::size_t local_sample_count() const override;
+
+  std::size_t device() const noexcept { return device_; }
+
+ private:
+  fed::FederatedClient& resolve() const;
+
+  FleetRuntime* fleet_;
+  std::size_t device_;
+};
+
 class FleetRuntime {
  public:
   /// Builds one neural device (processor + workload + PowerController) per
   /// entry of device_apps. configs may hold one entry (applied to every
-  /// device) or one per device. num_threads: 1 = serial (no pool), 0 = one
-  /// worker per hardware thread, else taken literally.
+  /// device) or one per device. In lazy mode construction only records
+  /// each device's RNG stream states; devices materialize on first touch.
+  FleetRuntime(const std::vector<core::ControllerConfig>& configs,
+               const sim::ProcessorConfig& processor_config,
+               const std::vector<std::vector<sim::AppProfile>>& device_apps,
+               std::uint64_t seed, const FleetOptions& options);
+
+  /// Legacy signature: FleetOptions{num_threads} with eager construction.
   FleetRuntime(const std::vector<core::ControllerConfig>& configs,
                const sim::ProcessorConfig& processor_config,
                const std::vector<std::vector<sim::AppProfile>>& device_apps,
                std::uint64_t seed, std::size_t num_threads = 1);
+
+  // Lazy-fleet client proxies hold a pointer back to the runtime, so the
+  // runtime must stay put (benchutil::make_fleet still returns by value:
+  // a prvalue return is guaranteed-elided, never moved).
+  FleetRuntime(const FleetRuntime&) = delete;
+  FleetRuntime& operator=(const FleetRuntime&) = delete;
 
   std::size_t size() const noexcept { return controllers_.size(); }
   std::size_t num_threads() const noexcept {
     return pool_ ? pool_->size() : 1;
   }
 
+  bool lazy() const noexcept { return lazy_; }
+  /// True when the device's simulator/controller objects are materialized
+  /// (always, for an eager fleet).
+  bool hot(std::size_t device) const {
+    return hardware_[device].processor != nullptr;
+  }
+  /// Number of materialized devices.
+  std::size_t hot_count() const noexcept;
+
+  /// Materializes a cold device: pristine devices are constructed from
+  /// their recorded RNG stream states (bit-identical to eager
+  /// construction); previously dehydrated devices are reconstructed and
+  /// their state blob restored. No-op when already hot. Not thread-safe.
+  void hydrate(std::size_t device);
+
+  /// Serializes a hot device into its compact cold record and destroys
+  /// the live objects; a later hydrate() restores it bit-identically.
+  /// No-op when the device is already cold. Lazy fleets only.
+  void dehydrate(std::size_t device);
+
+  /// Dehydrates every hot device whose index is not in keep_hot (which
+  /// must be sorted ascending). The between-rounds memory bound: pass the
+  /// round's participants to keep resident memory at the working set.
+  void dehydrate_inactive(std::span<const std::size_t> keep_hot);
+
+  /// Hydrates on demand in a lazy fleet (serial paths only).
   core::PowerController& controller(std::size_t device) {
+    hydrate(device);
     return *controllers_[device];
   }
+  /// Requires the device to be hot (guaranteed for eager fleets).
   const core::PowerController& controller(std::size_t device) const {
+    FEDPOWER_EXPECTS(hot(device));
     return *controllers_[device];
   }
   sim::Processor& processor(std::size_t device) {
+    hydrate(device);
     return *hardware_[device].processor;
   }
 
   /// Arms fault/attack models on one device: hardware faults go straight
   /// to the processor; an upload attack wraps the device's federated-client
   /// view in a fed::ByzantineClient (visible in subsequent clients()
-  /// calls). Call before handing clients() to a federation.
+  /// calls). Call before handing clients() to a federation. Hydrates the
+  /// device; the fault config is re-applied across dehydrate/hydrate
+  /// cycles (configuration, not state).
   void inject_faults(std::size_t device, const DeviceFaultConfig& faults);
 
-  /// The device's uplink attacker, or nullptr when the device is honest.
+  /// The device's uplink attacker, or nullptr when the device is honest
+  /// (or cold — attackers materialize with their device).
   const fed::ByzantineClient* attacker(std::size_t device) const {
     return attackers_[device].get();
   }
@@ -110,15 +207,19 @@ class FleetRuntime {
 
   /// The controllers as federated clients, index-aligned with the devices.
   /// Devices with an armed upload attack are represented by their
-  /// ByzantineClient wrapper.
+  /// ByzantineClient wrapper. A lazy fleet returns stable LazyDeviceClient
+  /// proxies instead, so handing a 100k-device fleet to a federation does
+  /// not materialize it.
   std::vector<fed::FederatedClient*> clients();
 
   /// Runs every device's local round (steps_per_round training steps)
-  /// concurrently; returns after all devices finished (barrier).
+  /// concurrently; returns after all devices finished (barrier). Hydrates
+  /// the whole fleet first: this is a whole-fleet operation by contract.
   void run_local_round();
 
   /// Runs body(device) for every device across the pool (barrier), serially
   /// when num_threads is 1. Bodies must touch only their device's state.
+  /// Hydrates the whole fleet first (serially, in index order).
   void for_each_device(const std::function<void(std::size_t)>& body);
 
   /// Executor handle for the aggregation layers (FederatedAveraging /
@@ -126,23 +227,65 @@ class FleetRuntime {
   /// layers fall back to their plain loops.
   util::ParallelFor executor();
 
-  /// Serializes the whole fleet — every device's processor, controller and
-  /// (when armed) uplink-attacker state, in device order. Fault configs are
-  /// configuration, not state: the restoring fleet must have the same
-  /// faults injected. Thread count is NOT part of the state: execution is
-  /// bit-identical across pool sizes (DESIGN.md §7), so a snapshot taken
-  /// at 4 threads restores into a serial runtime and vice versa.
+  /// Serializes the whole fleet in device order. Eager fleets write the
+  /// historic FLT1 layout (every device's processor, controller and — when
+  /// armed — uplink-attacker state), byte-identical to previous releases.
+  /// Lazy fleets write FLT2: one record per device tagged cold-pristine
+  /// (the two RNG stream states), hot (FLT1-style inline state) or
+  /// dehydrated (the state blob) — cold devices are saved without being
+  /// materialized. Fault configs are configuration, not state: the
+  /// restoring fleet must have the same faults injected. Thread count is
+  /// NOT part of the state: execution is bit-identical across pool sizes
+  /// (DESIGN.md §7), so a snapshot taken at 4 threads restores into a
+  /// serial runtime and vice versa; likewise either format restores into
+  /// either an eager or a lazy fleet of the same shape.
   void save_state(ckpt::Writer& out) const;
 
-  /// Restores into a fleet built from the same configs/apps/seed shape;
-  /// throws StateMismatchError when the device count differs.
+  /// Restores a FLT1 or FLT2 snapshot into a fleet built from the same
+  /// configs/apps/seed shape; throws StateMismatchError when the device
+  /// count differs. Restoring FLT2 cold records into a lazy fleet keeps
+  /// them cold; into an eager fleet they are materialized on the spot.
   void restore_state(ckpt::Reader& in);
 
  private:
-  std::vector<DeviceHardware> hardware_;
+  friend class LazyDeviceClient;
+
+  /// Compact stand-in for a not-materialized device. A pristine device
+  /// (never hydrated) is fully determined by the two RNG stream states the
+  /// canonical construction order dealt it; a dehydrated device carries
+  /// its serialized state instead (blob non-empty).
+  struct ColdDeviceState {
+    std::array<std::uint64_t, 4> processor_rng{};
+    std::array<std::uint64_t, 4> brain_rng{};
+    std::vector<std::uint8_t> blob;
+  };
+
+  /// Builds device d's objects from the given RNG stream states and
+  /// re-applies its recorded fault config.
+  void construct_device(std::size_t d,
+                        const std::array<std::uint64_t, 4>& processor_rng,
+                        const std::array<std::uint64_t, 4>& brain_rng);
+  /// Restores device d's components from an FLT1-style inline record.
+  void restore_device(std::size_t d, ckpt::Reader& in);
+  /// The device's federated-client view (attacker wrapper when armed).
+  fed::FederatedClient& client_view(std::size_t d) {
+    return attackers_[d] ? static_cast<fed::FederatedClient&>(*attackers_[d])
+                         : *controllers_[d];
+  }
+
+  /// Construction recipe, retained to materialize cold devices.
+  std::vector<core::ControllerConfig> configs_;
+  sim::ProcessorConfig processor_config_;
+  std::vector<std::vector<sim::AppProfile>> device_apps_;
+  bool lazy_ = false;
+
+  std::vector<DeviceHardware> hardware_;  ///< null processor = cold device
   std::vector<std::unique_ptr<core::PowerController>> controllers_;
-  /// Per-device uplink attacker; null = honest device. Index-aligned.
+  /// Per-device uplink attacker; null = honest (or cold) device.
   std::vector<std::unique_ptr<fed::ByzantineClient>> attackers_;
+  std::vector<ColdDeviceState> cold_;          ///< lazy fleets only
+  std::vector<DeviceFaultConfig> faults_;      ///< injected fault configs
+  std::vector<std::unique_ptr<LazyDeviceClient>> proxies_;  ///< lazy only
   std::unique_ptr<ThreadPool> pool_;  ///< null when num_threads == 1
 };
 

@@ -1,0 +1,129 @@
+// Sequence-number rollover regression for the snapshot rotation.
+//
+// The original path formatter used a fixed %06 width, so sequence numbers
+// from 10^6 up (plausible in long soaks checkpointing every round) spilled
+// past the padding: filename ordering and numeric ordering diverged, and a
+// rotation directory could prune or resume against the wrong entry. The
+// rotation now pads to 12 digits, parses any digit width, and always acts
+// on the filenames actually present — these tests pin all three properties,
+// including that legacy narrow-format snapshots keep loading and pruning.
+#include "ckpt/rotation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ckpt/snapshot.hpp"
+
+namespace fedpower::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& name)
+      : path(fs::temp_directory_path() / ("fedpower_rollover_" + name)) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string file(const std::string& leaf) const {
+    return (path / leaf).string();
+  }
+};
+
+std::vector<std::uint8_t> payload_of(std::uint8_t v) { return {v, v, v}; }
+
+/// Plants a snapshot under the legacy 6-digit name for `sequence`.
+std::string write_legacy(const TempDir& dir, std::uint64_t sequence,
+                         std::uint8_t marker) {
+  char name[32];
+  std::snprintf(name, sizeof name, "snapshot-%06llu.fpck",
+                static_cast<unsigned long long>(sequence));
+  const std::string path = dir.file(name);
+  write_snapshot_file(path, payload_of(marker));
+  return path;
+}
+
+TEST(RotationRollover, SequencesPastMillionKeepNumericOrder) {
+  TempDir dir("million");
+  SnapshotRotation rotation(dir.path.string(), 10);
+  // Legacy narrow names right at the rollover boundary: %06 of 999999 is
+  // the last aligned name, 10^6 the first that overflowed the width.
+  write_legacy(dir, 999998, 1);
+  write_legacy(dir, 999999, 2);
+  const std::string next = rotation.save(payload_of(3));
+
+  const std::vector<std::uint64_t> seqs = rotation.sequences();
+  ASSERT_EQ(seqs.size(), 3u);
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{999998, 999999, 1000000}));
+
+  // The newest entry is the numerically largest, not the lexicographically
+  // largest name (pre-fix, "snapshot-999999.fpck" sorted after the
+  // overflowed "snapshot-1000000.fpck" in name order).
+  const LoadedSnapshot latest = rotation.load_latest();
+  EXPECT_EQ(latest.sequence, 1000000u);
+  EXPECT_EQ(latest.payload, payload_of(3));
+  EXPECT_EQ(latest.path, next);
+}
+
+TEST(RotationRollover, PathForRoundTripsThroughParse) {
+  TempDir dir("roundtrip");
+  SnapshotRotation rotation(dir.path.string(), 3);
+  // Write snapshots whose sequences straddle the old width limit; each must
+  // be rediscovered under the exact sequence it was written as.
+  for (const std::uint64_t seq :
+       {std::uint64_t{999999}, std::uint64_t{1000000},
+        std::uint64_t{123456789012345ULL}}) {
+    write_snapshot_file(rotation.path_for(seq), payload_of(9));
+  }
+  EXPECT_EQ(rotation.sequences(),
+            (std::vector<std::uint64_t>{999999, 1000000, 123456789012345ULL}));
+}
+
+TEST(RotationRollover, LegacyNarrowNamesStillLoadAndPrune) {
+  TempDir dir("legacy");
+  const std::string oldest = write_legacy(dir, 41, 1);
+  write_legacy(dir, 42, 2);
+
+  SnapshotRotation rotation(dir.path.string(), 2);
+  // Resuming against a directory written by the narrow-format era works.
+  EXPECT_EQ(rotation.load_latest().sequence, 42u);
+
+  // A new save continues the sequence under the wide format and prunes the
+  // oldest legacy file by its on-disk name (path_for would point at a
+  // 12-digit name that never existed).
+  rotation.save(payload_of(3));
+  EXPECT_FALSE(fs::exists(oldest));
+  EXPECT_EQ(rotation.sequences(), (std::vector<std::uint64_t>{42, 43}));
+  EXPECT_TRUE(fs::exists(rotation.path_for(43)));
+}
+
+TEST(RotationRollover, MixedWidthDirectoryPrunesOldestFirst) {
+  TempDir dir("mixed");
+  SnapshotRotation rotation(dir.path.string(), 3);
+  write_legacy(dir, 999999, 1);
+  rotation.save(payload_of(2));  // 1000000, wide format
+  rotation.save(payload_of(3));  // 1000001
+  rotation.save(payload_of(4));  // 1000002 -> prunes 999999
+  EXPECT_EQ(rotation.sequences(),
+            (std::vector<std::uint64_t>{1000000, 1000001, 1000002}));
+  EXPECT_EQ(rotation.load_latest().payload, payload_of(4));
+}
+
+TEST(RotationRollover, AbsurdDigitRunsAreIgnoredNotMisparsed) {
+  TempDir dir("absurd");
+  // 21 digits cannot fit a u64; the file must be ignored, not wrapped into
+  // some small sequence that could shadow a real snapshot.
+  write_snapshot_file(dir.file("snapshot-184467440737095516160.fpck"),
+                      payload_of(7));
+  SnapshotRotation rotation(dir.path.string(), 3);
+  EXPECT_TRUE(rotation.sequences().empty());
+}
+
+}  // namespace
+}  // namespace fedpower::ckpt

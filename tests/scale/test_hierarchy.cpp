@@ -1,0 +1,425 @@
+// Two-tier edge aggregation (fed/hierarchy.hpp): the single-shard
+// bit-identity contract, shard-local sampling/defense/quorum, edge-link
+// faults and HIER checkpoint/resume (DESIGN.md §11).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "ckpt/binary_io.hpp"
+#include "fed/hierarchy.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace fedpower::fed {
+namespace {
+
+class ScriptedClient final : public FederatedClient {
+ public:
+  explicit ScriptedClient(double delta) : delta_(delta) {}
+  void receive_global(std::span<const double> params) override {
+    params_.assign(params.begin(), params.end());
+  }
+  std::vector<double> local_parameters() const override { return params_; }
+  void run_local_round() override {
+    for (double& p : params_) p += delta_;
+  }
+
+ private:
+  double delta_;
+  std::vector<double> params_;
+};
+
+class PoisonClient final : public FederatedClient {
+ public:
+  void receive_global(std::span<const double> params) override {
+    params_.assign(params.begin(), params.end());
+  }
+  std::vector<double> local_parameters() const override {
+    return std::vector<double>(params_.size(),
+                               std::numeric_limits<double>::quiet_NaN());
+  }
+  void run_local_round() override {}
+
+ private:
+  std::vector<double> params_;
+};
+
+/// Transport whose link can be cut and restored between rounds.
+class ToggleFaultTransport final : public Transport {
+ public:
+  std::vector<std::uint8_t> transfer(Direction direction,
+                                     std::vector<std::uint8_t> payload) override {
+    if (down) throw TransportError("link down");
+    return inner_.transfer(direction, std::move(payload));
+  }
+  const TrafficStats& stats() const noexcept override { return inner_.stats(); }
+
+  bool down = false;
+
+ private:
+  InProcessTransport inner_;
+};
+
+DefenseConfig fast_defense() {
+  DefenseConfig config;
+  config.enabled = true;
+  config.warmup_rounds = 1;
+  config.norm_min_samples = 4;
+  return config;
+}
+
+/// Builds delta clients 0.01, 0.02, ... so every client's model is
+/// distinguishable in the aggregate.
+std::vector<ScriptedClient> make_clients(std::size_t n) {
+  std::vector<ScriptedClient> clients;
+  clients.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    clients.emplace_back(0.01 * static_cast<double>(i + 1));
+  return clients;
+}
+
+std::vector<FederatedClient*> pointers(std::vector<ScriptedClient>& clients) {
+  std::vector<FederatedClient*> ptrs;
+  for (auto& c : clients) ptrs.push_back(&c);
+  return ptrs;
+}
+
+// --- single-shard bit-identity -------------------------------------------
+
+TEST(Hierarchy, SingleShardReproducesFlatRunBitIdentically) {
+  std::vector<ScriptedClient> flat_clients = make_clients(7);
+  std::vector<ScriptedClient> hier_clients = make_clients(7);
+  auto pf = pointers(flat_clients);
+  auto ph = pointers(hier_clients);
+  InProcessTransport tf, th;
+  FederatedAveraging flat(pf, &tf);
+  HierarchicalFederation hier(ph, &th, /*shard_count=*/1);
+
+  SamplingConfig sampling;
+  sampling.fraction = 0.5;
+  sampling.seed = 303;
+  flat.set_sampling(sampling);
+  hier.set_sampling(sampling);
+  flat.initialize({1.0, -2.0, 0.5});
+  hier.initialize({1.0, -2.0, 0.5});
+
+  for (int r = 0; r < 8; ++r) {
+    const RoundResult expected = flat.run_round();
+    const HierarchicalRoundResult actual = hier.run_round();
+    ASSERT_EQ(actual.shards.size(), 1u);
+    ASSERT_TRUE(actual.shards[0].result.has_value());
+    EXPECT_EQ(actual.shards[0].result->participants, expected.participants);
+    // Bit identity, not tolerance: the shard model crosses in process at
+    // double precision and a single contributing shard is adopted by copy.
+    ASSERT_EQ(hier.global_model().size(), flat.global_model().size());
+    for (std::size_t i = 0; i < flat.global_model().size(); ++i)
+      EXPECT_EQ(hier.global_model()[i], flat.global_model()[i]) << "coord " << i;
+  }
+  EXPECT_EQ(hier.rounds_completed(), flat.rounds_completed());
+}
+
+TEST(Hierarchy, SingleShardBitIdentityHoldsWithDefenseAndFaults) {
+  // The contract must survive the full pipeline: defense armed, a poison
+  // client earning quarantine, and a transport fault mid-run.
+  std::vector<ScriptedClient> flat_honest = make_clients(5);
+  std::vector<ScriptedClient> hier_honest = make_clients(5);
+  PoisonClient flat_bad, hier_bad;
+  auto pf = pointers(flat_honest);
+  pf.push_back(&flat_bad);
+  auto ph = pointers(hier_honest);
+  ph.push_back(&hier_bad);
+  InProcessTransport tf, th;
+  ToggleFaultTransport flat_link, hier_link;
+  FederatedAveraging flat(pf, &tf);
+  HierarchicalFederation hier(ph, &th, 1);
+  flat.enable_defense(fast_defense());
+  hier.enable_defense(fast_defense());
+  flat.set_client_transport(2, &flat_link);
+  hier.set_client_transport(2, &hier_link);
+  flat.initialize({0.25, 0.75});
+  hier.initialize({0.25, 0.75});
+
+  for (int r = 0; r < 6; ++r) {
+    flat_link.down = hier_link.down = (r == 2 || r == 4);
+    const RoundResult expected = flat.run_round();
+    const HierarchicalRoundResult actual = hier.run_round();
+    const RoundResult& got = *actual.shards[0].result;
+    EXPECT_EQ(got.participants, expected.participants);
+    EXPECT_EQ(got.dropped, expected.dropped);
+    EXPECT_EQ(got.rejected, expected.rejected);
+    EXPECT_EQ(got.quarantined, expected.quarantined);
+    EXPECT_EQ(got.readmitted, expected.readmitted);
+    for (std::size_t i = 0; i < flat.global_model().size(); ++i)
+      EXPECT_EQ(hier.global_model()[i], flat.global_model()[i]);
+  }
+}
+
+// --- sharding ------------------------------------------------------------
+
+TEST(Hierarchy, ShardsAreContiguousAndBalanced) {
+  std::vector<ScriptedClient> clients = make_clients(10);
+  auto ptrs = pointers(clients);
+  InProcessTransport transport;
+  HierarchicalFederation hier(ptrs, &transport, 3);
+  // 10 clients over 3 shards: 4, 3, 3.
+  EXPECT_EQ(hier.shard(0).client_count(), 4u);
+  EXPECT_EQ(hier.shard(1).client_count(), 3u);
+  EXPECT_EQ(hier.shard(2).client_count(), 3u);
+  EXPECT_EQ(hier.shard(0).first_client(), 0u);
+  EXPECT_EQ(hier.shard(1).first_client(), 4u);
+  EXPECT_EQ(hier.shard(2).first_client(), 7u);
+  EXPECT_EQ(hier.shard_of(0), 0u);
+  EXPECT_EQ(hier.shard_of(3), 0u);
+  EXPECT_EQ(hier.shard_of(4), 1u);
+  EXPECT_EQ(hier.shard_of(9), 2u);
+}
+
+TEST(Hierarchy, ShardSamplingStreamsAreIndependent) {
+  // Shard 0 keeps the seed verbatim; further shards must not mirror its
+  // draws (splitmix64-derived seeds).
+  std::vector<ScriptedClient> clients = make_clients(12);
+  auto ptrs = pointers(clients);
+  InProcessTransport transport;
+  HierarchicalFederation hier(ptrs, &transport, 2);
+  SamplingConfig sampling;
+  sampling.fraction = 0.5;
+  sampling.seed = 99;
+  hier.set_sampling(sampling);
+  hier.initialize({1.0});
+  bool any_divergence = false;
+  for (int r = 0; r < 6; ++r) {
+    const HierarchicalRoundResult result = hier.run_round();
+    // Map shard 1's draws to shard-local indices and compare the pattern.
+    std::vector<std::size_t> local0 = result.shards[0].result->participants;
+    std::vector<std::size_t> local1 = result.shards[1].result->participants;
+    for (std::size_t& i : local1) i -= hier.shard(1).first_client();
+    if (local0 != local1) any_divergence = true;
+  }
+  EXPECT_TRUE(any_divergence);
+}
+
+// --- per-shard quorum and the contributing-shards floor ------------------
+
+TEST(Hierarchy, ShardQuorumIsCheckedShardLocally) {
+  // Global quorum 3 over 3-client shards: each shard demands
+  // min(3, shard size) = 3 survivors. Cut one client's link: its shard
+  // fails quorum, the other commits, the round completes with one
+  // contributing shard.
+  std::vector<ScriptedClient> clients = make_clients(6);
+  auto ptrs = pointers(clients);
+  InProcessTransport transport;
+  ToggleFaultTransport dead;
+  dead.down = true;
+  HierarchicalFederation hier(ptrs, &transport, 2);
+  hier.set_quorum(3);
+  hier.set_client_transport(4, &dead);  // shard 1 local index 1
+  hier.initialize({2.0});
+
+  const HierarchicalRoundResult result = hier.run_round();
+  EXPECT_TRUE(result.shards[0].contributed);
+  EXPECT_FALSE(result.shards[0].quorum_failed);
+  EXPECT_TRUE(result.shards[1].quorum_failed);
+  EXPECT_FALSE(result.shards[1].result.has_value());
+  EXPECT_EQ(result.contributing_shards, 1u);
+  EXPECT_EQ(hier.rounds_completed(), 1u);
+}
+
+TEST(Hierarchy, MixedExclusionsCrossTheShardQuorum) {
+  // The issue's scenario: ONE shard accumulates a dropped client, a
+  // rejected (NaN) client and a quarantined client in the same round — its
+  // survivor count crosses below the per-shard quorum while the sibling
+  // shard commits normally.
+  std::vector<ScriptedClient> honest = make_clients(6);
+  PoisonClient nan_client;   // global 6: rejected every round
+  PoisonClient quar_client;  // global 7: NaN too — quarantined first
+  std::vector<FederatedClient*> ptrs = pointers(honest);
+  ptrs.push_back(&nan_client);
+  ptrs.push_back(&quar_client);
+  // 8 clients, 2 shards of 4: shard 1 = {4, 5, 6, 7}.
+  InProcessTransport transport;
+  ToggleFaultTransport dead;
+  HierarchicalFederation hier(ptrs, &transport, 2);
+  hier.enable_defense(fast_defense());
+  hier.set_quorum(2);
+  hier.set_client_transport(5, &dead);
+  hier.initialize({1.0, 1.0});
+
+  // Warm-up: links up, the NaN pair burns reputation until quarantine.
+  hier.run(3);
+  ASSERT_TRUE(hier.shard(1).federation().defense()->quarantined(
+      7 - hier.shard(1).first_client()));
+
+  // Now cut client 5's link: shard 1's round has client 5 dropped, client
+  // 6 rejected (or quarantined by now) and client 7 quarantined — only
+  // client 4 survives, below quorum 2. Shard 0 is untouched.
+  dead.down = true;
+  const HierarchicalRoundResult result = hier.run_round();
+  EXPECT_TRUE(result.shards[1].quorum_failed);
+  EXPECT_TRUE(result.shards[0].contributed);
+  EXPECT_EQ(result.contributing_shards, 1u);
+}
+
+TEST(Hierarchy, BelowMinContributingShardsAborts) {
+  std::vector<ScriptedClient> clients = make_clients(6);
+  auto ptrs = pointers(clients);
+  InProcessTransport transport;
+  HierarchicalFederation hier(ptrs, &transport, 2);
+  hier.set_min_contributing_shards(2);
+  ToggleFaultTransport edge1;
+  hier.set_edge_transport(1, &edge1);
+  hier.initialize({1.0});
+  hier.run(2);
+  const std::vector<double> before = hier.global_model();
+
+  // Shard 1's edge uplink dies: only shard 0 contributes, below the floor.
+  edge1.down = true;
+  EXPECT_THROW(hier.run_round(), QuorumError);
+  // Global state untouched by the aborted round.
+  EXPECT_EQ(hier.global_model(), before);
+  EXPECT_EQ(hier.rounds_completed(), 2u);
+}
+
+// --- edge links ----------------------------------------------------------
+
+TEST(Hierarchy, EdgeDownlinkFaultRunsShardOnStaleGlobal) {
+  /// Edge link that fails only the server -> edge broadcast direction.
+  class DownlinkFaultTransport final : public Transport {
+   public:
+    std::vector<std::uint8_t> transfer(
+        Direction direction, std::vector<std::uint8_t> payload) override {
+      if (down && direction == Direction::kDownlink)
+        throw TransportError("downlink down");
+      return inner_.transfer(direction, std::move(payload));
+    }
+    const TrafficStats& stats() const noexcept override {
+      return inner_.stats();
+    }
+
+    bool down = false;
+
+   private:
+    InProcessTransport inner_;
+  };
+
+  std::vector<ScriptedClient> clients = make_clients(4);
+  auto ptrs = pointers(clients);
+  InProcessTransport transport;
+  DownlinkFaultTransport edge0;
+  HierarchicalFederation hier(ptrs, &transport, 2);
+  hier.set_edge_transport(0, &edge0);
+  hier.initialize({1.0});
+  hier.run(1);
+
+  edge0.down = true;
+  const HierarchicalRoundResult result = hier.run_round();
+  EXPECT_TRUE(result.shards[0].downlink_stale);
+  // The shard round itself still ran and its model still reached the
+  // global aggregate: downlink and uplink fault independently, and the
+  // in-process model path is not the faulted byte path.
+  EXPECT_TRUE(result.shards[0].result.has_value());
+  EXPECT_EQ(result.contributing_shards, 2u);
+}
+
+TEST(Hierarchy, EdgeTrafficIsAccounted) {
+  std::vector<ScriptedClient> clients = make_clients(4);
+  auto ptrs = pointers(clients);
+  InProcessTransport transport;
+  ToggleFaultTransport edge0, edge1;
+  HierarchicalFederation hier(ptrs, &transport, 2);
+  hier.set_edge_transport(0, &edge0);
+  hier.set_edge_transport(1, &edge1);
+  hier.initialize({1.0, 2.0, 3.0});
+  const HierarchicalRoundResult result = hier.run_round();
+  // Both edge links carried one downlink + one uplink model each.
+  EXPECT_GT(result.downlink_bytes, 0u);
+  EXPECT_GT(result.uplink_bytes, 0u);
+  EXPECT_GT(edge0.stats().uplink_bytes, 0u);
+  EXPECT_GT(edge1.stats().downlink_bytes, 0u);
+}
+
+// --- checkpoint/resume ---------------------------------------------------
+
+TEST(Hierarchy, SaveRestoreResumesBitIdentically) {
+  std::vector<ScriptedClient> run_clients = make_clients(9);
+  std::vector<ScriptedClient> resume_clients = make_clients(9);
+  auto pr = pointers(run_clients);
+  auto pm = pointers(resume_clients);
+  InProcessTransport tr, tm;
+  HierarchicalFederation uninterrupted(pr, &tr, 3);
+  HierarchicalFederation resumed(pm, &tm, 3);
+  SamplingConfig sampling;
+  sampling.fraction = 0.67;
+  sampling.seed = 11;
+  for (HierarchicalFederation* h : {&uninterrupted, &resumed}) {
+    h->set_sampling(sampling);
+    h->initialize({0.0, 1.0});
+  }
+  uninterrupted.run(4);
+  resumed.run(4);
+  ckpt::Writer out;
+  uninterrupted.save_state(out);
+
+  std::vector<ScriptedClient> fresh_clients = make_clients(9);
+  auto pfresh = pointers(fresh_clients);
+  InProcessTransport tfresh;
+  HierarchicalFederation fresh(pfresh, &tfresh, 3);
+  fresh.set_sampling(sampling);
+  ckpt::Reader in(out.data());
+  fresh.restore_state(in);
+  EXPECT_EQ(fresh.rounds_completed(), 4u);
+  EXPECT_EQ(fresh.global_model(), uninterrupted.global_model());
+  // Restored clients have no local params yet — the next broadcast
+  // installs the restored global, and ScriptedClient state is pure
+  // broadcast + delta, so the trajectories must coincide.
+  for (int r = 0; r < 4; ++r) {
+    const HierarchicalRoundResult expected = resumed.run_round();
+    const HierarchicalRoundResult actual = fresh.run_round();
+    for (std::size_t s = 0; s < 3; ++s)
+      EXPECT_EQ(actual.shards[s].result->participants,
+                expected.shards[s].result->participants);
+    EXPECT_EQ(fresh.global_model(), resumed.global_model());
+  }
+}
+
+TEST(Hierarchy, RestoreRejectsShardCountMismatch) {
+  std::vector<ScriptedClient> clients = make_clients(6);
+  auto ptrs = pointers(clients);
+  InProcessTransport transport;
+  HierarchicalFederation two(ptrs, &transport, 2);
+  two.initialize({1.0});
+  two.run(1);
+  ckpt::Writer out;
+  two.save_state(out);
+
+  HierarchicalFederation three(ptrs, &transport, 3);
+  ckpt::Reader in(out.data());
+  EXPECT_THROW(three.restore_state(in), std::exception);
+}
+
+TEST(Hierarchy, ExecutorDoesNotChangeTheTrajectory) {
+  std::vector<ScriptedClient> serial_clients = make_clients(10);
+  std::vector<ScriptedClient> parallel_clients = make_clients(10);
+  auto ps = pointers(serial_clients);
+  auto pp = pointers(parallel_clients);
+  InProcessTransport ts, tp;
+  HierarchicalFederation serial(ps, &ts, 2);
+  HierarchicalFederation parallel(pp, &tp, 2);
+  runtime::ThreadPool pool(4);
+  parallel.set_local_executor(pool.executor());
+  SamplingConfig sampling;
+  sampling.fraction = 0.6;
+  sampling.seed = 2026;
+  for (HierarchicalFederation* h : {&serial, &parallel}) {
+    h->set_sampling(sampling);
+    h->initialize({1.0, -1.0, 3.0});
+  }
+  for (int r = 0; r < 6; ++r) {
+    serial.run_round();
+    parallel.run_round();
+    EXPECT_EQ(serial.global_model(), parallel.global_model());
+  }
+}
+
+}  // namespace
+}  // namespace fedpower::fed

@@ -1,0 +1,246 @@
+// Lazy FleetRuntime (FleetOptions::lazy): cold construction, hydration
+// bit-identity, between-round dehydration, and the FLT1/FLT2 snapshot
+// matrix (DESIGN.md §11).
+#include "runtime/fleet_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ckpt/binary_io.hpp"
+#include "core/experiment.hpp"
+#include "sim/splash2.hpp"
+
+namespace fedpower::runtime {
+namespace {
+
+std::vector<std::vector<sim::AppProfile>> n_device_apps(std::size_t n) {
+  const auto suite = sim::splash2_suite();
+  std::vector<std::vector<sim::AppProfile>> apps;
+  for (std::size_t d = 0; d < n; ++d)
+    apps.push_back({suite[(2 * d) % suite.size()],
+                    suite[(2 * d + 1) % suite.size()]});
+  return apps;
+}
+
+core::ControllerConfig tiny_controller() {
+  core::ControllerConfig config;
+  config.steps_per_round = 10;
+  return config;
+}
+
+FleetRuntime make(std::size_t n, std::uint64_t seed, bool lazy,
+                  std::size_t threads = 1) {
+  return FleetRuntime({tiny_controller()}, sim::ProcessorConfig{},
+                      n_device_apps(n), seed, FleetOptions{threads, lazy});
+}
+
+TEST(LazyFleet, StartsColdAndClientsDoNotMaterialize) {
+  FleetRuntime fleet = make(6, 7, /*lazy=*/true);
+  EXPECT_TRUE(fleet.lazy());
+  EXPECT_EQ(fleet.size(), 6u);
+  EXPECT_EQ(fleet.hot_count(), 0u);
+  // Handing the fleet to a federation must not materialize it: clients()
+  // returns stable proxies.
+  const auto clients = fleet.clients();
+  EXPECT_EQ(clients.size(), 6u);
+  EXPECT_EQ(fleet.hot_count(), 0u);
+  // The same proxy objects on every call (the federation keeps pointers).
+  EXPECT_EQ(fleet.clients(), clients);
+}
+
+TEST(LazyFleet, HydrationIsBitIdenticalToEagerConstruction) {
+  FleetRuntime eager = make(4, 123, false);
+  FleetRuntime lazy = make(4, 123, true);
+  // Hydrate out of order: construction states were dealt at fleet build
+  // time, so touch order cannot perturb the streams.
+  for (const std::size_t d : {2u, 0u, 3u, 1u}) {
+    EXPECT_FALSE(lazy.hot(d));
+    EXPECT_EQ(lazy.controller(d).local_parameters(),
+              eager.controller(d).local_parameters());
+    EXPECT_TRUE(lazy.hot(d));
+  }
+  // And training stays in lockstep.
+  eager.run_local_round();
+  lazy.run_local_round();
+  for (std::size_t d = 0; d < 4; ++d)
+    EXPECT_EQ(lazy.controller(d).local_parameters(),
+              eager.controller(d).local_parameters());
+}
+
+TEST(LazyFleet, DehydrateRehydrateRoundTripsTrainedState) {
+  FleetRuntime fleet = make(3, 55, true);
+  FleetRuntime witness = make(3, 55, true);
+  fleet.run_local_round();
+  witness.run_local_round();
+
+  fleet.dehydrate(1);
+  EXPECT_FALSE(fleet.hot(1));
+  EXPECT_EQ(fleet.hot_count(), 2u);
+  // Hydration restores the trained state bit for bit...
+  EXPECT_EQ(fleet.controller(1).local_parameters(),
+            witness.controller(1).local_parameters());
+  // ...and the device trains on as if it had never been cold.
+  fleet.run_local_round();
+  witness.run_local_round();
+  for (std::size_t d = 0; d < 3; ++d)
+    EXPECT_EQ(fleet.controller(d).local_parameters(),
+              witness.controller(d).local_parameters());
+}
+
+TEST(LazyFleet, DehydrateInactiveBoundsTheHotSet) {
+  FleetRuntime fleet = make(8, 9, true);
+  fleet.run_local_round();  // whole-fleet op: hydrates everyone
+  EXPECT_EQ(fleet.hot_count(), 8u);
+  const std::vector<std::size_t> keep = {1, 5};
+  fleet.dehydrate_inactive(keep);
+  EXPECT_EQ(fleet.hot_count(), 2u);
+  EXPECT_TRUE(fleet.hot(1));
+  EXPECT_TRUE(fleet.hot(5));
+  EXPECT_FALSE(fleet.hot(0));
+  // Dehydrating a pristine device is a no-op on an all-cold fleet.
+  FleetRuntime cold = make(4, 9, true);
+  cold.dehydrate_inactive({});
+  EXPECT_EQ(cold.hot_count(), 0u);
+}
+
+TEST(LazyFleet, EagerFleetRejectsDehydration) {
+  FleetRuntime fleet = make(2, 3, false);
+  EXPECT_EQ(fleet.hot_count(), 2u);
+  // Dehydration is a lazy-fleet concept; an eager fleet must stay hot.
+  fleet.dehydrate_inactive({});
+  EXPECT_EQ(fleet.hot_count(), 2u);
+}
+
+// --- snapshots -----------------------------------------------------------
+
+TEST(LazyFleet, ColdSnapshotDoesNotHydrate) {
+  FleetRuntime fleet = make(5, 77, true);
+  ckpt::Writer out;
+  fleet.save_state(out);
+  // The whole-fleet snapshot was taken without materializing one device.
+  EXPECT_EQ(fleet.hot_count(), 0u);
+
+  // The FLT2 cold-pristine records restore into an eager fleet as real
+  // devices, bit-identical to eager construction from the same seed.
+  FleetRuntime eager = make(5, 77, false);
+  FleetRuntime witness = make(5, 77, false);
+  fleet.run_local_round();  // advance the donor: restore must roll back
+  ckpt::Reader in(out.data());
+  eager.restore_state(in);
+  for (std::size_t d = 0; d < 5; ++d)
+    EXPECT_EQ(eager.controller(d).local_parameters(),
+              witness.controller(d).local_parameters());
+}
+
+TEST(LazyFleet, Flt1SnapshotRestoresIntoLazyFleet) {
+  FleetRuntime eager = make(4, 42, false);
+  eager.run_local_round();
+  ckpt::Writer out;
+  eager.save_state(out);  // historic FLT1 layout
+
+  FleetRuntime lazy = make(4, 42, true);
+  ckpt::Reader in(out.data());
+  lazy.restore_state(in);
+  for (std::size_t d = 0; d < 4; ++d)
+    EXPECT_EQ(lazy.controller(d).local_parameters(),
+              eager.controller(d).local_parameters());
+}
+
+TEST(LazyFleet, MixedHotColdSnapshotResumesBitIdentically) {
+  // The FLT2 matrix in one fleet: device 0 hot (trained), device 1
+  // dehydrated (trained, blob), devices 2/3 cold-pristine. The snapshot
+  // must restore into BOTH a lazy and an eager fleet and train on in
+  // lockstep with an uninterrupted witness.
+  FleetRuntime donor = make(4, 2026, true);
+  FleetRuntime witness = make(4, 2026, true);
+  // Train only devices 0 and 1 (per-device touch, not the whole-fleet op).
+  for (const std::size_t d : {0u, 1u}) {
+    donor.controller(d).run_local_round();
+    witness.controller(d).run_local_round();
+  }
+  donor.dehydrate(1);
+  ASSERT_EQ(donor.hot_count(), 1u);
+
+  ckpt::Writer out;
+  donor.save_state(out);
+  // Saving kept the hot/cold split: still exactly one hot device.
+  EXPECT_EQ(donor.hot_count(), 1u);
+
+  FleetRuntime lazy = make(4, 2026, true);
+  FleetRuntime eager = make(4, 2026, false);
+  {
+    ckpt::Reader in(out.data());
+    lazy.restore_state(in);
+  }
+  {
+    ckpt::Reader in(out.data());
+    eager.restore_state(in);
+  }
+  // Restoring into the lazy fleet kept cold records cold.
+  EXPECT_LE(lazy.hot_count(), 1u);
+  for (FleetRuntime* fleet : {&lazy, &eager}) {
+    fleet->run_local_round();
+  }
+  witness.run_local_round();
+  for (std::size_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(lazy.controller(d).local_parameters(),
+              witness.controller(d).local_parameters());
+    EXPECT_EQ(eager.controller(d).local_parameters(),
+              witness.controller(d).local_parameters());
+  }
+}
+
+TEST(LazyFleet, SnapshotRestoresAcrossThreadCounts) {
+  FleetRuntime serial = make(4, 8, true, 1);
+  serial.run_local_round();
+  const std::vector<std::size_t> keep = {0, 2};
+  serial.dehydrate_inactive(keep);
+  ckpt::Writer out;
+  serial.save_state(out);
+
+  FleetRuntime parallel = make(4, 8, true, 4);
+  ckpt::Reader in(out.data());
+  parallel.restore_state(in);
+  serial.run_local_round();
+  parallel.run_local_round();
+  for (std::size_t d = 0; d < 4; ++d)
+    EXPECT_EQ(parallel.controller(d).local_parameters(),
+              serial.controller(d).local_parameters());
+}
+
+// --- experiment wiring ---------------------------------------------------
+
+core::ExperimentConfig scale_config(bool lazy) {
+  core::ExperimentConfig config;
+  config.rounds = 4;
+  config.controller.steps_per_round = 12;
+  config.eval.episode_intervals = 8;
+  config.seed = 19;
+  config.sampling.fraction = 0.5;
+  config.sampling.seed = 3;
+  config.lazy_fleet = lazy;
+  return config;
+}
+
+TEST(LazyFleet, FederatedExperimentBitIdenticalToEager) {
+  // The end-to-end contract: run_federated with lazy_fleet = true (lazy
+  // construction + between-round dehydration) reproduces the eager run bit
+  // for bit, including under C-fraction sampling.
+  const auto apps = n_device_apps(4);
+  const auto suite = sim::splash2_suite();
+  const auto eager = core::run_federated(scale_config(false), apps, suite,
+                                         true);
+  const auto lazy = core::run_federated(scale_config(true), apps, suite,
+                                        true);
+  EXPECT_EQ(eager.global_params, lazy.global_params);
+  EXPECT_EQ(eager.traffic.uplink_bytes, lazy.traffic.uplink_bytes);
+  ASSERT_EQ(eager.devices.size(), lazy.devices.size());
+  for (std::size_t d = 0; d < eager.devices.size(); ++d) {
+    EXPECT_EQ(eager.devices[d].reward, lazy.devices[d].reward);
+    EXPECT_EQ(eager.devices[d].mean_power_w, lazy.devices[d].mean_power_w);
+  }
+}
+
+}  // namespace
+}  // namespace fedpower::runtime
