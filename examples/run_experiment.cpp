@@ -70,6 +70,15 @@ fail_penalty = 0.25
 pass_credit = 0.05
 probation_rounds = 3
 
+[serve]
+enabled = false        ; route rounds through the sharded serve pipeline
+workers = 1            ; shard worker threads (client mod workers)
+queue_depth = 256      ; per-shard SPSC queue capacity (frames)
+batch = 16             ; worker batched-dequeue burst size
+mode = deterministic   ; deterministic | throughput (FedAsync merge)
+mixing_rate = 0.5      ; throughput mode: FedAsync alpha
+staleness_power = 1.0  ; throughput mode: staleness discount exponent
+
 [faults]
 attack = none          ; none | sign-flip | scale | stale-replay
 attack_fraction = 0.0  ; ceil(fraction * N) highest-index devices attack
@@ -213,6 +222,40 @@ core::ExperimentConfig build_config(const util::Config& config) {
   defense.pass_credit = config.get_double("defense.pass_credit", 0.05);
   defense.probation_rounds = static_cast<std::size_t>(
       config.get_int("defense.probation_rounds", 3));
+
+  auto& serve = experiment.serve;
+  serve.enabled = config.get_bool("serve.enabled", false);
+  const long serve_workers = config.get_int("serve.workers", 1);
+  if (serve_workers < 1)
+    throw std::invalid_argument("config key 'serve.workers': must be >= 1");
+  serve.workers = static_cast<std::size_t>(serve_workers);
+  const long serve_depth = config.get_int("serve.queue_depth", 256);
+  if (serve_depth < 1)
+    throw std::invalid_argument(
+        "config key 'serve.queue_depth': must be >= 1");
+  serve.queue_depth = static_cast<std::size_t>(serve_depth);
+  const long serve_batch = config.get_int("serve.batch", 16);
+  if (serve_batch < 1)
+    throw std::invalid_argument("config key 'serve.batch': must be >= 1");
+  serve.batch_max = static_cast<std::size_t>(serve_batch);
+  const std::string serve_mode =
+      config.get_string("serve.mode", "deterministic");
+  if (serve_mode == "deterministic")
+    serve.deterministic = true;
+  else if (serve_mode == "throughput")
+    serve.deterministic = false;
+  else
+    throw std::invalid_argument(
+        "config key 'serve.mode': unknown mode '" + serve_mode +
+        "' (deterministic | throughput)");
+  serve.mixing_rate = config.get_double("serve.mixing_rate", 0.5);
+  if (serve.mixing_rate <= 0.0 || serve.mixing_rate > 1.0)
+    throw std::invalid_argument(
+        "config key 'serve.mixing_rate': must be in (0, 1]");
+  serve.staleness_power = config.get_double("serve.staleness_power", 1.0);
+  if (serve.staleness_power < 0.0)
+    throw std::invalid_argument(
+        "config key 'serve.staleness_power': must be >= 0");
 
   auto& faults = experiment.faults;
   faults.attack = parse_attack(config.get_string("faults.attack", "none"));

@@ -37,6 +37,12 @@ scripts/attack_smoke.sh ./build/examples/run_experiment
 echo "== fleet-scale bench (lazy 100k-device fleet + retry-accounting guard) =="
 ./build/bench/bench_fleet_scale
 
+echo "== async-server bench (determinism gate + TCP throughput) =="
+./build/bench/bench_server_throughput
+
+echo "== async-server smoke (250 clients, kill one mid-round, quorum commit) =="
+scripts/server_smoke.sh ./build/bench/bench_server_throughput ./build/examples/run_experiment
+
 for preset in "${run_sanitizer_presets[@]}"; do
   echo "== sanitizer suite (preset: ${preset}) =="
   cmake --preset "$preset"

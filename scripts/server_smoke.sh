@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Async-server crash-tolerance smoke (DESIGN.md §12): drive 250 concurrent
+# TCP connections into the epoll front end, kill one client halfway
+# through a frame, and require the round to still commit at quorum 200
+# with exactly the dead client dropped and the truncation counted. The
+# scenario itself lives in bench/bench_server_throughput.cpp --smoke; this
+# wrapper is the process-level entry point check.sh and CI call.
+#
+# A second step runs the INI-driven serve pipeline end to end and checks
+# that the deterministic commit mode reproduces the synchronous server's
+# output byte for byte (the run_experiment-level bit-identity contract).
+#
+#   scripts/server_smoke.sh [path/to/bench_server_throughput] [path/to/run_experiment]
+set -euo pipefail
+
+cd "$(dirname "${BASH_SOURCE[0]}")/.."
+
+bench="${1:-./build/bench/bench_server_throughput}"
+runner="${2:-./build/examples/run_experiment}"
+if [[ ! -x "$bench" ]]; then
+  echo "server_smoke: bench not found: $bench (build first)" >&2
+  exit 2
+fi
+
+echo "== 250-client kill-one-mid-round smoke =="
+"$bench" --smoke
+
+if [[ -x "$runner" ]]; then
+  echo "== serve-vs-sync run_experiment bit-identity (workers 1/2/4) =="
+  workdir="$(mktemp -d "${TMPDIR:-/tmp}/fedpower_server_smoke.XXXXXX")"
+  trap 'rm -rf "$workdir"' EXIT
+  "$runner" configs/async_server.ini "fed.rounds=5" "serve.enabled=false" \
+    > "$workdir/sync.out"
+  for workers in 1 2 4; do
+    "$runner" configs/async_server.ini "fed.rounds=5" \
+      "serve.workers=$workers" > "$workdir/serve_$workers.out"
+    if ! cmp -s "$workdir/sync.out" "$workdir/serve_$workers.out"; then
+      echo "server_smoke: serve output diverged from sync at" \
+           "workers=$workers" >&2
+      exit 1
+    fi
+  done
+  echo "serve output identical to sync at every worker count"
+else
+  echo "server_smoke: run_experiment not found, skipping bit-identity step"
+fi
+
+echo "== server smoke passed =="

@@ -4,11 +4,13 @@
 #include <cmath>
 #include <filesystem>
 #include <optional>
+#include <stdexcept>
 
 #include "ckpt/rotation.hpp"
 #include "ckpt/snapshot.hpp"
 #include "fed/federation.hpp"
 #include "runtime/fleet_runtime.hpp"
+#include "serve/serve_federation.hpp"
 #include "sim/workload.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -226,14 +228,62 @@ FederatedRunResult run_federated(
     fault_injector.emplace(&transport, config.faults.transport);
     wire = &*fault_injector;
   }
-  fed::FederatedAveraging server(fleet.clients(), wire, config.aggregation);
-  server.set_local_executor(fleet.executor());
-  server.enable_defense(config.defense);
-  // Sampling before any resume below: restore_state overrides the
-  // participation stream position, the config itself is not state.
-  server.set_sampling(config.sampling);
-  server.set_quorum(config.quorum);
-  server.initialize(fleet.controller(0).local_parameters());
+  // Exactly one server drives the rounds: the synchronous
+  // FederatedAveraging (with the full defense pipeline available) or the
+  // sharded serve pipeline (DESIGN.md §12). The two are config-compatible
+  // except for defense, which only the synchronous path routes.
+  if (config.serve.enabled && config.defense.enabled)
+    throw std::invalid_argument(
+        "serve.enabled is incompatible with defense.enabled: the serve "
+        "pipeline does not route uploads through the defense screen");
+  std::optional<fed::FederatedAveraging> sync_server;
+  std::optional<serve::ServeFederation> serve_server;
+  if (config.serve.enabled) {
+    serve::ServeConfig serve_config;
+    serve_config.workers = config.serve.workers;
+    serve_config.queue_depth = config.serve.queue_depth;
+    serve_config.batch_max = config.serve.batch_max;
+    serve_config.mode = config.serve.deterministic
+                            ? serve::CommitMode::kDeterministic
+                            : serve::CommitMode::kThroughput;
+    serve_config.aggregation = config.aggregation;
+    serve_config.mixing_rate = config.serve.mixing_rate;
+    serve_config.staleness_power = config.serve.staleness_power;
+    serve_server.emplace(fleet.clients(), wire, serve_config);
+    serve_server->set_local_executor(fleet.executor());
+    // Sampling before any resume below: restore_state overrides the
+    // participation stream position, the config itself is not state.
+    serve_server->set_sampling(config.sampling);
+    serve_server->set_quorum(config.quorum);
+    serve_server->initialize(fleet.controller(0).local_parameters());
+  } else {
+    sync_server.emplace(fleet.clients(), wire, config.aggregation);
+    sync_server->set_local_executor(fleet.executor());
+    sync_server->enable_defense(config.defense);
+    sync_server->set_sampling(config.sampling);
+    sync_server->set_quorum(config.quorum);
+    sync_server->initialize(fleet.controller(0).local_parameters());
+  }
+  const auto run_round = [&] {
+    return serve_server ? serve_server->run_round()
+                        : sync_server->run_round();
+  };
+  const auto global_model = [&]() -> const std::vector<double>& {
+    return serve_server ? serve_server->global_model()
+                        : sync_server->global_model();
+  };
+  const auto save_server = [&](ckpt::Writer& out) {
+    if (serve_server)
+      serve_server->save_state(out);
+    else
+      sync_server->save_state(out);
+  };
+  const auto restore_server = [&](ckpt::Reader& in) {
+    if (serve_server)
+      serve_server->restore_state(in);
+    else
+      sync_server->restore_state(in);
+  };
 
   const Evaluator evaluator = make_evaluator(config);
   FederatedRunResult result;
@@ -256,7 +306,7 @@ FederatedRunResult run_federated(
     ckpt::expect_tag(in, kFedExpTag, "federated experiment");
     start_round = in.u64();
     fleet.restore_state(in);
-    server.restore_state(in);
+    restore_server(in);
     restore_device_curves(in, result.devices);
     result.fleet = restore_curve(in);
     result.eval_app_per_round = restore_app_names(in);
@@ -273,7 +323,7 @@ FederatedRunResult run_federated(
       make_rotation(config.checkpoint);
 
   for (std::size_t round = start_round; round < config.rounds; ++round) {
-    const fed::RoundResult round_result = server.run_round();
+    const fed::RoundResult round_result = run_round();
     robustness.screened_per_round.push_back(round_result.screened.size());
     robustness.quarantined_per_round.push_back(
         round_result.quarantined.size());
@@ -289,8 +339,7 @@ FederatedRunResult run_federated(
       // schedule.
       std::vector<EvalResult> evals(fleet.size());
       fleet.for_each_device([&](std::size_t d) {
-        const PolicyFn policy =
-            evaluator.neural_policy(server.global_model());
+        const PolicyFn policy = evaluator.neural_policy(global_model());
         evals[d] = evaluator.run_episode(policy, app,
                                          mix_seed(config.seed, round, d));
       });
@@ -307,7 +356,7 @@ FederatedRunResult run_federated(
       ckpt::write_tag(out, kFedExpTag);
       out.u64(round + 1);  // next round to run
       fleet.save_state(out);
-      server.save_state(out);
+      save_server(out);
       save_device_curves(out, result.devices);
       save_curve(out, result.fleet);
       save_app_names(out, result.eval_app_per_round);
@@ -323,7 +372,7 @@ FederatedRunResult run_federated(
     }
   }
 
-  result.global_params = server.global_model();
+  result.global_params = global_model();
   result.traffic = merge_traffic(traffic_baseline, transport.stats());
   robustness.compromised = compromised;
   for (const std::uint64_t v : robustness.screened_per_round)
@@ -335,7 +384,8 @@ FederatedRunResult run_federated(
   for (const std::uint64_t v : robustness.quarantined_per_round)
     robustness.max_quarantined =
         std::max<std::size_t>(robustness.max_quarantined, v);
-  if (const fed::DefensePipeline* defense = server.defense()) {
+  if (const fed::DefensePipeline* defense =
+          sync_server ? sync_server->defense() : nullptr) {
     robustness.final_reputation.reserve(fleet.size());
     for (std::size_t d = 0; d < fleet.size(); ++d)
       robustness.final_reputation.push_back(defense->reputation(d));

@@ -89,6 +89,23 @@ struct FaultPlanConfig {
   std::vector<std::size_t> compromised_devices(std::size_t fleet_size) const;
 };
 
+/// Routing the federated rounds through the sharded serve pipeline
+/// (serve::ServeFederation; run_federated only). Plain data here so the
+/// experiment header does not pull in the serve subsystem. Deterministic
+/// commit mode reproduces the synchronous server bit-identically at any
+/// worker count; throughput mode merges FedAsync-style with staleness
+/// discounting. Mutually exclusive with the defense pipeline (the serve
+/// driver does not route uploads through defense screening).
+struct ServeExperimentConfig {
+  bool enabled = false;
+  std::size_t workers = 1;
+  std::size_t queue_depth = 256;
+  std::size_t batch_max = 16;
+  bool deterministic = true;   ///< false = throughput (FedAsync) commit
+  double mixing_rate = 0.5;    ///< throughput mode: FedAsync alpha
+  double staleness_power = 1.0;
+};
+
 struct ExperimentConfig {
   ControllerConfig controller{};
   sim::ProcessorConfig processor{};
@@ -119,6 +136,8 @@ struct ExperimentConfig {
   fed::DefenseConfig defense{};
   /// Client/transport fault injection (run_federated only; clean default).
   FaultPlanConfig faults{};
+  /// Sharded serve pipeline routing (run_federated only; off by default).
+  ServeExperimentConfig serve{};
 };
 
 /// Per-round evaluation curves of one device's policy.

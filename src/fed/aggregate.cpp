@@ -244,4 +244,48 @@ std::vector<double> aggregate_krum(
                         util::ParallelFor{});
 }
 
+std::vector<double> aggregate_with_mode(
+    AggregationMode mode, const std::vector<std::vector<double>>& models,
+    std::span<const double> weights,
+    const std::optional<std::size_t>& trim_override,
+    const util::ParallelFor& parallel_for, AggregateOutcome& outcome) {
+  switch (mode) {
+    case AggregationMode::kUnweightedMean:
+      return average_unweighted(models, parallel_for);
+    case AggregationMode::kSampleWeighted:
+      return average_weighted(models, weights, parallel_for);
+    case AggregationMode::kCoordinateMedian:
+      return aggregate_median(models, parallel_for);
+    case AggregationMode::kTrimmedMean: {
+      // ~20% trimmed by default; degrades to the plain mean below three
+      // clients. Dropouts can make any requested trim infeasible mid-run,
+      // so the effective (clamped) value is recorded in the outcome instead
+      // of aborting the round.
+      const std::size_t requested =
+          trim_override.has_value()
+              ? *trim_override
+              : (models.size() >= 3
+                     ? std::max<std::size_t>(1, models.size() / 5)
+                     : 0);
+      outcome.trim_count = clamp_trim_count(requested, models.size());
+      outcome.trim_clamped = outcome.trim_count != requested;
+      return aggregate_trimmed_mean(models, outcome.trim_count, parallel_for);
+    }
+    case AggregationMode::kKrum:
+    case AggregationMode::kMultiKrum: {
+      // Budget a quarter of the surviving uploads as potentially Byzantine
+      // (aggregate_krum clamps further when the survivor set is small).
+      const std::size_t f = models.size() / 4;
+      const std::size_t select =
+          mode == AggregationMode::kKrum
+              ? 1
+              : (models.size() > f + 2 ? models.size() - f - 2
+                                       : std::size_t{1});
+      return aggregate_krum(models, f, select, parallel_for);
+    }
+  }
+  FEDPOWER_ASSERT(false);  // unreachable: all enumerators handled above
+  return {};
+}
+
 }  // namespace fedpower::fed

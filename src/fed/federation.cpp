@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <optional>
 
 #include "ckpt/state_io.hpp"
 #include "util/assert.hpp"
@@ -297,48 +298,19 @@ RoundResult FederatedAveraging::run_round() {
       std::max<std::size_t>(1, std::min(quorum_, eligible_drawn));
   if (locals.size() < required) throw QuorumError(locals.size(), required);
 
-  // theta_{r+1} (line 8). Large fleets shard the coordinate reduction
-  // across the executor (bit-identical to serial; see aggregate.hpp).
-  switch (mode_) {
-    case AggregationMode::kUnweightedMean:
-      global_ = average_unweighted(locals, executor_);
-      break;
-    case AggregationMode::kSampleWeighted:
-      global_ = average_weighted(locals, weights, executor_);
-      break;
-    case AggregationMode::kCoordinateMedian:
-      global_ = aggregate_median(locals, executor_);
-      break;
-    case AggregationMode::kTrimmedMean: {
-      // ~20% trimmed by default; degrades to the plain mean below three
-      // clients. Dropouts can make any requested trim infeasible mid-run,
-      // so the effective (clamped) value is recorded in the result instead
-      // of aborting the round.
-      const std::size_t requested =
-          trim_count_override_
-              ? trim_count_
-              : (locals.size() >= 3
-                     ? std::max<std::size_t>(1, locals.size() / 5)
-                     : 0);
-      result.trim_count = clamp_trim_count(requested, locals.size());
-      result.trim_clamped = result.trim_count != requested;
-      global_ = aggregate_trimmed_mean(locals, result.trim_count, executor_);
-      break;
-    }
-    case AggregationMode::kKrum:
-    case AggregationMode::kMultiKrum: {
-      // Budget a quarter of the surviving uploads as potentially Byzantine
-      // (aggregate_krum clamps further when the survivor set is small).
-      const std::size_t f = locals.size() / 4;
-      const std::size_t select =
-          mode_ == AggregationMode::kKrum
-              ? 1
-              : (locals.size() > f + 2 ? locals.size() - f - 2
-                                       : std::size_t{1});
-      global_ = aggregate_krum(locals, f, select, executor_);
-      break;
-    }
-  }
+  // theta_{r+1} (line 8). The per-mode parameter policy lives in
+  // aggregate_with_mode, shared with the serve pipeline's deterministic
+  // commit so both paths run the exact same floating-point operations.
+  // Large fleets shard the coordinate reduction across the executor
+  // (bit-identical to serial; see aggregate.hpp).
+  AggregateOutcome outcome;
+  global_ = aggregate_with_mode(
+      mode_, locals, weights,
+      trim_count_override_ ? std::optional<std::size_t>(trim_count_)
+                           : std::nullopt,
+      executor_, outcome);
+  result.trim_count = outcome.trim_count;
+  result.trim_clamped = outcome.trim_clamped;
 
   if (defense_) {
     const DefenseRoundLog log = defense_->commit_round(observations);

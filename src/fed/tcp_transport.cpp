@@ -128,20 +128,44 @@ void TcpReflector::stop() {
   ::shutdown(listener_, SHUT_RDWR);
   ::close(listener_);
   if (thread_.joinable()) thread_.join();
-  // The accept loop has exited, so handlers_/connections_ are stable now.
-  std::vector<std::thread> handlers;
-  std::vector<int> connections;
+  // The accept loop has exited, so handlers_ is stable now.
+  std::vector<Handler> handlers;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     handlers.swap(handlers_);
-    connections.swap(connections_);
   }
   // Shutdown unblocks handlers parked in recv(); fds stay valid until every
   // handler has exited, so no handler can race a reused descriptor.
-  for (const int fd : connections) ::shutdown(fd, SHUT_RDWR);
-  for (auto& handler : handlers)
-    if (handler.joinable()) handler.join();
-  for (const int fd : connections) ::close(fd);
+  for (const Handler& handler : handlers) ::shutdown(handler.fd, SHUT_RDWR);
+  for (Handler& handler : handlers)
+    if (handler.thread.joinable()) handler.thread.join();
+  for (const Handler& handler : handlers) ::close(handler.fd);
+}
+
+void TcpReflector::reap_finished_locked() {
+  // Joining under mutex_ cannot deadlock (handlers never take the mutex)
+  // and cannot block: a set done flag is the handler's final action, so
+  // the thread is already at (or one instruction from) exit.
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < handlers_.size(); ++i) {
+    Handler& handler = handlers_[i];
+    if (handler.done->load()) {
+      if (handler.thread.joinable()) handler.thread.join();
+      ::close(handler.fd);
+    } else {
+      // Guard the self-move: assigning a joinable std::thread onto itself
+      // would terminate().
+      if (live != i) handlers_[live] = std::move(handler);
+      ++live;
+    }
+  }
+  handlers_.resize(live);
+}
+
+std::size_t TcpReflector::live_handler_count() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  reap_finished_locked();
+  return handlers_.size();
 }
 
 void TcpReflector::serve() {
@@ -161,8 +185,18 @@ void TcpReflector::serve() {
     }
     const std::size_t index = accepted_.fetch_add(1);
     const std::lock_guard<std::mutex> lock(mutex_);
-    connections_.push_back(conn);
-    handlers_.emplace_back([this, conn, index] { handle(conn, index); });
+    // Reap before admitting: a soak that accepts thousands of short-lived
+    // connections holds one thread per live connection, not per accept.
+    reap_finished_locked();
+    Handler handler;
+    handler.fd = conn;
+    handler.done = std::make_shared<std::atomic<bool>>(false);
+    auto done = handler.done;
+    handler.thread = std::thread([this, conn, index, done] {
+      handle(conn, index);
+      done->store(true);
+    });
+    handlers_.push_back(std::move(handler));
   }
 }
 
@@ -281,11 +315,17 @@ std::vector<std::uint8_t> TcpTransport::exchange(
   if (!read_all(socket_, header, sizeof header))
     throw TransportError("tcp transport: peer closed");
   const std::uint32_t echoed_len = load_u32_le(header);
+  // Protocol sanity bound, checked before the length is trusted for
+  // allocation or compared against the sent frame: both peers enforce
+  // kMaxFrameBytes at decode (the reflector and the epoll front end close
+  // oversized senders; the client refuses oversized advertisements here).
+  if (echoed_len > kMaxFrameBytes)
+    throw TransportError("tcp transport: oversized frame");
   if (echoed_len != frame.size() - sizeof header || echoed_len == 0)
     throw TransportError("tcp transport: echo length mismatch");
   std::vector<std::uint8_t> echoed(echoed_len);
   if (!read_all(socket_, echoed.data(), echoed_len))
-    throw TransportError("tcp transport: peer closed mid-frame");
+    throw TransportError("tcp transport: truncated frame");
   if (echoed[0] != (direction == Direction::kUplink ? 0 : 1))
     throw TransportError("tcp transport: echo direction mismatch");
   return {echoed.begin() + 1, echoed.end()};

@@ -16,15 +16,20 @@
 //
 // TcpReflector is the matching peer: an echo server that serves each
 // accepted connection on its own handler thread, so N federated clients can
-// hold N live connections concurrently. In a production deployment the
-// aggregation server would sit behind the same framing. For tests the
-// reflector can deterministically kill one connection after a chosen number
-// of frames (inject_close) or refuse new connections entirely.
+// hold N live connections concurrently. Finished handlers are reaped by the
+// accept loop, so a long-lived reflector holds one thread per *live*
+// connection, not one per connection ever accepted. In a production
+// deployment the aggregation server sits behind the same framing via the
+// serve subsystem's epoll front end (serve/epoll_server.hpp), which scales
+// past thread-per-connection. For tests the reflector can deterministically
+// kill one connection after a chosen number of frames (inject_close) or
+// refuse new connections entirely.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -87,9 +92,24 @@ class TcpReflector {
   /// thread (idempotent).
   void stop();
 
+  /// Handler threads still alive (reaps finished ones first). Bounded by
+  /// the number of live connections — the accept loop reaps completed
+  /// handlers before admitting a new one, so soaks do not accumulate one
+  /// thread per connection ever accepted.
+  std::size_t live_handler_count();
+
  private:
+  struct Handler {
+    std::thread thread;
+    int fd = -1;
+    /// Set by the handler as its last action; a true flag means join()
+    /// cannot block, so the accept loop may reap inline.
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   void serve();
   void handle(int conn, std::size_t index);
+  void reap_finished_locked();
 
   int listener_ = -1;
   std::uint16_t port_ = 0;
@@ -101,9 +121,8 @@ class TcpReflector {
       std::numeric_limits<std::size_t>::max()};
   std::atomic<std::size_t> fault_after_frames_{0};
   std::thread thread_;
-  std::mutex mutex_;  ///< guards handlers_/connections_
-  std::vector<std::thread> handlers_;
-  std::vector<int> connections_;
+  std::mutex mutex_;  ///< guards handlers_
+  std::vector<Handler> handlers_;
 };
 
 /// Connection management knobs for TcpTransport.

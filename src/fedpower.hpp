@@ -7,6 +7,7 @@
 //   sim/       the edge-processor simulator (DVFS, power, workloads)
 //   rl/        replay buffer, schedules, rewards, the neural bandit agent
 //   fed/       federated averaging: clients, server, transport
+//   serve/     sharded async server: epoll front end, SPSC worker shards
 //   baselines/ Profit [6] and CollabPolicy [11] comparison techniques
 //   core/      the power controller, evaluation and experiment runners
 //   runtime/   thread-pool fleet execution (deterministic parallel rounds)
@@ -40,6 +41,11 @@
 #include "rl/drift.hpp"
 #include "runtime/fleet_runtime.hpp"
 #include "runtime/thread_pool.hpp"
+#include "serve/epoll_server.hpp"
+#include "serve/serve_federation.hpp"
+#include "serve/server.hpp"
+#include "serve/spsc_queue.hpp"
+#include "serve/wire.hpp"
 #include "rl/neural_agent.hpp"
 #include "rl/neural_q_agent.hpp"
 #include "rl/q_replay_buffer.hpp"

@@ -1,0 +1,136 @@
+// Epoll-based TCP front end for the sharded federation server
+// (DESIGN.md §12).
+//
+// One event-loop thread owns every socket: a non-blocking listener plus
+// all accepted connections, multiplexed through a single epoll instance —
+// thousands of concurrent clients cost file descriptors, not OS threads
+// (contrast TcpReflector's thread-per-accept). The loop is also the
+// ShardedServer's single orchestrator: it injects decoded uplink frames
+// into the shard queues and executes round commands (begin/commit) that
+// other threads post through an eventfd-signalled command queue, so the
+// server's no-locks-on-the-hot-path contract holds by construction.
+//
+// Framing is the existing u32-LE length + direction byte (fed/
+// tcp_transport.hpp), with kMaxFrameBytes enforced at decode: an oversized
+// or zero length closes the connection and counts in protocol_errors();
+// EOF mid-frame counts in truncated_frames(). An uplink frame (direction
+// 0) carries the serve wire header (wire.hpp) and is acknowledged with a
+// 1-byte status frame once enqueued; a fetch frame (direction 1) is
+// answered with the current server version + encoded global model.
+//
+// All raw epoll/eventfd syscalls live in epoll_server.cpp, the one TU the
+// lint L7 allowlist admits them in.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fed/federation.hpp"
+#include "serve/server.hpp"
+
+namespace fedpower::serve {
+
+class EpollFrontEnd {
+ public:
+  /// Binds 127.0.0.1 on an ephemeral port and starts the event loop. The
+  /// server must already be initialized; the front end becomes its sole
+  /// orchestrator (do not call the server's mutating API elsewhere while
+  /// the front end runs). Throws fed::TransportError on socket errors.
+  explicit EpollFrontEnd(ShardedServer* server);
+  ~EpollFrontEnd();
+
+  EpollFrontEnd(const EpollFrontEnd&) = delete;
+  EpollFrontEnd& operator=(const EpollFrontEnd&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Posts a begin-round command to the loop and waits for it to apply.
+  void begin_round(std::vector<std::size_t> participants);
+
+  /// Posts a commit command, waits for the result. Rethrows
+  /// fed::QuorumError from the commit.
+  fed::RoundResult commit_round(std::size_t quorum);
+
+  // Counters below are written by the loop thread, readable from any
+  // thread (monotonic telemetry; bench threads poll uplinks_received).
+  [[nodiscard]] std::size_t connections_accepted() const noexcept {
+    return connections_accepted_.load();
+  }
+  [[nodiscard]] std::size_t uplinks_received() const noexcept {
+    return uplinks_received_.load();
+  }
+  [[nodiscard]] std::size_t fetches_served() const noexcept {
+    return fetches_served_.load();
+  }
+  [[nodiscard]] std::size_t protocol_errors() const noexcept {
+    return protocol_errors_.load();
+  }
+  [[nodiscard]] std::size_t truncated_frames() const noexcept {
+    return truncated_frames_.load();
+  }
+
+  /// Stops the loop, closes every socket and joins the thread
+  /// (idempotent).
+  void stop();
+
+ private:
+  struct Connection {
+    std::vector<std::uint8_t> in;   ///< partial-frame reassembly buffer
+    std::vector<std::uint8_t> out;  ///< pending reply bytes
+    std::size_t out_offset = 0;     ///< bytes of `out` already written
+  };
+
+  struct Command {
+    enum class Kind { kBeginRound, kCommitRound } kind = Kind::kBeginRound;
+    std::vector<std::size_t> participants;
+    std::size_t quorum = 1;
+    std::promise<fed::RoundResult> result;
+  };
+
+  void loop();
+  void accept_ready();
+  void connection_readable(int fd);
+  void connection_writable(int fd);
+  bool handle_frame(int fd, Connection& conn, std::uint8_t direction,
+                    std::vector<std::uint8_t> payload);
+  void queue_reply(int fd, Connection& conn,
+                   const std::vector<std::uint8_t>& frame);
+  void flush_writes(int fd, Connection& conn);
+  void close_connection(int fd);
+  void run_commands();
+  void update_interest(int fd, bool want_write);
+
+  ShardedServer* server_;
+  int epoll_fd_ = -1;
+  int listener_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  bool stopped_ = false;
+
+  std::map<int, Connection> connections_;  // loop-thread-owned
+
+  std::mutex command_mutex_;  ///< cold path: round commands only
+  std::deque<Command> commands_;
+
+  // Cached encoding of the global model for fetch replies, refreshed when
+  // the server version moves. Loop-thread-owned.
+  std::uint64_t cached_version_ = ~std::uint64_t{0};
+  std::vector<std::uint8_t> cached_global_;
+
+  std::atomic<std::size_t> connections_accepted_{0};
+  std::atomic<std::size_t> uplinks_received_{0};
+  std::atomic<std::size_t> fetches_served_{0};
+  std::atomic<std::size_t> protocol_errors_{0};
+  std::atomic<std::size_t> truncated_frames_{0};
+};
+
+}  // namespace fedpower::serve

@@ -1,0 +1,191 @@
+#include "serve/serve_federation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "ckpt/errors.hpp"
+#include "ckpt/state_io.hpp"
+#include "util/assert.hpp"
+
+namespace fedpower::serve {
+
+ServeFederation::ServeFederation(std::vector<fed::FederatedClient*> clients,
+                                 fed::Transport* transport,
+                                 ServeConfig config,
+                                 const fed::ModelCodec* codec)
+    : clients_(std::move(clients)),
+      transport_(transport),
+      codec_(codec != nullptr ? codec : &fed::Float32Codec::instance()),
+      server_(clients_.empty() ? 1 : clients_.size(), config, codec_) {
+  FEDPOWER_EXPECTS(!clients_.empty());
+  FEDPOWER_EXPECTS(transport_ != nullptr);
+  for (const auto* client : clients_) FEDPOWER_EXPECTS(client != nullptr);
+  client_transports_.assign(clients_.size(), nullptr);
+}
+
+void ServeFederation::initialize(std::vector<double> global) {
+  server_.initialize(std::move(global));
+}
+
+void ServeFederation::set_sampling(const fed::SamplingConfig& config) {
+  FEDPOWER_EXPECTS(config.fraction > 0.0 && config.fraction <= 1.0);
+  FEDPOWER_EXPECTS(config.min_clients >= 1);
+  sampling_ = config;
+  participation_rng_ = util::Rng{config.seed};
+}
+
+void ServeFederation::set_quorum(std::size_t min_survivors) {
+  FEDPOWER_EXPECTS(min_survivors >= 1 && min_survivors <= clients_.size());
+  quorum_ = min_survivors;
+}
+
+void ServeFederation::set_client_transport(std::size_t client,
+                                           fed::Transport* transport) {
+  FEDPOWER_EXPECTS(client < clients_.size());
+  FEDPOWER_EXPECTS(transport != nullptr);
+  client_transports_[client] = transport;
+  transport_dedup_stale_ = true;
+}
+
+void ServeFederation::set_local_executor(util::ParallelFor executor) {
+  executor_ = executor;
+  server_.set_executor(std::move(executor));
+}
+
+fed::Transport& ServeFederation::transport_for(std::size_t client) noexcept {
+  fed::Transport* t = client_transports_[client];
+  return t != nullptr ? *t : *transport_;
+}
+
+std::size_t ServeFederation::total_transport_retries() const {
+  // Same sort-based dedup as FederatedAveraging: the sum over the distinct
+  // transport set is order-independent, so the result is deterministic.
+  if (transport_dedup_stale_) {
+    transport_dedup_.clear();
+    transport_dedup_.reserve(client_transports_.size() + 1);
+    transport_dedup_.push_back(transport_);
+    for (const fed::Transport* t : client_transports_)
+      if (t != nullptr) transport_dedup_.push_back(t);
+    std::sort(transport_dedup_.begin(), transport_dedup_.end());
+    transport_dedup_.erase(
+        std::unique(transport_dedup_.begin(), transport_dedup_.end()),
+        transport_dedup_.end());
+    transport_dedup_stale_ = false;
+  }
+  std::size_t total = 0;
+  for (const fed::Transport* t : transport_dedup_) total += t->stats().retries;
+  return total;
+}
+
+std::vector<std::size_t> ServeFederation::draw_participants() {
+  // FederatedAveraging::draw_participants with defense off: full
+  // participation consumes no randomness, a fractional draw shuffles the
+  // whole fleet and keeps the first `count`. Matching the RNG consumption
+  // exactly is part of the bit-identity contract.
+  std::vector<std::size_t> all(clients_.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  if (sampling_.fraction >= 1.0) return all;
+  const auto ceil_fraction = static_cast<std::size_t>(
+      std::ceil(sampling_.fraction * static_cast<double>(all.size())));
+  const std::size_t count =
+      std::min(all.size(), std::max({std::size_t{1}, sampling_.min_clients,
+                                     ceil_fraction}));
+  participation_rng_.shuffle(all);
+  all.resize(count);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+fed::RoundResult ServeFederation::run_round() {
+  FEDPOWER_EXPECTS(!server_.global_model().empty());
+  const std::vector<std::size_t> participants = draw_participants();
+  const std::size_t retries_before = total_transport_retries();
+  server_.begin_round(participants);
+  const std::uint64_t base_version = server_.version();
+
+  // Broadcast (Algorithm 2 line 3), one transfer per participant in index
+  // order — the same call sequence as the synchronous server, so a
+  // fault-injection stream decides identical fates on both paths.
+  std::size_t downlink_bytes = 0;
+  std::vector<char> lost(clients_.size(), 0);
+  const std::vector<std::uint8_t> broadcast =
+      codec_->encode(server_.global_model());
+  for (const std::size_t i : participants) {
+    try {
+      const auto delivered =
+          transport_for(i).transfer(fed::Direction::kDownlink, broadcast);
+      clients_[i]->receive_global(codec_->decode(delivered));
+      downlink_bytes += delivered.size();
+    } catch (const fed::TransportError&) {
+      lost[i] = 1;
+    } catch (const std::invalid_argument&) {
+      lost[i] = 1;
+    }
+  }
+
+  // Local training (line 5), parallel with a barrier; clients own disjoint
+  // state so the schedule cannot change what they learn.
+  std::vector<std::size_t> training;
+  training.reserve(participants.size());
+  for (const std::size_t i : participants)
+    if (!lost[i]) training.push_back(i);
+  util::for_each_index(executor_, training.size(), [&](std::size_t k) {
+    clients_[training[k]]->run_local_round();
+  });
+
+  // Uplink (line 6), serial and in client-index order. The transfer call
+  // matches the synchronous server; the decoded payload goes to the shard
+  // pipeline instead of being aggregated inline.
+  for (const std::size_t i : training) {
+    try {
+      auto payload = transport_for(i).transfer(
+          fed::Direction::kUplink,
+          codec_->encode(clients_[i]->local_parameters()));
+      server_.submit(i, base_version, std::move(payload),
+                     static_cast<double>(clients_[i]->local_sample_count()));
+    } catch (const fed::TransportError&) {
+      lost[i] = 1;
+    } catch (const std::invalid_argument&) {
+      lost[i] = 1;
+    }
+  }
+
+  fed::RoundResult result = server_.commit_round(quorum_);
+  result.downlink_bytes = downlink_bytes;
+  result.transport_retries = total_transport_retries() - retries_before;
+  ++rounds_completed_;
+  return result;
+}
+
+void ServeFederation::run(std::size_t rounds) {
+  for (std::size_t r = 0; r < rounds; ++r) run_round();
+}
+
+namespace {
+constexpr ckpt::Tag kServeFedTag{'S', 'F', 'E', 'D'};
+}  // namespace
+
+void ServeFederation::save_state(ckpt::Writer& out) const {
+  ckpt::write_tag(out, kServeFedTag);
+  out.u64(clients_.size());
+  out.u64(rounds_completed_);
+  ckpt::save_rng(out, participation_rng_);
+  server_.save_state(out);
+}
+
+void ServeFederation::restore_state(ckpt::Reader& in) {
+  ckpt::expect_tag(in, kServeFedTag, "serve federation driver");
+  const std::uint64_t client_count = in.u64();
+  if (client_count != clients_.size())
+    throw ckpt::StateMismatchError(
+        "serve snapshot was taken with " + std::to_string(client_count) +
+        " client(s), this federation has " + std::to_string(clients_.size()));
+  rounds_completed_ = static_cast<std::size_t>(in.u64());
+  ckpt::restore_rng(in, participation_rng_);
+  server_.restore_state(in);
+}
+
+}  // namespace fedpower::serve

@@ -1,0 +1,100 @@
+// Round driver that runs the synchronous federated-averaging protocol
+// through the sharded serve pipeline (DESIGN.md §12).
+//
+// ServeFederation mirrors FederatedAveraging's round shape — draw
+// participants, broadcast, parallel local training, serial uplink in
+// client-index order — but hands every uplink to a ShardedServer instead
+// of aggregating inline. In deterministic commit mode the result is
+// bit-identical to FederatedAveraging at any worker count: the transfer
+// sequence is the same call-for-call (so fault-injection streams line up),
+// the participant draw consumes the same RNG stream, and the commit runs
+// the same fed::aggregate_with_mode over the same survivor order. In
+// throughput mode the server merges FedAsync-style instead.
+//
+// Defense screening is not routed through this driver (the worker-shard
+// verdicts cover transport-level screening); configurations that need the
+// full defense pipeline use the synchronous server.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ckpt/binary_io.hpp"
+#include "fed/codec.hpp"
+#include "fed/federation.hpp"
+#include "fed/transport.hpp"
+#include "serve/server.hpp"
+#include "util/executor.hpp"
+#include "util/rng.hpp"
+
+namespace fedpower::serve {
+
+class ServeFederation {
+ public:
+  ServeFederation(std::vector<fed::FederatedClient*> clients,
+                  fed::Transport* transport, ServeConfig config = {},
+                  const fed::ModelCodec* codec = nullptr);
+
+  /// Installs the initial global model (Algorithm 2 line 1).
+  void initialize(std::vector<double> global);
+
+  /// Client-fraction sampling; consumes the same RNG stream as
+  /// FederatedAveraging with defense off.
+  void set_sampling(const fed::SamplingConfig& config);
+
+  /// Minimum surviving uploads per round (see FederatedAveraging).
+  void set_quorum(std::size_t min_survivors);
+
+  /// Per-client transport override (fault injection, private links).
+  void set_client_transport(std::size_t client, fed::Transport* transport);
+
+  /// Executor for local training and the commit aggregation.
+  void set_local_executor(util::ParallelFor executor);
+
+  /// One synchronous round through the serve pipeline. Throws
+  /// fed::QuorumError (round counter and global model untouched) when the
+  /// surviving uploads fall below the quorum.
+  fed::RoundResult run_round();
+
+  void run(std::size_t rounds);
+
+  [[nodiscard]] const std::vector<double>& global_model() const noexcept {
+    return server_.global_model();
+  }
+  [[nodiscard]] std::size_t rounds_completed() const noexcept {
+    return rounds_completed_;
+  }
+  [[nodiscard]] std::size_t client_count() const noexcept {
+    return clients_.size();
+  }
+  [[nodiscard]] const ServeStats& server_stats() const noexcept {
+    return server_.stats();
+  }
+  [[nodiscard]] ShardedServer& server() noexcept { return server_; }
+
+  /// FPCK sections: SFED (round counter + participation RNG) followed by
+  /// the server's SRVR section.
+  void save_state(ckpt::Writer& out) const;
+  void restore_state(ckpt::Reader& in);
+
+ private:
+  std::vector<std::size_t> draw_participants();
+  fed::Transport& transport_for(std::size_t client) noexcept;
+  std::size_t total_transport_retries() const;
+
+  std::vector<fed::FederatedClient*> clients_;
+  fed::Transport* transport_;
+  std::vector<fed::Transport*> client_transports_;
+  mutable std::vector<const fed::Transport*> transport_dedup_;
+  mutable bool transport_dedup_stale_ = true;
+  const fed::ModelCodec* codec_;
+  ShardedServer server_;
+  util::ParallelFor executor_;
+
+  fed::SamplingConfig sampling_;
+  util::Rng participation_rng_{sampling_.seed};
+  std::size_t quorum_ = 1;
+  std::size_t rounds_completed_ = 0;
+};
+
+}  // namespace fedpower::serve

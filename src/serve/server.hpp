@@ -1,0 +1,229 @@
+// Sharded federation server: injector -> per-worker SPSC queues, static
+// client shards, two commit modes (DESIGN.md §12).
+//
+// The KVell idiom: one injector thread decodes/validates nothing itself —
+// it routes each uplink to the worker that statically owns the client
+// (client mod workers) over a bounded SPSC queue. Each worker owns its
+// shard of per-client state (reputation, robust-norm window, screening
+// verdicts, staleness bookkeeping) outright, so the hot path takes no
+// locks: correctness comes from partitioning, not mutual exclusion. A full
+// queue applies backpressure — the frame is deferred on the injector side
+// and surfaces in stats().deferred; it is never dropped silently.
+//
+// Commit modes:
+//  * kDeterministic buffers worker verdicts for the round and commits in
+//    client-index order at the round boundary, running the exact same
+//    aggregation code as the synchronous FederatedAveraging server
+//    (fed::aggregate_with_mode). The result is bit-identical to the
+//    synchronous path at ANY worker count — the PR 2/PR 6 contract.
+//  * kThroughput merges each accepted upload FedAsync-style as it is
+//    collected, discounted by staleness (server_version - client base
+//    version), relaxing only ordering.
+//
+// Threading contract: exactly one orchestrator thread calls the public
+// mutating API (begin_round/submit/poll/drain/commit_round/initialize/
+// save_state/restore_state); workers never touch anything outside their
+// shard. save_state/restore_state additionally require quiescence (no
+// in-flight uploads), which drain() establishes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "ckpt/binary_io.hpp"
+#include "fed/aggregate.hpp"
+#include "fed/codec.hpp"
+#include "fed/federation.hpp"
+#include "serve/spsc_queue.hpp"
+#include "util/executor.hpp"
+
+namespace fedpower::serve {
+
+enum class CommitMode {
+  kDeterministic,  ///< round-boundary commit, bit-identical to sync FedAvg
+  kThroughput,     ///< FedAsync-style staleness-discounted merge per upload
+};
+
+struct ServeConfig {
+  std::size_t workers = 1;       ///< shard count (static client partition)
+  std::size_t queue_depth = 256; ///< per-shard SPSC capacity (frames)
+  std::size_t batch_max = 16;    ///< worker batched-dequeue burst size
+  CommitMode mode = CommitMode::kDeterministic;
+  fed::AggregationMode aggregation = fed::AggregationMode::kUnweightedMean;
+  std::optional<std::size_t> trim_override;  ///< trimmed-mean budget override
+  double mixing_rate = 0.5;      ///< throughput mode: FedAsync alpha
+  double staleness_power = 1.0;  ///< throughput mode: discount exponent
+};
+
+struct ServeStats {
+  std::size_t uplinks_accepted = 0;  ///< decoded, right shape, finite
+  std::size_t uplinks_corrupt = 0;   ///< codec reject or wrong shape
+  std::size_t uplinks_rejected = 0;  ///< non-finite screened out
+  std::size_t deferred = 0;          ///< backpressure: frames queued overflow
+  std::size_t merges = 0;            ///< throughput-mode merges applied
+  double max_staleness = 0.0;
+  double mean_staleness = 0.0;
+};
+
+/// Robust-norm history window per client (ring buffer length).
+inline constexpr std::size_t kNormWindow = 8;
+
+/// Per-client serving state. Owned exclusively by the worker whose shard
+/// the client maps to; the orchestrator may only read it at quiescence.
+struct ClientRecord {
+  std::uint64_t base_version_seen = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t corrupt = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t norm_count = 0;  ///< total norms recorded (ring write cursor)
+  double reputation = 1.0;       ///< [0, 1]; credit on accept, debit on bad
+  std::array<double, kNormWindow> norms{};  ///< recent upload L2 norms
+};
+
+class ShardedServer {
+ public:
+  ShardedServer(std::size_t client_count, ServeConfig config = {},
+                const fed::ModelCodec* codec = nullptr);
+  ~ShardedServer();
+
+  ShardedServer(const ShardedServer&) = delete;
+  ShardedServer& operator=(const ShardedServer&) = delete;
+
+  /// Installs the initial global model. Must run before the first submit.
+  void initialize(std::vector<double> global);
+
+  /// Executor for the commit-time aggregation (and large throughput
+  /// merges); empty means serial. Same bit-identity contract as
+  /// fed::aggregate.hpp.
+  void set_executor(util::ParallelFor executor);
+
+  /// Opens a round: records the drawn participant set and clears the
+  /// per-round upload log. Frames collected while no round is open are
+  /// counted in stats() but belong to no round.
+  void begin_round(std::vector<std::size_t> participants);
+
+  /// Routes one uplink payload to its shard. `base_version` is the server
+  /// version the client trained from (staleness bookkeeping); `weight` is
+  /// its sample count for weighted aggregation. Never blocks and never
+  /// drops: a full shard queue defers the frame to an injector-side
+  /// overflow list (stats().deferred) that flushes ahead of newer frames.
+  void submit(std::size_t client, std::uint64_t base_version,
+              std::vector<std::uint8_t> payload, double weight);
+
+  /// Opportunistic progress: flushes deferred frames and collects finished
+  /// worker verdicts (merging them immediately in throughput mode).
+  void poll();
+
+  /// Blocks until every submitted frame has been processed and collected.
+  void drain();
+
+  /// Closes the round. Deterministic mode aggregates the buffered
+  /// survivors in client-index order (bit-identical to the synchronous
+  /// server); throughput mode has already merged and only reports. Throws
+  /// fed::QuorumError — leaving the global model and round counter
+  /// untouched — when fewer than `quorum` uploads survived.
+  fed::RoundResult commit_round(std::size_t quorum);
+
+  [[nodiscard]] const std::vector<double>& global_model() const noexcept {
+    return global_;
+  }
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+  [[nodiscard]] std::size_t rounds_committed() const noexcept {
+    return rounds_committed_;
+  }
+  [[nodiscard]] std::size_t client_count() const noexcept {
+    return records_.size();
+  }
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t submitted() const noexcept {
+    return submitted_total_;
+  }
+  [[nodiscard]] const ServeStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const fed::ModelCodec& codec() const noexcept {
+    return *codec_;
+  }
+  [[nodiscard]] CommitMode mode() const noexcept { return config_.mode; }
+
+  /// Per-client state. Only valid at quiescence (after drain()).
+  [[nodiscard]] const ClientRecord& client_record(std::size_t client) const;
+
+  /// FPCK section (tag SRVR): version, round counter, global model, stats
+  /// and every per-client record. Requires quiescence; restoring into a
+  /// server with a different client count throws StateMismatchError. The
+  /// snapshot bytes are identical at any worker count (per-client state
+  /// depends only on that client's upload sequence, never on the shard
+  /// schedule).
+  void save_state(ckpt::Writer& out) const;
+  void restore_state(ckpt::Reader& in);
+
+ private:
+  enum class Verdict : std::uint8_t { kAccepted, kCorrupt, kNonFinite };
+
+  struct Upload {
+    std::size_t client = 0;
+    std::uint64_t base_version = 0;
+    double weight = 1.0;
+    std::vector<std::uint8_t> payload;
+  };
+
+  struct Pending {
+    std::size_t client = 0;
+    std::uint64_t base_version = 0;
+    Verdict verdict = Verdict::kCorrupt;
+    double weight = 1.0;
+    std::size_t payload_bytes = 0;
+    std::vector<double> model;  ///< empty unless accepted
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t depth) : inbox(depth), done(depth) {}
+    SpscQueue<Upload> inbox;   ///< injector -> worker
+    SpscQueue<Pending> done;   ///< worker -> injector
+    std::deque<Upload> overflow;  ///< injector-owned backpressure buffer
+    std::thread thread;
+  };
+
+  void worker_main(std::size_t shard_index);
+  void process(Shard& shard, Upload upload);
+  void flush_overflow(Shard& shard);
+  void collect();
+  void absorb(Pending pending);
+  void merge_async(const Pending& pending);
+  void stop();
+
+  ServeConfig config_;
+  const fed::ModelCodec* codec_;
+  std::vector<ClientRecord> records_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  util::ParallelFor executor_;
+
+  std::vector<double> global_;
+  std::size_t model_size_ = 0;
+  std::uint64_t version_ = 0;
+  std::size_t rounds_committed_ = 0;
+
+  bool round_open_ = false;
+  std::vector<std::size_t> participants_;
+  std::vector<Pending> round_records_;  ///< models only in deterministic mode
+  std::size_t round_accepted_ = 0;
+  std::size_t round_uplink_bytes_ = 0;
+
+  ServeStats stats_;
+  double staleness_sum_ = 0.0;
+
+  std::size_t submitted_total_ = 0;   // orchestrator-owned
+  std::size_t collected_total_ = 0;   // orchestrator-owned
+  std::atomic<std::uint64_t> processed_total_{0};  // workers bump + notify
+  bool stopped_ = false;
+};
+
+}  // namespace fedpower::serve

@@ -1,0 +1,97 @@
+// Bounded single-producer / single-consumer ring for the serve subsystem.
+//
+// Each front-end injector -> worker edge gets exactly one queue with exactly
+// one producer and one consumer, which is what lets the hot path run on two
+// monotonic cursors (head_, tail_) with acquire/release ordering and no
+// locks — the KVell shared-nothing idiom (DESIGN.md §12).
+//
+// Capacity is fixed at construction. try_push never blocks: a full queue
+// returns false so the caller can apply backpressure (the injector defers
+// the frame and surfaces a `deferred` count; frames are never dropped
+// silently). The blocking helpers park on the C++20 atomic wait facility,
+// so an idle worker costs no CPU between bursts.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fedpower::serve {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) : slots_(capacity) {
+    FEDPOWER_EXPECTS(capacity >= 1);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Items currently queued. Exact only on the producer or consumer thread.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+  /// Producer side. Returns false (without consuming `value`) when full.
+  [[nodiscard]] bool try_push(T&& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == slots_.size()) return false;
+    slots_[static_cast<std::size_t>(tail % slots_.size())] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    tail_.notify_one();
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = std::move(slots_[static_cast<std::size_t>(head % slots_.size())]);
+    head_.store(head + 1, std::memory_order_release);
+    head_.notify_one();
+    return true;
+  }
+
+  /// Consumer side: pop up to `max_items` into `out` (appended). Batched
+  /// dequeue amortizes the cursor traffic across a burst of frames.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max_items) {
+    std::size_t popped = 0;
+    T item;
+    while (popped < max_items && try_pop(item)) {
+      out.push_back(std::move(item));
+      ++popped;
+    }
+    return popped;
+  }
+
+  /// Producer side: park until the consumer frees at least one slot.
+  void wait_for_space() {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head < slots_.size()) return;
+    head_.wait(head, std::memory_order_acquire);
+  }
+
+  /// Consumer side: park until the producer publishes at least one item.
+  void wait_for_item() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    tail_.wait(head, std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::atomic<std::uint64_t> head_{0};  // items popped (consumer cursor)
+  std::atomic<std::uint64_t> tail_{0};  // items pushed (producer cursor)
+};
+
+}  // namespace fedpower::serve

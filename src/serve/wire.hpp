@@ -1,0 +1,82 @@
+// Serve-subsystem wire format, layered on the existing TCP framing
+// (u32 LE length + direction byte + payload, fed/tcp_transport.hpp).
+//
+// An uplink frame's payload carries a 16-byte header in front of the codec
+// bytes so the front end can route the frame to the right shard without
+// decoding the model:
+//
+//   bytes 0..3   u32 LE  client index
+//   bytes 4..11  u64 LE  base version (server version the client trained
+//                        from; staleness = server version - base version)
+//   bytes 12..15 u32 LE  sample-count weight
+//   bytes 16..   codec-encoded model
+//
+// The server acknowledges an uplink with a 1-byte status payload (0 =
+// enqueued). A downlink (fetch) frame's request payload is empty; the
+// reply payload is a u64 LE server version followed by the codec-encoded
+// global model.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fed/tcp_transport.hpp"
+
+namespace fedpower::serve {
+
+inline constexpr std::size_t kUplinkHeaderBytes = 16;
+
+inline void store_u64_le(std::uint64_t v, std::uint8_t* out) noexcept {
+  for (std::size_t i = 0; i < 8; ++i)
+    out[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF);
+}
+
+[[nodiscard]] inline std::uint64_t load_u64_le(
+    const std::uint8_t* in) noexcept {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+struct UplinkHeader {
+  std::uint32_t client = 0;
+  std::uint64_t base_version = 0;
+  std::uint32_t weight = 1;
+};
+
+/// Builds an uplink frame payload: header + codec bytes.
+[[nodiscard]] inline std::vector<std::uint8_t> encode_uplink(
+    const UplinkHeader& header, std::span<const std::uint8_t> model) {
+  std::vector<std::uint8_t> payload(kUplinkHeaderBytes + model.size());
+  fed::store_u32_le(header.client, payload.data());
+  store_u64_le(header.base_version, payload.data() + 4);
+  fed::store_u32_le(header.weight, payload.data() + 12);
+  std::copy(model.begin(), model.end(),
+            payload.begin() + kUplinkHeaderBytes);
+  return payload;
+}
+
+/// Reads the header off an uplink frame payload. Returns false when the
+/// payload is too short to carry one.
+[[nodiscard]] inline bool decode_uplink_header(
+    std::span<const std::uint8_t> payload, UplinkHeader& header) noexcept {
+  if (payload.size() < kUplinkHeaderBytes) return false;
+  header.client = fed::load_u32_le(payload.data());
+  header.base_version = load_u64_le(payload.data() + 4);
+  header.weight = fed::load_u32_le(payload.data() + 12);
+  return true;
+}
+
+/// Builds a fetch-reply payload: u64 LE version + codec bytes.
+[[nodiscard]] inline std::vector<std::uint8_t> encode_fetch_reply(
+    std::uint64_t version, std::span<const std::uint8_t> model) {
+  std::vector<std::uint8_t> payload(8 + model.size());
+  store_u64_le(version, payload.data());
+  std::copy(model.begin(), model.end(), payload.begin() + 8);
+  return payload;
+}
+
+}  // namespace fedpower::serve

@@ -104,6 +104,79 @@ TEST(AsyncFederation, TracksMeanStaleness) {
   EXPECT_GE(fed.stats().max_staleness, fed.stats().mean_staleness);
 }
 
+/// Forwards to an InProcessTransport but throws TransportError on chosen
+/// transfer indices (counting every call, downlinks included).
+class DroppingTransport final : public Transport {
+ public:
+  explicit DroppingTransport(std::vector<std::size_t> drop_calls)
+      : drop_calls_(std::move(drop_calls)) {}
+  std::vector<std::uint8_t> transfer(
+      Direction direction, std::vector<std::uint8_t> payload) override {
+    const std::size_t call = calls_++;
+    for (const std::size_t drop : drop_calls_)
+      if (call == drop) throw TransportError("scripted drop");
+    return inner_.transfer(direction, std::move(payload));
+  }
+  const TrafficStats& stats() const noexcept override {
+    return inner_.stats();
+  }
+
+ private:
+  InProcessTransport inner_;
+  std::vector<std::size_t> drop_calls_;
+  std::size_t calls_ = 0;
+};
+
+/// Throws on every uplink; downlinks pass. No upload ever reaches the
+/// server, so not a single merge happens.
+class UplinkBlackholeTransport final : public Transport {
+ public:
+  std::vector<std::uint8_t> transfer(
+      Direction direction, std::vector<std::uint8_t> payload) override {
+    if (direction == Direction::kUplink)
+      throw TransportError("uplink blackhole");
+    return inner_.transfer(direction, std::move(payload));
+  }
+  const TrafficStats& stats() const noexcept override {
+    return inner_.stats();
+  }
+
+ private:
+  InProcessTransport inner_;
+};
+
+TEST(AsyncFederation, ZeroMergesLeaveMeanStalenessZero) {
+  // Every uplink is lost: merges stays 0 and mean_staleness must remain
+  // exactly 0.0 (never 0/0) while every loss is counted as a dropout.
+  DriftClient a(1.0);
+  DriftClient b(1.0);
+  UplinkBlackholeTransport transport;
+  AsyncFederation fed({&a, &b}, {1, 2}, &transport);
+  fed.initialize({0.0});
+  fed.run_ticks(4);
+  EXPECT_EQ(fed.stats().merges, 0u);
+  EXPECT_EQ(fed.stats().mean_staleness, 0.0);
+  EXPECT_EQ(fed.stats().max_staleness, 0.0);
+  EXPECT_EQ(fed.stats().dropouts, 6u);  // 4 fast + 2 slow attempts
+  EXPECT_EQ(fed.stats().server_version, 0u);
+}
+
+TEST(AsyncFederation, DroppedUploadRetriesFromStaleBase) {
+  // The slow client's first upload (transfer call 8: 2 init downlinks + 3
+  // fast up/down pairs) is lost; its base version stays 0 while the fast
+  // client keeps merging, so its eventual retry lands with staleness equal
+  // to the full version distance — 6 fast merges by tick 6.
+  DriftClient fast(0.0);
+  DriftClient slow(0.0);
+  DroppingTransport transport({8});
+  AsyncFederation fed({&fast, &slow}, {1, 3}, &transport);
+  fed.initialize({0.0});
+  fed.run_ticks(6);
+  EXPECT_EQ(fed.stats().dropouts, 1u);
+  EXPECT_EQ(fed.stats().merges, 7u);  // 6 fast + the slow retry
+  EXPECT_EQ(fed.stats().max_staleness, 6.0);
+}
+
 TEST(AsyncFederation, TrafficAccountedPerCompletion) {
   DriftClient a(0.0);
   InProcessTransport transport;

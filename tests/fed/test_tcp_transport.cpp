@@ -6,6 +6,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <thread>
+
 #include "fed/federation.hpp"
 #include "nn/serialize.hpp"
 
@@ -264,6 +267,110 @@ TEST(TcpTransport, DeadReflectorFailsRoundWithQuorumError) {
   EXPECT_THROW(server.run_round(), QuorumError);
   EXPECT_EQ(server.rounds_completed(), 1u);
   EXPECT_NEAR(server.global_model()[0], 1.0, 1e-4);
+}
+
+/// One-shot raw peer: accepts a single connection, reads the client's
+/// complete frame, writes the scripted reply bytes verbatim and closes —
+/// for golden-bytes tests of the decode-side frame validation.
+class ScriptedEchoServer {
+ public:
+  explicit ScriptedEchoServer(std::vector<std::uint8_t> reply)
+      : reply_(std::move(reply)) {
+    listener_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listener_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listener_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof addr),
+              0);
+    socklen_t len = sizeof addr;
+    ::getsockname(listener_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    EXPECT_EQ(::listen(listener_, 1), 0);
+    thread_ = std::thread([this] {
+      const int conn = ::accept(listener_, nullptr, nullptr);
+      if (conn < 0) return;
+      std::uint8_t header[4];
+      const ssize_t got = ::recv(conn, header, sizeof header, MSG_WAITALL);
+      if (got == static_cast<ssize_t>(sizeof header)) {
+        std::vector<std::uint8_t> body(load_u32_le(header));
+        if (!body.empty()) {
+          const ssize_t ignored =
+              ::recv(conn, body.data(), body.size(), MSG_WAITALL);
+          (void)ignored;
+        }
+      }
+      if (!reply_.empty()) {
+        const ssize_t sent =
+            ::send(conn, reply_.data(), reply_.size(), MSG_NOSIGNAL);
+        (void)sent;
+      }
+      ::close(conn);
+    });
+  }
+  ~ScriptedEchoServer() {
+    thread_.join();
+    ::close(listener_);
+  }
+  std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  int listener_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<std::uint8_t> reply_;
+  std::thread thread_;
+};
+
+TEST(TcpTransport, OversizedAdvertisedLengthRejectedBeforeAllocation) {
+  // Golden bytes: a reply header advertising 0xFFFFFFFF (> kMaxFrameBytes)
+  // must be refused with the distinct oversized-frame error — before the
+  // length is trusted for allocation or the echo-length comparison.
+  ScriptedEchoServer peer({0xFF, 0xFF, 0xFF, 0xFF});
+  TcpTransport transport("127.0.0.1", peer.port(), fast_config(1));
+  try {
+    transport.transfer(Direction::kUplink, {1, 2, 3});
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_STREQ(e.what(), "tcp transport: oversized frame");
+  }
+}
+
+TEST(TcpTransport, ShortReadMidFrameReportsTruncation) {
+  // Golden bytes: the reply advertises the correct echo length (4 = dir
+  // byte + 3 payload bytes) but delivers only 2 body bytes before closing.
+  // The short read must surface as the distinct truncated-frame error, not
+  // as a generic peer-closed.
+  ScriptedEchoServer peer({0x04, 0x00, 0x00, 0x00, 0x00, 0x01});
+  TcpTransport transport("127.0.0.1", peer.port(), fast_config(1));
+  try {
+    transport.transfer(Direction::kUplink, {1, 2, 3});
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_STREQ(e.what(), "tcp transport: truncated frame");
+  }
+}
+
+TEST(TcpReflector, ReapsFinishedHandlerThreads) {
+  // Satellite of the serve work: a long-lived reflector must hold one
+  // handler thread per live connection, not one per connection ever
+  // accepted. Eight sequential clients connect, transfer and disconnect;
+  // once their closes land, the live handler count returns to zero.
+  TcpReflector reflector;
+  for (int i = 0; i < 8; ++i) {
+    TcpTransport transport("127.0.0.1", reflector.port());
+    const std::vector<std::uint8_t> payload{static_cast<std::uint8_t>(i)};
+    EXPECT_EQ(transport.transfer(Direction::kUplink, payload), payload);
+  }
+  std::size_t live = reflector.live_handler_count();
+  for (int spin = 0; spin < 400 && live > 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    live = reflector.live_handler_count();
+  }
+  EXPECT_EQ(live, 0u);
+  EXPECT_EQ(reflector.connections_accepted(), 8u);
+  EXPECT_EQ(reflector.frames_served(), 8u);
 }
 
 }  // namespace

@@ -1,0 +1,286 @@
+// The PR's headline contract (DESIGN.md §12): ServeFederation in
+// deterministic commit mode is bit-identical to the synchronous
+// FederatedAveraging server at any worker count — same globals, same
+// RoundResult verdicts, same QuorumError pattern — including under
+// client sampling, robust aggregation and seeded transport faults. Plus
+// the SFED+SRVR checkpoint resume equivalence.
+#include "serve/serve_federation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ckpt/binary_io.hpp"
+#include "fed/fault_injection.hpp"
+#include "fed/federation.hpp"
+
+namespace fedpower::serve {
+namespace {
+
+/// Deterministic client: adds its fixed delta each local round. Two
+/// fleets built from the same deltas behave identically, which is what
+/// lets the sync and serve paths run side by side.
+class ScriptedClient final : public fed::FederatedClient {
+ public:
+  explicit ScriptedClient(double delta, std::size_t samples = 1)
+      : delta_(delta), samples_(samples) {}
+
+  void receive_global(std::span<const double> params) override {
+    params_.assign(params.begin(), params.end());
+  }
+  std::vector<double> local_parameters() const override { return params_; }
+  void run_local_round() override {
+    for (double& p : params_) p += delta_;
+  }
+  std::size_t local_sample_count() const override { return samples_; }
+
+ private:
+  double delta_;
+  std::size_t samples_;
+  std::vector<double> params_;
+};
+
+using Fleet = std::vector<std::unique_ptr<ScriptedClient>>;
+
+Fleet make_fleet(const std::vector<double>& deltas,
+                 const std::vector<std::size_t>& samples = {}) {
+  Fleet fleet;
+  for (std::size_t i = 0; i < deltas.size(); ++i)
+    fleet.push_back(std::make_unique<ScriptedClient>(
+        deltas[i], samples.empty() ? 1 : samples[i]));
+  return fleet;
+}
+
+std::vector<fed::FederatedClient*> ptrs(const Fleet& fleet) {
+  std::vector<fed::FederatedClient*> out;
+  for (const auto& client : fleet) out.push_back(client.get());
+  return out;
+}
+
+void expect_round_parity(const fed::RoundResult& sync_round,
+                         const fed::RoundResult& serve_round) {
+  EXPECT_EQ(sync_round.participants, serve_round.participants);
+  EXPECT_EQ(sync_round.dropped, serve_round.dropped);
+  EXPECT_EQ(sync_round.rejected, serve_round.rejected);
+  EXPECT_EQ(sync_round.effective_clients(),
+            serve_round.effective_clients());
+}
+
+const std::vector<double> kDeltas{0.5, -1.0, 2.0, 0.25, -0.75, 1.5};
+const std::vector<double> kInit{0.0, 10.0, -5.0};
+
+TEST(ServeFederation, BitIdenticalToSyncAtOneTwoFourWorkers) {
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    Fleet sync_fleet = make_fleet(kDeltas);
+    Fleet serve_fleet = make_fleet(kDeltas);
+    fed::InProcessTransport sync_transport;
+    fed::InProcessTransport serve_transport;
+    fed::FederatedAveraging sync_server(ptrs(sync_fleet), &sync_transport);
+    ServeConfig config;
+    config.workers = workers;
+    ServeFederation serve(ptrs(serve_fleet), &serve_transport, config);
+    sync_server.initialize(kInit);
+    serve.initialize(kInit);
+    for (int round = 0; round < 5; ++round) {
+      const fed::RoundResult s = sync_server.run_round();
+      const fed::RoundResult v = serve.run_round();
+      expect_round_parity(s, v);
+      // Exact, not approximate: the commit runs the same aggregation
+      // code over the same survivor order.
+      EXPECT_EQ(sync_server.global_model(), serve.global_model())
+          << "diverged at round " << round << " with " << workers
+          << " workers";
+    }
+  }
+}
+
+TEST(ServeFederation, BitIdenticalUnderClientSampling) {
+  fed::SamplingConfig sampling;
+  sampling.fraction = 0.5;
+  sampling.min_clients = 2;
+  sampling.seed = 7;
+  Fleet sync_fleet = make_fleet(kDeltas);
+  Fleet serve_fleet = make_fleet(kDeltas);
+  fed::InProcessTransport sync_transport;
+  fed::InProcessTransport serve_transport;
+  fed::FederatedAveraging sync_server(ptrs(sync_fleet), &sync_transport);
+  ServeConfig config;
+  config.workers = 2;
+  ServeFederation serve(ptrs(serve_fleet), &serve_transport, config);
+  sync_server.set_sampling(sampling);
+  serve.set_sampling(sampling);
+  sync_server.initialize(kInit);
+  serve.initialize(kInit);
+  for (int round = 0; round < 8; ++round) {
+    const fed::RoundResult s = sync_server.run_round();
+    const fed::RoundResult v = serve.run_round();
+    // Same RNG stream: the drawn participants must match exactly.
+    EXPECT_EQ(s.participants, v.participants);
+    EXPECT_EQ(sync_server.global_model(), serve.global_model());
+  }
+  EXPECT_EQ(serve.rounds_completed(), 8u);
+}
+
+TEST(ServeFederation, BitIdenticalWithRobustAggregation) {
+  struct Case {
+    fed::AggregationMode mode;
+    std::optional<std::size_t> trim_override;
+  };
+  const std::vector<Case> cases{
+      {fed::AggregationMode::kCoordinateMedian, std::nullopt},
+      {fed::AggregationMode::kTrimmedMean, std::nullopt},
+      {fed::AggregationMode::kTrimmedMean, std::size_t{1}},
+      {fed::AggregationMode::kSampleWeighted, std::nullopt},
+  };
+  const std::vector<std::size_t> samples{4, 1, 2, 7, 1, 3};
+  for (const Case& c : cases) {
+    Fleet sync_fleet = make_fleet(kDeltas, samples);
+    Fleet serve_fleet = make_fleet(kDeltas, samples);
+    fed::InProcessTransport sync_transport;
+    fed::InProcessTransport serve_transport;
+    fed::FederatedAveraging sync_server(ptrs(sync_fleet), &sync_transport,
+                                        c.mode);
+    ServeConfig config;
+    config.workers = 4;
+    config.aggregation = c.mode;
+    config.trim_override = c.trim_override;
+    ServeFederation serve(ptrs(serve_fleet), &serve_transport, config);
+    if (c.trim_override) sync_server.set_trim_count(*c.trim_override);
+    sync_server.initialize(kInit);
+    serve.initialize(kInit);
+    for (int round = 0; round < 4; ++round) {
+      sync_server.run_round();
+      serve.run_round();
+      EXPECT_EQ(sync_server.global_model(), serve.global_model());
+    }
+  }
+}
+
+TEST(ServeFederation, BitIdenticalUnderSeededTransportFaults) {
+  // Both paths issue the same transfer sequence call-for-call, so two
+  // fault injectors with the same seed fire on the same transfers — the
+  // dropout pattern, verdicts and committed models all line up.
+  fed::FaultInjectionConfig faults;
+  faults.drop_probability = 0.2;
+  faults.truncate_probability = 0.15;
+  faults.seed = 3;
+  Fleet sync_fleet = make_fleet(kDeltas);
+  Fleet serve_fleet = make_fleet(kDeltas);
+  fed::InProcessTransport sync_inner;
+  fed::InProcessTransport serve_inner;
+  fed::FaultInjectingTransport sync_faulty(&sync_inner, faults);
+  fed::FaultInjectingTransport serve_faulty(&serve_inner, faults);
+  fed::FederatedAveraging sync_server(ptrs(sync_fleet), &sync_faulty);
+  ServeConfig config;
+  config.workers = 2;
+  ServeFederation serve(ptrs(serve_fleet), &serve_faulty, config);
+  sync_server.initialize(kInit);
+  serve.initialize(kInit);
+  std::size_t committed = 0;
+  std::size_t aborted = 0;
+  for (int round = 0; round < 10; ++round) {
+    std::optional<fed::RoundResult> s;
+    std::optional<fed::RoundResult> v;
+    try {
+      s = sync_server.run_round();
+    } catch (const fed::QuorumError&) {}
+    try {
+      v = serve.run_round();
+    } catch (const fed::QuorumError&) {}
+    ASSERT_EQ(s.has_value(), v.has_value())
+        << "quorum divergence at round " << round;
+    if (s) {
+      expect_round_parity(*s, *v);
+      ++committed;
+    } else {
+      ++aborted;
+    }
+    EXPECT_EQ(sync_server.global_model(), serve.global_model());
+  }
+  // The fault rates above make both outcomes plausible; what matters is
+  // that the two paths agreed on every single round.
+  EXPECT_EQ(committed + aborted, 10u);
+  EXPECT_GT(committed, 0u);
+}
+
+TEST(ServeFederation, QuorumErrorLeavesRoundCounterAndGlobalUntouched) {
+  Fleet fleet = make_fleet({1.0, 1.0});
+  fed::InProcessTransport inner;
+  fed::FaultInjectionConfig faults;
+  faults.drop_probability = 1.0;  // every transfer dies
+  fed::FaultInjectingTransport faulty(&inner, faults);
+  ServeFederation serve(ptrs(fleet), &faulty);
+  serve.set_quorum(2);
+  serve.initialize({4.0});
+  EXPECT_THROW(serve.run_round(), fed::QuorumError);
+  EXPECT_EQ(serve.rounds_completed(), 0u);
+  EXPECT_DOUBLE_EQ(serve.global_model()[0], 4.0);
+}
+
+TEST(ServeFederation, CheckpointResumeMatchesUninterruptedRun) {
+  fed::SamplingConfig sampling;
+  sampling.fraction = 0.5;
+  sampling.min_clients = 2;
+  sampling.seed = 11;
+  const auto build = [&](Fleet& fleet, fed::Transport* transport) {
+    ServeConfig config;
+    config.workers = 2;
+    auto serve =
+        std::make_unique<ServeFederation>(ptrs(fleet), transport, config);
+    serve->set_sampling(sampling);
+    serve->initialize(kInit);
+    return serve;
+  };
+  // Reference: 6 uninterrupted rounds.
+  Fleet fleet_a = make_fleet(kDeltas);
+  fed::InProcessTransport transport_a;
+  auto reference = build(fleet_a, &transport_a);
+  reference->run(6);
+  // Interrupted: 3 rounds, snapshot, restore into a fresh federation
+  // (fresh clients too — their state is rebuilt by the next broadcast),
+  // then 3 more rounds.
+  Fleet fleet_b = make_fleet(kDeltas);
+  fed::InProcessTransport transport_b;
+  auto first_half = build(fleet_b, &transport_b);
+  first_half->run(3);
+  ckpt::Writer snapshot;
+  first_half->save_state(snapshot);
+  Fleet fleet_c = make_fleet(kDeltas);
+  fed::InProcessTransport transport_c;
+  auto resumed = build(fleet_c, &transport_c);
+  ckpt::Reader in(snapshot.data());
+  resumed->restore_state(in);
+  EXPECT_TRUE(in.exhausted());
+  EXPECT_EQ(resumed->rounds_completed(), 3u);
+  resumed->run(3);
+  EXPECT_EQ(resumed->rounds_completed(), 6u);
+  // Bit-identical to the uninterrupted run: global model AND the
+  // participation stream (a drifted stream would pick other clients).
+  EXPECT_EQ(resumed->global_model(), reference->global_model());
+  ckpt::Writer resumed_bytes;
+  ckpt::Writer reference_bytes;
+  resumed->save_state(resumed_bytes);
+  reference->save_state(reference_bytes);
+  EXPECT_EQ(resumed_bytes.data(), reference_bytes.data());
+}
+
+TEST(ServeFederation, ThroughputModeMergesEveryAcceptedUpload) {
+  Fleet fleet = make_fleet(kDeltas);
+  fed::InProcessTransport transport;
+  ServeConfig config;
+  config.mode = CommitMode::kThroughput;
+  config.workers = 2;
+  config.mixing_rate = 0.5;
+  ServeFederation serve(ptrs(fleet), &transport, config);
+  serve.initialize(kInit);
+  serve.run(3);
+  EXPECT_EQ(serve.rounds_completed(), 3u);
+  EXPECT_EQ(serve.server_stats().merges, 18u);  // 6 clients x 3 rounds
+  EXPECT_EQ(serve.server().version(), 18u);     // one bump per merge
+}
+
+}  // namespace
+}  // namespace fedpower::serve

@@ -1,0 +1,111 @@
+// The SPSC ring under the serve subsystem (DESIGN.md §12): FIFO order,
+// bounded capacity with non-consuming try_push, batched dequeue, and a
+// producer/consumer stress run across real threads.
+#include "serve/spsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace fedpower::serve {
+namespace {
+
+TEST(SpscQueue, FifoOrder) {
+  SpscQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  int out = 0;
+  EXPECT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 3);
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(SpscQueue, CapacityBoundAndSize) {
+  SpscQueue<int> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.try_push(10));
+  EXPECT_TRUE(q.try_push(20));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_FALSE(q.try_push(30));  // full: backpressure, never drop
+  int out = 0;
+  EXPECT_TRUE(q.try_pop(out));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.try_push(30));  // slot freed
+  EXPECT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 20);
+  EXPECT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 30);
+}
+
+TEST(SpscQueue, FailedPushDoesNotConsumeMoveOnlyValue) {
+  SpscQueue<std::unique_ptr<int>> q(1);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(1)));
+  auto second = std::make_unique<int>(2);
+  EXPECT_FALSE(q.try_push(std::move(second)));
+  ASSERT_NE(second, nullptr);  // rejected value stays with the caller
+  EXPECT_EQ(*second, 2);
+}
+
+TEST(SpscQueue, PopBatchHonoursLimitAndAppends) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  std::vector<int> out{-1};  // pre-existing content must survive
+  EXPECT_EQ(q.pop_batch(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{-1, 0, 1, 2, 3}));
+  EXPECT_EQ(q.pop_batch(out, 16), 2u);
+  EXPECT_EQ(out.size(), 7u);
+  EXPECT_EQ(q.pop_batch(out, 16), 0u);
+}
+
+TEST(SpscQueue, CursorsSurviveWraparound) {
+  SpscQueue<std::size_t> q(3);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.try_push(std::size_t{i}));
+    ASSERT_TRUE(q.try_pop(out));
+    ASSERT_EQ(out, i);
+  }
+}
+
+TEST(SpscQueue, ProducerConsumerStressKeepsOrderAndCount) {
+  // One producer, one consumer, a deliberately tiny ring: the consumer
+  // must see exactly 0..N-1 in order with both blocking helpers in play.
+  constexpr std::uint64_t kItems = 50000;
+  SpscQueue<std::uint64_t> q(4);
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      while (!q.try_push(std::uint64_t{i})) q.wait_for_space();
+    }
+  });
+  std::uint64_t expected = 0;
+  std::vector<std::uint64_t> batch;
+  while (expected < kItems) {
+    batch.clear();
+    if (q.pop_batch(batch, 16) == 0) {
+      q.wait_for_item();
+      continue;
+    }
+    for (const std::uint64_t v : batch) {
+      ASSERT_EQ(v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(SpscQueueDeathTest, ZeroCapacityIsAPreconditionViolation) {
+  EXPECT_DEATH(SpscQueue<int>(0), "precondition");
+}
+
+}  // namespace
+}  // namespace fedpower::serve

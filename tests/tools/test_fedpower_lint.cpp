@@ -317,6 +317,74 @@ TEST(LintFsWrite, FsOkWaiverSuppresses) {
 }
 
 // ---------------------------------------------------------------------------
+// L7: raw event-loop syscalls in src/
+// ---------------------------------------------------------------------------
+
+TEST(LintSyscall, FlagsEpollFamilyEventfdAndAccept4) {
+  const std::string src =
+      "#include <sys/epoll.h>\n"                                  // 1
+      "int a() { return epoll_create1(0); }\n"                    // 2
+      "int b() { return epoll_create(8); }\n"                     // 3
+      "void c(int e, int fd, epoll_event* ev) {\n"                // 4
+      "  epoll_ctl(e, 1, fd, ev);\n"                              // 5
+      "  epoll_wait(e, ev, 1, -1);\n"                             // 6
+      "  epoll_pwait(e, ev, 1, -1, nullptr);\n"                   // 7
+      "}\n"                                                       // 8
+      "int d() { return eventfd(0, 0); }\n"                       // 9
+      "int e(int s) { return accept4(s, nullptr, nullptr, 0); }\n";  // 10
+  const auto fs = lint_source("src/core/x.cpp", src);
+  EXPECT_TRUE(has_rule_at(fs, "L7-raw-syscall", 2));
+  EXPECT_TRUE(has_rule_at(fs, "L7-raw-syscall", 3));
+  EXPECT_TRUE(has_rule_at(fs, "L7-raw-syscall", 5));
+  EXPECT_TRUE(has_rule_at(fs, "L7-raw-syscall", 6));
+  EXPECT_TRUE(has_rule_at(fs, "L7-raw-syscall", 7));
+  EXPECT_TRUE(has_rule_at(fs, "L7-raw-syscall", 9));
+  EXPECT_TRUE(has_rule_at(fs, "L7-raw-syscall", 10));
+  EXPECT_EQ(fs.size(), 7u);
+}
+
+TEST(LintSyscall, EventLoopTranslationUnitsAreExempt) {
+  const std::string src = "int a() { return epoll_create1(0); }\n";
+  EXPECT_FALSE(lint_source("src/serve/server.cpp", src).empty());
+  EXPECT_TRUE(lint_source("src/serve/epoll_server.cpp", src).empty());
+  EXPECT_TRUE(lint_source("src/fed/tcp_transport.cpp", src).empty());
+}
+
+TEST(LintSyscall, OutsideSrcAndMembersAndMentionsAreClean) {
+  const std::string src =
+      "int a() { return epoll_create1(0); }\n"
+      "void b(Loop* l) { l->epoll_wait(); }\n"
+      "const char* s = \"epoll_ctl(fd)\";\n";
+  EXPECT_TRUE(lint_source("tests/serve/x.cpp", src).empty());
+  EXPECT_TRUE(lint_source("bench/x.cpp", src).empty());
+  const auto fs = lint_source("src/serve/x.cpp", src);
+  EXPECT_TRUE(has_rule_at(fs, "L7-raw-syscall", 1));
+  EXPECT_EQ(fs.size(), 1u);  // member call and string literal stay clean
+}
+
+TEST(LintSyscall, SyscallOkWaiverSuppresses) {
+  const std::string src =
+      "// lint: syscall-ok(platform probe, no event loop)\n"
+      "int a() { return eventfd(0, 0); }\n";
+  EXPECT_TRUE(lint_source("src/runtime/x.cpp", src).empty());
+}
+
+TEST(LintSyscall, ServeDirIsDeterminismAndFpReduceCovered) {
+  const std::string unordered =
+      "std::unordered_map<int, double> m_;\n"
+      "double f() { double s = 0; for (auto& kv : m_) s += kv.second; "
+      "return s; }\n";
+  EXPECT_TRUE(has_rule_at(lint_source("src/serve/x.cpp", unordered),
+                          "L2-unordered-iter", 2));
+  const std::string reduce =
+      "double f(const std::vector<double>& v) {\n"
+      "  return std::accumulate(v.begin(), v.end(), 0.0);\n"
+      "}\n";
+  EXPECT_TRUE(has_rule_at(lint_source("src/serve/x.cpp", reduce),
+                          "L3-fp-reduce", 2));
+}
+
+// ---------------------------------------------------------------------------
 // Output formats & ordering
 // ---------------------------------------------------------------------------
 

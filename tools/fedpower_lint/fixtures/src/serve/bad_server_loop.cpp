@@ -1,0 +1,34 @@
+// Fixture: L7 — raw event-loop syscalls outside the designated event-loop
+// translation units, plus the clock (L1) and raw-mutex (L5) mistakes the
+// same hand-rolled loop tends to make. Never compiled, only linted.
+#include <chrono>
+#include <mutex>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+
+namespace fedpower::serve {
+
+struct BadLoop {
+  std::mutex mutex_;
+  int epfd_ = -1;
+  int wake_ = -1;
+
+  void open() {
+    epfd_ = epoll_create1(0);                 // L7: raw-syscall
+    wake_ = eventfd(0, 0);                    // L7: raw-syscall
+  }
+
+  void spin(int listener) {
+    epoll_event ev{};
+    epoll_ctl(epfd_, 1, listener, &ev);       // L7: raw-syscall
+    epoll_event out[8];
+    epoll_wait(epfd_, out, 8, -1);            // L7: raw-syscall
+    accept4(listener, nullptr, nullptr, 0);   // L7: raw-syscall
+    auto t = std::chrono::steady_clock::now();  // L1: nondet clock
+    (void)t;
+    mutex_.lock();  // L5: raw-mutex-lock
+    mutex_.unlock();  // L5: raw-mutex-lock
+  }
+};
+
+}  // namespace fedpower::serve

@@ -273,6 +273,11 @@ class Checker {
                   options_.fs_write_allowlist.end(),
                   path_) == options_.fs_write_allowlist.end())
       check_fs_write();
+    if (under_any(path_, options_.syscall_dirs) &&
+        std::find(options_.syscall_allowlist.begin(),
+                  options_.syscall_allowlist.end(),
+                  path_) == options_.syscall_allowlist.end())
+      check_syscall();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 return a.line != b.line ? a.line < b.line : a.rule < b.rule;
@@ -520,6 +525,30 @@ class Checker {
                  what + "; route durable state through "
                         "ckpt::write_snapshot_file (src/ckpt/snapshot.hpp) "
                         "or waive with `// lint: fs-ok(reason)`");
+      }
+    }
+  }
+
+  // L7: raw event-loop syscalls in src/. epoll/eventfd/accept4 plumbing is
+  // confined to the designated event-loop translation units (the blocking
+  // transport and the serve front end) so reviewers can audit every place
+  // the process touches the readiness machinery.
+  void check_syscall() {
+    static const std::set<std::string> syscall_fns = {
+        "epoll_create", "epoll_create1", "epoll_ctl", "epoll_wait",
+        "epoll_pwait",  "eventfd",       "accept4"};
+    for (std::size_t li = 0; li < tokens_.size(); ++li) {
+      const auto& toks = tokens_[li];
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!toks[i].ident || syscall_fns.count(toks[i].text) == 0) continue;
+        if (!tok_is(toks, i + 1, "(") || prev_is_member_access(toks, i))
+          continue;
+        report(li, "syscall", "L7-raw-syscall",
+               toks[i].text +
+                   "() belongs in a designated event-loop translation unit "
+                   "(fed/tcp_transport.cpp, serve/epoll_server.cpp); route "
+                   "through the serve front end or waive with "
+                   "`// lint: syscall-ok(reason)`");
       }
     }
   }

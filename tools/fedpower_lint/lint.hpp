@@ -24,10 +24,15 @@
 //                      freopen) in src/ outside the allowlisted writers —
 //                      durable state goes through ckpt::write_snapshot_file
 //                      so every on-disk artifact is atomic and checksummed
+//   L7-raw-syscall     no raw event-loop syscalls (epoll_create/epoll_ctl/
+//                      epoll_wait/eventfd/accept4) in src/ outside the
+//                      designated event-loop translation units — socket
+//                      plumbing stays confined to the transport and the
+//                      serve front end
 //
 // A finding is waived by a same-line comment `// lint: <key>-ok(<reason>)`
 // with a non-empty reason; keys: nondet, ordered, fpreduce, header, thread,
-// fs.
+// fs, syscall.
 // The analysis is a scrubbing tokenizer (comments, string/char literals and
 // raw strings are blanked before matching), not a parser — rules are
 // deliberately conservative so a clean pass means something.
@@ -59,9 +64,9 @@ struct Options {
   };
   /// Dirs where hash-container iteration order could leak into results.
   std::vector<std::string> determinism_dirs = {
-      "src/fed", "src/nn", "src/runtime", "src/core"};
+      "src/fed", "src/nn", "src/runtime", "src/core", "src/serve"};
   /// Dirs where FP reductions must keep the documented model-order loops.
-  std::vector<std::string> fp_reduce_dirs = {"src/fed"};
+  std::vector<std::string> fp_reduce_dirs = {"src/fed", "src/serve"};
   /// Dirs covered by the threading rules (L5).
   std::vector<std::string> thread_rule_dirs = {"src"};
   /// Dirs covered by the filesystem-write rule (L6).
@@ -73,6 +78,15 @@ struct Options {
       "src/ckpt/snapshot.cpp",
       "src/util/csv.hpp",
       "src/sim/trace_io.cpp",
+  };
+  /// Dirs covered by the raw-syscall rule (L7).
+  std::vector<std::string> syscall_dirs = {"src"};
+  /// Translation units allowed to issue event-loop syscalls directly: the
+  /// blocking TCP transport and the serve subsystem's epoll front end.
+  /// Everything else talks to sockets through those layers.
+  std::vector<std::string> syscall_allowlist = {
+      "src/fed/tcp_transport.cpp",
+      "src/serve/epoll_server.cpp",
   };
 };
 
