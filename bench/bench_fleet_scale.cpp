@@ -34,7 +34,6 @@ namespace {
 using namespace fedpower;
 
 /// Current resident set size in KiB (Linux /proc; 0 when unavailable).
-// lint: nondet-ok(RSS telemetry is reported, never fed into results)
 std::size_t current_rss_kib() {
   std::FILE* status = std::fopen("/proc/self/status", "r");
   if (status == nullptr) return 0;
@@ -51,7 +50,6 @@ std::size_t current_rss_kib() {
 }
 
 /// Peak resident set size in KiB over the process lifetime.
-// lint: nondet-ok(RSS telemetry)
 std::size_t peak_rss_kib() {
   rusage usage{};
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;

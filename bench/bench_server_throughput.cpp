@@ -266,7 +266,7 @@ std::optional<SweepRow> run_sweep(std::size_t workers, std::size_t clients,
   std::vector<std::size_t> everyone(clients);
   for (std::size_t i = 0; i < clients; ++i) everyone[i] = i;
 
-  using Clock = std::chrono::steady_clock;  // lint: nondet-ok(bench timing)
+  using Clock = std::chrono::steady_clock;
   std::vector<double> rtt_us;
   rtt_us.reserve(clients * rounds);
   // lint: nondet-ok(wall-clock RTT measurement is the bench's output)
@@ -359,8 +359,7 @@ bool run_smoke() {
   // The killed connection's EOF lands asynchronously; wait for the loop
   // to notice before committing.
   for (int spin = 0; spin < 800 && front.truncated_frames() == 0; ++spin)
-    std::this_thread::sleep_for(  // lint: nondet-ok(smoke polling)
-        std::chrono::milliseconds(5));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
 
   fed::RoundResult result;
   try {

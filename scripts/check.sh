@@ -26,7 +26,11 @@ echo "== ctest (includes the lint label) =="
 ctest --preset default
 
 echo "== fedpower-lint (explicit, for visible output) =="
+lint_start=$SECONDS
 ./build/tools/fedpower_lint --root . src bench tests examples
+./build/tools/fedpower_lint --sarif --root . src bench tests examples \
+  > build/lint_report.sarif
+echo "lint wall time: $((SECONDS - lint_start))s (SARIF archived at build/lint_report.sarif)"
 
 echo "== kill-and-resume smoke (SIGKILL mid-run, resume from snapshot) =="
 scripts/kill_resume_smoke.sh ./build/examples/run_experiment

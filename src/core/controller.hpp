@@ -98,11 +98,11 @@ class PowerController final : public fed::FederatedClient {
  private:
   const sim::TelemetrySample& observed_state();
 
-  ControllerConfig config_;
-  sim::CpuDevice* processor_;
+  ControllerConfig config_;       // lint: ckpt-skip(construction config, fixed for the run)
+  sim::CpuDevice* processor_;     // lint: ckpt-skip(non-owning; the device owner snapshots it)
   rl::NeuralBanditAgent agent_;
-  rl::StateFeaturizer featurizer_;
-  rl::PaperReward reward_;
+  rl::StateFeaturizer featurizer_;  // lint: ckpt-skip(stateless projection of config constants)
+  rl::PaperReward reward_;          // lint: ckpt-skip(stateless function of config constants)
   std::optional<rl::DriftMonitor> drift_;
   sim::TelemetrySample last_sample_{};
   bool have_state_ = false;

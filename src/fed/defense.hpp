@@ -152,7 +152,7 @@ class DefensePipeline {
   bool norm_screen_armed() const noexcept;
   double norm_history_median() const;
 
-  DefenseConfig config_;
+  DefenseConfig config_;  // lint: ckpt-skip(construction config; restore only validates it)
   std::vector<ClientState> clients_;
   /// Ring buffer of recently accepted update norms (insertion order; the
   /// cursor marks the next overwrite slot once the ring is full).

@@ -84,8 +84,8 @@ class FaultInjectingTransport final : public Transport {
   void restore_state(ckpt::Reader& in);
 
  private:
-  Transport* inner_;
-  FaultInjectionConfig config_;
+  Transport* inner_;            // lint: ckpt-skip(non-owning wrapped transport; re-wired on resume)
+  FaultInjectionConfig config_;  // lint: ckpt-skip(construction config, fixed for the run)
   util::Rng rng_;
   FaultInjectionStats fault_stats_;
   std::size_t outage_remaining_ = 0;

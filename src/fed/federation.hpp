@@ -256,24 +256,27 @@ class FederatedAveraging {
   std::size_t total_transport_retries() const;
 
   std::vector<FederatedClient*> clients_;
-  Transport* transport_;
-  std::vector<Transport*> client_transports_;  ///< per-client overrides
+  Transport* transport_;  // lint: ckpt-skip(non-owning wiring; re-attached before resuming)
+  /// Per-client overrides. lint: ckpt-skip(non-owning wiring; re-attached before resuming)
+  std::vector<Transport*> client_transports_;
   /// Distinct transports (shared + overrides), sorted by address; rebuilt
   /// lazily after set_client_transport so per-round retry accounting is one
   /// linear pass instead of the historic O(n^2) pointer scan.
+  // lint: ckpt-skip(lazy cache rebuilt from the transports on demand)
   mutable std::vector<const Transport*> transport_dedup_;
-  mutable bool transport_dedup_stale_ = true;
-  AggregationMode mode_;
-  const ModelCodec* codec_;
-  util::ParallelFor executor_;  ///< empty = serial local rounds
+  mutable bool transport_dedup_stale_ = true;  // lint: ckpt-skip(lazy cache flag; stale default makes resume rebuild)
+  AggregationMode mode_;     // lint: ckpt-skip(construction config, fixed for the run)
+  const ModelCodec* codec_;  // lint: ckpt-skip(non-owning strategy object; re-wired on resume)
+  /// Empty = serial local rounds. lint: ckpt-skip(thread pool handle; rounds are width-invariant)
+  util::ParallelFor executor_;
   std::vector<double> global_;
   std::size_t rounds_completed_ = 0;
-  SamplingConfig sampling_{};
-  std::size_t quorum_ = 1;
+  SamplingConfig sampling_{};  // lint: ckpt-skip(construction config, fixed for the run)
+  std::size_t quorum_ = 1;     // lint: ckpt-skip(construction config, fixed for the run)
   util::Rng participation_rng_{0};
   std::optional<DefensePipeline> defense_;
-  bool trim_count_override_ = false;
-  std::size_t trim_count_ = 0;
+  bool trim_count_override_ = false;  // lint: ckpt-skip(construction config, fixed for the run)
+  std::size_t trim_count_ = 0;        // lint: ckpt-skip(construction config, fixed for the run)
 };
 
 }  // namespace fedpower::fed

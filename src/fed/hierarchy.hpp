@@ -191,12 +191,12 @@ class HierarchicalFederation {
 
  private:
   std::vector<std::unique_ptr<EdgeAggregator>> shards_;
-  const ModelCodec* codec_;
-  util::ParallelFor executor_;
+  const ModelCodec* codec_;  // lint: ckpt-skip(non-owning strategy object; re-wired on resume)
+  util::ParallelFor executor_;  // lint: ckpt-skip(thread pool handle; rounds are width-invariant)
   std::vector<double> global_;
-  std::size_t client_count_ = 0;
+  std::size_t client_count_ = 0;  // lint: ckpt-skip(derived from the shard topology at attach time)
   std::size_t rounds_completed_ = 0;
-  std::size_t min_contributing_shards_ = 1;
+  std::size_t min_contributing_shards_ = 1;  // lint: ckpt-skip(construction config, fixed for the run)
 };
 
 }  // namespace fedpower::fed

@@ -44,8 +44,8 @@ class Sgd final : public Optimizer {
   double learning_rate() const noexcept { return lr_; }
 
  private:
-  double lr_;
-  double momentum_;
+  double lr_;        // lint: ckpt-skip(hyperparameter fixed at construction)
+  double momentum_;  // lint: ckpt-skip(hyperparameter fixed at construction)
   std::vector<double> velocity_;
 };
 
@@ -65,10 +65,10 @@ class Adam final : public Optimizer {
   long step_count() const noexcept { return t_; }
 
  private:
-  double lr_;
-  double beta1_;
-  double beta2_;
-  double epsilon_;
+  double lr_;       // lint: ckpt-skip(hyperparameter fixed at construction)
+  double beta1_;    // lint: ckpt-skip(hyperparameter fixed at construction)
+  double beta2_;    // lint: ckpt-skip(hyperparameter fixed at construction)
+  double epsilon_;  // lint: ckpt-skip(hyperparameter fixed at construction)
   long t_ = 0;
   std::vector<double> m_;
   std::vector<double> v_;

@@ -47,7 +47,7 @@ class DriftMonitor {
   const DriftConfig& config() const noexcept { return config_; }
 
  private:
-  DriftConfig config_;
+  DriftConfig config_;  // lint: ckpt-skip(construction config, fixed for the run)
   double fast_ = 0.0;
   double slow_ = 0.0;
   std::size_t samples_ = 0;

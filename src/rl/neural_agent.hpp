@@ -99,13 +99,13 @@ class NeuralBanditAgent {
   const NeuralAgentConfig& config() const noexcept { return config_; }
 
  private:
-  NeuralAgentConfig config_;
+  NeuralAgentConfig config_;  // lint: ckpt-skip(construction config, fixed for the run)
   mutable util::Rng rng_;
   nn::Mlp model_;
-  nn::HuberLoss loss_;
+  nn::HuberLoss loss_;  // lint: ckpt-skip(stateless functor of the config delta)
   nn::Adam optimizer_;
   ReplayBuffer replay_;
-  ExponentialDecay tau_schedule_;
+  ExponentialDecay tau_schedule_;  // lint: ckpt-skip(pure function of step_; step_ is saved)
   std::vector<double> global_anchor_;  // FedProx anchor (empty if unused)
   std::size_t step_ = 0;
   std::size_t updates_ = 0;

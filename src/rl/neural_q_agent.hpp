@@ -66,14 +66,14 @@ class NeuralQAgent {
   const NeuralQConfig& config() const noexcept { return config_; }
 
  private:
-  NeuralQConfig config_;
+  NeuralQConfig config_;  // lint: ckpt-skip(construction config, fixed for the run)
   mutable util::Rng rng_;
   nn::Mlp online_;
   nn::Mlp target_;
-  nn::HuberLoss loss_;
+  nn::HuberLoss loss_;  // lint: ckpt-skip(stateless functor of the config delta)
   nn::Adam optimizer_;
   QReplayBuffer replay_;
-  ExponentialDecay tau_;
+  ExponentialDecay tau_;  // lint: ckpt-skip(pure function of step_; step_ is saved)
   std::size_t step_ = 0;
   std::size_t updates_ = 0;
   double last_loss_ = 0.0;

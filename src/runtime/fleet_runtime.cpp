@@ -259,6 +259,10 @@ std::array<std::uint64_t, 4> read_rng_state(ckpt::Reader& in) {
 }
 }  // namespace
 
+// Save always writes the FLT1/FLT2 tag up front; restore peeks it as raw
+// bytes to dispatch between the eager and lazy layouts, so the first typed
+// call differs by design.
+// lint: ckpt-sym-ok(dual-format dispatch: restore peeks the tag as raw bytes)
 void FleetRuntime::save_state(ckpt::Writer& out) const {
   if (!lazy_) {
     // The historic eager layout, byte for byte.

@@ -274,8 +274,10 @@ class FleetRuntime {
   }
 
   /// Construction recipe, retained to materialize cold devices.
+  /// lint: ckpt-skip(construction recipe, fixed for the run)
   std::vector<core::ControllerConfig> configs_;
-  sim::ProcessorConfig processor_config_;
+  sim::ProcessorConfig processor_config_;  // lint: ckpt-skip(construction recipe, fixed for the run)
+  // lint: ckpt-skip(construction recipe, fixed for the run)
   std::vector<std::vector<sim::AppProfile>> device_apps_;
   bool lazy_ = false;
 
@@ -283,10 +285,13 @@ class FleetRuntime {
   std::vector<std::unique_ptr<core::PowerController>> controllers_;
   /// Per-device uplink attacker; null = honest (or cold) device.
   std::vector<std::unique_ptr<fed::ByzantineClient>> attackers_;
-  std::vector<ColdDeviceState> cold_;          ///< lazy fleets only
-  std::vector<DeviceFaultConfig> faults_;      ///< injected fault configs
-  std::vector<std::unique_ptr<LazyDeviceClient>> proxies_;  ///< lazy only
-  std::unique_ptr<ThreadPool> pool_;  ///< null when num_threads == 1
+  std::vector<ColdDeviceState> cold_;  ///< lazy fleets only
+  /// Injected fault configs. lint: ckpt-skip(construction recipe, fixed for the run)
+  std::vector<DeviceFaultConfig> faults_;
+  /// Lazy only. lint: ckpt-skip(stateless forwarding proxies; rebuilt on hydration)
+  std::vector<std::unique_ptr<LazyDeviceClient>> proxies_;
+  /// Null when num_threads == 1. lint: ckpt-skip(thread pool handle; rounds are width-invariant)
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace fedpower::runtime

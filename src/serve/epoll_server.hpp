@@ -108,18 +108,22 @@ class EpollFrontEnd {
   void update_interest(int fd, bool want_write);
 
   ShardedServer* server_;
-  int epoll_fd_ = -1;
-  int listener_ = -1;
-  int wake_fd_ = -1;
+  // The fds are opened in start() before the loop thread exists and closed
+  // in stop() after it joins; the loop thread has them to itself in between.
+  int epoll_fd_ = -1;  // lint: shard-ok(opened before the loop thread starts, closed after it joins)
+  int listener_ = -1;  // lint: shard-ok(opened before the loop thread starts, closed after it joins)
+  int wake_fd_ = -1;   // lint: shard-ok(opened before the loop thread starts, closed after it joins)
   std::uint16_t port_ = 0;
   std::thread thread_;
   std::atomic<bool> running_{false};
   bool stopped_ = false;
 
-  std::map<int, Connection> connections_;  // loop-thread-owned
+  // Loop-thread-owned. lint: shard-ok(only the loop thread touches it while running; orchestrator reads after join)
+  std::map<int, Connection> connections_;
 
-  std::mutex command_mutex_;  ///< cold path: round commands only
-  std::deque<Command> commands_;
+  /// Cold path: round commands only. lint: shard-ok(mutex is the crossing primitive itself)
+  std::mutex command_mutex_;
+  std::deque<Command> commands_;  // lint: shard-ok(guarded by command_mutex_ on both sides)
 
   // Cached encoding of the global model for fetch replies, refreshed when
   // the server version moves. Loop-thread-owned.

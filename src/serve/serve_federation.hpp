@@ -83,17 +83,19 @@ class ServeFederation {
   std::size_t total_transport_retries() const;
 
   std::vector<fed::FederatedClient*> clients_;
-  fed::Transport* transport_;
+  fed::Transport* transport_;  // lint: ckpt-skip(non-owning wiring; re-attached before resuming)
+  // lint: ckpt-skip(non-owning wiring; re-attached before resuming)
   std::vector<fed::Transport*> client_transports_;
+  // lint: ckpt-skip(lazy cache rebuilt from the transports on demand)
   mutable std::vector<const fed::Transport*> transport_dedup_;
-  mutable bool transport_dedup_stale_ = true;
-  const fed::ModelCodec* codec_;
+  mutable bool transport_dedup_stale_ = true;  // lint: ckpt-skip(lazy cache flag; stale default makes resume rebuild)
+  const fed::ModelCodec* codec_;  // lint: ckpt-skip(non-owning strategy object; re-wired on resume)
   ShardedServer server_;
-  util::ParallelFor executor_;
+  util::ParallelFor executor_;  // lint: ckpt-skip(thread pool handle; rounds are width-invariant)
 
-  fed::SamplingConfig sampling_;
+  fed::SamplingConfig sampling_;  // lint: ckpt-skip(construction config, fixed for the run)
   util::Rng participation_rng_{sampling_.seed};
-  std::size_t quorum_ = 1;
+  std::size_t quorum_ = 1;  // lint: ckpt-skip(construction config, fixed for the run)
   std::size_t rounds_completed_ = 0;
 };
 

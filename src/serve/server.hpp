@@ -200,30 +200,37 @@ class ShardedServer {
   void merge_async(const Pending& pending);
   void stop();
 
+  // lint: ckpt-skip(construction config, fixed for the run) lint: shard-ok(set before start(); read-only afterwards)
   ServeConfig config_;
-  const fed::ModelCodec* codec_;
-  std::vector<ClientRecord> records_;
+  const fed::ModelCodec* codec_;  // lint: ckpt-skip(non-owning strategy object; re-wired on resume)
+  std::vector<ClientRecord> records_;  // lint: shard-ok(workers read only their own shard's rows; resized only at quiescence)
+  // lint: ckpt-skip(shard scratch rebuilt by start()) lint: shard-ok(each worker touches only its own shard slot)
   std::vector<std::unique_ptr<Shard>> shards_;
-  util::ParallelFor executor_;
+  util::ParallelFor executor_;  // lint: ckpt-skip(thread pool handle; commits are width-invariant)
 
   std::vector<double> global_;
+  // lint: ckpt-skip(derived from global_.size() on restore) lint: shard-ok(fixed after attach; workers read it only between rounds)
   std::size_t model_size_ = 0;
   std::uint64_t version_ = 0;
   std::size_t rounds_committed_ = 0;
 
-  bool round_open_ = false;
-  std::vector<std::size_t> participants_;
-  std::vector<Pending> round_records_;  ///< models only in deterministic mode
-  std::size_t round_accepted_ = 0;
-  std::size_t round_uplink_bytes_ = 0;
+  // In-flight round state: snapshots are taken only at quiescence, between
+  // open_round/commit pairs, so none of it can be live in a checkpoint.
+  bool round_open_ = false;  // lint: ckpt-skip(in-flight round state; snapshots only at quiescence)
+  std::vector<std::size_t> participants_;  // lint: ckpt-skip(in-flight round state; snapshots only at quiescence)
+  /// Models only in deterministic mode. lint: ckpt-skip(in-flight round state; snapshots only at quiescence)
+  std::vector<Pending> round_records_;
+  std::size_t round_accepted_ = 0;  // lint: ckpt-skip(in-flight round state; snapshots only at quiescence)
+  std::size_t round_uplink_bytes_ = 0;  // lint: ckpt-skip(in-flight round state; snapshots only at quiescence)
 
   ServeStats stats_;
   double staleness_sum_ = 0.0;
 
   std::size_t submitted_total_ = 0;   // orchestrator-owned
   std::size_t collected_total_ = 0;   // orchestrator-owned
-  std::atomic<std::uint64_t> processed_total_{0};  // workers bump + notify
-  bool stopped_ = false;
+  // Workers bump + notify. lint: ckpt-skip(drains to zero at quiescence; always zero in a snapshot)
+  std::atomic<std::uint64_t> processed_total_{0};
+  bool stopped_ = false;  // lint: ckpt-skip(lifecycle latch; a restored server restarts its workers)
 };
 
 }  // namespace fedpower::serve

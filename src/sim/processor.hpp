@@ -147,12 +147,12 @@ class Processor final : public CpuDevice {
   PhaseProfile jittered(const PhaseProfile& phase) const;
   void apply_faults(TelemetrySample& sample);
 
-  ProcessorConfig config_;
+  ProcessorConfig config_;  // lint: ckpt-skip(construction config; restore only validates it)
   mutable util::Rng rng_;
-  PerfModel perf_model_;
-  PowerModel power_model_;
+  PerfModel perf_model_;    // lint: ckpt-skip(stateless table derived from config_)
+  PowerModel power_model_;  // lint: ckpt-skip(stateless table derived from config_)
   std::optional<ThermalModel> thermal_;
-  Workload* workload_ = nullptr;
+  Workload* workload_ = nullptr;  // lint: ckpt-skip(non-owning; re-attach the same workload before resuming)
   std::optional<AppRun> run_;
   std::vector<AppExecution> completed_;
   std::size_t level_ = 0;

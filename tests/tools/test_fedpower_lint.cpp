@@ -422,6 +422,74 @@ TEST(LintOutput, FindingsSortedByLineThenRule) {
   EXPECT_LT(fs[0].line, fs[1].line);
 }
 
+// ---------------------------------------------------------------------------
+// Tokenizer hardening: raw strings and digit separators
+// ---------------------------------------------------------------------------
+
+TEST(LintScrub, RawStringContentsAreNotMatched) {
+  const std::string src =
+      "const char* a = R\"(rand() time(nullptr))\";\n"
+      "int live() { return rand(); }\n";
+  const auto fs = lint_source("src/core/x.cpp", src);
+  EXPECT_FALSE(has_rule_at(fs, "L1-nondet", 1));
+  EXPECT_TRUE(has_rule_at(fs, "L1-nondet", 2));
+}
+
+TEST(LintScrub, EncodingPrefixedRawStringsDoNotDesync) {
+  // The '"' inside LR"(...)" must not open an ordinary string — that would
+  // swallow the rest of the file and hide the rand() below.
+  const std::string src =
+      "const wchar_t* w = LR\"(a \" b)\";\n"
+      "const char8_t* u = u8R\"(c \" d)\";\n"
+      "int live() { return rand(); }\n";
+  const auto fs = lint_source("src/core/x.cpp", src);
+  EXPECT_TRUE(has_rule_at(fs, "L1-nondet", 3));
+  EXPECT_EQ(fs.size(), 1u);
+}
+
+TEST(LintScrub, CustomDelimiterRawStringEndsAtItsDelimiter) {
+  const std::string src =
+      "const char* s = R\"xx(plain ) \" close)xx\";\n"
+      "int live() { return rand(); }\n";
+  const auto fs = lint_source("src/core/x.cpp", src);
+  EXPECT_TRUE(has_rule_at(fs, "L1-nondet", 2));
+  EXPECT_EQ(fs.size(), 1u);
+}
+
+TEST(LintScrub, IdentifierEndingInRIsNotARawStringPrefix) {
+  // fooR"..." is an identifier next to an ordinary string; the string must
+  // still be scrubbed as a string (ending at its closing quote).
+  const std::string src =
+      "auto v = fooR\"bar\";\n"
+      "int live() { return rand(); }\n";
+  const auto fs = lint_source("src/core/x.cpp", src);
+  EXPECT_TRUE(has_rule_at(fs, "L1-nondet", 2));
+}
+
+TEST(LintScrub, DigitSeparatorsAreNotCharLiterals) {
+  // 1'000'000 and hex 0xFF'FF must not open a char literal — that would
+  // swallow code until the next apostrophe and hide real findings.
+  const std::string src =
+      "constexpr long big = 1'000'000;\n"
+      "constexpr int mask = 0xFF'FF;\n"
+      "constexpr int bits = 0b1010'1010;\n"
+      "int live() { return rand(); }\n";
+  const auto fs = lint_source("src/core/x.cpp", src);
+  EXPECT_TRUE(has_rule_at(fs, "L1-nondet", 4));
+  EXPECT_EQ(fs.size(), 1u);
+}
+
+TEST(LintScrub, CharLiteralsAfterIdentifiersStayCharLiterals) {
+  // `return'a'` — the run before the quote is not a numeric literal, so
+  // this is a char literal and its contents stay scrubbed.
+  const std::string src =
+      "char f() { return'r'; }\n"
+      "int live() { return rand(); }\n";
+  const auto fs = lint_source("src/core/x.cpp", src);
+  EXPECT_FALSE(has_rule_at(fs, "L1-nondet", 1));
+  EXPECT_TRUE(has_rule_at(fs, "L1-nondet", 2));
+}
+
 TEST(LintOutput, MultipleRulesReportTogether) {
   const std::string src =
       "using namespace std;\n"

@@ -1,0 +1,37 @@
+// Deliberately broken fixture: L9-ckpt-symmetry must flag the epoch field —
+// save_state writes it as u32 but restore_state reads a u64, so every field
+// after it decodes from skewed offsets. The container CRC cannot catch this:
+// the bytes are valid, just misinterpreted.
+#include <cstdint>
+
+namespace ckpt {
+class Writer;
+class Reader;
+struct Tag;
+void write_tag(Writer& out, const Tag& tag);
+void expect_tag(Reader& in, const Tag& tag);
+}  // namespace ckpt
+
+namespace fedpower::ckpt_fixture {
+
+class SkewedState {
+ public:
+  void save_state(::ckpt::Writer& out) const {
+    ::ckpt::write_tag(out, kTag);
+    out.u32(epoch_);
+    out.f64(temperature_);
+  }
+
+  void restore_state(::ckpt::Reader& in) {
+    ::ckpt::expect_tag(in, kTag);
+    epoch_ = static_cast<std::uint32_t>(in.u64());
+    temperature_ = in.f64();
+  }
+
+ private:
+  static const ::ckpt::Tag kTag;
+  std::uint32_t epoch_ = 0;
+  double temperature_ = 0.0;
+};
+
+}  // namespace fedpower::ckpt_fixture

@@ -1,0 +1,40 @@
+// Deliberately broken fixture: L8-ckpt-coverage must flag `cursor_` — it is
+// mutated by step() but neither save_state nor restore_state touches it, so
+// a resume would silently reset it. `scratch_` shows the sanctioned escape
+// hatch: a ckpt-skip annotation with a reason.
+#include <cstdint>
+#include <vector>
+
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
+namespace fedpower::ckpt_fixture {
+
+class LeakyCounter {
+ public:
+  void save_state(::ckpt::Writer& out) const {
+    out.u64(total_);
+    out.vec_f64(history_);
+  }
+
+  void restore_state(::ckpt::Reader& in) {
+    total_ = in.u64();
+    history_ = in.vec_f64();
+  }
+
+  void step() {
+    ++cursor_;
+    ++total_;
+    history_.push_back(static_cast<double>(total_));
+  }
+
+ private:
+  std::uint64_t total_ = 0;
+  std::vector<double> history_;
+  std::uint64_t cursor_ = 0;
+  std::vector<double> scratch_;  // lint: ckpt-skip(rebuilt lazily by step)
+};
+
+}  // namespace fedpower::ckpt_fixture

@@ -1,0 +1,16 @@
+// Deliberately broken fixture: W1-stale-waiver must flag the waiver below.
+// The rand() fallback it once excused is gone, so the comment now only
+// teaches readers that L1 supposedly fires here — documentation rot the
+// tree scan is required to surface.
+#include <cstddef>
+#include <vector>
+
+namespace fedpower::fed_fixture {
+
+inline double mean(const std::vector<double>& xs) {
+  double sum = 0.0;  // lint: nondet-ok(leftover from a deleted rand fallback)
+  for (const double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+}  // namespace fedpower::fed_fixture

@@ -1,0 +1,40 @@
+// Deliberately broken fixture: L10-shard-ownership must flag `backlog_` —
+// the worker thread (worker_main, spawned by start()) appends to it while
+// the orchestrator-side drain() reads and clears it, and a std::vector is
+// neither an SpscQueue, an atomic nor const. That is exactly the data race
+// the serve subsystem's partitioning idiom (DESIGN.md §12) exists to
+// exclude.
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace fedpower::serve_fixture {
+
+class MiniPool {
+ public:
+  void start() {
+    worker_ = std::thread([this] { worker_main(); });
+  }
+
+  void stop() {
+    if (worker_.joinable()) worker_.join();
+  }
+
+  std::size_t drain() {
+    const std::size_t n = backlog_.size();
+    backlog_.clear();
+    return n;
+  }
+
+ private:
+  void worker_main() {
+    for (std::size_t i = 0; i < 4; ++i) backlog_.push_back(next_item());
+  }
+
+  std::size_t next_item() { return backlog_.size() + 1; }
+
+  std::thread worker_;
+  std::vector<std::size_t> backlog_;
+};
+
+}  // namespace fedpower::serve_fixture

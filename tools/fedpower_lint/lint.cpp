@@ -4,9 +4,13 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+
+#include "fedpower_lint/analyze.hpp"
+#include "fedpower_lint/scrub.hpp"
 
 namespace fedpower::lint {
 namespace {
@@ -47,191 +51,6 @@ bool is_source_path(const std::string& path) {
          ends_with(path, ".cc");
 }
 
-// ---------------------------------------------------------------------------
-// Scrubber: blank comments and string/char literals (including raw strings)
-// so rules only ever match real code, and collect waiver comments per line.
-// ---------------------------------------------------------------------------
-
-struct Scrubbed {
-  std::vector<std::string> code;  ///< literal/comment-free text, per line
-  /// Waiver keys ("nondet", "ordered", ...) active on each line.
-  std::vector<std::vector<std::string>> waivers;
-};
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Extracts every `lint: <key>-ok(<non-empty reason>)` from a comment.
-void parse_waivers(const std::string& comment, std::vector<std::string>* out) {
-  std::size_t pos = 0;
-  while ((pos = comment.find("lint:", pos)) != std::string::npos) {
-    pos += 5;
-    while (pos < comment.size() &&
-           std::isspace(static_cast<unsigned char>(comment[pos])) != 0)
-      ++pos;
-    std::string key;
-    while (pos < comment.size() &&
-           (is_ident_char(comment[pos]) || comment[pos] == '-'))
-      key += comment[pos++];
-    if (!ends_with(key, "-ok") || pos >= comment.size() || comment[pos] != '(')
-      continue;
-    const std::size_t close = comment.find(')', pos);
-    if (close == std::string::npos || close == pos + 1) continue;  // no reason
-    out->push_back(key.substr(0, key.size() - 3));
-    pos = close + 1;
-  }
-}
-
-Scrubbed scrub(const std::string& text) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
-  Scrubbed out;
-  State state = State::kCode;
-  std::string code_line;
-  std::string comment;
-  std::string raw_delim;
-  std::size_t comment_start_line = 0;
-  std::size_t line = 0;
-
-  auto ensure_line = [&](std::size_t idx) {
-    if (out.waivers.size() <= idx) out.waivers.resize(idx + 1);
-  };
-  auto flush_comment = [&] {
-    ensure_line(comment_start_line);
-    parse_waivers(comment, &out.waivers[comment_start_line]);
-    comment.clear();
-  };
-  auto newline = [&] {
-    out.code.push_back(code_line);
-    code_line.clear();
-    if (state == State::kLineComment) {
-      flush_comment();
-      state = State::kCode;
-    }
-    ++line;
-  };
-
-  const std::size_t n = text.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const char c = text[i];
-    if (c == '\n') {
-      newline();
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-          state = State::kLineComment;
-          comment_start_line = line;
-          ++i;
-        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-          state = State::kBlockComment;
-          comment_start_line = line;
-          ++i;
-        } else if (c == '"') {
-          // Raw string literal? The '"' directly follows a lone 'R' (or an
-          // encoding-prefixed uR/u8R/LR, whose prefix chars are ident chars
-          // too — treating those as raw is equally correct).
-          if (!code_line.empty() && code_line.back() == 'R' &&
-              (code_line.size() < 2 ||
-               !is_ident_char(code_line[code_line.size() - 2]))) {
-            raw_delim.clear();
-            ++i;
-            while (i < n && text[i] != '(' && text[i] != '\n')
-              raw_delim += text[i++];
-            state = State::kRaw;
-          } else {
-            state = State::kString;
-          }
-          code_line += ' ';
-        } else if (c == '\'') {
-          // Digit separators (1'000'000) are code, not char literals.
-          if (!code_line.empty() &&
-              std::isdigit(static_cast<unsigned char>(code_line.back())) != 0) {
-            code_line += ' ';
-          } else {
-            state = State::kChar;
-            code_line += ' ';
-          }
-        } else {
-          code_line += c;
-        }
-        break;
-      case State::kLineComment:
-        comment += c;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
-          state = State::kCode;
-          ++i;
-          flush_comment();
-        } else {
-          comment += c;
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && i + 1 < n)
-          ++i;
-        else if (c == '"')
-          state = State::kCode;
-        break;
-      case State::kChar:
-        if (c == '\\' && i + 1 < n)
-          ++i;
-        else if (c == '\'')
-          state = State::kCode;
-        break;
-      case State::kRaw:
-        if (c == ')' && i + raw_delim.size() + 1 < n &&
-            text.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
-            text[i + 1 + raw_delim.size()] == '"') {
-          i += raw_delim.size() + 1;
-          state = State::kCode;
-        }
-        break;
-    }
-  }
-  newline();  // final line (also flushes a trailing // comment)
-  if (state == State::kBlockComment) flush_comment();
-  ensure_line(out.code.empty() ? 0 : out.code.size() - 1);
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Tokenizer: identifiers/numbers vs punctuation, with "::" and "->" fused.
-// ---------------------------------------------------------------------------
-
-struct Token {
-  bool ident = false;
-  std::string text;
-};
-
-std::vector<Token> lex(const std::string& code_line) {
-  std::vector<Token> out;
-  const std::size_t n = code_line.size();
-  std::size_t i = 0;
-  while (i < n) {
-    const char c = code_line[i];
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      ++i;
-    } else if (is_ident_char(c)) {
-      std::string word;
-      while (i < n && is_ident_char(code_line[i])) word += code_line[i++];
-      out.push_back({true, word});
-    } else if (c == ':' && i + 1 < n && code_line[i + 1] == ':') {
-      out.push_back({false, "::"});
-      i += 2;
-    } else if (c == '-' && i + 1 < n && code_line[i + 1] == '>') {
-      out.push_back({false, "->"});
-      i += 2;
-    } else {
-      out.push_back({false, std::string(1, c)});
-      ++i;
-    }
-  }
-  return out;
-}
-
 bool tok_is(const std::vector<Token>& toks, std::size_t i, const char* text) {
   return i < toks.size() && toks[i].text == text;
 }
@@ -248,13 +67,15 @@ std::string lower(std::string s) {
 }
 
 // ---------------------------------------------------------------------------
-// Rule engine
+// Token-stream rule engine (L1–L7)
 // ---------------------------------------------------------------------------
 
 class Checker {
  public:
-  Checker(std::string path, const Scrubbed& src, const Options& options)
-      : path_(std::move(path)), src_(src), options_(options) {
+  Checker(std::string path, const Scrubbed& src, WaiverSet* waivers,
+          const Options& options)
+      : path_(std::move(path)), src_(src), waivers_(waivers),
+        options_(options) {
     for (const auto& line : src_.code) tokens_.push_back(lex(line));
   }
 
@@ -278,32 +99,15 @@ class Checker {
                   options_.syscall_allowlist.end(),
                   path_) == options_.syscall_allowlist.end())
       check_syscall();
-    std::sort(findings_.begin(), findings_.end(),
-              [](const Finding& a, const Finding& b) {
-                return a.line != b.line ? a.line < b.line : a.rule < b.rule;
-              });
     return std::move(findings_);
   }
 
  private:
-  bool waived(std::size_t line_idx, const char* key) const {
-    auto has = [&](std::size_t li) {
-      if (li >= src_.waivers.size()) return false;
-      const auto& w = src_.waivers[li];
-      return std::find(w.begin(), w.end(), key) != w.end();
-    };
-    if (has(line_idx)) return true;
-    // A waiver on a comment-only line covers the line below it (for code
-    // lines too long to carry the comment inline).
-    return line_idx > 0 && has(line_idx - 1) &&
-           line_idx - 1 < tokens_.size() && tokens_[line_idx - 1].empty();
-  }
-
   void report(std::size_t line_idx, const char* waiver_key, std::string rule,
               std::string message) {
-    if (waived(line_idx, waiver_key)) return;
-    findings_.push_back(
-        {path_, line_idx + 1, std::move(rule), std::move(message)});
+    if (waivers_->try_waive(line_idx, waiver_key)) return;
+    findings_.push_back({path_, line_idx + 1, std::move(rule),
+                         std::move(message), Severity::kError});
   }
 
   // L1: nondeterminism sources. Everything stochastic must flow through
@@ -555,10 +359,15 @@ class Checker {
 
   std::string path_;
   const Scrubbed& src_;
+  WaiverSet* waivers_;
   const Options& options_;
   std::vector<std::vector<Token>> tokens_;
   std::vector<Finding> findings_;
 };
+
+// ---------------------------------------------------------------------------
+// Serialization helpers
+// ---------------------------------------------------------------------------
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -584,6 +393,39 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+const char* severity_name(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+void sort_findings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+std::string read_file(const std::string& fs_path) {
+  std::ifstream in(fs_path, std::ios::binary);
+  if (!in) throw std::runtime_error("fedpower-lint: cannot read " + fs_path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+Finding stale_finding(const std::string& path, const Waiver& waiver,
+                      const Options& options) {
+  const std::string shown =
+      waiver.key == "ckpt-skip" ? waiver.key : waiver.key + "-ok";
+  return {path, waiver.line + 1, "W1-stale-waiver",
+          "waiver `" + shown + "(" + waiver.reason +
+              ")` no longer suppresses any finding — the code it excused "
+              "changed or moved; delete the comment (stale waivers teach "
+              "readers the rule still fires here)",
+          options.strict_waivers ? Severity::kError : Severity::kWarning};
+}
+
 }  // namespace
 
 std::vector<Finding> lint_source(const std::string& path,
@@ -591,17 +433,24 @@ std::vector<Finding> lint_source(const std::string& path,
                                  const Options& options) {
   const std::string norm = normalize_path(path);
   const Scrubbed scrubbed = scrub(content);
-  return Checker(norm, scrubbed, options).run();
+  WaiverSet waivers(scrubbed);
+  std::vector<Finding> findings =
+      Checker(norm, scrubbed, &waivers, options).run();
+
+  std::vector<FileModel> models;
+  models.push_back(build_file_model(norm, scrubbed));
+  std::vector<WaiverSet*> waiver_ptrs = {&waivers};
+  std::vector<Finding> contract = analyze(models, waiver_ptrs, options);
+  findings.insert(findings.end(), std::make_move_iterator(contract.begin()),
+                  std::make_move_iterator(contract.end()));
+  sort_findings(&findings);
+  return findings;
 }
 
 std::vector<Finding> lint_file(const std::string& fs_path,
                                const std::string& display_path,
                                const Options& options) {
-  std::ifstream in(fs_path, std::ios::binary);
-  if (!in) throw std::runtime_error("fedpower-lint: cannot read " + fs_path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return lint_source(display_path, buf.str(), options);
+  return lint_source(display_path, read_file(fs_path), options);
 }
 
 std::vector<Finding> lint_tree(const std::string& root,
@@ -630,25 +479,58 @@ std::vector<Finding> lint_tree(const std::string& root,
   rel_files.erase(std::unique(rel_files.begin(), rel_files.end()),
                   rel_files.end());
 
+  // Scrub every file up front: the token rules, the declaration analyzer
+  // and the stale-waiver pass must share one WaiverSet per file so usage
+  // tracking sees every consumer.
+  std::vector<Scrubbed> scrubs;
+  scrubs.reserve(rel_files.size());
+  for (const auto& rel : rel_files)
+    scrubs.push_back(scrub(read_file((root_path / rel).string())));
+  std::vector<WaiverSet> waiver_sets;
+  waiver_sets.reserve(rel_files.size());
+  for (const Scrubbed& scrubbed : scrubs) waiver_sets.emplace_back(scrubbed);
+
   std::vector<Finding> all;
-  for (const auto& rel : rel_files) {
-    auto findings = lint_file((root_path / rel).string(), rel, options);
+  std::vector<FileModel> models;
+  models.reserve(rel_files.size());
+  for (std::size_t i = 0; i < rel_files.size(); ++i) {
+    auto findings =
+        Checker(rel_files[i], scrubs[i], &waiver_sets[i], options).run();
     all.insert(all.end(), std::make_move_iterator(findings.begin()),
                std::make_move_iterator(findings.end()));
+    models.push_back(build_file_model(rel_files[i], scrubs[i]));
   }
-  std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
-    if (a.file != b.file) return a.file < b.file;
-    if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
-  });
+
+  std::vector<WaiverSet*> waiver_ptrs;
+  waiver_ptrs.reserve(waiver_sets.size());
+  for (WaiverSet& set : waiver_sets) waiver_ptrs.push_back(&set);
+  std::vector<Finding> contract = analyze(models, waiver_ptrs, options);
+  all.insert(all.end(), std::make_move_iterator(contract.begin()),
+             std::make_move_iterator(contract.end()));
+
+  // W1: waivers nothing consumed. Runs last so every rule has had its
+  // chance to claim one.
+  for (std::size_t i = 0; i < rel_files.size(); ++i)
+    for (const Waiver& waiver : waiver_sets[i].stale())
+      all.push_back(stale_finding(rel_files[i], waiver, options));
+
+  sort_findings(&all);
   return all;
+}
+
+bool has_errors(const std::vector<Finding>& findings) {
+  return std::any_of(findings.begin(), findings.end(), [](const Finding& f) {
+    return f.severity == Severity::kError;
+  });
 }
 
 std::string to_text(const std::vector<Finding>& findings) {
   std::ostringstream out;
-  for (const auto& f : findings)
-    out << f.file << ':' << f.line << ": " << f.rule << ' ' << f.message
-        << '\n';
+  for (const auto& f : findings) {
+    out << f.file << ':' << f.line << ": " << f.rule;
+    if (f.severity == Severity::kWarning) out << " [warning]";
+    out << ' ' << f.message << '\n';
+  }
   return out.str();
 }
 
@@ -660,10 +542,70 @@ std::string to_json(const std::vector<Finding>& findings) {
     if (i != 0) out << ",";
     out << "\n  {\"file\": \"" << json_escape(f.file)
         << "\", \"line\": " << f.line << ", \"rule\": \""
-        << json_escape(f.rule) << "\", \"message\": \""
+        << json_escape(f.rule) << "\", \"severity\": \""
+        << severity_name(f.severity) << "\", \"message\": \""
         << json_escape(f.message) << "\"}";
   }
   out << (findings.empty() ? "]\n" : "\n]\n");
+  return out.str();
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  // Distinct rule ids, in first-appearance order, become the driver's
+  // reportingDescriptors; results reference them by index.
+  std::vector<std::string> rule_ids;
+  std::map<std::string, std::size_t> rule_index;
+  for (const Finding& f : findings) {
+    if (rule_index.count(f.rule) != 0) continue;
+    rule_index[f.rule] = rule_ids.size();
+    rule_ids.push_back(f.rule);
+  }
+
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"fedpower-lint\",\n"
+      << "          \"informationUri\": "
+         "\"https://example.invalid/fedpower/DESIGN.md\",\n"
+      << "          \"rules\": [";
+  for (std::size_t i = 0; i < rule_ids.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\n            {\"id\": \"" << json_escape(rule_ids[i]) << "\"}";
+  }
+  out << (rule_ids.empty() ? "]\n" : "\n          ]\n")
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) out << ",";
+    out << "\n        {\n"
+        << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n"
+        << "          \"ruleIndex\": " << rule_index[f.rule] << ",\n"
+        << "          \"level\": \"" << severity_name(f.severity) << "\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(f.message)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \""
+        << json_escape(f.file) << "\"},\n"
+        << "                \"region\": {\"startLine\": " << f.line << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }";
+  }
+  out << (findings.empty() ? "]\n" : "\n      ]\n")
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
   return out.str();
 }
 

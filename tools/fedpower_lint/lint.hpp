@@ -30,12 +30,21 @@
 //                      plumbing stays confined to the transport and the
 //                      serve front end
 //
+// On top of the token-stream rules, the declaration-aware contract analyzer
+// (analyze.hpp) adds L8-ckpt-coverage, L9-ckpt-symmetry and
+// L10-shard-ownership, and lint_tree() reports waivers that no longer
+// suppress anything as W1-stale-waiver (severity "warning" by default,
+// "error" under Options::strict_waivers — the lint-strict preset).
+//
 // A finding is waived by a same-line comment `// lint: <key>-ok(<reason>)`
 // with a non-empty reason; keys: nondet, ordered, fpreduce, header, thread,
-// fs, syscall.
+// fs, syscall, ckpt-sym, shard — plus the member annotation
+// `// lint: ckpt-skip(<reason>)` consumed by L8. A comment-only waiver line
+// covers the code line below it.
 // The analysis is a scrubbing tokenizer (comments, string/char literals and
-// raw strings are blanked before matching), not a parser — rules are
-// deliberately conservative so a clean pass means something.
+// raw strings are blanked before matching) plus a heuristic declaration
+// parser, not a C++ front end — rules are deliberately conservative so a
+// clean pass means something.
 #pragma once
 
 #include <cstddef>
@@ -44,12 +53,18 @@
 
 namespace fedpower::lint {
 
+/// Finding severity. Errors fail the scan; warnings are reported (and
+/// serialized to JSON/SARIF) but only fail under --strict. Today the sole
+/// warning-class rule is W1-stale-waiver.
+enum class Severity { kError, kWarning };
+
 /// One rule violation at a specific source line (1-based).
 struct Finding {
   std::string file;     ///< path as given (normalized, '/'-separated)
   std::size_t line = 0; ///< 1-based line number
   std::string rule;     ///< stable rule id, e.g. "L1-nondet"
   std::string message;  ///< human-readable explanation
+  Severity severity = Severity::kError;
 };
 
 /// Rule scoping. Paths are repository-relative with forward slashes; a file
@@ -88,11 +103,26 @@ struct Options {
       "src/fed/tcp_transport.cpp",
       "src/serve/epoll_server.cpp",
   };
+  /// Dirs covered by the checkpoint-contract rules (L8/L9). Classes whose
+  /// declaration lives outside these dirs are modeled but not checked.
+  std::vector<std::string> ckpt_contract_dirs = {"src"};
+  /// Dirs covered by the shard-ownership rule (L10): the sharded async
+  /// server, where correctness comes from partitioning (DESIGN.md §12).
+  std::vector<std::string> shard_ownership_dirs = {"src/serve"};
+  /// Type-token substrings that make an injector/worker crossing member
+  /// legal: lock-free rings, atomics and immutable state.
+  std::vector<std::string> shard_safe_types = {"SpscQueue", "atomic", "const"};
+  /// Promote W1-stale-waiver findings from warning to error (the
+  /// lint-strict preset / --strict flag).
+  bool strict_waivers = false;
 };
 
-/// Lints one translation unit given as an in-memory string. `path` scopes
-/// the directory-dependent rules and is echoed into findings; findings are
-/// sorted by line, then rule.
+/// Lints one translation unit given as an in-memory string: the token
+/// rules (L1–L7) plus the declaration analyzer (L8–L10) over this single
+/// file's model. Stale-waiver detection is a whole-tree concern (a waiver
+/// may be consumed by cross-file analysis) and only runs in lint_tree.
+/// `path` scopes the directory-dependent rules and is echoed into
+/// findings; findings are sorted by line, then rule.
 [[nodiscard]] std::vector<Finding> lint_source(const std::string& path,
                                                const std::string& content,
                                                const Options& options = {});
@@ -104,16 +134,26 @@ struct Options {
                                              const Options& options = {});
 
 /// Recursively lints every .cpp/.cc/.hpp/.h file under `inputs` (files or
-/// directories, relative to `root`), in sorted path order. Findings are
-/// sorted by (file, line, rule).
+/// directories, relative to `root`), in sorted path order: token rules per
+/// file, then the declaration analyzer over the merged model (headers
+/// declare, .cpps define), then W1-stale-waiver over every waiver nothing
+/// consumed. Findings are sorted by (file, line, rule).
 [[nodiscard]] std::vector<Finding> lint_tree(
     const std::string& root, const std::vector<std::string>& inputs,
     const Options& options = {});
 
-/// "file:line: rule-id message" lines, one per finding.
+/// True when any finding is an error (warnings alone keep a scan green).
+[[nodiscard]] bool has_errors(const std::vector<Finding>& findings);
+
+/// "file:line: rule-id message" lines, one per finding; warnings carry a
+/// "[warning]" marker after the rule id.
 [[nodiscard]] std::string to_text(const std::vector<Finding>& findings);
 
-/// JSON array of {"file", "line", "rule", "message"} objects.
+/// JSON array of {"file", "line", "rule", "severity", "message"} objects.
 [[nodiscard]] std::string to_json(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 log (one run, tool "fedpower-lint") for CI artifact
+/// consumption; every distinct rule id becomes a reportingDescriptor.
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings);
 
 }  // namespace fedpower::lint

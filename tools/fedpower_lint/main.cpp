@@ -1,8 +1,11 @@
 // fedpower-lint CLI. Scans files/directories (relative to --root) and
-// prints findings as `file:line: rule-id message` lines, or a JSON array
-// with --json. Exit status: 0 clean, 1 findings, 2 usage/I-O error —
-// inverted by --must-fail, which the fixture self-check uses to assert the
-// linter still catches deliberately broken code.
+// prints findings as `file:line: rule-id message` lines, a JSON array with
+// --json, or a SARIF 2.1.0 log with --sarif (for CI artifact upload).
+// Exit status: 0 clean, 1 error findings, 2 usage/I-O error. Warnings
+// (W1-stale-waiver) are printed but keep the scan green unless --strict
+// promotes them to errors. --must-fail inverts the status — exit 0 iff ANY
+// finding (error or warning) was produced — which the fixture self-check
+// uses to assert the linter still catches deliberately broken code.
 #include <cstring>
 #include <iostream>
 #include <stdexcept>
@@ -14,12 +17,15 @@
 namespace {
 
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--json] [--must-fail] [--root DIR] PATH...\n"
-               "  PATH      file or directory, relative to --root (default .)\n"
-               "  --json    emit findings as a JSON array\n"
-               "  --must-fail  exit 0 iff findings were produced (fixture "
-               "self-check)\n";
+  std::cerr
+      << "usage: " << argv0
+      << " [--json|--sarif] [--strict] [--must-fail] [--root DIR] PATH...\n"
+         "  PATH      file or directory, relative to --root (default .)\n"
+         "  --json    emit findings as a JSON array\n"
+         "  --sarif   emit findings as a SARIF 2.1.0 log\n"
+         "  --strict  treat stale waivers (W1) as errors\n"
+         "  --must-fail  exit 0 iff findings were produced (fixture "
+         "self-check)\n";
   return 2;
 }
 
@@ -29,12 +35,18 @@ int main(int argc, char** argv) {
   std::string root = ".";
   std::vector<std::string> inputs;
   bool json = false;
+  bool sarif = false;
   bool must_fail = false;
+  fedpower::lint::Options options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
+    } else if (arg == "--strict") {
+      options.strict_waivers = true;
     } else if (arg == "--must-fail") {
       must_fail = true;
     } else if (arg == "--root") {
@@ -50,11 +62,11 @@ int main(int argc, char** argv) {
       inputs.push_back(arg);
     }
   }
-  if (inputs.empty()) return usage(argv[0]);
+  if (inputs.empty() || (json && sarif)) return usage(argv[0]);
 
   std::vector<fedpower::lint::Finding> findings;
   try {
-    findings = fedpower::lint::lint_tree(root, inputs);
+    findings = fedpower::lint::lint_tree(root, inputs, options);
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 2;
@@ -62,6 +74,8 @@ int main(int argc, char** argv) {
 
   if (json)
     std::cout << fedpower::lint::to_json(findings);
+  else if (sarif)
+    std::cout << fedpower::lint::to_sarif(findings);
   else
     std::cout << fedpower::lint::to_text(findings);
 
@@ -73,7 +87,7 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  if (!findings.empty()) {
+  if (fedpower::lint::has_errors(findings)) {
     std::cerr << "fedpower-lint: " << findings.size() << " finding(s)\n";
     return 1;
   }

@@ -1,0 +1,246 @@
+#include "fedpower_lint/scrub.hpp"
+
+#include <cctype>
+
+namespace fedpower::lint {
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Extracts every `lint: <key>-ok(<non-empty reason>)` and
+/// `lint: ckpt-skip(<non-empty reason>)` from one comment's text.
+void parse_waivers(const std::string& comment, std::size_t line,
+                   std::vector<Waiver>* out) {
+  std::size_t pos = 0;
+  while ((pos = comment.find("lint:", pos)) != std::string::npos) {
+    pos += 5;
+    while (pos < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[pos])) != 0)
+      ++pos;
+    std::string key;
+    while (pos < comment.size() &&
+           (is_ident_char(comment[pos]) || comment[pos] == '-'))
+      key += comment[pos++];
+    const bool ok_form = ends_with(key, "-ok");
+    const bool skip_form = key == "ckpt-skip";
+    if ((!ok_form && !skip_form) || pos >= comment.size() ||
+        comment[pos] != '(')
+      continue;
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string::npos || close == pos + 1) continue;  // no reason
+    Waiver waiver;
+    waiver.key = ok_form ? key.substr(0, key.size() - 3) : key;
+    waiver.line = line;
+    waiver.reason = comment.substr(pos + 1, close - pos - 1);
+    out->push_back(waiver);
+    pos = close + 1;
+  }
+}
+
+/// True when the characters ending `code` right before a trailing 'R' form a
+/// valid raw-string encoding prefix: R"..., u8R"..., uR"..., UR"..., LR"...
+/// — and the prefix itself is not glued onto a longer identifier (fooR"..."
+/// is a user-defined-literal juxtaposition, not a raw string).
+bool raw_string_prefix(const std::string& code) {
+  if (code.empty() || code.back() != 'R') return false;
+  std::size_t start = code.size() - 1;  // index of 'R'
+  while (start > 0 && is_ident_char(code[start - 1])) --start;
+  const std::string prefix = code.substr(start, code.size() - 1 - start);
+  return prefix.empty() || prefix == "u" || prefix == "u8" || prefix == "U" ||
+         prefix == "L";
+}
+
+/// True when a '\'' at position i of `text`, with scrubbed code so far in
+/// `code`, is a digit separator (1'000'000, 0xFF'FF, 0b1010'1010) rather
+/// than the start of a character literal: the preceding identifier-ish run
+/// must begin with a digit (a numeric literal) and the next character must
+/// continue it.
+bool digit_separator(const std::string& code, const std::string& text,
+                     std::size_t i) {
+  if (code.empty() || !is_ident_char(code.back())) return false;
+  if (i + 1 >= text.size() ||
+      std::isalnum(static_cast<unsigned char>(text[i + 1])) == 0)
+    return false;
+  std::size_t start = code.size();
+  while (start > 0 && is_ident_char(code[start - 1])) --start;
+  return std::isdigit(static_cast<unsigned char>(code[start])) != 0;
+}
+
+}  // namespace
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool Scrubbed::line_is_comment_only(std::size_t line_idx) const {
+  if (line_idx >= code.size()) return false;
+  for (const char c : code[line_idx])
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) return false;
+  return true;
+}
+
+Scrubbed scrub(const std::string& text) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  Scrubbed out;
+  State state = State::kCode;
+  std::string code_line;
+  std::string comment;
+  std::string raw_delim;
+  std::size_t comment_start_line = 0;
+  std::size_t line = 0;
+
+  auto flush_comment = [&] {
+    parse_waivers(comment, comment_start_line, &out.waivers);
+    comment.clear();
+  };
+  auto newline = [&] {
+    out.code.push_back(code_line);
+    code_line.clear();
+    if (state == State::kLineComment) {
+      flush_comment();
+      state = State::kCode;
+    }
+    ++line;
+  };
+
+  const std::size_t n = text.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      newline();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kLineComment;
+          comment_start_line = line;
+          ++i;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          state = State::kBlockComment;
+          comment_start_line = line;
+          ++i;
+        } else if (c == '"') {
+          // Raw string literal? The '"' follows a lone 'R' or an
+          // encoding-prefixed u8R/uR/UR/LR; anything longer (an identifier
+          // ending in R) is not a raw-string opener.
+          if (raw_string_prefix(code_line)) {
+            raw_delim.clear();
+            ++i;
+            while (i < n && text[i] != '(' && text[i] != '\n')
+              raw_delim += text[i++];
+            state = State::kRaw;
+          } else {
+            state = State::kString;
+          }
+          code_line += ' ';
+        } else if (c == '\'') {
+          if (digit_separator(code_line, text, i)) {
+            // Part of a numeric literal: scrub the quote, keep lexing code.
+            code_line += ' ';
+          } else {
+            state = State::kChar;
+            code_line += ' ';
+          }
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+          flush_comment();
+        } else {
+          comment += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n)
+          ++i;
+        else if (c == '"')
+          state = State::kCode;
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n)
+          ++i;
+        else if (c == '\'')
+          state = State::kCode;
+        break;
+      case State::kRaw:
+        if (c == ')' && i + raw_delim.size() + 1 < n &&
+            text.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            text[i + 1 + raw_delim.size()] == '"') {
+          i += raw_delim.size() + 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  newline();  // final line (also flushes a trailing // comment)
+  if (state == State::kBlockComment) flush_comment();
+  return out;
+}
+
+std::vector<Token> lex(const std::string& code_line) {
+  std::vector<Token> out;
+  const std::size_t n = code_line.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const char c = code_line[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+    } else if (is_ident_char(c)) {
+      std::string word;
+      while (i < n && is_ident_char(code_line[i])) word += code_line[i++];
+      out.push_back({true, word});
+    } else if (c == ':' && i + 1 < n && code_line[i + 1] == ':') {
+      out.push_back({false, "::"});
+      i += 2;
+    } else if (c == '-' && i + 1 < n && code_line[i + 1] == '>') {
+      out.push_back({false, "->"});
+      i += 2;
+    } else {
+      out.push_back({false, std::string(1, c)});
+      ++i;
+    }
+  }
+  return out;
+}
+
+WaiverSet::WaiverSet(const Scrubbed& scrubbed) {
+  entries_.reserve(scrubbed.waivers.size());
+  for (const Waiver& waiver : scrubbed.waivers)
+    entries_.push_back(
+        {waiver, scrubbed.line_is_comment_only(waiver.line), false});
+}
+
+bool WaiverSet::try_waive(std::size_t line_idx, const std::string& key) {
+  bool waived = false;
+  for (Entry& entry : entries_) {
+    if (entry.waiver.key != key) continue;
+    const bool same_line = entry.waiver.line == line_idx;
+    const bool line_above = entry.comment_only_line && line_idx > 0 &&
+                            entry.waiver.line == line_idx - 1;
+    if (same_line || line_above) {
+      entry.used = true;
+      waived = true;
+    }
+  }
+  return waived;
+}
+
+std::vector<Waiver> WaiverSet::stale() const {
+  std::vector<Waiver> out;
+  for (const Entry& entry : entries_)
+    if (!entry.used) out.push_back(entry.waiver);
+  return out;
+}
+
+}  // namespace fedpower::lint

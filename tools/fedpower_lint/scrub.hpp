@@ -1,0 +1,80 @@
+// Shared scrubbing tokenizer for fedpower-lint (DESIGN.md §8).
+//
+// Both analysis layers — the token-stream rule engine (lint.cpp, L1–L7) and
+// the declaration-aware contract analyzer (analyze.cpp, L8–L10) — must see
+// the exact same view of a translation unit, or a literal that one layer
+// skips and the other matches would let rules desynchronize. This header
+// owns that view:
+//
+//   * scrub()  blanks comments, string/char literals (including raw strings
+//     with encoding prefixes u8R/uR/UR/LR and arbitrary delimiters) and
+//     digit separators (1'000'000, 0xFF'FF) so rules only ever match real
+//     code, while collecting `// lint: ...` waiver comments per line.
+//   * lex()    splits one scrubbed line into identifier/punctuation tokens
+//     with "::" and "->" fused.
+//   * WaiverSet tracks which waivers actually suppressed a finding, so the
+//     tree driver can report the stale ones (W1-stale-waiver) — a waiver
+//     that suppresses nothing is documentation rot, not a pass.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fedpower::lint {
+
+/// One parsed waiver comment: `// lint: <key>-ok(<reason>)` (key stored
+/// without the -ok suffix) or the member annotation
+/// `// lint: ckpt-skip(<reason>)` (key "ckpt-skip").
+struct Waiver {
+  std::string key;       ///< "nondet", "ordered", ..., "ckpt-skip"
+  std::size_t line = 0;  ///< 0-based line the comment starts on
+  std::string reason;    ///< text inside the parentheses (non-empty)
+};
+
+/// Literal/comment-free source with per-line waiver bookkeeping.
+struct Scrubbed {
+  std::vector<std::string> code;  ///< scrubbed text, one entry per line
+  std::vector<Waiver> waivers;    ///< every waiver comment, in file order
+  /// True when the line holds no code tokens (comment/blank only); a waiver
+  /// on such a line covers the next line down.
+  [[nodiscard]] bool line_is_comment_only(std::size_t line_idx) const;
+};
+
+[[nodiscard]] Scrubbed scrub(const std::string& text);
+
+/// One lexical token of a scrubbed line.
+struct Token {
+  bool ident = false;  ///< identifier/number vs punctuation
+  std::string text;
+};
+
+[[nodiscard]] std::vector<Token> lex(const std::string& code_line);
+
+[[nodiscard]] bool is_ident_char(char c);
+
+/// Waiver lookup with usage tracking. try_waive() consumes a waiver
+/// matching (line, key) — same line, or a comment-only line directly above —
+/// and marks it used; stale() returns the ones nothing ever consumed.
+class WaiverSet {
+ public:
+  explicit WaiverSet(const Scrubbed& scrubbed);
+
+  /// True (and marks the waiver used) when a waiver with `key` covers the
+  /// 0-based line `line_idx`. A used waiver keeps waiving: several findings
+  /// on one line may share it.
+  [[nodiscard]] bool try_waive(std::size_t line_idx, const std::string& key);
+
+  /// Waivers that never suppressed anything, in file order.
+  [[nodiscard]] std::vector<Waiver> stale() const;
+
+ private:
+  struct Entry {
+    Waiver waiver;
+    bool comment_only_line = false;
+    bool used = false;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fedpower::lint
