@@ -1,0 +1,368 @@
+// Deterministic chaos soak (DESIGN.md §13): a days-equivalent federated
+// run with every fault layer armed at once — transport drop/delay/
+// truncate/disconnect, availability churn with seeded dwell times,
+// workload shocks, sign-flip attackers — against the recovery machinery:
+// per-round deadlines with straggler demotion, defense screening with
+// churn-safe re-admission, FPCK checkpoints with corruption fallback.
+//
+// The soak is segmented into kill/resume cycles: each segment runs to a
+// kill point that lands on a snapshot boundary, the process state is
+// discarded (exactly what SIGKILL leaves behind: the rotation directory
+// and nothing else), and the next segment resumes from the rotation.
+// Before one resume the newest snapshot is deliberately bit-flipped, so
+// recovery must fall back to the older entry and re-execute the gap.
+//
+// Invariants asserted per epoch and at the end (exit 1 on any failure):
+//  * monotone rounds    — every segment's per-round history has exactly
+//                         the target length; resumes never rewind or skip.
+//  * honest quarantine  — no honest (uncompromised) device ends below the
+//                         quarantine threshold: churn absences and
+//                         straggler demotions produce NO defense
+//                         observation, so availability cannot poison
+//                         reputation.
+//  * bounded RSS        — peak resident memory stays under a fixed budget
+//                         across all cycles (the lazy fleet keeps the
+//                         working set per-round sized).
+//  * chaos-seed replay  — the segmented, kill/resumed, corruption-recovered
+//                         run ends bit-identical to one uninterrupted run,
+//                         at 1 and at 4 worker threads; the serve pipeline
+//                         under the same chaos is worker-count invariant.
+//
+// Results land in BENCH_soak.json.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ckpt/rotation.hpp"
+#include "core/experiment.hpp"
+#include "sim/splash2.hpp"
+
+namespace {
+
+using namespace fedpower;
+
+/// Current resident set size in KiB (Linux /proc; 0 when unavailable).
+std::size_t current_rss_kib() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  std::size_t rss = 0;
+  while (std::fgets(line, sizeof line, status) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      std::sscanf(line + 6, "%zu", &rss);
+      break;
+    }
+  }
+  std::fclose(status);
+  return rss;
+}
+
+/// Peak resident set size in KiB over the process lifetime.
+std::size_t peak_rss_kib() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::size_t>(usage.ru_maxrss);
+}
+
+constexpr std::size_t kDevices = 12;
+constexpr std::size_t kRounds = 320;
+// At least one optimizer update per device per round (the agent trains
+// every optimize_interval = 20 interactions): a round below that cadence
+// uploads an unchanged model, and a fleet of no-op uploads collapses the
+// defense's norm envelope until every real update looks oversized.
+constexpr std::size_t kStepsPerRound = 20;
+constexpr double kDvfsIntervalS = 60.0;  // one DVFS decision per minute
+constexpr std::size_t kCkptEvery = 7;
+constexpr std::size_t kPeakRssBudgetKib = 1536 * 1024;  // 1.5 GiB
+
+std::vector<std::vector<sim::AppProfile>> soak_apps() {
+  const std::vector<sim::AppProfile> suite = sim::splash2_suite();
+  std::vector<std::vector<sim::AppProfile>> apps(kDevices);
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    apps[d].push_back(suite[d % suite.size()]);
+    apps[d].push_back(suite[(d + 5) % suite.size()]);
+  }
+  return apps;
+}
+
+/// The full chaos recipe: every fault layer on, every recovery layer on.
+core::ExperimentConfig soak_config(std::size_t rounds,
+                                   std::size_t num_threads) {
+  core::ExperimentConfig config;
+  config.rounds = rounds;
+  config.seed = 42;
+  config.num_threads = num_threads;
+  config.lazy_fleet = true;
+  config.controller.steps_per_round = kStepsPerRound;
+  config.controller.dvfs_interval_s = kDvfsIntervalS;
+  config.sampling.fraction = 0.75;
+  config.sampling.min_clients = 4;
+  config.sampling.seed = 7;
+  config.quorum = 1;
+  config.defense.enabled = true;
+  config.faults.attack = fed::UploadAttack::kSignFlip;
+  config.faults.fraction = 0.2;  // 3 of 12 devices flip their uploads
+  config.faults.start_round = 10;
+  config.faults.transport.drop_probability = 0.02;
+  config.faults.transport.delay_probability = 0.05;
+  config.faults.transport.injected_delay_s = 0.05;
+  config.faults.transport.truncate_probability = 0.01;
+  config.faults.transport.disconnect_probability = 0.01;
+  config.faults.transport.seed = 7;
+  config.chaos.enabled = true;
+  config.chaos.seed = 2026;
+  config.chaos.leave_probability = 0.05;
+  config.chaos.rejoin_probability = 0.5;
+  config.chaos.shock_probability = 0.1;
+  // A clean downlink+uplink pair stays well under budget; one injected
+  // 0.05 s delay pushes the client over and demotes it for the round.
+  config.deadline_s = 0.05;
+  return config;
+}
+
+bool same_bytes(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+/// Flips one bit in the middle of the newest snapshot: the CRC check must
+/// reject it and load_latest() must fall back to the older entry.
+bool corrupt_newest_snapshot(const std::string& dir) {
+  const ckpt::SnapshotRotation rotation(dir, 3);
+  const std::vector<std::uint64_t> seqs = rotation.sequences();
+  if (seqs.empty()) return false;
+  const std::string path = rotation.path_for(seqs.back());
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size <= 0) {
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, size / 2, SEEK_SET);
+  const int byte = std::fgetc(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  std::fputc(byte ^ 0x10, f);
+  std::fclose(f);
+  return true;
+}
+
+struct SoakOutcome {
+  core::FederatedRunResult result;
+  bool monotone = true;          ///< every epoch history had target length
+  std::size_t resumes = 0;       ///< kill/resume cycles completed
+  bool corrupted_fallback = false;  ///< bit-flip recovery exercised
+};
+
+/// Runs the soak as kill/resume segments sharing one rotation directory.
+/// Each boundary discards all in-process state — the resume must rebuild
+/// the run from the snapshot alone. `corrupt_at` picks the boundary whose
+/// newest snapshot gets bit-flipped first.
+SoakOutcome run_segmented(std::size_t num_threads, const std::string& dir,
+                          const std::vector<std::size_t>& kill_points,
+                          std::size_t corrupt_at) {
+  std::filesystem::remove_all(dir);
+  SoakOutcome outcome;
+  const auto device_apps = soak_apps();
+  const std::vector<sim::AppProfile> no_eval;
+  for (std::size_t seg = 0; seg <= kill_points.size(); ++seg) {
+    const std::size_t target =
+        seg < kill_points.size() ? kill_points[seg] : kRounds;
+    core::ExperimentConfig config = soak_config(target, num_threads);
+    config.checkpoint.every_rounds = kCkptEvery;
+    config.checkpoint.dir = dir;
+    config.checkpoint.keep = 3;
+    if (seg > 0) {
+      config.checkpoint.resume_from = dir;
+      ++outcome.resumes;
+      if (seg == corrupt_at)
+        outcome.corrupted_fallback = corrupt_newest_snapshot(dir);
+    }
+    outcome.result = core::run_federated(config, device_apps, no_eval,
+                                         /*eval_each_round=*/false);
+    // Epoch invariant: the per-round history is exactly `target` long —
+    // the resumed round counter never rewound and never skipped.
+    outcome.monotone =
+        outcome.monotone &&
+        outcome.result.robustness.screened_per_round.size() == target &&
+        outcome.result.robustness.stragglers_per_round.size() == target;
+    std::printf(
+        "  [%zu threads] epoch %zu: rounds=%zu stragglers=%zu "
+        "quarantined(max)=%zu rss=%zu KiB\n",
+        num_threads, seg, target, outcome.result.robustness.total_stragglers,
+        outcome.result.robustness.max_quarantined, current_rss_kib());
+  }
+  return outcome;
+}
+
+/// No honest device may end quarantined: churn absences and straggler
+/// demotions feed the defense no observation, so availability alone can
+/// never push an honest reputation below the threshold.
+std::size_t honest_quarantined(const core::FederatedRunResult& result,
+                               double threshold) {
+  std::size_t count = 0;
+  for (std::size_t d = 0; d < result.robustness.final_reputation.size();
+       ++d) {
+    const bool compromised =
+        std::find(result.robustness.compromised.begin(),
+                  result.robustness.compromised.end(),
+                  d) != result.robustness.compromised.end();
+    if (!compromised && result.robustness.final_reputation[d] < threshold)
+      ++count;
+  }
+  return count;
+}
+
+/// Serve-pipeline phase: the same chaos schedule and deadline through the
+/// sharded server must be worker-count invariant (defense stays off — the
+/// serve path routes verdicts through the shared screening primitives
+/// instead of the full pipeline).
+bool serve_phase_invariant() {
+  const auto device_apps = soak_apps();
+  const std::vector<sim::AppProfile> no_eval;
+  std::vector<core::FederatedRunResult> results;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    core::ExperimentConfig config = soak_config(40, /*num_threads=*/workers);
+    config.defense.enabled = false;
+    config.serve.enabled = true;
+    config.serve.workers = workers;
+    results.push_back(core::run_federated(config, device_apps, no_eval,
+                                          /*eval_each_round=*/false));
+  }
+  return same_bytes(results[0].global_params, results[1].global_params) &&
+         results[0].robustness.total_stragglers ==
+             results[1].robustness.total_stragglers;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== chaos soak: multi-layer faults + kill/resume ==\n");
+  const double simulated_days = static_cast<double>(kRounds) *
+                                static_cast<double>(kStepsPerRound) *
+                                kDvfsIntervalS / 86400.0;
+  std::printf("simulated time: %.2f days (%zu rounds x %zu steps x %.0fs)\n",
+              simulated_days, kRounds, kStepsPerRound, kDvfsIntervalS);
+
+  // lint: nondet-ok(wall-clock timing of the run, never fed into a seed)
+  const auto start = std::chrono::steady_clock::now();
+
+  // Reference: one uninterrupted run, serial, no checkpointing.
+  const auto device_apps = soak_apps();
+  const std::vector<sim::AppProfile> no_eval;
+  std::printf("reference run (uninterrupted, 1 thread)...\n");
+  const core::FederatedRunResult reference = core::run_federated(
+      soak_config(kRounds, 1), device_apps, no_eval, false);
+
+  // Kill points land on snapshot boundaries (multiples of the cadence);
+  // the bit-flip hits the resume into the third segment.
+  const std::vector<std::size_t> kill_points = {70, 140, 210};
+  std::printf("segmented soak, 1 thread (corrupting one snapshot)...\n");
+  const SoakOutcome serial = run_segmented(1, "soak_ckpt_1t", kill_points,
+                                           /*corrupt_at=*/2);
+  std::printf("segmented soak, 4 threads...\n");
+  const SoakOutcome threaded = run_segmented(4, "soak_ckpt_4t", kill_points,
+                                             /*corrupt_at=*/2);
+
+  std::printf("serve-pipeline phase (workers 1 vs 4)...\n");
+  const bool serve_invariant = serve_phase_invariant();
+
+  const double wall_seconds =
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - start)  // lint: nondet-ok(timing)
+          .count();
+
+  const bool monotone = serial.monotone && threaded.monotone;
+  const std::size_t honest_bad =
+      honest_quarantined(serial.result,
+                         core::ExperimentConfig{}.defense.quarantine_threshold);
+  const bool quarantine_bounded = honest_bad == 0;
+  const std::size_t rss_kib = peak_rss_kib();
+  const bool rss_bounded = rss_kib > 0 && rss_kib < kPeakRssBudgetKib;
+  const bool replay_1t =
+      same_bytes(serial.result.global_params, reference.global_params);
+  const bool replay_4t =
+      same_bytes(threaded.result.global_params, reference.global_params);
+  const bool fallback =
+      serial.corrupted_fallback && threaded.corrupted_fallback;
+  const std::size_t cycles = serial.resumes;
+
+  std::printf(
+      "monotone rounds: %s | honest quarantined: %zu | peak rss: %zu KiB "
+      "(budget %zu) | replay 1t: %s | replay 4t: %s | corrupt fallback: %s "
+      "| serve invariant: %s | %zu kill/resume cycles | %.1fs wall\n",
+      monotone ? "yes" : "NO", honest_bad, rss_kib, kPeakRssBudgetKib,
+      replay_1t ? "yes" : "NO", replay_4t ? "yes" : "NO",
+      fallback ? "yes" : "NO", serve_invariant ? "yes" : "NO", cycles,
+      wall_seconds);
+  std::printf(
+      "chaos schedule: %llu departures, %llu rejoins, %llu shocks, "
+      "%zu straggler demotions, %llu aborted rounds\n",
+      static_cast<unsigned long long>(serial.result.robustness.chaos.departures),
+      static_cast<unsigned long long>(serial.result.robustness.chaos.rejoins),
+      static_cast<unsigned long long>(serial.result.robustness.chaos.shocks),
+      serial.result.robustness.total_stragglers,
+      static_cast<unsigned long long>(serial.result.robustness.aborted_rounds));
+
+  const bool passed = monotone && quarantine_bounded && rss_bounded &&
+                      replay_1t && replay_4t && fallback && serve_invariant &&
+                      cycles >= 3;
+
+  std::FILE* out = std::fopen("BENCH_soak.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"soak\",\n");
+    std::fprintf(out, "  \"simulated_days\": %.3f,\n", simulated_days);
+    std::fprintf(out, "  \"rounds\": %zu,\n", kRounds);
+    std::fprintf(out, "  \"devices\": %zu,\n", kDevices);
+    std::fprintf(out, "  \"kill_resume_cycles\": %zu,\n", cycles);
+    std::fprintf(out, "  \"corrupt_fallback_exercised\": %s,\n",
+                 fallback ? "true" : "false");
+    std::fprintf(out, "  \"chaos\": {\"departures\": %llu, \"rejoins\": %llu, "
+                 "\"shocks\": %llu, \"max_offline\": %llu},\n",
+                 static_cast<unsigned long long>(
+                     serial.result.robustness.chaos.departures),
+                 static_cast<unsigned long long>(
+                     serial.result.robustness.chaos.rejoins),
+                 static_cast<unsigned long long>(
+                     serial.result.robustness.chaos.shocks),
+                 static_cast<unsigned long long>(
+                     serial.result.robustness.chaos.max_offline));
+    std::fprintf(out, "  \"stragglers\": %zu,\n",
+                 serial.result.robustness.total_stragglers);
+    std::fprintf(out, "  \"aborted_rounds\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     serial.result.robustness.aborted_rounds));
+    std::fprintf(out, "  \"invariants\": {\n");
+    std::fprintf(out, "    \"monotone_rounds\": %s,\n",
+                 monotone ? "true" : "false");
+    std::fprintf(out, "    \"honest_quarantined\": %zu,\n", honest_bad);
+    std::fprintf(out, "    \"peak_rss_kib\": %zu,\n", rss_kib);
+    std::fprintf(out, "    \"rss_budget_kib\": %zu,\n", kPeakRssBudgetKib);
+    std::fprintf(out, "    \"replay_identical_1t\": %s,\n",
+                 replay_1t ? "true" : "false");
+    std::fprintf(out, "    \"replay_identical_4t\": %s,\n",
+                 replay_4t ? "true" : "false");
+    std::fprintf(out, "    \"serve_worker_invariant\": %s\n",
+                 serve_invariant ? "true" : "false");
+    std::fprintf(out, "  },\n");
+    std::fprintf(out, "  \"wall_seconds\": %.1f,\n", wall_seconds);
+    std::fprintf(out, "  \"passed\": %s\n", passed ? "true" : "false");
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_soak.json\n");
+  }
+
+  std::filesystem::remove_all("soak_ckpt_1t");
+  std::filesystem::remove_all("soak_ckpt_4t");
+  return passed ? 0 : 1;
+}

@@ -30,6 +30,8 @@ participation = 1.0    ; C: fraction of eligible clients drawn per round
 min_participants = 1   ; floor on the per-round draw
 sampling_seed = 0      ; participation stream seed
 quorum = 1             ; min surviving uploads among this round's draw
+deadline_s = 0.0       ; per-round latency budget per client; over-budget
+                       ; participants are demoted to dropouts (0 = off)
 
 [agent]
 learning_rate = 0.005
@@ -90,7 +92,18 @@ stuck_power_w = -1     ; >= 0 sticks attacked devices' power sensor there
 frozen_counters = false
 dvfs_stuck = false
 transport_drop = 0.0   ; per-transfer drop probability (whole federation)
+transport_delay = 0.0  ; per-transfer late-delivery probability
+transport_delay_s = 0.05   ; latency each delayed transfer adds
+transport_truncate = 0.0   ; per-transfer payload-damage probability
+transport_disconnect = 0.0 ; per-transfer connection-death probability
 transport_seed = 0
+
+[chaos]
+enabled = false        ; deterministic chaos schedule (DESIGN.md §13)
+seed = 2026            ; chaos stream seed (replay contract)
+leave_probability = 0.0    ; P(online client departs) per round
+rejoin_probability = 0.5   ; P(offline client returns) per round
+shock_probability = 0.0    ; P(one device's workload is shocked) per round
 )";
 
 std::vector<std::vector<sim::AppProfile>> parse_devices(
@@ -280,8 +293,37 @@ core::ExperimentConfig build_config(const util::Config& config) {
   faults.hardware.dvfs_stuck = config.get_bool("faults.dvfs_stuck", false);
   faults.transport.drop_probability =
       config.get_double("faults.transport_drop", 0.0);
+  faults.transport.delay_probability =
+      config.get_double("faults.transport_delay", 0.0);
+  faults.transport.injected_delay_s =
+      config.get_double("faults.transport_delay_s", 0.05);
+  faults.transport.truncate_probability =
+      config.get_double("faults.transport_truncate", 0.0);
+  faults.transport.disconnect_probability =
+      config.get_double("faults.transport_disconnect", 0.0);
   faults.transport.seed = static_cast<std::uint64_t>(
       config.get_int("faults.transport_seed", 0));
+
+  experiment.deadline_s = config.get_double("fed.deadline_s", 0.0);
+  if (experiment.deadline_s < 0.0)
+    throw std::invalid_argument(
+        "config key 'fed.deadline_s': must be >= 0 (0 = disabled)");
+
+  auto& chaos = experiment.chaos;
+  chaos.enabled = config.get_bool("chaos.enabled", false);
+  chaos.seed =
+      static_cast<std::uint64_t>(config.get_int("chaos.seed", 2026));
+  chaos.leave_probability =
+      config.get_double("chaos.leave_probability", 0.0);
+  chaos.rejoin_probability =
+      config.get_double("chaos.rejoin_probability", 0.5);
+  chaos.shock_probability =
+      config.get_double("chaos.shock_probability", 0.0);
+  if (chaos.leave_probability < 0.0 || chaos.leave_probability > 1.0 ||
+      chaos.rejoin_probability < 0.0 || chaos.rejoin_probability > 1.0 ||
+      chaos.shock_probability < 0.0 || chaos.shock_probability > 1.0)
+    throw std::invalid_argument(
+        "config section '[chaos]': probabilities must be in [0, 1]");
   return experiment;
 }
 
@@ -324,6 +366,20 @@ void report_robustness(const core::RobustnessReport& robustness) {
                 t.delivered, t.attempted, t.drops, t.disconnects,
                 t.truncations, t.outage_failures);
   }
+  if (robustness.total_stragglers > 0)
+    std::printf("           deadline: %zu straggler demotion(s)\n",
+                robustness.total_stragglers);
+  if (robustness.aborted_rounds > 0)
+    std::printf("           quorum: %llu round abort(s), each retried\n",
+                static_cast<unsigned long long>(robustness.aborted_rounds));
+  const chaos::ChaosStats& c = robustness.chaos;
+  if (c.rounds > 0)
+    std::printf("           chaos: %llu departure(s), %llu rejoin(s), "
+                "%llu shock(s), peak %llu offline\n",
+                static_cast<unsigned long long>(c.departures),
+                static_cast<unsigned long long>(c.rejoins),
+                static_cast<unsigned long long>(c.shocks),
+                static_cast<unsigned long long>(c.max_offline));
 }
 
 }  // namespace

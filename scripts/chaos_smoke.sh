@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Chaos crash-safety smoke: run a chaos-seeded, fault-injected, deadlined
+# federation with checkpointing, SIGKILL it mid-soak, resume from the
+# rotation directory, and require (a) a clean finish and (b) stdout
+# identical to an uninterrupted run of the same config — the chaos-seed
+# replay contract (DESIGN.md §13) checked at process level: the kill, the
+# resume and every scheduled fault must leave no trace in the results.
+#
+#   scripts/chaos_smoke.sh [path/to/run_experiment]
+#
+# CHAOS_SMOKE_PROFILE=clean reproduces the historic kill/resume smoke
+# (same kill choreography, no chaos layers) — kill_resume_smoke.sh is a
+# thin wrapper over that profile.
+set -euo pipefail
+
+cd "$(dirname "${BASH_SOURCE[0]}")/.."
+
+runner="${1:-./build/examples/run_experiment}"
+profile="${CHAOS_SMOKE_PROFILE:-chaos}"
+if [[ ! -x "$runner" ]]; then
+  echo "chaos_smoke: runner not found: $runner (build first)" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/fedpower_chaos_smoke.XXXXXX")"
+trap 'rm -rf "$workdir"' EXIT
+
+config="$workdir/config.ini"
+cat > "$config" <<EOF
+[run]
+seed = 42
+mode = federated
+[fed]
+rounds = 40
+steps_per_round = 20
+[eval]
+episode_intervals = 10
+[workload]
+device0 = fft
+device1 = radix
+device2 = lu
+device3 = ocean
+[checkpoint]
+every_rounds = 1
+dir = $workdir/snapshots
+keep = 3
+EOF
+if [[ "$profile" == chaos ]]; then
+  cat >> "$config" <<EOF
+[defense]
+enabled = true
+[faults]
+transport_drop = 0.02
+transport_delay = 0.1
+transport_delay_s = 0.05
+transport_seed = 7
+[chaos]
+enabled = true
+seed = 2026
+leave_probability = 0.1
+rejoin_probability = 0.5
+shock_probability = 0.1
+EOF
+  # The deadline rides as a CLI override so both profiles share one file.
+  deadline_override=("fed.deadline_s=0.05")
+else
+  deadline_override=()
+fi
+
+echo "== start a ${profile}-profile checkpointing run and SIGKILL it mid-soak =="
+"$runner" "$config" "${deadline_override[@]}" > "$workdir/first.log" 2>&1 &
+pid=$!
+
+# Wait until at least one snapshot is durable, then kill without warning.
+# If the run finishes before we strike, that's fine too — the snapshots
+# are on disk either way and the resume below still exercises recovery.
+for _ in $(seq 1 200); do
+  if compgen -G "$workdir/snapshots/snapshot-*.fpck" > /dev/null; then
+    break
+  fi
+  if ! kill -0 "$pid" 2> /dev/null; then
+    break
+  fi
+  sleep 0.05
+done
+kill -KILL "$pid" 2> /dev/null || true
+wait "$pid" 2> /dev/null || true
+
+if ! compgen -G "$workdir/snapshots/snapshot-*.fpck" > /dev/null; then
+  echo "chaos_smoke: no snapshot was written before the kill" >&2
+  exit 1
+fi
+echo "snapshots on disk: $(ls "$workdir/snapshots" | tr '\n' ' ')"
+
+echo "== resume from the rotation directory and run to completion =="
+"$runner" "$config" "${deadline_override[@]}" \
+  "checkpoint.resume_from=$workdir/snapshots" \
+  > "$workdir/resumed.log" 2>&1
+grep -q "federated" "$workdir/resumed.log" || {
+  echo "chaos_smoke: resumed run produced no federated summary" >&2
+  cat "$workdir/resumed.log" >&2
+  exit 1
+}
+
+echo "== replay invariant: uninterrupted run must match the resumed one =="
+"$runner" "$config" "${deadline_override[@]}" "checkpoint.every_rounds=0" \
+  "checkpoint.dir=" > "$workdir/clean.log" 2>&1
+if ! diff -u "$workdir/clean.log" "$workdir/resumed.log"; then
+  echo "chaos_smoke: resumed output diverged from the uninterrupted run" >&2
+  exit 1
+fi
+
+echo "== ${profile} kill-and-resume smoke passed (replay bit-identical) =="

@@ -35,6 +35,9 @@ echo "lint wall time: $((SECONDS - lint_start))s (SARIF archived at build/lint_r
 echo "== kill-and-resume smoke (SIGKILL mid-run, resume from snapshot) =="
 scripts/kill_resume_smoke.sh ./build/examples/run_experiment
 
+echo "== chaos smoke (churn + faults + deadline, SIGKILL mid-soak, replay check) =="
+scripts/chaos_smoke.sh ./build/examples/run_experiment
+
 echo "== Byzantine attack smoke (25% sign-flippers vs median + defense) =="
 scripts/attack_smoke.sh ./build/examples/run_experiment
 
@@ -46,6 +49,11 @@ echo "== async-server bench (determinism gate + TCP throughput) =="
 
 echo "== async-server smoke (250 clients, kill one mid-round, quorum commit) =="
 scripts/server_smoke.sh ./build/bench/bench_server_throughput ./build/examples/run_experiment
+
+echo "== chaos soak bench (days-equivalent run, kill/resume under fire) =="
+(cd build/bench && ./bench_soak)
+cp build/bench/BENCH_soak.json build/BENCH_soak.json
+echo "soak report archived at build/BENCH_soak.json"
 
 for preset in "${run_sanitizer_presets[@]}"; do
   echo "== sanitizer suite (preset: ${preset}) =="

@@ -1,74 +1,12 @@
 #!/usr/bin/env bash
 # Crash-safety smoke test: SIGKILL a checkpointing run mid-flight, then
 # resume it from the rotation directory and require a clean finish. This is
-# the end-to-end (process-level) companion of the in-process bit-identity
-# tests in tests/ckpt/test_crash_resume.cpp.
+# the clean (no-chaos) profile of chaos_smoke.sh, kept as its own entry
+# point so the historic invocation keeps working; the chaos profile
+# additionally arms churn, transport faults and round deadlines.
 #
 #   scripts/kill_resume_smoke.sh [path/to/run_experiment]
 set -euo pipefail
 
-cd "$(dirname "${BASH_SOURCE[0]}")/.."
-
-runner="${1:-./build/examples/run_experiment}"
-if [[ ! -x "$runner" ]]; then
-  echo "kill_resume_smoke: runner not found: $runner (build first)" >&2
-  exit 2
-fi
-
-workdir="$(mktemp -d "${TMPDIR:-/tmp}/fedpower_kill_resume.XXXXXX")"
-trap 'rm -rf "$workdir"' EXIT
-
-config="$workdir/config.ini"
-cat > "$config" <<EOF
-[run]
-seed = 42
-mode = federated
-[fed]
-rounds = 40
-steps_per_round = 20
-[eval]
-episode_intervals = 10
-[workload]
-device0 = fft
-device1 = radix
-[checkpoint]
-every_rounds = 1
-dir = $workdir/snapshots
-keep = 3
-EOF
-
-echo "== start a checkpointing run and SIGKILL it mid-flight =="
-"$runner" "$config" > "$workdir/first.log" 2>&1 &
-pid=$!
-
-# Wait until at least one snapshot is durable, then kill without warning.
-# If the run finishes before we strike, that's fine too — the snapshots are
-# on disk either way and the resume below still exercises recovery.
-for _ in $(seq 1 200); do
-  if compgen -G "$workdir/snapshots/snapshot-*.fpck" > /dev/null; then
-    break
-  fi
-  if ! kill -0 "$pid" 2> /dev/null; then
-    break
-  fi
-  sleep 0.05
-done
-kill -KILL "$pid" 2> /dev/null || true
-wait "$pid" 2> /dev/null || true
-
-if ! compgen -G "$workdir/snapshots/snapshot-*.fpck" > /dev/null; then
-  echo "kill_resume_smoke: no snapshot was written before the kill" >&2
-  exit 1
-fi
-echo "snapshots on disk: $(ls "$workdir/snapshots" | tr '\n' ' ')"
-
-echo "== resume from the rotation directory and run to completion =="
-"$runner" "$config" "checkpoint.resume_from=$workdir/snapshots" \
-  > "$workdir/second.log" 2>&1
-grep -q "federated" "$workdir/second.log" || {
-  echo "kill_resume_smoke: resumed run produced no federated summary" >&2
-  cat "$workdir/second.log" >&2
-  exit 1
-}
-
-echo "== kill-and-resume smoke passed =="
+exec env CHAOS_SMOKE_PROFILE=clean \
+  "$(dirname "${BASH_SOURCE[0]}")/chaos_smoke.sh" "$@"

@@ -1,0 +1,22 @@
+#include "chaos/churn_transport.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace fedpower::chaos {
+
+ChurnTransport::ChurnTransport(fed::Transport* inner) : inner_(inner) {
+  FEDPOWER_EXPECTS(inner != nullptr);
+}
+
+std::vector<std::uint8_t> ChurnTransport::transfer(
+    fed::Direction direction, std::vector<std::uint8_t> payload) {
+  if (!online_) {
+    ++blocked_;
+    throw fed::TransportError("chaos churn: device offline");
+  }
+  return inner_->transfer(direction, std::move(payload));
+}
+
+}  // namespace fedpower::chaos

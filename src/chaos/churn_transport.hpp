@@ -1,0 +1,59 @@
+// Availability-churn transport decorator (DESIGN.md §13).
+//
+// Wraps any fed::Transport with an on/off switch the chaos driver flips
+// from the ChaosEngine's per-round availability mask. While offline, every
+// transfer fails with fed::TransportError — exactly the failure mode the
+// federation layers already demote to a per-round dropout — so a churned
+// client rides the existing lost-client path: no upload, no defense
+// observation, no reputation penalty, and (with lazy fleets) eventual
+// dehydration until it rejoins.
+//
+// The decorator deliberately holds NO checkpointed state: the ChaosEngine
+// owns the authoritative availability mask (saved under its CHAO tag) and
+// the driver re-applies it to these switches at the top of every round, so
+// a resumed run reconstructs the exact link states without a transport
+// section in the snapshot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fed/transport.hpp"
+
+namespace fedpower::chaos {
+
+class ChurnTransport final : public fed::Transport {
+ public:
+  explicit ChurnTransport(fed::Transport* inner);
+
+  /// Flips the link; the chaos driver calls this once per round per client
+  /// from the RoundPlan availability mask.
+  void set_online(bool online) noexcept { online_ = online; }
+  [[nodiscard]] bool online() const noexcept { return online_; }
+
+  /// Transfers this decorator refused because the link was offline.
+  [[nodiscard]] std::size_t blocked_transfers() const noexcept {
+    return blocked_;
+  }
+
+  std::vector<std::uint8_t> transfer(
+      fed::Direction direction, std::vector<std::uint8_t> payload) override;
+
+  const fed::TrafficStats& stats() const noexcept override {
+    return inner_->stats();
+  }
+
+  double cumulative_latency_s() const noexcept override {
+    // An offline link accrues no latency — the failure is immediate — so
+    // deadline accounting sees only what the inner link actually spent.
+    return inner_->cumulative_latency_s();
+  }
+
+ private:
+  fed::Transport* inner_;
+  bool online_ = true;
+  std::size_t blocked_ = 0;
+};
+
+}  // namespace fedpower::chaos

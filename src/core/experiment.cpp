@@ -6,6 +6,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "chaos/churn_transport.hpp"
 #include "ckpt/rotation.hpp"
 #include "ckpt/snapshot.hpp"
 #include "fed/federation.hpp"
@@ -228,6 +229,18 @@ FederatedRunResult run_federated(
     fault_injector.emplace(&transport, config.faults.transport);
     wire = &*fault_injector;
   }
+  // Chaos schedule (DESIGN.md §13): one engine draws the availability/shock
+  // plan each round; per-client churn decorators stack on top of whatever
+  // `wire` already is (possibly the fault injector), so transport faults
+  // and availability churn compose without sharing RNG streams.
+  std::optional<chaos::ChaosEngine> chaos_engine;
+  std::vector<std::unique_ptr<chaos::ChurnTransport>> churn_links;
+  if (config.chaos.enabled) {
+    chaos_engine.emplace(config.chaos, fleet.size());
+    churn_links.reserve(fleet.size());
+    for (std::size_t d = 0; d < fleet.size(); ++d)
+      churn_links.push_back(std::make_unique<chaos::ChurnTransport>(wire));
+  }
   // Exactly one server drives the rounds: the synchronous
   // FederatedAveraging (with the full defense pipeline available) or the
   // sharded serve pipeline (DESIGN.md §12). The two are config-compatible
@@ -284,14 +297,30 @@ FederatedRunResult run_federated(
     else
       sync_server->restore_state(in);
   };
+  if (chaos_engine)
+    for (std::size_t d = 0; d < fleet.size(); ++d) {
+      if (serve_server)
+        serve_server->set_client_transport(d, churn_links[d].get());
+      else
+        sync_server->set_client_transport(d, churn_links[d].get());
+    }
+  if (config.deadline_s > 0.0) {
+    if (serve_server)
+      serve_server->set_round_deadline(config.deadline_s);
+    else
+      sync_server->set_round_deadline(config.deadline_s);
+  }
 
   const Evaluator evaluator = make_evaluator(config);
   FederatedRunResult result;
   result.devices.resize(fleet.size());
   RobustnessReport& robustness = result.robustness;
   // Robustness history rides in the snapshot only for defended/faulted
-  // configs, keeping clean-run snapshots byte-identical to older ones.
-  const bool robust_ckpt = config.defense.enabled || config.faults.any();
+  // configs, keeping clean-run snapshots byte-identical to older ones; the
+  // chaos/deadline sections likewise only appear when armed.
+  const bool chaos_ckpt = config.chaos.enabled || config.deadline_s > 0.0;
+  const bool robust_ckpt =
+      config.defense.enabled || config.faults.any() || chaos_ckpt;
 
   // Resume: restore the whole experiment — fleet, server, partial curves
   // and the traffic accrued before the snapshot — then continue the round
@@ -318,17 +347,54 @@ FederatedRunResult run_federated(
       robustness.clipped_per_round = in.vec_u64();
     }
     if (fault_injector) fault_injector->restore_state(in);
+    if (chaos_ckpt) {
+      robustness.stragglers_per_round = in.vec_u64();
+      robustness.aborted_rounds = in.u64();
+    }
+    if (chaos_engine) chaos_engine->restore_state(in);
   }
   const std::optional<ckpt::SnapshotRotation> rotation =
       make_rotation(config.checkpoint);
 
+  // Consecutive under-quorum aborts tolerated before the run gives up: a
+  // chaos draw can demote or disconnect everyone at once, and a real
+  // server would simply start the next round — but a config whose quorum
+  // can never hold (deadline below the clean round trip, say) must still
+  // fail loudly instead of spinning forever.
+  constexpr std::size_t kMaxConsecutiveAborts = 64;
   for (std::size_t round = start_round; round < config.rounds; ++round) {
-    const fed::RoundResult round_result = run_round();
+    std::optional<fed::RoundResult> committed;
+    std::size_t aborts_in_a_row = 0;
+    while (!committed) {
+      if (chaos_engine) {
+        // Apply this round's chaos plan before any transfer: flip link
+        // availability from the engine's mask and deal the workload shock
+        // (the shocked device abandons its in-flight application; its next
+        // scheduling interval pulls a fresh one from the workload stream).
+        const chaos::RoundPlan plan = chaos_engine->begin_round();
+        for (std::size_t d = 0; d < churn_links.size(); ++d)
+          churn_links[d]->set_online(plan.offline[d] == 0);
+        if (plan.shock_device)
+          fleet.processor(*plan.shock_device).reset_app();
+      }
+      try {
+        committed = run_round();
+      } catch (const fed::QuorumError&) {
+        // The aborted round committed nothing — the server's round counter
+        // and defense state are untouched — but the sampling, fault and
+        // churn streams all advanced, so the retry replays deterministically
+        // yet faces fresh conditions (simulated time moved on).
+        ++robustness.aborted_rounds;
+        if (++aborts_in_a_row >= kMaxConsecutiveAborts) throw;
+      }
+    }
+    const fed::RoundResult round_result = *committed;
     robustness.screened_per_round.push_back(round_result.screened.size());
     robustness.quarantined_per_round.push_back(
         round_result.quarantined.size());
     robustness.readmitted_per_round.push_back(round_result.readmitted.size());
     robustness.clipped_per_round.push_back(round_result.clipped);
+    robustness.stragglers_per_round.push_back(round_result.stragglers.size());
     if (eval_each_round) {
       const sim::AppProfile& app = eval_apps[round % eval_apps.size()];
       result.eval_app_per_round.push_back(app.name);
@@ -368,6 +434,11 @@ FederatedRunResult run_federated(
         out.vec_u64(robustness.clipped_per_round);
       }
       if (fault_injector) fault_injector->save_state(out);
+      if (chaos_ckpt) {
+        out.vec_u64(robustness.stragglers_per_round);
+        out.u64(robustness.aborted_rounds);
+      }
+      if (chaos_engine) chaos_engine->save_state(out);
       rotation->save(out.data());
     }
   }
@@ -381,6 +452,8 @@ FederatedRunResult run_federated(
     robustness.total_readmitted += v;
   for (const std::uint64_t v : robustness.clipped_per_round)
     robustness.total_clipped += v;
+  for (const std::uint64_t v : robustness.stragglers_per_round)
+    robustness.total_stragglers += v;
   for (const std::uint64_t v : robustness.quarantined_per_round)
     robustness.max_quarantined =
         std::max<std::size_t>(robustness.max_quarantined, v);
@@ -391,6 +464,7 @@ FederatedRunResult run_federated(
       robustness.final_reputation.push_back(defense->reputation(d));
   }
   if (fault_injector) robustness.transport = fault_injector->fault_stats();
+  if (chaos_engine) robustness.chaos = chaos_engine->stats();
   return result;
 }
 

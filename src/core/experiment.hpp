@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "baselines/collab_policy.hpp"
+#include "chaos/engine.hpp"
 #include "core/controller.hpp"
 #include "core/evaluate.hpp"
 #include "fed/aggregate.hpp"
@@ -138,6 +139,16 @@ struct ExperimentConfig {
   FaultPlanConfig faults{};
   /// Sharded serve pipeline routing (run_federated only; off by default).
   ServeExperimentConfig serve{};
+  /// Deterministic chaos schedule: availability churn and workload shocks
+  /// drawn each round from one seeded stream (run_federated only; off by
+  /// default). Composes with `faults` — transport-level fault injection
+  /// keeps its own per-transfer stream (DESIGN.md §13).
+  chaos::ChaosConfig chaos{};
+  /// Per-round transport-latency budget per client, in simulated seconds;
+  /// 0 disables. Over-budget participants are demoted to dropouts
+  /// (stragglers) instead of blocking the round — see
+  /// fed::FederatedAveraging::set_round_deadline (run_federated only).
+  double deadline_s = 0.0;
 };
 
 /// Per-round evaluation curves of one device's policy.
@@ -158,9 +169,19 @@ struct RobustnessReport {
   std::vector<std::uint64_t> quarantined_per_round;
   std::vector<std::uint64_t> readmitted_per_round;
   std::vector<std::uint64_t> clipped_per_round;
+  /// Participants demoted to dropouts by the round deadline, per round
+  /// (checkpointed only when the deadline or the chaos engine is armed,
+  /// to keep older snapshot layouts byte-stable).
+  std::vector<std::uint64_t> stragglers_per_round;
+  /// Rounds that aborted below quorum and were retried (checkpointed with
+  /// the chaos section). The fault/churn streams advance across an abort,
+  /// so every retry faces fresh conditions — a soak rides out a bad draw
+  /// instead of dying on it.
+  std::uint64_t aborted_rounds = 0;
   std::size_t total_screened = 0;
   std::size_t total_readmitted = 0;
   std::size_t total_clipped = 0;
+  std::size_t total_stragglers = 0;
   /// Peak simultaneous quarantine population over the run.
   std::size_t max_quarantined = 0;
   /// Final per-device reputation (empty when defense is off).
@@ -169,6 +190,8 @@ struct RobustnessReport {
   std::vector<std::size_t> compromised;
   /// Transport-level fault injection counters (zero when clean).
   fed::FaultInjectionStats transport;
+  /// Chaos schedule counters (zero when the chaos engine is off).
+  chaos::ChaosStats chaos;
 };
 
 struct FederatedRunResult {

@@ -8,6 +8,28 @@
 
 namespace fedpower::fed {
 
+// l2_norm is defined in dp.cpp (the DP clipping path needed it first);
+// defense.hpp re-declares it as a shared screening primitive.
+
+bool any_non_finite(std::span<const double> values) {
+  for (const double v : values)
+    if (!std::isfinite(v)) return true;
+  return false;
+}
+
+double robust_median(std::vector<double> scratch) {
+  FEDPOWER_EXPECTS(!scratch.empty());
+  const std::size_t mid = scratch.size() / 2;
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<std::ptrdiff_t>(mid),
+                   scratch.end());
+  if (scratch.size() % 2 == 1) return scratch[mid];
+  const double upper = scratch[mid];
+  const double lower = *std::max_element(
+      scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(mid));
+  return (lower + upper) / 2.0;
+}
+
 namespace {
 
 /// L2 norm of the element-wise difference a - b, accumulated in coordinate
@@ -80,16 +102,7 @@ bool DefensePipeline::norm_screen_armed() const noexcept {
 
 double DefensePipeline::norm_history_median() const {
   // Copy + nth_element over a bounded ring: deterministic and O(window).
-  std::vector<double> scratch = norm_history_;
-  const std::size_t mid = scratch.size() / 2;
-  std::nth_element(scratch.begin(),
-                   scratch.begin() + static_cast<std::ptrdiff_t>(mid),
-                   scratch.end());
-  if (scratch.size() % 2 == 1) return scratch[mid];
-  const double upper = scratch[mid];
-  const double lower = *std::max_element(
-      scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(mid));
-  return (lower + upper) / 2.0;
+  return robust_median(norm_history_);
 }
 
 ScreenObservation DefensePipeline::screen(

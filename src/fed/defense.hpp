@@ -41,6 +41,26 @@
 
 namespace fedpower::fed {
 
+// --- shared screening primitives ----------------------------------------
+// Both federation servers — the synchronous FederatedAveraging and the
+// sharded serve pipeline — route uploads through these exact functions, so
+// their non-finite/norm verdict counters agree under identical fault
+// seeds (the serve-path screening-parity contract, DESIGN.md §13).
+
+/// L2 norm accumulated in coordinate order (the model-order FP contract,
+/// DESIGN.md §8 L3). Defined in dp.cpp; both screening paths and the DP
+/// clipping path share the one accumulation loop.
+[[nodiscard]] double l2_norm(std::span<const double> values) noexcept;
+
+/// True when any coordinate is NaN or infinite — the server-core screen a
+/// diverged or malicious upload must never pass.
+bool any_non_finite(std::span<const double> values);
+
+/// Median of the scratch window via nth_element (even sizes average the
+/// two middle elements). Deterministic and O(window); the scratch is taken
+/// by value because nth_element reorders it.
+double robust_median(std::vector<double> scratch);
+
 struct DefenseConfig {
   /// Master switch; a default-constructed config keeps the legacy
   /// screen-nothing behaviour.

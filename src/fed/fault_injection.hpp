@@ -70,6 +70,12 @@ class FaultInjectingTransport final : public Transport {
     return inner_->stats();
   }
 
+  /// Inner latency plus the delay injected by this decorator, so round
+  /// deadlines see delay faults as the lateness they model.
+  double cumulative_latency_s() const noexcept override {
+    return inner_->cumulative_latency_s() + fault_stats_.injected_delay_s;
+  }
+
   const FaultInjectionStats& fault_stats() const noexcept {
     return fault_stats_;
   }

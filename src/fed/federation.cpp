@@ -95,6 +95,11 @@ void FederatedAveraging::enable_defense(const DefenseConfig& config) {
   defense_.emplace(config, clients_.size());
 }
 
+void FederatedAveraging::set_round_deadline(double seconds) {
+  FEDPOWER_EXPECTS(seconds >= 0.0);
+  deadline_s_ = seconds;
+}
+
 void FederatedAveraging::set_trim_count(std::size_t trim_count) {
   trim_count_override_ = true;
   trim_count_ = trim_count;
@@ -187,8 +192,16 @@ RoundResult FederatedAveraging::run_round() {
   // client whose link faults is dropped for the round but must not abort
   // it (FedAvg with partial participation covers the survivors).
   std::vector<char> lost(clients_.size(), 0);
+  // Per-client transport latency this round (downlink now, uplink added
+  // below). Transfers are serial in client-index order, so the cumulative-
+  // latency delta around one transfer is exactly that client's share even
+  // when clients share a link.
+  const bool deadline_armed = deadline_s_ > 0.0;
+  std::vector<double> link_latency(deadline_armed ? clients_.size() : 0, 0.0);
   const std::vector<std::uint8_t> broadcast = codec_->encode(global_);
   for (const std::size_t i : result.participants) {
+    const double latency_before =
+        deadline_armed ? transport_for(i).cumulative_latency_s() : 0.0;
     try {
       const auto delivered =
           transport_for(i).transfer(Direction::kDownlink, broadcast);
@@ -199,6 +212,9 @@ RoundResult FederatedAveraging::run_round() {
     } catch (const std::invalid_argument&) {
       lost[i] = 1;  // payload damaged in flight, codec rejected it
     }
+    if (deadline_armed)
+      link_latency[i] =
+          transport_for(i).cumulative_latency_s() - latency_before;
   }
 
   // Local optimization (line 5): every still-reachable participant trains
@@ -222,6 +238,7 @@ RoundResult FederatedAveraging::run_round() {
   // survivors.
   std::vector<std::vector<double>> locals;
   std::vector<double> weights;
+  std::vector<char> straggler(clients_.size(), 0);
   std::vector<char> screened(clients_.size(), 0);
   std::vector<char> defense_rejected(clients_.size(), 0);
   std::vector<char> in_quarantine(clients_.size(), 0);
@@ -233,9 +250,26 @@ RoundResult FederatedAveraging::run_round() {
   locals.reserve(result.participants.size());
   for (const std::size_t i : training) {
     try {
+      const double latency_before =
+          deadline_armed ? transport_for(i).cumulative_latency_s() : 0.0;
       const auto payload = transport_for(i).transfer(
           Direction::kUplink,
           codec_->encode(clients_[i]->local_parameters()));
+      if (deadline_armed) {
+        // Deadline demotion: a client whose downlink + uplink latency blew
+        // the round budget is a dropout, not a suspect — its upload is
+        // discarded before decoding or screening, so no defense
+        // observation is recorded and an honest-but-slow client keeps its
+        // reputation (DESIGN.md §13).
+        const double round_latency =
+            link_latency[i] +
+            (transport_for(i).cumulative_latency_s() - latency_before);
+        if (round_latency > deadline_s_) {
+          straggler[i] = 1;
+          lost[i] = 1;
+          continue;
+        }
+      }
       auto local = codec_->decode(payload);
       if (local.size() != global_.size()) {
         lost[i] = 1;  // decoded to the wrong shape: treat as corrupt
@@ -244,8 +278,8 @@ RoundResult FederatedAveraging::run_round() {
       // Server-side screening: a NaN or infinity anywhere in an upload
       // would poison every mean-style aggregate, so a diverged (or
       // malicious) model is excluded exactly like a transport dropout.
-      if (std::any_of(local.begin(), local.end(),
-                      [](double v) { return !std::isfinite(v); })) {
+      // Shared with the serve pipeline (screening parity, DESIGN.md §13).
+      if (any_non_finite(local)) {
         screened[i] = 1;
         if (defense_) observations.push_back(defense_->non_finite(i));
         continue;
@@ -278,6 +312,7 @@ RoundResult FederatedAveraging::run_round() {
 
   for (const std::size_t i : result.participants) {
     if (lost[i]) result.dropped.push_back(i);
+    if (straggler[i]) result.stragglers.push_back(i);
     if (screened[i]) result.rejected.push_back(i);
     if (defense_rejected[i]) result.screened.push_back(i);
     if (in_quarantine[i]) result.quarantined.push_back(i);

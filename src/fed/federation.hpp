@@ -119,6 +119,12 @@ struct RoundResult {
   bool trim_clamped = false;
   /// Transport-level reconnect/retry attempts observed during the round.
   std::size_t transport_retries = 0;
+  /// Participants demoted to dropouts by the per-round latency deadline
+  /// (set_round_deadline); always a subset of dropped, sorted. A straggler
+  /// counts against the quorum exactly like a transport fault but never
+  /// blocks the round, and its upload is discarded before any screening so
+  /// an honest-but-slow client pays no reputation.
+  std::vector<std::size_t> stragglers;
 
   /// Clients whose local model made it into the aggregate: the participants
   /// minus the union of dropped/rejected/screened/quarantined. A client
@@ -194,6 +200,15 @@ class FederatedAveraging {
   /// Routes client's transfers through its own transport (e.g. one TCP
   /// connection per device) instead of the shared one. Non-owning.
   void set_client_transport(std::size_t client, Transport* transport);
+
+  /// Per-round transport-latency budget per client, in simulated seconds;
+  /// 0 disables (the default). A participant whose downlink + uplink
+  /// latency this round (Transport::cumulative_latency_s deltas, which
+  /// include fault-injected delays) exceeds the budget is demoted to a
+  /// dropout (RoundResult::stragglers ⊆ dropped): its upload is discarded
+  /// BEFORE decoding or defense screening, so stragglers count against the
+  /// quorum without blocking the round and never feed reputation.
+  void set_round_deadline(double seconds);
 
   /// Arms the server-side Byzantine defense pipeline (defense.hpp): norm
   /// clipping and screening, cosine screening against the previous global
@@ -273,6 +288,7 @@ class FederatedAveraging {
   std::size_t rounds_completed_ = 0;
   SamplingConfig sampling_{};  // lint: ckpt-skip(construction config, fixed for the run)
   std::size_t quorum_ = 1;     // lint: ckpt-skip(construction config, fixed for the run)
+  double deadline_s_ = 0.0;    // lint: ckpt-skip(construction config, fixed for the run)
   util::Rng participation_rng_{0};
   std::optional<DefensePipeline> defense_;
   bool trim_count_override_ = false;  // lint: ckpt-skip(construction config, fixed for the run)

@@ -64,6 +64,17 @@ class Transport {
       Direction direction, std::vector<std::uint8_t> payload) = 0;
 
   virtual const TrafficStats& stats() const noexcept = 0;
+
+  /// Total simulated latency this link has accumulated, in seconds.
+  /// Decorators that add latency of their own (e.g. fault-injected delays)
+  /// override this to include it, so per-round deadline accounting sees
+  /// the latency a real client would: the federation measures the delta of
+  /// this value around each transfer. Transfers are serial in client-index
+  /// order, so the delta is exactly one client's share even on a shared
+  /// link.
+  virtual double cumulative_latency_s() const noexcept {
+    return stats().total_latency_s;
+  }
 };
 
 /// Lossless in-process delivery with traffic accounting and a linear

@@ -50,6 +50,11 @@ void ServeFederation::set_client_transport(std::size_t client,
   transport_dedup_stale_ = true;
 }
 
+void ServeFederation::set_round_deadline(double seconds) {
+  FEDPOWER_EXPECTS(seconds >= 0.0);
+  deadline_s_ = seconds;
+}
+
 void ServeFederation::set_local_executor(util::ParallelFor executor) {
   executor_ = executor;
   server_.set_executor(std::move(executor));
@@ -111,9 +116,15 @@ fed::RoundResult ServeFederation::run_round() {
   // fault-injection stream decides identical fates on both paths.
   std::size_t downlink_bytes = 0;
   std::vector<char> lost(clients_.size(), 0);
+  // Per-client latency this round, measured exactly like the synchronous
+  // server (serial transfers make the delta attribution exact).
+  const bool deadline_armed = deadline_s_ > 0.0;
+  std::vector<double> link_latency(deadline_armed ? clients_.size() : 0, 0.0);
   const std::vector<std::uint8_t> broadcast =
       codec_->encode(server_.global_model());
   for (const std::size_t i : participants) {
+    const double latency_before =
+        deadline_armed ? transport_for(i).cumulative_latency_s() : 0.0;
     try {
       const auto delivered =
           transport_for(i).transfer(fed::Direction::kDownlink, broadcast);
@@ -124,6 +135,9 @@ fed::RoundResult ServeFederation::run_round() {
     } catch (const std::invalid_argument&) {
       lost[i] = 1;
     }
+    if (deadline_armed)
+      link_latency[i] =
+          transport_for(i).cumulative_latency_s() - latency_before;
   }
 
   // Local training (line 5), parallel with a barrier; clients own disjoint
@@ -139,11 +153,27 @@ fed::RoundResult ServeFederation::run_round() {
   // Uplink (line 6), serial and in client-index order. The transfer call
   // matches the synchronous server; the decoded payload goes to the shard
   // pipeline instead of being aggregated inline.
+  std::vector<char> straggler(clients_.size(), 0);
   for (const std::size_t i : training) {
     try {
+      const double latency_before =
+          deadline_armed ? transport_for(i).cumulative_latency_s() : 0.0;
       auto payload = transport_for(i).transfer(
           fed::Direction::kUplink,
           codec_->encode(clients_[i]->local_parameters()));
+      if (deadline_armed) {
+        // Deadline demotion (DESIGN.md §13): an over-budget upload is never
+        // submitted, so the shard pipeline sees exactly what the
+        // synchronous server would — a participant that never arrived —
+        // and commit_round books it as a dropout.
+        const double round_latency =
+            link_latency[i] +
+            (transport_for(i).cumulative_latency_s() - latency_before);
+        if (round_latency > deadline_s_) {
+          straggler[i] = 1;
+          continue;
+        }
+      }
       server_.submit(i, base_version, std::move(payload),
                      static_cast<double>(clients_[i]->local_sample_count()));
     } catch (const fed::TransportError&) {
@@ -154,6 +184,8 @@ fed::RoundResult ServeFederation::run_round() {
   }
 
   fed::RoundResult result = server_.commit_round(quorum_);
+  for (const std::size_t i : participants)
+    if (straggler[i]) result.stragglers.push_back(i);
   result.downlink_bytes = downlink_bytes;
   result.transport_retries = total_transport_retries() - retries_before;
   ++rounds_completed_;

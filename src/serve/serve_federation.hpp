@@ -48,6 +48,14 @@ class ServeFederation {
   /// Per-client transport override (fault injection, private links).
   void set_client_transport(std::size_t client, fed::Transport* transport);
 
+  /// Per-round transport-latency budget per client, in simulated seconds;
+  /// 0 disables. Same demotion semantics as
+  /// FederatedAveraging::set_round_deadline: an over-budget participant's
+  /// upload is never submitted to the shard pipeline, so commit_round
+  /// counts it as a never-arrived dropout (RoundResult::stragglers ⊆
+  /// dropped) — it weighs against the quorum but cannot block the round.
+  void set_round_deadline(double seconds);
+
   /// Executor for local training and the commit aggregation.
   void set_local_executor(util::ParallelFor executor);
 
@@ -96,6 +104,7 @@ class ServeFederation {
   fed::SamplingConfig sampling_;  // lint: ckpt-skip(construction config, fixed for the run)
   util::Rng participation_rng_{sampling_.seed};
   std::size_t quorum_ = 1;  // lint: ckpt-skip(construction config, fixed for the run)
+  double deadline_s_ = 0.0;  // lint: ckpt-skip(construction config, fixed for the run)
   std::size_t rounds_completed_ = 0;
 };
 

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "ckpt/errors.hpp"
+#include "fed/defense.hpp"
 #include "util/assert.hpp"
 
 namespace fedpower::serve {
@@ -151,6 +152,9 @@ fed::RoundResult ShardedServer::commit_round(std::size_t quorum) {
       case Verdict::kNonFinite:
         result.rejected.push_back(p.client);
         break;
+      case Verdict::kNormScreened:
+        result.screened.push_back(p.client);
+        break;
     }
   }
   // Participants that never produced a frame (transport fault upstream, or
@@ -227,8 +231,10 @@ void ShardedServer::process(Shard& shard, Upload upload) {
     pending.model = codec_->decode(upload.payload);
     if (pending.model.size() != model_size_) {
       pending.verdict = Verdict::kCorrupt;  // wrong shape: treat as corrupt
-    } else if (std::any_of(pending.model.begin(), pending.model.end(),
-                           [](double v) { return !std::isfinite(v); })) {
+    } else if (fed::any_non_finite(pending.model)) {
+      // Shared screening primitive (screening-parity contract, DESIGN.md
+      // §13): the exact predicate the synchronous defense pipeline applies,
+      // so verdict counters match under identical fault seeds.
       pending.verdict = Verdict::kNonFinite;
     } else {
       pending.verdict = Verdict::kAccepted;
@@ -237,17 +243,35 @@ void ShardedServer::process(Shard& shard, Upload upload) {
     pending.verdict = Verdict::kCorrupt;  // codec rejected the payload
   }
 
+  if (pending.verdict == Verdict::kAccepted &&
+      config_.norm_screen_multiplier > 0.0 &&
+      record.norm_count >= config_.norm_min_samples) {
+    // Norm screen against the client's OWN accepted-norm history (never
+    // cross-shard state, so snapshot bytes stay worker-count invariant).
+    // Median and norm come from the same fed:: primitives as the defense
+    // pipeline.
+    const std::size_t window = static_cast<std::size_t>(
+        std::min<std::uint64_t>(record.norm_count, kNormWindow));
+    std::vector<double> history(record.norms.begin(),
+                                record.norms.begin() +
+                                    static_cast<std::ptrdiff_t>(window));
+    const double median = fed::robust_median(std::move(history));
+    const double norm = fed::l2_norm(pending.model);
+    if (median > 0.0 && norm > config_.norm_screen_multiplier * median)
+      pending.verdict = Verdict::kNormScreened;
+  }
+
   if (pending.verdict == Verdict::kAccepted) {
     ++record.accepted;
     record.reputation = std::min(1.0, record.reputation + kReputationCredit);
-    double sum_sq = 0.0;
-    for (const double v : pending.model) sum_sq += v * v;
     record.norms[static_cast<std::size_t>(record.norm_count % kNormWindow)] =
-        std::sqrt(sum_sq);
+        fed::l2_norm(pending.model);
     ++record.norm_count;
   } else {
     if (pending.verdict == Verdict::kCorrupt)
       ++record.corrupt;
+    else if (pending.verdict == Verdict::kNormScreened)
+      ++record.screened;
     else
       ++record.rejected;
     record.reputation = std::max(0.0, record.reputation - kReputationDebit);
@@ -289,6 +313,9 @@ void ShardedServer::absorb(Pending pending) {
       break;
     case Verdict::kNonFinite:
       ++stats_.uplinks_rejected;
+      break;
+    case Verdict::kNormScreened:
+      ++stats_.uplinks_screened;
       break;
   }
   if (pending.verdict == Verdict::kAccepted) {
@@ -362,6 +389,7 @@ void ShardedServer::save_state(ckpt::Writer& out) const {
   out.u64(stats_.uplinks_accepted);
   out.u64(stats_.uplinks_corrupt);
   out.u64(stats_.uplinks_rejected);
+  out.u64(stats_.uplinks_screened);
   out.u64(stats_.deferred);
   out.u64(stats_.merges);
   out.f64(stats_.max_staleness);
@@ -371,6 +399,7 @@ void ShardedServer::save_state(ckpt::Writer& out) const {
     out.u64(record.accepted);
     out.u64(record.corrupt);
     out.u64(record.rejected);
+    out.u64(record.screened);
     out.u64(record.norm_count);
     out.f64(record.reputation);
     for (const double n : record.norms) out.f64(n);
@@ -392,6 +421,7 @@ void ShardedServer::restore_state(ckpt::Reader& in) {
   stats_.uplinks_accepted = static_cast<std::size_t>(in.u64());
   stats_.uplinks_corrupt = static_cast<std::size_t>(in.u64());
   stats_.uplinks_rejected = static_cast<std::size_t>(in.u64());
+  stats_.uplinks_screened = static_cast<std::size_t>(in.u64());
   stats_.deferred = static_cast<std::size_t>(in.u64());
   stats_.merges = static_cast<std::size_t>(in.u64());
   stats_.max_staleness = in.f64();
@@ -405,6 +435,7 @@ void ShardedServer::restore_state(ckpt::Reader& in) {
     record.accepted = in.u64();
     record.corrupt = in.u64();
     record.rejected = in.u64();
+    record.screened = in.u64();
     record.norm_count = in.u64();
     record.reputation = in.f64();
     for (double& n : record.norms) n = in.f64();

@@ -60,12 +60,23 @@ struct ServeConfig {
   std::optional<std::size_t> trim_override;  ///< trimmed-mean budget override
   double mixing_rate = 0.5;      ///< throughput mode: FedAsync alpha
   double staleness_power = 1.0;  ///< throughput mode: discount exponent
+  /// Shard-local norm screen: an upload whose L2 norm exceeds this multiple
+  /// of the client's own recent accepted-norm median is screened out
+  /// (Verdict kNormScreened -> RoundResult::screened), using the same
+  /// fed::robust_median / fed::l2_norm primitives as the defense pipeline.
+  /// Per-client history only — never cross-shard state — so verdicts and
+  /// snapshot bytes stay identical at any worker count. 0 disables (the
+  /// default, preserving the PR 7 verdict taxonomy byte-for-byte).
+  double norm_screen_multiplier = 0.0;
+  /// Accepted norms a client must have banked before its screen arms.
+  std::size_t norm_min_samples = 4;
 };
 
 struct ServeStats {
   std::size_t uplinks_accepted = 0;  ///< decoded, right shape, finite
   std::size_t uplinks_corrupt = 0;   ///< codec reject or wrong shape
   std::size_t uplinks_rejected = 0;  ///< non-finite screened out
+  std::size_t uplinks_screened = 0;  ///< norm-screen rejects (screen armed)
   std::size_t deferred = 0;          ///< backpressure: frames queued overflow
   std::size_t merges = 0;            ///< throughput-mode merges applied
   double max_staleness = 0.0;
@@ -82,6 +93,7 @@ struct ClientRecord {
   std::uint64_t accepted = 0;
   std::uint64_t corrupt = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t screened = 0;    ///< norm-screen rejects (screen armed only)
   std::uint64_t norm_count = 0;  ///< total norms recorded (ring write cursor)
   double reputation = 1.0;       ///< [0, 1]; credit on accept, debit on bad
   std::array<double, kNormWindow> norms{};  ///< recent upload L2 norms
@@ -166,7 +178,12 @@ class ShardedServer {
   void restore_state(ckpt::Reader& in);
 
  private:
-  enum class Verdict : std::uint8_t { kAccepted, kCorrupt, kNonFinite };
+  enum class Verdict : std::uint8_t {
+    kAccepted,
+    kCorrupt,
+    kNonFinite,
+    kNormScreened,  ///< norm outside the client's own envelope (screen armed)
+  };
 
   struct Upload {
     std::size_t client = 0;

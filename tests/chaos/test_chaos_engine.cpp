@@ -1,0 +1,214 @@
+// The chaos engine's schedule contract (DESIGN.md §13): one seeded stream,
+// a fixed number of draws per round, so the same seed replays the same
+// fault schedule bit for bit — including across a save/restore boundary —
+// and the availability mask the driver applies is exactly the one the
+// engine accounts in its stats. Plus the ChurnTransport decorator the
+// schedule drives.
+#include "chaos/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "chaos/churn_transport.hpp"
+#include "ckpt/binary_io.hpp"
+#include "ckpt/errors.hpp"
+#include "fed/transport.hpp"
+
+namespace fedpower::chaos {
+namespace {
+
+ChaosConfig churny_config() {
+  ChaosConfig config;
+  config.enabled = true;
+  config.seed = 2026;
+  config.leave_probability = 0.2;
+  config.rejoin_probability = 0.5;
+  config.shock_probability = 0.3;
+  return config;
+}
+
+/// Flattens one plan into a comparable record.
+struct PlanRecord {
+  std::vector<std::size_t> went_offline;
+  std::vector<std::size_t> came_online;
+  std::vector<char> offline;
+  bool has_shock = false;
+  std::size_t shock_device = 0;
+
+  explicit PlanRecord(const RoundPlan& plan)
+      : went_offline(plan.went_offline),
+        came_online(plan.came_online),
+        offline(plan.offline),
+        has_shock(plan.shock_device.has_value()),
+        shock_device(plan.shock_device.value_or(0)) {}
+
+  bool operator==(const PlanRecord&) const = default;
+};
+
+std::vector<PlanRecord> schedule(ChaosEngine& engine, std::size_t rounds) {
+  std::vector<PlanRecord> plans;
+  for (std::size_t r = 0; r < rounds; ++r)
+    plans.emplace_back(engine.begin_round());
+  return plans;
+}
+
+TEST(ChaosEngine, SameSeedReplaysTheExactSchedule) {
+  ChaosEngine first(churny_config(), 8);
+  ChaosEngine second(churny_config(), 8);
+  EXPECT_EQ(schedule(first, 50), schedule(second, 50));
+  // And the cumulative accounting matches too.
+  EXPECT_EQ(first.stats().departures, second.stats().departures);
+  EXPECT_EQ(first.stats().rejoins, second.stats().rejoins);
+  EXPECT_EQ(first.stats().shocks, second.stats().shocks);
+  EXPECT_EQ(first.stats().max_offline, second.stats().max_offline);
+}
+
+TEST(ChaosEngine, DifferentSeedsDivergeAndSomethingActuallyHappens) {
+  ChaosConfig other = churny_config();
+  other.seed = 7;
+  ChaosEngine first(churny_config(), 8);
+  ChaosEngine second(other, 8);
+  const auto a = schedule(first, 50);
+  const auto b = schedule(second, 50);
+  EXPECT_NE(a, b);
+  // The probabilities above make an eventless 50-round run implausible;
+  // an engine that never schedules anything would vacuously pass replay.
+  EXPECT_GT(first.stats().departures, 0u);
+  EXPECT_GT(first.stats().rejoins, 0u);
+  EXPECT_GT(first.stats().shocks, 0u);
+}
+
+TEST(ChaosEngine, MaskTransitionsAndStatsStayCoherent) {
+  ChaosEngine engine(churny_config(), 6);
+  std::vector<char> previous(6, 0);  // everyone starts online
+  std::uint64_t departures = 0;
+  std::uint64_t rejoins = 0;
+  std::uint64_t peak = 0;
+  for (int round = 0; round < 80; ++round) {
+    const RoundPlan plan = engine.begin_round();
+    ASSERT_EQ(plan.offline.size(), 6u);
+    // went_offline/came_online are exactly the mask's delta vs last round.
+    std::vector<std::size_t> expected_down;
+    std::vector<std::size_t> expected_up;
+    for (std::size_t c = 0; c < 6; ++c) {
+      if (previous[c] == 0 && plan.offline[c] != 0) expected_down.push_back(c);
+      if (previous[c] != 0 && plan.offline[c] == 0) expected_up.push_back(c);
+    }
+    EXPECT_EQ(plan.went_offline, expected_down);
+    EXPECT_EQ(plan.came_online, expected_up);
+    // The accessor view agrees with the returned mask.
+    std::size_t down = 0;
+    for (std::size_t c = 0; c < 6; ++c) {
+      EXPECT_EQ(engine.offline(c), plan.offline[c] != 0);
+      if (plan.offline[c] != 0) ++down;
+    }
+    EXPECT_EQ(engine.offline_count(), down);
+    if (plan.shock_device) {
+      EXPECT_LT(*plan.shock_device, 6u);
+    }
+    departures += expected_down.size();
+    rejoins += expected_up.size();
+    peak = std::max<std::uint64_t>(peak, down);
+    previous = plan.offline;
+  }
+  EXPECT_EQ(engine.stats().rounds, 80u);
+  EXPECT_EQ(engine.stats().departures, departures);
+  EXPECT_EQ(engine.stats().rejoins, rejoins);
+  EXPECT_EQ(engine.stats().max_offline, peak);
+}
+
+TEST(ChaosEngine, ZeroProbabilitiesScheduleNothing) {
+  ChaosConfig calm;
+  calm.enabled = true;
+  calm.leave_probability = 0.0;
+  calm.shock_probability = 0.0;
+  ChaosEngine engine(calm, 4);
+  for (int round = 0; round < 20; ++round) {
+    const RoundPlan plan = engine.begin_round();
+    EXPECT_TRUE(plan.went_offline.empty());
+    EXPECT_FALSE(plan.shock_device.has_value());
+  }
+  EXPECT_EQ(engine.offline_count(), 0u);
+  EXPECT_EQ(engine.stats().departures, 0u);
+  EXPECT_EQ(engine.stats().shocks, 0u);
+}
+
+TEST(ChaosEngine, SaveRestoreResumesTheExactMidStreamSchedule) {
+  // Reference: 60 uninterrupted rounds.
+  ChaosEngine reference(churny_config(), 8);
+  schedule(reference, 25);
+  const auto tail_expected = schedule(reference, 35);
+
+  // Interrupted twin: snapshot at round 25, restore into a fresh engine.
+  ChaosEngine first_half(churny_config(), 8);
+  schedule(first_half, 25);
+  ckpt::Writer snapshot;
+  first_half.save_state(snapshot);
+
+  ChaosEngine resumed(churny_config(), 8);
+  ckpt::Reader in(snapshot.data());
+  resumed.restore_state(in);
+  EXPECT_TRUE(in.exhausted());
+  // The availability mask survived the boundary...
+  for (std::size_t c = 0; c < 8; ++c)
+    EXPECT_EQ(resumed.offline(c), first_half.offline(c));
+  // ...and the remaining schedule is the one the killed run would have
+  // produced, transition lists and all (so max_offline keeps accumulating
+  // against the right baseline).
+  EXPECT_EQ(schedule(resumed, 35), tail_expected);
+  EXPECT_EQ(resumed.stats().departures, reference.stats().departures);
+  EXPECT_EQ(resumed.stats().max_offline, reference.stats().max_offline);
+}
+
+TEST(ChaosEngine, RestoreRejectsAForeignClientCount) {
+  ChaosEngine engine(churny_config(), 8);
+  engine.begin_round();
+  ckpt::Writer snapshot;
+  engine.save_state(snapshot);
+  ChaosEngine smaller(churny_config(), 4);
+  ckpt::Reader in(snapshot.data());
+  EXPECT_THROW(smaller.restore_state(in), ckpt::StateMismatchError);
+}
+
+// --- ChurnTransport ------------------------------------------------------
+
+TEST(ChurnTransport, OfflineLinkFailsLikeAnyTransportFault) {
+  fed::InProcessTransport inner;
+  ChurnTransport link(&inner);
+  const std::vector<std::uint8_t> payload(16, 0x5A);
+  EXPECT_EQ(link.transfer(fed::Direction::kUplink, payload), payload);
+  link.set_online(false);
+  EXPECT_FALSE(link.online());
+  EXPECT_THROW(link.transfer(fed::Direction::kUplink, payload),
+               fed::TransportError);
+  EXPECT_THROW(link.transfer(fed::Direction::kDownlink, payload),
+               fed::TransportError);
+  EXPECT_EQ(link.blocked_transfers(), 2u);
+  // A blocked transfer never reaches the wrapped link.
+  EXPECT_EQ(inner.stats().total_transfers(), 1u);
+  link.set_online(true);
+  EXPECT_EQ(link.transfer(fed::Direction::kUplink, payload), payload);
+  EXPECT_EQ(inner.stats().total_transfers(), 2u);
+}
+
+TEST(ChurnTransport, OfflineFailuresAccrueNoLatency) {
+  fed::InProcessTransport inner;
+  ChurnTransport link(&inner);
+  link.transfer(fed::Direction::kUplink, std::vector<std::uint8_t>(64, 1));
+  const double online_latency = link.cumulative_latency_s();
+  EXPECT_GT(online_latency, 0.0);
+  link.set_online(false);
+  EXPECT_THROW(
+      link.transfer(fed::Direction::kUplink, std::vector<std::uint8_t>(64, 1)),
+      fed::TransportError);
+  // The refusal is immediate: deadline accounting must not see phantom
+  // seconds from a link that never carried the bytes.
+  EXPECT_EQ(link.cumulative_latency_s(), online_latency);
+}
+
+}  // namespace
+}  // namespace fedpower::chaos

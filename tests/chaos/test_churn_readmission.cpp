@@ -1,0 +1,158 @@
+// Quarantine re-admission under availability churn (DESIGN.md §13): a
+// quarantined client that disappears mid-probation must neither lose its
+// clean streak nor bleed reputation while unreachable — absence produces
+// no defense observation — so it earns re-admission as soon as it has
+// delivered probation_rounds clean uploads, however they interleave with
+// churn. The whole trajectory is bit-identical at 1 and 4 threads.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "chaos/churn_transport.hpp"
+#include "fed/federation.hpp"
+#include "fed/transport.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace fedpower::chaos {
+namespace {
+
+/// Honest client: installs the broadcast, adds `delta` per local round.
+class ScriptedClient final : public fed::FederatedClient {
+ public:
+  explicit ScriptedClient(double delta) : delta_(delta) {}
+  void receive_global(std::span<const double> params) override {
+    params_.assign(params.begin(), params.end());
+  }
+  std::vector<double> local_parameters() const override { return params_; }
+  void run_local_round() override {
+    for (double& p : params_) p += delta_;
+  }
+
+ private:
+  double delta_;
+  std::vector<double> params_;
+};
+
+/// Uploads NaN for its first `recover_after` local rounds, then behaves —
+/// the honest-but-faulty shape that earns quarantine and later returns.
+class FlakyClient final : public fed::FederatedClient {
+ public:
+  FlakyClient(double delta, std::size_t recover_after)
+      : delta_(delta), recover_after_(recover_after) {}
+  void receive_global(std::span<const double> params) override {
+    params_.assign(params.begin(), params.end());
+  }
+  std::vector<double> local_parameters() const override {
+    if (rounds_ <= recover_after_)
+      return std::vector<double>(params_.size(),
+                                 std::numeric_limits<double>::quiet_NaN());
+    return params_;
+  }
+  void run_local_round() override {
+    ++rounds_;
+    for (double& p : params_) p += delta_;
+  }
+
+ private:
+  double delta_;
+  std::size_t recover_after_;
+  std::size_t rounds_ = 0;
+  std::vector<double> params_;
+};
+
+fed::DefenseConfig fast_defense() {
+  fed::DefenseConfig config;
+  config.enabled = true;
+  config.warmup_rounds = 1;
+  config.norm_min_samples = 4;
+  return config;
+}
+
+/// Everything the scenario observes, for bitwise cross-thread comparison.
+struct Trajectory {
+  std::vector<std::vector<std::size_t>> dropped;
+  std::vector<std::vector<std::size_t>> rejected;
+  std::vector<std::vector<std::size_t>> readmitted;
+  std::vector<double> reputation;
+  std::vector<double> global;
+};
+
+/// Rounds 1-3: NaN uploads quarantine client 3. Rounds 4-5: two clean
+/// probation uploads. Rounds 6-8: churn takes the client offline
+/// mid-probation. Round 9: back online, one more clean upload completes
+/// the streak and re-admits it. Rounds 10-12: full participation again.
+Trajectory run_scenario(std::size_t threads) {
+  std::vector<ScriptedClient> honest;
+  honest.reserve(3);
+  for (int c = 0; c < 3; ++c) honest.emplace_back(0.01);
+  FlakyClient flaky(0.01, /*recover_after=*/3);
+  fed::InProcessTransport wire;
+  ChurnTransport flaky_link(&wire);
+  fed::FederatedAveraging server(
+      {&honest[0], &honest[1], &honest[2], &flaky}, &wire);
+  server.set_client_transport(3, &flaky_link);
+  server.enable_defense(fast_defense());
+  server.initialize({0.5, 0.5, 0.5, 0.5});
+
+  runtime::ThreadPool pool(threads);
+  if (threads > 1) server.set_local_executor(pool.executor());
+
+  Trajectory trajectory;
+  for (int round = 1; round <= 12; ++round) {
+    flaky_link.set_online(round < 6 || round > 8);
+    const fed::RoundResult result = server.run_round();
+    trajectory.dropped.push_back(result.dropped);
+    trajectory.rejected.push_back(result.rejected);
+    trajectory.readmitted.push_back(result.readmitted);
+  }
+  for (std::size_t c = 0; c < server.client_count(); ++c)
+    trajectory.reputation.push_back(server.defense()->reputation(c));
+  trajectory.global = server.global_model();
+  return trajectory;
+}
+
+TEST(ChurnReadmission, ProbationStreakSurvivesAnOfflineSpell) {
+  const Trajectory t = run_scenario(1);
+  // Rounds 1-3 (indices 0-2): the NaN uploads are rejected server-side.
+  for (int r = 0; r < 3; ++r)
+    EXPECT_EQ(t.rejected[r], (std::vector<std::size_t>{3})) << "round " << r + 1;
+  // Rounds 6-8 (indices 5-7): churn makes the client a plain dropout —
+  // no rejection, no observation, nothing for the defense to punish.
+  for (int r = 5; r < 8; ++r) {
+    EXPECT_EQ(t.dropped[r], (std::vector<std::size_t>{3})) << "round " << r + 1;
+    EXPECT_TRUE(t.rejected[r].empty());
+  }
+  // Two clean uploads before the spell (rounds 4-5) plus one after
+  // (round 9, index 8) complete probation_rounds = 3: the streak was not
+  // reset by absence, so re-admission lands in round 9, not round 11.
+  for (int r = 0; r < 8; ++r) EXPECT_TRUE(t.readmitted[r].empty());
+  EXPECT_EQ(t.readmitted[8], (std::vector<std::size_t>{3}));
+  // Re-admission granted the fresh-start reputation (0.6), and the three
+  // clean aggregated rounds 10-12 each earned pass credit on top.
+  EXPECT_NEAR(t.reputation[3], 0.6 + 3 * 0.05, 1e-12);
+}
+
+TEST(ChurnReadmission, HonestClientsNeverTouchQuarantine) {
+  const Trajectory t = run_scenario(1);
+  // Bounded honest-client quarantine (the soak invariant, in miniature):
+  // clients that always upload clean stay at full reputation throughout.
+  EXPECT_DOUBLE_EQ(t.reputation[0], 1.0);
+  EXPECT_DOUBLE_EQ(t.reputation[1], 1.0);
+  EXPECT_DOUBLE_EQ(t.reputation[2], 1.0);
+}
+
+TEST(ChurnReadmission, TrajectoryIsBitIdenticalAcrossThreadCounts) {
+  const Trajectory serial = run_scenario(1);
+  const Trajectory parallel = run_scenario(4);
+  EXPECT_EQ(parallel.dropped, serial.dropped);
+  EXPECT_EQ(parallel.rejected, serial.rejected);
+  EXPECT_EQ(parallel.readmitted, serial.readmitted);
+  EXPECT_EQ(parallel.reputation, serial.reputation);
+  EXPECT_EQ(parallel.global, serial.global);
+}
+
+}  // namespace
+}  // namespace fedpower::chaos

@@ -1,0 +1,64 @@
+// Under-quorum rounds abort and retry instead of killing the run
+// (DESIGN.md §13): a chaos draw can demote or disconnect every sampled
+// client at once, and the soak driver's answer is the one a real server
+// gives — commit nothing, let simulated time advance, run the round again.
+// Only a config whose quorum can never hold may escalate to QuorumError.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "fed/federation.hpp"
+#include "sim/splash2.hpp"
+
+namespace fedpower::core {
+namespace {
+
+ExperimentConfig stormy_config() {
+  ExperimentConfig config;
+  config.rounds = 6;
+  config.controller.steps_per_round = 20;
+  config.seed = 11;
+  // Quorum = fleet size with a drop-heavy link: most attempts lose at
+  // least one of the two clients and abort; retries eventually land a
+  // round where both survive.
+  config.quorum = 2;
+  config.faults.transport.drop_probability = 0.35;
+  config.faults.transport.seed = 5;
+  return config;
+}
+
+std::vector<std::vector<sim::AppProfile>> two_device_apps() {
+  return resolve(table2_scenarios()[1]);
+}
+
+TEST(RoundAbort, UnderQuorumRoundsRetryUntilTheQuorumHolds) {
+  const FederatedRunResult result = run_federated(
+      stormy_config(), two_device_apps(), {}, /*eval_each_round=*/false);
+  // Every target round eventually committed; the retries left their count.
+  EXPECT_EQ(result.robustness.screened_per_round.size(), 6u);
+  EXPECT_GT(result.robustness.aborted_rounds, 0u);
+}
+
+TEST(RoundAbort, AbortsAndResultAreDeterministic) {
+  const FederatedRunResult a = run_federated(
+      stormy_config(), two_device_apps(), {}, /*eval_each_round=*/false);
+  const FederatedRunResult b = run_federated(
+      stormy_config(), two_device_apps(), {}, /*eval_each_round=*/false);
+  EXPECT_EQ(a.robustness.aborted_rounds, b.robustness.aborted_rounds);
+  EXPECT_EQ(a.global_params, b.global_params);
+}
+
+TEST(RoundAbort, AHopelessQuorumStillFailsLoudly) {
+  ExperimentConfig config = stormy_config();
+  // Every transfer drops: no retry can ever assemble a quorum, and the
+  // consecutive-abort cap must surface the error instead of spinning.
+  config.faults.transport.drop_probability = 1.0;
+  EXPECT_THROW(run_federated(config, two_device_apps(), {},
+                             /*eval_each_round=*/false),
+               fed::QuorumError);
+}
+
+}  // namespace
+}  // namespace fedpower::core

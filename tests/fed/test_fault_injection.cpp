@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
+
+#include "ckpt/binary_io.hpp"
+#include "util/rng.hpp"
 
 namespace fedpower::fed {
 namespace {
@@ -112,6 +116,124 @@ TEST(FaultInjection, DelayAccountsLatencyButDelivers) {
   EXPECT_EQ(transport.fault_stats().delays, 2u);
   EXPECT_EQ(transport.fault_stats().delivered, 2u);
   EXPECT_NEAR(transport.fault_stats().injected_delay_s, 0.5, 1e-12);
+}
+
+// --- compound-fault RNG ordering (the one-draw-per-transfer contract) ----
+
+enum class Fate {
+  kDelivered,
+  kDelayed,
+  kDropped,
+  kDisconnected,
+  kOutage,
+  kTruncated,
+};
+
+/// Classifies one transfer by the stats counter it bumped.
+Fate classify(FaultInjectingTransport& transport) {
+  const FaultInjectionStats before = transport.fault_stats();
+  bool threw = false;
+  try {
+    transport.transfer(Direction::kUplink, bytes(64));
+  } catch (const TransportError&) {
+    threw = true;
+  }
+  const FaultInjectionStats& after = transport.fault_stats();
+  if (after.drops > before.drops) return Fate::kDropped;
+  if (after.disconnects > before.disconnects) return Fate::kDisconnected;
+  if (after.outage_failures > before.outage_failures) return Fate::kOutage;
+  EXPECT_FALSE(threw);
+  if (after.truncations > before.truncations) return Fate::kTruncated;
+  if (after.delays > before.delays) return Fate::kDelayed;
+  return Fate::kDelivered;
+}
+
+TEST(FaultInjection, CompoundFaultCascadeMatchesASingleDrawOracle) {
+  // Every fault class armed at once. The oracle replays the documented
+  // contract with its own RNG: one uniform consumed per transfer BEFORE
+  // any branching (outage transfers included), thresholds stacked in
+  // drop -> disconnect -> truncate -> delay order. Any extra, missing or
+  // reordered draw desynchronizes the fates within a few transfers.
+  FaultInjectionConfig config;
+  config.drop_probability = 0.1;
+  config.disconnect_probability = 0.1;
+  config.truncate_probability = 0.1;
+  config.delay_probability = 0.2;
+  config.outage_transfers = 2;
+  config.seed = 99;
+  InProcessTransport inner;
+  FaultInjectingTransport transport(&inner, config);
+  util::Rng oracle(config.seed);
+  std::size_t outage = 0;
+  for (int i = 0; i < 400; ++i) {
+    const double u = oracle.uniform();
+    Fate expected;
+    if (outage > 0) {
+      --outage;
+      expected = Fate::kOutage;
+    } else if (u < 0.1) {
+      expected = Fate::kDropped;
+    } else if (u < 0.2) {
+      expected = Fate::kDisconnected;
+      outage = config.outage_transfers;
+    } else if (u < 0.3) {
+      expected = Fate::kTruncated;
+    } else if (u < 0.5) {
+      expected = Fate::kDelayed;
+    } else {
+      expected = Fate::kDelivered;
+    }
+    EXPECT_EQ(classify(transport), expected) << "transfer " << i;
+  }
+  EXPECT_EQ(transport.fault_stats().attempted, 400u);
+  // The mix actually exercised every class.
+  EXPECT_GT(transport.fault_stats().drops, 0u);
+  EXPECT_GT(transport.fault_stats().disconnects, 0u);
+  EXPECT_GT(transport.fault_stats().outage_failures, 0u);
+  EXPECT_GT(transport.fault_stats().truncations, 0u);
+  EXPECT_GT(transport.fault_stats().delays, 0u);
+}
+
+TEST(FaultInjection, RngPositionDependsOnlyOnTransferCountNotOutcomes) {
+  // Two same-seed injectors with wildly different fault mixes must leave
+  // their RNG streams at the same position after the same number of
+  // transfers — the property that keeps fault schedules composable (a
+  // compound config never shifts the fates a simpler config would draw).
+  // The FINJ section leads with tag + the four RNG words; everything
+  // after differs (stats), so compare just that prefix.
+  constexpr std::size_t kRngPrefix = 4 + 4 * sizeof(std::uint64_t);
+  const auto rng_prefix = [](const FaultInjectionConfig& config) {
+    InProcessTransport inner;
+    FaultInjectingTransport transport(&inner, config);
+    for (int i = 0; i < 100; ++i) {
+      try {
+        transport.transfer(Direction::kUplink, bytes(16));
+      } catch (const TransportError&) {}
+    }
+    EXPECT_EQ(transport.fault_stats().attempted, 100u);
+    ckpt::Writer out;
+    transport.save_state(out);
+    const auto& data = out.data();
+    return std::vector<std::uint8_t>(data.begin(),
+                                     data.begin() + kRngPrefix);
+  };
+
+  FaultInjectionConfig quiet;
+  quiet.seed = 4242;
+  FaultInjectionConfig stormy;
+  stormy.seed = 4242;
+  stormy.drop_probability = 0.2;
+  stormy.disconnect_probability = 0.15;
+  stormy.truncate_probability = 0.1;
+  stormy.delay_probability = 0.25;
+  stormy.outage_transfers = 3;
+  FaultInjectionConfig drops_only;
+  drops_only.seed = 4242;
+  drops_only.drop_probability = 0.5;
+
+  const auto reference = rng_prefix(quiet);
+  EXPECT_EQ(rng_prefix(stormy), reference);
+  EXPECT_EQ(rng_prefix(drops_only), reference);
 }
 
 TEST(FaultInjectionDeathTest, RejectsInvalidConfig) {
