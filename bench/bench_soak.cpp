@@ -29,20 +29,47 @@
 //                         under the same chaos is worker-count invariant.
 //
 // Results land in BENCH_soak.json.
+//
+// --tcp mode (DESIGN.md §14) runs the fault stack over REAL sockets
+// instead: scripted-delta client PROCESSES (fork+exec of this binary with
+// --tcp-client) talk to the EpollFrontEnd through the seeded TcpChaosProxy
+// — connection refusals, mid-stream resets, mid-frame truncations, write
+// stalls — while the driver SIGKILLs clients mid-round and respawns them.
+// Every layer of the recovery stack is live: client reconnect/backoff with
+// the session-resume handshake, server-side first-arrival dedup and the
+// round-replay guard, idle/half-open reaping. The gate is the same as the
+// in-process soak: deterministic-mode committed model bytes bit-identical
+// to an in-process reference at 1, 2 and 4 shard workers. Results land in
+// BENCH_tcp_soak.json.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
 #include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "chaos/tcp_chaos_proxy.hpp"
 #include "ckpt/rotation.hpp"
 #include "core/experiment.hpp"
+#include "fed/codec.hpp"
+#include "fed/tcp_transport.hpp"
+#include "serve/client.hpp"
+#include "serve/epoll_server.hpp"
+#include "serve/server.hpp"
 #include "sim/splash2.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -243,9 +270,415 @@ bool serve_phase_invariant() {
              results[1].robustness.total_stragglers;
 }
 
+// ---------------------------------------------------------------------------
+// --tcp mode: the soak driven over real sockets through the chaos proxy.
+// ---------------------------------------------------------------------------
+
+// Small on purpose: the TCP soak measures protocol survival, not learning.
+// Deltas and participation are pure hash functions of (seed, round,
+// client), so a SIGKILLed client process recomputes its exact upload from
+// nothing but the fetched version — process state is never load-bearing.
+constexpr std::size_t kTcpDevices = 6;
+constexpr std::size_t kTcpRounds = 20;
+constexpr std::size_t kTcpParams = 256;
+constexpr std::uint64_t kTcpSeed = 4242;
+constexpr std::uint64_t kTcpProxySeed = 77;
+constexpr double kTcpIdleTimeoutS = 0.4;
+
+double scripted_delta(std::uint64_t seed, std::uint64_t round,
+                      std::uint64_t client, std::uint64_t i) {
+  std::uint64_t s = seed ^ ((round + 1) * 0x9e3779b97f4a7c15ULL) ^
+                    ((client + 1) * 0xbf58476d1ce4e5b9ULL) ^
+                    ((i + 1) * 0x94d049bb133111ebULL);
+  const std::uint64_t h = util::splitmix64(s);
+  // Uniform in [-0.005, 0.005): bounded drift, never non-finite.
+  return (static_cast<double>(h >> 11) * 0x1.0p-53 - 0.5) * 0.01;
+}
+
+/// The round's participant draw — the same pure function in the driver,
+/// the reference and every client process.
+std::vector<std::size_t> tcp_participants(std::uint64_t seed,
+                                          std::uint64_t round) {
+  std::vector<std::size_t> out;
+  for (std::size_t c = 0; c < kTcpDevices; ++c) {
+    std::uint64_t s = seed ^ ((round + 1) * 0xd6e8feb86659fd93ULL) ^
+                      ((c + 1) * 0xa5a5a5a5a5a5a5a5ULL);
+    if ((util::splitmix64(s) & 3) != 0) out.push_back(c);  // ~75 %
+  }
+  if (out.empty()) out.push_back(round % kTcpDevices);
+  return out;
+}
+
+/// What the committed model must be: the identical upload schedule driven
+/// through an in-process server (worker count is irrelevant by the PR 7
+/// determinism contract, so one reference covers every TCP worker count).
+/// The codec round-trip mirrors what a TCP client sees in its fetch reply,
+/// keeping the submitted payload bytes — and therefore the committed
+/// model — bit-identical to the socket path.
+std::vector<double> tcp_reference_model() {
+  serve::ShardedServer server(kTcpDevices);
+  server.initialize(std::vector<double>(kTcpParams, 0.0));
+  const fed::ModelCodec& codec = server.codec();
+  for (std::uint64_t r = 0; r < kTcpRounds; ++r) {
+    const std::vector<std::size_t> participants =
+        tcp_participants(kTcpSeed, r);
+    server.begin_round(participants);
+    const std::vector<std::uint8_t> fetched =
+        codec.encode(server.global_model());
+    for (const std::size_t c : participants) {
+      std::vector<double> local = codec.decode(fetched);
+      for (std::size_t i = 0; i < local.size(); ++i)
+        local[i] += scripted_delta(kTcpSeed, r, c, i);
+      server.submit(c, r, codec.encode(local), 1.0);
+    }
+    server.drain();
+    server.commit_round(1);
+  }
+  return server.global_model();
+}
+
+/// Child process body (--tcp-client <port> <id>): fetch, recompute the
+/// scripted upload for the current round, deliver it through whatever the
+/// chaos proxy does to the connection, repeat until the server's version
+/// reaches the round target. Stateless by construction — a respawn after
+/// SIGKILL picks up exactly where the fetch says the federation is.
+int tcp_client_main(std::uint16_t port, std::uint32_t id) {
+  serve::ServeClientConfig config;
+  config.port = port;
+  config.client_id = id;
+  config.connect_timeout_s = 2.0;
+  config.io_timeout_s = 5.0;
+  config.max_attempts = 400;
+  config.backoff_initial_s = 0.001;
+  config.backoff_multiplier = 2.0;
+  config.backoff_max_s = 0.02;
+  config.jitter_seed = kTcpSeed ^ ((id + 1) * 0x9e3779b97f4a7c15ULL);
+  serve::ServeClient client(config);
+  std::uint64_t uploaded_round = ~std::uint64_t{0};
+  try {
+    for (;;) {
+      const serve::FetchResult fetched = client.fetch();
+      if (fetched.version >= kTcpRounds) return 0;
+      const std::uint64_t r = fetched.version;
+      if (r == uploaded_round) {
+        // Our upload is in; poll until the round commits.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      const std::vector<std::size_t> participants =
+          tcp_participants(kTcpSeed, r);
+      if (std::find(participants.begin(), participants.end(), id) !=
+          participants.end()) {
+        const fed::ModelCodec& codec = fed::Float32Codec::instance();
+        std::vector<double> local = codec.decode(fetched.model);
+        for (std::size_t i = 0; i < local.size(); ++i)
+          local[i] += scripted_delta(kTcpSeed, r, id, i);
+        client.set_last_acked_round(r);
+        // false = the round committed while we were reconnecting (our
+        // earlier send landed); either way round r is settled for us.
+        (void)client.upload(r, 1, codec.encode(local));
+      }
+      uploaded_round = r;
+    }
+  } catch (const fed::TransportError& error) {
+    std::fprintf(stderr, "tcp client %u: %s\n", id, error.what());
+    return 1;
+  }
+}
+
+pid_t spawn_tcp_client(std::uint16_t port, std::size_t id) {
+  // argv is fully formatted BEFORE fork: only async-signal-safe calls may
+  // run between fork and exec in a multithreaded parent.
+  char port_arg[16];
+  char id_arg[16];
+  std::snprintf(port_arg, sizeof port_arg, "%u", port);
+  std::snprintf(id_arg, sizeof id_arg, "%zu", id);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execl("/proc/self/exe", "bench_soak", "--tcp-client", port_arg, id_arg,
+            static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  return pid;
+}
+
+/// Opens a raw connection to the front end, writes a frame header plus a
+/// few payload bytes and goes silent: a half-open socket that only the
+/// idle reaper can clear. Returns the fd (closed by the caller at
+/// teardown).
+int inject_half_frame(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  // Header promises 100 bytes; only a direction byte and two more follow.
+  const std::uint8_t junk[7] = {100, 0, 0, 0, 0, 0xAB, 0xCD};
+  (void)::send(fd, junk, sizeof junk, MSG_NOSIGNAL);
+  return fd;
+}
+
+bool wait_for_draw(const serve::EpollFrontEnd& front_end, std::size_t want,
+                   double timeout_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +  // lint: nondet-ok(watchdog deadline; timing never feeds results)
+      std::chrono::duration<double>(timeout_s);
+  while (front_end.round_distinct() < want) {
+    if (std::chrono::steady_clock::now() > deadline)  // lint: nondet-ok(watchdog deadline; timing never feeds results)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+struct TcpRunOutcome {
+  std::vector<double> model;
+  bool completed = false;        ///< every round drew fully and committed
+  bool reputation_clean = true;  ///< all accepts => all reputations at cap
+  std::size_t kills = 0;
+  std::size_t duplicates = 0;
+  std::size_t sessions_resumed = 0;
+  std::size_t idle_reaped = 0;
+  std::size_t truncated_frames = 0;
+  std::size_t proxy_connections = 0;
+  std::size_t proxy_refusals = 0;
+  std::size_t proxy_resets = 0;
+  std::size_t proxy_truncations = 0;
+  std::size_t proxy_stalls = 0;
+};
+
+/// One full TCP soak at the given worker count: server + front end +
+/// chaos proxy + client processes + mid-round SIGKILLs.
+TcpRunOutcome tcp_run(std::size_t workers) {
+  TcpRunOutcome outcome;
+
+  serve::ServeConfig config;
+  config.workers = workers;
+  config.idle_timeout_s = kTcpIdleTimeoutS;
+  serve::ShardedServer server(kTcpDevices, config);
+  server.initialize(std::vector<double>(kTcpParams, 0.0));
+  serve::EpollFrontEnd front_end(&server);
+
+  chaos::TcpChaosConfig chaos_config;
+  chaos_config.seed = kTcpProxySeed;
+  chaos_config.refuse_probability = 0.08;
+  chaos_config.reset_probability = 0.20;  // heaviest: each reset forces a
+  chaos_config.truncate_probability = 0.08;  // reconnect, feeding more
+  chaos_config.stall_probability = 0.08;     // connections to the schedule
+  chaos_config.reset_min_bytes = 8;
+  chaos_config.reset_window_bytes = 900;
+  chaos_config.stall_min_s = 0.002;
+  chaos_config.stall_max_s = 0.02;
+  chaos::TcpChaosProxy proxy(front_end.port(), chaos_config);
+
+  // Round 0 must be open before any client can fetch version 0 and
+  // upload; frames outside a round belong to no round.
+  front_end.begin_round(tcp_participants(kTcpSeed, 0));
+
+  std::vector<pid_t> pids(kTcpDevices);
+  for (std::size_t id = 0; id < kTcpDevices; ++id)
+    pids[id] = spawn_tcp_client(proxy.port(), id);
+
+  int half_open_fd = -1;
+  bool ok = true;
+  for (std::uint64_t r = 0; r < kTcpRounds && ok; ++r) {
+    const std::vector<std::size_t> participants =
+        tcp_participants(kTcpSeed, r);
+    if (r == 2) half_open_fd = inject_half_frame(front_end.port());
+    // Every 6th round: once the round is visibly in flight, SIGKILL one
+    // client — possibly mid-frame — and respawn it. The respawn rejoins
+    // via the resume handshake and recomputes its upload from the fetch.
+    if (r % 6 == 5) {
+      if (!wait_for_draw(front_end, 1, 60.0)) {
+        ok = false;
+        break;
+      }
+      const std::size_t victim = r % kTcpDevices;
+      ::kill(pids[victim], SIGKILL);
+      int status = 0;
+      ::waitpid(pids[victim], &status, 0);
+      pids[victim] = spawn_tcp_client(proxy.port(), victim);
+      ++outcome.kills;
+    }
+    if (!wait_for_draw(front_end, participants.size(), 60.0)) {
+      ok = false;
+      break;
+    }
+    try {
+      if (r + 1 < kTcpRounds) {
+        // Atomic commit+begin: no fetch can observe the bumped version
+        // while no round is open, so no upload ever lands in the void.
+        front_end.commit_then_begin(1, tcp_participants(kTcpSeed, r + 1));
+      } else {
+        front_end.commit_round(1);
+      }
+    } catch (const fed::QuorumError&) {
+      ok = false;  // full draw waited => a quorum abort is a bug
+    }
+  }
+
+  // Clients exit once a fetch shows the final version; reap with a
+  // deadline so a wedged child fails the run instead of hanging it.
+  const auto reap_deadline =
+      std::chrono::steady_clock::now() +  // lint: nondet-ok(watchdog deadline; timing never feeds results)
+      std::chrono::seconds(20);
+  for (std::size_t id = 0; id < kTcpDevices; ++id) {
+    for (;;) {
+      int status = 0;
+      const pid_t done = ::waitpid(pids[id], &status, WNOHANG);
+      if (done == pids[id]) {
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ok = false;
+        break;
+      }
+      if (std::chrono::steady_clock::now() > reap_deadline) {  // lint: nondet-ok(watchdog deadline; timing never feeds results)
+        ::kill(pids[id], SIGKILL);
+        ::waitpid(pids[id], &status, 0);
+        ok = false;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  // Give the idle reaper a beat to clear the injected half-open socket.
+  for (int spins = 0; front_end.idle_reaped() == 0 && spins < 300; ++spins)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  if (half_open_fd >= 0) ::close(half_open_fd);
+
+  proxy.stop();
+  outcome.sessions_resumed = front_end.sessions_resumed();
+  outcome.idle_reaped = front_end.idle_reaped();
+  outcome.truncated_frames = front_end.truncated_frames();
+  front_end.stop();
+  // The front end's loop thread was the orchestrator; after stop() the
+  // bench thread takes over and establishes quiescence before reading.
+  server.drain();
+  outcome.model = server.global_model();
+  outcome.completed = ok;
+  outcome.duplicates = server.stats().duplicates;
+  for (std::size_t c = 0; c < kTcpDevices; ++c)
+    if (server.client_record(c).reputation != 1.0)
+      outcome.reputation_clean = false;
+  outcome.proxy_connections = proxy.connections();
+  outcome.proxy_refusals = proxy.refusals();
+  outcome.proxy_resets = proxy.resets();
+  outcome.proxy_truncations = proxy.truncations();
+  outcome.proxy_stalls = proxy.stalls();
+  return outcome;
+}
+
+int tcp_soak_main() {
+  std::printf("== tcp chaos soak: socket faults + kill/resume ==\n");
+  // lint: nondet-ok(wall-clock timing of the run, never fed into a seed)
+  const auto start = std::chrono::steady_clock::now();
+
+  const std::vector<double> reference = tcp_reference_model();
+  const std::size_t worker_counts[] = {1, 2, 4};
+  TcpRunOutcome outcomes[3];
+  bool all_identical = true;
+  bool all_completed = true;
+  bool reputation_clean = true;
+  std::size_t total_resumed = 0;
+  std::size_t total_reaped = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::printf("tcp soak, %zu workers...\n", worker_counts[i]);
+    outcomes[i] = tcp_run(worker_counts[i]);
+    const bool identical = same_bytes(outcomes[i].model, reference);
+    all_identical = all_identical && identical;
+    all_completed = all_completed && outcomes[i].completed;
+    reputation_clean = reputation_clean && outcomes[i].reputation_clean;
+    total_resumed += outcomes[i].sessions_resumed;
+    total_reaped += outcomes[i].idle_reaped;
+    std::printf(
+        "  [%zu workers] identical=%s completed=%s kills=%zu dup=%zu "
+        "resumes=%zu reaped=%zu truncated=%zu | proxy: conn=%zu refuse=%zu "
+        "reset=%zu trunc=%zu stall=%zu\n",
+        worker_counts[i], identical ? "yes" : "NO",
+        outcomes[i].completed ? "yes" : "NO", outcomes[i].kills,
+        outcomes[i].duplicates, outcomes[i].sessions_resumed,
+        outcomes[i].idle_reaped, outcomes[i].truncated_frames,
+        outcomes[i].proxy_connections, outcomes[i].proxy_refusals,
+        outcomes[i].proxy_resets, outcomes[i].proxy_truncations,
+        outcomes[i].proxy_stalls);
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - start)  // lint: nondet-ok(timing)
+          .count();
+
+  // Every client process performs the resume handshake on its first
+  // connect, so resumes >= devices per run; kills and reconnects push it
+  // higher. The half-open injection must have been reaped in every run.
+  const bool resume_exercised =
+      total_resumed >= 3 * kTcpDevices && total_reaped >= 3;
+  const bool passed = all_identical && all_completed && reputation_clean &&
+                      resume_exercised;
+
+  std::printf(
+      "tcp soak: identical(1/2/4)=%s completed=%s reputation clean=%s "
+      "resume+reap exercised=%s | %.1fs wall\n",
+      all_identical ? "yes" : "NO", all_completed ? "yes" : "NO",
+      reputation_clean ? "yes" : "NO", resume_exercised ? "yes" : "NO",
+      wall_seconds);
+
+  std::FILE* out = std::fopen("BENCH_tcp_soak.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"tcp_soak\",\n");
+    std::fprintf(out, "  \"rounds\": %zu,\n", kTcpRounds);
+    std::fprintf(out, "  \"devices\": %zu,\n", kTcpDevices);
+    std::fprintf(out, "  \"params\": %zu,\n", kTcpParams);
+    std::fprintf(out, "  \"runs\": [\n");
+    for (std::size_t i = 0; i < 3; ++i) {
+      std::fprintf(
+          out,
+          "    {\"workers\": %zu, \"identical\": %s, \"completed\": %s, "
+          "\"kills\": %zu, \"duplicates\": %zu, \"sessions_resumed\": %zu, "
+          "\"idle_reaped\": %zu, \"truncated_frames\": %zu, "
+          "\"proxy\": {\"connections\": %zu, \"refusals\": %zu, "
+          "\"resets\": %zu, \"truncations\": %zu, \"stalls\": %zu}}%s\n",
+          worker_counts[i], same_bytes(outcomes[i].model, reference)
+                                ? "true" : "false",
+          outcomes[i].completed ? "true" : "false", outcomes[i].kills,
+          outcomes[i].duplicates, outcomes[i].sessions_resumed,
+          outcomes[i].idle_reaped, outcomes[i].truncated_frames,
+          outcomes[i].proxy_connections, outcomes[i].proxy_refusals,
+          outcomes[i].proxy_resets, outcomes[i].proxy_truncations,
+          outcomes[i].proxy_stalls, i + 1 < 3 ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"reputation_clean\": %s,\n",
+                 reputation_clean ? "true" : "false");
+    std::fprintf(out, "  \"resume_exercised\": %s,\n",
+                 resume_exercised ? "true" : "false");
+    std::fprintf(out, "  \"wall_seconds\": %.1f,\n", wall_seconds);
+    std::fprintf(out, "  \"passed\": %s\n", passed ? "true" : "false");
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_tcp_soak.json\n");
+  }
+  return passed ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--tcp-client") == 0) {
+    if (argc != 4) {
+      std::fprintf(stderr, "usage: bench_soak --tcp-client <port> <id>\n");
+      return 2;
+    }
+    return tcp_client_main(
+        static_cast<std::uint16_t>(std::strtoul(argv[2], nullptr, 10)),
+        static_cast<std::uint32_t>(std::strtoul(argv[3], nullptr, 10)));
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--tcp") == 0) return tcp_soak_main();
+
   std::printf("== chaos soak: multi-layer faults + kill/resume ==\n");
   const double simulated_days = static_cast<double>(kRounds) *
                                 static_cast<double>(kStepsPerRound) *

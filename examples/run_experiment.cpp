@@ -21,6 +21,7 @@ seed = 42
 mode = both            ; federated | local | both
 num_threads = 1        ; worker threads for local training; 0 = all cores
 lazy_fleet = false     ; defer device construction to first selection
+metrics_jsonl =        ; optional path for per-round JSONL metrics
 
 [fed]
 rounds = 100
@@ -80,6 +81,7 @@ batch = 16             ; worker batched-dequeue burst size
 mode = deterministic   ; deterministic | throughput (FedAsync merge)
 mixing_rate = 0.5      ; throughput mode: FedAsync alpha
 staleness_power = 1.0  ; throughput mode: staleness discount exponent
+idle_timeout_s = 0.0   ; TCP front end: reap idle connections (0 = off)
 
 [faults]
 attack = none          ; none | sign-flip | scale | stale-replay
@@ -269,6 +271,10 @@ core::ExperimentConfig build_config(const util::Config& config) {
   if (serve.staleness_power < 0.0)
     throw std::invalid_argument(
         "config key 'serve.staleness_power': must be >= 0");
+  serve.idle_timeout_s = config.get_double("serve.idle_timeout_s", 0.0);
+  if (serve.idle_timeout_s < 0.0)
+    throw std::invalid_argument(
+        "config key 'serve.idle_timeout_s': must be >= 0 (0 = disabled)");
 
   auto& faults = experiment.faults;
   faults.attack = parse_attack(config.get_string("faults.attack", "none"));
@@ -308,6 +314,7 @@ core::ExperimentConfig build_config(const util::Config& config) {
   if (experiment.deadline_s < 0.0)
     throw std::invalid_argument(
         "config key 'fed.deadline_s': must be >= 0 (0 = disabled)");
+  experiment.metrics_jsonl = config.get_string("run.metrics_jsonl");
 
   auto& chaos = experiment.chaos;
   chaos.enabled = config.get_bool("chaos.enabled", false);

@@ -55,6 +55,11 @@ echo "== chaos soak bench (days-equivalent run, kill/resume under fire) =="
 cp build/bench/BENCH_soak.json build/BENCH_soak.json
 echo "soak report archived at build/BENCH_soak.json"
 
+echo "== tcp chaos smoke (socket-fault proxy, reconnect/resume, bit-identity) =="
+scripts/tcp_chaos_smoke.sh ./build/bench/bench_soak
+cp build/bench/BENCH_tcp_soak.json build/BENCH_tcp_soak.json
+echo "tcp soak report archived at build/BENCH_tcp_soak.json"
+
 for preset in "${run_sanitizer_presets[@]}"; do
   echo "== sanitizer suite (preset: ${preset}) =="
   cmake --preset "$preset"

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# TCP chaos smoke: drive the soak's fault stack over real sockets — the
+# seeded fault-injection proxy in front of the epoll front end, client
+# processes reconnecting and resuming through refusals / resets /
+# truncations / stalls, SIGKILLs mid-frame — and require the committed
+# model bytes bit-identical to the in-process reference at 1/2/4 workers
+# (DESIGN.md §14). The bench writes BENCH_tcp_soak.json next to itself
+# and exits nonzero on any gate failure; this wrapper re-checks the
+# report's verdict so a silently-truncated JSON cannot pass.
+#
+#   scripts/tcp_chaos_smoke.sh [path/to/bench_soak]
+set -euo pipefail
+
+cd "$(dirname "${BASH_SOURCE[0]}")/.."
+
+bench="${1:-./build/bench/bench_soak}"
+if [[ ! -x "$bench" ]]; then
+  echo "tcp_chaos_smoke: bench not found: $bench (build first)" >&2
+  exit 2
+fi
+
+bench_dir="$(dirname "$bench")"
+bench_bin="./$(basename "$bench")"
+(cd "$bench_dir" && "$bench_bin" --tcp)
+
+report="$bench_dir/BENCH_tcp_soak.json"
+if [[ ! -f "$report" ]]; then
+  echo "tcp_chaos_smoke: FAIL — no report at $report" >&2
+  exit 1
+fi
+if ! grep -q '"passed": true' "$report"; then
+  echo "tcp_chaos_smoke: FAIL — report does not say passed:" >&2
+  cat "$report" >&2
+  exit 1
+fi
+echo "tcp_chaos_smoke: PASS (report at $report)"

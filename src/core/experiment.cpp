@@ -1,8 +1,10 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 
@@ -13,6 +15,7 @@
 #include "runtime/fleet_runtime.hpp"
 #include "serve/serve_federation.hpp"
 #include "sim/workload.hpp"
+#include "util/jsonl.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -262,6 +265,7 @@ FederatedRunResult run_federated(
     serve_config.aggregation = config.aggregation;
     serve_config.mixing_rate = config.serve.mixing_rate;
     serve_config.staleness_power = config.serve.staleness_power;
+    serve_config.idle_timeout_s = config.serve.idle_timeout_s;
     serve_server.emplace(fleet.clients(), wire, serve_config);
     serve_server->set_local_executor(fleet.executor());
     // Sampling before any resume below: restore_state overrides the
@@ -362,7 +366,15 @@ FederatedRunResult run_federated(
   // can never hold (deadline below the clean round trip, say) must still
   // fail loudly instead of spinning forever.
   constexpr std::size_t kMaxConsecutiveAborts = 64;
+  // Per-round JSON-Lines telemetry (run.metrics_jsonl); append mode so a
+  // resumed run continues its predecessor's file. Wall time and RSS here
+  // are observability only — they are written to the sidecar file and
+  // never feed back into any computation, so determinism holds.
+  std::optional<util::JsonlWriter> metrics;
+  if (!config.metrics_jsonl.empty()) metrics.emplace(config.metrics_jsonl);
   for (std::size_t round = start_round; round < config.rounds; ++round) {
+    const auto round_started =
+        std::chrono::steady_clock::now();  // lint: nondet-ok(JSONL wall-time telemetry; never feeds results)
     std::optional<fed::RoundResult> committed;
     std::size_t aborts_in_a_row = 0;
     while (!committed) {
@@ -410,6 +422,30 @@ FederatedRunResult run_federated(
                                          mix_seed(config.seed, round, d));
       });
       record_round(result.devices, result.fleet, evals);
+    }
+    if (metrics) {
+      const double wall_s =
+          std::chrono::duration<double>(
+              std::chrono::steady_clock::now() -  // lint: nondet-ok(JSONL wall-time telemetry; never feeds results)
+              round_started)
+              .count();
+      metrics->field("round", static_cast<std::uint64_t>(round))
+          .field("reward",
+                 eval_each_round && !result.fleet.reward.empty()
+                     ? result.fleet.reward.back()
+                     : std::numeric_limits<double>::quiet_NaN())
+          .field("participants",
+                 static_cast<std::uint64_t>(round_result.participants.size()))
+          .field("screened",
+                 static_cast<std::uint64_t>(round_result.screened.size()))
+          .field("dropped",
+                 static_cast<std::uint64_t>(round_result.dropped.size()))
+          .field("stragglers",
+                 static_cast<std::uint64_t>(round_result.stragglers.size()))
+          .field("aborted", static_cast<std::uint64_t>(aborts_in_a_row))
+          .field("rss_bytes", util::resident_bytes())
+          .field("wall_s", wall_s);
+      metrics->end_line();
     }
     // Lazy fleets return out-of-round devices to their compact cold form:
     // resident memory tracks the per-round working set, not the fleet.

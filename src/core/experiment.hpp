@@ -105,6 +105,11 @@ struct ServeExperimentConfig {
   bool deterministic = true;   ///< false = throughput (FedAsync) commit
   double mixing_rate = 0.5;    ///< throughput mode: FedAsync alpha
   double staleness_power = 1.0;
+  /// Idle-connection deadline for the TCP front end, seconds; 0 disables
+  /// (serve::ServeConfig::idle_timeout_s). Only observable when an
+  /// EpollFrontEnd drives the server — the in-process pipeline has no
+  /// sockets to reap.
+  double idle_timeout_s = 0.0;
 };
 
 struct ExperimentConfig {
@@ -149,6 +154,11 @@ struct ExperimentConfig {
   /// (stragglers) instead of blocking the round — see
   /// fed::FederatedAveraging::set_round_deadline (run_federated only).
   double deadline_s = 0.0;
+  /// Path for per-round JSON-Lines metrics (round index, reward, screening
+  /// and straggler counts, RSS, wall time); empty disables. Streaming
+  /// telemetry, not a durable artifact: lines flush per round, so a killed
+  /// soak keeps every completed round's record (run_federated only).
+  std::string metrics_jsonl;
 };
 
 /// Per-round evaluation curves of one device's policy.

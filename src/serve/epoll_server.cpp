@@ -8,7 +8,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -134,6 +136,23 @@ fed::RoundResult EpollFrontEnd::commit_round(std::size_t quorum) {
   return done.get();  // rethrows fed::QuorumError from the loop thread
 }
 
+fed::RoundResult EpollFrontEnd::commit_then_begin(
+    std::size_t quorum, std::vector<std::size_t> participants) {
+  Command command;
+  command.kind = Command::Kind::kCommitRound;
+  command.quorum = quorum;
+  command.begin_next = true;
+  command.participants = std::move(participants);
+  std::future<fed::RoundResult> done = command.result.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(command_mutex_);
+    commands_.push_back(std::move(command));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  return done.get();
+}
+
 void EpollFrontEnd::run_commands() {
   std::deque<Command> batch;
   {
@@ -149,8 +168,16 @@ void EpollFrontEnd::run_commands() {
           break;
         case Command::Kind::kCommitRound:
           result = server_->commit_round(command.quorum);
+          // commit_then_begin: the next round opens before any socket
+          // event can deliver an uplink against the bumped version.
+          if (command.begin_next)
+            server_->begin_round(std::move(command.participants));
           break;
       }
+      // Refresh the progress mirror before the caller's future resolves:
+      // a round driver reading round_distinct() right after begin/commit
+      // must see the new round's count, not the previous round's.
+      round_distinct_.store(server_->round_distinct_arrivals());
       command.result.set_value(std::move(result));
     } catch (...) {
       command.result.set_exception(std::current_exception());
@@ -159,10 +186,22 @@ void EpollFrontEnd::run_commands() {
 }
 
 void EpollFrontEnd::loop() {
+  // Idle reaping rides on the epoll_wait timeout (no extra thread): with a
+  // deadline armed the loop wakes at a fraction of it and sweeps. Even
+  // without one the wait stays bounded: worker verdicts land on their own
+  // threads, so a wakeup must happen for poll() to collect them and
+  // refresh the round_distinct mirror — an unbounded wait would let the
+  // last verdicts of a round sit invisible until the next socket event.
+  const double idle_timeout_s = server_->config().idle_timeout_s;
+  const int wait_ms =
+      idle_timeout_s > 0.0
+          ? std::clamp(static_cast<int>(idle_timeout_s * 1000.0 / 4.0), 10,
+                       500)
+          : 50;
   epoll_event events[kMaxEvents];
   while (running_.load()) {
     const int ready = ::epoll_wait(epoll_fd_, events,
-                                   static_cast<int>(kMaxEvents), -1);
+                                   static_cast<int>(kMaxEvents), wait_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;  // fatal epoll error: shut the loop down
@@ -191,10 +230,38 @@ void EpollFrontEnd::loop() {
       }
       if ((mask & EPOLLOUT) != 0) connection_writable(fd);
       if ((mask & EPOLLIN) != 0) connection_readable(fd);
+      if (idle_timeout_s > 0.0) {
+        const auto it = connections_.find(fd);
+        if (it != connections_.end())
+          it->second.last_activity = std::chrono::steady_clock::now();  // lint: nondet-ok(idle-deadline bookkeeping; wall time never reaches results)
+      }
     }
     // Opportunistic pipeline progress: flush deferred frames and collect
     // worker verdicts (merging them in throughput mode) once per wakeup.
     server_->poll();
+    round_distinct_.store(server_->round_distinct_arrivals());
+    if (idle_timeout_s > 0.0) reap_idle_connections();
+  }
+}
+
+void EpollFrontEnd::reap_idle_connections() {
+  const double idle_timeout_s = server_->config().idle_timeout_s;
+  const auto now = std::chrono::steady_clock::now();  // lint: nondet-ok(idle-deadline sweep; wall time never reaches results)
+  std::vector<int> expired;
+  for (const auto& [fd, conn] : connections_) {
+    const double idle_s =
+        std::chrono::duration<double>(now - conn.last_activity).count();
+    if (idle_s >= idle_timeout_s) expired.push_back(fd);
+  }
+  for (const int fd : expired) {
+    // A half-open socket dying with a partial frame buffered is the same
+    // mid-wire death every other close path counts.
+    const auto it = connections_.find(fd);
+    if (it != connections_.end() && !it->second.in.empty())
+      truncated_frames_.fetch_add(1);
+    idle_reaped_.fetch_add(1);
+    server_->note_idle_reap();
+    close_connection(fd);
   }
 }
 
@@ -216,7 +283,9 @@ void EpollFrontEnd::accept_ready() {
       ::close(conn);
       continue;
     }
-    connections_.emplace(conn, Connection{});
+    Connection fresh;
+    fresh.last_activity = std::chrono::steady_clock::now();  // lint: nondet-ok(idle-deadline bookkeeping; wall time never reaches results)
+    connections_.emplace(conn, std::move(fresh));
     connections_accepted_.fetch_add(1);
   }
 }
@@ -301,6 +370,20 @@ bool EpollFrontEnd::handle_frame(int fd, Connection& conn,
                 fed::encode_frame(fed::Direction::kDownlink,
                                   encode_fetch_reply(cached_version_,
                                                      cached_global_)));
+    return true;
+  }
+  if (direction == kResumeDirection) {  // session-resume handshake
+    ResumeRequest request;
+    if (!decode_resume_request(payload, request)) return false;
+    if (request.client >= server_->client_count()) return false;
+    sessions_resumed_.fetch_add(1);
+    server_->note_resume(request.client);
+    ResumeReply reply;
+    reply.version = server_->version();
+    reply.rounds_committed = server_->rounds_committed();
+    queue_reply(fd, conn,
+                encode_serve_frame(kResumeDirection,
+                                   encode_resume_reply(reply)));
     return true;
   }
   return false;  // unknown direction byte

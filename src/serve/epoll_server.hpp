@@ -16,13 +16,25 @@
 // EOF mid-frame counts in truncated_frames(). An uplink frame (direction
 // 0) carries the serve wire header (wire.hpp) and is acknowledged with a
 // 1-byte status frame once enqueued; a fetch frame (direction 1) is
-// answered with the current server version + encoded global model.
+// answered with the current server version + encoded global model; a
+// resume frame (direction 2) is the session-resume handshake (DESIGN.md
+// §14) — a reconnecting client announces its id and last-acked round and
+// receives the authoritative version + committed-round count, so a
+// rejoining client is telemetry (sessions_resumed, per-client churn via
+// ShardedServer::note_resume), not a protocol error.
+//
+// Graceful degradation: when the server config arms serve.idle_timeout_s,
+// the loop reaps connections with no traffic for that long (deadline
+// sweep on the epoll_wait timeout — no extra threads), so a half-open
+// socket can no longer hold its slot forever. Reaps count in
+// idle_reaped() and in the server's stats().idle_reaped.
 //
 // All raw epoll/eventfd syscalls live in epoll_server.cpp, the one TU the
 // lint L7 allowlist admits them in.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -58,6 +70,15 @@ class EpollFrontEnd {
   /// fed::QuorumError from the commit.
   fed::RoundResult commit_round(std::size_t quorum);
 
+  /// Commit + begin-next as ONE loop-thread command: no fetch can observe
+  /// the post-commit version while no round is open. Without this, a
+  /// client that fetches in the gap between separate commit and begin
+  /// posts would upload into the void (frames outside a round belong to
+  /// no round) — the TCP round driver's pipelining primitive. On
+  /// fed::QuorumError the next round is NOT begun.
+  fed::RoundResult commit_then_begin(std::size_t quorum,
+                                     std::vector<std::size_t> participants);
+
   // Counters below are written by the loop thread, readable from any
   // thread (monotonic telemetry; bench threads poll uplinks_received).
   [[nodiscard]] std::size_t connections_accepted() const noexcept {
@@ -75,6 +96,19 @@ class EpollFrontEnd {
   [[nodiscard]] std::size_t truncated_frames() const noexcept {
     return truncated_frames_.load();
   }
+  [[nodiscard]] std::size_t sessions_resumed() const noexcept {
+    return sessions_resumed_.load();
+  }
+  [[nodiscard]] std::size_t idle_reaped() const noexcept {
+    return idle_reaped_.load();
+  }
+  /// Distinct participants whose uplink for the open round has arrived
+  /// (mirror of ShardedServer::round_distinct_arrivals(), refreshed by the
+  /// loop thread each wakeup so round drivers on other threads can wait
+  /// for the full draw before posting the commit).
+  [[nodiscard]] std::size_t round_distinct() const noexcept {
+    return round_distinct_.load();
+  }
 
   /// Stops the loop, closes every socket and joins the thread
   /// (idempotent).
@@ -85,12 +119,18 @@ class EpollFrontEnd {
     std::vector<std::uint8_t> in;   ///< partial-frame reassembly buffer
     std::vector<std::uint8_t> out;  ///< pending reply bytes
     std::size_t out_offset = 0;     ///< bytes of `out` already written
+    /// Last traffic on this socket (idle-deadline bookkeeping; only
+    /// consulted when serve.idle_timeout_s is armed).
+    std::chrono::steady_clock::time_point last_activity{};
   };
 
   struct Command {
     enum class Kind { kBeginRound, kCommitRound } kind = Kind::kBeginRound;
     std::vector<std::size_t> participants;
     std::size_t quorum = 1;
+    /// Commit only: begin the next round (with `participants`) in the same
+    /// command execution, atomically w.r.t. socket events.
+    bool begin_next = false;
     std::promise<fed::RoundResult> result;
   };
 
@@ -106,6 +146,7 @@ class EpollFrontEnd {
   void close_connection(int fd);
   void run_commands();
   void update_interest(int fd, bool want_write);
+  void reap_idle_connections();
 
   ShardedServer* server_;
   // The fds are opened in start() before the loop thread exists and closed
@@ -135,6 +176,9 @@ class EpollFrontEnd {
   std::atomic<std::size_t> fetches_served_{0};
   std::atomic<std::size_t> protocol_errors_{0};
   std::atomic<std::size_t> truncated_frames_{0};
+  std::atomic<std::size_t> sessions_resumed_{0};
+  std::atomic<std::size_t> idle_reaped_{0};
+  std::atomic<std::size_t> round_distinct_{0};
 };
 
 }  // namespace fedpower::serve

@@ -38,6 +38,7 @@ ShardedServer::ShardedServer(std::size_t client_count, ServeConfig config,
   config_.queue_depth = std::max<std::size_t>(2, config_.queue_depth);
   config_.batch_max = std::max<std::size_t>(1, config_.batch_max);
   records_.resize(client_count);
+  client_resumes_.assign(client_count, 0);
   shards_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w)
     shards_.push_back(std::make_unique<Shard>(config_.queue_depth));
@@ -66,7 +67,20 @@ void ShardedServer::begin_round(std::vector<std::size_t> participants) {
   round_records_.clear();
   round_accepted_ = 0;
   round_uplink_bytes_ = 0;
+  round_seen_.assign(records_.size(), 0);
+  round_distinct_ = 0;
   round_open_ = true;
+}
+
+void ShardedServer::note_resume(std::size_t client) {
+  FEDPOWER_EXPECTS(client < client_resumes_.size());
+  ++stats_.resumes;
+  ++client_resumes_[client];
+}
+
+std::uint64_t ShardedServer::client_resumes(std::size_t client) const {
+  FEDPOWER_EXPECTS(client < client_resumes_.size());
+  return client_resumes_[client];
 }
 
 void ShardedServer::submit(std::size_t client, std::uint64_t base_version,
@@ -137,7 +151,13 @@ fed::RoundResult ShardedServer::commit_round(std::size_t quorum) {
   std::vector<char> arrived(records_.size(), 0);
   locals.reserve(round_records_.size());
   for (Pending& p : round_records_) {
-    if (!is_participant[p.client] || arrived[p.client]) continue;
+    if (!is_participant[p.client]) continue;
+    if (arrived[p.client]) {
+      // First-arrival dedup: a reconnecting client's re-sent uplink is
+      // idempotent — the retry is counted, never aggregated twice.
+      ++stats_.duplicates;
+      continue;
+    }
     arrived[p.client] = 1;
     switch (p.verdict) {
       case Verdict::kAccepted:
@@ -304,6 +324,19 @@ void ShardedServer::collect() {
 }
 
 void ShardedServer::absorb(Pending pending) {
+  // Round-replay guard (deterministic mode): an uplink whose base version
+  // predates the current global model arrived after the round it was
+  // trained for committed — a reconnecting client's re-send crossing the
+  // commit boundary, not a contribution to the open round. Admitting it
+  // would aggregate a stale model into a later round (and first-arrival
+  // dedup would then bounce that client's genuine fresh upload), so it is
+  // resolved here with the other duplicates. Throughput mode is untouched:
+  // it merges stale uploads under staleness discounting by design.
+  if (config_.mode == CommitMode::kDeterministic && round_open_ &&
+      pending.base_version < version_) {
+    ++stats_.duplicates;
+    return;
+  }
   switch (pending.verdict) {
     case Verdict::kAccepted:
       ++stats_.uplinks_accepted;
@@ -328,7 +361,16 @@ void ShardedServer::absorb(Pending pending) {
       round_uplink_bytes_ += pending.payload_bytes;
     }
   }
-  if (round_open_) round_records_.push_back(std::move(pending));
+  if (round_open_) {
+    // Distinct-arrival progress: the first frame a client lands this round
+    // (whatever its verdict) moves the counter; retries do not. Round
+    // drivers over lossy transports wait on this before committing.
+    if (round_seen_[pending.client] == 0) {
+      round_seen_[pending.client] = 1;
+      ++round_distinct_;
+    }
+    round_records_.push_back(std::move(pending));
+  }
 }
 
 void ShardedServer::merge_async(const Pending& pending) {
@@ -392,8 +434,12 @@ void ShardedServer::save_state(ckpt::Writer& out) const {
   out.u64(stats_.uplinks_screened);
   out.u64(stats_.deferred);
   out.u64(stats_.merges);
+  out.u64(stats_.duplicates);
+  out.u64(stats_.resumes);
+  out.u64(stats_.idle_reaped);
   out.f64(stats_.max_staleness);
   out.f64(staleness_sum_);
+  for (const std::uint64_t r : client_resumes_) out.u64(r);
   for (const ClientRecord& record : records_) {
     out.u64(record.base_version_seen);
     out.u64(record.accepted);
@@ -424,8 +470,12 @@ void ShardedServer::restore_state(ckpt::Reader& in) {
   stats_.uplinks_screened = static_cast<std::size_t>(in.u64());
   stats_.deferred = static_cast<std::size_t>(in.u64());
   stats_.merges = static_cast<std::size_t>(in.u64());
+  stats_.duplicates = static_cast<std::size_t>(in.u64());
+  stats_.resumes = static_cast<std::size_t>(in.u64());
+  stats_.idle_reaped = static_cast<std::size_t>(in.u64());
   stats_.max_staleness = in.f64();
   staleness_sum_ = in.f64();
+  for (std::uint64_t& r : client_resumes_) r = in.u64();
   stats_.mean_staleness =
       stats_.merges > 0
           ? staleness_sum_ / static_cast<double>(stats_.merges)

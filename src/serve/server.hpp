@@ -70,6 +70,11 @@ struct ServeConfig {
   double norm_screen_multiplier = 0.0;
   /// Accepted norms a client must have banked before its screen arms.
   std::size_t norm_min_samples = 4;
+  /// Idle/half-open connection deadline for the epoll front end, in
+  /// seconds: a connection with no traffic for this long is reaped
+  /// (stats().idle_reaped). 0 disables, preserving the PR 7 behavior of
+  /// holding a half-open slot forever.
+  double idle_timeout_s = 0.0;
 };
 
 struct ServeStats {
@@ -79,6 +84,14 @@ struct ServeStats {
   std::size_t uplinks_screened = 0;  ///< norm-screen rejects (screen armed)
   std::size_t deferred = 0;          ///< backpressure: frames queued overflow
   std::size_t merges = 0;            ///< throughput-mode merges applied
+  /// Re-sent uplinks resolved away: round duplicates folded to the first
+  /// arrival at commit, plus deterministic-mode replays whose round had
+  /// already committed when they landed. Never reach the model.
+  std::size_t duplicates = 0;
+  /// Session-resume handshakes served (connection churn, fleet-wide).
+  std::size_t resumes = 0;
+  /// Idle/half-open connections reaped by the front end's deadline.
+  std::size_t idle_reaped = 0;
   double max_staleness = 0.0;
   double mean_staleness = 0.0;
 };
@@ -164,6 +177,22 @@ class ShardedServer {
     return *codec_;
   }
   [[nodiscard]] CommitMode mode() const noexcept { return config_.mode; }
+  [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+
+  /// Connection-churn accounting (orchestrator-owned, so the front end's
+  /// loop thread — the server's sole orchestrator while it runs — may call
+  /// these without crossing a shard boundary).
+  void note_resume(std::size_t client);
+  void note_idle_reap() { ++stats_.idle_reaped; }
+  [[nodiscard]] std::uint64_t client_resumes(std::size_t client) const;
+
+  /// Distinct participants whose uplink for the open round has been
+  /// collected so far (first arrival only; duplicates do not advance it).
+  /// Orchestrator-owned progress signal for round drivers that wait for
+  /// the full draw before committing.
+  [[nodiscard]] std::size_t round_distinct_arrivals() const noexcept {
+    return round_distinct_;
+  }
 
   /// Per-client state. Only valid at quiescence (after drain()).
   [[nodiscard]] const ClientRecord& client_record(std::size_t client) const;
@@ -239,9 +268,15 @@ class ShardedServer {
   std::vector<Pending> round_records_;
   std::size_t round_accepted_ = 0;  // lint: ckpt-skip(in-flight round state; snapshots only at quiescence)
   std::size_t round_uplink_bytes_ = 0;  // lint: ckpt-skip(in-flight round state; snapshots only at quiescence)
+  /// First-arrival flags for the open round. lint: ckpt-skip(in-flight round state; snapshots only at quiescence)
+  std::vector<char> round_seen_;
+  std::size_t round_distinct_ = 0;  // lint: ckpt-skip(in-flight round state; snapshots only at quiescence)
 
   ServeStats stats_;
   double staleness_sum_ = 0.0;
+  /// Session-resume handshakes per client (orchestrator-owned; the shard
+  /// workers never see connection churn).
+  std::vector<std::uint64_t> client_resumes_;
 
   std::size_t submitted_total_ = 0;   // orchestrator-owned
   std::size_t collected_total_ = 0;   // orchestrator-owned

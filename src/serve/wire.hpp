@@ -15,6 +15,14 @@
 // enqueued). A downlink (fetch) frame's request payload is empty; the
 // reply payload is a u64 LE server version followed by the codec-encoded
 // global model.
+//
+// A third direction byte (2) carries the session-resume handshake
+// (DESIGN.md §14): after reconnecting, a client announces itself with its
+// client index and the last round it saw acknowledged, and the front end
+// answers with the current server version and committed-round count. The
+// handshake is what lets the front end tell a rejoining client apart from
+// a protocol error, and its reply is what lets a killed-and-respawned
+// client rejoin the round schedule without any local state.
 #pragma once
 
 #include <algorithm>
@@ -27,6 +35,15 @@
 namespace fedpower::serve {
 
 inline constexpr std::size_t kUplinkHeaderBytes = 16;
+
+// Frame direction bytes on the serve wire. 0/1 mirror fed::Direction; 2 is
+// the serve-only session-resume handshake.
+inline constexpr std::uint8_t kUplinkDirection = 0;
+inline constexpr std::uint8_t kFetchDirection = 1;
+inline constexpr std::uint8_t kResumeDirection = 2;
+
+inline constexpr std::size_t kResumeRequestBytes = 12;  ///< u32 + u64
+inline constexpr std::size_t kResumeReplyBytes = 16;    ///< u64 + u64
 
 inline void store_u64_le(std::uint64_t v, std::uint8_t* out) noexcept {
   for (std::size_t i = 0; i < 8; ++i)
@@ -67,6 +84,68 @@ struct UplinkHeader {
   header.client = fed::load_u32_le(payload.data());
   header.base_version = load_u64_le(payload.data() + 4);
   header.weight = fed::load_u32_le(payload.data() + 12);
+  return true;
+}
+
+/// Builds a complete wire frame for an arbitrary direction byte. The
+/// fed::encode_frame helper only speaks the two fed::Direction values;
+/// this one admits the serve-only resume direction as well.
+[[nodiscard]] inline std::vector<std::uint8_t> encode_serve_frame(
+    std::uint8_t direction, std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame(4);
+  frame.reserve(4 + 1 + payload.size());
+  fed::store_u32_le(static_cast<std::uint32_t>(1 + payload.size()),
+                    frame.data());
+  frame.push_back(direction);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+/// Session-resume handshake request: who is rejoining and the last round
+/// the client saw acknowledged (informational; the reply is authoritative).
+struct ResumeRequest {
+  std::uint32_t client = 0;
+  std::uint64_t last_acked_round = 0;
+};
+
+[[nodiscard]] inline std::vector<std::uint8_t> encode_resume_request(
+    const ResumeRequest& request) {
+  std::vector<std::uint8_t> payload(kResumeRequestBytes);
+  fed::store_u32_le(request.client, payload.data());
+  store_u64_le(request.last_acked_round, payload.data() + 4);
+  return payload;
+}
+
+/// Strict decode: a resume payload is exactly kResumeRequestBytes, so a
+/// malformed frame is a protocol error, not a partial parse.
+[[nodiscard]] inline bool decode_resume_request(
+    std::span<const std::uint8_t> payload, ResumeRequest& request) noexcept {
+  if (payload.size() != kResumeRequestBytes) return false;
+  request.client = fed::load_u32_le(payload.data());
+  request.last_acked_round = load_u64_le(payload.data() + 4);
+  return true;
+}
+
+/// Session-resume reply: where the server actually is. A rejoining client
+/// trusts these over anything it remembers from before the disconnect.
+struct ResumeReply {
+  std::uint64_t version = 0;          ///< current global-model version
+  std::uint64_t rounds_committed = 0; ///< committed-round count
+};
+
+[[nodiscard]] inline std::vector<std::uint8_t> encode_resume_reply(
+    const ResumeReply& reply) {
+  std::vector<std::uint8_t> payload(kResumeReplyBytes);
+  store_u64_le(reply.version, payload.data());
+  store_u64_le(reply.rounds_committed, payload.data() + 8);
+  return payload;
+}
+
+[[nodiscard]] inline bool decode_resume_reply(
+    std::span<const std::uint8_t> payload, ResumeReply& reply) noexcept {
+  if (payload.size() != kResumeReplyBytes) return false;
+  reply.version = load_u64_le(payload.data());
+  reply.rounds_committed = load_u64_le(payload.data() + 8);
   return true;
 }
 

@@ -1,0 +1,135 @@
+// Minimal JSON-Lines emission for per-round experiment metrics
+// (run.metrics_jsonl). One object per line, flushed per line, so a killed
+// run leaves every completed round's record intact and parseable — the
+// format is append-only streaming telemetry, not a durable artifact (the
+// checkpoint subsystem owns durability).
+//
+// Scope is deliberately tiny: flat objects of number/string fields, no
+// nesting, no arrays — enough for `jq`/pandas to consume round metrics
+// without pulling a JSON library into the tree.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+
+namespace fedpower::util {
+
+/// Streams flat JSON objects, one per line.
+class JsonlWriter {
+ public:
+  /// Appends to (or creates) the given file; throws std::runtime_error on
+  /// failure. Appending lets a resumed run continue the same metrics file
+  /// its predecessor started.
+  explicit JsonlWriter(const std::string& path)
+      : file_(path, std::ios::out | std::ios::app), out_(&file_) {
+    if (!file_) throw std::runtime_error("jsonl: cannot open " + path);
+  }
+
+  /// Writes into a caller-owned stream (used by tests).
+  explicit JsonlWriter(std::ostream& out) : out_(&out) {}
+
+  JsonlWriter& field(const std::string& key, double value) {
+    begin_field(key);
+    // %.6g matches CsvWriter; NaN/Inf are not valid JSON, so degrade to
+    // null rather than emit an unparseable line.
+    if (std::isfinite(value))
+      *out_ << CsvWriter::format(value);
+    else
+      *out_ << "null";
+    return *this;
+  }
+
+  JsonlWriter& field(const std::string& key, std::uint64_t value) {
+    begin_field(key);
+    *out_ << value;
+    return *this;
+  }
+
+  JsonlWriter& field(const std::string& key, const std::string& value) {
+    begin_field(key);
+    *out_ << '"' << escape(value) << '"';
+    return *this;
+  }
+
+  /// Closes the current object, emits the newline and flushes so the line
+  /// survives a SIGKILL arriving right after the round.
+  void end_line() {
+    FEDPOWER_EXPECTS(open_);
+    *out_ << "}\n";
+    out_->flush();
+    open_ = false;
+  }
+
+ private:
+  void begin_field(const std::string& key) {
+    if (!open_) {
+      *out_ << '{';
+      open_ = true;
+    } else {
+      *out_ << ',';
+    }
+    *out_ << '"' << escape(key) << "\":";
+  }
+
+  static std::string escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c) & 0xff);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+  bool open_ = false;  ///< an object is open on the current line
+};
+
+/// Current resident set size in bytes (VmRSS from /proc/self/status);
+/// returns 0 off-Linux or on parse failure. Telemetry only — never feeds
+/// results.
+inline std::uint64_t resident_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string token;
+  while (status >> token) {
+    if (token == "VmRSS:") {
+      std::uint64_t kib = 0;
+      status >> kib;
+      return kib * 1024;
+    }
+  }
+  return 0;
+}
+
+}  // namespace fedpower::util

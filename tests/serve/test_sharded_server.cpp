@@ -96,17 +96,19 @@ TEST(ShardedServer, ReputationCreditsAcceptsAndDebitsBadUploads) {
   EXPECT_DOUBLE_EQ(server.client_record(1).reputation, 0.75);
   EXPECT_EQ(server.client_record(0).accepted, 1u);
   EXPECT_EQ(server.client_record(1).corrupt, 1u);
-  // Five more debits floor at zero rather than going negative.
+  // Five more debits floor at zero rather than going negative. Base must
+  // track the committed version: a lower base is a §14 stale replay and
+  // would be dropped before the corruption check.
   for (int i = 0; i < 5; ++i) {
     server.begin_round({1});
-    server.submit(1, 0, {0xFF}, 1.0);
+    server.submit(1, 1, {0xFF}, 1.0);
     server.drain();
     EXPECT_THROW(server.commit_round(1), fed::QuorumError);
   }
   EXPECT_DOUBLE_EQ(server.client_record(1).reputation, 0.0);
   // A clean upload earns the credit back.
   server.begin_round({1});
-  server.submit(1, 0, enc({1.0}), 1.0);
+  server.submit(1, 1, enc({1.0}), 1.0);
   server.drain();
   server.commit_round(1);
   EXPECT_DOUBLE_EQ(server.client_record(1).reputation, 0.05);

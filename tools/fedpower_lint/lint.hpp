@@ -92,6 +92,7 @@ struct Options {
   std::vector<std::string> fs_write_allowlist = {
       "src/ckpt/snapshot.cpp",
       "src/util/csv.hpp",
+      "src/util/jsonl.hpp",
       "src/sim/trace_io.cpp",
   };
   /// Dirs covered by the raw-syscall rule (L7).
